@@ -1,0 +1,69 @@
+//! C-GARCH vs plain ARMA-GARCH per-value cost on a corrupted stream (the
+//! micro-benchmark behind Fig. 13b), plus the successive variance
+//! reduction filter in isolation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tspdb_core::cgarch::{CGarch, CGarchConfig};
+use tspdb_core::metrics::{ArmaGarch, DynamicDensityMetric, MetricConfig};
+use tspdb_core::svr::svr_filter;
+use tspdb_timeseries::datasets::campus_data;
+use tspdb_timeseries::errors::{inject_spikes, SpikeConfig};
+
+fn bench_cgarch(c: &mut Criterion) {
+    let h = 60;
+    let series = campus_data().head(1200);
+    let inj = inject_spikes(
+        &series,
+        &SpikeConfig {
+            count: 30,
+            protect_prefix: h + 5,
+            ..SpikeConfig::default()
+        },
+    );
+    let values = inj.series.values().to_vec();
+
+    let mut group = c.benchmark_group("cgarch_vs_garch");
+    group.sample_size(10);
+
+    group.bench_function("plain_garch_full_pass", |b| {
+        b.iter(|| {
+            let mut m = ArmaGarch::new(MetricConfig::default()).unwrap();
+            let mut flags = 0usize;
+            for t in h..values.len() {
+                if let Ok(inf) = m.infer(&values[t - h..t]) {
+                    if !inf.contains(values[t]) {
+                        flags += 1;
+                    }
+                }
+            }
+            std::hint::black_box(flags)
+        })
+    });
+
+    group.bench_function("cgarch_full_pass", |b| {
+        b.iter(|| {
+            let mut cg = CGarch::new(
+                CGarchConfig {
+                    window: h,
+                    ocmax: 8,
+                    sv_max: None,
+                },
+                MetricConfig::default(),
+            )
+            .unwrap();
+            let report = cg.process(&values).unwrap();
+            std::hint::black_box(report.detections.len())
+        })
+    });
+    group.finish();
+
+    // SVR filter alone: a spiked 9-point window, the Algorithm 2 hot path.
+    let mut window: Vec<f64> = (0..9).map(|i| 20.0 + 0.1 * i as f64).collect();
+    window[4] = 500.0;
+    c.bench_function("svr_filter_9pt", |b| {
+        b.iter(|| std::hint::black_box(svr_filter(std::hint::black_box(&window), 0.5)))
+    });
+}
+
+criterion_group!(benches, bench_cgarch);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Estimation-layer benchmarks: ARMA fitting (including the Yule-Walker vs
+//! Hannan–Rissanen ablation from DESIGN.md), GARCH quasi-MLE and Kalman EM.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tspdb_models::arma::fit_arma;
+use tspdb_models::garch::fit_garch11;
+use tspdb_models::kalman::{fit_em, EmConfig};
+use tspdb_timeseries::datasets::campus_data;
+use tspdb_timeseries::generate::ArmaGarchGenerator;
+
+fn bench_estimation(c: &mut Criterion) {
+    let series = campus_data();
+
+    let mut arma = c.benchmark_group("arma_fit");
+    for h in [60usize, 180] {
+        let window = series.value_slice(2000 - h, 2000).to_vec();
+        // Pure autoregression: single OLS (the Yule-Walker-class path).
+        arma.bench_with_input(BenchmarkId::new("ar2_ols", h), &window, |b, w| {
+            b.iter(|| fit_arma(std::hint::black_box(w), 2, 0).unwrap())
+        });
+        // Hannan–Rissanen two-stage (long AR + regression with MA terms).
+        arma.bench_with_input(BenchmarkId::new("arma11_hannan_rissanen", h), &window, |b, w| {
+            b.iter(|| fit_arma(std::hint::black_box(w), 1, 1).unwrap())
+        });
+    }
+    arma.finish();
+
+    let innovations = ArmaGarchGenerator {
+        phi: 0.0,
+        theta: 0.0,
+        c: 0.0,
+        ..ArmaGarchGenerator::default()
+    }
+    .generate(180)
+    .values()
+    .to_vec();
+    let mut garch = c.benchmark_group("garch_fit");
+    garch.sample_size(30);
+    for h in [60usize, 180] {
+        garch.bench_with_input(
+            BenchmarkId::new("garch11_qmle", h),
+            &innovations[..h].to_vec(),
+            |b, w| b.iter(|| fit_garch11(std::hint::black_box(w)).unwrap()),
+        );
+    }
+    garch.finish();
+
+    let mut kalman = c.benchmark_group("kalman_em");
+    kalman.sample_size(10);
+    for h in [60usize, 180] {
+        let window = series.value_slice(2000 - h, 2000).to_vec();
+        kalman.bench_with_input(BenchmarkId::from_parameter(h), &window, |b, w| {
+            b.iter(|| fit_em(std::hint::black_box(w), &EmConfig::default()).unwrap())
+        });
+    }
+    kalman.finish();
+}
+
+criterion_group!(benches, bench_estimation);
+criterion_main!(benches);

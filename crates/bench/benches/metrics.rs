@@ -1,0 +1,36 @@
+//! Per-inference cost of each dynamic density metric (the micro-benchmark
+//! behind Fig. 11): one `infer` call on a campus-data window.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tspdb_core::metrics::{make_metric, MetricConfig, MetricKind};
+use tspdb_timeseries::datasets::campus_data;
+
+fn bench_metrics(c: &mut Criterion) {
+    let series = campus_data();
+    let mut group = c.benchmark_group("metric_infer");
+    for h in [60usize, 180] {
+        let window = series.value_slice(1000 - h, 1000).to_vec();
+        for kind in [
+            MetricKind::UniformThresholding,
+            MetricKind::VariableThresholding,
+            MetricKind::ArmaGarch,
+            MetricKind::KalmanGarch,
+        ] {
+            let mut metric = make_metric(kind, MetricConfig::default()).unwrap();
+            if kind == MetricKind::KalmanGarch {
+                group.sample_size(10);
+            } else {
+                group.sample_size(40);
+            }
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), h),
+                &window,
+                |b, w| b.iter(|| metric.infer(std::hint::black_box(w)).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_metrics);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! σ-cache micro-benchmarks (the machinery behind Fig. 14): direct eq. 9
+//! evaluation vs cached lookup, and cache construction cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tspdb_core::sigma_cache::{direct_probability_values, SigmaCache, SigmaCacheConfig};
+use tspdb_core::OmegaSpec;
+
+fn bench_sigma_cache(c: &mut Criterion) {
+    // The paper's view parameters: Δ = 0.05, n = 300, H' = 0.01.
+    let omega = OmegaSpec::new(0.05, 300).unwrap();
+    let sigmas: Vec<f64> = (0..256).map(|i| 0.05 + 0.01 * i as f64).collect();
+
+    let mut group = c.benchmark_group("probability_value_generation");
+    group.bench_function("naive_direct", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % sigmas.len();
+            std::hint::black_box(direct_probability_values(10.0, sigmas[i], &omega))
+        })
+    });
+    group.bench_function("sigma_cache_hit", |b| {
+        let mut cache = SigmaCache::build(0.05, 2.61, omega, SigmaCacheConfig::default()).unwrap();
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % sigmas.len();
+            std::hint::black_box(cache.probability_values(10.0, sigmas[i]))
+        })
+    });
+    group.finish();
+
+    let mut build = c.benchmark_group("sigma_cache_build");
+    build.sample_size(20);
+    for spread in [2_000.0f64, 16_000.0] {
+        build.bench_with_input(
+            BenchmarkId::from_parameter(spread as u64),
+            &spread,
+            |b, &spread| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        SigmaCache::build(
+                            0.001,
+                            0.001 * spread,
+                            omega,
+                            SigmaCacheConfig::default(),
+                        )
+                        .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    build.finish();
+}
+
+criterion_group!(benches, bench_sigma_cache);
+criterion_main!(benches);

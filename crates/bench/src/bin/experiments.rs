@@ -1,0 +1,48 @@
+//! Experiment driver: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p tspdb-bench --bin experiments -- all
+//! cargo run --release -p tspdb-bench --bin experiments -- fig10 fig11
+//! cargo run --release -p tspdb-bench --bin experiments -- --quick all
+//! ```
+
+use std::time::Instant;
+use tspdb_bench::experiments::{run_experiment, Options, ALL_EXPERIMENTS};
+
+fn usage() -> ! {
+    eprintln!("usage: experiments [--quick] <id>...");
+    eprintln!("  ids: all {}", ALL_EXPERIMENTS
+        .iter()
+        .map(|(n, _)| *n)
+        .collect::<Vec<_>>()
+        .join(" "));
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut quick = false;
+    let mut ids = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" | "-q" => quick = true,
+            "all" => ids.extend(ALL_EXPERIMENTS.iter().map(|(_, id)| *id)),
+            other => match ALL_EXPERIMENTS.iter().find(|(n, _)| *n == other) {
+                Some((_, id)) => ids.push(*id),
+                None => {
+                    eprintln!("unknown experiment: {other}");
+                    usage();
+                }
+            },
+        }
+    }
+    if ids.is_empty() {
+        usage();
+    }
+    let opts = Options { quick };
+    for id in ids {
+        let started = Instant::now();
+        let report = run_experiment(id, opts);
+        println!("{report}");
+        println!("[{id:?} completed in {:?}]\n", started.elapsed());
+    }
+}

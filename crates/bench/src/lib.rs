@@ -1,0 +1,20 @@
+#![allow(
+    // `!(x > 0.0)` deliberately catches NaN alongside non-positive values
+    // in numeric guards; `partial_cmp` obscures that intent.
+    clippy::neg_cmp_op_on_partial_ord,
+    // Index-based loops mirror the textbook formulations of the numeric
+    // kernels (Cholesky, Levinson-Durbin, filters) they implement.
+    clippy::needless_range_loop
+)]
+//! # tspdb-bench
+//!
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (Section VII), plus shared helpers for the Criterion
+//! micro-benchmarks. The `experiments` binary drives the functions in
+//! [`experiments`]; each prints the same rows/series the paper reports so
+//! the output can be diffed against EXPERIMENTS.md.
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{run_experiment, ExperimentId, ALL_EXPERIMENTS};

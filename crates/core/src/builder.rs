@@ -1,0 +1,365 @@
+//! The Ω-View builder (paper Section VI): materialising probabilistic
+//! views from inferred densities.
+//!
+//! The builder runs a dynamic density metric over every sliding window in
+//! the requested time interval, records the model table `(t, r̂_t, σ̂_t)`
+//! (the paper stores "parameters for generating the probabilities", after
+//! Jampani et al.), and then evaluates the probability value generation
+//! query (eq. 9) for each tuple — either directly, or through the σ-cache.
+
+use crate::error::CoreError;
+use crate::metrics::{make_metric, MetricConfig, MetricKind};
+use crate::omega::{probability_values, OmegaSpec, ProbabilityValue};
+use crate::sigma_cache::{direct_probability_values, CacheStats, SigmaCache, SigmaCacheConfig};
+use std::time::{Duration, Instant};
+use tspdb_probdb::{ColumnType, ProbTable, Schema, Value};
+use tspdb_stats::Density;
+use tspdb_timeseries::TimeSeries;
+
+/// Configuration of the Ω-view builder.
+#[derive(Debug, Clone, Copy)]
+pub struct ViewBuilderConfig {
+    /// Which dynamic density metric infers the densities.
+    pub metric: MetricKind,
+    /// Parameters of that metric.
+    pub metric_config: MetricConfig,
+    /// Sliding-window length `H`.
+    pub window: usize,
+    /// σ-cache configuration; `None` evaluates every tuple directly (the
+    /// "naive" baseline of Fig. 14a).
+    pub cache: Option<SigmaCacheConfig>,
+}
+
+impl Default for ViewBuilderConfig {
+    fn default() -> Self {
+        ViewBuilderConfig {
+            metric: MetricKind::ArmaGarch,
+            metric_config: MetricConfig::default(),
+            window: 60,
+            cache: Some(SigmaCacheConfig::default()),
+        }
+    }
+}
+
+/// One row of the model table: the stored distribution parameters for one
+/// timestamp (`r̂_t`, `σ̂_t`), mirroring the framework picture (Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelRow {
+    /// Timestamp.
+    pub time: i64,
+    /// Expected true value `r̂_t`.
+    pub expected: f64,
+    /// Inferred standard deviation `σ̂_t`.
+    pub sigma: f64,
+}
+
+/// A materialised probabilistic view plus build diagnostics.
+#[derive(Debug, Clone)]
+pub struct BuiltView {
+    /// The tuple-independent view: schema `(t, lambda, lo, hi)` with a
+    /// probability per row — the paper's `prob_view`.
+    pub view: ProbTable,
+    /// The model table backing the view.
+    pub model: Vec<ModelRow>,
+    /// σ-cache statistics when a cache was used.
+    pub cache_stats: Option<CacheStats>,
+    /// Number of distributions the cache stored.
+    pub cache_len: Option<usize>,
+    /// Cache memory footprint in bytes.
+    pub cache_bytes: Option<usize>,
+    /// Wall-clock time spent inferring densities.
+    pub inference_time: Duration,
+    /// Wall-clock time spent generating probability values (the part the
+    /// σ-cache accelerates).
+    pub generation_time: Duration,
+    /// Windows where the metric failed and no tuples were emitted.
+    pub failures: usize,
+}
+
+/// Schema of generated views: `(t, lambda, lo, hi)` + tuple probability.
+pub fn view_schema() -> Schema {
+    Schema::of(&[
+        ("t", ColumnType::Int),
+        ("lambda", ColumnType::Int),
+        ("lo", ColumnType::Float),
+        ("hi", ColumnType::Float),
+    ])
+}
+
+/// The Ω-view builder.
+#[derive(Debug, Clone)]
+pub struct OmegaViewBuilder {
+    config: ViewBuilderConfig,
+}
+
+impl OmegaViewBuilder {
+    /// Creates a builder after validating the configuration.
+    pub fn new(config: ViewBuilderConfig) -> Result<Self, CoreError> {
+        config.metric_config.validate()?;
+        if config.window == 0 {
+            return Err(CoreError::InvalidConfig(
+                "view builder window must be positive".into(),
+            ));
+        }
+        Ok(OmegaViewBuilder { config })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ViewBuilderConfig {
+        &self.config
+    }
+
+    /// Builds the probabilistic view for `series` over the Ω lattice,
+    /// restricted to timestamps in `time_bounds` (inclusive; `None` means
+    /// the whole series). Window history may extend before the bound —
+    /// the interval restricts which tuples are *emitted*, matching the
+    /// `WHERE` semantics of the paper's Fig. 7 query.
+    pub fn build(
+        &self,
+        series: &TimeSeries,
+        omega: OmegaSpec,
+        view_name: &str,
+        time_bounds: Option<(i64, i64)>,
+    ) -> Result<BuiltView, CoreError> {
+        let h = self.config.window;
+        let mut metric = make_metric(self.config.metric, self.config.metric_config)?;
+        if h < metric.min_window() {
+            return Err(CoreError::WindowTooShort {
+                needed: metric.min_window(),
+                got: h,
+            });
+        }
+        let values = series.values();
+        let times = series.timestamps();
+
+        // Pass 1: infer a density per emitted timestamp.
+        let mut densities: Vec<(i64, Density)> = Vec::new();
+        let mut failures = 0usize;
+        let infer_started = Instant::now();
+        for t in h..values.len() {
+            if let Some((lo, hi)) = time_bounds {
+                if times[t] < lo || times[t] > hi {
+                    continue;
+                }
+            }
+            match metric.infer(&values[t - h..t]) {
+                Ok(inf) => densities.push((times[t], inf.density)),
+                Err(_) => failures += 1,
+            }
+        }
+        let inference_time = infer_started.elapsed();
+
+        // Optional σ-cache over the Gaussian σ̂ spread of this view (the
+        // paper computes min/max σ̂ over tuples matching the WHERE clause).
+        let mut cache = match self.config.cache {
+            Some(cfg) => {
+                let sigmas: Vec<f64> = densities
+                    .iter()
+                    .filter(|(_, d)| matches!(d, Density::Gaussian(_)))
+                    .map(|(_, d)| d.std())
+                    .collect();
+                match (
+                    sigmas.iter().cloned().fold(f64::INFINITY, f64::min),
+                    sigmas.iter().cloned().fold(0.0f64, f64::max),
+                ) {
+                    (lo, hi) if lo.is_finite() && hi > 0.0 => {
+                        Some(SigmaCache::build(lo, hi, omega, cfg)?)
+                    }
+                    _ => None,
+                }
+            }
+            None => None,
+        };
+
+        // Pass 2: generate probability values per tuple (eq. 9).
+        let mut view = ProbTable::new(view_name.to_string(), view_schema());
+        let mut model = Vec::with_capacity(densities.len());
+        let gen_started = Instant::now();
+        for (time, density) in &densities {
+            model.push(ModelRow {
+                time: *time,
+                expected: density.mean(),
+                sigma: density.std(),
+            });
+            let rows: Vec<ProbabilityValue> = match (&mut cache, density) {
+                (Some(c), Density::Gaussian(g)) => c.probability_values(g.mean(), g.std()),
+                (Some(_), other) => {
+                    // Uniform densities bypass the Gaussian cache.
+                    probability_values(other, &omega)
+                }
+                (None, Density::Gaussian(g)) => {
+                    direct_probability_values(g.mean(), g.std(), &omega)
+                }
+                (None, other) => probability_values(other, &omega),
+            };
+            for pv in rows {
+                view.insert(
+                    vec![
+                        Value::Int(*time),
+                        Value::Int(pv.lambda),
+                        Value::Float(pv.lo),
+                        Value::Float(pv.hi),
+                    ],
+                    pv.rho.clamp(0.0, 1.0),
+                )?;
+            }
+        }
+        let generation_time = gen_started.elapsed();
+
+        Ok(BuiltView {
+            view,
+            model,
+            cache_stats: cache.as_ref().map(|c| c.stats()),
+            cache_len: cache.as_ref().map(|c| c.len()),
+            cache_bytes: cache.as_ref().map(|c| c.memory_bytes()),
+            inference_time,
+            generation_time,
+            failures,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tspdb_timeseries::generate::TemperatureGenerator;
+
+    fn series(n: usize) -> TimeSeries {
+        TemperatureGenerator::default().generate(n)
+    }
+
+    fn builder(cache: Option<SigmaCacheConfig>) -> OmegaViewBuilder {
+        OmegaViewBuilder::new(ViewBuilderConfig {
+            cache,
+            ..ViewBuilderConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn builds_view_with_expected_shape() {
+        let s = series(200);
+        let omega = OmegaSpec::new(0.5, 8).unwrap();
+        let built = builder(None).build(&s, omega, "pv", None).unwrap();
+        // 200 − 60 emitted timestamps × 8 cells.
+        assert_eq!(built.model.len(), 140);
+        assert_eq!(built.view.len(), 140 * 8);
+        assert_eq!(built.view.name(), "pv");
+        assert!(built.failures == 0);
+        // Every tuple's probability is valid and per-t masses sum ≤ 1.
+        let mut per_t = std::collections::BTreeMap::new();
+        for (row, p) in built.view.iter() {
+            assert!((0.0..=1.0).contains(&p));
+            *per_t.entry(row[0].as_i64().unwrap()).or_insert(0.0) += p;
+        }
+        for (&t, &mass) in &per_t {
+            assert!(mass <= 1.0 + 1e-9, "t {t}: mass {mass}");
+            assert!(mass > 0.5, "t {t}: lattice too narrow ({mass})");
+        }
+    }
+
+    #[test]
+    fn cached_and_naive_views_agree_within_tolerance() {
+        let s = series(260);
+        let omega = OmegaSpec::new(0.2, 20).unwrap();
+        let naive = builder(None).build(&s, omega, "pv", None).unwrap();
+        let cached = builder(Some(SigmaCacheConfig::default()))
+            .build(&s, omega, "pv", None)
+            .unwrap();
+        assert_eq!(naive.view.len(), cached.view.len());
+        let mut max_err = 0.0f64;
+        for ((_, pn), (_, pc)) in naive.view.iter().zip(cached.view.iter()) {
+            max_err = max_err.max((pn - pc).abs());
+        }
+        // H′ = 0.01 keeps per-cell error tiny.
+        assert!(max_err < 0.02, "cache error {max_err}");
+        let stats = cached.cache_stats.unwrap();
+        assert!(stats.hits > 0);
+        assert_eq!(stats.misses, 0);
+        assert!(cached.cache_len.unwrap() >= 1);
+    }
+
+    #[test]
+    fn time_bounds_restrict_emitted_tuples() {
+        let s = series(200); // timestamps 0, 120, 240, …
+        let omega = OmegaSpec::new(0.5, 4).unwrap();
+        let t_lo = s.timestamps()[100];
+        let t_hi = s.timestamps()[109];
+        let built = builder(None)
+            .build(&s, omega, "pv", Some((t_lo, t_hi)))
+            .unwrap();
+        assert_eq!(built.model.len(), 10);
+        for row in built.model {
+            assert!(row.time >= t_lo && row.time <= t_hi);
+        }
+    }
+
+    #[test]
+    fn model_rows_match_view_lattice_centres() {
+        let s = series(120);
+        let omega = OmegaSpec::new(0.5, 4).unwrap();
+        let built = builder(None).build(&s, omega, "pv", None).unwrap();
+        // For each model row, the λ = 0 tuple's lo equals r̂.
+        for m in &built.model {
+            let lo0 = built
+                .view
+                .iter()
+                .find(|(row, _)| {
+                    row[0].as_i64() == Some(m.time) && row[1].as_i64() == Some(0)
+                })
+                .map(|(row, _)| row[2].as_f64().unwrap())
+                .unwrap();
+            assert!((lo0 - m.expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn uniform_metric_views_bypass_cache() {
+        let s = series(150);
+        let omega = OmegaSpec::new(0.5, 4).unwrap();
+        let b = OmegaViewBuilder::new(ViewBuilderConfig {
+            metric: MetricKind::UniformThresholding,
+            metric_config: MetricConfig {
+                threshold_u: 1.0,
+                ..MetricConfig::default()
+            },
+            window: 60,
+            cache: Some(SigmaCacheConfig::default()),
+        })
+        .unwrap();
+        let built = b.build(&s, omega, "pv", None).unwrap();
+        assert!(!built.view.is_empty());
+        // Uniform densities never hit the Gaussian ladder.
+        if let Some(stats) = built.cache_stats {
+            assert_eq!(stats.hits, 0);
+        }
+    }
+
+    #[test]
+    fn window_shorter_than_metric_minimum_is_rejected() {
+        let err = OmegaViewBuilder::new(ViewBuilderConfig {
+            window: 10,
+            ..ViewBuilderConfig::default()
+        })
+        .unwrap()
+        .build(
+            &series(100),
+            OmegaSpec::new(0.5, 4).unwrap(),
+            "pv",
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::WindowTooShort { .. }));
+    }
+
+    #[test]
+    fn empty_time_range_builds_empty_view() {
+        let s = series(120);
+        let omega = OmegaSpec::new(0.5, 4).unwrap();
+        let built = builder(None)
+            .build(&s, omega, "pv", Some((i64::MAX - 1, i64::MAX)))
+            .unwrap();
+        assert!(built.view.is_empty());
+        assert!(built.model.is_empty());
+    }
+}

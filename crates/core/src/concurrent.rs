@@ -1,0 +1,128 @@
+//! Thread-safe σ-cache sharing.
+//!
+//! The paper positions the σ-cache as "an attractive solution for
+//! large-scale data processing"; in a server setting many query threads
+//! answer probability value generation queries against one cache. A built
+//! [`SigmaCache`] is read-mostly (lookups only mutate hit/miss counters),
+//! so a [`parking_lot::Mutex`] around it gives cheap sharing without
+//! poisoning semantics; [`SharedSigmaCache`] is `Clone + Send + Sync` and
+//! can be handed to worker threads directly.
+
+use crate::error::CoreError;
+use crate::omega::{OmegaSpec, ProbabilityValue};
+use crate::sigma_cache::{CacheStats, SigmaCache, SigmaCacheConfig};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A cloneable handle to a shared σ-cache.
+#[derive(Debug, Clone)]
+pub struct SharedSigmaCache {
+    inner: Arc<Mutex<SigmaCache>>,
+}
+
+impl SharedSigmaCache {
+    /// Builds the underlying cache (same parameters as
+    /// [`SigmaCache::build`]) and wraps it for sharing.
+    pub fn build(
+        min_sigma: f64,
+        max_sigma: f64,
+        omega: OmegaSpec,
+        config: SigmaCacheConfig,
+    ) -> Result<Self, CoreError> {
+        Ok(SharedSigmaCache {
+            inner: Arc::new(Mutex::new(SigmaCache::build(
+                min_sigma, max_sigma, omega, config,
+            )?)),
+        })
+    }
+
+    /// Wraps an already-built cache.
+    pub fn from_cache(cache: SigmaCache) -> Self {
+        SharedSigmaCache {
+            inner: Arc::new(Mutex::new(cache)),
+        }
+    }
+
+    /// Answers the probability value generation query (see
+    /// [`SigmaCache::probability_values`]).
+    pub fn probability_values(&self, r_hat: f64, sigma: f64) -> Vec<ProbabilityValue> {
+        self.inner.lock().probability_values(r_hat, sigma)
+    }
+
+    /// Aggregated usage counters across all threads.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats()
+    }
+
+    /// Number of cached distributions.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether the ladder is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.inner.lock().memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sigma_cache::direct_probability_values;
+
+    fn shared() -> SharedSigmaCache {
+        SharedSigmaCache::build(
+            0.1,
+            10.0,
+            OmegaSpec::new(0.1, 20).unwrap(),
+            SigmaCacheConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn concurrent_queries_agree_with_direct_evaluation() {
+        let cache = shared();
+        let omega = OmegaSpec::new(0.1, 20).unwrap();
+        let handles: Vec<_> = (0..8)
+            .map(|worker| {
+                let cache = cache.clone();
+                std::thread::spawn(move || {
+                    for i in 0..200 {
+                        let sigma = 0.1 + (worker * 200 + i) as f64 * 0.006;
+                        let got = cache.probability_values(5.0, sigma);
+                        let want = direct_probability_values(5.0, sigma, &omega);
+                        for (g, w) in got.iter().zip(&want) {
+                            assert!(
+                                (g.rho - w.rho).abs() < 0.05,
+                                "worker {worker}: σ {sigma} mismatch"
+                            );
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 8 * 200);
+        assert_eq!(stats.misses, 0, "all sigmas were in range");
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let cache = shared();
+        let clone = cache.clone();
+        clone.probability_values(0.0, 1.0);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.len(), clone.len());
+        assert!(!cache.is_empty());
+        assert!(cache.memory_bytes() > 0);
+    }
+}

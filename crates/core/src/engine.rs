@@ -1,0 +1,371 @@
+//! The end-to-end engine: SQL in, probabilistic views out.
+//!
+//! [`Engine`] glues the substrate together: it owns a
+//! [`tspdb_probdb::Database`], loads time series as `raw_values`-style
+//! tables, and executes the paper's SQL-like statements — including the
+//! Fig. 7 `CREATE VIEW … AS DENSITY …` query, which it fulfils with the
+//! [`OmegaViewBuilder`]. This is the "offline mode" of the framework; the
+//! "online mode" lives in [`crate::online`].
+
+use crate::builder::{BuiltView, OmegaViewBuilder, ViewBuilderConfig};
+use crate::error::CoreError;
+use crate::metrics::MetricKind;
+use crate::omega::OmegaSpec;
+use tspdb_probdb::{
+    CmpOp, ColumnType, Conjunction, Database, DbError, DensityViewSpec, ProbTable, QueryOutput,
+    Schema, Table, Value,
+};
+use tspdb_timeseries::TimeSeries;
+
+/// Build diagnostics of the most recent `CREATE VIEW … AS DENSITY`.
+#[derive(Debug, Clone)]
+pub struct LastBuild {
+    /// Name of the created view.
+    pub view_name: String,
+    /// Full diagnostics from the builder.
+    pub built: BuiltView,
+}
+
+/// The offline query engine.
+#[derive(Debug)]
+pub struct Engine {
+    db: Database,
+    defaults: ViewBuilderConfig,
+    last_build: Option<LastBuild>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new(ViewBuilderConfig::default())
+    }
+}
+
+impl Engine {
+    /// Creates an engine with the given default view-builder configuration
+    /// (individual queries may override the metric and window via
+    /// `USING METRIC …` / `WINDOW …`).
+    pub fn new(defaults: ViewBuilderConfig) -> Self {
+        Engine {
+            db: Database::new(),
+            defaults,
+            last_build: None,
+        }
+    }
+
+    /// Read access to the underlying database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable access to the underlying database.
+    pub fn db_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Diagnostics of the most recent density-view build.
+    pub fn last_build(&self) -> Option<&LastBuild> {
+        self.last_build.as_ref()
+    }
+
+    /// Loads a time series as a two-column table `(t INT, <value_col>
+    /// FLOAT)` — the `raw_values` table of the paper's running example.
+    pub fn load_series(
+        &mut self,
+        table_name: &str,
+        value_column: &str,
+        series: &TimeSeries,
+    ) -> Result<(), CoreError> {
+        let schema = Schema::new(vec![
+            ("t".to_string(), ColumnType::Int),
+            (value_column.to_string(), ColumnType::Float),
+        ]);
+        let mut table = Table::new(table_name.to_string(), schema);
+        for obs in series.iter() {
+            table.insert(vec![Value::Int(obs.time), Value::Float(obs.value)])?;
+        }
+        self.db.register_table(table)?;
+        Ok(())
+    }
+
+    /// Executes one SQL statement; `CREATE VIEW … AS DENSITY` is fulfilled
+    /// by the Ω-view builder, everything else by the database layer.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryOutput, CoreError> {
+        let stmt = tspdb_probdb::parse(sql)?;
+        match stmt {
+            tspdb_probdb::Statement::CreateDensityView(spec) => {
+                let (view, built) = self.build_density_view(&spec)?;
+                self.db.register_prob_table(view)?;
+                self.last_build = Some(LastBuild {
+                    view_name: spec.view_name.clone(),
+                    built,
+                });
+                Ok(QueryOutput::None)
+            }
+            _ => {
+                // Delegate; the statement was already validated by parse.
+                self.db.execute(sql).map_err(CoreError::from)
+            }
+        }
+    }
+
+    /// Fulfils a density-view spec against the current database.
+    fn build_density_view(
+        &self,
+        spec: &DensityViewSpec,
+    ) -> Result<(ProbTable, BuiltView), CoreError> {
+        let source = self.db.table(&spec.source_table)?;
+        let series = table_to_series(source, &spec.time_column, &spec.value_column)?;
+        let omega = OmegaSpec::new(spec.delta, spec.n)?;
+        let bounds = time_bounds_from_predicate(&spec.predicate, &spec.time_column)?;
+
+        let mut config = self.defaults;
+        if let Some(name) = &spec.metric {
+            config.metric = MetricKind::parse(name)?;
+        }
+        if let Some(w) = spec.window {
+            config.window = w;
+        }
+        let builder = OmegaViewBuilder::new(config)?;
+        let built = builder.build(&series, omega, &spec.view_name, bounds)?;
+        Ok((built.view.clone(), built))
+    }
+}
+
+/// Converts a `(time, value)` table into a [`TimeSeries`], sorting by the
+/// time column.
+pub fn table_to_series(
+    table: &Table,
+    time_column: &str,
+    value_column: &str,
+) -> Result<TimeSeries, CoreError> {
+    let t_idx = table.schema().index_of(time_column)?;
+    let v_idx = table.schema().index_of(value_column)?;
+    let mut pairs: Vec<(i64, f64)> = Vec::with_capacity(table.len());
+    for row in table.rows() {
+        let t = row[t_idx].as_i64().ok_or_else(|| {
+            CoreError::Db(DbError::TypeMismatch {
+                column: time_column.to_string(),
+                expected: ColumnType::Int,
+                got: row[t_idx].column_type(),
+            })
+        })?;
+        let v = row[v_idx].as_f64().ok_or_else(|| {
+            CoreError::Db(DbError::TypeMismatch {
+                column: value_column.to_string(),
+                expected: ColumnType::Float,
+                got: row[v_idx].column_type(),
+            })
+        })?;
+        pairs.push((t, v));
+    }
+    pairs.sort_by_key(|&(t, _)| t);
+    if pairs.windows(2).any(|w| w[0].0 == w[1].0) {
+        return Err(CoreError::InvalidConfig(format!(
+            "duplicate timestamps in {}.{time_column}",
+            table.name()
+        )));
+    }
+    let (timestamps, values): (Vec<i64>, Vec<f64>) = pairs.into_iter().unzip();
+    Ok(TimeSeries::from_parts(
+        value_column.to_string(),
+        timestamps,
+        values,
+    ))
+}
+
+/// Reduces a conjunction over the time column into inclusive `(lo, hi)`
+/// bounds. Only comparisons on the time column are allowed in a density
+/// view's `WHERE` clause (the paper's queries restrict time intervals).
+pub fn time_bounds_from_predicate(
+    pred: &Conjunction,
+    time_column: &str,
+) -> Result<Option<(i64, i64)>, CoreError> {
+    if pred.is_empty() {
+        return Ok(None);
+    }
+    let mut lo = i64::MIN;
+    let mut hi = i64::MAX;
+    for cmp in pred {
+        if cmp.column != time_column {
+            return Err(CoreError::InvalidConfig(format!(
+                "density view WHERE clauses may only reference the time column \
+                 {time_column:?}, found {:?}",
+                cmp.column
+            )));
+        }
+        let v = cmp.value.as_i64().or_else(|| {
+            cmp.value.as_f64().map(|f| f as i64)
+        });
+        let v = v.ok_or_else(|| {
+            CoreError::InvalidConfig("time predicate literal must be numeric".into())
+        })?;
+        match cmp.op {
+            CmpOp::Ge => lo = lo.max(v),
+            CmpOp::Gt => lo = lo.max(v.saturating_add(1)),
+            CmpOp::Le => hi = hi.min(v),
+            CmpOp::Lt => hi = hi.min(v.saturating_sub(1)),
+            CmpOp::Eq => {
+                lo = lo.max(v);
+                hi = hi.min(v);
+            }
+            CmpOp::Ne => {
+                return Err(CoreError::InvalidConfig(
+                    "'!=' is not meaningful for a time interval".into(),
+                ))
+            }
+        }
+    }
+    Ok(Some((lo, hi)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricConfig;
+    use tspdb_probdb::Comparison;
+    use tspdb_timeseries::generate::TemperatureGenerator;
+
+    fn engine_with_series(n: usize) -> Engine {
+        let mut e = Engine::new(ViewBuilderConfig {
+            window: 60,
+            metric_config: MetricConfig {
+                p: 1,
+                ..MetricConfig::default()
+            },
+            ..ViewBuilderConfig::default()
+        });
+        let s = TemperatureGenerator::default().generate(n);
+        e.load_series("raw_values", "r", &s).unwrap();
+        e
+    }
+
+    #[test]
+    fn end_to_end_density_view_via_sql() {
+        let mut e = engine_with_series(150);
+        e.execute(
+            "CREATE VIEW prob_view AS DENSITY r OVER t OMEGA delta=0.5, n=6 FROM raw_values",
+        )
+        .unwrap();
+        let out = e.execute("SELECT * FROM prob_view LIMIT 6").unwrap();
+        let rows = out.prob_rows().unwrap();
+        assert_eq!(rows.len(), 6);
+        let lb = e.last_build().unwrap();
+        assert_eq!(lb.view_name, "prob_view");
+        assert_eq!(lb.built.model.len(), 90);
+    }
+
+    #[test]
+    fn where_clause_limits_time_interval() {
+        let mut e = engine_with_series(200);
+        // Timestamps are 0, 120, 240, …; pick an interval covering 5 ticks
+        // past the warm-up window of 60 samples (t = 7200 s).
+        e.execute(
+            "CREATE VIEW pv AS DENSITY r OVER t OMEGA delta=1, n=4 \
+             FROM raw_values WHERE t >= 12000 AND t <= 12480",
+        )
+        .unwrap();
+        let view = e.db().prob_table("pv").unwrap();
+        assert_eq!(view.len(), 5 * 4);
+        for (row, _) in view.iter() {
+            let t = row[0].as_i64().unwrap();
+            assert!((12000..=12480).contains(&t));
+        }
+    }
+
+    #[test]
+    fn using_metric_and_window_override_defaults() {
+        let mut e = engine_with_series(150);
+        e.execute(
+            "CREATE VIEW pv AS DENSITY r OVER t OMEGA delta=1, n=4 \
+             FROM raw_values USING METRIC vt WINDOW 80",
+        )
+        .unwrap();
+        // Window 80 ⇒ 150 − 80 = 70 model rows.
+        assert_eq!(e.last_build().unwrap().built.model.len(), 70);
+    }
+
+    #[test]
+    fn unknown_metric_is_reported() {
+        let mut e = engine_with_series(120);
+        let err = e
+            .execute(
+                "CREATE VIEW pv AS DENSITY r OVER t OMEGA delta=1, n=4 \
+                 FROM raw_values USING METRIC bogus",
+            )
+            .unwrap_err();
+        assert!(matches!(err, CoreError::UnknownMetric(_)));
+    }
+
+    #[test]
+    fn non_time_predicate_is_rejected() {
+        let mut e = engine_with_series(120);
+        let err = e
+            .execute(
+                "CREATE VIEW pv AS DENSITY r OVER t OMEGA delta=1, n=4 \
+                 FROM raw_values WHERE r >= 1",
+            )
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn time_bounds_reduction() {
+        let pred = vec![
+            Comparison::new("t", CmpOp::Ge, 10i64),
+            Comparison::new("t", CmpOp::Le, 20i64),
+            Comparison::new("t", CmpOp::Gt, 11i64),
+            Comparison::new("t", CmpOp::Lt, 20i64),
+        ];
+        let bounds = time_bounds_from_predicate(&pred, "t").unwrap();
+        assert_eq!(bounds, Some((12, 19)));
+        assert_eq!(time_bounds_from_predicate(&Vec::new(), "t").unwrap(), None);
+        let eq = vec![Comparison::new("t", CmpOp::Eq, 5i64)];
+        assert_eq!(time_bounds_from_predicate(&eq, "t").unwrap(), Some((5, 5)));
+        let ne = vec![Comparison::new("t", CmpOp::Ne, 5i64)];
+        assert!(time_bounds_from_predicate(&ne, "t").is_err());
+    }
+
+    #[test]
+    fn table_to_series_sorts_and_validates() {
+        let schema = Schema::of(&[("t", ColumnType::Int), ("r", ColumnType::Float)]);
+        let mut table = Table::new("raw", schema.clone());
+        table.insert(vec![Value::Int(3), Value::Float(3.0)]).unwrap();
+        table.insert(vec![Value::Int(1), Value::Float(1.0)]).unwrap();
+        table.insert(vec![Value::Int(2), Value::Float(2.0)]).unwrap();
+        let s = table_to_series(&table, "t", "r").unwrap();
+        assert_eq!(s.values(), &[1.0, 2.0, 3.0]);
+
+        let mut dup = Table::new("raw", schema);
+        dup.insert(vec![Value::Int(1), Value::Float(1.0)]).unwrap();
+        dup.insert(vec![Value::Int(1), Value::Float(2.0)]).unwrap();
+        assert!(table_to_series(&dup, "t", "r").is_err());
+    }
+
+    #[test]
+    fn ordinary_sql_still_works_through_engine() {
+        let mut e = Engine::default();
+        e.execute("CREATE TABLE x (a INT)").unwrap();
+        e.execute("INSERT INTO x VALUES (1), (2)").unwrap();
+        let out = e.execute("SELECT * FROM x WHERE a > 1").unwrap();
+        assert_eq!(out.rows().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn fig1_style_query_on_view() {
+        // Downstream probabilistic query over the created view: the most
+        // probable range per timestamp (the "which room is Alice in" shape).
+        let mut e = engine_with_series(130);
+        e.execute(
+            "CREATE VIEW pv AS DENSITY r OVER t OMEGA delta=0.5, n=4 FROM raw_values",
+        )
+        .unwrap();
+        let view = e.db().prob_table("pv").unwrap();
+        let best = tspdb_probdb::query::most_probable_per_group(view, "t").unwrap();
+        assert_eq!(best.len(), 70);
+        // The winning cell must be adjacent to the mean (λ ∈ {−1, 0}).
+        for (row, _) in best.iter() {
+            let lambda = row[1].as_i64().unwrap();
+            assert!((-1..=0).contains(&lambda), "winning λ = {lambda}");
+        }
+    }
+}

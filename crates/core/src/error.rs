@@ -1,0 +1,114 @@
+//! Error type for the engine layer.
+
+use std::fmt;
+use tspdb_probdb::DbError;
+use tspdb_stats::StatsError;
+
+/// Errors surfaced by the density-metric / view-builder layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The sliding window is too short for the requested metric.
+    WindowTooShort {
+        /// Minimum length required.
+        needed: usize,
+        /// Length supplied.
+        got: usize,
+    },
+    /// A numerical routine failed.
+    Numerics(StatsError),
+    /// The database layer reported a failure.
+    Db(DbError),
+    /// σ-cache constraints are mutually unsatisfiable (distance constraint
+    /// demands a finer ladder than the memory constraint allows).
+    CacheConstraintsConflict {
+        /// Maximum admissible ratio from the distance constraint (eq. 11).
+        ds_distance: f64,
+        /// Minimum admissible ratio from the memory constraint (eq. 14).
+        ds_memory: f64,
+    },
+    /// Configuration rejected (bad κ, odd n, …) with an explanation.
+    InvalidConfig(String),
+    /// The requested metric name is unknown.
+    UnknownMetric(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::WindowTooShort { needed, got } => {
+                write!(f, "window too short: metric needs {needed} values, got {got}")
+            }
+            CoreError::Numerics(e) => write!(f, "numerics: {e}"),
+            CoreError::Db(e) => write!(f, "database: {e}"),
+            CoreError::CacheConstraintsConflict {
+                ds_distance,
+                ds_memory,
+            } => write!(
+                f,
+                "sigma-cache constraints conflict: distance constraint allows ratio ≤ \
+                 {ds_distance:.6}, memory constraint requires ratio ≥ {ds_memory:.6}; \
+                 relax one of them (paper Section VI-B trade-off)"
+            ),
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::UnknownMetric(name) => write!(
+                f,
+                "unknown dynamic density metric {name:?} (expected one of: ut, vt, \
+                 arma_garch, kalman_garch, cgarch)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Numerics(e) => Some(e),
+            CoreError::Db(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StatsError> for CoreError {
+    fn from(e: StatsError) -> Self {
+        match e {
+            StatsError::InsufficientData { needed, got } => {
+                CoreError::WindowTooShort { needed, got }
+            }
+            other => CoreError::Numerics(other),
+        }
+    }
+}
+
+impl From<DbError> for CoreError {
+    fn from(e: DbError) -> Self {
+        CoreError::Db(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insufficient_data_maps_to_window_too_short() {
+        let e: CoreError = StatsError::InsufficientData { needed: 30, got: 5 }.into();
+        assert_eq!(e, CoreError::WindowTooShort { needed: 30, got: 5 });
+    }
+
+    #[test]
+    fn conflict_message_mentions_both_bounds() {
+        let e = CoreError::CacheConstraintsConflict {
+            ds_distance: 1.02,
+            ds_memory: 1.5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("1.02") && msg.contains("1.5"));
+    }
+
+    #[test]
+    fn unknown_metric_lists_options() {
+        let msg = CoreError::UnknownMetric("garch2".into()).to_string();
+        assert!(msg.contains("arma_garch"));
+    }
+}

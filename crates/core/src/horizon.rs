@@ -1,0 +1,210 @@
+//! Multi-step forecast views (extension).
+//!
+//! The paper's views cover observed timestamps; a natural extension the
+//! framework supports directly is a *forecast view*: densities for the next
+//! `k` unobserved steps, from the same fitted ARMA + GARCH pair Algorithm 1
+//! estimates. The k-step mean follows the ARMA recursion with zero future
+//! innovations, and the k-step predictive variance accumulates the ψ-weight
+//! expansion over the GARCH variance path (see
+//! `tspdb_models::forecast`). Each horizon's density then feeds the usual
+//! probability value generation query.
+
+use crate::error::CoreError;
+use crate::metrics::MetricConfig;
+use crate::omega::{probability_values, OmegaSpec, ProbabilityValue};
+use tspdb_models::arma::fit_arma;
+use tspdb_models::forecast::{arma_forecast_path, forecast_density_variances};
+use tspdb_models::garch::fit_garch11;
+use tspdb_stats::{Density, Normal};
+
+/// One forecast-horizon density: the predictive distribution of `r_{t+k}`.
+#[derive(Debug, Clone, Copy)]
+pub struct HorizonDensity {
+    /// Steps ahead (1-based: 1 is the paper's usual one-step case).
+    pub steps_ahead: usize,
+    /// Predictive density.
+    pub density: Density,
+}
+
+/// Infers predictive densities for the next `horizon` steps from a window,
+/// using the ARMA-GARCH machinery of Algorithm 1.
+pub fn forecast_densities(
+    window: &[f64],
+    config: &MetricConfig,
+    horizon: usize,
+) -> Result<Vec<HorizonDensity>, CoreError> {
+    if horizon == 0 {
+        return Ok(Vec::new());
+    }
+    let arma = fit_arma(window, config.p, config.q)?;
+    let means = arma_forecast_path(&arma, window, horizon)?;
+    let residuals = arma.usable_residuals();
+    let garch = fit_garch11(residuals).map_err(CoreError::from)?;
+    let last_a = residuals.last().copied().unwrap_or(0.0);
+    let last_s2 = garch
+        .sigma2
+        .last()
+        .copied()
+        .unwrap_or_else(|| garch.unconditional_variance());
+    let vars = forecast_density_variances(&arma, &garch, last_a, last_s2, horizon);
+    means
+        .into_iter()
+        .zip(vars)
+        .enumerate()
+        .map(|(i, (mean, var))| {
+            if !mean.is_finite() || !var.is_finite() || var <= 0.0 {
+                return Err(CoreError::Numerics(
+                    tspdb_stats::StatsError::DegenerateInput(format!(
+                        "non-finite {}-step forecast",
+                        i + 1
+                    )),
+                ));
+            }
+            Ok(HorizonDensity {
+                steps_ahead: i + 1,
+                density: Density::Gaussian(Normal::from_mean_var(mean, var)),
+            })
+        })
+        .collect()
+}
+
+/// A forecast view row: Ω-lattice probability values for one horizon.
+#[derive(Debug, Clone)]
+pub struct HorizonView {
+    /// Steps ahead.
+    pub steps_ahead: usize,
+    /// Expected value at that horizon.
+    pub expected: f64,
+    /// Predictive standard deviation at that horizon.
+    pub sigma: f64,
+    /// The lattice probabilities.
+    pub values: Vec<ProbabilityValue>,
+}
+
+/// Builds the forecast view: one Ω lattice per future step.
+pub fn forecast_view(
+    window: &[f64],
+    config: &MetricConfig,
+    horizon: usize,
+    omega: OmegaSpec,
+) -> Result<Vec<HorizonView>, CoreError> {
+    Ok(forecast_densities(window, config, horizon)?
+        .into_iter()
+        .map(|h| HorizonView {
+            steps_ahead: h.steps_ahead,
+            expected: h.density.mean(),
+            sigma: h.density.std(),
+            values: probability_values(&h.density, &omega),
+        })
+        .collect())
+}
+
+/// Probability that the series exceeds `threshold` exactly `k` steps ahead
+/// (a common monitoring query: "chance we cross 30 °C within the hour").
+pub fn prob_exceeds_at(
+    window: &[f64],
+    config: &MetricConfig,
+    steps_ahead: usize,
+    threshold: f64,
+) -> Result<f64, CoreError> {
+    assert!(steps_ahead >= 1, "prob_exceeds_at: horizon is 1-based");
+    let densities = forecast_densities(window, config, steps_ahead)?;
+    let d = &densities[steps_ahead - 1].density;
+    Ok(1.0 - d.cdf(threshold))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tspdb_timeseries::generate::{ar1_series, TemperatureGenerator};
+
+    fn window() -> Vec<f64> {
+        TemperatureGenerator::default()
+            .generate(160)
+            .values()
+            .to_vec()
+    }
+
+    #[test]
+    fn horizon_densities_widen_with_steps() {
+        let d = forecast_densities(&window(), &MetricConfig::default(), 12).unwrap();
+        assert_eq!(d.len(), 12);
+        // Predictive uncertainty is non-decreasing with the horizon.
+        for pair in d.windows(2) {
+            assert!(
+                pair[1].density.std() >= pair[0].density.std() * 0.999,
+                "σ shrank from step {} to {}",
+                pair[0].steps_ahead,
+                pair[1].steps_ahead
+            );
+        }
+        assert_eq!(d[0].steps_ahead, 1);
+    }
+
+    #[test]
+    fn one_step_density_matches_arma_garch_metric() {
+        use crate::metrics::{ArmaGarch, DynamicDensityMetric};
+        let w = window();
+        let cfg = MetricConfig::default();
+        let horizon = forecast_densities(&w, &cfg, 1).unwrap();
+        let mut metric = ArmaGarch::new(cfg).unwrap();
+        let inf = metric.infer(&w).unwrap();
+        assert!(
+            (horizon[0].density.mean() - inf.expected).abs() < 1e-9,
+            "one-step means differ"
+        );
+        assert!(
+            (horizon[0].density.std() - inf.density.std()).abs() < 1e-9,
+            "one-step sigmas differ"
+        );
+    }
+
+    #[test]
+    fn forecast_view_masses_are_valid() {
+        let omega = OmegaSpec::new(0.5, 8).unwrap();
+        let views = forecast_view(&window(), &MetricConfig::default(), 5, omega).unwrap();
+        assert_eq!(views.len(), 5);
+        for v in &views {
+            let mass: f64 = v.values.iter().map(|pv| pv.rho).sum();
+            assert!(mass <= 1.0 + 1e-9);
+            assert!(v.sigma > 0.0);
+            assert_eq!(v.values.len(), 8);
+        }
+    }
+
+    #[test]
+    fn exceedance_probability_is_monotone_in_threshold() {
+        let w = window();
+        let cfg = MetricConfig::default();
+        let p_low = prob_exceeds_at(&w, &cfg, 3, -100.0).unwrap();
+        let p_mid = prob_exceeds_at(&w, &cfg, 3, w[w.len() - 1]).unwrap();
+        let p_high = prob_exceeds_at(&w, &cfg, 3, 100.0).unwrap();
+        assert!(p_low > 0.999);
+        assert!(p_high < 0.001);
+        assert!((0.0..=1.0).contains(&p_mid));
+    }
+
+    #[test]
+    fn long_horizon_mean_reverts_for_stationary_series() {
+        let s = ar1_series(29, 0.6, 1.0, 2000);
+        let cfg = MetricConfig {
+            p: 1,
+            q: 0,
+            ..MetricConfig::default()
+        };
+        let d = forecast_densities(s.values(), &cfg, 60).unwrap();
+        let series_mean = tspdb_stats::descriptive::mean(s.values());
+        let far = d.last().unwrap().density.mean();
+        assert!(
+            (far - series_mean).abs() < 0.3,
+            "60-step forecast {far} ≉ series mean {series_mean}"
+        );
+    }
+
+    #[test]
+    fn zero_horizon_is_empty() {
+        assert!(forecast_densities(&window(), &MetricConfig::default(), 0)
+            .unwrap()
+            .is_empty());
+    }
+}

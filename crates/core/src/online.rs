@@ -1,0 +1,363 @@
+//! Online mode: streaming probabilistic-view generation (paper Section II,
+//! "In the online mode, the dynamic density metrics infer `p_t(R_t)` as
+//! soon as a new value `r_t` is streamed to the system").
+//!
+//! Offline views know the σ̂ spread up front and can pre-compute the whole
+//! ladder; a stream does not. [`AdaptiveSigmaCache`] therefore grows the
+//! ladder lazily: rungs live at `σ_ref · d_s^q` for integer `q` (both
+//! directions), a rung is materialised the first time a query lands in its
+//! interval, and the Theorem 1 distance guarantee is preserved because a
+//! query with σ̂ is always answered by the rung just below it
+//! (`σ̂ / rung ≤ d_s`). A rung budget caps memory; queries beyond the
+//! budget fall back to direct evaluation (counted as misses).
+
+use crate::error::CoreError;
+use crate::metrics::{make_metric, DynamicDensityMetric, Inference, MetricConfig, MetricKind};
+use crate::omega::{probability_values, OmegaSpec, ProbabilityValue};
+use crate::sigma_cache::{direct_probability_values, CacheStats};
+use std::collections::BTreeMap;
+use tspdb_stats::divergence::ratio_threshold_for_distance;
+use tspdb_stats::special::std_normal_cdf;
+use tspdb_stats::Density;
+
+/// Lazily grown σ-ladder for streaming use.
+#[derive(Debug, Clone)]
+pub struct AdaptiveSigmaCache {
+    omega: OmegaSpec,
+    ds: f64,
+    ln_ds: f64,
+    sigma_ref: Option<f64>,
+    rungs: BTreeMap<i32, Vec<f64>>,
+    max_rungs: usize,
+    stats: CacheStats,
+}
+
+impl AdaptiveSigmaCache {
+    /// Creates the cache with a Hellinger distance constraint `H′` and a
+    /// rung budget.
+    pub fn new(omega: OmegaSpec, h_prime: f64, max_rungs: usize) -> Result<Self, CoreError> {
+        if !(h_prime > 0.0 && h_prime < 1.0) {
+            return Err(CoreError::InvalidConfig(format!(
+                "distance constraint H' must be in (0,1), got {h_prime}"
+            )));
+        }
+        if max_rungs == 0 {
+            return Err(CoreError::InvalidConfig(
+                "adaptive cache needs a positive rung budget".into(),
+            ));
+        }
+        let ds = ratio_threshold_for_distance(h_prime);
+        Ok(AdaptiveSigmaCache {
+            omega,
+            ds,
+            ln_ds: ds.ln(),
+            sigma_ref: None,
+            rungs: BTreeMap::new(),
+            max_rungs,
+            stats: CacheStats::default(),
+        })
+    }
+
+    /// Resolved ratio threshold `d_s`.
+    pub fn ratio_threshold(&self) -> f64 {
+        self.ds
+    }
+
+    /// Number of materialised rungs.
+    pub fn len(&self) -> usize {
+        self.rungs.len()
+    }
+
+    /// Whether no rung has been materialised yet.
+    pub fn is_empty(&self) -> bool {
+        self.rungs.is_empty()
+    }
+
+    /// Usage counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The rung index for a given σ: the largest `q` with
+    /// `σ_ref · d_s^q ≤ σ`.
+    fn rung_index(&self, sigma: f64, sigma_ref: f64) -> i32 {
+        ((sigma / sigma_ref).ln() / self.ln_ds).floor() as i32
+    }
+
+    /// Answers eq. 9 for `N(r̂, σ²)`, materialising the rung on first use.
+    pub fn probability_values(&mut self, r_hat: f64, sigma: f64) -> Vec<ProbabilityValue> {
+        debug_assert!(sigma > 0.0);
+        let sigma_ref = *self.sigma_ref.get_or_insert(sigma);
+        let q = self.rung_index(sigma, sigma_ref);
+        if !self.rungs.contains_key(&q) {
+            if self.rungs.len() >= self.max_rungs {
+                self.stats.misses += 1;
+                return direct_probability_values(r_hat, sigma, &self.omega);
+            }
+            let rung_sigma = sigma_ref * self.ds.powi(q);
+            let cdf = self
+                .omega
+                .offsets()
+                .iter()
+                .map(|&o| std_normal_cdf(o / rung_sigma))
+                .collect();
+            self.rungs.insert(q, cdf);
+        }
+        self.stats.hits += 1;
+        let cdf = &self.rungs[&q];
+        let omega = self.omega;
+        omega
+            .lambdas()
+            .enumerate()
+            .map(|(i, lambda)| {
+                let (lo, hi) = omega.range(r_hat, lambda);
+                ProbabilityValue {
+                    lambda,
+                    lo,
+                    hi,
+                    rho: (cdf[i + 1] - cdf[i]).max(0.0),
+                }
+            })
+            .collect()
+    }
+}
+
+/// One emitted row of the online view stream.
+#[derive(Debug, Clone)]
+pub struct OnlineRow {
+    /// Timestamp of the observation the densities refer to.
+    pub time: i64,
+    /// The inference backing this row.
+    pub inference: Inference,
+    /// The Ω-lattice probability values `Λ_t`.
+    pub values: Vec<ProbabilityValue>,
+}
+
+/// Streaming Ω-view builder: push `(t, r_t)` observations, receive
+/// probability rows as soon as the window has filled.
+pub struct OnlineViewBuilder {
+    metric: Box<dyn DynamicDensityMetric + Send>,
+    omega: OmegaSpec,
+    h: usize,
+    window: Vec<f64>,
+    cache: Option<AdaptiveSigmaCache>,
+}
+
+impl OnlineViewBuilder {
+    /// Creates a streaming builder. `cache_h_prime` enables the adaptive
+    /// σ-cache with the given distance constraint.
+    pub fn new(
+        kind: MetricKind,
+        config: MetricConfig,
+        h: usize,
+        omega: OmegaSpec,
+        cache_h_prime: Option<f64>,
+    ) -> Result<Self, CoreError> {
+        let metric = make_metric(kind, config)?;
+        if h < metric.min_window() {
+            return Err(CoreError::WindowTooShort {
+                needed: metric.min_window(),
+                got: h,
+            });
+        }
+        let cache = match cache_h_prime {
+            Some(hp) => Some(AdaptiveSigmaCache::new(omega, hp, 4096)?),
+            None => None,
+        };
+        Ok(OnlineViewBuilder {
+            metric,
+            omega,
+            h,
+            window: Vec::new(),
+            cache,
+        })
+    }
+
+    /// Number of values still needed before rows are emitted.
+    pub fn warmup_remaining(&self) -> usize {
+        self.h.saturating_sub(self.window.len())
+    }
+
+    /// Cache statistics (when caching is enabled).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Feeds one observation. The density is inferred from the window
+    /// *before* the observation enters it — `p_t` must not peek at `r_t`.
+    pub fn push(&mut self, time: i64, value: f64) -> Result<Option<OnlineRow>, CoreError> {
+        let row = if self.window.len() >= self.h {
+            let inference = self.metric.infer(&self.window)?;
+            let values = match (&mut self.cache, &inference.density) {
+                (Some(c), Density::Gaussian(g)) => c.probability_values(g.mean(), g.std()),
+                _ => probability_values(&inference.density, &self.omega),
+            };
+            Some(OnlineRow {
+                time,
+                inference,
+                values,
+            })
+        } else {
+            None
+        };
+        self.window.push(value);
+        if self.window.len() > self.h {
+            self.window.remove(0);
+        }
+        Ok(row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tspdb_timeseries::generate::TemperatureGenerator;
+
+    #[test]
+    fn adaptive_cache_guarantee_holds() {
+        let omega = OmegaSpec::new(0.1, 10).unwrap();
+        let mut cache = AdaptiveSigmaCache::new(omega, 0.01, 1000).unwrap();
+        let ds = cache.ratio_threshold();
+        for i in 1..400 {
+            let sigma = 0.05 * (1.0 + i as f64 * 0.09);
+            let cached = cache.probability_values(1.0, sigma);
+            let direct = direct_probability_values(1.0, sigma, &omega);
+            for (c, d) in cached.iter().zip(&direct) {
+                // With H' = 0.01 the rho error per cell stays small.
+                assert!(
+                    (c.rho - d.rho).abs() < 0.02,
+                    "σ {sigma}: {} vs {}",
+                    c.rho,
+                    d.rho
+                );
+            }
+        }
+        assert!(ds > 1.0);
+        assert!(cache.stats().hits > 0);
+        assert_eq!(cache.stats().misses, 0);
+    }
+
+    #[test]
+    fn adaptive_cache_reuses_rungs() {
+        let omega = OmegaSpec::new(0.1, 10).unwrap();
+        let mut cache = AdaptiveSigmaCache::new(omega, 0.05, 1000).unwrap();
+        // Many queries inside one d_s interval share a single rung.
+        for i in 0..100 {
+            cache.probability_values(0.0, 1.0 + i as f64 * 1e-4);
+        }
+        assert!(cache.len() <= 2, "rungs {}", cache.len());
+        assert_eq!(cache.stats().hits, 100);
+    }
+
+    #[test]
+    fn adaptive_cache_respects_budget() {
+        let omega = OmegaSpec::new(0.1, 10).unwrap();
+        let mut cache = AdaptiveSigmaCache::new(omega, 0.01, 3).unwrap();
+        // Exponentially spread sigmas force new rungs until the budget hits.
+        for i in 0..10 {
+            cache.probability_values(0.0, 1.0f64 * 3.0f64.powi(i));
+        }
+        assert_eq!(cache.len(), 3);
+        assert!(cache.stats().misses > 0);
+    }
+
+    #[test]
+    fn online_builder_emits_after_warmup() {
+        let omega = OmegaSpec::new(0.5, 6).unwrap();
+        let mut b = OnlineViewBuilder::new(
+            MetricKind::ArmaGarch,
+            MetricConfig::default(),
+            60,
+            omega,
+            Some(0.01),
+        )
+        .unwrap();
+        let s = TemperatureGenerator::default().generate(100);
+        let mut emitted = 0;
+        for obs in s.iter() {
+            if let Some(row) = b.push(obs.time, obs.value).unwrap() {
+                emitted += 1;
+                assert_eq!(row.values.len(), 6);
+                let mass: f64 = row.values.iter().map(|v| v.rho).sum();
+                assert!(mass <= 1.0 + 1e-9);
+            }
+        }
+        assert_eq!(emitted, 40);
+        assert!(b.cache_stats().unwrap().hits > 0);
+    }
+
+    #[test]
+    fn online_density_does_not_peek_at_current_value() {
+        // Feed a constant series with a final outlier: the inference
+        // emitted alongside the outlier must still be centred on the old
+        // regime (it was made before the outlier was admitted).
+        let omega = OmegaSpec::new(0.5, 4).unwrap();
+        let mut b = OnlineViewBuilder::new(
+            MetricKind::VariableThresholding,
+            MetricConfig::default(),
+            60,
+            omega,
+            None,
+        )
+        .unwrap();
+        let s = TemperatureGenerator::default().generate(80);
+        let mut rows = Vec::new();
+        for obs in s.iter() {
+            if let Some(r) = b.push(obs.time, obs.value).unwrap() {
+                rows.push(r);
+            }
+        }
+        let mut b2 = OnlineViewBuilder::new(
+            MetricKind::VariableThresholding,
+            MetricConfig::default(),
+            60,
+            omega,
+            None,
+        )
+        .unwrap();
+        let mut spiked = s.values().to_vec();
+        let last = spiked.len() - 1;
+        spiked[last] += 1000.0;
+        let mut rows2 = Vec::new();
+        for (i, &v) in spiked.iter().enumerate() {
+            if let Some(r) = b2.push(s.timestamps()[i], v).unwrap() {
+                rows2.push(r);
+            }
+        }
+        // The last emitted inference must be identical in both runs.
+        let a = rows.last().unwrap();
+        let b = rows2.last().unwrap();
+        assert_eq!(a.inference.expected, b.inference.expected);
+    }
+
+    #[test]
+    fn warmup_countdown() {
+        let omega = OmegaSpec::new(0.5, 4).unwrap();
+        let mut b = OnlineViewBuilder::new(
+            MetricKind::VariableThresholding,
+            MetricConfig::default(),
+            60,
+            omega,
+            None,
+        )
+        .unwrap();
+        assert_eq!(b.warmup_remaining(), 60);
+        b.push(0, 1.0).unwrap();
+        assert_eq!(b.warmup_remaining(), 59);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let omega = OmegaSpec::new(0.5, 4).unwrap();
+        assert!(AdaptiveSigmaCache::new(omega, 0.0, 10).is_err());
+        assert!(AdaptiveSigmaCache::new(omega, 0.5, 0).is_err());
+        assert!(OnlineViewBuilder::new(
+            MetricKind::ArmaGarch,
+            MetricConfig::default(),
+            5,
+            omega,
+            None
+        )
+        .is_err());
+    }
+}

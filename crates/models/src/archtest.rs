@@ -1,0 +1,251 @@
+//! ARCH-effect hypothesis test (paper Section VII-D).
+//!
+//! Before trusting a GARCH-family metric on a dataset, the paper verifies
+//! that the data actually exhibits time-varying volatility: the squared
+//! ARMA residuals `a²_i` are regressed on their own `m` lags (eq. 15)
+//!
+//! ```text
+//! a²_i = ξ_0 + ξ_1 a²_{i−1} + … + ξ_m a²_{i−m} + e_i
+//! ```
+//!
+//! and the statistic (eq. 16)
+//!
+//! ```text
+//! Φ(m) = ((γ_0 − γ_1)/m) / (γ_1 / (K − 2m − 1))
+//! ```
+//!
+//! is compared against the upper-α chi-square critical value `χ²_m(α)`;
+//! `Φ(m) > χ²_m(α)` rejects "the residuals are i.i.d." and establishes
+//! volatility regimes. Here `γ_0` is the total sum of squares of `a²`,
+//! `γ_1` the residual sum of squares of the regression, and `K` the number
+//! of squared-residual observations entering the test.
+
+use tspdb_stats::error::StatsError;
+use tspdb_stats::regression::{design_with_intercept, ols};
+use tspdb_stats::special::{chi_square_quantile, chi_square_sf};
+
+/// Result of one ARCH-effect test.
+#[derive(Debug, Clone)]
+pub struct ArchTest {
+    /// The statistic `Φ(m)` of eq. 16.
+    pub statistic: f64,
+    /// Number of lags `m` (degrees of freedom of the reference χ²).
+    pub m: usize,
+    /// Significance level α used for the critical value.
+    pub alpha: f64,
+    /// Critical value `χ²_m(α)` (upper-α quantile).
+    pub critical: f64,
+    /// Asymptotic p-value `P(χ²_m > Φ(m))`.
+    pub p_value: f64,
+}
+
+impl ArchTest {
+    /// Whether the null hypothesis of i.i.d. errors is rejected — i.e.
+    /// whether the series exhibits time-varying volatility.
+    pub fn rejects_iid(&self) -> bool {
+        self.statistic > self.critical
+    }
+}
+
+/// Runs the ARCH-effect test on a residual series with `m` lags at
+/// significance level `alpha`.
+///
+/// Requires enough residuals for the denominator degrees of freedom
+/// `K − 2m − 1` to be positive.
+pub fn arch_effect_test(residuals: &[f64], m: usize, alpha: f64) -> Result<ArchTest, StatsError> {
+    assert!(m >= 1, "arch_effect_test: need at least one lag");
+    assert!(
+        (0.0..1.0).contains(&alpha) && alpha > 0.0,
+        "arch_effect_test: alpha must be in (0,1)"
+    );
+    let k_total = residuals.len();
+    // Need K − 2m − 1 > 0 with K the count of squared residuals, and at
+    // least m + 2 regression rows.
+    if k_total < 3 * m + 4 {
+        return Err(StatsError::InsufficientData {
+            needed: 3 * m + 4,
+            got: k_total,
+        });
+    }
+    let sq: Vec<f64> = residuals.iter().map(|a| a * a).collect();
+
+    // Regression rows: i = m .. K−1.
+    let y: Vec<f64> = sq[m..].to_vec();
+    let mut cols: Vec<Vec<f64>> = Vec::with_capacity(m);
+    for j in 1..=m {
+        cols.push((m..k_total).map(|i| sq[i - j]).collect());
+    }
+    let col_refs: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+    let design = design_with_intercept(&col_refs);
+    let fit = ols(&design, &y)?;
+
+    // γ0: total sum of squares of a² around its mean; γ1: RSS.
+    let gamma0 = fit.tss;
+    let gamma1 = fit.rss;
+    if !(gamma1 > 0.0) {
+        return Err(StatsError::DegenerateInput(
+            "ARCH test: regression fits squared residuals exactly".into(),
+        ));
+    }
+    let k = sq.len() as f64;
+    let statistic = ((gamma0 - gamma1) / m as f64) / (gamma1 / (k - 2.0 * m as f64 - 1.0));
+    let critical = chi_square_quantile(1.0 - alpha, m as f64);
+    let p_value = chi_square_sf(statistic.max(0.0), m as f64);
+    Ok(ArchTest {
+        statistic: statistic.max(0.0),
+        m,
+        alpha,
+        critical,
+        p_value,
+    })
+}
+
+/// Averages the `Φ(m)` statistic over every sliding window of length `h`
+/// (stepping by `step` indices) — the aggregation the paper uses for
+/// Fig. 15 ("we compute the value of Φ(m) … on 1800 windows containing 180
+/// samples each … we reject the null hypothesis if the *average* value of
+/// Φ(m) over all windows is greater than χ²_m(α)").
+///
+/// Windows where the test fails (degenerate regression) are skipped.
+/// Returns the mean statistic and the number of windows that contributed.
+pub fn mean_statistic_over_windows(
+    residuals: &[f64],
+    h: usize,
+    step: usize,
+    m: usize,
+    alpha: f64,
+) -> Result<(f64, usize), StatsError> {
+    if residuals.len() < h {
+        return Err(StatsError::InsufficientData {
+            needed: h,
+            got: residuals.len(),
+        });
+    }
+    assert!(step >= 1, "mean_statistic_over_windows: step must be ≥ 1");
+    let mut acc = 0.0;
+    let mut count = 0usize;
+    let mut start = 0;
+    while start + h <= residuals.len() {
+        if let Ok(t) = arch_effect_test(&residuals[start..start + h], m, alpha) {
+            acc += t.statistic;
+            count += 1;
+        }
+        start += step;
+    }
+    if count == 0 {
+        return Err(StatsError::DegenerateInput(
+            "ARCH test failed on every window".into(),
+        ));
+    }
+    Ok((acc / count as f64, count))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tspdb_timeseries::generate::{ar1_series, ArmaGarchGenerator};
+
+    fn garch_innovations(n: usize, seed: u64) -> Vec<f64> {
+        ArmaGarchGenerator {
+            seed,
+            c: 0.0,
+            phi: 0.0,
+            theta: 0.0,
+            alpha0: 0.05,
+            alpha1: 0.3,
+            beta1: 0.6,
+        }
+        .generate(n)
+        .values()
+        .to_vec()
+    }
+
+    #[test]
+    fn rejects_on_garch_innovations() {
+        let a = garch_innovations(4000, 21);
+        for m in 1..=4 {
+            let t = arch_effect_test(&a, m, 0.05).unwrap();
+            assert!(
+                t.rejects_iid(),
+                "m = {m}: Φ = {} ≤ critical {}",
+                t.statistic,
+                t.critical
+            );
+            assert!(t.p_value < 0.05);
+        }
+    }
+
+    #[test]
+    fn accepts_on_iid_noise() {
+        // Homoskedastic innovations: Φ should land below the critical value.
+        let a = ArmaGarchGenerator {
+            seed: 5,
+            c: 0.0,
+            phi: 0.0,
+            theta: 0.0,
+            alpha0: 1.0,
+            alpha1: 0.0,
+            beta1: 0.0,
+        }
+        .generate(4000)
+        .values()
+        .to_vec();
+        let t = arch_effect_test(&a, 3, 0.05).unwrap();
+        assert!(
+            !t.rejects_iid(),
+            "false rejection: Φ = {} > {}",
+            t.statistic,
+            t.critical
+        );
+    }
+
+    #[test]
+    fn critical_values_match_chi_square_tables() {
+        let a = garch_innovations(500, 2);
+        let t1 = arch_effect_test(&a, 1, 0.05).unwrap();
+        assert!((t1.critical - 3.841).abs() < 0.01);
+        let t8 = arch_effect_test(&a, 8, 0.05).unwrap();
+        assert!((t8.critical - 15.507).abs() < 0.01);
+    }
+
+    #[test]
+    fn ar1_levels_are_not_arch() {
+        // Raw AR(1) *residuals* (after removing the AR structure) are iid.
+        let s = ar1_series(77, 0.8, 1.0, 5000);
+        let resid: Vec<f64> = s
+            .values()
+            .windows(2)
+            .map(|w| w[1] - 0.8 * w[0])
+            .collect();
+        let t = arch_effect_test(&resid, 2, 0.05).unwrap();
+        assert!(!t.rejects_iid(), "Φ = {} vs {}", t.statistic, t.critical);
+    }
+
+    #[test]
+    fn windowed_mean_statistic_separates_regimes() {
+        let garch = garch_innovations(6000, 9);
+        let (phi_garch, n1) = mean_statistic_over_windows(&garch, 180, 10, 2, 0.05).unwrap();
+        let iid = ar1_series(13, 0.0, 1.0, 6000).values().to_vec();
+        let (phi_iid, n2) = mean_statistic_over_windows(&iid, 180, 10, 2, 0.05).unwrap();
+        assert!(n1 > 500 && n2 > 500);
+        assert!(
+            phi_garch > phi_iid * 1.5,
+            "windowed Φ does not separate: garch {phi_garch} vs iid {phi_iid}"
+        );
+    }
+
+    #[test]
+    fn insufficient_data_is_rejected() {
+        assert!(matches!(
+            arch_effect_test(&[1.0; 6], 2, 0.05),
+            Err(StatsError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn statistic_is_never_negative() {
+        let a = ar1_series(3, 0.0, 1.0, 200).values().to_vec();
+        let t = arch_effect_test(&a, 4, 0.05).unwrap();
+        assert!(t.statistic >= 0.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Multi-step-ahead forecasting (extension of the paper's one-step
+//! machinery).
+//!
+//! The paper's pipeline only ever needs the one-step forecast `r̂_t`,
+//! `σ̂²_t`; views over *future* horizons (e.g. "probability the temperature
+//! exceeds 30 °C an hour from now") need the k-step extensions:
+//!
+//! * ARMA mean forecasts follow the recursion of eq. 2 with future
+//!   innovations set to their zero mean;
+//! * GARCH(1,1) variance forecasts converge geometrically to the
+//!   unconditional variance:
+//!   `σ²(k) = σ̄² + (α₁+β₁)^{k−1} (σ²(1) − σ̄²)`;
+//! * the k-step density of an ARMA(+GARCH) process is Gaussian with the
+//!   accumulated moving-average variance `Var = Σ_{j<k} ψ_j² σ²(k−j)`
+//!   where `ψ_j` are the ψ-weights of the fitted ARMA model.
+
+use crate::arma::ArmaFit;
+use crate::garch::Garch11Fit;
+use tspdb_stats::error::StatsError;
+
+/// k-step mean forecasts from a fitted ARMA model and its window.
+///
+/// Returns `horizon` values `r̂_{t}, r̂_{t+1}, …`; `window` must be the same
+/// window the model was fitted on (the recursion consumes its tail).
+pub fn arma_forecast_path(
+    fit: &ArmaFit,
+    window: &[f64],
+    horizon: usize,
+) -> Result<Vec<f64>, StatsError> {
+    if window.len() < fit.p.max(fit.q) {
+        return Err(StatsError::InsufficientData {
+            needed: fit.p.max(fit.q),
+            got: window.len(),
+        });
+    }
+    // Extended value/innovation buffers: observed history then forecasts.
+    let mut values = window.to_vec();
+    let mut innov = fit.residuals.clone();
+    innov.resize(values.len(), 0.0);
+    let mut out = Vec::with_capacity(horizon);
+    for _ in 0..horizon {
+        let n = values.len();
+        let mut pred = fit.phi0;
+        for (j, c) in fit.phi.iter().enumerate() {
+            pred += c * values[n - 1 - j];
+        }
+        for (j, c) in fit.theta.iter().enumerate() {
+            pred += c * innov[n - 1 - j];
+        }
+        out.push(pred);
+        values.push(pred);
+        innov.push(0.0); // future innovations have zero expectation
+    }
+    Ok(out)
+}
+
+/// ψ-weights (MA(∞) representation) of a fitted ARMA model, `ψ_0 .. ψ_{k−1}`.
+///
+/// `ψ_0 = 1`, `ψ_j = θ_j + Σ_{i=1..min(j,p)} φ_i ψ_{j−i}` (with `θ_j = 0`
+/// beyond the MA order).
+pub fn psi_weights(fit: &ArmaFit, k: usize) -> Vec<f64> {
+    let mut psi = vec![0.0; k];
+    if k == 0 {
+        return psi;
+    }
+    psi[0] = 1.0;
+    for j in 1..k {
+        let mut w = if j <= fit.q { fit.theta[j - 1] } else { 0.0 };
+        for i in 1..=fit.p.min(j) {
+            w += fit.phi[i - 1] * psi[j - i];
+        }
+        psi[j] = w;
+    }
+    psi
+}
+
+/// k-step conditional variance path of a GARCH(1,1) model:
+/// `σ²(1), σ²(2), …` given the last residual and conditional variance.
+pub fn garch_variance_path(
+    fit: &Garch11Fit,
+    last_a: f64,
+    last_sigma2: f64,
+    horizon: usize,
+) -> Vec<f64> {
+    let mut out = Vec::with_capacity(horizon);
+    let persistence = fit.persistence();
+    let mut s2 = fit.forecast_next(last_a, last_sigma2);
+    for _ in 0..horizon {
+        out.push(s2);
+        // Beyond one step the expected squared residual equals the
+        // conditional variance: σ²(k+1) = α0 + (α1 + β1) σ²(k).
+        s2 = fit.alpha0 + persistence * s2;
+    }
+    out
+}
+
+/// k-step forecast *density* variances of the ARMA+GARCH pair: entry `k`
+/// is the variance of the (k+1)-step-ahead predictive distribution,
+/// `Σ_{j=0..k} ψ_j² σ²(k+1−j)`.
+pub fn forecast_density_variances(
+    arma: &ArmaFit,
+    garch: &Garch11Fit,
+    last_a: f64,
+    last_sigma2: f64,
+    horizon: usize,
+) -> Vec<f64> {
+    let psi = psi_weights(arma, horizon);
+    let sig = garch_variance_path(garch, last_a, last_sigma2, horizon);
+    (0..horizon)
+        .map(|k| {
+            (0..=k)
+                .map(|j| psi[j] * psi[j] * sig[k - j])
+                .sum::<f64>()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arma::fit_arma;
+    use crate::garch::fit_garch11;
+    use tspdb_timeseries::generate::{ar1_series, ArmaGarchGenerator};
+
+    #[test]
+    fn ar1_forecast_path_decays_to_mean() {
+        // AR(1) with φ = 0.8: forecasts decay geometrically toward the
+        // unconditional mean φ0 / (1 − φ).
+        let s = ar1_series(11, 0.8, 1.0, 4000);
+        let fit = fit_arma(s.values(), 1, 0).unwrap();
+        let path = arma_forecast_path(&fit, s.values(), 50).unwrap();
+        let mean = fit.phi0 / (1.0 - fit.phi[0]);
+        // Deviations from the mean shrink by ≈ φ each step.
+        let d0 = (path[0] - mean).abs();
+        let d10 = (path[10] - mean).abs();
+        assert!(d10 < d0 * 0.8f64.powi(9) * 2.0, "decay too slow: {d0} -> {d10}");
+        // Far horizon ≈ unconditional mean.
+        assert!((path[49] - mean).abs() < 0.05 * (1.0 + mean.abs()));
+    }
+
+    #[test]
+    fn one_step_path_matches_fit_forecast() {
+        let s = ar1_series(3, 0.6, 1.0, 500);
+        let fit = fit_arma(s.values(), 2, 0).unwrap();
+        let path = arma_forecast_path(&fit, s.values(), 1).unwrap();
+        assert!((path[0] - fit.forecast).abs() < 1e-12);
+    }
+
+    #[test]
+    fn psi_weights_of_ar1_are_powers_of_phi() {
+        let s = ar1_series(7, 0.7, 1.0, 3000);
+        let fit = fit_arma(s.values(), 1, 0).unwrap();
+        let psi = psi_weights(&fit, 6);
+        assert!((psi[0] - 1.0).abs() < 1e-12);
+        for j in 1..6 {
+            assert!(
+                (psi[j] - fit.phi[0].powi(j as i32)).abs() < 1e-9,
+                "psi[{j}] = {}",
+                psi[j]
+            );
+        }
+    }
+
+    #[test]
+    fn garch_variance_converges_to_unconditional() {
+        let a = ArmaGarchGenerator {
+            c: 0.0,
+            phi: 0.0,
+            theta: 0.0,
+            ..ArmaGarchGenerator::default()
+        }
+        .generate(4000)
+        .values()
+        .to_vec();
+        let fit = fit_garch11(&a).unwrap();
+        let path = garch_variance_path(&fit, 3.0, 2.0, 500);
+        let unconditional = fit.unconditional_variance();
+        // Starts elevated (large last shock), converges monotonically.
+        assert!(path[0] > unconditional);
+        assert!((path[499] - unconditional).abs() < 0.01 * unconditional);
+        for w in path.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "variance path must decay here");
+        }
+    }
+
+    #[test]
+    fn density_variances_grow_with_horizon() {
+        // Predictive variance accumulates ψ² terms, so it must be
+        // non-decreasing in the horizon for an AR(1) with positive φ.
+        let s = ar1_series(19, 0.7, 1.0, 3000);
+        let arma = fit_arma(s.values(), 1, 0).unwrap();
+        let garch = fit_garch11(arma.usable_residuals()).unwrap();
+        let vars = forecast_density_variances(&arma, &garch, 0.5, 1.0, 20);
+        for w in vars.windows(2) {
+            assert!(w[1] >= w[0] * 0.999, "predictive variance shrank: {w:?}");
+        }
+        // Long-horizon variance approaches the process variance
+        // σ̄²/(1−φ²) — within broad tolerance for estimated parameters.
+        let theo = garch.unconditional_variance() / (1.0 - arma.phi[0] * arma.phi[0]);
+        assert!((vars[19] - theo).abs() / theo < 0.3, "{} vs {theo}", vars[19]);
+    }
+
+    #[test]
+    fn zero_horizon_is_empty() {
+        let s = ar1_series(5, 0.5, 1.0, 300);
+        let fit = fit_arma(s.values(), 1, 0).unwrap();
+        assert!(arma_forecast_path(&fit, s.values(), 0).unwrap().is_empty());
+        assert!(psi_weights(&fit, 0).is_empty());
+    }
+}

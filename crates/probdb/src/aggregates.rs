@@ -1,0 +1,162 @@
+//! Probabilistic aggregates over tuple-independent relations.
+//!
+//! Beyond the expected-value aggregates in [`crate::query`], several useful
+//! queries need the full *distribution* of the tuple count — "what is the
+//! probability that Alice visited room 4 at least three times?". For `n`
+//! independent tuples with probabilities `p_1..p_n` the count follows a
+//! Poisson-binomial distribution, computed exactly here with the standard
+//! O(n²) dynamic program (O(n·k) when only the first `k` probabilities are
+//! needed).
+
+use crate::error::DbError;
+use crate::query::{eval_conjunction, Conjunction};
+use crate::table::ProbTable;
+
+/// Exact distribution of the number of matching tuples present in a
+/// possible world: entry `k` is `P(count = k)`.
+///
+/// Standard Poisson-binomial DP: fold tuples one at a time, maintaining the
+/// distribution of the partial count.
+pub fn count_distribution(table: &ProbTable, pred: &Conjunction) -> Result<Vec<f64>, DbError> {
+    let mut dist = vec![1.0f64];
+    for (row, p) in table.iter() {
+        if !eval_conjunction(table.schema(), row, Some(p), pred)? {
+            continue;
+        }
+        let mut next = vec![0.0; dist.len() + 1];
+        for (k, &mass) in dist.iter().enumerate() {
+            next[k] += mass * (1.0 - p);
+            next[k + 1] += mass * p;
+        }
+        dist = next;
+    }
+    Ok(dist)
+}
+
+/// `P(count ≥ k)` for tuples matching the predicate.
+pub fn prob_count_at_least(
+    table: &ProbTable,
+    pred: &Conjunction,
+    k: usize,
+) -> Result<f64, DbError> {
+    let dist = count_distribution(table, pred)?;
+    Ok(dist.iter().skip(k).sum::<f64>().clamp(0.0, 1.0))
+}
+
+/// Expected count and variance of the count (`Σp_i`, `Σp_i(1−p_i)`) for
+/// tuples matching the predicate — the closed forms, no DP needed.
+pub fn count_moments(table: &ProbTable, pred: &Conjunction) -> Result<(f64, f64), DbError> {
+    let mut mean = 0.0;
+    let mut var = 0.0;
+    for (row, p) in table.iter() {
+        if eval_conjunction(table.schema(), row, Some(p), pred)? {
+            mean += p;
+            var += p * (1.0 - p);
+        }
+    }
+    Ok((mean, var))
+}
+
+/// The most likely count (mode of the Poisson-binomial; smallest index on
+/// ties).
+pub fn most_likely_count(table: &ProbTable, pred: &Conjunction) -> Result<usize, DbError> {
+    let dist = count_distribution(table, pred)?;
+    let mut best = 0usize;
+    for (k, &p) in dist.iter().enumerate() {
+        if p > dist[best] {
+            best = k;
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{CmpOp, Comparison};
+    use crate::schema::Schema;
+    use crate::value::{ColumnType, Value};
+
+    fn view(probs: &[f64]) -> ProbTable {
+        let schema = Schema::of(&[("room", ColumnType::Int)]);
+        let mut v = ProbTable::new("v", schema);
+        for (i, &p) in probs.iter().enumerate() {
+            v.insert(vec![Value::Int(i as i64 % 4)], p).unwrap();
+        }
+        v
+    }
+
+    #[test]
+    fn distribution_sums_to_one() {
+        let v = view(&[0.3, 0.7, 0.5, 0.9, 0.01]);
+        let dist = count_distribution(&v, &vec![]).unwrap();
+        assert_eq!(dist.len(), 6);
+        let total: f64 = dist.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_tuple_case_matches_hand_computation() {
+        let v = view(&[0.5, 0.2]);
+        let dist = count_distribution(&v, &vec![]).unwrap();
+        assert!((dist[0] - 0.5 * 0.8).abs() < 1e-12);
+        assert!((dist[1] - (0.5 * 0.8 + 0.5 * 0.2)).abs() < 1e-12);
+        assert!((dist[2] - 0.5 * 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_tuples_give_point_mass() {
+        let v = view(&[1.0, 1.0, 0.0]);
+        let dist = count_distribution(&v, &vec![]).unwrap();
+        assert!((dist[2] - 1.0).abs() < 1e-12);
+        assert_eq!(most_likely_count(&v, &vec![]).unwrap(), 2);
+    }
+
+    #[test]
+    fn at_least_queries() {
+        let v = view(&[0.5, 0.5]);
+        let p1 = prob_count_at_least(&v, &vec![], 1).unwrap();
+        assert!((p1 - 0.75).abs() < 1e-12);
+        let p0 = prob_count_at_least(&v, &vec![], 0).unwrap();
+        assert!((p0 - 1.0).abs() < 1e-12);
+        let p3 = prob_count_at_least(&v, &vec![], 3).unwrap();
+        assert_eq!(p3, 0.0);
+    }
+
+    #[test]
+    fn predicate_restricts_the_count() {
+        // Rooms cycle 0,1,2,3,0,...; restrict to room 0 (indices 0 and 4).
+        let v = view(&[0.5, 0.9, 0.9, 0.9, 0.5]);
+        let pred = vec![Comparison::new("room", CmpOp::Eq, 0i64)];
+        let dist = count_distribution(&v, &pred).unwrap();
+        assert_eq!(dist.len(), 3); // two candidate tuples
+        assert!((dist[2] - 0.25).abs() < 1e-12);
+        let (mean, var) = count_moments(&v, &pred).unwrap();
+        assert!((mean - 1.0).abs() < 1e-12);
+        assert!((var - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moments_match_distribution() {
+        let probs = [0.1, 0.4, 0.65, 0.9, 0.25, 0.33];
+        let v = view(&probs);
+        let dist = count_distribution(&v, &vec![]).unwrap();
+        let mean_dp: f64 = dist.iter().enumerate().map(|(k, p)| k as f64 * p).sum();
+        let e2: f64 = dist
+            .iter()
+            .enumerate()
+            .map(|(k, p)| (k as f64) * (k as f64) * p)
+            .sum();
+        let (mean, var) = count_moments(&v, &vec![]).unwrap();
+        assert!((mean - mean_dp).abs() < 1e-12);
+        assert!((var - (e2 - mean_dp * mean_dp)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_relation_has_count_zero() {
+        let v = view(&[]);
+        let dist = count_distribution(&v, &vec![]).unwrap();
+        assert_eq!(dist, vec![1.0]);
+        assert_eq!(most_likely_count(&v, &vec![]).unwrap(), 0);
+    }
+}

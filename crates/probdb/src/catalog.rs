@@ -1,0 +1,458 @@
+//! The in-memory database: named relations plus statement execution.
+//!
+//! [`Database`] owns deterministic tables and probabilistic views and
+//! executes parsed [`Statement`]s. The one statement it cannot execute by
+//! itself is `CREATE VIEW … AS DENSITY …` — inferring densities is the job
+//! of the `tspdb-core` crate — so [`Database::execute_with`] accepts a
+//! *density handler* callback that the upper layer provides. This keeps the
+//! dependency arrow pointing from the paper's contribution down into the
+//! substrate, never backwards.
+
+use crate::error::DbError;
+use crate::query::{eval_conjunction, Conjunction, PROB_PSEUDO_COLUMN};
+use crate::schema::Schema;
+use crate::sql::{parse, DensityViewSpec, SelectStmt, Statement};
+use crate::table::{ProbTable, Table};
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+
+/// A stored relation: deterministic or probabilistic.
+#[derive(Debug, Clone)]
+pub enum Relation {
+    /// Ordinary table.
+    Deterministic(Table),
+    /// Tuple-independent probabilistic view.
+    Probabilistic(ProbTable),
+}
+
+/// Result of executing one statement.
+#[derive(Debug, Clone)]
+pub enum QueryOutput {
+    /// DDL/DML statements produce no rows.
+    None,
+    /// Deterministic result set.
+    Rows(Table),
+    /// Probabilistic result set.
+    ProbRows(ProbTable),
+}
+
+impl QueryOutput {
+    /// Convenience accessor for deterministic results.
+    pub fn rows(&self) -> Option<&Table> {
+        match self {
+            QueryOutput::Rows(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor for probabilistic results.
+    pub fn prob_rows(&self) -> Option<&ProbTable> {
+        match self {
+            QueryOutput::ProbRows(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// Signature of the density-view handler supplied by the upper layer: given
+/// the source table and the parsed view spec, produce the probabilistic
+/// view contents.
+pub type DensityHandler<'a> =
+    dyn FnMut(&Table, &DensityViewSpec) -> Result<ProbTable, DbError> + 'a;
+
+/// An in-memory database of named relations.
+#[derive(Debug, Default)]
+pub struct Database {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Names of all stored relations, sorted.
+    pub fn relation_names(&self) -> Vec<&str> {
+        self.relations.keys().map(String::as_str).collect()
+    }
+
+    /// Registers a deterministic table (errors on name collision).
+    pub fn register_table(&mut self, table: Table) -> Result<(), DbError> {
+        let name = table.name().to_string();
+        if self.relations.contains_key(&name) {
+            return Err(DbError::DuplicateTable(name));
+        }
+        self.relations.insert(name, Relation::Deterministic(table));
+        Ok(())
+    }
+
+    /// Registers a probabilistic view, replacing any same-named view (views
+    /// are derived data, so re-creation is allowed; tables are not
+    /// replaceable).
+    pub fn register_prob_table(&mut self, table: ProbTable) -> Result<(), DbError> {
+        let name = table.name().to_string();
+        if matches!(self.relations.get(&name), Some(Relation::Deterministic(_))) {
+            return Err(DbError::DuplicateTable(name));
+        }
+        self.relations.insert(name, Relation::Probabilistic(table));
+        Ok(())
+    }
+
+    /// Looks up a deterministic table.
+    pub fn table(&self, name: &str) -> Result<&Table, DbError> {
+        match self.relations.get(name) {
+            Some(Relation::Deterministic(t)) => Ok(t),
+            _ => Err(DbError::UnknownTable(name.to_string())),
+        }
+    }
+
+    /// Looks up a probabilistic view.
+    pub fn prob_table(&self, name: &str) -> Result<&ProbTable, DbError> {
+        match self.relations.get(name) {
+            Some(Relation::Probabilistic(t)) => Ok(t),
+            _ => Err(DbError::UnknownTable(name.to_string())),
+        }
+    }
+
+    /// Drops a relation by name.
+    pub fn drop_relation(&mut self, name: &str) -> Result<(), DbError> {
+        self.relations
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+
+    /// Executes a SQL statement that does not require density inference.
+    /// `CREATE VIEW … AS DENSITY …` returns [`DbError::Unsupported`]; use
+    /// [`Database::execute_with`] for that.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryOutput, DbError> {
+        let stmt = parse(sql)?;
+        match stmt {
+            Statement::CreateDensityView(_) => Err(DbError::Unsupported(
+                "DENSITY views need a density handler; use execute_with (or the \
+                 tspdb-core engine)"
+                    .into(),
+            )),
+            other => self.execute_statement(other),
+        }
+    }
+
+    /// Executes any SQL statement, delegating `DENSITY` view creation to
+    /// the supplied handler.
+    pub fn execute_with(
+        &mut self,
+        sql: &str,
+        handler: &mut DensityHandler<'_>,
+    ) -> Result<QueryOutput, DbError> {
+        let stmt = parse(sql)?;
+        match stmt {
+            Statement::CreateDensityView(spec) => {
+                let source = self.table(&spec.source_table)?;
+                let mut view = handler(source, &spec)?;
+                // The handler may not know the requested view name.
+                if view.name() != spec.view_name {
+                    let mut renamed = ProbTable::new(spec.view_name.clone(), view.schema().clone());
+                    for (row, p) in view.iter() {
+                        renamed.insert(row.to_vec(), p)?;
+                    }
+                    view = renamed;
+                }
+                self.register_prob_table(view)?;
+                Ok(QueryOutput::None)
+            }
+            other => self.execute_statement(other),
+        }
+    }
+
+    fn execute_statement(&mut self, stmt: Statement) -> Result<QueryOutput, DbError> {
+        match stmt {
+            Statement::CreateTable { name, columns } => {
+                let table = Table::new(name, Schema::new(columns));
+                self.register_table(table)?;
+                Ok(QueryOutput::None)
+            }
+            Statement::Insert { table, rows } => {
+                let rel = self
+                    .relations
+                    .get_mut(&table)
+                    .ok_or_else(|| DbError::UnknownTable(table.clone()))?;
+                match rel {
+                    Relation::Deterministic(t) => {
+                        for row in rows {
+                            t.insert(row)?;
+                        }
+                        Ok(QueryOutput::None)
+                    }
+                    Relation::Probabilistic(_) => Err(DbError::Unsupported(
+                        "INSERT into probabilistic views is not allowed; views are derived".into(),
+                    )),
+                }
+            }
+            Statement::Select(sel) => self.execute_select(&sel),
+            Statement::CreateDensityView(_) => unreachable!("handled by callers"),
+            Statement::Drop { name } => {
+                self.drop_relation(&name)?;
+                Ok(QueryOutput::None)
+            }
+        }
+    }
+
+    fn execute_select(&self, sel: &SelectStmt) -> Result<QueryOutput, DbError> {
+        match self.relations.get(&sel.table) {
+            Some(Relation::Deterministic(t)) => {
+                Ok(QueryOutput::Rows(select_deterministic(t, sel)?))
+            }
+            Some(Relation::Probabilistic(t)) => {
+                Ok(QueryOutput::ProbRows(select_probabilistic(t, sel)?))
+            }
+            None => Err(DbError::UnknownTable(sel.table.clone())),
+        }
+    }
+}
+
+/// Ordering key extraction shared by both select paths; `prob` addresses
+/// the tuple probability when one is available.
+fn sort_indices(
+    schema: &Schema,
+    rows: &[Vec<crate::value::Value>],
+    probs: Option<&[f64]>,
+    order: &(String, bool),
+) -> Result<Vec<usize>, DbError> {
+    let (col, asc) = order;
+    let mut idx: Vec<usize> = (0..rows.len()).collect();
+    if let (PROB_PSEUDO_COLUMN, Some(p)) = (col.as_str(), probs) {
+        idx.sort_by(|&a, &b| {
+            let ord = p[a].partial_cmp(&p[b]).unwrap_or(Ordering::Equal);
+            if *asc {
+                ord.then(a.cmp(&b))
+            } else {
+                ord.reverse().then(a.cmp(&b))
+            }
+        });
+    } else {
+        let c = schema.index_of(col)?;
+        idx.sort_by(|&a, &b| {
+            let ord = rows[a][c].compare(&rows[b][c]).unwrap_or(Ordering::Equal);
+            if *asc {
+                ord.then(a.cmp(&b))
+            } else {
+                ord.reverse().then(a.cmp(&b))
+            }
+        });
+    }
+    Ok(idx)
+}
+
+fn select_deterministic(t: &Table, sel: &SelectStmt) -> Result<Table, DbError> {
+    let filtered = filter_rows(t.schema(), t.rows(), None, &sel.predicate)?;
+    let rows: Vec<Vec<crate::value::Value>> =
+        filtered.iter().map(|&i| t.rows()[i].clone()).collect();
+    let mut order: Vec<usize> = (0..rows.len()).collect();
+    if let Some(ob) = &sel.order_by {
+        order = sort_indices(t.schema(), &rows, None, ob)?;
+    }
+    if let Some(l) = sel.limit {
+        order.truncate(l);
+    }
+    // Projection.
+    let (schema, idx) = if sel.columns.is_empty() {
+        (
+            t.schema().clone(),
+            (0..t.schema().arity()).collect::<Vec<_>>(),
+        )
+    } else {
+        t.schema().project(&sel.columns)?
+    };
+    let mut out = Table::new(t.name().to_string(), schema);
+    for &i in &order {
+        out.insert(idx.iter().map(|&c| rows[i][c].clone()).collect())?;
+    }
+    Ok(out)
+}
+
+fn select_probabilistic(t: &ProbTable, sel: &SelectStmt) -> Result<ProbTable, DbError> {
+    let filtered = filter_rows(t.schema(), t.rows(), Some(t.probs()), &sel.predicate)?;
+    let rows: Vec<Vec<crate::value::Value>> =
+        filtered.iter().map(|&i| t.rows()[i].clone()).collect();
+    let probs: Vec<f64> = filtered.iter().map(|&i| t.probs()[i]).collect();
+    let mut order: Vec<usize> = (0..rows.len()).collect();
+    if let Some(ob) = &sel.order_by {
+        order = sort_indices(t.schema(), &rows, Some(&probs), ob)?;
+    }
+    if let Some(l) = sel.limit {
+        order.truncate(l);
+    }
+    let (schema, idx) = if sel.columns.is_empty() {
+        (
+            t.schema().clone(),
+            (0..t.schema().arity()).collect::<Vec<_>>(),
+        )
+    } else {
+        t.schema().project(&sel.columns)?
+    };
+    let mut out = ProbTable::new(t.name().to_string(), schema);
+    for &i in &order {
+        out.insert(
+            idx.iter().map(|&c| rows[i][c].clone()).collect(),
+            probs[i],
+        )?;
+    }
+    Ok(out)
+}
+
+fn filter_rows(
+    schema: &Schema,
+    rows: &[Vec<crate::value::Value>],
+    probs: Option<&[f64]>,
+    pred: &Conjunction,
+) -> Result<Vec<usize>, DbError> {
+    let mut out = Vec::new();
+    for (i, row) in rows.iter().enumerate() {
+        let p = probs.map(|ps| ps[i]);
+        if eval_conjunction(schema, row, p, pred)? {
+            out.push(i);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn setup() -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE raw_values (t INT, r FLOAT)").unwrap();
+        db.execute("INSERT INTO raw_values VALUES (1, 4.2), (2, 5.9), (3, 7.1), (4, 7.9)")
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_insert_select_round_trip() {
+        let mut db = setup();
+        let out = db
+            .execute("SELECT r FROM raw_values WHERE t >= 2 AND t <= 3 ORDER BY r DESC")
+            .unwrap();
+        let rows = out.rows().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows.row(0)[0], Value::Float(7.1));
+        assert_eq!(rows.row(1)[0], Value::Float(5.9));
+    }
+
+    #[test]
+    fn select_star_and_limit() {
+        let mut db = setup();
+        let out = db.execute("SELECT * FROM raw_values LIMIT 2").unwrap();
+        let rows = out.rows().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows.schema().arity(), 2);
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = setup();
+        assert!(matches!(
+            db.execute("CREATE TABLE raw_values (x INT)"),
+            Err(DbError::DuplicateTable(_))
+        ));
+    }
+
+    #[test]
+    fn drop_removes_relation() {
+        let mut db = setup();
+        db.execute("DROP TABLE raw_values").unwrap();
+        assert!(matches!(
+            db.execute("SELECT * FROM raw_values"),
+            Err(DbError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn density_view_without_handler_is_unsupported() {
+        let mut db = setup();
+        let sql = "CREATE VIEW v AS DENSITY r OVER t OMEGA delta=1, n=2 FROM raw_values";
+        assert!(matches!(db.execute(sql), Err(DbError::Unsupported(_))));
+    }
+
+    #[test]
+    fn density_view_with_handler_registers_view() {
+        let mut db = setup();
+        let sql = "CREATE VIEW v AS DENSITY r OVER t OMEGA delta=1, n=2 \
+                   FROM raw_values WHERE t >= 1 AND t <= 2";
+        let mut handler = |src: &Table, spec: &DensityViewSpec| {
+            assert_eq!(src.name(), "raw_values");
+            assert_eq!(spec.n, 2);
+            let schema = Schema::of(&[
+                ("t", crate::value::ColumnType::Int),
+                ("lo", crate::value::ColumnType::Float),
+                ("hi", crate::value::ColumnType::Float),
+            ]);
+            let mut v = ProbTable::new("anything", schema);
+            v.insert(vec![Value::Int(1), Value::Float(0.0), Value::Float(1.0)], 0.7)
+                .unwrap();
+            Ok(v)
+        };
+        db.execute_with(sql, &mut handler).unwrap();
+        let view = db.prob_table("v").unwrap();
+        assert_eq!(view.len(), 1);
+        assert_eq!(view.name(), "v");
+
+        // SELECT over the created probabilistic view.
+        let out = db.execute("SELECT * FROM v WHERE prob >= 0.5").unwrap();
+        assert_eq!(out.prob_rows().unwrap().len(), 1);
+        let none = db.execute("SELECT * FROM v WHERE prob >= 0.9").unwrap();
+        assert!(none.prob_rows().unwrap().is_empty());
+    }
+
+    #[test]
+    fn prob_view_ordering_by_probability() {
+        let mut db = Database::new();
+        let schema = Schema::of(&[("room", crate::value::ColumnType::Int)]);
+        let mut v = ProbTable::new("pv", schema);
+        for (room, p) in [(1, 0.2), (2, 0.9), (3, 0.5)] {
+            v.insert(vec![Value::Int(room)], p).unwrap();
+        }
+        db.register_prob_table(v).unwrap();
+        let out = db
+            .execute("SELECT room FROM pv ORDER BY prob DESC LIMIT 2")
+            .unwrap();
+        let rows = out.prob_rows().unwrap();
+        assert_eq!(rows.rows()[0][0], Value::Int(2));
+        assert_eq!(rows.rows()[1][0], Value::Int(3));
+    }
+
+    #[test]
+    fn insert_into_view_is_rejected() {
+        let mut db = Database::new();
+        let schema = Schema::of(&[("x", crate::value::ColumnType::Int)]);
+        db.register_prob_table(ProbTable::new("pv", schema)).unwrap();
+        assert!(matches!(
+            db.execute("INSERT INTO pv VALUES (1)"),
+            Err(DbError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn view_replacement_allowed_table_shadowing_not() {
+        let mut db = setup();
+        let schema = Schema::of(&[("x", crate::value::ColumnType::Int)]);
+        db.register_prob_table(ProbTable::new("pv", schema.clone()))
+            .unwrap();
+        // Re-registering the same view name is fine (derived data).
+        db.register_prob_table(ProbTable::new("pv", schema.clone()))
+            .unwrap();
+        // But a view cannot shadow a base table.
+        assert!(db
+            .register_prob_table(ProbTable::new("raw_values", schema))
+            .is_err());
+    }
+
+    #[test]
+    fn relation_names_sorted() {
+        let db = setup();
+        assert_eq!(db.relation_names(), vec!["raw_values"]);
+    }
+}

@@ -1,0 +1,104 @@
+//! # tspdb-probdb
+//!
+//! Tuple-independent probabilistic database substrate for the `tspdb`
+//! workspace — the storage and query layer that the paper's Ω-view builder
+//! materialises probabilistic views into:
+//!
+//! * [`value`] / [`schema`] — typed cells and relation schemas.
+//! * [`table`] — deterministic [`table::Table`]s and tuple-independent
+//!   [`table::ProbTable`]s (the `prob_view` of the paper's Fig. 1/2).
+//! * [`query`] — probabilistic operators: selection, projection with
+//!   probabilistic deduplication, threshold, top-k, event probability,
+//!   expected aggregates.
+//! * [`sql`] — tokenizer/parser for the paper's SQL-like syntax including
+//!   the Fig. 7 `CREATE VIEW … AS DENSITY … OMEGA …` statement.
+//! * [`catalog`] — the in-memory [`catalog::Database`] executing
+//!   statements; density views are delegated to a handler supplied by the
+//!   engine layer (`tspdb-core`).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+#![allow(
+    // `!(x > 0.0)` deliberately catches NaN alongside non-positive values
+    // in numeric guards; `partial_cmp` obscures that intent.
+    clippy::neg_cmp_op_on_partial_ord,
+    // Index-based loops mirror the textbook formulations of the numeric
+    // kernels (Cholesky, Levinson-Durbin, filters) they implement.
+    clippy::needless_range_loop
+)]
+
+
+pub mod aggregates;
+pub mod catalog;
+pub mod error;
+pub mod query;
+pub mod schema;
+pub mod sql;
+pub mod table;
+pub mod value;
+pub mod worlds;
+
+pub use catalog::{Database, QueryOutput, Relation};
+pub use error::DbError;
+pub use query::{CmpOp, Comparison, Conjunction};
+pub use schema::Schema;
+pub use sql::{parse, DensityViewSpec, SelectStmt, Statement};
+pub use table::{ProbTable, Table};
+pub use value::{ColumnType, Value};
+
+#[cfg(test)]
+mod proptests {
+    use crate::query::{project_prob, top_k};
+    use crate::schema::Schema;
+    use crate::table::ProbTable;
+    use crate::value::{ColumnType, Value};
+    use proptest::prelude::*;
+
+    fn arb_prob_table() -> impl Strategy<Value = ProbTable> {
+        proptest::collection::vec((0i64..5, 0i64..4, 0.0f64..=1.0), 0..40).prop_map(|rows| {
+            let schema = Schema::of(&[("t", ColumnType::Int), ("k", ColumnType::Int)]);
+            let mut p = ProbTable::new("pt", schema);
+            for (t, k, prob) in rows {
+                p.insert(vec![Value::Int(t), Value::Int(k)], prob).unwrap();
+            }
+            p
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn projection_probabilities_stay_valid(table in arb_prob_table()) {
+            let proj = project_prob(&table, &["k".to_string()]).unwrap();
+            for &p in proj.probs() {
+                prop_assert!((0.0..=1.0).contains(&p));
+            }
+            // Deduplicated key count never exceeds source row count.
+            prop_assert!(proj.len() <= table.len().max(1));
+        }
+
+        #[test]
+        fn projection_dominates_each_contributor(table in arb_prob_table()) {
+            // P(∃ tuple with key k) ≥ max p_i over contributors: merging can
+            // only increase existence probability.
+            let proj = project_prob(&table, &["k".to_string()]).unwrap();
+            for (row, p) in proj.iter() {
+                let key = &row[0];
+                let max_contrib = table
+                    .iter()
+                    .filter(|(r, _)| &r[1] == key)
+                    .map(|(_, pi)| pi)
+                    .fold(0.0f64, f64::max);
+                prop_assert!(p >= max_contrib - 1e-12);
+            }
+        }
+
+        #[test]
+        fn top_k_is_sorted_and_bounded(table in arb_prob_table(), k in 0usize..50) {
+            let top = top_k(&table, k);
+            prop_assert!(top.len() <= k.min(table.len()));
+            for w in top.probs().windows(2) {
+                prop_assert!(w[0] >= w[1]);
+            }
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! Probabilistic query operators over tuple-independent relations.
+//!
+//! The point of creating a probabilistic database (paper, Introduction) is
+//! that downstream probabilistic queries can then run against it. This
+//! module implements the standard operator set for tuple-independent
+//! relations: selection, projection with probabilistic deduplication,
+//! threshold and top-k queries, event probability and expected-value
+//! aggregates — enough to express the paper's motivating query ("the
+//! probability that Alice could be found in each of the four rooms").
+
+use crate::error::DbError;
+use crate::schema::Schema;
+use crate::table::{ProbTable, Table};
+use crate::value::Value;
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+
+/// Comparison operator of a simple predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluates the operator against an ordering outcome.
+    fn eval(self, ord: Option<Ordering>) -> bool {
+        match (self, ord) {
+            (CmpOp::Eq, Some(Ordering::Equal)) => true,
+            (CmpOp::Ne, Some(o)) => o != Ordering::Equal,
+            (CmpOp::Lt, Some(Ordering::Less)) => true,
+            (CmpOp::Le, Some(Ordering::Less | Ordering::Equal)) => true,
+            (CmpOp::Gt, Some(Ordering::Greater)) => true,
+            (CmpOp::Ge, Some(Ordering::Greater | Ordering::Equal)) => true,
+            _ => false,
+        }
+    }
+}
+
+/// A single `column op literal` comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Column name (the pseudo-column `prob` addresses the tuple
+    /// probability on probabilistic relations).
+    pub column: String,
+    /// Operator.
+    pub op: CmpOp,
+    /// Literal right-hand side.
+    pub value: Value,
+}
+
+impl Comparison {
+    /// Builds a comparison.
+    pub fn new(column: impl Into<String>, op: CmpOp, value: impl Into<Value>) -> Self {
+        Comparison {
+            column: column.into(),
+            op,
+            value: value.into(),
+        }
+    }
+}
+
+/// A conjunction of comparisons (the paper's `WHERE t >= 1 AND t <= 3`
+/// shape). An empty conjunction accepts every row.
+pub type Conjunction = Vec<Comparison>;
+
+/// Name of the pseudo-column addressing tuple probabilities in predicates
+/// over probabilistic relations.
+pub const PROB_PSEUDO_COLUMN: &str = "prob";
+
+/// Evaluates a conjunction against a row (with optional tuple probability
+/// for the `prob` pseudo-column).
+pub fn eval_conjunction(
+    schema: &Schema,
+    row: &[Value],
+    prob: Option<f64>,
+    pred: &Conjunction,
+) -> Result<bool, DbError> {
+    for cmp in pred {
+        let ok = if let (PROB_PSEUDO_COLUMN, Some(p)) = (cmp.column.as_str(), prob) {
+            cmp.op.eval(Value::Float(p).compare(&cmp.value))
+        } else {
+            let i = schema.index_of(&cmp.column)?;
+            cmp.op.eval(row[i].compare(&cmp.value))
+        };
+        if !ok {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Selection over a deterministic table.
+pub fn select_table(table: &Table, pred: &Conjunction) -> Result<Table, DbError> {
+    let mut out = Table::new(table.name().to_string(), table.schema().clone());
+    for row in table.rows() {
+        if eval_conjunction(table.schema(), row, None, pred)? {
+            out.insert(row.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// Selection over a probabilistic relation: rows keep their probabilities
+/// (conditioning on deterministic attributes does not change tuple
+/// marginals in the tuple-independent model).
+pub fn select_prob(table: &ProbTable, pred: &Conjunction) -> Result<ProbTable, DbError> {
+    let mut out = ProbTable::new(table.name().to_string(), table.schema().clone());
+    for (row, p) in table.iter() {
+        if eval_conjunction(table.schema(), row, Some(p), pred)? {
+            out.insert(row.to_vec(), p)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Projection with probabilistic duplicate elimination: identical projected
+/// rows merge with probability `1 − Π(1 − p_i)` (the probability that at
+/// least one contributing tuple exists, by tuple independence).
+pub fn project_prob(table: &ProbTable, columns: &[String]) -> Result<ProbTable, DbError> {
+    let (schema, idx) = table.schema().project(columns)?;
+    // BTreeMap over a canonical text key keeps output order deterministic.
+    let mut groups: BTreeMap<String, (Vec<Value>, f64)> = BTreeMap::new();
+    for (row, p) in table.iter() {
+        let projected: Vec<Value> = idx.iter().map(|&i| row[i].clone()).collect();
+        let key = projected
+            .iter()
+            .map(|v| format!("{v:?}"))
+            .collect::<Vec<_>>()
+            .join("\u{1f}");
+        let entry = groups.entry(key).or_insert_with(|| (projected, 1.0));
+        entry.1 *= 1.0 - p; // accumulate absence probability
+    }
+    let mut out = ProbTable::new(table.name().to_string(), schema);
+    for (_, (row, absent)) in groups {
+        out.insert(row, (1.0 - absent).clamp(0.0, 1.0))?;
+    }
+    Ok(out)
+}
+
+/// Threshold query: tuples whose probability is at least `tau`.
+pub fn threshold(table: &ProbTable, tau: f64) -> Result<ProbTable, DbError> {
+    if !(0.0..=1.0).contains(&tau) {
+        return Err(DbError::InvalidProbability(tau));
+    }
+    let mut out = ProbTable::new(table.name().to_string(), table.schema().clone());
+    for (row, p) in table.iter() {
+        if p >= tau {
+            out.insert(row.to_vec(), p)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Top-k query: the `k` most probable tuples, ties broken by row order.
+pub fn top_k(table: &ProbTable, k: usize) -> ProbTable {
+    let mut order: Vec<usize> = (0..table.len()).collect();
+    order.sort_by(|&a, &b| {
+        table.probs()[b]
+            .partial_cmp(&table.probs()[a])
+            .unwrap_or(Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut out = ProbTable::new(table.name().to_string(), table.schema().clone());
+    for &i in order.iter().take(k) {
+        let (row, p) = table.tuple(i);
+        out.insert(row.to_vec(), p).expect("row came from same schema");
+    }
+    out
+}
+
+/// Probability that at least one tuple satisfying the predicate exists:
+/// `1 − Π(1 − p_i)` over matching tuples (tuple independence).
+pub fn event_probability(table: &ProbTable, pred: &Conjunction) -> Result<f64, DbError> {
+    let mut absent = 1.0;
+    for (row, p) in table.iter() {
+        if eval_conjunction(table.schema(), row, Some(p), pred)? {
+            absent *= 1.0 - p;
+        }
+    }
+    Ok((1.0 - absent).clamp(0.0, 1.0))
+}
+
+/// Expected sum of a numeric column over a tuple-independent relation:
+/// `Σ p_i · v_i` (linearity of expectation).
+pub fn expected_sum(table: &ProbTable, column: &str) -> Result<f64, DbError> {
+    let c = table.schema().index_of(column)?;
+    let mut acc = 0.0;
+    for (row, p) in table.iter() {
+        let v = row[c].as_f64().ok_or_else(|| DbError::TypeMismatch {
+            column: column.to_string(),
+            expected: crate::value::ColumnType::Float,
+            got: row[c].column_type(),
+        })?;
+        acc += p * v;
+    }
+    Ok(acc)
+}
+
+/// For each distinct value of `group_column`, the most probable tuple —
+/// e.g. "the most likely room per timestamp" in the paper's Fig. 1 example.
+pub fn most_probable_per_group(
+    table: &ProbTable,
+    group_column: &str,
+) -> Result<ProbTable, DbError> {
+    let g = table.schema().index_of(group_column)?;
+    let mut best: BTreeMap<String, (usize, f64)> = BTreeMap::new();
+    for (i, (row, p)) in table.iter().enumerate() {
+        let key = format!("{:?}", row[g]);
+        match best.get(&key) {
+            Some(&(_, bp)) if bp >= p => {}
+            _ => {
+                best.insert(key, (i, p));
+            }
+        }
+    }
+    let mut out = ProbTable::new(table.name().to_string(), table.schema().clone());
+    let mut picks: Vec<(usize, f64)> = best.into_values().collect();
+    picks.sort_by_key(|&(i, _)| i);
+    for (i, p) in picks {
+        out.insert(table.rows()[i].clone(), p)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ColumnType;
+
+    /// The paper's Fig. 1 `prob_view`: per-room probabilities at two times.
+    fn alice_view() -> ProbTable {
+        let schema = Schema::of(&[("time", ColumnType::Int), ("room", ColumnType::Int)]);
+        let mut p = ProbTable::new("prob_view", schema);
+        for (t, room, prob) in [
+            (1, 1, 0.5),
+            (1, 2, 0.1),
+            (1, 3, 0.3),
+            (1, 4, 0.1),
+            (2, 1, 0.2),
+            (2, 2, 0.4),
+            (2, 3, 0.1),
+            (2, 4, 0.3),
+        ] {
+            p.insert(vec![Value::Int(t), Value::Int(room)], prob)
+                .unwrap();
+        }
+        p
+    }
+
+    #[test]
+    fn selection_keeps_probabilities() {
+        let v = alice_view();
+        let pred = vec![Comparison::new("time", CmpOp::Eq, 1i64)];
+        let at1 = select_prob(&v, &pred).unwrap();
+        assert_eq!(at1.len(), 4);
+        assert!((at1.expected_count() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prob_pseudo_column_filters() {
+        let v = alice_view();
+        let pred = vec![Comparison::new(PROB_PSEUDO_COLUMN, CmpOp::Ge, 0.3)];
+        let likely = select_prob(&v, &pred).unwrap();
+        assert_eq!(likely.len(), 4); // 0.5, 0.3, 0.4, 0.3
+        assert!(likely.probs().iter().all(|&p| p >= 0.3));
+    }
+
+    #[test]
+    fn projection_merges_with_independence() {
+        let v = alice_view();
+        let proj = project_prob(&v, &["room".to_string()]).unwrap();
+        assert_eq!(proj.len(), 4);
+        // Room 1 appears with p = 1 − (1−0.5)(1−0.2) = 0.6.
+        let room1 = proj
+            .iter()
+            .find(|(row, _)| row[0] == Value::Int(1))
+            .unwrap()
+            .1;
+        assert!((room1 - 0.6).abs() < 1e-12, "room1 prob {room1}");
+    }
+
+    #[test]
+    fn threshold_and_topk() {
+        let v = alice_view();
+        let th = threshold(&v, 0.4).unwrap();
+        assert_eq!(th.len(), 2); // 0.5 and 0.4
+        let top = top_k(&v, 3);
+        assert_eq!(top.len(), 3);
+        assert!((top.probs()[0] - 0.5).abs() < 1e-12);
+        assert!((top.probs()[1] - 0.4).abs() < 1e-12);
+        assert!((top.probs()[2] - 0.3).abs() < 1e-12);
+        assert!(threshold(&v, 1.2).is_err());
+    }
+
+    #[test]
+    fn event_probability_combines_independent_tuples() {
+        let v = alice_view();
+        // P(Alice is in room 1 at time 1 or 2) = 1 − (1−0.5)(1−0.2) = 0.6.
+        let pred = vec![Comparison::new("room", CmpOp::Eq, 1i64)];
+        let p = event_probability(&v, &pred).unwrap();
+        assert!((p - 0.6).abs() < 1e-12);
+        // Empty predicate matches all 8 tuples.
+        let all = event_probability(&v, &vec![]).unwrap();
+        assert!(all > 0.9);
+    }
+
+    #[test]
+    fn expected_sum_weights_by_probability() {
+        let v = alice_view();
+        let pred = vec![Comparison::new("time", CmpOp::Eq, 1i64)];
+        let at1 = select_prob(&v, &pred).unwrap();
+        // E[room number] at time 1: 1·0.5 + 2·0.1 + 3·0.3 + 4·0.1 = 2.0.
+        let e = expected_sum(&at1, "room").unwrap();
+        assert!((e - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn most_probable_per_group_picks_argmax() {
+        let v = alice_view();
+        let best = most_probable_per_group(&v, "time").unwrap();
+        assert_eq!(best.len(), 2);
+        // Time 1 → room 1 (0.5); time 2 → room 2 (0.4).
+        let rows: Vec<(i64, i64, f64)> = best
+            .iter()
+            .map(|(r, p)| (r[0].as_i64().unwrap(), r[1].as_i64().unwrap(), p))
+            .collect();
+        assert!(rows.contains(&(1, 1, 0.5)));
+        assert!(rows.contains(&(2, 2, 0.4)));
+    }
+
+    #[test]
+    fn comparisons_cover_all_operators() {
+        let schema = Schema::of(&[("x", ColumnType::Int)]);
+        let row = vec![Value::Int(5)];
+        let check = |op, lit: i64| {
+            eval_conjunction(
+                &schema,
+                &row,
+                None,
+                &vec![Comparison::new("x", op, lit)],
+            )
+            .unwrap()
+        };
+        assert!(check(CmpOp::Eq, 5));
+        assert!(check(CmpOp::Ne, 4));
+        assert!(check(CmpOp::Lt, 6));
+        assert!(check(CmpOp::Le, 5));
+        assert!(check(CmpOp::Gt, 4));
+        assert!(check(CmpOp::Ge, 5));
+        assert!(!check(CmpOp::Eq, 4));
+    }
+
+    #[test]
+    fn unknown_column_in_predicate_errors() {
+        let v = alice_view();
+        let pred = vec![Comparison::new("nope", CmpOp::Eq, 1i64)];
+        assert!(matches!(
+            select_prob(&v, &pred),
+            Err(DbError::UnknownColumn(_))
+        ));
+    }
+}

@@ -1,0 +1,707 @@
+//! SQL-like query language: tokenizer, AST and parser.
+//!
+//! Implements the paper's offline query-provisioning syntax (Fig. 7):
+//!
+//! ```sql
+//! CREATE VIEW prob_view AS DENSITY r
+//! OVER t OMEGA delta=2, n=2
+//! FROM raw_values WHERE t >= 1 AND t <= 3
+//! ```
+//!
+//! plus the surrounding statements a usable system needs (`CREATE TABLE`,
+//! `INSERT`, `SELECT`, `DROP`) and two documented extensions on the view
+//! statement: `USING METRIC <name>` selects the dynamic density metric and
+//! `WINDOW <H>` sets the sliding-window length (both default to the
+//! engine's configuration when omitted).
+
+use crate::error::DbError;
+use crate::query::{CmpOp, Comparison, Conjunction};
+use crate::value::{ColumnType, Value};
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE name (col TYPE, …)`
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column definitions.
+        columns: Vec<(String, ColumnType)>,
+    },
+    /// `INSERT INTO name VALUES (…), (…)`
+    Insert {
+        /// Target table.
+        table: String,
+        /// Literal rows.
+        rows: Vec<Vec<Value>>,
+    },
+    /// `SELECT … FROM … [WHERE …] [ORDER BY …] [LIMIT …]`
+    Select(SelectStmt),
+    /// The paper's probabilistic view generation query.
+    CreateDensityView(DensityViewSpec),
+    /// `DROP TABLE name` / `DROP VIEW name`
+    Drop {
+        /// Table or view name.
+        name: String,
+    },
+}
+
+/// A `SELECT` statement over a deterministic table or probabilistic view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// Projected columns; empty means `*`.
+    pub columns: Vec<String>,
+    /// Source table or view.
+    pub table: String,
+    /// Conjunctive predicate (may reference the `prob` pseudo-column on
+    /// probabilistic views).
+    pub predicate: Conjunction,
+    /// Optional `(column, ascending)` ordering.
+    pub order_by: Option<(String, bool)>,
+    /// Optional row limit.
+    pub limit: Option<usize>,
+}
+
+/// The probability value generation query (paper Definition 2 / Fig. 7).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensityViewSpec {
+    /// Name of the probabilistic view to create.
+    pub view_name: String,
+    /// Column carrying the raw values (`DENSITY r`).
+    pub value_column: String,
+    /// Column carrying time (`OVER t`).
+    pub time_column: String,
+    /// Ω lattice cell width Δ (`OMEGA delta=…`).
+    pub delta: f64,
+    /// Ω lattice cell count n (`OMEGA …, n=…`); the paper requires n even.
+    pub n: usize,
+    /// Source table (`FROM raw_values`).
+    pub source_table: String,
+    /// Time predicate (`WHERE t >= 1 AND t <= 3`).
+    pub predicate: Conjunction,
+    /// Extension: `USING METRIC <name>` — dynamic density metric to use.
+    pub metric: Option<String>,
+    /// Extension: `WINDOW <H>` — sliding-window length.
+    pub window: Option<usize>,
+}
+
+/// Lexical token.
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Star,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Tokenizes SQL text.
+fn tokenize(input: &str) -> Result<Vec<Token>, DbError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    let err = |msg: String| DbError::Parse(msg);
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' | ';' => i += 1,
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(err("expected '=' after '!'".into()));
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Token::Le);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&'>') {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                        None => return Err(err("unterminated string literal".into())),
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            _ if c.is_ascii_digit()
+                || (c == '-' && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())) =>
+            {
+                let start = i;
+                i += 1; // consume digit or '-'
+                let mut is_float = false;
+                while let Some(&d) = bytes.get(i) {
+                    if d.is_ascii_digit() {
+                        i += 1;
+                    } else if d == '.' && !is_float {
+                        is_float = true;
+                        i += 1;
+                    } else if (d == 'e' || d == 'E')
+                        && bytes
+                            .get(i + 1)
+                            .is_some_and(|n| n.is_ascii_digit() || *n == '-' || *n == '+')
+                    {
+                        is_float = true;
+                        i += 2;
+                    } else {
+                        break;
+                    }
+                }
+                let text: String = bytes[start..i].iter().collect();
+                if is_float {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| err(format!("bad float literal {text:?}")))?;
+                    out.push(Token::Float(v));
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| err(format!("bad integer literal {text:?}")))?;
+                    out.push(Token::Int(v));
+                }
+            }
+            _ if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token::Ident(bytes[start..i].iter().collect()));
+            }
+            _ => return Err(err(format!("unexpected character {c:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+/// Recursive-descent parser state.
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, msg: impl Into<String>) -> DbError {
+        DbError::Parse(format!("{} (at token {})", msg.into(), self.pos))
+    }
+
+    /// Consumes a keyword (case-insensitive identifier match).
+    fn expect_kw(&mut self, kw: &str) -> Result<(), DbError> {
+        match self.next() {
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(self.error(format!("expected keyword {kw}, found {other:?}"))),
+        }
+    }
+
+    /// Peeks whether the next token is the given keyword.
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn expect_ident(&mut self) -> Result<String, DbError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(self.error(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_token(&mut self, t: Token) -> Result<(), DbError> {
+        match self.next() {
+            Some(found) if found == t => Ok(()),
+            other => Err(self.error(format!("expected {t:?}, found {other:?}"))),
+        }
+    }
+
+    fn expect_number(&mut self) -> Result<f64, DbError> {
+        match self.next() {
+            Some(Token::Int(v)) => Ok(v as f64),
+            Some(Token::Float(v)) => Ok(v),
+            other => Err(self.error(format!("expected number, found {other:?}"))),
+        }
+    }
+
+    fn expect_usize(&mut self) -> Result<usize, DbError> {
+        match self.next() {
+            Some(Token::Int(v)) if v >= 0 => Ok(v as usize),
+            other => Err(self.error(format!(
+                "expected non-negative integer, found {other:?}"
+            ))),
+        }
+    }
+
+    fn literal(&mut self) -> Result<Value, DbError> {
+        match self.next() {
+            Some(Token::Int(v)) => Ok(Value::Int(v)),
+            Some(Token::Float(v)) => Ok(Value::Float(v)),
+            Some(Token::Str(s)) => Ok(Value::Text(s)),
+            other => Err(self.error(format!("expected literal, found {other:?}"))),
+        }
+    }
+
+    fn comparison_op(&mut self) -> Result<CmpOp, DbError> {
+        match self.next() {
+            Some(Token::Eq) => Ok(CmpOp::Eq),
+            Some(Token::Ne) => Ok(CmpOp::Ne),
+            Some(Token::Lt) => Ok(CmpOp::Lt),
+            Some(Token::Le) => Ok(CmpOp::Le),
+            Some(Token::Gt) => Ok(CmpOp::Gt),
+            Some(Token::Ge) => Ok(CmpOp::Ge),
+            other => Err(self.error(format!("expected comparison operator, found {other:?}"))),
+        }
+    }
+
+    /// `WHERE col op literal (AND col op literal)*`
+    fn conjunction(&mut self) -> Result<Conjunction, DbError> {
+        let mut out = Vec::new();
+        loop {
+            let column = self.expect_ident()?;
+            let op = self.comparison_op()?;
+            let value = self.literal()?;
+            out.push(Comparison { column, op, value });
+            if self.peek_kw("AND") {
+                self.next();
+            } else {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn column_type(&mut self) -> Result<ColumnType, DbError> {
+        let t = self.expect_ident()?;
+        match t.to_ascii_uppercase().as_str() {
+            "INT" | "INTEGER" | "BIGINT" => Ok(ColumnType::Int),
+            "FLOAT" | "DOUBLE" | "REAL" => Ok(ColumnType::Float),
+            "TEXT" | "VARCHAR" | "STRING" => Ok(ColumnType::Text),
+            other => Err(self.error(format!("unknown column type {other}"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, DbError> {
+        if self.peek_kw("CREATE") {
+            self.next();
+            if self.peek_kw("TABLE") {
+                self.next();
+                self.create_table()
+            } else if self.peek_kw("VIEW") {
+                self.next();
+                self.create_view()
+            } else {
+                Err(self.error("expected TABLE or VIEW after CREATE"))
+            }
+        } else if self.peek_kw("INSERT") {
+            self.next();
+            self.insert()
+        } else if self.peek_kw("SELECT") {
+            self.next();
+            self.select()
+        } else if self.peek_kw("DROP") {
+            self.next();
+            if self.peek_kw("TABLE") || self.peek_kw("VIEW") {
+                self.next();
+            }
+            Ok(Statement::Drop {
+                name: self.expect_ident()?,
+            })
+        } else {
+            Err(self.error("expected CREATE, INSERT, SELECT or DROP"))
+        }
+    }
+
+    fn create_table(&mut self) -> Result<Statement, DbError> {
+        let name = self.expect_ident()?;
+        self.expect_token(Token::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.expect_ident()?;
+            let ty = self.column_type()?;
+            columns.push((col, ty));
+            match self.next() {
+                Some(Token::Comma) => continue,
+                Some(Token::RParen) => break,
+                other => return Err(self.error(format!("expected ',' or ')', found {other:?}"))),
+            }
+        }
+        Ok(Statement::CreateTable { name, columns })
+    }
+
+    fn insert(&mut self) -> Result<Statement, DbError> {
+        self.expect_kw("INTO")?;
+        let table = self.expect_ident()?;
+        self.expect_kw("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_token(Token::LParen)?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.literal()?);
+                match self.next() {
+                    Some(Token::Comma) => continue,
+                    Some(Token::RParen) => break,
+                    other => {
+                        return Err(self.error(format!("expected ',' or ')', found {other:?}")))
+                    }
+                }
+            }
+            rows.push(row);
+            if self.peek() == Some(&Token::Comma) {
+                self.next();
+            } else {
+                break;
+            }
+        }
+        Ok(Statement::Insert { table, rows })
+    }
+
+    fn select(&mut self) -> Result<Statement, DbError> {
+        let mut columns = Vec::new();
+        if self.peek() == Some(&Token::Star) {
+            self.next();
+        } else {
+            loop {
+                columns.push(self.expect_ident()?);
+                if self.peek() == Some(&Token::Comma) {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect_kw("FROM")?;
+        let table = self.expect_ident()?;
+        let mut predicate = Vec::new();
+        if self.peek_kw("WHERE") {
+            self.next();
+            predicate = self.conjunction()?;
+        }
+        let mut order_by = None;
+        if self.peek_kw("ORDER") {
+            self.next();
+            self.expect_kw("BY")?;
+            let col = self.expect_ident()?;
+            let asc = if self.peek_kw("DESC") {
+                self.next();
+                false
+            } else {
+                if self.peek_kw("ASC") {
+                    self.next();
+                }
+                true
+            };
+            order_by = Some((col, asc));
+        }
+        let mut limit = None;
+        if self.peek_kw("LIMIT") {
+            self.next();
+            limit = Some(self.expect_usize()?);
+        }
+        Ok(Statement::Select(SelectStmt {
+            columns,
+            table,
+            predicate,
+            order_by,
+            limit,
+        }))
+    }
+
+    /// `VIEW name AS DENSITY col OVER col OMEGA delta=…, n=… FROM table
+    ///  [WHERE …] [USING METRIC m] [WINDOW h]`
+    fn create_view(&mut self) -> Result<Statement, DbError> {
+        let view_name = self.expect_ident()?;
+        self.expect_kw("AS")?;
+        self.expect_kw("DENSITY")?;
+        let value_column = self.expect_ident()?;
+        self.expect_kw("OVER")?;
+        let time_column = self.expect_ident()?;
+        self.expect_kw("OMEGA")?;
+        let mut delta = None;
+        let mut n = None;
+        loop {
+            let key = self.expect_ident()?;
+            self.expect_token(Token::Eq)?;
+            match key.to_ascii_lowercase().as_str() {
+                "delta" => delta = Some(self.expect_number()?),
+                "n" => n = Some(self.expect_usize()?),
+                other => return Err(self.error(format!("unknown OMEGA parameter {other}"))),
+            }
+            if self.peek() == Some(&Token::Comma) {
+                self.next();
+            } else {
+                break;
+            }
+        }
+        let delta =
+            delta.ok_or_else(|| self.error("OMEGA clause must set delta"))?;
+        let n = n.ok_or_else(|| self.error("OMEGA clause must set n"))?;
+        if n == 0 || n % 2 != 0 {
+            return Err(self.error(format!("OMEGA n must be a positive even integer, got {n}")));
+        }
+        if !(delta > 0.0) {
+            return Err(self.error(format!("OMEGA delta must be positive, got {delta}")));
+        }
+        self.expect_kw("FROM")?;
+        let source_table = self.expect_ident()?;
+        let mut predicate = Vec::new();
+        if self.peek_kw("WHERE") {
+            self.next();
+            predicate = self.conjunction()?;
+        }
+        let mut metric = None;
+        if self.peek_kw("USING") {
+            self.next();
+            self.expect_kw("METRIC")?;
+            metric = Some(self.expect_ident()?);
+        }
+        let mut window = None;
+        if self.peek_kw("WINDOW") {
+            self.next();
+            window = Some(self.expect_usize()?);
+        }
+        Ok(Statement::CreateDensityView(DensityViewSpec {
+            view_name,
+            value_column,
+            time_column,
+            delta,
+            n,
+            source_table,
+            predicate,
+            metric,
+            window,
+        }))
+    }
+}
+
+/// Parses one SQL statement.
+pub fn parse(sql: &str) -> Result<Statement, DbError> {
+    let tokens = tokenize(sql)?;
+    if tokens.is_empty() {
+        return Err(DbError::Parse("empty statement".into()));
+    }
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.error("trailing tokens after statement"));
+    }
+    Ok(stmt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_fig7_query_verbatim() {
+        let sql = "CREATE VIEW prob_view AS DENSITY r \
+                   OVER t OMEGA delta=2, n=2 \
+                   FROM raw_values WHERE t >= 1 AND t <= 3";
+        let stmt = parse(sql).unwrap();
+        match stmt {
+            Statement::CreateDensityView(spec) => {
+                assert_eq!(spec.view_name, "prob_view");
+                assert_eq!(spec.value_column, "r");
+                assert_eq!(spec.time_column, "t");
+                assert_eq!(spec.delta, 2.0);
+                assert_eq!(spec.n, 2);
+                assert_eq!(spec.source_table, "raw_values");
+                assert_eq!(spec.predicate.len(), 2);
+                assert_eq!(spec.predicate[0].op, CmpOp::Ge);
+                assert_eq!(spec.predicate[1].op, CmpOp::Le);
+                assert_eq!(spec.metric, None);
+                assert_eq!(spec.window, None);
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_view_extensions() {
+        let sql = "CREATE VIEW v AS DENSITY r OVER t OMEGA delta=0.05, n=300 \
+                   FROM raw USING METRIC arma_garch WINDOW 60";
+        match parse(sql).unwrap() {
+            Statement::CreateDensityView(spec) => {
+                assert_eq!(spec.delta, 0.05);
+                assert_eq!(spec.n, 300);
+                assert_eq!(spec.metric.as_deref(), Some("arma_garch"));
+                assert_eq!(spec.window, Some(60));
+                assert!(spec.predicate.is_empty());
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_odd_or_zero_n() {
+        let bad = "CREATE VIEW v AS DENSITY r OVER t OMEGA delta=1, n=3 FROM raw";
+        assert!(matches!(parse(bad), Err(DbError::Parse(_))));
+        let zero = "CREATE VIEW v AS DENSITY r OVER t OMEGA delta=1, n=0 FROM raw";
+        assert!(matches!(parse(zero), Err(DbError::Parse(_))));
+    }
+
+    #[test]
+    fn parses_create_table_and_insert() {
+        let create = parse("CREATE TABLE raw_values (t INT, r FLOAT, tag TEXT)").unwrap();
+        assert_eq!(
+            create,
+            Statement::CreateTable {
+                name: "raw_values".into(),
+                columns: vec![
+                    ("t".into(), ColumnType::Int),
+                    ("r".into(), ColumnType::Float),
+                    ("tag".into(), ColumnType::Text),
+                ],
+            }
+        );
+        let insert =
+            parse("INSERT INTO raw_values VALUES (1, 4.2, 'a'), (2, -5.9, 'b')").unwrap();
+        match insert {
+            Statement::Insert { table, rows } => {
+                assert_eq!(table, "raw_values");
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[1][1], Value::Float(-5.9));
+                assert_eq!(rows[0][2], Value::Text("a".into()));
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_select_with_all_clauses() {
+        let sql = "SELECT room, prob FROM prob_view WHERE time = 1 AND prob >= 0.25 \
+                   ORDER BY prob DESC LIMIT 2";
+        match parse(sql).unwrap() {
+            Statement::Select(s) => {
+                assert_eq!(s.columns, vec!["room".to_string(), "prob".to_string()]);
+                assert_eq!(s.predicate.len(), 2);
+                assert_eq!(s.order_by, Some(("prob".into(), false)));
+                assert_eq!(s.limit, Some(2));
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_star_yields_empty_projection() {
+        match parse("SELECT * FROM t").unwrap() {
+            Statement::Select(s) => assert!(s.columns.is_empty()),
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert!(parse("select * from t where x <> 3").is_ok());
+        assert!(parse("CREATE table T (a int)").is_ok());
+    }
+
+    #[test]
+    fn drop_statement() {
+        assert_eq!(
+            parse("DROP VIEW prob_view").unwrap(),
+            Statement::Drop {
+                name: "prob_view".into()
+            }
+        );
+        assert_eq!(
+            parse("DROP TABLE raw").unwrap(),
+            Statement::Drop { name: "raw".into() }
+        );
+    }
+
+    #[test]
+    fn reports_parse_errors() {
+        for bad in [
+            "",
+            "FOO BAR",
+            "SELECT FROM t",
+            "CREATE TABLE t (a NOPE)",
+            "INSERT INTO t VALUES (1", // unterminated tuple
+            "SELECT * FROM t WHERE x ! 3",
+            "SELECT * FROM t extra",
+            "SELECT * FROM t WHERE s = 'unterminated",
+        ] {
+            assert!(
+                matches!(parse(bad), Err(DbError::Parse(_))),
+                "should fail: {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn scientific_notation_floats() {
+        match parse("INSERT INTO t VALUES (1e-3, -2.5E+2)").unwrap() {
+            Statement::Insert { rows, .. } => {
+                assert_eq!(rows[0][0], Value::Float(1e-3));
+                assert_eq!(rows[0][1], Value::Float(-250.0));
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+}

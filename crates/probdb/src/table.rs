@@ -1,0 +1,333 @@
+//! Deterministic and tuple-independent probabilistic tables.
+//!
+//! A [`ProbTable`] is the paper's target representation: a *tuple-level*
+//! probabilistic relation in which every row carries an existence
+//! probability and rows are mutually independent (the standard
+//! tuple-independent model of Dalvi & Suciu that the Ω-view builder
+//! materialises into, cf. the `prob_view` of Fig. 1/2).
+
+use crate::error::DbError;
+use crate::schema::Schema;
+use crate::value::Value;
+use std::fmt;
+
+/// A deterministic relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Table {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Row count.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a row after schema validation/coercion.
+    pub fn insert(&mut self, row: Vec<Value>) -> Result<(), DbError> {
+        let row = self.schema.check_row(row)?;
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Borrow of all rows.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Row `i`.
+    pub fn row(&self, i: usize) -> &[Value] {
+        &self.rows[i]
+    }
+
+    /// Single cell by row index and column name.
+    pub fn cell(&self, row: usize, column: &str) -> Result<&Value, DbError> {
+        let c = self.schema.index_of(column)?;
+        Ok(&self.rows[row][c])
+    }
+
+    /// Extracts a whole column as `f64` (errors on text columns).
+    pub fn float_column(&self, column: &str) -> Result<Vec<f64>, DbError> {
+        let c = self.schema.index_of(column)?;
+        self.rows
+            .iter()
+            .map(|r| {
+                r[c].as_f64().ok_or_else(|| DbError::TypeMismatch {
+                    column: column.to_string(),
+                    expected: crate::value::ColumnType::Float,
+                    got: r[c].column_type(),
+                })
+            })
+            .collect()
+    }
+
+    /// Renders the table in a compact aligned text form (used by the
+    /// examples and the experiment harness).
+    pub fn render(&self, max_rows: usize) -> String {
+        render_rows(
+            &self.schema,
+            self.rows.iter().map(|r| (r.as_slice(), None)),
+            self.len(),
+            max_rows,
+        )
+    }
+}
+
+/// A tuple-independent probabilistic relation: rows plus per-row existence
+/// probabilities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbTable {
+    name: String,
+    schema: Schema,
+    rows: Vec<Vec<Value>>,
+    probs: Vec<f64>,
+}
+
+impl ProbTable {
+    /// Creates an empty probabilistic table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        ProbTable {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+            probs: Vec::new(),
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Schema of the deterministic attributes (the probability is carried
+    /// separately, not as a column).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Row count.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a row with its existence probability.
+    pub fn insert(&mut self, row: Vec<Value>, prob: f64) -> Result<(), DbError> {
+        if !(0.0..=1.0).contains(&prob) || prob.is_nan() {
+            return Err(DbError::InvalidProbability(prob));
+        }
+        let row = self.schema.check_row(row)?;
+        self.rows.push(row);
+        self.probs.push(prob);
+        Ok(())
+    }
+
+    /// Borrow of all rows.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Borrow of all probabilities (parallel to [`ProbTable::rows`]).
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Row `i` with its probability.
+    pub fn tuple(&self, i: usize) -> (&[Value], f64) {
+        (&self.rows[i], self.probs[i])
+    }
+
+    /// Iterator over `(row, probability)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[Value], f64)> {
+        self.rows
+            .iter()
+            .map(|r| r.as_slice())
+            .zip(self.probs.iter().copied())
+    }
+
+    /// Expected number of tuples present in a possible world: `Σ_i p_i`
+    /// (linearity of expectation; independence not even required).
+    pub fn expected_count(&self) -> f64 {
+        self.probs.iter().sum()
+    }
+
+    /// Renders the relation with a trailing probability column.
+    pub fn render(&self, max_rows: usize) -> String {
+        render_rows(
+            &self.schema,
+            self.rows
+                .iter()
+                .zip(&self.probs)
+                .map(|(r, p)| (r.as_slice(), Some(*p))),
+            self.len(),
+            max_rows,
+        )
+    }
+}
+
+impl fmt::Display for ProbTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render(20))
+    }
+}
+
+/// Shared text renderer for both table kinds.
+fn render_rows<'a, I>(schema: &Schema, rows: I, total: usize, max_rows: usize) -> String
+where
+    I: Iterator<Item = (&'a [Value], Option<f64>)>,
+{
+    let mut header: Vec<String> = schema.names().map(str::to_string).collect();
+    let mut has_prob = false;
+    let mut body: Vec<Vec<String>> = Vec::new();
+    for (row, prob) in rows.take(max_rows) {
+        let mut cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        if let Some(p) = prob {
+            has_prob = true;
+            cells.push(format!("{p:.4}"));
+        }
+        body.push(cells);
+    }
+    if has_prob {
+        header.push("prob".to_string());
+    }
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in &body {
+        for (i, c) in row.iter().enumerate() {
+            widths[i] = widths[i].max(c.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| {
+        let mut line = String::new();
+        for i in 0..cols {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            let cell = cells.get(i).map(String::as_str).unwrap_or("");
+            line.push_str(&format!("{cell:>w$}", w = widths[i]));
+        }
+        line
+    };
+    out.push_str(&fmt_row(&header, &widths));
+    out.push('\n');
+    for row in &body {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    if total > body.len() {
+        out.push_str(&format!("… ({} more rows)\n", total - body.len()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ColumnType;
+
+    fn schema() -> Schema {
+        Schema::of(&[("time", ColumnType::Int), ("room", ColumnType::Int)])
+    }
+
+    #[test]
+    fn deterministic_insert_and_access() {
+        let mut t = Table::new("raw", schema());
+        t.insert(vec![Value::Int(1), Value::Int(4)]).unwrap();
+        t.insert(vec![Value::Int(2), Value::Int(3)]).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.cell(1, "room").unwrap(), &Value::Int(3));
+        assert_eq!(t.float_column("time").unwrap(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn prob_table_validates_probability() {
+        let mut p = ProbTable::new("view", schema());
+        assert!(p.insert(vec![Value::Int(1), Value::Int(1)], 0.5).is_ok());
+        assert!(matches!(
+            p.insert(vec![Value::Int(1), Value::Int(2)], 1.5),
+            Err(DbError::InvalidProbability(_))
+        ));
+        assert!(matches!(
+            p.insert(vec![Value::Int(1), Value::Int(2)], f64::NAN),
+            Err(DbError::InvalidProbability(_))
+        ));
+        assert!(p.insert(vec![Value::Int(1), Value::Int(2)], 0.0).is_ok());
+        assert!(p.insert(vec![Value::Int(1), Value::Int(3)], 1.0).is_ok());
+    }
+
+    #[test]
+    fn expected_count_is_probability_sum() {
+        let mut p = ProbTable::new("view", schema());
+        for (room, prob) in [(1, 0.5), (2, 0.1), (3, 0.3), (4, 0.1)] {
+            p.insert(vec![Value::Int(1), Value::Int(room)], prob)
+                .unwrap();
+        }
+        assert!((p.expected_count() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tuple_access_pairs_row_and_prob() {
+        let mut p = ProbTable::new("v", schema());
+        p.insert(vec![Value::Int(1), Value::Int(2)], 0.25).unwrap();
+        let (row, prob) = p.tuple(0);
+        assert_eq!(row[1], Value::Int(2));
+        assert_eq!(prob, 0.25);
+        assert_eq!(p.iter().count(), 1);
+    }
+
+    #[test]
+    fn render_includes_prob_column_and_truncation() {
+        let mut p = ProbTable::new("v", schema());
+        for i in 0..5 {
+            p.insert(vec![Value::Int(i), Value::Int(1)], 0.5).unwrap();
+        }
+        let text = p.render(3);
+        assert!(text.contains("prob"));
+        assert!(text.contains("0.5000"));
+        assert!(text.contains("2 more rows"));
+    }
+
+    #[test]
+    fn insert_rejects_bad_rows() {
+        let mut t = Table::new("raw", schema());
+        assert!(matches!(
+            t.insert(vec![Value::Int(1)]),
+            Err(DbError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            t.insert(vec![Value::from("x"), Value::Int(1)]),
+            Err(DbError::TypeMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,201 @@
+//! Cell values and column types for the probabilistic database substrate.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single cell value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 64-bit signed integer (timestamps, counters, room ids, …).
+    Int(i64),
+    /// 64-bit float (sensor readings, range bounds, probabilities).
+    Float(f64),
+    /// UTF-8 text.
+    Text(String),
+}
+
+/// Type tag of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// [`Value::Int`].
+    Int,
+    /// [`Value::Float`].
+    Float,
+    /// [`Value::Text`].
+    Text,
+}
+
+impl Value {
+    /// The type tag of this value.
+    pub fn column_type(&self) -> ColumnType {
+        match self {
+            Value::Int(_) => ColumnType::Int,
+            Value::Float(_) => ColumnType::Float,
+            Value::Text(_) => ColumnType::Text,
+        }
+    }
+
+    /// Numeric view (ints widen to float); `None` for text.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Text(_) => None,
+        }
+    }
+
+    /// Integer view; `None` for float/text.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Text view; `None` for numerics.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// SQL-style comparison: numerics compare numerically across Int/Float;
+    /// text compares lexicographically; mixed text/numeric comparisons are
+    /// undefined (`None`).
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
+            (Value::Text(_), _) | (_, Value::Text(_)) => None,
+            _ => {
+                let a = self.as_f64()?;
+                let b = other.as_f64()?;
+                a.partial_cmp(&b)
+            }
+        }
+    }
+
+    /// Whether a value can be stored in a column of type `ty` (ints coerce
+    /// into float columns).
+    pub fn fits(&self, ty: ColumnType) -> bool {
+        matches!(
+            (self, ty),
+            (Value::Int(_), ColumnType::Int)
+                | (Value::Int(_), ColumnType::Float)
+                | (Value::Float(_), ColumnType::Float)
+                | (Value::Text(_), ColumnType::Text)
+        )
+    }
+
+    /// Coerces into the given column type when [`Value::fits`] allows it.
+    pub fn coerce(self, ty: ColumnType) -> Option<Value> {
+        match (self, ty) {
+            (Value::Int(i), ColumnType::Float) => Some(Value::Float(i as f64)),
+            (v, ty) if v.column_type() == ty => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Text(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnType::Int => write!(f, "INT"),
+            ColumnType::Float => write!(f, "FLOAT"),
+            ColumnType::Text => write!(f, "TEXT"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_comparison_crosses_types() {
+        assert_eq!(
+            Value::Int(3).compare(&Value::Float(3.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Float(2.0).compare(&Value::Int(2)),
+            Some(Ordering::Equal)
+        );
+    }
+
+    #[test]
+    fn text_comparison_is_lexicographic() {
+        assert_eq!(
+            Value::from("abc").compare(&Value::from("abd")),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::from("x").compare(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn coercion_widens_int_to_float() {
+        assert_eq!(
+            Value::Int(4).coerce(ColumnType::Float),
+            Some(Value::Float(4.0))
+        );
+        assert_eq!(Value::Float(1.5).coerce(ColumnType::Int), None);
+        assert_eq!(Value::from("a").coerce(ColumnType::Text), Some(Value::from("a")));
+    }
+
+    #[test]
+    fn fits_matches_coerce() {
+        let cases = [
+            (Value::Int(1), ColumnType::Int, true),
+            (Value::Int(1), ColumnType::Float, true),
+            (Value::Int(1), ColumnType::Text, false),
+            (Value::Float(1.0), ColumnType::Int, false),
+            (Value::from("s"), ColumnType::Text, true),
+        ];
+        for (v, t, expect) in cases {
+            assert_eq!(v.fits(t), expect, "{v:?} fits {t:?}");
+            assert_eq!(v.clone().coerce(t).is_some(), expect);
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::Float(2.5).to_string(), "2.5");
+        assert_eq!(Value::from("hi").to_string(), "hi");
+        assert_eq!(ColumnType::Float.to_string(), "FLOAT");
+    }
+}

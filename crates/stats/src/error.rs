@@ -1,0 +1,70 @@
+//! Error type shared by the numerics substrate.
+
+use std::fmt;
+
+/// Errors surfaced by the statistics substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A matrix expected to be symmetric positive-definite was not.
+    NotPositiveDefinite,
+    /// An operation needed at least `needed` observations but only `got`
+    /// were supplied.
+    InsufficientData {
+        /// Minimum count required.
+        needed: usize,
+        /// Count actually supplied.
+        got: usize,
+    },
+    /// Vector/matrix dimensions do not line up.
+    DimensionMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Observed length.
+        got: usize,
+    },
+    /// Input is degenerate for the requested operation (e.g. a constant
+    /// series where variance structure is required).
+    DegenerateInput(String),
+    /// An iterative procedure failed to converge.
+    NoConvergence(String),
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::NotPositiveDefinite => {
+                write!(f, "matrix is not positive definite")
+            }
+            StatsError::InsufficientData { needed, got } => {
+                write!(f, "insufficient data: needed {needed}, got {got}")
+            }
+            StatsError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            StatsError::DegenerateInput(msg) => write!(f, "degenerate input: {msg}"),
+            StatsError::NoConvergence(msg) => write!(f, "no convergence: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StatsError::InsufficientData { needed: 10, got: 3 };
+        assert!(e.to_string().contains("needed 10"));
+        assert!(e.to_string().contains("got 3"));
+        let e = StatsError::DegenerateInput("constant series".into());
+        assert!(e.to_string().contains("constant series"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&StatsError::NotPositiveDefinite);
+    }
+}

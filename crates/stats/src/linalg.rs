@@ -1,0 +1,347 @@
+//! Minimal dense linear algebra: the few operations the estimation
+//! procedures need (Cholesky factorisation and SPD solves for normal
+//! equations), implemented directly on a small row-major matrix type.
+//!
+//! The matrices involved are tiny — ARMA regression designs have at most a
+//! dozen columns and the ARCH LM-test at most nine — so an O(k³) dense
+//! Cholesky is the right tool; no pivoting or blocking is required.
+
+use crate::error::StatsError;
+
+/// Dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Matrix::from_vec: data length {} != {rows}x{cols}",
+            data.len()
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow of the underlying row-major storage.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self * v`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, v.len(), "matvec: dimension mismatch");
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            out[i] = row.iter().zip(v).map(|(a, b)| a * b).sum();
+        }
+        out
+    }
+
+    /// Gram matrix `selfᵀ * self` computed without forming the transpose.
+    pub fn gram(&self) -> Matrix {
+        let k = self.cols;
+        let mut g = Matrix::zeros(k, k);
+        for r in 0..self.rows {
+            let row = &self.data[r * k..(r + 1) * k];
+            for i in 0..k {
+                let a = row[i];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in i..k {
+                    g[(i, j)] += a * row[j];
+                }
+            }
+        }
+        // Mirror the upper triangle.
+        for i in 0..k {
+            for j in 0..i {
+                g[(i, j)] = g[(j, i)];
+            }
+        }
+        g
+    }
+
+    /// `selfᵀ * y` for a response vector `y`.
+    pub fn tr_matvec(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(self.rows, y.len(), "tr_matvec: dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let yv = y[r];
+            for (o, &a) in out.iter_mut().zip(row) {
+                *o += a * yv;
+            }
+        }
+        out
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Cholesky factorisation of a symmetric positive-definite matrix:
+/// returns lower-triangular `L` with `L Lᵀ = A`.
+///
+/// Fails with [`StatsError::NotPositiveDefinite`] when a non-positive pivot
+/// is encountered.
+pub fn cholesky(a: &Matrix) -> Result<Matrix, StatsError> {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "cholesky: matrix must be square");
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return Err(StatsError::NotPositiveDefinite);
+                }
+                l[(i, j)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `A x = b` for symmetric positive-definite `A` via Cholesky
+/// (forward then backward substitution).
+pub fn solve_spd(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, StatsError> {
+    let l = cholesky(a)?;
+    let n = l.rows();
+    assert_eq!(b.len(), n, "solve_spd: rhs dimension mismatch");
+    // Forward: L y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[(i, k)] * y[k];
+        }
+        y[i] = sum / l[(i, i)];
+    }
+    // Backward: Lᵀ x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in i + 1..n {
+            sum -= l[(k, i)] * x[k];
+        }
+        x[i] = sum / l[(i, i)];
+    }
+    Ok(x)
+}
+
+/// Solves the symmetric Toeplitz system arising from the Yule-Walker
+/// equations via Levinson–Durbin recursion.
+///
+/// `autocov` holds autocovariances `γ_0 .. γ_p`; returns the AR coefficients
+/// `φ_1 .. φ_p` together with the innovation variance.
+pub fn levinson_durbin(autocov: &[f64]) -> Result<(Vec<f64>, f64), StatsError> {
+    if autocov.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            needed: 2,
+            got: autocov.len(),
+        });
+    }
+    let p = autocov.len() - 1;
+    let g0 = autocov[0];
+    if !(g0 > 0.0) {
+        return Err(StatsError::DegenerateInput(
+            "Yule-Walker: zero lag-0 autocovariance (constant series)".into(),
+        ));
+    }
+    let mut phi = vec![0.0; p];
+    let mut prev = vec![0.0; p];
+    let mut v = g0;
+    for k in 0..p {
+        let mut acc = autocov[k + 1];
+        for j in 0..k {
+            acc -= prev[j] * autocov[k - j];
+        }
+        let reflection = acc / v;
+        phi[k] = reflection;
+        for j in 0..k {
+            phi[j] = prev[j] - reflection * prev[k - 1 - j];
+        }
+        v *= 1.0 - reflection * reflection;
+        if !(v > 0.0) {
+            return Err(StatsError::DegenerateInput(
+                "Levinson-Durbin: non-positive prediction variance".into(),
+            ));
+        }
+        prev[..=k].copy_from_slice(&phi[..=k]);
+    }
+    Ok((phi, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let i = Matrix::identity(2);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn gram_matches_explicit_product() {
+        let a = Matrix::from_vec(3, 2, vec![1.0, 2.0, 0.5, -1.0, 2.0, 3.0]);
+        let g = a.gram();
+        let explicit = a.transpose().matmul(&a);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((g[(i, j)] - explicit[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_recovers_known_factor() {
+        // A = L Lᵀ with L = [[2,0],[1,3]] ⇒ A = [[4,2],[2,10]].
+        let a = Matrix::from_vec(2, 2, vec![4.0, 2.0, 2.0, 10.0]);
+        let l = cholesky(&a).unwrap();
+        assert!((l[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((l[(1, 0)] - 1.0).abs() < 1e-12);
+        assert!((l[(1, 1)] - 3.0).abs() < 1e-12);
+        assert_eq!(l[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]); // eigenvalues 3, -1
+        assert!(matches!(
+            cholesky(&a),
+            Err(StatsError::NotPositiveDefinite)
+        ));
+    }
+
+    #[test]
+    fn solve_spd_solves_exactly() {
+        let a = Matrix::from_vec(3, 3, vec![4.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 2.0]);
+        let x_true = [1.0, -2.0, 3.0];
+        let b = a.matvec(&x_true);
+        let x = solve_spd(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn levinson_durbin_solves_ar2_yule_walker() {
+        // AR(2) with φ = (0.5, 0.3): theoretical autocorrelations satisfy
+        // ρ1 = φ1/(1-φ2), ρ2 = φ1·ρ1 + φ2.
+        let phi1 = 0.5;
+        let phi2 = 0.3;
+        let rho1: f64 = phi1 / (1.0 - phi2);
+        let rho2: f64 = phi1 * rho1 + phi2;
+        let rho3: f64 = phi1 * rho2 + phi2 * rho1;
+        let (phi, v) = levinson_durbin(&[1.0, rho1, rho2, rho3]).unwrap();
+        assert!((phi[0] - phi1).abs() < 1e-10, "phi1 {}", phi[0]);
+        assert!((phi[1] - phi2).abs() < 1e-10, "phi2 {}", phi[1]);
+        // Third coefficient of a true AR(2) must be ≈ 0.
+        assert!(phi[2].abs() < 1e-10, "phi3 {}", phi[2]);
+        assert!(v > 0.0 && v < 1.0);
+    }
+
+    #[test]
+    fn levinson_durbin_rejects_constant_series() {
+        assert!(levinson_durbin(&[0.0, 0.0, 0.0]).is_err());
+    }
+}

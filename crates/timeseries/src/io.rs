@@ -1,0 +1,133 @@
+//! CSV import/export for time series.
+//!
+//! A deliberately small, dependency-free reader/writer for the two-column
+//! `time,value` format, so real sensor dumps can be loaded in place of the
+//! synthetic datasets.
+
+use crate::series::TimeSeries;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+
+/// Writes a series as `time,value` CSV with a header row.
+pub fn write_csv<W: Write>(series: &TimeSeries, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "time,{}", sanitize(series.name()))?;
+    for obs in series.iter() {
+        writeln!(w, "{},{}", obs.time, fmt_f64(obs.value))?;
+    }
+    w.flush()
+}
+
+/// Reads a `time,value` CSV (with a one-line header naming the value
+/// column) back into a [`TimeSeries`].
+///
+/// Blank lines are skipped; malformed rows produce an error naming the
+/// offending line number.
+pub fn read_csv<R: Read>(reader: R) -> io::Result<TimeSeries> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "empty CSV"))??;
+    let name = header
+        .split(',')
+        .nth(1)
+        .unwrap_or("value")
+        .trim()
+        .to_string();
+    let mut timestamps = Vec::new();
+    let mut values = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let mut parts = trimmed.split(',');
+        let parse_err = |what: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("CSV line {}: bad {what}: {trimmed:?}", lineno + 2),
+            )
+        };
+        let t: i64 = parts
+            .next()
+            .ok_or_else(|| parse_err("time"))?
+            .trim()
+            .parse()
+            .map_err(|_| parse_err("time"))?;
+        let v: f64 = parts
+            .next()
+            .ok_or_else(|| parse_err("value"))?
+            .trim()
+            .parse()
+            .map_err(|_| parse_err("value"))?;
+        timestamps.push(t);
+        values.push(v);
+    }
+    if !timestamps.windows(2).all(|w| w[0] < w[1]) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "CSV timestamps are not strictly increasing",
+        ));
+    }
+    Ok(TimeSeries::from_parts(name, timestamps, values))
+}
+
+/// Formats a float without losing round-trip precision.
+fn fmt_f64(v: f64) -> String {
+    // `{}` on f64 is shortest-round-trip in Rust.
+    format!("{v}")
+}
+
+/// Keeps the header cell single-token so the reader's `split(',')` works.
+fn sanitize(name: &str) -> String {
+    name.replace(',', "_")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_series() {
+        let s = TimeSeries::regular("temp", 10, 5, vec![1.5, -2.25, 1e-12, 37.125]);
+        let mut buf = Vec::new();
+        write_csv(&s, &mut buf).unwrap();
+        let back = read_csv(&buf[..]).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn reader_skips_blank_lines() {
+        let csv = "time,x\n1,1.0\n\n2,2.0\n";
+        let s = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.name(), "x");
+    }
+
+    #[test]
+    fn reader_reports_bad_rows_with_line_numbers() {
+        let csv = "time,x\n1,1.0\nbogus,2.0\n";
+        let err = read_csv(csv.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn reader_rejects_unordered_timestamps() {
+        let csv = "time,x\n5,1.0\n3,2.0\n";
+        assert!(read_csv(csv.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(read_csv(&b""[..]).is_err());
+    }
+
+    #[test]
+    fn header_with_commas_is_sanitized() {
+        let s = TimeSeries::regular("a,b", 0, 1, vec![1.0]);
+        let mut buf = Vec::new();
+        write_csv(&s, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("time,a_b\n"));
+    }
+}

@@ -1,0 +1,183 @@
+//! Resampling and gap handling for irregular series.
+//!
+//! GPS feeds arrive at irregular 1-2 s cadence with occasional dropouts;
+//! the sliding-window metrics assume a reasonably regular sequence. This
+//! module provides linear-interpolation resampling onto a regular grid and
+//! gap detection/filling, so real feeds can be normalised before entering
+//! the engine.
+
+use crate::series::TimeSeries;
+
+/// A detected gap: consecutive observations further apart than the
+/// declared maximum interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gap {
+    /// Timestamp of the last observation before the gap.
+    pub from: i64,
+    /// Timestamp of the first observation after the gap.
+    pub to: i64,
+}
+
+impl Gap {
+    /// Gap length in ticks.
+    pub fn span(&self) -> i64 {
+        self.to - self.from
+    }
+}
+
+/// Finds all gaps longer than `max_interval` ticks.
+pub fn find_gaps(series: &TimeSeries, max_interval: i64) -> Vec<Gap> {
+    assert!(max_interval > 0, "find_gaps: interval must be positive");
+    series
+        .timestamps()
+        .windows(2)
+        .filter(|w| w[1] - w[0] > max_interval)
+        .map(|w| Gap {
+            from: w[0],
+            to: w[1],
+        })
+        .collect()
+}
+
+/// Resamples onto a regular grid `start, start+interval, …` covering the
+/// series' time span, linearly interpolating between observations.
+///
+/// Grid points outside the observed span are not produced (no
+/// extrapolation). Returns an empty series for inputs with fewer than two
+/// observations.
+pub fn resample_linear(series: &TimeSeries, interval: i64) -> TimeSeries {
+    assert!(interval > 0, "resample_linear: interval must be positive");
+    let ts = series.timestamps();
+    let vs = series.values();
+    let name = format!("{}_resampled", series.name());
+    if ts.len() < 2 {
+        return TimeSeries::new(name);
+    }
+    let start = ts[0];
+    let end = ts[ts.len() - 1];
+    let mut out_t = Vec::new();
+    let mut out_v = Vec::new();
+    let mut seg = 0usize; // index of the segment [ts[seg], ts[seg+1]]
+    let mut t = start;
+    while t <= end {
+        while seg + 2 < ts.len() && ts[seg + 1] < t {
+            seg += 1;
+        }
+        let (t0, t1) = (ts[seg], ts[seg + 1]);
+        let (v0, v1) = (vs[seg], vs[seg + 1]);
+        let v = if t1 == t0 {
+            v0
+        } else {
+            v0 + (v1 - v0) * (t - t0) as f64 / (t1 - t0) as f64
+        };
+        out_t.push(t);
+        out_v.push(v);
+        t += interval;
+    }
+    TimeSeries::from_parts(name, out_t, out_v)
+}
+
+/// Fills gaps longer than `max_interval` by inserting linearly interpolated
+/// observations every `max_interval` ticks inside each gap; observations
+/// outside gaps are preserved exactly.
+pub fn fill_gaps(series: &TimeSeries, max_interval: i64) -> TimeSeries {
+    assert!(max_interval > 0, "fill_gaps: interval must be positive");
+    let ts = series.timestamps();
+    let vs = series.values();
+    let mut out_t = Vec::with_capacity(ts.len());
+    let mut out_v = Vec::with_capacity(vs.len());
+    for i in 0..ts.len() {
+        if i > 0 {
+            let (t0, t1) = (ts[i - 1], ts[i]);
+            if t1 - t0 > max_interval {
+                let (v0, v1) = (vs[i - 1], vs[i]);
+                let mut t = t0 + max_interval;
+                while t < t1 {
+                    out_t.push(t);
+                    out_v.push(v0 + (v1 - v0) * (t - t0) as f64 / (t1 - t0) as f64);
+                    t += max_interval;
+                }
+            }
+        }
+        out_t.push(ts[i]);
+        out_v.push(vs[i]);
+    }
+    TimeSeries::from_parts(series.name().to_string(), out_t, out_v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn irregular() -> TimeSeries {
+        TimeSeries::from_parts(
+            "x",
+            vec![0, 1, 2, 10, 11, 12],
+            vec![0.0, 1.0, 2.0, 10.0, 11.0, 12.0],
+        )
+    }
+
+    #[test]
+    fn finds_the_gap() {
+        let gaps = find_gaps(&irregular(), 2);
+        assert_eq!(gaps, vec![Gap { from: 2, to: 10 }]);
+        assert_eq!(gaps[0].span(), 8);
+        assert!(find_gaps(&irregular(), 10).is_empty());
+    }
+
+    #[test]
+    fn resample_reproduces_linear_data_exactly() {
+        // The series *is* the line v = t, so any grid reproduces it.
+        let r = resample_linear(&irregular(), 3);
+        assert_eq!(r.timestamps(), &[0, 3, 6, 9, 12]);
+        for obs in r.iter() {
+            assert!((obs.value - obs.time as f64).abs() < 1e-12, "{obs:?}");
+        }
+    }
+
+    #[test]
+    fn resample_interpolates_between_points() {
+        let s = TimeSeries::from_parts("x", vec![0, 10], vec![0.0, 100.0]);
+        let r = resample_linear(&s, 5);
+        assert_eq!(r.timestamps(), &[0, 5, 10]);
+        assert!((r.values()[1] - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resample_degenerate_inputs() {
+        let empty = TimeSeries::new("e");
+        assert!(resample_linear(&empty, 5).is_empty());
+        let single = TimeSeries::from_parts("s", vec![3], vec![7.0]);
+        assert!(resample_linear(&single, 5).is_empty());
+    }
+
+    #[test]
+    fn fill_gaps_preserves_original_observations() {
+        let s = irregular();
+        let filled = fill_gaps(&s, 2);
+        // Every original observation survives verbatim.
+        for obs in s.iter() {
+            let i = filled
+                .timestamps()
+                .iter()
+                .position(|&t| t == obs.time)
+                .unwrap();
+            assert_eq!(filled.values()[i], obs.value);
+        }
+        // And the gap is bridged at ≤ 2-tick spacing.
+        assert!(filled
+            .timestamps()
+            .windows(2)
+            .all(|w| w[1] - w[0] <= 2));
+        // Interpolated values lie on the line (data is linear).
+        for obs in filled.iter() {
+            assert!((obs.value - obs.time as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fill_gaps_noop_when_regular() {
+        let s = TimeSeries::regular("r", 0, 2, vec![1.0, 2.0, 3.0]);
+        assert_eq!(fill_gaps(&s, 2), s);
+    }
+}

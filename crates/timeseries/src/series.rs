@@ -1,0 +1,284 @@
+//! Time-series containers.
+//!
+//! A [`TimeSeries`] is the paper's `S = ⟨r_1, r_2, …, r_t⟩`: a sequence of
+//! timestamped raw (imprecise) values. Timestamps are `i64` ticks (the unit
+//! is up to the producer — seconds for the GPS dataset, 2-minute slots for
+//! the campus dataset) and are required to be strictly increasing.
+
+use std::fmt;
+
+/// A timestamped sequence of raw values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    name: String,
+    timestamps: Vec<i64>,
+    values: Vec<f64>,
+}
+
+/// One `(time, value)` observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// Timestamp tick.
+    pub time: i64,
+    /// Raw (imprecise) value `r_t`.
+    pub value: f64,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            timestamps: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Creates a series from parallel timestamp/value vectors.
+    ///
+    /// # Panics
+    /// Panics if the vectors have different lengths or timestamps are not
+    /// strictly increasing.
+    pub fn from_parts(name: impl Into<String>, timestamps: Vec<i64>, values: Vec<f64>) -> Self {
+        assert_eq!(
+            timestamps.len(),
+            values.len(),
+            "TimeSeries: timestamp/value length mismatch"
+        );
+        assert!(
+            timestamps.windows(2).all(|w| w[0] < w[1]),
+            "TimeSeries: timestamps must be strictly increasing"
+        );
+        TimeSeries {
+            name: name.into(),
+            timestamps,
+            values,
+        }
+    }
+
+    /// Creates a regularly sampled series starting at `t0` with the given
+    /// tick interval.
+    pub fn regular(name: impl Into<String>, t0: i64, interval: i64, values: Vec<f64>) -> Self {
+        assert!(interval > 0, "TimeSeries::regular: interval must be positive");
+        let timestamps = (0..values.len() as i64).map(|i| t0 + i * interval).collect();
+        TimeSeries {
+            name: name.into(),
+            timestamps,
+            values,
+        }
+    }
+
+    /// Series name (used as the default column name in the SQL layer).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Appends an observation.
+    ///
+    /// # Panics
+    /// Panics if `time` does not exceed the last timestamp.
+    pub fn push(&mut self, time: i64, value: f64) {
+        if let Some(&last) = self.timestamps.last() {
+            assert!(time > last, "TimeSeries::push: out-of-order timestamp");
+        }
+        self.timestamps.push(time);
+        self.values.push(value);
+    }
+
+    /// The raw values `r_1 .. r_t`.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the values (used by error injection).
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// The timestamps.
+    pub fn timestamps(&self) -> &[i64] {
+        &self.timestamps
+    }
+
+    /// Observation at positional index `i`.
+    pub fn get(&self, i: usize) -> Option<Observation> {
+        if i < self.len() {
+            Some(Observation {
+                time: self.timestamps[i],
+                value: self.values[i],
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Index of the first observation with timestamp ≥ `t`.
+    pub fn index_at_or_after(&self, t: i64) -> usize {
+        self.timestamps.partition_point(|&ts| ts < t)
+    }
+
+    /// Positional sub-range `[start, end)` as a borrowed slice of values.
+    pub fn value_slice(&self, start: usize, end: usize) -> &[f64] {
+        &self.values[start..end]
+    }
+
+    /// The paper's sliding window `S^H_{t-1} = ⟨r_{t−H}, …, r_{t−1}⟩` for
+    /// the observation at positional index `t`: the `h` values immediately
+    /// *before* index `t`. Returns `None` when fewer than `h` values
+    /// precede `t`.
+    pub fn window_before(&self, t: usize, h: usize) -> Option<&[f64]> {
+        if t > self.len() || t < h || h == 0 {
+            return None;
+        }
+        Some(&self.values[t - h..t])
+    }
+
+    /// Iterator over observations.
+    pub fn iter(&self) -> impl Iterator<Item = Observation> + '_ {
+        self.timestamps
+            .iter()
+            .zip(&self.values)
+            .map(|(&time, &value)| Observation { time, value })
+    }
+
+    /// Returns a new series holding the observations with timestamps in
+    /// `[t_lo, t_hi]` (inclusive, matching the paper's `WHERE t >= a AND
+    /// t <= b` semantics).
+    pub fn time_range(&self, t_lo: i64, t_hi: i64) -> TimeSeries {
+        let start = self.index_at_or_after(t_lo);
+        let end = self.timestamps.partition_point(|&ts| ts <= t_hi).max(start);
+        TimeSeries {
+            name: self.name.clone(),
+            timestamps: self.timestamps[start..end].to_vec(),
+            values: self.values[start..end].to_vec(),
+        }
+    }
+
+    /// Returns a positionally truncated copy with at most `n` leading
+    /// observations (used to build experiment workloads of graded size).
+    pub fn head(&self, n: usize) -> TimeSeries {
+        let n = n.min(self.len());
+        TimeSeries {
+            name: self.name.clone(),
+            timestamps: self.timestamps[..n].to_vec(),
+            values: self.values[..n].to_vec(),
+        }
+    }
+}
+
+impl fmt::Display for TimeSeries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TimeSeries[{}; {} obs", self.name, self.len())?;
+        if !self.is_empty() {
+            write!(
+                f,
+                "; t ∈ [{}, {}]",
+                self.timestamps[0],
+                self.timestamps[self.len() - 1]
+            )?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TimeSeries {
+        TimeSeries::regular("temp", 0, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0])
+    }
+
+    #[test]
+    fn regular_series_timestamps() {
+        let s = sample();
+        assert_eq!(s.timestamps(), &[0, 2, 4, 6, 8]);
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn window_before_matches_paper_definition() {
+        let s = sample();
+        // S^3_{t-1} for t = 4 (0-based): values at indices 1, 2, 3.
+        assert_eq!(s.window_before(4, 3).unwrap(), &[2.0, 3.0, 4.0]);
+        // Not enough history.
+        assert!(s.window_before(2, 3).is_none());
+        // Degenerate window length.
+        assert!(s.window_before(3, 0).is_none());
+        // Full-length window ending before the one-past-the-end index.
+        assert_eq!(s.window_before(5, 5).unwrap(), s.values());
+    }
+
+    #[test]
+    fn push_enforces_order() {
+        let mut s = sample();
+        s.push(10, 6.0);
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-order")]
+    fn push_rejects_stale_timestamp() {
+        let mut s = sample();
+        s.push(8, 9.9);
+    }
+
+    #[test]
+    fn time_range_is_inclusive() {
+        let s = sample();
+        let r = s.time_range(2, 6);
+        assert_eq!(r.values(), &[2.0, 3.0, 4.0]);
+        assert_eq!(r.timestamps(), &[2, 4, 6]);
+        // Empty range.
+        assert!(s.time_range(100, 200).is_empty());
+    }
+
+    #[test]
+    fn index_at_or_after_bisects() {
+        let s = sample();
+        assert_eq!(s.index_at_or_after(0), 0);
+        assert_eq!(s.index_at_or_after(3), 2);
+        assert_eq!(s.index_at_or_after(4), 2);
+        assert_eq!(s.index_at_or_after(9), 5);
+    }
+
+    #[test]
+    fn head_truncates() {
+        let s = sample();
+        assert_eq!(s.head(2).values(), &[1.0, 2.0]);
+        assert_eq!(s.head(99).len(), 5);
+    }
+
+    #[test]
+    fn iter_yields_observations() {
+        let s = sample();
+        let obs: Vec<Observation> = s.iter().collect();
+        assert_eq!(obs[1], Observation { time: 2, value: 2.0 });
+        assert_eq!(obs.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_parts_rejects_duplicates() {
+        TimeSeries::from_parts("x", vec![0, 1, 1], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = sample();
+        let d = format!("{s}");
+        assert!(d.contains("temp"));
+        assert!(d.contains("5 obs"));
+    }
+}

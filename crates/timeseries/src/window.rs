@@ -1,0 +1,122 @@
+//! Sliding-window iteration.
+//!
+//! The dynamic density metrics consume a sliding window `S^H_{t-1}` and
+//! predict the density of `r_t`. [`SlidingWindows`] iterates every such
+//! `(window, target index)` pair of a series — the loop structure used by
+//! the paper's evaluation ("we run the ARMA-GARCH algorithm on all sliding
+//! windows `S^H_{t-1}` of a time series where `H+1 ≤ t ≤ t_m`").
+
+use crate::series::TimeSeries;
+
+/// Iterator over all `(t, S^H_{t-1})` pairs of a series: for every target
+/// index `t` with at least `h` predecessors, yields the window of the `h`
+/// values before `t` together with `t` itself.
+pub struct SlidingWindows<'a> {
+    values: &'a [f64],
+    h: usize,
+    t: usize,
+}
+
+impl<'a> SlidingWindows<'a> {
+    /// Creates the iterator; yields nothing when `h == 0` or the series is
+    /// shorter than `h + 1`.
+    pub fn new(series: &'a TimeSeries, h: usize) -> Self {
+        SlidingWindows {
+            values: series.values(),
+            h,
+            t: h,
+        }
+    }
+
+    /// Creates the iterator over a bare slice (no timestamps needed).
+    pub fn over_slice(values: &'a [f64], h: usize) -> Self {
+        SlidingWindows { values, h, t: h }
+    }
+}
+
+/// One sliding-window step: the history window and the index of the value
+/// the metric must predict.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowStep<'a> {
+    /// The paper's `S^H_{t-1}`.
+    pub window: &'a [f64],
+    /// Positional index `t` of the value to predict.
+    pub target_index: usize,
+    /// The observed raw value `r_t` (used afterwards for the probability
+    /// integral transform).
+    pub target: f64,
+}
+
+impl<'a> Iterator for SlidingWindows<'a> {
+    type Item = WindowStep<'a>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.h == 0 || self.t >= self.values.len() {
+            return None;
+        }
+        let step = WindowStep {
+            window: &self.values[self.t - self.h..self.t],
+            target_index: self.t,
+            target: self.values[self.t],
+        };
+        self.t += 1;
+        Some(step)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = if self.h == 0 || self.t >= self.values.len() {
+            0
+        } else {
+            self.values.len() - self.t
+        };
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for SlidingWindows<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yields_every_window() {
+        let s = TimeSeries::regular("x", 0, 1, vec![10.0, 11.0, 12.0, 13.0, 14.0]);
+        let steps: Vec<_> = SlidingWindows::new(&s, 2).collect();
+        assert_eq!(steps.len(), 3);
+        assert_eq!(steps[0].window, &[10.0, 11.0]);
+        assert_eq!(steps[0].target_index, 2);
+        assert_eq!(steps[0].target, 12.0);
+        assert_eq!(steps[2].window, &[12.0, 13.0]);
+        assert_eq!(steps[2].target, 14.0);
+    }
+
+    #[test]
+    fn empty_when_series_too_short() {
+        let s = TimeSeries::regular("x", 0, 1, vec![1.0, 2.0]);
+        assert_eq!(SlidingWindows::new(&s, 2).count(), 0);
+        assert_eq!(SlidingWindows::new(&s, 5).count(), 0);
+    }
+
+    #[test]
+    fn zero_window_yields_nothing() {
+        let s = TimeSeries::regular("x", 0, 1, vec![1.0, 2.0, 3.0]);
+        assert_eq!(SlidingWindows::new(&s, 0).count(), 0);
+    }
+
+    #[test]
+    fn exact_size_hint() {
+        let s = TimeSeries::regular("x", 0, 1, (0..100).map(|i| i as f64).collect());
+        let it = SlidingWindows::new(&s, 30);
+        assert_eq!(it.len(), 70);
+    }
+
+    #[test]
+    fn over_slice_matches_series_version() {
+        let vals = [1.0, 4.0, 9.0, 16.0, 25.0];
+        let s = TimeSeries::regular("x", 0, 1, vals.to_vec());
+        let a: Vec<_> = SlidingWindows::new(&s, 3).map(|w| w.target).collect();
+        let b: Vec<_> = SlidingWindows::over_slice(&vals, 3).map(|w| w.target).collect();
+        assert_eq!(a, b);
+    }
+}

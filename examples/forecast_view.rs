@@ -1,0 +1,58 @@
+//! Forecast views: probabilistic statements about the *future* of a series
+//! (an extension of the paper's machinery — same ARMA+GARCH fit, pushed k
+//! steps ahead).
+//!
+//! Run with: `cargo run --release --example forecast_view`
+
+use tspdb::core::horizon::{forecast_view, prob_exceeds_at};
+use tspdb::timeseries::generate::TemperatureGenerator;
+use tspdb::{MetricConfig, OmegaSpec};
+
+fn main() {
+    // Recent history: the last 3 hours of 2-minute temperature readings.
+    let series = TemperatureGenerator::default().generate(400);
+    let window = &series.values()[series.len() - 90..];
+    let now = *window.last().unwrap();
+    println!(
+        "current reading: {now:.2} degC (window of {} samples)",
+        window.len()
+    );
+
+    let cfg = MetricConfig::default();
+
+    // A probabilistic forecast view: Omega lattice per future step.
+    let omega = OmegaSpec::new(0.5, 8).expect("omega");
+    let views = forecast_view(window, &cfg, 15, omega).expect("forecast view");
+    println!("\nforecast view (every 3rd step, 2-minute ticks):");
+    println!(
+        "{:>6} {:>9} {:>8}   most probable 0.5-degC range",
+        "step", "r_hat", "sigma"
+    );
+    for v in views.iter().step_by(3) {
+        let best = v
+            .values
+            .iter()
+            .max_by(|a, b| a.rho.partial_cmp(&b.rho).unwrap())
+            .unwrap();
+        println!(
+            "{:>6} {:>9.2} {:>8.3}   [{:.2}, {:.2}] with p = {:.3}",
+            v.steps_ahead, v.expected, v.sigma, best.lo, best.hi, best.rho
+        );
+    }
+
+    // Monitoring-style exceedance queries.
+    println!("\nexceedance probabilities:");
+    for (label, threshold) in [
+        ("+0.5 degC above now", now + 0.5),
+        ("+1.0 degC above now", now + 1.0),
+        ("+2.0 degC above now", now + 2.0),
+    ] {
+        let p10 = prob_exceeds_at(window, &cfg, 10, threshold).expect("exceedance");
+        println!("  P(r exceeds {label} in 20 minutes) = {p10:.3}");
+    }
+
+    println!(
+        "\nnote how sigma grows with the horizon — the predictive density \
+         widens as the GARCH variance path accumulates (see core::horizon)."
+    );
+}

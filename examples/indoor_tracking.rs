@@ -1,0 +1,156 @@
+//! Indoor tracking — the paper's motivating example (Fig. 1).
+//!
+//! Alice walks through a 2×2 grid of rooms while an indoor positioning
+//! system reports noisy (x, y) coordinates. We infer a density per axis
+//! with the ARMA-GARCH metric, integrate it over each room's extent, and
+//! materialise the `prob_view` table of Fig. 1: `⟨time, room, probability⟩`.
+//! Finally the most-probable-room query is scored against the ground truth.
+//!
+//! Run with: `cargo run --release --example indoor_tracking`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tspdb::core::metrics::{ArmaGarch, DynamicDensityMetric};
+use tspdb::probdb::query::{most_probable_per_group, threshold};
+use tspdb::probdb::{ColumnType, ProbTable, Schema, Value};
+use tspdb::MetricConfig;
+
+/// Room layout: a 2×2 grid, each room 10 m × 10 m (ids match Fig. 1).
+const ROOMS: [(i64, f64, f64, f64, f64); 4] = [
+    (1, 0.0, 10.0, 0.0, 10.0),   // room 1: lower-left
+    (2, 10.0, 20.0, 0.0, 10.0),  // room 2: lower-right
+    (3, 0.0, 10.0, 10.0, 20.0),  // room 3: upper-left
+    (4, 10.0, 20.0, 10.0, 20.0), // room 4: upper-right
+];
+
+fn room_of(x: f64, y: f64) -> i64 {
+    for (id, xl, xu, yl, yu) in ROOMS {
+        if x >= xl && x < xu && y >= yl && y < yu {
+            return id;
+        }
+    }
+    // Outside the grid — attribute to the nearest room edgewise.
+    if x < 10.0 {
+        if y < 10.0 {
+            1
+        } else {
+            3
+        }
+    } else if y < 10.0 {
+        2
+    } else {
+        4
+    }
+}
+
+/// A 2-D position sample.
+type Point = (f64, f64);
+
+/// Simulates Alice's walk: a waypoint-seeking stroll with positioning
+/// noise. Returns (true positions, measured positions).
+fn simulate_walk(steps: usize, seed: u64) -> (Vec<Point>, Vec<Point>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pos: Point = (5.0, 5.0); // start in room 1
+    let mut waypoint: Point = (15.0, 5.0);
+    let mut truth = Vec::with_capacity(steps);
+    let mut measured = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        // Head toward the waypoint; pick a new one on arrival.
+        let dx = waypoint.0 - pos.0;
+        let dy = waypoint.1 - pos.1;
+        let dist = (dx * dx + dy * dy).sqrt();
+        if dist < 0.8 {
+            waypoint = (rng.gen_range(1.0..19.0), rng.gen_range(1.0..19.0));
+        } else {
+            let speed = 0.35;
+            pos.0 += speed * dx / dist + rng.gen_range(-0.05..0.05);
+            pos.1 += speed * dy / dist + rng.gen_range(-0.05..0.05);
+        }
+        truth.push(pos);
+        // Indoor positioning error: ~1.2 m per axis.
+        measured.push((
+            pos.0 + rng.gen_range(-1.2..1.2),
+            pos.1 + rng.gen_range(-1.2..1.2),
+        ));
+    }
+    (truth, measured)
+}
+
+fn main() {
+    let steps = 400;
+    let h = 60;
+    let (truth, measured) = simulate_walk(steps, 7);
+
+    let xs: Vec<f64> = measured.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = measured.iter().map(|p| p.1).collect();
+
+    let cfg = MetricConfig {
+        p: 2,
+        q: 0,
+        ..MetricConfig::default()
+    };
+    let mut metric_x = ArmaGarch::new(cfg).expect("metric");
+    let mut metric_y = ArmaGarch::new(cfg).expect("metric");
+
+    // Build the Fig. 1 prob_view: for each t, P(room i) = P(x ∈ room_x) ·
+    // P(y ∈ room_y) under the independence of the two axis densities.
+    let schema = Schema::of(&[("time", ColumnType::Int), ("room", ColumnType::Int)]);
+    let mut prob_view = ProbTable::new("prob_view", schema);
+    for t in h..steps {
+        let dx = match metric_x.infer(&xs[t - h..t]) {
+            Ok(inf) => inf.density,
+            Err(_) => continue,
+        };
+        let dy = match metric_y.infer(&ys[t - h..t]) {
+            Ok(inf) => inf.density,
+            Err(_) => continue,
+        };
+        for (id, xl, xu, yl, yu) in ROOMS {
+            let p = dx.prob_in(xl, xu) * dy.prob_in(yl, yu);
+            prob_view
+                .insert(vec![Value::Int(t as i64), Value::Int(id)], p.clamp(0.0, 1.0))
+                .unwrap();
+        }
+    }
+
+    println!("prob_view (paper Fig. 1), first two timestamps:");
+    print!("{}", prob_view.render(8));
+
+    // "Where is Alice?" — the most probable room per timestamp.
+    let best = most_probable_per_group(&prob_view, "time").expect("argmax query");
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for (row, _) in best.iter() {
+        let t = row[0].as_i64().unwrap() as usize;
+        let predicted = row[1].as_i64().unwrap();
+        let actual = room_of(truth[t].0, truth[t].1);
+        total += 1;
+        if predicted == actual {
+            correct += 1;
+        }
+    }
+    println!(
+        "\nmost-probable-room accuracy vs ground truth: {:.1}% over {} timestamps",
+        100.0 * correct as f64 / total as f64,
+        total
+    );
+
+    // A threshold query: moments where we are ≥ 90% sure of the room.
+    let confident = threshold(&prob_view, 0.9).expect("threshold query");
+    println!(
+        "tuples with probability ≥ 0.9: {} (of {})",
+        confident.len(),
+        prob_view.len()
+    );
+
+    // Room occupancy as expected time: Σ_t P(room, t), by linearity.
+    println!("\nexpected timestamps spent per room:");
+    for (id, ..) in ROOMS {
+        let mass: f64 = prob_view
+            .iter()
+            .filter(|(row, _)| row[1].as_i64() == Some(id))
+            .map(|(_, p)| p)
+            .sum();
+        println!("  room {id}: {mass:.1}");
+    }
+}

@@ -1,0 +1,78 @@
+//! Choosing a dynamic density metric with the density distance.
+//!
+//! Quality of a probabilistic database is the quality of the densities it
+//! was generated from (paper Section II-B). This example scores all four
+//! metrics on both datasets with the density distance and prints a
+//! ranking, then demonstrates ARMA order selection by information
+//! criterion (the extension behind the paper's Fig. 12 discussion).
+//!
+//! Run with: `cargo run --release --example metric_selection`
+
+use tspdb::core::metrics::{make_metric, MetricKind};
+use tspdb::core::quality::evaluate_metric;
+use tspdb::models::order::{select_order, Criterion};
+use tspdb::timeseries::datasets::{campus_data, car_data, uniform_threshold_for};
+use tspdb::MetricConfig;
+
+fn main() {
+    let h = 60;
+    // Evaluate on a slice of each dataset and subsample windows so the
+    // EM-based Kalman metric finishes interactively.
+    let datasets = [
+        ("campus-data", campus_data().head(2500)),
+        ("car-data", car_data().head(2500)),
+    ];
+    let metrics = [
+        MetricKind::UniformThresholding,
+        MetricKind::VariableThresholding,
+        MetricKind::ArmaGarch,
+        MetricKind::KalmanGarch,
+    ];
+
+    for (name, series) in &datasets {
+        println!("=== {name} (window H = {h}, {} values) ===", series.len());
+        println!(
+            "{:<14} {:>16} {:>14} {:>10}",
+            "metric", "density distance", "avg time", "failures"
+        );
+        let mut scored = Vec::new();
+        for kind in metrics {
+            let cfg = MetricConfig {
+                p: 2,
+                q: 0,
+                threshold_u: uniform_threshold_for(name),
+                ..MetricConfig::default()
+            };
+            let mut metric = make_metric(kind, cfg).expect("metric");
+            let stride = if kind == MetricKind::KalmanGarch { 20 } else { 4 };
+            let eval = evaluate_metric(metric.as_mut(), series, h, stride).expect("evaluate");
+            println!(
+                "{:<14} {:>16.3} {:>14?} {:>10}",
+                kind.label(),
+                eval.density_distance,
+                eval.avg_time(),
+                eval.failures
+            );
+            scored.push((kind, eval.density_distance));
+        }
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        println!(
+            "--> best calibrated metric for {name}: {}\n",
+            scored[0].0.label()
+        );
+    }
+
+    // ARMA order selection on a campus window: BIC prefers the low orders
+    // the paper uses (Fig. 12 shows distance *grows* with order).
+    let window = campus_data().head(600);
+    println!("=== ARMA order selection on campus-data (BIC, lower is better) ===");
+    let scores = select_order(window.values(), 4, 1, Criterion::Bic).expect("order scan");
+    println!("{:<10} {:>12} {:>14}", "(p, q)", "BIC", "sigma^2_a");
+    for s in scores.iter().take(6) {
+        println!("({}, {})     {:>12.1} {:>14.4}", s.p, s.q, s.score, s.sigma2);
+    }
+    println!(
+        "--> selected order: ({}, {})",
+        scores[0].p, scores[0].q
+    );
+}

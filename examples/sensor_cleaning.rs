@@ -1,0 +1,103 @@
+//! Sensor cleaning with C-GARCH — the paper's Fig. 5 scenario.
+//!
+//! A temperature feed is corrupted with spikes (sensor glitches, network
+//! failures). Plain ARMA-GARCH's squared terms blow its volatility estimate
+//! up after each spike; C-GARCH detects the spikes online, substitutes the
+//! inferred value, and keeps σ̂ at the clean-data scale — while still
+//! adopting genuine trend changes.
+//!
+//! Run with: `cargo run --release --example sensor_cleaning`
+
+use tspdb::core::cgarch::{CGarch, CGarchConfig};
+use tspdb::core::metrics::{ArmaGarch, DynamicDensityMetric};
+use tspdb::timeseries::errors::{inject_spikes, SpikeConfig};
+use tspdb::timeseries::generate::TemperatureGenerator;
+use tspdb::MetricConfig;
+
+fn main() {
+    let h = 60;
+    let series = TemperatureGenerator::default().generate(900);
+    let injection = inject_spikes(
+        &series,
+        &SpikeConfig {
+            count: 12,
+            protect_prefix: h + 10,
+            seed: 99,
+            ..SpikeConfig::default()
+        },
+    );
+    println!(
+        "corrupted {} of {} readings at positions {:?}",
+        injection.count(),
+        series.len(),
+        injection.positions
+    );
+
+    // Plain ARMA-GARCH over every sliding window of the corrupted stream.
+    let mut plain = ArmaGarch::new(MetricConfig::default()).expect("metric");
+    let mut plain_detections = Vec::new();
+    let mut plain_max_sigma = 0.0f64;
+    let values = injection.series.values();
+    for t in h..values.len() {
+        if let Ok(inf) = plain.infer(&values[t - h..t]) {
+            plain_max_sigma = plain_max_sigma.max(inf.density.std());
+            if !inf.contains(values[t]) {
+                plain_detections.push(t);
+            }
+        }
+    }
+
+    // C-GARCH over the same stream (SVmax learned from the warm-up window).
+    let mut cgarch = CGarch::new(
+        CGarchConfig {
+            window: h,
+            ocmax: 8,
+            sv_max: None,
+        },
+        MetricConfig::default(),
+    )
+    .expect("cgarch");
+    let report = cgarch.process(values).expect("process");
+    let cg_max_sigma = report
+        .inferences
+        .iter()
+        .map(|(_, inf)| inf.density.std())
+        .fold(0.0f64, f64::max);
+
+    println!("\n                         plain ARMA-GARCH    C-GARCH");
+    println!(
+        "spikes captured          {:>6.1}%            {:>6.1}%",
+        100.0 * injection.capture_rate(&plain_detections),
+        100.0 * injection.capture_rate(&report.detections),
+    );
+    println!(
+        "max inferred sigma       {plain_max_sigma:>8.2} degC      {cg_max_sigma:>8.2} degC",
+    );
+    println!(
+        "trend changes declared   {:>8}            {:>8}",
+        "n/a",
+        report.trend_changes.len()
+    );
+
+    // Show the bound behaviour around the first spike (the Fig. 5 picture).
+    if let Some(&first_spike) = injection.positions.first() {
+        println!("\nbounds around the first spike (t = {first_spike}):");
+        println!("{:>5} {:>10} {:>10} {:>10} {:>10}", "t", "raw", "r_hat", "lb", "ub");
+        for (idx, inf) in &report.inferences {
+            if (*idx as i64 - first_spike as i64).abs() <= 4 {
+                println!(
+                    "{:>5} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+                    idx, values[*idx], inf.expected, inf.lower, inf.upper
+                );
+            }
+        }
+    }
+
+    println!(
+        "\nconclusion: C-GARCH kept sigma at {:.2} degC while plain GARCH reached {:.2} degC \
+         ({}x inflation) on the same corrupted stream.",
+        cg_max_sigma,
+        plain_max_sigma,
+        (plain_max_sigma / cg_max_sigma).round()
+    );
+}
