@@ -19,9 +19,11 @@ fn bench_estimation(c: &mut Criterion) {
             b.iter(|| fit_arma(std::hint::black_box(w), 2, 0).unwrap())
         });
         // Hannan–Rissanen two-stage (long AR + regression with MA terms).
-        arma.bench_with_input(BenchmarkId::new("arma11_hannan_rissanen", h), &window, |b, w| {
-            b.iter(|| fit_arma(std::hint::black_box(w), 1, 1).unwrap())
-        });
+        arma.bench_with_input(
+            BenchmarkId::new("arma11_hannan_rissanen", h),
+            &window,
+            |b, w| b.iter(|| fit_arma(std::hint::black_box(w), 1, 1).unwrap()),
+        );
     }
     arma.finish();
 

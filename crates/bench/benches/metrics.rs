@@ -22,11 +22,9 @@ fn bench_metrics(c: &mut Criterion) {
             } else {
                 group.sample_size(40);
             }
-            group.bench_with_input(
-                BenchmarkId::new(kind.label(), h),
-                &window,
-                |b, w| b.iter(|| metric.infer(std::hint::black_box(w)).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new(kind.label(), h), &window, |b, w| {
+                b.iter(|| metric.infer(std::hint::black_box(w)).unwrap())
+            });
         }
     }
     group.finish();

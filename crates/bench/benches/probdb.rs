@@ -13,7 +13,8 @@ fn ten_k_view() -> ProbTable {
     for t in 0..2500i64 {
         for lambda in -2..2i64 {
             let p = ((t * 7 + lambda * 13).rem_euclid(97)) as f64 / 100.0;
-            v.insert(vec![Value::Int(t), Value::Int(lambda)], p).unwrap();
+            v.insert(vec![Value::Int(t), Value::Int(lambda)], p)
+                .unwrap();
         }
     }
     v
@@ -57,9 +58,7 @@ fn bench_probdb(c: &mut Criterion) {
             });
             engine.load_series("raw_values", "r", &series).unwrap();
             engine
-                .execute(
-                    "CREATE VIEW pv AS DENSITY r OVER t OMEGA delta=0.1, n=20 FROM raw_values",
-                )
+                .execute("CREATE VIEW pv AS DENSITY r OVER t OMEGA delta=0.1, n=20 FROM raw_values")
                 .unwrap();
             std::hint::black_box(engine.db().prob_table("pv").unwrap().len())
         })

@@ -19,7 +19,7 @@ fn bench_sigma_cache(c: &mut Criterion) {
         })
     });
     group.bench_function("sigma_cache_hit", |b| {
-        let mut cache = SigmaCache::build(0.05, 2.61, omega, SigmaCacheConfig::default()).unwrap();
+        let cache = SigmaCache::build(0.05, 2.61, omega, SigmaCacheConfig::default()).unwrap();
         let mut i = 0;
         b.iter(|| {
             i = (i + 1) % sigmas.len();

@@ -11,11 +11,14 @@ use tspdb_bench::experiments::{run_experiment, Options, ALL_EXPERIMENTS};
 
 fn usage() -> ! {
     eprintln!("usage: experiments [--quick] <id>...");
-    eprintln!("  ids: all {}", ALL_EXPERIMENTS
-        .iter()
-        .map(|(n, _)| *n)
-        .collect::<Vec<_>>()
-        .join(" "));
+    eprintln!(
+        "  ids: all {}",
+        ALL_EXPERIMENTS
+            .iter()
+            .map(|(n, _)| *n)
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
     std::process::exit(2);
 }
 

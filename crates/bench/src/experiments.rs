@@ -160,7 +160,10 @@ fn exp_fig4() -> String {
         }
         let hi = bucket_means.iter().cloned().fold(0.0f64, f64::max);
         let lo = bucket_means.iter().cloned().fold(f64::INFINITY, f64::min);
-        let _ = writeln!(out, "\n{name}: rolling residual σ over {window}-sample windows");
+        let _ = writeln!(
+            out,
+            "\n{name}: rolling residual σ over {window}-sample windows"
+        );
         out.push_str(&t.render());
         let _ = writeln!(
             out,
@@ -179,9 +182,8 @@ fn exp_fig4() -> String {
 // ------------------------------------------------------------------ Fig. 5
 
 fn exp_fig5() -> String {
-    let mut out = String::from(
-        "=== Fig. 5: GARCH failure vs C-GARCH recovery on erroneous values ===\n",
-    );
+    let mut out =
+        String::from("=== Fig. 5: GARCH failure vs C-GARCH recovery on erroneous values ===\n");
     // A 170-sample campus stretch (the paper plots minutes 40-170) with
     // two spikes at the paper's positions 127 and 132.
     let h = 60;
@@ -237,7 +239,12 @@ fn exp_fig5() -> String {
                 format!("{:.2}", inf.expected),
                 format!("{:.2}", inf.lower),
                 format!("{:.2}", inf.upper),
-                if report.detections.contains(idx) { "ERR" } else { "" }.to_string(),
+                if report.detections.contains(idx) {
+                    "ERR"
+                } else {
+                    ""
+                }
+                .to_string(),
             ]);
         }
     }
@@ -316,10 +323,34 @@ fn sweep_metrics(opts: Options, parallel: bool) -> Vec<SweepRow> {
         // sequential (timing) sweep uses smaller budgets still — average
         // latency stabilises within tens of calls.
         let budget = match (metric, parallel) {
-            (MetricKind::KalmanGarch, true) => if opts.quick { 60 } else { 250 },
-            (MetricKind::KalmanGarch, false) => if opts.quick { 15 } else { 40 },
-            (_, true) => if opts.quick { 250 } else { 900 },
-            (_, false) => if opts.quick { 60 } else { 150 },
+            (MetricKind::KalmanGarch, true) => {
+                if opts.quick {
+                    60
+                } else {
+                    250
+                }
+            }
+            (MetricKind::KalmanGarch, false) => {
+                if opts.quick {
+                    15
+                } else {
+                    40
+                }
+            }
+            (_, true) => {
+                if opts.quick {
+                    250
+                } else {
+                    900
+                }
+            }
+            (_, false) => {
+                if opts.quick {
+                    60
+                } else {
+                    150
+                }
+            }
         };
         let stride = ((series.len() - h) / budget).max(1);
         let mut m = make_metric(*metric, cfg).expect("metric");
@@ -339,16 +370,15 @@ fn sweep_metrics(opts: Options, parallel: bool) -> Vec<SweepRow> {
         }
     };
     if parallel {
-        // Fan out across threads with crossbeam so the EM-heavy Kalman
-        // sweep uses all cores.
-        crossbeam::thread::scope(|scope| {
+        // Fan out across scoped threads so the EM-heavy Kalman sweep uses
+        // all cores.
+        std::thread::scope(|scope| {
             let handles: Vec<_> = jobs
                 .iter()
-                .map(|job| scope.spawn(move |_| run_job(job)))
+                .map(|job| scope.spawn(move || run_job(job)))
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         })
-        .expect("sweep threads")
     } else {
         jobs.iter().map(run_job).collect()
     }
@@ -393,7 +423,15 @@ fn exp_fig10(opts: Options) -> String {
     let mut out =
         String::from("=== Fig. 10: density distance vs window size (lower = better) ===\n");
     for dataset in ["campus-data", "car-data"] {
-        let _ = writeln!(out, "\n({}) {dataset}", if dataset.starts_with("campus") { "a" } else { "b" });
+        let _ = writeln!(
+            out,
+            "\n({}) {dataset}",
+            if dataset.starts_with("campus") {
+                "a"
+            } else {
+                "b"
+            }
+        );
         out.push_str(
             &sweep_table(&rows, dataset, &windows, |r| format!("{:.3}", r.distance)).render(),
         );
@@ -443,24 +481,26 @@ fn exp_fig11(opts: Options) -> String {
         "=== Fig. 11: average time per density inference (log-scale in the paper) ===\n",
     );
     for dataset in ["campus-data", "car-data"] {
-        let _ = writeln!(out, "\n({}) {dataset}", if dataset.starts_with("campus") { "a" } else { "b" });
-        out.push_str(
-            &sweep_table(&rows, dataset, &windows, |r| fmt_duration(r.avg_time)).render(),
+        let _ = writeln!(
+            out,
+            "\n({}) {dataset}",
+            if dataset.starts_with("campus") {
+                "a"
+            } else {
+                "b"
+            }
         );
+        out.push_str(&sweep_table(&rows, dataset, &windows, |r| fmt_duration(r.avg_time)).render());
         let ratio_at = |h: usize| {
             let ag = rows
                 .iter()
-                .find(|r| {
-                    r.dataset == dataset && r.metric == MetricKind::ArmaGarch && r.h == h
-                })
+                .find(|r| r.dataset == dataset && r.metric == MetricKind::ArmaGarch && r.h == h)
                 .unwrap()
                 .avg_time
                 .as_secs_f64();
             let kg = rows
                 .iter()
-                .find(|r| {
-                    r.dataset == dataset && r.metric == MetricKind::KalmanGarch && r.h == h
-                })
+                .find(|r| r.dataset == dataset && r.metric == MetricKind::KalmanGarch && r.h == h)
                 .unwrap()
                 .avg_time
                 .as_secs_f64();
@@ -657,9 +697,8 @@ fn exp_fig13(opts: Options) -> String {
 // ---------------------------------------------------------------- Fig. 14a
 
 fn exp_fig14a(opts: Options) -> String {
-    let mut out = String::from(
-        "=== Fig. 14(a): probabilistic view generation, naive vs sigma-cache ===\n",
-    );
+    let mut out =
+        String::from("=== Fig. 14(a): probabilistic view generation, naive vs sigma-cache ===\n");
     // The paper's setting: Δ = 0.05, n = 300, H' = 0.01, campus-data, view
     // sizes 6000..18000 tuples. Densities are inferred once with
     // ARMA-GARCH; the timed part is the probability value generation that
@@ -718,8 +757,7 @@ fn exp_fig14a(opts: Options) -> String {
             let started = Instant::now();
             let mut sink = 0.0;
             for _ in 0..runs {
-                let mut cache =
-                    SigmaCache::build(lo, hi, omega, SigmaCacheConfig::default()).unwrap();
+                let cache = SigmaCache::build(lo, hi, omega, SigmaCacheConfig::default()).unwrap();
                 for &(r_hat, sigma) in slice {
                     sink += cache.probability_values(r_hat, sigma)[150].rho;
                 }
@@ -729,7 +767,7 @@ fn exp_fig14a(opts: Options) -> String {
             started.elapsed() / runs
         };
         // Validate the approximation while we're here.
-        let mut cache = SigmaCache::build(lo, hi, omega, SigmaCacheConfig::default()).unwrap();
+        let cache = SigmaCache::build(lo, hi, omega, SigmaCacheConfig::default()).unwrap();
         let max_err = slice
             .iter()
             .take(500)
@@ -771,20 +809,14 @@ fn exp_fig14a(opts: Options) -> String {
 // ---------------------------------------------------------------- Fig. 14b
 
 fn exp_fig14b() -> String {
-    let mut out = String::from(
-        "=== Fig. 14(b): sigma-cache size vs maximum ratio threshold Ds ===\n",
-    );
+    let mut out =
+        String::from("=== Fig. 14(b): sigma-cache size vs maximum ratio threshold Ds ===\n");
     let omega = OmegaSpec::new(0.05, 300).unwrap();
     let mut t = TextTable::new(["Ds", "distributions", "cache size (KB)"]);
     let mut sizes = Vec::new();
     for spread in [2_000.0, 4_000.0, 8_000.0, 16_000.0] {
-        let cache = SigmaCache::build(
-            0.001,
-            0.001 * spread,
-            omega,
-            SigmaCacheConfig::default(),
-        )
-        .unwrap();
+        let cache =
+            SigmaCache::build(0.001, 0.001 * spread, omega, SigmaCacheConfig::default()).unwrap();
         sizes.push(cache.memory_bytes());
         t.row([
             format!("{spread:.0}"),
@@ -794,7 +826,10 @@ fn exp_fig14b() -> String {
     }
     out.push_str(&t.render());
     out.push_str("paper: ~850-1150 KB over the same Ds range, logarithmic growth\n");
-    let increments: Vec<i64> = sizes.windows(2).map(|w| w[1] as i64 - w[0] as i64).collect();
+    let increments: Vec<i64> = sizes
+        .windows(2)
+        .map(|w| w[1] as i64 - w[0] as i64)
+        .collect();
     let near_constant = increments
         .windows(2)
         .all(|w| ((w[0] - w[1]).abs() as f64) / (w[0].max(1) as f64) < 0.25);
@@ -826,7 +861,10 @@ fn exp_fig15(opts: Options) -> String {
     let step = if opts.quick { 50 } else { 10 };
     let take = if opts.quick { 4_000 } else { usize::MAX };
     let mut cross = Vec::new();
-    for (name, series) in [("campus-data (a)", campus_data()), ("car-data (b)", car_data())] {
+    for (name, series) in [
+        ("campus-data (a)", campus_data()),
+        ("car-data (b)", car_data()),
+    ] {
         let series = series.head(take);
         let resid = fit_arma(series.values(), 2, 0)
             .unwrap()
@@ -842,7 +880,10 @@ fn exp_fig15(opts: Options) -> String {
                 m.to_string(),
                 format!("{phi:.2}"),
                 format!("{crit:.2}"),
-                format!("{} ({windows} windows)", if phi > crit { "yes" } else { "no" }),
+                format!(
+                    "{} ({windows} windows)",
+                    if phi > crit { "yes" } else { "no" }
+                ),
             ]);
         }
         let _ = writeln!(out, "\n{name}");
@@ -898,7 +939,7 @@ fn exp_ablation_cache() -> String {
             distance_constraint: Some(h_prime),
             memory_constraint: None,
         };
-        let mut cache = SigmaCache::build(min_s, max_s, omega, cfg).unwrap();
+        let cache = SigmaCache::build(min_s, max_s, omega, cfg).unwrap();
         let started = Instant::now();
         let mut sink = 0.0;
         for &s in &sigmas {

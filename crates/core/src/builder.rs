@@ -6,10 +6,18 @@
 //! (the paper stores "parameters for generating the probabilities", after
 //! Jampani et al.), and then evaluates the probability value generation
 //! query (eq. 9) for each tuple — either directly, or through the σ-cache.
+//!
+//! Both passes are embarrassingly parallel across windows (the metrics are
+//! stateless between windows and the σ-cache is lock-free), so the builder
+//! fans each pass out over contiguous window segments via
+//! [`crate::parallel`]. Segment results are concatenated in order, making
+//! the output bit-for-bit identical to a sequential build for any thread
+//! count.
 
 use crate::error::CoreError;
 use crate::metrics::{make_metric, MetricConfig, MetricKind};
 use crate::omega::{probability_values, OmegaSpec, ProbabilityValue};
+use crate::parallel::{effective_threads, map_segments, try_map_segments};
 use crate::sigma_cache::{direct_probability_values, CacheStats, SigmaCache, SigmaCacheConfig};
 use std::time::{Duration, Instant};
 use tspdb_probdb::{ColumnType, ProbTable, Schema, Value};
@@ -28,6 +36,10 @@ pub struct ViewBuilderConfig {
     /// σ-cache configuration; `None` evaluates every tuple directly (the
     /// "naive" baseline of Fig. 14a).
     pub cache: Option<SigmaCacheConfig>,
+    /// Worker threads for the build: `0` uses one per available core, `1`
+    /// builds sequentially on the calling thread. The produced view is
+    /// identical for every setting.
+    pub threads: usize,
 }
 
 impl Default for ViewBuilderConfig {
@@ -37,6 +49,7 @@ impl Default for ViewBuilderConfig {
             metric_config: MetricConfig::default(),
             window: 60,
             cache: Some(SigmaCacheConfig::default()),
+            threads: 0,
         }
     }
 }
@@ -74,6 +87,8 @@ pub struct BuiltView {
     pub generation_time: Duration,
     /// Windows where the metric failed and no tuples were emitted.
     pub failures: usize,
+    /// Worker threads the build fanned out over.
+    pub threads_used: usize,
 }
 
 /// Schema of generated views: `(t, lambda, lo, hi)` + tuple probability.
@@ -122,36 +137,53 @@ impl OmegaViewBuilder {
         time_bounds: Option<(i64, i64)>,
     ) -> Result<BuiltView, CoreError> {
         let h = self.config.window;
-        let mut metric = make_metric(self.config.metric, self.config.metric_config)?;
+        let metric = make_metric(self.config.metric, self.config.metric_config)?;
         if h < metric.min_window() {
             return Err(CoreError::WindowTooShort {
                 needed: metric.min_window(),
                 got: h,
             });
         }
+        drop(metric); // each worker segment makes its own instance
         let values = series.values();
         let times = series.timestamps();
 
-        // Pass 1: infer a density per emitted timestamp.
-        let mut densities: Vec<(i64, Density)> = Vec::new();
-        let mut failures = 0usize;
+        // Indices of the windows whose tuples the view emits.
+        let emitted: Vec<usize> = (h..values.len())
+            .filter(|&t| match time_bounds {
+                Some((lo, hi)) => times[t] >= lo && times[t] <= hi,
+                None => true,
+            })
+            .collect();
+        let threads_used = effective_threads(self.config.threads, emitted.len());
+
+        // Pass 1: infer a density per emitted timestamp, one segment of
+        // windows per worker. Metrics are stateless across windows, so each
+        // worker's fresh instance produces the sequential result.
         let infer_started = Instant::now();
-        for t in h..values.len() {
-            if let Some((lo, hi)) = time_bounds {
-                if times[t] < lo || times[t] > hi {
-                    continue;
+        let segments = try_map_segments(emitted.len(), self.config.threads, |range| {
+            let mut metric = make_metric(self.config.metric, self.config.metric_config)?;
+            let mut densities: Vec<(i64, Density)> = Vec::with_capacity(range.len());
+            let mut failures = 0usize;
+            for &t in &emitted[range] {
+                match metric.infer(&values[t - h..t]) {
+                    Ok(inf) => densities.push((times[t], inf.density)),
+                    Err(_) => failures += 1,
                 }
             }
-            match metric.infer(&values[t - h..t]) {
-                Ok(inf) => densities.push((times[t], inf.density)),
-                Err(_) => failures += 1,
-            }
+            Ok::<_, CoreError>((densities, failures))
+        })?;
+        let mut densities: Vec<(i64, Density)> = Vec::with_capacity(emitted.len());
+        let mut failures = 0usize;
+        for (segment, segment_failures) in segments {
+            densities.extend(segment);
+            failures += segment_failures;
         }
         let inference_time = infer_started.elapsed();
 
         // Optional σ-cache over the Gaussian σ̂ spread of this view (the
         // paper computes min/max σ̂ over tuples matching the WHERE clause).
-        let mut cache = match self.config.cache {
+        let cache = match self.config.cache {
             Some(cfg) => {
                 let sigmas: Vec<f64> = densities
                     .iter()
@@ -171,31 +203,45 @@ impl OmegaViewBuilder {
             None => None,
         };
 
-        // Pass 2: generate probability values per tuple (eq. 9).
+        // Pass 2: generate probability values per tuple (eq. 9). The
+        // σ-cache is lock-free (`&self` lookups), so all workers share it
+        // directly.
+        let gen_started = Instant::now();
+        let cache_ref = cache.as_ref();
+        let tuple_segments = map_segments(densities.len(), self.config.threads, |range| {
+            densities[range]
+                .iter()
+                .map(|(time, density)| {
+                    let rows: Vec<ProbabilityValue> = match (cache_ref, density) {
+                        (Some(c), Density::Gaussian(g)) => c.probability_values(g.mean(), g.std()),
+                        (Some(_), other) => {
+                            // Uniform densities bypass the Gaussian cache.
+                            probability_values(other, &omega)
+                        }
+                        (None, Density::Gaussian(g)) => {
+                            direct_probability_values(g.mean(), g.std(), &omega)
+                        }
+                        (None, other) => probability_values(other, &omega),
+                    };
+                    (*time, *density, rows)
+                })
+                .collect::<Vec<_>>()
+        });
+
+        // Assembly: segment order == time order, so the view and model are
+        // identical to the sequential build.
         let mut view = ProbTable::new(view_name.to_string(), view_schema());
         let mut model = Vec::with_capacity(densities.len());
-        let gen_started = Instant::now();
-        for (time, density) in &densities {
+        for (time, density, rows) in tuple_segments.into_iter().flatten() {
             model.push(ModelRow {
-                time: *time,
+                time,
                 expected: density.mean(),
                 sigma: density.std(),
             });
-            let rows: Vec<ProbabilityValue> = match (&mut cache, density) {
-                (Some(c), Density::Gaussian(g)) => c.probability_values(g.mean(), g.std()),
-                (Some(_), other) => {
-                    // Uniform densities bypass the Gaussian cache.
-                    probability_values(other, &omega)
-                }
-                (None, Density::Gaussian(g)) => {
-                    direct_probability_values(g.mean(), g.std(), &omega)
-                }
-                (None, other) => probability_values(other, &omega),
-            };
             for pv in rows {
                 view.insert(
                     vec![
-                        Value::Int(*time),
+                        Value::Int(time),
                         Value::Int(pv.lambda),
                         Value::Float(pv.lo),
                         Value::Float(pv.hi),
@@ -215,6 +261,7 @@ impl OmegaViewBuilder {
             inference_time,
             generation_time,
             failures,
+            threads_used,
         })
     }
 }
@@ -304,9 +351,7 @@ mod tests {
             let lo0 = built
                 .view
                 .iter()
-                .find(|(row, _)| {
-                    row[0].as_i64() == Some(m.time) && row[1].as_i64() == Some(0)
-                })
+                .find(|(row, _)| row[0].as_i64() == Some(m.time) && row[1].as_i64() == Some(0))
                 .map(|(row, _)| row[2].as_f64().unwrap())
                 .unwrap();
             assert!((lo0 - m.expected).abs() < 1e-9);
@@ -325,6 +370,7 @@ mod tests {
             },
             window: 60,
             cache: Some(SigmaCacheConfig::default()),
+            ..ViewBuilderConfig::default()
         })
         .unwrap();
         let built = b.build(&s, omega, "pv", None).unwrap();
@@ -342,14 +388,52 @@ mod tests {
             ..ViewBuilderConfig::default()
         })
         .unwrap()
-        .build(
-            &series(100),
-            OmegaSpec::new(0.5, 4).unwrap(),
-            "pv",
-            None,
-        )
+        .build(&series(100), OmegaSpec::new(0.5, 4).unwrap(), "pv", None)
         .unwrap_err();
         assert!(matches!(err, CoreError::WindowTooShort { .. }));
+    }
+
+    #[test]
+    fn parallel_build_is_identical_to_sequential() {
+        let s = series(220);
+        let omega = OmegaSpec::new(0.2, 10).unwrap();
+        for cache in [None, Some(SigmaCacheConfig::default())] {
+            let sequential = OmegaViewBuilder::new(ViewBuilderConfig {
+                cache,
+                threads: 1,
+                ..ViewBuilderConfig::default()
+            })
+            .unwrap()
+            .build(&s, omega, "pv", None)
+            .unwrap();
+            for threads in [2, 3, 8] {
+                let parallel = OmegaViewBuilder::new(ViewBuilderConfig {
+                    cache,
+                    threads,
+                    ..ViewBuilderConfig::default()
+                })
+                .unwrap()
+                .build(&s, omega, "pv", None)
+                .unwrap();
+                assert_eq!(parallel.view, sequential.view, "threads = {threads}");
+                assert_eq!(parallel.model, sequential.model, "threads = {threads}");
+                assert_eq!(parallel.failures, sequential.failures);
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_is_reported() {
+        let s = series(120);
+        let omega = OmegaSpec::new(0.5, 4).unwrap();
+        let built = OmegaViewBuilder::new(ViewBuilderConfig {
+            threads: 2,
+            ..ViewBuilderConfig::default()
+        })
+        .unwrap()
+        .build(&s, omega, "pv", None)
+        .unwrap();
+        assert_eq!(built.threads_used, 2);
     }
 
     #[test]

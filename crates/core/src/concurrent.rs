@@ -1,23 +1,41 @@
-//! Thread-safe σ-cache sharing.
+//! Thread-safe sharing of the read path: σ-cache and engine.
 //!
 //! The paper positions the σ-cache as "an attractive solution for
 //! large-scale data processing"; in a server setting many query threads
-//! answer probability value generation queries against one cache. A built
-//! [`SigmaCache`] is read-mostly (lookups only mutate hit/miss counters),
-//! so a [`parking_lot::Mutex`] around it gives cheap sharing without
-//! poisoning semantics; [`SharedSigmaCache`] is `Clone + Send + Sync` and
-//! can be handed to worker threads directly.
+//! answer probability value generation queries against one cache and run
+//! `SELECT`s against one engine. Both are **lock-free on the read path**:
+//!
+//! * [`SharedSigmaCache`] is a thin `Arc` around [`SigmaCache`], whose
+//!   ladder is immutable and whose hit/miss counters are relaxed atomics —
+//!   lookups take `&self` and no thread ever blocks another. (Earlier
+//!   revisions serialized every lookup behind a `Mutex` just to bump the
+//!   counters; the atomic counters removed the last reason for exclusive
+//!   access.)
+//! * [`SharedEngine`] shares one catalog behind an [`RwLock`]: `SELECT`s
+//!   take the read lock and run concurrently, only mutating statements
+//!   (loads, `INSERT`, `DROP`, view registration) take the write lock.
+//!   Density-view *builds* — the expensive part of `CREATE VIEW … AS
+//!   DENSITY` — run under the read lock too, since building only reads the
+//!   source table; the write lock is held just long enough to register the
+//!   finished view.
 
+use crate::builder::ViewBuilderConfig;
+use crate::engine::{build_density_view, series_to_table, Engine, LastBuild};
 use crate::error::CoreError;
 use crate::omega::{OmegaSpec, ProbabilityValue};
 use crate::sigma_cache::{CacheStats, SigmaCache, SigmaCacheConfig};
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock, RwLockReadGuard};
+use tspdb_probdb::{Database, QueryOutput};
+use tspdb_timeseries::TimeSeries;
 
 /// A cloneable handle to a shared σ-cache.
+///
+/// Clones share the ladder *and* the usage counters. Since
+/// [`SigmaCache::probability_values`] takes `&self`, this wrapper is nothing
+/// but an `Arc` — there is no lock to acquire on any path.
 #[derive(Debug, Clone)]
 pub struct SharedSigmaCache {
-    inner: Arc<Mutex<SigmaCache>>,
+    inner: Arc<SigmaCache>,
 }
 
 impl SharedSigmaCache {
@@ -30,50 +48,176 @@ impl SharedSigmaCache {
         config: SigmaCacheConfig,
     ) -> Result<Self, CoreError> {
         Ok(SharedSigmaCache {
-            inner: Arc::new(Mutex::new(SigmaCache::build(
-                min_sigma, max_sigma, omega, config,
-            )?)),
+            inner: Arc::new(SigmaCache::build(min_sigma, max_sigma, omega, config)?),
         })
     }
 
     /// Wraps an already-built cache.
     pub fn from_cache(cache: SigmaCache) -> Self {
         SharedSigmaCache {
-            inner: Arc::new(Mutex::new(cache)),
+            inner: Arc::new(cache),
         }
+    }
+
+    /// The shared cache itself; [`SigmaCache`]'s whole API is available on
+    /// the reference.
+    pub fn cache(&self) -> &SigmaCache {
+        &self.inner
     }
 
     /// Answers the probability value generation query (see
     /// [`SigmaCache::probability_values`]).
     pub fn probability_values(&self, r_hat: f64, sigma: f64) -> Vec<ProbabilityValue> {
-        self.inner.lock().probability_values(r_hat, sigma)
+        self.inner.probability_values(r_hat, sigma)
     }
 
-    /// Aggregated usage counters across all threads.
+    /// Aggregated usage counters across all threads, read as one snapshot.
     pub fn stats(&self) -> CacheStats {
-        self.inner.lock().stats()
+        self.inner.stats()
     }
 
     /// Number of cached distributions.
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.inner.len()
     }
 
     /// Whether the ladder is empty.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().is_empty()
+        self.inner.is_empty()
     }
 
     /// Memory footprint in bytes.
     pub fn memory_bytes(&self) -> usize {
-        self.inner.lock().memory_bytes()
+        self.inner.memory_bytes()
+    }
+}
+
+/// A cloneable, `Send + Sync` handle to one engine shared across threads.
+///
+/// The catalog (the [`Database`] of tables and views) is the only state
+/// behind a lock; the builder defaults are immutable and the last-build
+/// diagnostics sit behind their own small lock so they never contend with
+/// queries.
+#[derive(Debug, Clone)]
+pub struct SharedEngine {
+    catalog: Arc<RwLock<Database>>,
+    defaults: ViewBuilderConfig,
+    last_build: Arc<RwLock<Option<LastBuild>>>,
+}
+
+impl Default for SharedEngine {
+    fn default() -> Self {
+        SharedEngine::new(ViewBuilderConfig::default())
+    }
+}
+
+impl SharedEngine {
+    /// Creates a shared engine with the given view-builder defaults.
+    pub fn new(defaults: ViewBuilderConfig) -> Self {
+        SharedEngine {
+            catalog: Arc::new(RwLock::new(Database::new())),
+            defaults,
+            last_build: Arc::new(RwLock::new(None)),
+        }
+    }
+
+    /// Promotes a single-threaded [`Engine`] (tables, views and build
+    /// diagnostics included) into a shared handle.
+    pub fn from_engine(engine: Engine) -> Self {
+        let (db, defaults, last_build) = engine.into_parts();
+        SharedEngine {
+            catalog: Arc::new(RwLock::new(db)),
+            defaults,
+            last_build: Arc::new(RwLock::new(last_build)),
+        }
+    }
+
+    /// Read access to the catalog. Holding the guard blocks writers (not
+    /// readers); drop it promptly.
+    pub fn read(&self) -> RwLockReadGuard<'_, Database> {
+        self.catalog.read().expect("catalog lock poisoned")
+    }
+
+    /// Runs a read-only statement (`SELECT`) under the shared read lock.
+    /// Any number of threads can be inside this call at once.
+    pub fn query(&self, sql: &str) -> Result<QueryOutput, CoreError> {
+        self.read().query(sql).map_err(CoreError::from)
+    }
+
+    /// Executes any SQL statement.
+    ///
+    /// * `SELECT` — read lock, concurrent with other readers.
+    /// * `CREATE VIEW … AS DENSITY` — the view is **built under the read
+    ///   lock** (inference only reads the source table), then registered
+    ///   under a brief write lock, so long builds do not starve queries.
+    ///   The build therefore works on a *snapshot*: if a writer replaces
+    ///   the source table in the gap, the registered view still reflects
+    ///   the data that was visible when the build began. Registration and
+    ///   the last-build diagnostics are updated inside one write-lock
+    ///   critical section, so `last_build()` always names the view
+    ///   registered last.
+    /// * Everything else — write lock.
+    pub fn execute(&self, sql: &str) -> Result<QueryOutput, CoreError> {
+        let stmt = tspdb_probdb::parse(sql)?;
+        match stmt {
+            tspdb_probdb::Statement::CreateDensityView(spec) => {
+                let (view, built) = build_density_view(&self.read(), self.defaults, &spec)?;
+                {
+                    // Lock order: catalog before last_build (the only place
+                    // both are held at once).
+                    let mut catalog = self.catalog.write().expect("catalog lock poisoned");
+                    catalog.register_prob_table(view)?;
+                    *self.last_build.write().expect("last-build lock poisoned") = Some(LastBuild {
+                        view_name: spec.view_name.clone(),
+                        built,
+                    });
+                }
+                Ok(QueryOutput::None)
+            }
+            tspdb_probdb::Statement::Select(sel) => {
+                self.read().query_select(&sel).map_err(CoreError::from)
+            }
+            other => self
+                .catalog
+                .write()
+                .expect("catalog lock poisoned")
+                .execute_parsed(other)
+                .map_err(CoreError::from),
+        }
+    }
+
+    /// Loads a time series as a `(t INT, <value_col> FLOAT)` table (write
+    /// lock; see [`Engine::load_series`]).
+    pub fn load_series(
+        &self,
+        table_name: &str,
+        value_column: &str,
+        series: &TimeSeries,
+    ) -> Result<(), CoreError> {
+        let table = series_to_table(table_name, value_column, series)?;
+        self.catalog
+            .write()
+            .expect("catalog lock poisoned")
+            .register_table(table)?;
+        Ok(())
+    }
+
+    /// Diagnostics of the most recent density-view build on this shared
+    /// engine (cloned out so no lock is held by the caller).
+    pub fn last_build(&self) -> Option<LastBuild> {
+        self.last_build
+            .read()
+            .expect("last-build lock poisoned")
+            .clone()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::MetricConfig;
     use crate::sigma_cache::direct_probability_values;
+    use tspdb_timeseries::generate::TemperatureGenerator;
 
     fn shared() -> SharedSigmaCache {
         SharedSigmaCache::build(
@@ -124,5 +268,132 @@ mod tests {
         assert_eq!(cache.len(), clone.len());
         assert!(!cache.is_empty());
         assert!(cache.memory_bytes() > 0);
+    }
+
+    fn shared_engine_with_view() -> SharedEngine {
+        let engine = SharedEngine::new(ViewBuilderConfig {
+            window: 60,
+            metric_config: MetricConfig {
+                p: 1,
+                ..MetricConfig::default()
+            },
+            ..ViewBuilderConfig::default()
+        });
+        let series = TemperatureGenerator::default().generate(150);
+        engine.load_series("raw_values", "r", &series).unwrap();
+        engine
+            .execute("CREATE VIEW pv AS DENSITY r OVER t OMEGA delta=0.5, n=6 FROM raw_values")
+            .unwrap();
+        engine
+    }
+
+    #[test]
+    fn shared_engine_serves_selects_from_many_threads() {
+        let engine = shared_engine_with_view();
+        let expected = engine
+            .query("SELECT * FROM pv WHERE prob >= 0.1")
+            .unwrap()
+            .prob_rows()
+            .unwrap()
+            .len();
+        assert!(expected > 0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let engine = engine.clone();
+                s.spawn(move || {
+                    for _ in 0..20 {
+                        let got = engine
+                            .query("SELECT * FROM pv WHERE prob >= 0.1")
+                            .unwrap()
+                            .prob_rows()
+                            .unwrap()
+                            .len();
+                        assert_eq!(got, expected);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn shared_engine_mixes_reads_and_writes() {
+        let engine = shared_engine_with_view();
+        std::thread::scope(|s| {
+            let reader = engine.clone();
+            s.spawn(move || {
+                for _ in 0..50 {
+                    let out = reader.query("SELECT * FROM pv LIMIT 5").unwrap();
+                    assert_eq!(out.prob_rows().unwrap().len(), 5);
+                }
+            });
+            let writer = engine.clone();
+            s.spawn(move || {
+                writer.execute("CREATE TABLE scratch (x INT)").unwrap();
+                writer
+                    .execute("INSERT INTO scratch VALUES (1), (2)")
+                    .unwrap();
+            });
+        });
+        let out = engine.query("SELECT * FROM scratch").unwrap();
+        assert_eq!(out.rows().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn shared_engine_from_engine_preserves_state() {
+        let mut e = Engine::new(ViewBuilderConfig {
+            window: 60,
+            metric_config: MetricConfig {
+                p: 1,
+                ..MetricConfig::default()
+            },
+            ..ViewBuilderConfig::default()
+        });
+        let series = TemperatureGenerator::default().generate(150);
+        e.load_series("raw_values", "r", &series).unwrap();
+        e.execute("CREATE VIEW pv AS DENSITY r OVER t OMEGA delta=0.5, n=6 FROM raw_values")
+            .unwrap();
+        let rows_before = e
+            .query("SELECT * FROM pv")
+            .unwrap()
+            .prob_rows()
+            .unwrap()
+            .len();
+
+        let shared = SharedEngine::from_engine(e);
+        let rows_after = shared
+            .query("SELECT * FROM pv")
+            .unwrap()
+            .prob_rows()
+            .unwrap()
+            .len();
+        assert_eq!(rows_before, rows_after);
+        assert_eq!(shared.last_build().unwrap().view_name, "pv");
+        assert!(shared.read().prob_table("pv").is_ok());
+    }
+
+    #[test]
+    fn shared_engine_rebuilds_views_concurrently_with_reads() {
+        let engine = shared_engine_with_view();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let reader = engine.clone();
+                s.spawn(move || {
+                    for _ in 0..10 {
+                        reader.query("SELECT * FROM pv LIMIT 1").unwrap();
+                    }
+                });
+            }
+            let builder = engine.clone();
+            s.spawn(move || {
+                builder
+                    .execute(
+                        "CREATE VIEW pv2 AS DENSITY r OVER t OMEGA delta=0.5, n=4 \
+                         FROM raw_values",
+                    )
+                    .unwrap();
+            });
+        });
+        assert_eq!(engine.last_build().unwrap().view_name, "pv2");
+        assert!(engine.read().prob_table("pv2").is_ok());
     }
 }

@@ -75,25 +75,29 @@ impl Engine {
         value_column: &str,
         series: &TimeSeries,
     ) -> Result<(), CoreError> {
-        let schema = Schema::new(vec![
-            ("t".to_string(), ColumnType::Int),
-            (value_column.to_string(), ColumnType::Float),
-        ]);
-        let mut table = Table::new(table_name.to_string(), schema);
-        for obs in series.iter() {
-            table.insert(vec![Value::Int(obs.time), Value::Float(obs.value)])?;
-        }
+        let table = series_to_table(table_name, value_column, series)?;
         self.db.register_table(table)?;
         Ok(())
     }
 
+    /// Executes a read-only statement (`SELECT`) against the database.
+    ///
+    /// Takes `&self`: queries never require exclusive access to the engine,
+    /// so any number of threads holding shared references (or a
+    /// [`crate::concurrent::SharedEngine`] read lock) can run them
+    /// concurrently.
+    pub fn query(&self, sql: &str) -> Result<QueryOutput, CoreError> {
+        self.db.query(sql).map_err(CoreError::from)
+    }
+
     /// Executes one SQL statement; `CREATE VIEW … AS DENSITY` is fulfilled
     /// by the Ω-view builder, everything else by the database layer.
+    /// Read-only statements are routed through [`Engine::query`].
     pub fn execute(&mut self, sql: &str) -> Result<QueryOutput, CoreError> {
         let stmt = tspdb_probdb::parse(sql)?;
         match stmt {
             tspdb_probdb::Statement::CreateDensityView(spec) => {
-                let (view, built) = self.build_density_view(&spec)?;
+                let (view, built) = build_density_view(&self.db, self.defaults, &spec)?;
                 self.db.register_prob_table(view)?;
                 self.last_build = Some(LastBuild {
                     view_name: spec.view_name.clone(),
@@ -101,34 +105,63 @@ impl Engine {
                 });
                 Ok(QueryOutput::None)
             }
-            _ => {
-                // Delegate; the statement was already validated by parse.
-                self.db.execute(sql).map_err(CoreError::from)
+            tspdb_probdb::Statement::Select(sel) => {
+                self.db.query_select(&sel).map_err(CoreError::from)
             }
+            other => self.db.execute_parsed(other).map_err(CoreError::from),
         }
     }
 
-    /// Fulfils a density-view spec against the current database.
-    fn build_density_view(
-        &self,
-        spec: &DensityViewSpec,
-    ) -> Result<(ProbTable, BuiltView), CoreError> {
-        let source = self.db.table(&spec.source_table)?;
-        let series = table_to_series(source, &spec.time_column, &spec.value_column)?;
-        let omega = OmegaSpec::new(spec.delta, spec.n)?;
-        let bounds = time_bounds_from_predicate(&spec.predicate, &spec.time_column)?;
-
-        let mut config = self.defaults;
-        if let Some(name) = &spec.metric {
-            config.metric = MetricKind::parse(name)?;
-        }
-        if let Some(w) = spec.window {
-            config.window = w;
-        }
-        let builder = OmegaViewBuilder::new(config)?;
-        let built = builder.build(&series, omega, &spec.view_name, bounds)?;
-        Ok((built.view.clone(), built))
+    /// Decomposes the engine into its state, for promotion into a
+    /// [`crate::concurrent::SharedEngine`].
+    pub(crate) fn into_parts(self) -> (Database, ViewBuilderConfig, Option<LastBuild>) {
+        (self.db, self.defaults, self.last_build)
     }
+}
+
+/// Fulfils a density-view spec against a database snapshot. Free function so
+/// both [`Engine`] and [`crate::concurrent::SharedEngine`] can build views —
+/// the latter under a *read* lock, since building only reads the source
+/// table.
+pub(crate) fn build_density_view(
+    db: &Database,
+    defaults: ViewBuilderConfig,
+    spec: &DensityViewSpec,
+) -> Result<(ProbTable, BuiltView), CoreError> {
+    let source = db.table(&spec.source_table)?;
+    let series = table_to_series(source, &spec.time_column, &spec.value_column)?;
+    let omega = OmegaSpec::new(spec.delta, spec.n)?;
+    let bounds = time_bounds_from_predicate(&spec.predicate, &spec.time_column)?;
+
+    let mut config = defaults;
+    if let Some(name) = &spec.metric {
+        config.metric = MetricKind::parse(name)?;
+    }
+    if let Some(w) = spec.window {
+        config.window = w;
+    }
+    let builder = OmegaViewBuilder::new(config)?;
+    let built = builder.build(&series, omega, &spec.view_name, bounds)?;
+    Ok((built.view.clone(), built))
+}
+
+/// Builds the `(t INT, <value_col> FLOAT)` table representation of a time
+/// series (shared by [`Engine::load_series`] and
+/// [`crate::concurrent::SharedEngine::load_series`]).
+pub(crate) fn series_to_table(
+    table_name: &str,
+    value_column: &str,
+    series: &TimeSeries,
+) -> Result<Table, CoreError> {
+    let schema = Schema::new(vec![
+        ("t".to_string(), ColumnType::Int),
+        (value_column.to_string(), ColumnType::Float),
+    ]);
+    let mut table = Table::new(table_name.to_string(), schema);
+    for obs in series.iter() {
+        table.insert(vec![Value::Int(obs.time), Value::Float(obs.value)])?;
+    }
+    Ok(table)
 }
 
 /// Converts a `(time, value)` table into a [`TimeSeries`], sorting by the
@@ -193,9 +226,10 @@ pub fn time_bounds_from_predicate(
                 cmp.column
             )));
         }
-        let v = cmp.value.as_i64().or_else(|| {
-            cmp.value.as_f64().map(|f| f as i64)
-        });
+        let v = cmp
+            .value
+            .as_i64()
+            .or_else(|| cmp.value.as_f64().map(|f| f as i64));
         let v = v.ok_or_else(|| {
             CoreError::InvalidConfig("time predicate literal must be numeric".into())
         })?;
@@ -242,10 +276,8 @@ mod tests {
     #[test]
     fn end_to_end_density_view_via_sql() {
         let mut e = engine_with_series(150);
-        e.execute(
-            "CREATE VIEW prob_view AS DENSITY r OVER t OMEGA delta=0.5, n=6 FROM raw_values",
-        )
-        .unwrap();
+        e.execute("CREATE VIEW prob_view AS DENSITY r OVER t OMEGA delta=0.5, n=6 FROM raw_values")
+            .unwrap();
         let out = e.execute("SELECT * FROM prob_view LIMIT 6").unwrap();
         let rows = out.prob_rows().unwrap();
         assert_eq!(rows.len(), 6);
@@ -329,9 +361,15 @@ mod tests {
     fn table_to_series_sorts_and_validates() {
         let schema = Schema::of(&[("t", ColumnType::Int), ("r", ColumnType::Float)]);
         let mut table = Table::new("raw", schema.clone());
-        table.insert(vec![Value::Int(3), Value::Float(3.0)]).unwrap();
-        table.insert(vec![Value::Int(1), Value::Float(1.0)]).unwrap();
-        table.insert(vec![Value::Int(2), Value::Float(2.0)]).unwrap();
+        table
+            .insert(vec![Value::Int(3), Value::Float(3.0)])
+            .unwrap();
+        table
+            .insert(vec![Value::Int(1), Value::Float(1.0)])
+            .unwrap();
+        table
+            .insert(vec![Value::Int(2), Value::Float(2.0)])
+            .unwrap();
         let s = table_to_series(&table, "t", "r").unwrap();
         assert_eq!(s.values(), &[1.0, 2.0, 3.0]);
 
@@ -351,14 +389,30 @@ mod tests {
     }
 
     #[test]
+    fn query_takes_shared_reference_and_rejects_writes() {
+        let mut e = engine_with_series(150);
+        e.execute("CREATE VIEW pv AS DENSITY r OVER t OMEGA delta=0.5, n=6 FROM raw_values")
+            .unwrap();
+        // Read path through &Engine only.
+        let shared: &Engine = &e;
+        let out = shared.query("SELECT * FROM pv LIMIT 3").unwrap();
+        assert_eq!(out.prob_rows().unwrap().len(), 3);
+        // Writes are refused on the read path.
+        assert!(shared.query("DROP TABLE raw_values").is_err());
+        assert!(shared
+            .query("INSERT INTO raw_values VALUES (1, 1.0)")
+            .is_err());
+        // …and still work through the write path.
+        assert!(e.execute("DROP VIEW pv").is_ok());
+    }
+
+    #[test]
     fn fig1_style_query_on_view() {
         // Downstream probabilistic query over the created view: the most
         // probable range per timestamp (the "which room is Alice in" shape).
         let mut e = engine_with_series(130);
-        e.execute(
-            "CREATE VIEW pv AS DENSITY r OVER t OMEGA delta=0.5, n=4 FROM raw_values",
-        )
-        .unwrap();
+        e.execute("CREATE VIEW pv AS DENSITY r OVER t OMEGA delta=0.5, n=4 FROM raw_values")
+            .unwrap();
         let view = e.db().prob_table("pv").unwrap();
         let best = tspdb_probdb::query::most_probable_per_group(view, "t").unwrap();
         assert_eq!(best.len(), 70);

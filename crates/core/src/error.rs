@@ -36,7 +36,10 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::WindowTooShort { needed, got } => {
-                write!(f, "window too short: metric needs {needed} values, got {got}")
+                write!(
+                    f,
+                    "window too short: metric needs {needed} values, got {got}"
+                )
             }
             CoreError::Numerics(e) => write!(f, "numerics: {e}"),
             CoreError::Db(e) => write!(f, "database: {e}"),

@@ -45,7 +45,6 @@
     clippy::needless_range_loop
 )]
 
-
 pub mod builder;
 pub mod cgarch;
 pub mod concurrent;
@@ -55,12 +54,14 @@ pub mod horizon;
 pub mod metrics;
 pub mod omega;
 pub mod online;
+pub mod parallel;
 pub mod quality;
 pub mod sigma_cache;
 pub mod svr;
 
 pub use builder::{BuiltView, OmegaViewBuilder, ViewBuilderConfig};
 pub use cgarch::{CGarch, CGarchConfig, CGarchReport};
+pub use concurrent::{SharedEngine, SharedSigmaCache};
 pub use engine::Engine;
 pub use error::CoreError;
 pub use metrics::{
@@ -69,7 +70,7 @@ pub use metrics::{
 };
 pub use omega::{OmegaSpec, ProbabilityValue};
 pub use quality::{density_distance, evaluate_metric, MetricEvaluation};
-pub use sigma_cache::{CacheStats, SigmaCache, SigmaCacheConfig};
+pub use sigma_cache::{CacheStats, SigmaCache, SigmaCacheConfig, SigmaLadder};
 
 #[cfg(test)]
 mod proptests {
@@ -106,7 +107,7 @@ mod proptests {
         ) {
             let spec = OmegaSpec::new(0.1, 10).unwrap();
             let max_sigma = min_sigma * spread;
-            let mut cache = SigmaCache::build(
+            let cache = SigmaCache::build(
                 min_sigma,
                 max_sigma,
                 spec,

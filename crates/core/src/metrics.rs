@@ -15,9 +15,9 @@
 //! [`crate::cgarch`].
 
 use crate::error::CoreError;
+use tspdb_models::arma::{fit_arma, min_window};
 use tspdb_models::garch::fit_garch11;
 use tspdb_models::kalman::{fit_em, EmConfig};
-use tspdb_models::arma::{fit_arma, min_window};
 use tspdb_stats::{Density, Normal, Uniform};
 
 /// One density inference: the paper's `p_t(R_t)` together with the derived
@@ -446,8 +446,16 @@ mod tests {
         let mut m = ArmaGarch::new(MetricConfig::default()).unwrap();
         let vol_end = end_of(max_i);
         let calm_end = end_of(min_i);
-        let vol_sigma = m.infer(&s.values()[vol_end - h..vol_end]).unwrap().density.std();
-        let calm_sigma = m.infer(&s.values()[calm_end - h..calm_end]).unwrap().density.std();
+        let vol_sigma = m
+            .infer(&s.values()[vol_end - h..vol_end])
+            .unwrap()
+            .density
+            .std();
+        let calm_sigma = m
+            .infer(&s.values()[calm_end - h..calm_end])
+            .unwrap()
+            .density
+            .std();
         assert!(
             vol_sigma > calm_sigma * 1.5,
             "volatile σ {vol_sigma} not ≫ calm σ {calm_sigma}"
@@ -486,9 +494,18 @@ mod tests {
 
     #[test]
     fn metric_kind_parsing() {
-        assert_eq!(MetricKind::parse("ARMA-GARCH").unwrap(), MetricKind::ArmaGarch);
-        assert_eq!(MetricKind::parse("ut").unwrap(), MetricKind::UniformThresholding);
-        assert_eq!(MetricKind::parse("Kalman").unwrap(), MetricKind::KalmanGarch);
+        assert_eq!(
+            MetricKind::parse("ARMA-GARCH").unwrap(),
+            MetricKind::ArmaGarch
+        );
+        assert_eq!(
+            MetricKind::parse("ut").unwrap(),
+            MetricKind::UniformThresholding
+        );
+        assert_eq!(
+            MetricKind::parse("Kalman").unwrap(),
+            MetricKind::KalmanGarch
+        );
         assert_eq!(MetricKind::parse("cgarch").unwrap(), MetricKind::CGarch);
         assert!(matches!(
             MetricKind::parse("nope"),

@@ -28,7 +28,7 @@ impl OmegaSpec {
                 "omega delta must be positive and finite, got {delta}"
             )));
         }
-        if n == 0 || n % 2 != 0 {
+        if n == 0 || !n.is_multiple_of(2) {
             return Err(CoreError::InvalidConfig(format!(
                 "omega n must be a positive even integer, got {n}"
             )));

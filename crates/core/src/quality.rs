@@ -135,9 +135,7 @@ pub fn evaluate_metric(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::metrics::{
-        ArmaGarch, MetricConfig, UniformThresholding, VariableThresholding,
-    };
+    use crate::metrics::{ArmaGarch, MetricConfig, UniformThresholding, VariableThresholding};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     use tspdb_timeseries::generate::ArmaGarchGenerator;
@@ -215,9 +213,15 @@ mod tests {
         let mut ut = UniformThresholding::new(cfg).unwrap();
         let mut vt = VariableThresholding::new(cfg).unwrap();
         let mut ag = ArmaGarch::new(cfg).unwrap();
-        let d_ut = evaluate_metric(&mut ut, &series, h, 1).unwrap().density_distance;
-        let d_vt = evaluate_metric(&mut vt, &series, h, 1).unwrap().density_distance;
-        let d_ag = evaluate_metric(&mut ag, &series, h, 1).unwrap().density_distance;
+        let d_ut = evaluate_metric(&mut ut, &series, h, 1)
+            .unwrap()
+            .density_distance;
+        let d_vt = evaluate_metric(&mut vt, &series, h, 1)
+            .unwrap()
+            .density_distance;
+        let d_ag = evaluate_metric(&mut ag, &series, h, 1)
+            .unwrap()
+            .density_distance;
         assert!(
             d_ag < d_vt && d_ag < d_ut,
             "ARMA-GARCH {d_ag} not best (UT {d_ut}, VT {d_vt})"

@@ -17,10 +17,21 @@
 //!
 //! Both can be active at once; when they conflict the cache refuses to
 //! build (the paper's storage/error trade-off made explicit).
+//!
+//! ## Concurrency model
+//!
+//! The ladder is computed once at build time and never mutated, so it lives
+//! in an immutable [`SigmaLadder`] behind an `Arc`; lookups take `&self`.
+//! The only mutable state is the pair of hit/miss counters, which are
+//! relaxed [`AtomicU64`]s — a [`SigmaCache`] is therefore `Sync` and can
+//! answer probability value generation queries from many threads with no
+//! lock on the read path.
 
 use crate::error::CoreError;
 use crate::omega::{OmegaSpec, ProbabilityValue};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use tspdb_stats::divergence::{
     hellinger_equal_mean, ratio_threshold_for_distance, ratio_threshold_for_memory,
 };
@@ -65,20 +76,31 @@ pub struct CacheStats {
     pub misses: u64,
 }
 
-/// The σ-cache.
+impl CacheStats {
+    /// Total number of lookups.
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// The immutable part of the σ-cache: the geometric σ ladder with its
+/// pre-computed CDF lattices.
+///
+/// Built once, never mutated — every accessor takes `&self`, so a ladder
+/// wrapped in an `Arc` can be shared freely across threads (it is both
+/// `Send` and `Sync`).
 #[derive(Debug, Clone)]
-pub struct SigmaCache {
+pub struct SigmaLadder {
     omega: OmegaSpec,
     ds: f64,
     min_sigma: f64,
     max_sigma: f64,
     ladder: BTreeMap<OrdF64, CachedDistribution>,
-    stats: CacheStats,
 }
 
-impl SigmaCache {
-    /// Builds the cache for standard deviations in `[min_sigma, max_sigma]`
-    /// under the given constraints.
+impl SigmaLadder {
+    /// Builds the ladder for standard deviations in `[min_sigma,
+    /// max_sigma]` under the given constraints.
     ///
     /// The ratio threshold is resolved as:
     /// * distance only → `d_s` from eq. 11 (largest admissible, fewest
@@ -147,19 +169,23 @@ impl SigmaCache {
             let cdf = offsets.iter().map(|&o| std_normal_cdf(o / sigma)).collect();
             ladder.insert(OrdF64::new(sigma), CachedDistribution { sigma, cdf });
         }
-        Ok(SigmaCache {
+        Ok(SigmaLadder {
             omega,
             ds,
             min_sigma,
             max_sigma,
             ladder,
-            stats: CacheStats::default(),
         })
     }
 
     /// The resolved ratio threshold `d_s`.
     pub fn ratio_threshold(&self) -> f64 {
         self.ds
+    }
+
+    /// The Ω lattice the ladder was built for.
+    pub fn omega(&self) -> OmegaSpec {
+        self.omega
     }
 
     /// Number of cached distributions (`⌈Q⌉ + 1` including the base rung).
@@ -175,20 +201,162 @@ impl SigmaCache {
     /// Approximate memory footprint in bytes: per rung, `n + 1` CDF values
     /// plus the key and σ — the quantity plotted in Fig. 14(b).
     pub fn memory_bytes(&self) -> usize {
-        let per_rung = (self.omega.n + 1) * std::mem::size_of::<f64>()
-            + 2 * std::mem::size_of::<f64>();
+        let per_rung =
+            (self.omega.n + 1) * std::mem::size_of::<f64>() + 2 * std::mem::size_of::<f64>();
         self.ladder.len() * per_rung
-    }
-
-    /// Usage counters.
-    pub fn stats(&self) -> CacheStats {
-        self.stats
     }
 
     /// The worst-case Hellinger distance incurred by ladder substitution:
     /// `H(σ, σ·d_s)` — by Theorem 1 this is ≤ the configured `H′`.
     pub fn worst_case_distance(&self) -> f64 {
         hellinger_equal_mean(1.0, self.ds)
+    }
+
+    /// The largest rung ≤ `sigma`, when `sigma` is inside the covered
+    /// range.
+    fn lookup(&self, sigma: f64) -> Option<&CachedDistribution> {
+        if sigma < self.min_sigma || sigma > self.max_sigma {
+            return None;
+        }
+        self.ladder
+            .range(..=OrdF64::new(sigma))
+            .next_back()
+            .map(|(_, d)| d)
+    }
+
+    /// The σ of the rung that would answer a query for `sigma` (for tests
+    /// and diagnostics).
+    pub fn rung_for(&self, sigma: f64) -> Option<f64> {
+        self.lookup(sigma).map(|d| d.sigma)
+    }
+
+    /// Answers the probability value generation query from the ladder, or
+    /// `None` when σ̂ falls outside the covered range.
+    pub fn probability_values(&self, r_hat: f64, sigma: f64) -> Option<Vec<ProbabilityValue>> {
+        let dist = self.lookup(sigma)?;
+        let omega = self.omega;
+        Some(
+            omega
+                .lambdas()
+                .enumerate()
+                .map(|(i, lambda)| {
+                    let (lo, hi) = omega.range(r_hat, lambda);
+                    ProbabilityValue {
+                        lambda,
+                        lo,
+                        hi,
+                        rho: (dist.cdf[i + 1] - dist.cdf[i]).max(0.0),
+                    }
+                })
+                .collect(),
+        )
+    }
+}
+
+/// The σ-cache: an [`Arc`]-shared [`SigmaLadder`] plus lock-free usage
+/// counters.
+///
+/// All lookups take `&self`; the type is `Send + Sync` and can be queried
+/// concurrently from many threads without any mutual exclusion.
+#[derive(Debug)]
+pub struct SigmaCache {
+    ladder: Arc<SigmaLadder>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Clone for SigmaCache {
+    /// Clones share the (immutable) ladder and start from a snapshot of the
+    /// current counters, preserving the value semantics of the pre-atomic
+    /// implementation.
+    fn clone(&self) -> Self {
+        let stats = self.stats();
+        SigmaCache {
+            ladder: Arc::clone(&self.ladder),
+            hits: AtomicU64::new(stats.hits),
+            misses: AtomicU64::new(stats.misses),
+        }
+    }
+}
+
+impl SigmaCache {
+    /// Builds the cache for standard deviations in `[min_sigma, max_sigma]`
+    /// under the given constraints (see [`SigmaLadder::build`]).
+    pub fn build(
+        min_sigma: f64,
+        max_sigma: f64,
+        omega: OmegaSpec,
+        config: SigmaCacheConfig,
+    ) -> Result<Self, CoreError> {
+        Ok(SigmaCache::from_ladder(Arc::new(SigmaLadder::build(
+            min_sigma, max_sigma, omega, config,
+        )?)))
+    }
+
+    /// Wraps an already-built ladder with fresh counters.
+    pub fn from_ladder(ladder: Arc<SigmaLadder>) -> Self {
+        SigmaCache {
+            ladder,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared immutable ladder.
+    pub fn ladder(&self) -> &Arc<SigmaLadder> {
+        &self.ladder
+    }
+
+    /// The resolved ratio threshold `d_s`.
+    pub fn ratio_threshold(&self) -> f64 {
+        self.ladder.ratio_threshold()
+    }
+
+    /// Number of cached distributions (`⌈Q⌉ + 1` including the base rung).
+    pub fn len(&self) -> usize {
+        self.ladder.len()
+    }
+
+    /// Whether the ladder is empty (never true after a successful build).
+    pub fn is_empty(&self) -> bool {
+        self.ladder.is_empty()
+    }
+
+    /// Approximate memory footprint in bytes (see
+    /// [`SigmaLadder::memory_bytes`]).
+    pub fn memory_bytes(&self) -> usize {
+        self.ladder.memory_bytes()
+    }
+
+    /// Usage counters, read as one snapshot.
+    ///
+    /// Both counters are sampled together: the hit counter is re-read until
+    /// it is stable around the miss read, so under concurrent traffic the
+    /// returned pair is bracketed by the true counter values at entry and
+    /// exit of this method (no torn `hits`-from-one-moment /
+    /// `misses`-from-another drift across lock round-trips, as the old
+    /// Mutex-per-field reads produced). After a few contended attempts the
+    /// last sample is returned.
+    pub fn stats(&self) -> CacheStats {
+        let mut hits = self.hits.load(Ordering::Acquire);
+        for _ in 0..8 {
+            let misses = self.misses.load(Ordering::Acquire);
+            let hits_after = self.hits.load(Ordering::Acquire);
+            if hits == hits_after {
+                return CacheStats { hits, misses };
+            }
+            hits = hits_after;
+        }
+        CacheStats {
+            hits,
+            misses: self.misses.load(Ordering::Acquire),
+        }
+    }
+
+    /// The worst-case Hellinger distance incurred by ladder substitution:
+    /// `H(σ, σ·d_s)` — by Theorem 1 this is ≤ the configured `H′`.
+    pub fn worst_case_distance(&self) -> f64 {
+        self.ladder.worst_case_distance()
     }
 
     /// Answers the probability value generation query for a Gaussian
@@ -198,38 +366,19 @@ impl SigmaCache {
     /// σ̂ outside `[min(σ), max(σ)]` counts as a miss and is computed
     /// directly — the guarantee only covers the range the cache was built
     /// for.
-    pub fn probability_values(&mut self, r_hat: f64, sigma: f64) -> Vec<ProbabilityValue> {
+    ///
+    /// Takes `&self`: the lookup is lock-free and safe to issue from many
+    /// threads concurrently.
+    pub fn probability_values(&self, r_hat: f64, sigma: f64) -> Vec<ProbabilityValue> {
         debug_assert!(sigma > 0.0, "sigma-cache query with non-positive σ");
-        let in_range = sigma >= self.min_sigma && sigma <= self.max_sigma;
-        let rung = if in_range {
-            self.ladder
-                .range(..=OrdF64::new(sigma))
-                .next_back()
-                .map(|(_, d)| d)
-        } else {
-            None
-        };
-        match rung {
-            Some(dist) => {
-                self.stats.hits += 1;
-                let omega = self.omega;
-                omega
-                    .lambdas()
-                    .enumerate()
-                    .map(|(i, lambda)| {
-                        let (lo, hi) = omega.range(r_hat, lambda);
-                        ProbabilityValue {
-                            lambda,
-                            lo,
-                            hi,
-                            rho: (dist.cdf[i + 1] - dist.cdf[i]).max(0.0),
-                        }
-                    })
-                    .collect()
+        match self.ladder.probability_values(r_hat, sigma) {
+            Some(values) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                values
             }
             None => {
-                self.stats.misses += 1;
-                direct_probability_values(r_hat, sigma, &self.omega)
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                direct_probability_values(r_hat, sigma, &self.ladder.omega)
             }
         }
     }
@@ -237,13 +386,7 @@ impl SigmaCache {
     /// The σ of the rung that would answer a query for `sigma` (for tests
     /// and diagnostics).
     pub fn rung_for(&self, sigma: f64) -> Option<f64> {
-        if sigma < self.min_sigma || sigma > self.max_sigma {
-            return None;
-        }
-        self.ladder
-            .range(..=OrdF64::new(sigma))
-            .next_back()
-            .map(|(_, d)| d.sigma)
+        self.ladder.rung_for(sigma)
     }
 }
 
@@ -255,10 +398,7 @@ pub fn direct_probability_values(
     omega: &OmegaSpec,
 ) -> Vec<ProbabilityValue> {
     let offsets = omega.offsets();
-    let cdfs: Vec<f64> = offsets
-        .iter()
-        .map(|&o| std_normal_cdf(o / sigma))
-        .collect();
+    let cdfs: Vec<f64> = offsets.iter().map(|&o| std_normal_cdf(o / sigma)).collect();
     omega
         .lambdas()
         .enumerate()
@@ -317,7 +457,7 @@ mod tests {
     #[test]
     fn distance_guarantee_holds_for_every_query() {
         let h_prime = 0.02;
-        let mut cache = SigmaCache::build(
+        let cache = SigmaCache::build(
             0.5,
             50.0,
             OmegaSpec::new(0.1, 20).unwrap(),
@@ -345,7 +485,7 @@ mod tests {
     #[test]
     fn cached_values_approximate_direct_values() {
         let spec = OmegaSpec::new(0.05, 300).unwrap();
-        let mut cache = SigmaCache::build(0.2, 5.0, spec, SigmaCacheConfig::default()).unwrap();
+        let cache = SigmaCache::build(0.2, 5.0, spec, SigmaCacheConfig::default()).unwrap();
         for &sigma in &[0.2, 0.31, 0.77, 1.9, 4.99] {
             let cached = cache.probability_values(10.0, sigma);
             let direct = direct_probability_values(10.0, sigma, &spec);
@@ -366,7 +506,7 @@ mod tests {
 
     #[test]
     fn lookup_uses_lower_bracketing_rung() {
-        let mut cache = SigmaCache::build(
+        let cache = SigmaCache::build(
             1.0,
             10.0,
             OmegaSpec::new(0.5, 4).unwrap(),
@@ -386,7 +526,7 @@ mod tests {
     #[test]
     fn out_of_range_sigma_counts_as_miss_but_stays_correct() {
         let spec = OmegaSpec::new(0.1, 10).unwrap();
-        let mut cache = SigmaCache::build(1.0, 2.0, spec, SigmaCacheConfig::default()).unwrap();
+        let cache = SigmaCache::build(1.0, 2.0, spec, SigmaCacheConfig::default()).unwrap();
         let got = cache.probability_values(0.0, 100.0);
         let want = direct_probability_values(0.0, 100.0, &spec);
         assert_eq!(got, want);
@@ -446,7 +586,7 @@ mod tests {
     #[test]
     fn degenerate_constant_sigma_range() {
         // min == max: one rung serves everything.
-        let mut cache = SigmaCache::build(
+        let cache = SigmaCache::build(
             2.0,
             2.0,
             OmegaSpec::new(0.1, 10).unwrap(),
@@ -508,5 +648,49 @@ mod tests {
         )
         .unwrap();
         assert_eq!(coarse.len(), fine.len());
+    }
+
+    #[test]
+    fn lookups_through_shared_reference_count_correctly() {
+        // The whole point of the refactor: &SigmaCache is enough to query,
+        // and the counters survive concurrent updates.
+        let cache = SigmaCache::build(
+            0.5,
+            5.0,
+            OmegaSpec::new(0.5, 4).unwrap(),
+            SigmaCacheConfig::default(),
+        )
+        .unwrap();
+        let shared: &SigmaCache = &cache;
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..250 {
+                        shared.probability_values(0.0, 0.5 + (i % 9) as f64 * 0.5);
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.total(), 1000);
+        assert_eq!(stats.misses, 0);
+    }
+
+    #[test]
+    fn clone_shares_ladder_but_not_counters() {
+        let cache = SigmaCache::build(
+            1.0,
+            2.0,
+            OmegaSpec::new(0.5, 4).unwrap(),
+            SigmaCacheConfig::default(),
+        )
+        .unwrap();
+        cache.probability_values(0.0, 1.5);
+        let clone = cache.clone();
+        assert_eq!(clone.stats(), cache.stats());
+        clone.probability_values(0.0, 1.5);
+        assert_eq!(clone.stats().hits, 2);
+        assert_eq!(cache.stats().hits, 1);
+        assert!(Arc::ptr_eq(cache.ladder(), clone.ladder()));
     }
 }

@@ -146,7 +146,11 @@ mod tests {
         tail[last] = 500.0;
         let out = svr_filter(&tail, 2.0);
         assert!(out.replaced.contains(&last));
-        assert!((out.values[last] - 12.0).abs() < 1e-9, "got {}", out.values[last]);
+        assert!(
+            (out.values[last] - 12.0).abs() < 1e-9,
+            "got {}",
+            out.values[last]
+        );
     }
 
     #[test]

@@ -212,11 +212,7 @@ mod tests {
     fn ar1_levels_are_not_arch() {
         // Raw AR(1) *residuals* (after removing the AR structure) are iid.
         let s = ar1_series(77, 0.8, 1.0, 5000);
-        let resid: Vec<f64> = s
-            .values()
-            .windows(2)
-            .map(|w| w[1] - 0.8 * w[0])
-            .collect();
+        let resid: Vec<f64> = s.values().windows(2).map(|w| w[1] - 0.8 * w[0]).collect();
         let t = arch_effect_test(&resid, 2, 0.05).unwrap();
         assert!(!t.rejects_iid(), "Φ = {} vs {}", t.statistic, t.critical);
     }

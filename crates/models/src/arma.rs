@@ -120,11 +120,7 @@ pub fn fit_arma(window: &[f64], p: usize, q: usize) -> Result<ArmaFit, StatsErro
 
     // Stage 2: regress r_i on intercept, its own lags, and lagged
     // innovation estimates. Rows start where all lags are defined.
-    let start = if q > 0 {
-        long_ar_order(p, q) + q
-    } else {
-        p
-    };
+    let start = if q > 0 { long_ar_order(p, q) + q } else { p };
     let rows = n - start;
     let y: Vec<f64> = window[start..].to_vec();
     let mut cols: Vec<Vec<f64>> = Vec::with_capacity(p + q);

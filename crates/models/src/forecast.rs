@@ -107,11 +107,7 @@ pub fn forecast_density_variances(
     let psi = psi_weights(arma, horizon);
     let sig = garch_variance_path(garch, last_a, last_sigma2, horizon);
     (0..horizon)
-        .map(|k| {
-            (0..=k)
-                .map(|j| psi[j] * psi[j] * sig[k - j])
-                .sum::<f64>()
-        })
+        .map(|k| (0..=k).map(|j| psi[j] * psi[j] * sig[k - j]).sum::<f64>())
         .collect()
 }
 
@@ -133,7 +129,10 @@ mod tests {
         // Deviations from the mean shrink by ≈ φ each step.
         let d0 = (path[0] - mean).abs();
         let d10 = (path[10] - mean).abs();
-        assert!(d10 < d0 * 0.8f64.powi(9) * 2.0, "decay too slow: {d0} -> {d10}");
+        assert!(
+            d10 < d0 * 0.8f64.powi(9) * 2.0,
+            "decay too slow: {d0} -> {d10}"
+        );
         // Far horizon ≈ unconditional mean.
         assert!((path[49] - mean).abs() < 0.05 * (1.0 + mean.abs()));
     }
@@ -197,7 +196,11 @@ mod tests {
         // Long-horizon variance approaches the process variance
         // σ̄²/(1−φ²) — within broad tolerance for estimated parameters.
         let theo = garch.unconditional_variance() / (1.0 - arma.phi[0] * arma.phi[0]);
-        assert!((vars[19] - theo).abs() / theo < 0.3, "{} vs {theo}", vars[19]);
+        assert!(
+            (vars[19] - theo).abs() / theo < 0.3,
+            "{} vs {theo}",
+            vars[19]
+        );
     }
 
     #[test]

@@ -122,8 +122,8 @@ pub fn fit_garch11(residuals: &[f64]) -> Result<Garch11Fit, StatsError> {
     // the classic initial guess for (1,1) fits on sensor/financial data.
     let x0 = [
         (var * 0.1).max(1e-12).ln(),
-        (0.9f64 / 0.1f64).ln(),  // sigmoid^{-1}(0.9)
-        (0.2f64 / 0.8f64).ln(),  // sigmoid^{-1}(0.2)
+        (0.9f64 / 0.1f64).ln(), // sigmoid^{-1}(0.9)
+        (0.2f64 / 0.8f64).ln(), // sigmoid^{-1}(0.2)
     ];
     let nm = NelderMead {
         max_iter: 300,
@@ -131,10 +131,7 @@ pub fn fit_garch11(residuals: &[f64]) -> Result<Garch11Fit, StatsError> {
         x_tol: 1e-7,
         initial_step: 0.25,
     };
-    let res = nm.minimize(
-        |x| garch11_nll(transform(x), residuals, var).0,
-        &x0,
-    );
+    let res = nm.minimize(|x| garch11_nll(transform(x), residuals, var).0, &x0);
     let (alpha0, alpha1, beta1) = transform(&res.x);
     let (nll, sigma2) = garch11_nll((alpha0, alpha1, beta1), residuals, var);
     Ok(Garch11Fit {
@@ -285,8 +282,7 @@ mod tests {
             converged: true,
         };
         let direct = fit.forecast_next(1.5, 0.8);
-        let general =
-            garch_forecast(0.1, &[0.2], &[0.5], &[9.0, 1.5], &[7.0, 0.8]).unwrap();
+        let general = garch_forecast(0.1, &[0.2], &[0.5], &[9.0, 1.5], &[7.0, 0.8]).unwrap();
         assert!((direct - general).abs() < 1e-12);
     }
 
@@ -326,6 +322,10 @@ mod tests {
         };
         let a = g.generate(4000).values().to_vec();
         let fit = fit_garch11(&a).unwrap();
-        assert!(fit.alpha1 < 0.06, "spurious ARCH effect: α1 = {}", fit.alpha1);
+        assert!(
+            fit.alpha1 < 0.06,
+            "spurious ARCH effect: α1 = {}",
+            fit.alpha1
+        );
     }
 }

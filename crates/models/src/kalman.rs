@@ -122,8 +122,7 @@ pub fn rts_smoother(filter: &FilterResult, p: &KalmanParams) -> SmootherResult {
     // Lag-one covariance recursion (Shumway & Stoffer, Property 6.3).
     let mut lag_one = vec![0.0; n];
     if n >= 2 {
-        lag_one[n - 1] =
-            (1.0 - filter.last_gain) * p.c1 * filter.filtered_var[n - 2];
+        lag_one[n - 1] = (1.0 - filter.last_gain) * p.c1 * filter.filtered_var[n - 2];
         for i in (1..n - 1).rev() {
             lag_one[i] = filter.filtered_var[i] * gains[i - 1]
                 + gains[i] * (lag_one[i + 1] - p.c1 * filter.filtered_var[i]) * gains[i - 1];
@@ -154,7 +153,13 @@ impl KalmanFit {
     /// One-step-ahead forecast of the next observation:
     /// `r̂_t = c_1 · x_{n|n}` (with `c_2 = 1`).
     pub fn forecast_next(&self) -> f64 {
-        self.params.c1 * self.filter.filtered_mean.last().copied().unwrap_or(self.params.mu0)
+        self.params.c1
+            * self
+                .filter
+                .filtered_mean
+                .last()
+                .copied()
+                .unwrap_or(self.params.mu0)
     }
 
     /// The innovation sequence (one-step prediction errors) — the `a_i`
@@ -369,15 +374,30 @@ mod tests {
             p0: 1.0,
         };
         let (_, obs) = simulate(&p, 4000, 4);
-        let fit = fit_em(&obs, &EmConfig { max_iter: 100, tol: 1e-9 }).unwrap();
+        let fit = fit_em(
+            &obs,
+            &EmConfig {
+                max_iter: 100,
+                tol: 1e-9,
+            },
+        )
+        .unwrap();
         assert!(
             (fit.params.c1 - 0.9).abs() < 0.05,
             "c1 = {} ≉ 0.9",
             fit.params.c1
         );
         // Noise variances land in the right order of magnitude.
-        assert!(fit.params.q > 0.05 && fit.params.q < 1.5, "q = {}", fit.params.q);
-        assert!(fit.params.r > 0.3 && fit.params.r < 2.5, "r = {}", fit.params.r);
+        assert!(
+            fit.params.q > 0.05 && fit.params.q < 1.5,
+            "q = {}",
+            fit.params.q
+        );
+        assert!(
+            fit.params.r > 0.3 && fit.params.r < 2.5,
+            "r = {}",
+            fit.params.r
+        );
     }
 
     #[test]
@@ -407,8 +427,7 @@ mod tests {
         };
         let (_, obs) = simulate(&p, 1000, 6);
         let fit = fit_em(&obs, &EmConfig::default()).unwrap();
-        let innov_var =
-            tspdb_stats::descriptive::sample_variance(&fit.innovations()[20..]);
+        let innov_var = tspdb_stats::descriptive::sample_variance(&fit.innovations()[20..]);
         // Innovation variance ≈ predicted var + obs var ≈ 1.0-1.2 here.
         assert!(
             innov_var > 0.5 && innov_var < 2.0,

@@ -23,7 +23,6 @@
     clippy::needless_range_loop
 )]
 
-
 pub mod archtest;
 pub mod arma;
 pub mod forecast;

@@ -123,11 +123,36 @@ impl Database {
             .ok_or_else(|| DbError::UnknownTable(name.to_string()))
     }
 
+    /// Executes a read-only statement (`SELECT`) with a shared borrow.
+    ///
+    /// This is the concurrent read path: `&self` means any number of
+    /// threads can run queries at once (e.g. through the read side of an
+    /// `RwLock`). Mutating statements are rejected with
+    /// [`DbError::ReadOnly`].
+    pub fn query(&self, sql: &str) -> Result<QueryOutput, DbError> {
+        match parse(sql)? {
+            Statement::Select(sel) => self.query_select(&sel),
+            other => Err(DbError::ReadOnly(format!("{other:?}"))),
+        }
+    }
+
+    /// Runs an already-parsed `SELECT` with a shared borrow — the
+    /// parse-free core of [`Database::query`], for callers (like the
+    /// engines) that classified the statement themselves.
+    pub fn query_select(&self, sel: &SelectStmt) -> Result<QueryOutput, DbError> {
+        self.execute_select(sel)
+    }
+
     /// Executes a SQL statement that does not require density inference.
     /// `CREATE VIEW … AS DENSITY …` returns [`DbError::Unsupported`]; use
     /// [`Database::execute_with`] for that.
     pub fn execute(&mut self, sql: &str) -> Result<QueryOutput, DbError> {
-        let stmt = parse(sql)?;
+        self.execute_parsed(parse(sql)?)
+    }
+
+    /// [`Database::execute`] for an already-parsed statement (no
+    /// re-tokenizing on paths where the caller holds the AST).
+    pub fn execute_parsed(&mut self, stmt: Statement) -> Result<QueryOutput, DbError> {
         match stmt {
             Statement::CreateDensityView(_) => Err(DbError::Unsupported(
                 "DENSITY views need a density handler; use execute_with (or the \
@@ -293,10 +318,7 @@ fn select_probabilistic(t: &ProbTable, sel: &SelectStmt) -> Result<ProbTable, Db
     };
     let mut out = ProbTable::new(t.name().to_string(), schema);
     for &i in &order {
-        out.insert(
-            idx.iter().map(|&c| rows[i][c].clone()).collect(),
-            probs[i],
-        )?;
+        out.insert(idx.iter().map(|&c| rows[i][c].clone()).collect(), probs[i])?;
     }
     Ok(out)
 }
@@ -324,7 +346,8 @@ mod tests {
 
     fn setup() -> Database {
         let mut db = Database::new();
-        db.execute("CREATE TABLE raw_values (t INT, r FLOAT)").unwrap();
+        db.execute("CREATE TABLE raw_values (t INT, r FLOAT)")
+            .unwrap();
         db.execute("INSERT INTO raw_values VALUES (1, 4.2), (2, 5.9), (3, 7.1), (4, 7.9)")
             .unwrap();
         db
@@ -391,8 +414,11 @@ mod tests {
                 ("hi", crate::value::ColumnType::Float),
             ]);
             let mut v = ProbTable::new("anything", schema);
-            v.insert(vec![Value::Int(1), Value::Float(0.0), Value::Float(1.0)], 0.7)
-                .unwrap();
+            v.insert(
+                vec![Value::Int(1), Value::Float(0.0), Value::Float(1.0)],
+                0.7,
+            )
+            .unwrap();
             Ok(v)
         };
         db.execute_with(sql, &mut handler).unwrap();
@@ -428,7 +454,8 @@ mod tests {
     fn insert_into_view_is_rejected() {
         let mut db = Database::new();
         let schema = Schema::of(&[("x", crate::value::ColumnType::Int)]);
-        db.register_prob_table(ProbTable::new("pv", schema)).unwrap();
+        db.register_prob_table(ProbTable::new("pv", schema))
+            .unwrap();
         assert!(matches!(
             db.execute("INSERT INTO pv VALUES (1)"),
             Err(DbError::Unsupported(_))
@@ -454,5 +481,27 @@ mod tests {
     fn relation_names_sorted() {
         let db = setup();
         assert_eq!(db.relation_names(), vec!["raw_values"]);
+    }
+
+    #[test]
+    fn query_path_serves_selects_and_rejects_writes() {
+        let db = setup();
+        // &Database is enough for a SELECT.
+        let out = db.query("SELECT * FROM raw_values WHERE t >= 3").unwrap();
+        assert_eq!(out.rows().unwrap().len(), 2);
+        // All mutating statements are turned away.
+        for sql in [
+            "CREATE TABLE other (x INT)",
+            "INSERT INTO raw_values VALUES (9, 1.0)",
+            "DROP TABLE raw_values",
+            "CREATE VIEW v AS DENSITY r OVER t OMEGA delta=1, n=2 FROM raw_values",
+        ] {
+            assert!(
+                matches!(db.query(sql), Err(DbError::ReadOnly(_))),
+                "{sql} slipped through the read-only path"
+            );
+        }
+        // The table is untouched.
+        assert_eq!(db.table("raw_values").unwrap().len(), 4);
     }
 }

@@ -35,6 +35,8 @@ pub enum DbError {
     /// Statement is valid but cannot be executed in this context (e.g. a
     /// DENSITY view without a registered density handler).
     Unsupported(String),
+    /// A mutating statement was issued on the read-only query path.
+    ReadOnly(String),
     /// The density-view handler reported a failure.
     ViewBuild(String),
 }
@@ -46,7 +48,10 @@ impl fmt::Display for DbError {
             DbError::UnknownTable(t) => write!(f, "unknown table or view: {t}"),
             DbError::DuplicateTable(t) => write!(f, "table or view already exists: {t}"),
             DbError::ArityMismatch { expected, got } => {
-                write!(f, "arity mismatch: schema has {expected} columns, row has {got}")
+                write!(
+                    f,
+                    "arity mismatch: schema has {expected} columns, row has {got}"
+                )
             }
             DbError::TypeMismatch {
                 column,
@@ -61,6 +66,12 @@ impl fmt::Display for DbError {
             }
             DbError::Parse(msg) => write!(f, "parse error: {msg}"),
             DbError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            DbError::ReadOnly(msg) => {
+                write!(
+                    f,
+                    "statement mutates the database, use the write path: {msg}"
+                )
+            }
             DbError::ViewBuild(msg) => write!(f, "view build failed: {msg}"),
         }
     }

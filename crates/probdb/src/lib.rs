@@ -27,7 +27,6 @@
     clippy::needless_range_loop
 )]
 
-
 pub mod aggregates;
 pub mod catalog;
 pub mod error;

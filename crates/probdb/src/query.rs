@@ -174,7 +174,8 @@ pub fn top_k(table: &ProbTable, k: usize) -> ProbTable {
     let mut out = ProbTable::new(table.name().to_string(), table.schema().clone());
     for &i in order.iter().take(k) {
         let (row, p) = table.tuple(i);
-        out.insert(row.to_vec(), p).expect("row came from same schema");
+        out.insert(row.to_vec(), p)
+            .expect("row came from same schema");
     }
     out
 }
@@ -344,13 +345,7 @@ mod tests {
         let schema = Schema::of(&[("x", ColumnType::Int)]);
         let row = vec![Value::Int(5)];
         let check = |op, lit: i64| {
-            eval_conjunction(
-                &schema,
-                &row,
-                None,
-                &vec![Comparison::new("x", op, lit)],
-            )
-            .unwrap()
+            eval_conjunction(&schema, &row, None, &vec![Comparison::new("x", op, lit)]).unwrap()
         };
         assert!(check(CmpOp::Eq, 5));
         assert!(check(CmpOp::Ne, 4));

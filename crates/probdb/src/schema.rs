@@ -31,12 +31,7 @@ impl Schema {
 
     /// Convenience constructor from `&str` names.
     pub fn of(columns: &[(&str, ColumnType)]) -> Self {
-        Schema::new(
-            columns
-                .iter()
-                .map(|(n, t)| (n.to_string(), *t))
-                .collect(),
-        )
+        Schema::new(columns.iter().map(|(n, t)| (n.to_string(), *t)).collect())
     }
 
     /// Number of columns.
@@ -174,9 +169,6 @@ mod tests {
 
     #[test]
     fn display_format() {
-        assert_eq!(
-            sample().to_string(),
-            "(time INT, r FLOAT, tag TEXT)"
-        );
+        assert_eq!(sample().to_string(), "(time INT, r FLOAT, tag TEXT)");
     }
 }

@@ -46,6 +46,17 @@ pub enum Statement {
     },
 }
 
+impl Statement {
+    /// Whether executing the statement leaves the database unchanged.
+    ///
+    /// Read-only statements are served by [`crate::Database::query`] with a
+    /// shared `&self` borrow; everything else needs the exclusive write
+    /// path.
+    pub fn is_read_only(&self) -> bool {
+        matches!(self, Statement::Select(_))
+    }
+}
+
 /// A `SELECT` statement over a deterministic table or probabilistic view.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SelectStmt {
@@ -291,9 +302,7 @@ impl Parser {
     fn expect_usize(&mut self) -> Result<usize, DbError> {
         match self.next() {
             Some(Token::Int(v)) if v >= 0 => Ok(v as usize),
-            other => Err(self.error(format!(
-                "expected non-negative integer, found {other:?}"
-            ))),
+            other => Err(self.error(format!("expected non-negative integer, found {other:?}"))),
         }
     }
 
@@ -498,8 +507,7 @@ impl Parser {
                 break;
             }
         }
-        let delta =
-            delta.ok_or_else(|| self.error("OMEGA clause must set delta"))?;
+        let delta = delta.ok_or_else(|| self.error("OMEGA clause must set delta"))?;
         let n = n.ok_or_else(|| self.error("OMEGA clause must set n"))?;
         if n == 0 || n % 2 != 0 {
             return Err(self.error(format!("OMEGA n must be a positive even integer, got {n}")));
@@ -619,8 +627,7 @@ mod tests {
                 ],
             }
         );
-        let insert =
-            parse("INSERT INTO raw_values VALUES (1, 4.2, 'a'), (2, -5.9, 'b')").unwrap();
+        let insert = parse("INSERT INTO raw_values VALUES (1, 4.2, 'a'), (2, -5.9, 'b')").unwrap();
         match insert {
             Statement::Insert { table, rows } => {
                 assert_eq!(table, "raw_values");

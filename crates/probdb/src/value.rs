@@ -173,7 +173,10 @@ mod tests {
             Some(Value::Float(4.0))
         );
         assert_eq!(Value::Float(1.5).coerce(ColumnType::Int), None);
-        assert_eq!(Value::from("a").coerce(ColumnType::Text), Some(Value::from("a")));
+        assert_eq!(
+            Value::from("a").coerce(ColumnType::Text),
+            Some(Value::from("a"))
+        );
     }
 
     #[test]

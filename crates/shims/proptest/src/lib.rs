@@ -1,0 +1,228 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace uses: the
+//! [`Strategy`] trait with [`Strategy::prop_map`], range and tuple
+//! strategies, [`collection::vec`], the [`proptest!`] macro and the
+//! `prop_assert*` macros. Cases are generated from a deterministic RNG —
+//! there is no shrinking; a failing case panics with the ordinary assert
+//! message, which is enough signal for CI.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// Re-export used by the macros (`$crate::rand_shim`).
+pub use rand as rand_shim;
+
+/// Number of cases each property runs. Proptest's default is 256; the shim
+/// uses a smaller budget because several properties fit GARCH/EM models per
+/// case.
+pub const NUM_CASES: usize = 64;
+
+/// A generator of arbitrary values.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(f64, i32, i64, u32, u64, usize, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with lengths drawn from `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates `Vec<S::Value>` with a length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = if self.len.start + 1 >= self.len.end {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property module usually imports.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+/// Runs each property for [`NUM_CASES`] deterministic cases.
+///
+/// Supported grammar (the subset the workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn prop_name(x in 0f64..1.0, v in proptest::collection::vec(0i64..5, 0..40)) {
+///         prop_assert!(x >= 0.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block)*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            use $crate::Strategy as _;
+            use $crate::rand_shim::SeedableRng as _;
+            // Seed folds in the property name so sibling properties do not
+            // share a case sequence.
+            let mut __seed = 0xcafef00dd15ea5e5u64;
+            for b in stringify!($name).bytes() {
+                __seed = __seed.wrapping_mul(1099511628211).wrapping_add(b as u64);
+            }
+            let mut __rng = $crate::rand_shim::rngs::StdRng::seed_from_u64(__seed);
+            for __case in 0..$crate::NUM_CASES {
+                $(let $arg = ($strategy).generate(&mut __rng);)*
+                $body
+            }
+        }
+    )*};
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in -3.0f64..3.0, n in 1usize..10) {
+            prop_assert!((-3.0..3.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_obeys_length(v in crate::collection::vec(0i64..5, 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+            for x in &v {
+                prop_assert!((0..5).contains(x));
+            }
+        }
+
+        #[test]
+        fn prop_map_applies(double in (0i64..10).prop_map(|x| x * 2)) {
+            prop_assert_eq!(double % 2, 0);
+            prop_assert!((0..20).contains(&double));
+        }
+    }
+
+    #[test]
+    fn tuples_and_trailing_comma_parse() {
+        proptest! {
+            #[allow(dead_code)]
+            fn inner(
+                pair in (0i64..3, 0.0f64..1.0),
+                k in 0u32..4,
+            ) {
+                prop_assert!((0..3).contains(&pair.0));
+                prop_assert!((0.0..1.0).contains(&pair.1));
+                prop_assert!(k < 4);
+            }
+        }
+        inner();
+    }
+}

@@ -75,7 +75,10 @@ pub fn ratio_threshold_for_distance(h: f64) -> f64 {
 /// ratio threshold must satisfy `d_s ≥ d_max^{1/q}` (eq. 14). Returns that
 /// minimal admissible `d_s`.
 pub fn ratio_threshold_for_memory(d_max: f64, q: usize) -> f64 {
-    assert!(d_max >= 1.0, "ratio_threshold_for_memory: spread must be ≥ 1");
+    assert!(
+        d_max >= 1.0,
+        "ratio_threshold_for_memory: spread must be ≥ 1"
+    );
     assert!(q > 0, "ratio_threshold_for_memory: need at least one slot");
     d_max.powf(1.0 / q as f64)
 }

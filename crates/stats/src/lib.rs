@@ -31,7 +31,6 @@
     clippy::needless_range_loop
 )]
 
-
 pub mod descriptive;
 pub mod distributions;
 pub mod divergence;

@@ -306,10 +306,7 @@ mod tests {
     #[test]
     fn cholesky_rejects_indefinite() {
         let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]); // eigenvalues 3, -1
-        assert!(matches!(
-            cholesky(&a),
-            Err(StatsError::NotPositiveDefinite)
-        ));
+        assert!(matches!(cholesky(&a), Err(StatsError::NotPositiveDefinite)));
     }
 
     #[test]

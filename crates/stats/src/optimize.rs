@@ -220,7 +220,11 @@ mod tests {
             |x| (x[0] - 3.0).powi(2) + 2.0 * (x[1] + 1.0).powi(2),
             &[0.0, 0.0],
         );
-        assert!(res.converged, "did not converge in {} iters", res.iterations);
+        assert!(
+            res.converged,
+            "did not converge in {} iters",
+            res.iterations
+        );
         assert!((res.x[0] - 3.0).abs() < 1e-4, "x0 = {}", res.x[0]);
         assert!((res.x[1] + 1.0).abs() < 1e-4, "x1 = {}", res.x[1]);
         assert!(res.fx < 1e-7);

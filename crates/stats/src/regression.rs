@@ -107,7 +107,10 @@ pub fn ols(x: &Matrix, y: &[f64]) -> Result<OlsFit, StatsError> {
 /// # Panics
 /// Panics if the columns have unequal lengths or no columns are supplied.
 pub fn design_from_columns(cols: &[&[f64]]) -> Matrix {
-    assert!(!cols.is_empty(), "design_from_columns: need at least one column");
+    assert!(
+        !cols.is_empty(),
+        "design_from_columns: need at least one column"
+    );
     let n = cols[0].len();
     assert!(
         cols.iter().all(|c| c.len() == n),

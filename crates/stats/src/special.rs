@@ -303,7 +303,10 @@ pub fn std_normal_quantile(p: f64) -> f64 {
 
 /// CDF of the chi-square distribution with `k` degrees of freedom.
 pub fn chi_square_cdf(x: f64, k: f64) -> f64 {
-    assert!(k > 0.0, "chi_square_cdf: degrees of freedom must be positive");
+    assert!(
+        k > 0.0,
+        "chi_square_cdf: degrees of freedom must be positive"
+    );
     if x <= 0.0 {
         return 0.0;
     }
@@ -316,14 +319,20 @@ pub fn chi_square_cdf(x: f64, k: f64) -> f64 {
 /// Used for the ARCH-effect hypothesis test threshold `χ²_m(α)` of the
 /// paper's Section VII-D (there `p = 1 − α`).
 pub fn chi_square_quantile(p: f64, k: f64) -> f64 {
-    assert!(k > 0.0, "chi_square_quantile: degrees of freedom must be positive");
+    assert!(
+        k > 0.0,
+        "chi_square_quantile: degrees of freedom must be positive"
+    );
     2.0 * inv_gammp(p, k / 2.0)
 }
 
 /// Survival probability of a chi-square test statistic (the p-value of an
 /// observed statistic `x` under `χ²_k`).
 pub fn chi_square_sf(x: f64, k: f64) -> f64 {
-    assert!(k > 0.0, "chi_square_sf: degrees of freedom must be positive");
+    assert!(
+        k > 0.0,
+        "chi_square_sf: degrees of freedom must be positive"
+    );
     if x <= 0.0 {
         return 1.0;
     }
@@ -357,7 +366,11 @@ mod tests {
     #[test]
     fn ln_gamma_reflection_negative_half() {
         // Γ(-0.5) = -2√π, so ln|Γ(-0.5)| = ln(2√π).
-        close(ln_gamma(-0.5), (2.0 * std::f64::consts::PI.sqrt()).ln(), 1e-12);
+        close(
+            ln_gamma(-0.5),
+            (2.0 * std::f64::consts::PI.sqrt()).ln(),
+            1e-12,
+        );
     }
 
     #[test]

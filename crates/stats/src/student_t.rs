@@ -206,10 +206,26 @@ mod tests {
     fn t_cdf_known_quantiles() {
         // Classic t-table: P(T_1 ≤ 6.3138) = 0.95 (and 12.7062 for 0.975);
         // P(T_5 ≤ 2.0150) = 0.95; P(T_10 ≤ 1.8125) = 0.95.
-        close(StudentT::standard(1.0).cdf(6.313_751_514_675_04), 0.95, 1e-9);
-        close(StudentT::standard(1.0).cdf(12.706_204_736_432_1), 0.975, 1e-9);
-        close(StudentT::standard(5.0).cdf(2.015_048_372_669_16), 0.95, 1e-9);
-        close(StudentT::standard(10.0).cdf(1.812_461_122_811_68), 0.95, 1e-9);
+        close(
+            StudentT::standard(1.0).cdf(6.313_751_514_675_04),
+            0.95,
+            1e-9,
+        );
+        close(
+            StudentT::standard(1.0).cdf(12.706_204_736_432_1),
+            0.975,
+            1e-9,
+        );
+        close(
+            StudentT::standard(5.0).cdf(2.015_048_372_669_16),
+            0.95,
+            1e-9,
+        );
+        close(
+            StudentT::standard(10.0).cdf(1.812_461_122_811_68),
+            0.95,
+            1e-9,
+        );
     }
 
     #[test]

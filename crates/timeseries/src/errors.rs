@@ -126,7 +126,13 @@ mod tests {
     #[test]
     fn injects_requested_count_at_distinct_positions() {
         let s = base();
-        let inj = inject_spikes(&s, &SpikeConfig { count: 50, ..Default::default() });
+        let inj = inject_spikes(
+            &s,
+            &SpikeConfig {
+                count: 50,
+                ..Default::default()
+            },
+        );
         assert_eq!(inj.count(), 50);
         let mut sorted = inj.positions.clone();
         sorted.dedup();
@@ -138,7 +144,13 @@ mod tests {
     fn spikes_are_large_outliers() {
         let s = base();
         let sigma = sample_std(s.values());
-        let inj = inject_spikes(&s, &SpikeConfig { count: 20, ..Default::default() });
+        let inj = inject_spikes(
+            &s,
+            &SpikeConfig {
+                count: 20,
+                ..Default::default()
+            },
+        );
         for (&p, &orig) in inj.positions.iter().zip(&inj.originals) {
             let delta = (inj.series.values()[p] - orig).abs();
             assert!(
@@ -152,7 +164,13 @@ mod tests {
     #[test]
     fn non_injected_positions_untouched() {
         let s = base();
-        let inj = inject_spikes(&s, &SpikeConfig { count: 10, ..Default::default() });
+        let inj = inject_spikes(
+            &s,
+            &SpikeConfig {
+                count: 10,
+                ..Default::default()
+            },
+        );
         for i in 0..s.len() {
             if !inj.is_injected(i) {
                 assert_eq!(s.values()[i], inj.series.values()[i]);
@@ -177,7 +195,13 @@ mod tests {
     #[test]
     fn capture_rate_scores_detections() {
         let s = base();
-        let inj = inject_spikes(&s, &SpikeConfig { count: 4, ..Default::default() });
+        let inj = inject_spikes(
+            &s,
+            &SpikeConfig {
+                count: 4,
+                ..Default::default()
+            },
+        );
         let all = inj.positions.clone();
         assert_eq!(inj.capture_rate(&all), 1.0);
         assert_eq!(inj.capture_rate(&all[..2]), 0.5);

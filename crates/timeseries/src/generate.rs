@@ -97,8 +97,7 @@ impl TemperatureGenerator {
             // Diurnal base curve: coldest ~05:00, warmest ~15:00.
             let base = self.daily_mean
                 + drift
-                + self.diurnal_amplitude
-                    * (2.0 * std::f64::consts::PI * (tod - 0.3125)).sin();
+                + self.diurnal_amplitude * (2.0 * std::f64::consts::PI * (tod - 0.3125)).sin();
             // Volatility regime: multi-hour bursts around sunrise (~06:30)
             // and sunset (~19:00), calm at night — Regions A and B of
             // Fig. 4(a). Widths of ~0.09 day ≈ 2 h keep the regimes visible
@@ -157,8 +156,8 @@ impl GpsGenerator {
         let mut target_v = self.cruise_speed;
         let mut phase_left = 40i64; // seconds until the next phase change
         let theta = 0.35; // OU mean-reversion strength
-        // GPS error is strongly autocorrelated (multipath/atmospheric
-        // drift), not white: AR(1) with the stationary std at noise_sigma.
+                          // GPS error is strongly autocorrelated (multipath/atmospheric
+                          // drift), not white: AR(1) with the stationary std at noise_sigma.
         let rho: f64 = 0.98;
         let innov = self.noise_sigma * (1.0 - rho * rho).sqrt();
         let mut gps_err = 0.0f64;
@@ -397,17 +396,17 @@ mod tests {
         let diffs: Vec<f64> = s.values().windows(2).map(|w| w[1] - w[0]).collect();
         let sq: Vec<f64> = diffs.iter().map(|d| d * d).collect();
         let ac = tspdb_stats::descriptive::autocorrelations(&sq, 1);
-        assert!(ac[1] > 0.05, "no ARCH effect in generator output: {}", ac[1]);
+        assert!(
+            ac[1] > 0.05,
+            "no ARCH effect in generator output: {}",
+            ac[1]
+        );
     }
 
     #[test]
     fn ar1_series_has_no_volatility_clustering() {
         let s = ar1_series(5, 0.6, 1.0, 20_000);
-        let resid: Vec<f64> = s
-            .values()
-            .windows(2)
-            .map(|w| w[1] - 0.6 * w[0])
-            .collect();
+        let resid: Vec<f64> = s.values().windows(2).map(|w| w[1] - 0.6 * w[0]).collect();
         let sq: Vec<f64> = resid.iter().map(|d| d * d).collect();
         let ac = tspdb_stats::descriptive::autocorrelations(&sq, 1);
         assert!(ac[1].abs() < 0.05, "AR(1) control shows ARCH: {}", ac[1]);

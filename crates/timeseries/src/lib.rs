@@ -24,7 +24,6 @@
     clippy::needless_range_loop
 )]
 
-
 pub mod datasets;
 pub mod errors;
 pub mod generate;

@@ -165,10 +165,7 @@ mod tests {
             assert_eq!(filled.values()[i], obs.value);
         }
         // And the gap is bridged at ≤ 2-tick spacing.
-        assert!(filled
-            .timestamps()
-            .windows(2)
-            .all(|w| w[1] - w[0] <= 2));
+        assert!(filled.timestamps().windows(2).all(|w| w[1] - w[0] <= 2));
         // Interpolated values lie on the line (data is linear).
         for obs in filled.iter() {
             assert!((obs.value - obs.time as f64).abs() < 1e-12);

@@ -59,8 +59,13 @@ impl TimeSeries {
     /// Creates a regularly sampled series starting at `t0` with the given
     /// tick interval.
     pub fn regular(name: impl Into<String>, t0: i64, interval: i64, values: Vec<f64>) -> Self {
-        assert!(interval > 0, "TimeSeries::regular: interval must be positive");
-        let timestamps = (0..values.len() as i64).map(|i| t0 + i * interval).collect();
+        assert!(
+            interval > 0,
+            "TimeSeries::regular: interval must be positive"
+        );
+        let timestamps = (0..values.len() as i64)
+            .map(|i| t0 + i * interval)
+            .collect();
         TimeSeries {
             name: name.into(),
             timestamps,
@@ -264,7 +269,13 @@ mod tests {
     fn iter_yields_observations() {
         let s = sample();
         let obs: Vec<Observation> = s.iter().collect();
-        assert_eq!(obs[1], Observation { time: 2, value: 2.0 });
+        assert_eq!(
+            obs[1],
+            Observation {
+                time: 2,
+                value: 2.0
+            }
+        );
         assert_eq!(obs.len(), 5);
     }
 

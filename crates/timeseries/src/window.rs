@@ -116,7 +116,9 @@ mod tests {
         let vals = [1.0, 4.0, 9.0, 16.0, 25.0];
         let s = TimeSeries::regular("x", 0, 1, vals.to_vec());
         let a: Vec<_> = SlidingWindows::new(&s, 3).map(|w| w.target).collect();
-        let b: Vec<_> = SlidingWindows::over_slice(&vals, 3).map(|w| w.target).collect();
+        let b: Vec<_> = SlidingWindows::over_slice(&vals, 3)
+            .map(|w| w.target)
+            .collect();
         assert_eq!(a, b);
     }
 }

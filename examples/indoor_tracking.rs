@@ -108,7 +108,10 @@ fn main() {
         for (id, xl, xu, yl, yu) in ROOMS {
             let p = dx.prob_in(xl, xu) * dy.prob_in(yl, yu);
             prob_view
-                .insert(vec![Value::Int(t as i64), Value::Int(id)], p.clamp(0.0, 1.0))
+                .insert(
+                    vec![Value::Int(t as i64), Value::Int(id)],
+                    p.clamp(0.0, 1.0),
+                )
                 .unwrap();
         }
     }

@@ -44,7 +44,11 @@ fn main() {
                 ..MetricConfig::default()
             };
             let mut metric = make_metric(kind, cfg).expect("metric");
-            let stride = if kind == MetricKind::KalmanGarch { 20 } else { 4 };
+            let stride = if kind == MetricKind::KalmanGarch {
+                20
+            } else {
+                4
+            };
             let eval = evaluate_metric(metric.as_mut(), series, h, stride).expect("evaluate");
             println!(
                 "{:<14} {:>16.3} {:>14?} {:>10}",
@@ -69,10 +73,10 @@ fn main() {
     let scores = select_order(window.values(), 4, 1, Criterion::Bic).expect("order scan");
     println!("{:<10} {:>12} {:>14}", "(p, q)", "BIC", "sigma^2_a");
     for s in scores.iter().take(6) {
-        println!("({}, {})     {:>12.1} {:>14.4}", s.p, s.q, s.score, s.sigma2);
+        println!(
+            "({}, {})     {:>12.1} {:>14.4}",
+            s.p, s.q, s.score, s.sigma2
+        );
     }
-    println!(
-        "--> selected order: ({}, {})",
-        scores[0].p, scores[0].q
-    );
+    println!("--> selected order: ({}, {})", scores[0].p, scores[0].q);
 }

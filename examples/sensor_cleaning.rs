@@ -70,9 +70,7 @@ fn main() {
         100.0 * injection.capture_rate(&plain_detections),
         100.0 * injection.capture_rate(&report.detections),
     );
-    println!(
-        "max inferred sigma       {plain_max_sigma:>8.2} degC      {cg_max_sigma:>8.2} degC",
-    );
+    println!("max inferred sigma       {plain_max_sigma:>8.2} degC      {cg_max_sigma:>8.2} degC",);
     println!(
         "trend changes declared   {:>8}            {:>8}",
         "n/a",
@@ -82,7 +80,10 @@ fn main() {
     // Show the bound behaviour around the first spike (the Fig. 5 picture).
     if let Some(&first_spike) = injection.positions.first() {
         println!("\nbounds around the first spike (t = {first_spike}):");
-        println!("{:>5} {:>10} {:>10} {:>10} {:>10}", "t", "raw", "r_hat", "lb", "ub");
+        println!(
+            "{:>5} {:>10} {:>10} {:>10} {:>10}",
+            "t", "raw", "r_hat", "lb", "ub"
+        );
         for (idx, inf) in &report.inferences {
             if (*idx as i64 - first_spike as i64).abs() <= 4 {
                 println!(

@@ -13,11 +13,7 @@ use tspdb::core::online::OnlineViewBuilder;
 use tspdb::timeseries::generate::GpsGenerator;
 use tspdb::{MetricConfig, MetricKind, OmegaSpec};
 
-fn run(
-    label: &str,
-    cache: Option<f64>,
-    omega: OmegaSpec,
-) -> (std::time::Duration, usize) {
+fn run(label: &str, cache: Option<f64>, omega: OmegaSpec) -> (std::time::Duration, usize) {
     let series = GpsGenerator::default().generate(2500);
     let mut builder = OnlineViewBuilder::new(
         MetricKind::VariableThresholding, // cheap inference isolates generation cost

@@ -15,6 +15,7 @@ fn engine(cache: Option<SigmaCacheConfig>) -> Engine {
         },
         window: 60,
         cache,
+        ..ViewBuilderConfig::default()
     })
 }
 
@@ -40,8 +41,8 @@ fn sql_pipeline_produces_consistent_view() {
             }
             let lo = row[2].as_f64().unwrap();
             let hi = row[3].as_f64().unwrap();
-            let expect =
-                std_normal_cdf((hi - m.expected) / m.sigma) - std_normal_cdf((lo - m.expected) / m.sigma);
+            let expect = std_normal_cdf((hi - m.expected) / m.sigma)
+                - std_normal_cdf((lo - m.expected) / m.sigma);
             assert!(
                 (p - expect).abs() < 1e-9,
                 "t {} λ {:?}: {} vs {}",

@@ -144,6 +144,7 @@ fn online_and_offline_modes_agree() {
         metric_config: MetricConfig::default(),
         window: h,
         cache: None,
+        ..ViewBuilderConfig::default()
     })
     .unwrap()
     .build(&series, omega, "pv", None)

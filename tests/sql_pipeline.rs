@@ -2,8 +2,8 @@
 //! the probabilistic query operators.
 
 use tspdb::probdb::query::{
-    event_probability, expected_sum, most_probable_per_group, project_prob,
-    threshold, CmpOp, Comparison,
+    event_probability, expected_sum, most_probable_per_group, project_prob, threshold, CmpOp,
+    Comparison,
 };
 use tspdb::probdb::{ColumnType, Database, ProbTable, Schema, Value};
 
@@ -82,19 +82,13 @@ fn operators_compose_on_fig1_view() {
     // Projection onto room with probabilistic dedup.
     let rooms = project_prob(&v, &["room".to_string()]).unwrap();
     assert_eq!(rooms.len(), 4);
-    let room4 = rooms
-        .iter()
-        .find(|(r, _)| r[0] == Value::Int(4))
-        .unwrap()
-        .1;
+    let room4 = rooms.iter().find(|(r, _)| r[0] == Value::Int(4)).unwrap().1;
     assert!((room4 - (1.0 - 0.9 * 0.7)).abs() < 1e-12);
 
     // Expected room number at time 2: 1·0.2 + 2·0.4 + 3·0.1 + 4·0.3 = 2.5.
-    let at2 = tspdb::probdb::query::select_prob(
-        &v,
-        &vec![Comparison::new("time", CmpOp::Eq, 2i64)],
-    )
-    .unwrap();
+    let at2 =
+        tspdb::probdb::query::select_prob(&v, &vec![Comparison::new("time", CmpOp::Eq, 2i64)])
+            .unwrap();
     assert!((expected_sum(&at2, "room").unwrap() - 2.5).abs() < 1e-12);
 
     // Threshold at 0.4 keeps exactly the two most confident placements.
@@ -116,7 +110,9 @@ fn raw_values_to_view_round_trip_via_sql_strings() {
         },
         ..tspdb::ViewBuilderConfig::default()
     });
-    engine.execute("CREATE TABLE raw_values (t INT, r FLOAT)").unwrap();
+    engine
+        .execute("CREATE TABLE raw_values (t INT, r FLOAT)")
+        .unwrap();
     // 60 synthetic readings drifting upward, inserted in SQL batches.
     let mut stmt = String::from("INSERT INTO raw_values VALUES ");
     for t in 0..60 {
@@ -134,7 +130,9 @@ fn raw_values_to_view_round_trip_via_sql_strings() {
              FROM raw_values WHERE t >= 45 USING METRIC vt WINDOW 40",
         )
         .unwrap();
-    let out = engine.execute("SELECT * FROM pv ORDER BY prob DESC").unwrap();
+    let out = engine
+        .execute("SELECT * FROM pv ORDER BY prob DESC")
+        .unwrap();
     let rows = out.prob_rows().unwrap();
     assert_eq!(rows.len(), 15 * 6); // t = 45..59, 6 cells each
     assert!(rows.probs()[0] > 0.05);
