@@ -1,0 +1,96 @@
+//! Possible-worlds sampling throughput: the batched parallel executor at
+//! 1/2/4/8 threads against the sequential reference sampler.
+//!
+//! Each measurement samples [`WORLDS`] worlds of a fixed-size relation, so
+//! worlds/sec = `WORLDS / (time per iter)`. On a single-core host the
+//! thread sweep only shows fork-join overhead (the executor's estimates
+//! are bit-identical at every width, so correctness never depends on it);
+//! re-run on a multi-core box for real scaling numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tspdb_probdb::worlds::{
+    mc_count_distribution, mc_event_probability, WorldsConfig, WorldsExecutor,
+};
+use tspdb_probdb::{ColumnType, Comparison, ProbTable, Schema, Value};
+
+/// Worlds sampled per measurement.
+const WORLDS: usize = 10_000;
+/// Tuples in the benchmark relation.
+const TUPLES: usize = 200;
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn view() -> ProbTable {
+    let schema = Schema::of(&[("room", ColumnType::Int)]);
+    let mut v = ProbTable::new("v", schema);
+    for i in 0..TUPLES {
+        let p = ((i * 37) % 97) as f64 / 100.0;
+        v.insert(vec![Value::Int(i as i64 % 8)], p).unwrap();
+    }
+    v
+}
+
+fn bench_worlds_scaling(c: &mut Criterion) {
+    let v = view();
+    let pred: Vec<Comparison> = Vec::new();
+    let mut group = c.benchmark_group("worlds_scaling");
+    group.sample_size(10);
+
+    // Sequential one-RNG reference samplers. The event sampler
+    // short-circuits on the first present tuple, so it answers a much
+    // easier question than the executor (which tallies the full count
+    // distribution per world); the count sampler does the same per-world
+    // work as the executor and is the fair baseline.
+    group.bench_function("sequential_event", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            std::hint::black_box(mc_event_probability(&v, &pred, WORLDS, &mut rng).unwrap())
+        })
+    });
+    group.bench_function("sequential_count", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            std::hint::black_box(mc_count_distribution(&v, &pred, WORLDS, &mut rng).unwrap())
+        })
+    });
+
+    // The batched executor across fork-join widths.
+    for threads in THREAD_COUNTS {
+        let executor = WorldsExecutor::new(WorldsConfig {
+            max_worlds: WORLDS,
+            seed: 1,
+            threads,
+            ..WorldsConfig::default()
+        })
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("executor", threads), &threads, |b, _| {
+            b.iter(|| std::hint::black_box(executor.run(&v, &pred, None).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_early_termination(c: &mut Criterion) {
+    let v = view();
+    let pred: Vec<Comparison> = Vec::new();
+    let mut group = c.benchmark_group("worlds_confidence");
+    group.sample_size(10);
+    for eps in [0.02, 0.01] {
+        let executor = WorldsExecutor::new(WorldsConfig {
+            max_worlds: 1_000_000,
+            seed: 1,
+            target_ci: Some(eps),
+            threads: 0,
+            ..WorldsConfig::default()
+        })
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("target_ci", eps), &eps, |b, _| {
+            b.iter(|| std::hint::black_box(executor.run(&v, &pred, None).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_worlds_scaling, bench_early_termination);
+criterion_main!(benches);

@@ -210,6 +210,17 @@ impl SharedEngine {
             .expect("last-build lock poisoned")
             .clone()
     }
+
+    /// Sets the fork-join width for `SELECT … WITH WORLDS` queries (`0` =
+    /// one thread per core; brief write lock). The Monte-Carlo queries
+    /// themselves run under the *read* lock like every other `SELECT`, so
+    /// concurrent sampling queries do not serialize each other.
+    pub fn set_worlds_threads(&self, threads: usize) {
+        self.catalog
+            .write()
+            .expect("catalog lock poisoned")
+            .set_worlds_threads(threads);
+    }
 }
 
 #[cfg(test)]
@@ -309,6 +320,31 @@ mod tests {
                             .unwrap()
                             .len();
                         assert_eq!(got, expected);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn shared_engine_runs_mc_selects_concurrently_and_identically() {
+        let engine = shared_engine_with_view();
+        engine.set_worlds_threads(2);
+        const MC_SQL: &str = "SELECT * FROM pv WITH WORLDS 2000 SEED 21";
+        let expected = engine
+            .query(MC_SQL)
+            .unwrap()
+            .worlds()
+            .unwrap()
+            .fingerprint();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let engine = engine.clone();
+                let expected = &expected;
+                s.spawn(move || {
+                    for _ in 0..5 {
+                        let got = engine.query(MC_SQL).unwrap();
+                        assert_eq!(&got.worlds().unwrap().fingerprint(), expected);
                     }
                 });
             }

@@ -67,6 +67,13 @@ impl Engine {
         self.last_build.as_ref()
     }
 
+    /// Sets the fork-join width for `SELECT … WITH WORLDS` queries (`0` =
+    /// one thread per core). Sampling is bit-identical at every width, so
+    /// this only tunes latency.
+    pub fn set_worlds_threads(&mut self, threads: usize) {
+        self.db.set_worlds_threads(threads);
+    }
+
     /// Loads a time series as a two-column table `(t INT, <value_col>
     /// FLOAT)` — the `raw_values` table of the paper's running example.
     pub fn load_series(
@@ -404,6 +411,34 @@ mod tests {
             .is_err());
         // …and still work through the write path.
         assert!(e.execute("DROP VIEW pv").is_ok());
+    }
+
+    #[test]
+    fn with_worlds_query_runs_against_a_density_view() {
+        let mut e = engine_with_series(150);
+        e.execute("CREATE VIEW pv AS DENSITY r OVER t OMEGA delta=0.5, n=6 FROM raw_values")
+            .unwrap();
+        e.set_worlds_threads(2);
+        let out = e
+            .query("SELECT * FROM pv THRESHOLD 0.2 WITH WORLDS 4000 SEED 17")
+            .unwrap();
+        let w = out.worlds().unwrap();
+        assert_eq!(w.worlds, 4000);
+        assert_eq!(w.seed, 17);
+        assert!(w.matching_tuples > 0);
+        // Exact cross-check on the same sub-relation.
+        let sub = e
+            .query("SELECT * FROM pv THRESHOLD 0.2")
+            .unwrap()
+            .prob_rows()
+            .unwrap()
+            .clone();
+        let exact = tspdb_probdb::query::event_probability(&sub, &Vec::new()).unwrap();
+        assert!(
+            (w.event_probability - exact).abs() < 3.0 * w.event_ci_half_width + 1e-3,
+            "MC {} vs exact {exact}",
+            w.event_probability
+        );
     }
 
     #[test]

@@ -11,8 +11,9 @@
 use crate::error::DbError;
 use crate::query::{eval_conjunction, Conjunction, PROB_PSEUDO_COLUMN};
 use crate::schema::Schema;
-use crate::sql::{parse, DensityViewSpec, SelectStmt, Statement};
+use crate::sql::{parse, DensityViewSpec, SelectStmt, Statement, WorldsClause};
 use crate::table::{ProbTable, Table};
+use crate::worlds::{WorldsConfig, WorldsExecutor, WorldsResult};
 use std::cmp::Ordering;
 use std::collections::BTreeMap;
 
@@ -34,6 +35,10 @@ pub enum QueryOutput {
     Rows(Table),
     /// Probabilistic result set.
     ProbRows(ProbTable),
+    /// Monte-Carlo estimate from a `WITH WORLDS` query: the distributional
+    /// answers plus per-query sampling statistics (worlds sampled, CIs,
+    /// wall time).
+    Worlds(WorldsResult),
 }
 
 impl QueryOutput {
@@ -52,6 +57,14 @@ impl QueryOutput {
             _ => None,
         }
     }
+
+    /// Convenience accessor for `WITH WORLDS` results.
+    pub fn worlds(&self) -> Option<&WorldsResult> {
+        match self {
+            QueryOutput::Worlds(w) => Some(w),
+            _ => None,
+        }
+    }
 }
 
 /// Signature of the density-view handler supplied by the upper layer: given
@@ -64,12 +77,28 @@ pub type DensityHandler<'a> =
 #[derive(Debug, Default)]
 pub struct Database {
     relations: BTreeMap<String, Relation>,
+    /// Fork-join width for `WITH WORLDS` queries (0 = one thread per core).
+    /// Only wall-clock is affected — MC estimates are bit-identical at
+    /// every width.
+    worlds_threads: usize,
 }
 
 impl Database {
     /// Creates an empty database.
     pub fn new() -> Self {
         Database::default()
+    }
+
+    /// Sets the fork-join width used by `WITH WORLDS` queries (`0` = one
+    /// thread per core). The executor's determinism contract means this
+    /// never changes query results, only their latency.
+    pub fn set_worlds_threads(&mut self, threads: usize) {
+        self.worlds_threads = threads;
+    }
+
+    /// The configured `WITH WORLDS` fork-join width.
+    pub fn worlds_threads(&self) -> usize {
+        self.worlds_threads
     }
 
     /// Names of all stored relations, sorted.
@@ -226,13 +255,86 @@ impl Database {
     fn execute_select(&self, sel: &SelectStmt) -> Result<QueryOutput, DbError> {
         match self.relations.get(&sel.table) {
             Some(Relation::Deterministic(t)) => {
+                if sel.worlds.is_some() || sel.threshold.is_some() || sel.top.is_some() {
+                    return Err(DbError::InvalidWorlds(format!(
+                        "THRESHOLD/TOP/WITH WORLDS require a probabilistic relation; \
+                         {} is deterministic",
+                        sel.table
+                    )));
+                }
                 Ok(QueryOutput::Rows(select_deterministic(t, sel)?))
             }
             Some(Relation::Probabilistic(t)) => {
-                Ok(QueryOutput::ProbRows(select_probabilistic(t, sel)?))
+                if let Some(w) = &sel.worlds {
+                    Ok(QueryOutput::Worlds(self.run_worlds(t, sel, w)?))
+                } else {
+                    Ok(QueryOutput::ProbRows(select_probabilistic(t, sel)?))
+                }
             }
             None => Err(DbError::UnknownTable(sel.table.clone())),
         }
+    }
+
+    /// Serves a `WITH WORLDS` query: restricts the relation exactly as the
+    /// exact path would (`WHERE`, `THRESHOLD`, `TOP`), then hands the
+    /// surviving tuples' probabilities straight to the Monte-Carlo
+    /// executor (no scratch table). A single projected numeric column
+    /// additionally requests the SUM aggregate over that column.
+    ///
+    /// `ORDER BY` and `LIMIT` are presentation clauses over returned rows;
+    /// an MC query returns estimates, not rows, so combining them with
+    /// `WITH WORLDS` is rejected rather than silently ignored (`LIMIT`
+    /// would otherwise look like it restricts the sampling domain — that
+    /// is `THRESHOLD`/`TOP`'s job).
+    fn run_worlds(
+        &self,
+        t: &ProbTable,
+        sel: &SelectStmt,
+        clause: &WorldsClause,
+    ) -> Result<WorldsResult, DbError> {
+        if sel.order_by.is_some() || sel.limit.is_some() {
+            return Err(DbError::InvalidWorlds(
+                "ORDER BY/LIMIT do not apply to WITH WORLDS estimates; restrict the \
+                 sampling domain with WHERE, THRESHOLD or TOP instead"
+                    .into(),
+            ));
+        }
+        // Validate the projection exactly like the exact path would —
+        // unknown columns error no matter how many are listed.
+        for col in &sel.columns {
+            t.schema().index_of(col)?;
+        }
+        let keep = restrict_prob_indices(t, sel)?;
+        let probs: Vec<f64> = keep.iter().map(|&i| t.probs()[i]).collect();
+        // SUM only applies to a single *numeric* projection; a single text
+        // column (or a wider projection) just skips the aggregate — the
+        // documented contract.
+        let sum = match sel.columns.as_slice() {
+            [col] => match t.schema().type_of(col)? {
+                crate::value::ColumnType::Text => None,
+                _ => {
+                    let c = t.schema().index_of(col)?;
+                    let values: Vec<f64> = keep
+                        .iter()
+                        .map(|&i| {
+                            t.rows()[i][c]
+                                .as_f64()
+                                .expect("schema-validated numeric column")
+                        })
+                        .collect();
+                    Some((col.as_str(), values))
+                }
+            },
+            _ => None,
+        };
+        let executor = WorldsExecutor::new(WorldsConfig {
+            max_worlds: clause.worlds,
+            seed: clause.seed.unwrap_or(0),
+            target_ci: clause.confidence,
+            threads: self.worlds_threads,
+            ..WorldsConfig::default()
+        })?;
+        Ok(executor.run_domain(&probs, sum.as_ref().map(|(c, v)| (*c, v.as_slice()))))
     }
 }
 
@@ -296,8 +398,28 @@ fn select_deterministic(t: &Table, sel: &SelectStmt) -> Result<Table, DbError> {
     Ok(out)
 }
 
+/// Indices of the tuples a probabilistic `SELECT` works on: the `WHERE`
+/// filter, then `THRESHOLD` (minimum probability), then `TOP` (the k most
+/// probable, NaN-free total order, ties to the earlier row, returned in
+/// descending probability). Shared by the exact path and the `WITH WORLDS`
+/// sampler so both evaluate the same sub-relation.
+fn restrict_prob_indices(t: &ProbTable, sel: &SelectStmt) -> Result<Vec<usize>, DbError> {
+    let mut keep = filter_rows(t.schema(), t.rows(), Some(t.probs()), &sel.predicate)?;
+    if let Some(tau) = sel.threshold {
+        if !(0.0..=1.0).contains(&tau) {
+            return Err(DbError::InvalidProbability(tau));
+        }
+        keep.retain(|&i| t.probs()[i] >= tau);
+    }
+    if let Some(k) = sel.top {
+        crate::query::sort_indices_desc_by_prob(&mut keep, t.probs());
+        keep.truncate(k);
+    }
+    Ok(keep)
+}
+
 fn select_probabilistic(t: &ProbTable, sel: &SelectStmt) -> Result<ProbTable, DbError> {
-    let filtered = filter_rows(t.schema(), t.rows(), Some(t.probs()), &sel.predicate)?;
+    let filtered = restrict_prob_indices(t, sel)?;
     let rows: Vec<Vec<crate::value::Value>> =
         filtered.iter().map(|&i| t.rows()[i].clone()).collect();
     let probs: Vec<f64> = filtered.iter().map(|&i| t.probs()[i]).collect();
@@ -481,6 +603,160 @@ mod tests {
     fn relation_names_sorted() {
         let db = setup();
         assert_eq!(db.relation_names(), vec!["raw_values"]);
+    }
+
+    fn fig1_database() -> Database {
+        let mut db = Database::new();
+        let schema = Schema::of(&[
+            ("time", crate::value::ColumnType::Int),
+            ("room", crate::value::ColumnType::Int),
+        ]);
+        let mut v = ProbTable::new("pv", schema);
+        for (t, room, p) in [
+            (1, 1, 0.5),
+            (1, 2, 0.1),
+            (1, 3, 0.3),
+            (1, 4, 0.1),
+            (2, 1, 0.2),
+            (2, 2, 0.4),
+        ] {
+            v.insert(vec![Value::Int(t), Value::Int(room)], p).unwrap();
+        }
+        db.register_prob_table(v).unwrap();
+        db
+    }
+
+    #[test]
+    fn threshold_and_top_clauses_execute() {
+        let db = fig1_database();
+        let out = db.query("SELECT * FROM pv THRESHOLD 0.3").unwrap();
+        assert_eq!(out.prob_rows().unwrap().len(), 3); // 0.5, 0.3, 0.4
+        let out = db.query("SELECT * FROM pv TOP 2").unwrap();
+        let rows = out.prob_rows().unwrap();
+        assert_eq!(rows.probs(), &[0.5, 0.4]);
+        // THRESHOLD composes with TOP, then LIMIT trims the result.
+        let out = db
+            .query("SELECT * FROM pv WHERE time = 1 THRESHOLD 0.2 TOP 5 LIMIT 1")
+            .unwrap();
+        let rows = out.prob_rows().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows.probs(), &[0.5]);
+    }
+
+    #[test]
+    fn with_worlds_queries_return_sampling_stats() {
+        let db = fig1_database();
+        let out = db
+            .query("SELECT * FROM pv WHERE time = 1 WITH WORLDS 20000 SEED 5")
+            .unwrap();
+        let w = out.worlds().unwrap();
+        assert_eq!(w.worlds, 20_000);
+        assert_eq!(w.matching_tuples, 4);
+        assert_eq!(w.seed, 5);
+        assert!(!w.converged);
+        // P(some room at time 1) = 1 − 0.5·0.9·0.7·0.9 ≈ 0.7165.
+        assert!((w.event_probability - 0.7165).abs() < 0.02);
+        assert!(w.event_ci_half_width > 0.0);
+        assert!(w.wall > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn with_worlds_single_numeric_projection_adds_sum() {
+        let db = fig1_database();
+        let out = db
+            .query("SELECT room FROM pv WHERE time = 2 WITH WORLDS 20000 SEED 1")
+            .unwrap();
+        let w = out.worlds().unwrap();
+        let sum = w.sum.as_ref().unwrap();
+        assert_eq!(sum.column, "room");
+        // E[Σ room] = 1·0.2 + 2·0.4 = 1.0.
+        assert!((sum.mean - 1.0).abs() < 0.05, "sum mean {}", sum.mean);
+    }
+
+    #[test]
+    fn with_worlds_text_projection_skips_sum_unknown_column_errors() {
+        let mut db = Database::new();
+        let schema = Schema::of(&[
+            ("room", crate::value::ColumnType::Int),
+            ("tag", crate::value::ColumnType::Text),
+        ]);
+        let mut v = ProbTable::new("pv", schema);
+        v.insert(vec![Value::Int(1), Value::Text("a".into())], 0.5)
+            .unwrap();
+        db.register_prob_table(v).unwrap();
+        // A single text projection runs the MC query without a SUM.
+        let out = db.query("SELECT tag FROM pv WITH WORLDS 1000").unwrap();
+        assert!(out.worlds().unwrap().sum.is_none());
+        // Unknown columns error like the exact path's projection would —
+        // in single- and multi-column projections alike.
+        assert!(matches!(
+            db.query("SELECT nope FROM pv WITH WORLDS 1000"),
+            Err(DbError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            db.query("SELECT room, nope FROM pv WITH WORLDS 1000"),
+            Err(DbError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn with_worlds_confidence_terminates_early() {
+        let db = fig1_database();
+        let out = db
+            .query("SELECT * FROM pv WITH WORLDS 1000000 SEED 2 CONFIDENCE 0.02")
+            .unwrap();
+        let w = out.worlds().unwrap();
+        assert!(w.converged);
+        assert!(w.worlds < 1_000_000);
+        assert!(w.event_ci_half_width <= 0.02);
+    }
+
+    #[test]
+    fn with_worlds_rejects_presentation_clauses() {
+        let db = fig1_database();
+        for sql in [
+            "SELECT * FROM pv ORDER BY prob DESC WITH WORLDS 100",
+            "SELECT * FROM pv LIMIT 5 WITH WORLDS 100",
+        ] {
+            assert!(
+                matches!(db.query(sql), Err(DbError::InvalidWorlds(_))),
+                "{sql} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn probabilistic_clauses_rejected_on_deterministic_tables() {
+        let db = setup();
+        for sql in [
+            "SELECT * FROM raw_values WITH WORLDS 100",
+            "SELECT * FROM raw_values THRESHOLD 0.5",
+            "SELECT * FROM raw_values TOP 3",
+        ] {
+            assert!(
+                matches!(db.query(sql), Err(DbError::InvalidWorlds(_))),
+                "{sql} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn worlds_queries_are_read_only_and_reproducible() {
+        let mut db = fig1_database();
+        db.set_worlds_threads(1);
+        let a = db
+            .query("SELECT * FROM pv WITH WORLDS 5000 SEED 9")
+            .unwrap();
+        db.set_worlds_threads(8);
+        assert_eq!(db.worlds_threads(), 8);
+        let b = db
+            .query("SELECT * FROM pv WITH WORLDS 5000 SEED 9")
+            .unwrap();
+        assert_eq!(
+            a.worlds().unwrap().fingerprint(),
+            b.worlds().unwrap().fingerprint(),
+            "thread count changed the estimate"
+        );
     }
 
     #[test]

@@ -37,6 +37,10 @@ pub enum DbError {
     Unsupported(String),
     /// A mutating statement was issued on the read-only query path.
     ReadOnly(String),
+    /// An invalid possible-worlds sampling request (bad executor
+    /// configuration, or a `WITH WORLDS` clause on a relation that cannot
+    /// be sampled).
+    InvalidWorlds(String),
     /// The density-view handler reported a failure.
     ViewBuild(String),
 }
@@ -71,6 +75,9 @@ impl fmt::Display for DbError {
                     f,
                     "statement mutates the database, use the write path: {msg}"
                 )
+            }
+            DbError::InvalidWorlds(msg) => {
+                write!(f, "invalid possible-worlds request: {msg}")
             }
             DbError::ViewBuild(msg) => write!(f, "view build failed: {msg}"),
         }

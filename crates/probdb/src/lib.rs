@@ -15,6 +15,9 @@
 //! * [`catalog`] — the in-memory [`catalog::Database`] executing
 //!   statements; density views are delegated to a handler supplied by the
 //!   engine layer (`tspdb-core`).
+//! * [`worlds`] — possible-world sampling: the parallel, deterministic
+//!   [`worlds::WorldsExecutor`] behind `SELECT … WITH WORLDS`, plus the
+//!   sequential reference sampler.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -41,9 +44,10 @@ pub use catalog::{Database, QueryOutput, Relation};
 pub use error::DbError;
 pub use query::{CmpOp, Comparison, Conjunction};
 pub use schema::Schema;
-pub use sql::{parse, DensityViewSpec, SelectStmt, Statement};
+pub use sql::{parse, DensityViewSpec, SelectStmt, Statement, WorldsClause};
 pub use table::{ProbTable, Table};
 pub use value::{ColumnType, Value};
+pub use worlds::{SumEstimate, WorldsConfig, WorldsExecutor, WorldsResult};
 
 #[cfg(test)]
 mod proptests {

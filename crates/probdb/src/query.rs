@@ -14,6 +14,8 @@ use crate::table::{ProbTable, Table};
 use crate::value::Value;
 use std::cmp::Ordering;
 use std::collections::BTreeMap;
+use std::fmt;
+use tspdb_stats::OrdF64;
 
 /// Comparison operator of a simple predicate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +32,19 @@ pub enum CmpOp {
     Gt,
     /// `>=`
     Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
 }
 
 impl CmpOp {
@@ -162,15 +177,27 @@ pub fn threshold(table: &ProbTable, tau: f64) -> Result<ProbTable, DbError> {
     Ok(out)
 }
 
+/// Sorts row indices by descending probability, ties broken toward the
+/// earlier row — the single ordering contract shared by [`top_k`] and the
+/// SQL `TOP` clause, so the two cannot drift apart.
+///
+/// The comparison goes through [`tspdb_stats::OrdF64`]'s total order
+/// rather than `partial_cmp().unwrap()`: probabilities are non-NaN by
+/// [`ProbTable`] construction, and the total order keeps that invariant an
+/// explicit (panicking) precondition instead of silently degrading the
+/// sort.
+pub(crate) fn sort_indices_desc_by_prob(indices: &mut [usize], probs: &[f64]) {
+    indices.sort_by(|&a, &b| {
+        OrdF64::new(probs[b])
+            .cmp(&OrdF64::new(probs[a]))
+            .then(a.cmp(&b))
+    });
+}
+
 /// Top-k query: the `k` most probable tuples, ties broken by row order.
 pub fn top_k(table: &ProbTable, k: usize) -> ProbTable {
     let mut order: Vec<usize> = (0..table.len()).collect();
-    order.sort_by(|&a, &b| {
-        table.probs()[b]
-            .partial_cmp(&table.probs()[a])
-            .unwrap_or(Ordering::Equal)
-            .then(a.cmp(&b))
-    });
+    sort_indices_desc_by_prob(&mut order, table.probs());
     let mut out = ProbTable::new(table.name().to_string(), table.schema().clone());
     for &i in order.iter().take(k) {
         let (row, p) = table.tuple(i);

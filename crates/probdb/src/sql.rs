@@ -13,10 +13,26 @@
 //! statement: `USING METRIC <name>` selects the dynamic density metric and
 //! `WINDOW <H>` sets the sliding-window length (both default to the
 //! engine's configuration when omitted).
+//!
+//! `SELECT` carries three probabilistic extensions:
+//!
+//! * `THRESHOLD <tau>` — keep only tuples with probability ≥ τ
+//!   ([`crate::query::threshold`]);
+//! * `TOP <k>` — the k most probable tuples ([`crate::query::top_k`]);
+//! * `WITH WORLDS <n> [SEED <s>] [CONFIDENCE <eps>]` — evaluate the query
+//!   by Monte-Carlo possible-world sampling
+//!   ([`crate::worlds::WorldsExecutor`]) over at most `n` worlds, seeded
+//!   with `s` (default 0), optionally stopping early once the 95% CI
+//!   half-width of the event-probability estimate is ≤ `eps`.
+//!
+//! Every statement implements `Display` with the guarantee that
+//! `parse(stmt.to_string())` reproduces the statement exactly (the
+//! round-trip property the SQL proptests pin down).
 
 use crate::error::DbError;
 use crate::query::{CmpOp, Comparison, Conjunction};
 use crate::value::{ColumnType, Value};
+use std::fmt;
 
 /// A parsed statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,10 +83,30 @@ pub struct SelectStmt {
     /// Conjunctive predicate (may reference the `prob` pseudo-column on
     /// probabilistic views).
     pub predicate: Conjunction,
+    /// Optional `THRESHOLD <tau>`: minimum tuple probability (probabilistic
+    /// relations only).
+    pub threshold: Option<f64>,
+    /// Optional `TOP <k>`: the k most probable tuples (probabilistic
+    /// relations only).
+    pub top: Option<usize>,
     /// Optional `(column, ascending)` ordering.
     pub order_by: Option<(String, bool)>,
     /// Optional row limit.
     pub limit: Option<usize>,
+    /// Optional `WITH WORLDS …`: answer by Monte-Carlo possible-world
+    /// sampling instead of exact evaluation.
+    pub worlds: Option<WorldsClause>,
+}
+
+/// The `WITH WORLDS <n> [SEED <s>] [CONFIDENCE <eps>]` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorldsClause {
+    /// Maximum number of worlds to sample.
+    pub worlds: usize,
+    /// RNG seed (`SEED <s>`); the executor defaults to 0 when omitted.
+    pub seed: Option<u64>,
+    /// Early-termination CI half-width target (`CONFIDENCE <eps>`).
+    pub confidence: Option<f64>,
 }
 
 /// The probability value generation query (paper Definition 2 / Fig. 7).
@@ -451,6 +487,20 @@ impl Parser {
             self.next();
             predicate = self.conjunction()?;
         }
+        let mut threshold = None;
+        if self.peek_kw("THRESHOLD") {
+            self.next();
+            let tau = self.expect_number()?;
+            if !(0.0..=1.0).contains(&tau) {
+                return Err(self.error(format!("THRESHOLD must lie in [0, 1], got {tau}")));
+            }
+            threshold = Some(tau);
+        }
+        let mut top = None;
+        if self.peek_kw("TOP") {
+            self.next();
+            top = Some(self.expect_usize()?);
+        }
         let mut order_by = None;
         if self.peek_kw("ORDER") {
             self.next();
@@ -472,12 +522,45 @@ impl Parser {
             self.next();
             limit = Some(self.expect_usize()?);
         }
+        let mut worlds = None;
+        if self.peek_kw("WITH") {
+            self.next();
+            self.expect_kw("WORLDS")?;
+            let n = self.expect_usize()?;
+            if n == 0 {
+                return Err(self.error("WITH WORLDS needs at least one world"));
+            }
+            let mut seed = None;
+            if self.peek_kw("SEED") {
+                self.next();
+                seed = Some(self.expect_usize()? as u64);
+            }
+            let mut confidence = None;
+            if self.peek_kw("CONFIDENCE") {
+                self.next();
+                let eps = self.expect_number()?;
+                if !(eps > 0.0) {
+                    return Err(
+                        self.error(format!("CONFIDENCE target must be positive, got {eps}"))
+                    );
+                }
+                confidence = Some(eps);
+            }
+            worlds = Some(WorldsClause {
+                worlds: n,
+                seed,
+                confidence,
+            });
+        }
         Ok(Statement::Select(SelectStmt {
             columns,
             table,
             predicate,
+            threshold,
+            top,
             order_by,
             limit,
+            worlds,
         }))
     }
 
@@ -544,6 +627,133 @@ impl Parser {
             metric,
             window,
         }))
+    }
+}
+
+/// Formats a literal so that the tokenizer reads back the same [`Value`]:
+/// floats use the shortest round-trip representation (which always keeps a
+/// fractional or exponent part), text is single-quoted.
+///
+/// Round-tripping is guaranteed for finite floats and for text containing
+/// no `'` — exactly the values the parser itself can produce.
+fn fmt_literal(v: &Value, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match v {
+        Value::Int(i) => write!(f, "{i}"),
+        Value::Float(x) => write!(f, "{x:?}"),
+        Value::Text(s) => write!(f, "'{s}'"),
+    }
+}
+
+/// Formats a conjunction as `a = 1 AND b >= 2.5`.
+fn fmt_conjunction(pred: &Conjunction, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    for (i, cmp) in pred.iter().enumerate() {
+        if i > 0 {
+            f.write_str(" AND ")?;
+        }
+        write!(f, "{} {} ", cmp.column, cmp.op)?;
+        fmt_literal(&cmp.value, f)?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for SelectStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SELECT ")?;
+        if self.columns.is_empty() {
+            f.write_str("*")?;
+        } else {
+            f.write_str(&self.columns.join(", "))?;
+        }
+        write!(f, " FROM {}", self.table)?;
+        if !self.predicate.is_empty() {
+            f.write_str(" WHERE ")?;
+            fmt_conjunction(&self.predicate, f)?;
+        }
+        if let Some(tau) = self.threshold {
+            write!(f, " THRESHOLD {tau:?}")?;
+        }
+        if let Some(k) = self.top {
+            write!(f, " TOP {k}")?;
+        }
+        if let Some((col, asc)) = &self.order_by {
+            write!(f, " ORDER BY {col} {}", if *asc { "ASC" } else { "DESC" })?;
+        }
+        if let Some(l) = self.limit {
+            write!(f, " LIMIT {l}")?;
+        }
+        if let Some(w) = &self.worlds {
+            write!(f, " WITH WORLDS {}", w.worlds)?;
+            if let Some(s) = w.seed {
+                write!(f, " SEED {s}")?;
+            }
+            if let Some(eps) = w.confidence {
+                write!(f, " CONFIDENCE {eps:?}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for DensityViewSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CREATE VIEW {} AS DENSITY {} OVER {} OMEGA delta={:?}, n={} FROM {}",
+            self.view_name,
+            self.value_column,
+            self.time_column,
+            self.delta,
+            self.n,
+            self.source_table
+        )?;
+        if !self.predicate.is_empty() {
+            f.write_str(" WHERE ")?;
+            fmt_conjunction(&self.predicate, f)?;
+        }
+        if let Some(m) = &self.metric {
+            write!(f, " USING METRIC {m}")?;
+        }
+        if let Some(h) = self.window {
+            write!(f, " WINDOW {h}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::CreateTable { name, columns } => {
+                write!(f, "CREATE TABLE {name} (")?;
+                for (i, (col, ty)) in columns.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{col} {ty}")?;
+                }
+                f.write_str(")")
+            }
+            Statement::Insert { table, rows } => {
+                write!(f, "INSERT INTO {table} VALUES ")?;
+                for (i, row) in rows.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    f.write_str("(")?;
+                    for (j, v) in row.iter().enumerate() {
+                        if j > 0 {
+                            f.write_str(", ")?;
+                        }
+                        fmt_literal(v, f)?;
+                    }
+                    f.write_str(")")?;
+                }
+                Ok(())
+            }
+            Statement::Select(sel) => sel.fmt(f),
+            Statement::CreateDensityView(spec) => spec.fmt(f),
+            Statement::Drop { name } => write!(f, "DROP TABLE {name}"),
+        }
     }
 }
 
@@ -709,6 +919,204 @@ mod tests {
                 assert_eq!(rows[0][1], Value::Float(-250.0));
             }
             other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_threshold_top_and_worlds_clauses() {
+        let sql = "SELECT room FROM pv WHERE time = 1 THRESHOLD 0.25 TOP 3 \
+                   ORDER BY prob DESC LIMIT 2 WITH WORLDS 5000 SEED 42 CONFIDENCE 0.01";
+        match parse(sql).unwrap() {
+            Statement::Select(s) => {
+                assert_eq!(s.threshold, Some(0.25));
+                assert_eq!(s.top, Some(3));
+                assert_eq!(s.order_by, Some(("prob".into(), false)));
+                assert_eq!(s.limit, Some(2));
+                assert_eq!(
+                    s.worlds,
+                    Some(WorldsClause {
+                        worlds: 5000,
+                        seed: Some(42),
+                        confidence: Some(0.01),
+                    })
+                );
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn worlds_clause_parts_are_optional() {
+        match parse("SELECT * FROM pv WITH WORLDS 100").unwrap() {
+            Statement::Select(s) => {
+                assert_eq!(
+                    s.worlds,
+                    Some(WorldsClause {
+                        worlds: 100,
+                        seed: None,
+                        confidence: None,
+                    })
+                );
+                assert_eq!(s.threshold, None);
+                assert_eq!(s.top, None);
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+        match parse("SELECT * FROM pv WITH WORLDS 100 SEED 7").unwrap() {
+            Statement::Select(s) => {
+                assert_eq!(s.worlds.unwrap().seed, Some(7));
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_probabilistic_clauses() {
+        for bad in [
+            "SELECT * FROM pv THRESHOLD 1.5",
+            "SELECT * FROM pv THRESHOLD -0.1",
+            "SELECT * FROM pv WITH WORLDS 0",
+            "SELECT * FROM pv WITH WORLDS 100 CONFIDENCE 0",
+            "SELECT * FROM pv WITH WORLDS 100 CONFIDENCE -0.5",
+            "SELECT * FROM pv WITH WORLDS",
+            "SELECT * FROM pv WITH TABLES 3",
+            "SELECT * FROM pv TOP x",
+        ] {
+            assert!(
+                matches!(parse(bad), Err(DbError::Parse(_))),
+                "should fail: {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn statements_round_trip_through_display() {
+        for sql in [
+            "CREATE TABLE raw_values (t INT, r FLOAT, tag TEXT)",
+            "INSERT INTO raw_values VALUES (1, 4.2, 'a'), (2, -5.9, 'b')",
+            "SELECT room, prob FROM pv WHERE time = 1 AND prob >= 0.25 ORDER BY prob DESC LIMIT 2",
+            "SELECT * FROM pv THRESHOLD 0.5 TOP 4 WITH WORLDS 1000 SEED 3 CONFIDENCE 0.05",
+            "CREATE VIEW v AS DENSITY r OVER t OMEGA delta=0.05, n=300 \
+             FROM raw WHERE t >= 1 AND t <= 3 USING METRIC arma_garch WINDOW 60",
+            "DROP TABLE raw",
+        ] {
+            let stmt = parse(sql).unwrap();
+            let formatted = stmt.to_string();
+            let reparsed = parse(&formatted)
+                .unwrap_or_else(|e| panic!("{sql:?} formatted to unparseable {formatted:?}: {e}"));
+            assert_eq!(reparsed, stmt, "round trip changed {sql:?} → {formatted:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod roundtrip_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    const COLS: [&str; 5] = ["t", "room", "lambda", "val", "prob"];
+    const TABLES: [&str; 3] = ["pv", "raw_values", "sensor7"];
+    const TEXTS: [&str; 3] = ["a", "room b", "x_y"];
+    const OPS: [CmpOp; 6] = [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ];
+
+    /// A literal the formatter round-trips: ints, "nice" finite floats, or
+    /// quote-free text.
+    fn literal(kind: usize, i: i64) -> Value {
+        match kind {
+            0 => Value::Int(i),
+            1 => Value::Float(i as f64 / 8.0),
+            _ => Value::Text(TEXTS[i.unsigned_abs() as usize % TEXTS.len()].to_string()),
+        }
+    }
+
+    fn arb_select() -> impl Strategy<Value = SelectStmt> {
+        (
+            (
+                proptest::collection::vec(0usize..COLS.len(), 0..4),
+                0usize..TABLES.len(),
+            ),
+            proptest::collection::vec((0usize..COLS.len(), 0usize..6, 0usize..3, -50i64..50), 0..3),
+            // threshold quarters (0 = none), TOP k (0 = none), ORDER BY
+            // (0 = none, then column+direction), LIMIT (0 = none).
+            (0usize..6, 0usize..4, 0usize..11, 0usize..4),
+            // WITH WORLDS: presence, n, seed presence, seed, confidence %.
+            (
+                0usize..2,
+                1usize..5000,
+                0usize..2,
+                0usize..1000,
+                0usize..100,
+            ),
+        )
+            .prop_map(|((cols, table), preds, clauses, worlds)| SelectStmt {
+                columns: cols.into_iter().map(|c| COLS[c].to_string()).collect(),
+                table: TABLES[table].to_string(),
+                predicate: preds
+                    .into_iter()
+                    .map(|(c, op, kind, i)| Comparison {
+                        column: COLS[c].to_string(),
+                        op: OPS[op],
+                        value: literal(kind, i),
+                    })
+                    .collect(),
+                threshold: (clauses.0 > 0).then(|| (clauses.0 - 1) as f64 / 4.0),
+                top: (clauses.1 > 0).then(|| clauses.1 - 1),
+                order_by: (clauses.2 > 0)
+                    .then(|| (COLS[(clauses.2 - 1) / 2].to_string(), clauses.2 % 2 == 1)),
+                limit: (clauses.3 > 0).then(|| (clauses.3 - 1) * 10),
+                worlds: (worlds.0 > 0).then(|| WorldsClause {
+                    worlds: worlds.1,
+                    seed: (worlds.2 > 0).then_some(worlds.3 as u64),
+                    confidence: (worlds.4 > 0).then(|| worlds.4 as f64 / 100.0),
+                }),
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn select_statements_round_trip(sel in arb_select()) {
+            let stmt = Statement::Select(sel);
+            let formatted = stmt.to_string();
+            let reparsed = parse(&formatted);
+            prop_assert!(
+                reparsed.is_ok(),
+                "formatted SQL failed to parse: {formatted:?} → {reparsed:?}"
+            );
+            prop_assert_eq!(reparsed.unwrap(), stmt, "round trip via {}", formatted);
+        }
+
+        #[test]
+        fn density_views_round_trip(
+            delta_i in 1usize..40,
+            n_half in 1usize..20,
+            window in 0usize..100,
+            metric in 0usize..3,
+            bounds in (0i64..50, 0i64..50),
+        ) {
+            let spec = DensityViewSpec {
+                view_name: "pv".into(),
+                value_column: "r".into(),
+                time_column: "t".into(),
+                delta: delta_i as f64 / 8.0,
+                n: n_half * 2,
+                source_table: "raw_values".into(),
+                predicate: vec![
+                    Comparison::new("t", CmpOp::Ge, bounds.0),
+                    Comparison::new("t", CmpOp::Le, bounds.0 + bounds.1),
+                ],
+                metric: (metric > 0).then(|| ["vt", "arma_garch"][metric - 1].to_string()),
+                window: (window > 0).then_some(window),
+            };
+            let stmt = Statement::CreateDensityView(spec);
+            let formatted = stmt.to_string();
+            prop_assert_eq!(parse(&formatted).unwrap(), stmt, "round trip via {}", formatted);
         }
     }
 }

@@ -7,11 +7,29 @@
 //! converge to computed probabilities) and an escape hatch for queries with
 //! no closed form, in the spirit of MCDB (Jampani et al.), which the paper
 //! cites as the ancestor of its parameter-storing design.
+//!
+//! The module has two layers:
+//!
+//! * the free functions [`sample_world`], [`mc_event_probability`] and
+//!   [`mc_count_distribution`] — the minimal sequential sampler, kept as
+//!   the reference implementation and benchmark baseline;
+//! * [`WorldsExecutor`] — the production path: world sampling fanned out
+//!   over [`tspdb_stats::parallel`] in fixed-size *batches*, each batch
+//!   seeded deterministically from `(seed, batch index)` so the estimate is
+//!   **bit-identical at every thread count**, with per-batch aggregation of
+//!   the event probability, the COUNT distribution (histogram, moments,
+//!   quantiles), an optional SUM aggregate, 95% confidence intervals, and
+//!   early termination once the event-probability CI half-width drops below
+//!   a target.
 
 use crate::error::DbError;
 use crate::query::{eval_conjunction, Conjunction};
 use crate::table::{ProbTable, Table};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::time::{Duration, Instant};
+use tspdb_stats::parallel::{effective_threads, map_segments};
 
 /// Draws one possible world: a deterministic table containing each tuple
 /// independently with its probability.
@@ -82,6 +100,495 @@ pub fn mc_count_distribution<R: Rng + ?Sized>(
         .into_iter()
         .map(|c| c as f64 / worlds as f64)
         .collect())
+}
+
+/// Worlds per deterministic batch: the RNG granularity of the executor.
+///
+/// Each batch consumes its own seeded generator, so the batch size is part
+/// of the reproducibility contract — changing it changes the stream (but
+/// never the thread count's influence, which is zero).
+pub const DEFAULT_BATCH_SIZE: usize = 1024;
+
+/// Batches evaluated between two convergence checks. A round is the unit of
+/// parallel fan-out *and* of early termination, so it is a constant rather
+/// than a function of the thread count — otherwise the stopping point (and
+/// with it the estimate) would depend on the machine.
+const BATCHES_PER_ROUND: usize = 8;
+
+/// Two-sided 95% standard-normal quantile used for all intervals.
+const Z_95: f64 = 1.959_963_984_540_054;
+
+/// Configuration of a [`WorldsExecutor`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorldsConfig {
+    /// Upper bound on the number of worlds to sample.
+    pub max_worlds: usize,
+    /// Base seed; combined with each batch index to seed that batch's RNG.
+    pub seed: u64,
+    /// Early-termination target: stop as soon as the 95% CI half-width of
+    /// the event-probability estimate is at most this value (checked once
+    /// per round). `None` always samples `max_worlds` worlds.
+    pub target_ci: Option<f64>,
+    /// Fork-join width (`0` = one per core); never affects the estimate.
+    pub threads: usize,
+    /// Worlds per deterministic batch; see [`DEFAULT_BATCH_SIZE`].
+    pub batch_size: usize,
+}
+
+impl Default for WorldsConfig {
+    fn default() -> Self {
+        WorldsConfig {
+            max_worlds: 10_000,
+            seed: 0,
+            target_ci: None,
+            threads: 0,
+            batch_size: DEFAULT_BATCH_SIZE,
+        }
+    }
+}
+
+/// SUM-aggregate estimate over one numeric column (`Σ v_i` over tuples
+/// present in a world).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SumEstimate {
+    /// Summed column.
+    pub column: String,
+    /// Monte-Carlo mean of the per-world sum (converges to
+    /// [`crate::query::expected_sum`]).
+    pub mean: f64,
+    /// Sample variance of the per-world sum.
+    pub variance: f64,
+    /// 95% CI half-width of the mean.
+    pub ci_half_width: f64,
+}
+
+/// Everything one [`WorldsExecutor::run`] produces: the estimates plus the
+/// per-query sampling statistics the SQL layer surfaces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorldsResult {
+    /// Worlds actually sampled (≤ `max_worlds`; less on early termination).
+    pub worlds: usize,
+    /// Tuples matching the predicate (the sampling domain).
+    pub matching_tuples: usize,
+    /// Seed the run was keyed on.
+    pub seed: u64,
+    /// Effective fork-join width used (diagnostic only — the estimate is
+    /// identical at every width).
+    pub threads: usize,
+    /// Whether the CI target stopped sampling before `max_worlds`.
+    pub converged: bool,
+    /// MC estimate of `P(at least one matching tuple exists)`; converges to
+    /// [`crate::query::event_probability`].
+    pub event_probability: f64,
+    /// 95% CI half-width for the event probability — the *Wilson-score*
+    /// width, which stays positive even at empirical frequencies of
+    /// exactly 0 or 1 (where the naive Wald width collapses to zero).
+    ///
+    /// Note the deliberate pairing: `event_probability` itself remains the
+    /// unbiased empirical frequency (not the Wilson-adjusted midpoint, so
+    /// that MC estimates converge to the exact operators without bias),
+    /// while this width is the Wilson one. Near the boundaries read it as
+    /// an uncertainty scale — the actual 95% interval is clipped to
+    /// `[0, 1]` and one-sided at an estimate of exactly 0 or 1.
+    pub event_ci_half_width: f64,
+    /// MC estimate of the matching-tuple count distribution; entry `k` is
+    /// `P(count = k)`. Converges to
+    /// [`crate::aggregates::count_distribution`].
+    pub count_distribution: Vec<f64>,
+    /// Mean of the sampled counts.
+    pub count_mean: f64,
+    /// Sample variance of the sampled counts.
+    pub count_variance: f64,
+    /// 95% CI half-width of `count_mean`.
+    pub count_ci_half_width: f64,
+    /// SUM aggregate, when a numeric column was requested.
+    pub sum: Option<SumEstimate>,
+    /// Wall-clock time of the run.
+    pub wall: Duration,
+}
+
+impl WorldsResult {
+    /// Quantile of the sampled count distribution: the smallest count `k`
+    /// with `P(count ≤ k) ≥ q` (`q` clamped to `[0, 1]`).
+    pub fn count_quantile(&self, q: f64) -> usize {
+        let q = q.clamp(0.0, 1.0);
+        let mut cdf = 0.0;
+        for (k, &mass) in self.count_distribution.iter().enumerate() {
+            cdf += mass;
+            if cdf >= q - 1e-12 {
+                return k;
+            }
+        }
+        self.count_distribution.len().saturating_sub(1)
+    }
+
+    /// Bit-exact fingerprint of every estimate (wall time and thread count
+    /// excluded): two runs with equal fingerprints produced identical
+    /// numbers. This is what the differential tests compare across thread
+    /// counts.
+    pub fn fingerprint(&self) -> String {
+        use fmt::Write;
+        let mut s = String::new();
+        write!(
+            s,
+            "w={} m={} seed={} conv={} p={:016x} pci={:016x} cm={:016x} cv={:016x} cci={:016x}",
+            self.worlds,
+            self.matching_tuples,
+            self.seed,
+            self.converged,
+            self.event_probability.to_bits(),
+            self.event_ci_half_width.to_bits(),
+            self.count_mean.to_bits(),
+            self.count_variance.to_bits(),
+            self.count_ci_half_width.to_bits(),
+        )
+        .expect("write to String cannot fail");
+        for d in &self.count_distribution {
+            write!(s, " {:016x}", d.to_bits()).expect("write to String cannot fail");
+        }
+        if let Some(sum) = &self.sum {
+            write!(
+                s,
+                " sum[{}]={:016x}/{:016x}/{:016x}",
+                sum.column,
+                sum.mean.to_bits(),
+                sum.variance.to_bits(),
+                sum.ci_half_width.to_bits(),
+            )
+            .expect("write to String cannot fail");
+        }
+        s
+    }
+}
+
+impl fmt::Display for WorldsResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "worlds: {} sampled (seed {}, {} thread{}, {}converged, {:.3} ms)",
+            self.worlds,
+            self.seed,
+            self.threads,
+            if self.threads == 1 { "" } else { "s" },
+            if self.converged { "" } else { "not " },
+            self.wall.as_secs_f64() * 1e3,
+        )?;
+        writeln!(
+            f,
+            "event probability: {:.6} ± {:.6}",
+            self.event_probability, self.event_ci_half_width
+        )?;
+        writeln!(
+            f,
+            "count: mean {:.4} ± {:.4}, variance {:.4}, p50 {}, p95 {}",
+            self.count_mean,
+            self.count_ci_half_width,
+            self.count_variance,
+            self.count_quantile(0.5),
+            self.count_quantile(0.95),
+        )?;
+        if let Some(sum) = &self.sum {
+            writeln!(
+                f,
+                "sum({}): mean {:.4} ± {:.4}, variance {:.4}",
+                sum.column, sum.mean, sum.ci_half_width, sum.variance
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-batch accumulator. Batches are folded into the global tally **in
+/// batch order**, so the floating-point reduction tree is independent of
+/// how batches were distributed over threads.
+struct BatchTally {
+    worlds: u64,
+    event_hits: u64,
+    hist: Vec<u64>,
+    sum: f64,
+    sum_sq: f64,
+}
+
+impl BatchTally {
+    fn zero(buckets: usize) -> Self {
+        BatchTally {
+            worlds: 0,
+            event_hits: 0,
+            hist: vec![0; buckets],
+            sum: 0.0,
+            sum_sq: 0.0,
+        }
+    }
+
+    fn absorb(&mut self, other: &BatchTally) {
+        self.worlds += other.worlds;
+        self.event_hits += other.event_hits;
+        for (a, b) in self.hist.iter_mut().zip(&other.hist) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+    }
+}
+
+/// 95% Wilson-score half-width for a binomial proportion.
+///
+/// Unlike the Wald interval (`z·√(p̂(1−p̂)/n)`), the Wilson interval keeps
+/// a positive width at `p̂ = 0` or `p̂ = 1` — essential for the
+/// `CONFIDENCE` stopping rule, which would otherwise fire on the very
+/// first round of a rare (or near-certain) event with a falsely claimed
+/// ±0 interval. Only the *width* is used; the reported point estimate
+/// stays the unbiased empirical frequency (see
+/// [`WorldsResult::event_ci_half_width`] for how to read the pair).
+fn wilson_half_width(hits: u64, worlds: u64) -> f64 {
+    let n = worlds as f64;
+    let p = hits as f64 / n;
+    let z2 = Z_95 * Z_95;
+    Z_95 * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / (1.0 + z2 / n)
+}
+
+/// Derives the RNG seed of one batch (SplitMix64-style mix of the base
+/// seed and the batch index).
+fn batch_seed(seed: u64, batch: u64) -> u64 {
+    let mut z = seed ^ batch.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The parallel possible-worlds executor.
+///
+/// ## Determinism contract
+///
+/// For a fixed `(table, predicate, sum column, max_worlds, seed,
+/// batch_size, target_ci)` the result is **bit-identical** at every
+/// `threads` setting: worlds are drawn in batches whose RNGs are seeded
+/// from the batch *index*, threads only decide which core evaluates which
+/// batch, and batch tallies are reduced in index order. Early termination
+/// is checked once per fixed-size round of batches, so the stopping point
+/// cannot depend on scheduling either.
+#[derive(Debug, Clone)]
+pub struct WorldsExecutor {
+    config: WorldsConfig,
+}
+
+impl WorldsExecutor {
+    /// Validates the configuration and builds an executor.
+    pub fn new(config: WorldsConfig) -> Result<Self, DbError> {
+        if config.max_worlds == 0 {
+            return Err(DbError::InvalidWorlds(
+                "need at least one world (max_worlds = 0)".into(),
+            ));
+        }
+        if config.batch_size == 0 {
+            return Err(DbError::InvalidWorlds("batch_size must be positive".into()));
+        }
+        if let Some(eps) = config.target_ci {
+            if !(eps > 0.0) {
+                return Err(DbError::InvalidWorlds(format!(
+                    "CI target must be positive, got {eps}"
+                )));
+            }
+        }
+        Ok(WorldsExecutor { config })
+    }
+
+    /// The executor's configuration.
+    pub fn config(&self) -> &WorldsConfig {
+        &self.config
+    }
+
+    /// Samples worlds of `table` restricted to tuples matching `pred` and
+    /// estimates the event probability, the COUNT distribution, and (when
+    /// `sum_column` names a numeric column) the SUM aggregate.
+    pub fn run(
+        &self,
+        table: &ProbTable,
+        pred: &Conjunction,
+        sum_column: Option<&str>,
+    ) -> Result<WorldsResult, DbError> {
+        // Pre-filter matching tuples once; sampling then touches only their
+        // probabilities (and summed values).
+        let mut probs = Vec::new();
+        let mut values = Vec::new();
+        let sum_idx = match sum_column {
+            Some(col) => Some(table.schema().index_of(col)?),
+            None => None,
+        };
+        for (row, p) in table.iter() {
+            if !eval_conjunction(table.schema(), row, Some(p), pred)? {
+                continue;
+            }
+            if let Some(c) = sum_idx {
+                let v = row[c].as_f64().ok_or_else(|| DbError::TypeMismatch {
+                    column: sum_column.expect("sum_idx implies sum_column").to_string(),
+                    expected: crate::value::ColumnType::Float,
+                    got: row[c].column_type(),
+                })?;
+                values.push(v);
+            }
+            probs.push(p);
+        }
+        Ok(self.run_domain(&probs, sum_column.map(|col| (col, values.as_slice()))))
+    }
+
+    /// Samples worlds of an already-restricted domain: tuple `i` exists
+    /// independently with probability `probs[i]`, and when `sum` supplies
+    /// `(column name, per-tuple values)` the SUM aggregate over present
+    /// tuples is estimated too (`sum.1` must be parallel to `probs`).
+    ///
+    /// This is the allocation-free entry point the SQL layer uses after it
+    /// has already computed the surviving tuples — no scratch `ProbTable`
+    /// needs to be materialised just to be torn apart again.
+    pub fn run_domain(&self, probs: &[f64], sum: Option<(&str, &[f64])>) -> WorldsResult {
+        let started = Instant::now();
+        let (sum_column, values) = match sum {
+            Some((col, vals)) => {
+                assert_eq!(
+                    vals.len(),
+                    probs.len(),
+                    "run_domain: sum values must be parallel to probs"
+                );
+                (Some(col), vals)
+            }
+            None => (None, &[][..]),
+        };
+        let cfg = &self.config;
+        let buckets = probs.len() + 1;
+        let total_batches = cfg.max_worlds.div_ceil(cfg.batch_size);
+        let threads = effective_threads(cfg.threads, total_batches.min(BATCHES_PER_ROUND));
+
+        let mut tally = BatchTally::zero(buckets);
+        let mut converged = false;
+        let mut next_batch = 0usize;
+        while next_batch < total_batches && !converged {
+            let round = (total_batches - next_batch).min(BATCHES_PER_ROUND);
+            // One tally per batch, returned per segment in segment order;
+            // flattening restores exact batch order.
+            let segments = map_segments(round, cfg.threads, |range| {
+                range
+                    .map(|i| {
+                        let b = next_batch + i;
+                        let worlds_in_batch =
+                            cfg.batch_size.min(cfg.max_worlds - b * cfg.batch_size);
+                        self.sample_batch(b as u64, worlds_in_batch, probs, values)
+                    })
+                    .collect::<Vec<_>>()
+            });
+            for batch in segments.iter().flatten() {
+                tally.absorb(batch);
+            }
+            next_batch += round;
+            if let Some(eps) = cfg.target_ci {
+                if wilson_half_width(tally.event_hits, tally.worlds) <= eps {
+                    converged = true;
+                }
+            }
+        }
+
+        self.summarize(
+            tally,
+            probs.len(),
+            sum_column,
+            threads,
+            converged,
+            started.elapsed(),
+        )
+    }
+
+    /// Draws one batch of worlds with the batch's own deterministic RNG.
+    fn sample_batch(&self, batch: u64, worlds: usize, probs: &[f64], values: &[f64]) -> BatchTally {
+        let mut rng = StdRng::seed_from_u64(batch_seed(self.config.seed, batch));
+        let mut tally = BatchTally::zero(probs.len() + 1);
+        let with_sum = !values.is_empty();
+        for _ in 0..worlds {
+            let mut count = 0usize;
+            let mut world_sum = 0.0f64;
+            for (i, &p) in probs.iter().enumerate() {
+                if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                    count += 1;
+                    if with_sum {
+                        world_sum += values[i];
+                    }
+                }
+            }
+            tally.worlds += 1;
+            if count > 0 {
+                tally.event_hits += 1;
+            }
+            tally.hist[count] += 1;
+            tally.sum += world_sum;
+            tally.sum_sq += world_sum * world_sum;
+        }
+        tally
+    }
+
+    /// Turns the final tally into the reported estimates.
+    fn summarize(
+        &self,
+        tally: BatchTally,
+        matching: usize,
+        sum_column: Option<&str>,
+        threads: usize,
+        converged: bool,
+        wall: Duration,
+    ) -> WorldsResult {
+        let n = tally.worlds as f64;
+        let event_probability = tally.event_hits as f64 / n;
+        let event_ci_half_width = wilson_half_width(tally.event_hits, tally.worlds);
+
+        let count_distribution: Vec<f64> = tally.hist.iter().map(|&c| c as f64 / n).collect();
+        let count_mean = tally
+            .hist
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| k as f64 * c as f64)
+            .sum::<f64>()
+            / n;
+        let count_sq = tally
+            .hist
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| (k as f64) * (k as f64) * c as f64)
+            .sum::<f64>();
+        let count_variance = if tally.worlds > 1 {
+            ((count_sq - n * count_mean * count_mean) / (n - 1.0)).max(0.0)
+        } else {
+            0.0
+        };
+        let count_ci_half_width = Z_95 * (count_variance / n).sqrt();
+
+        let sum = sum_column.map(|column| {
+            let mean = tally.sum / n;
+            let variance = if tally.worlds > 1 {
+                ((tally.sum_sq - n * mean * mean) / (n - 1.0)).max(0.0)
+            } else {
+                0.0
+            };
+            SumEstimate {
+                column: column.to_string(),
+                mean,
+                variance,
+                ci_half_width: Z_95 * (variance / n).sqrt(),
+            }
+        });
+
+        WorldsResult {
+            worlds: tally.worlds as usize,
+            matching_tuples: matching,
+            seed: self.config.seed,
+            threads,
+            converged,
+            event_probability,
+            event_ci_half_width,
+            count_distribution,
+            count_mean,
+            count_variance,
+            count_ci_half_width,
+            sum,
+            wall,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -165,5 +672,196 @@ mod tests {
         );
         let dist = mc_count_distribution(&v, &vec![], 100, &mut rng).unwrap();
         assert_eq!(dist, vec![1.0]);
+    }
+
+    fn executor(worlds: usize, seed: u64, threads: usize) -> WorldsExecutor {
+        WorldsExecutor::new(WorldsConfig {
+            max_worlds: worlds,
+            seed,
+            threads,
+            ..WorldsConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn executor_is_bit_identical_across_thread_counts() {
+        let v = view();
+        let pred = vec![Comparison::new("room", CmpOp::Eq, 1i64)];
+        let reference = executor(20_000, 99, 1).run(&v, &pred, None).unwrap();
+        for threads in [2, 3, 4, 8] {
+            let got = executor(20_000, 99, threads).run(&v, &pred, None).unwrap();
+            assert_eq!(
+                got.fingerprint(),
+                reference.fingerprint(),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn executor_estimates_converge_to_exact() {
+        let v = view();
+        let pred = vec![Comparison::new("room", CmpOp::Eq, 1i64)];
+        let exact = event_probability(&v, &pred).unwrap();
+        let got = executor(40_000, 7, 0).run(&v, &pred, None).unwrap();
+        assert_eq!(got.worlds, 40_000);
+        assert_eq!(got.matching_tuples, 2);
+        assert!(
+            (got.event_probability - exact).abs() < 3.0 * got.event_ci_half_width + 1e-3,
+            "MC {} vs exact {exact} (CI ±{})",
+            got.event_probability,
+            got.event_ci_half_width
+        );
+        let exact_dist = count_distribution(&v, &pred).unwrap();
+        assert_eq!(got.count_distribution.len(), exact_dist.len());
+        for (k, (a, b)) in exact_dist.iter().zip(&got.count_distribution).enumerate() {
+            assert!((a - b).abs() < 0.02, "count {k}: exact {a} vs MC {b}");
+        }
+    }
+
+    #[test]
+    fn executor_sum_matches_expected_sum() {
+        let v = view();
+        let exact = crate::query::expected_sum(&v, "room").unwrap();
+        let got = executor(40_000, 3, 0)
+            .run(&v, &vec![], Some("room"))
+            .unwrap();
+        let sum = got.sum.as_ref().unwrap();
+        assert_eq!(sum.column, "room");
+        assert!(
+            (sum.mean - exact).abs() < 3.0 * sum.ci_half_width + 1e-3,
+            "MC sum {} vs exact {exact}",
+            sum.mean
+        );
+    }
+
+    #[test]
+    fn executor_early_termination_is_deterministic() {
+        let v = view();
+        let run = |threads| {
+            WorldsExecutor::new(WorldsConfig {
+                max_worlds: 1_000_000,
+                seed: 11,
+                target_ci: Some(0.01),
+                threads,
+                ..WorldsConfig::default()
+            })
+            .unwrap()
+            .run(&v, &vec![], None)
+            .unwrap()
+        };
+        let a = run(1);
+        let b = run(8);
+        assert!(a.converged);
+        assert!(a.worlds < 1_000_000, "CI target should stop early");
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert!(a.event_ci_half_width <= 0.01);
+    }
+
+    #[test]
+    fn degenerate_proportions_keep_a_positive_ci() {
+        // A certain event: the empirical hit rate is exactly 1, where the
+        // Wald interval collapses to ±0 and would satisfy any CONFIDENCE
+        // target after the first round. The Wilson interval stays open and
+        // keeps sampling until it genuinely shrinks below the target.
+        let schema = Schema::of(&[("x", ColumnType::Int)]);
+        let mut v = ProbTable::new("v", schema);
+        v.insert(vec![Value::Int(1)], 1.0).unwrap();
+        let run = |eps: f64, cap: usize| {
+            WorldsExecutor::new(WorldsConfig {
+                max_worlds: cap,
+                seed: 4,
+                target_ci: Some(eps),
+                threads: 1,
+                ..WorldsConfig::default()
+            })
+            .unwrap()
+            .run(&v, &vec![], None)
+            .unwrap()
+        };
+        // Too tight for 50k worlds: must exhaust the budget, not "converge".
+        let tight = run(1e-5, 50_000);
+        assert!(!tight.converged, "±0 Wald interval leaked through");
+        assert_eq!(tight.worlds, 50_000);
+        assert!(tight.event_ci_half_width > 0.0);
+        // Achievable target: converges once the Wilson width reaches it.
+        let loose = run(1e-4, 50_000);
+        assert!(loose.converged);
+        assert!(loose.worlds < 50_000);
+        assert!(loose.event_ci_half_width > 0.0);
+        assert!(loose.event_ci_half_width <= 1e-4);
+    }
+
+    #[test]
+    fn count_quantiles_walk_the_cdf() {
+        let v = view();
+        let got = executor(20_000, 5, 0).run(&v, &vec![], None).unwrap();
+        assert!(got.count_quantile(0.0) <= got.count_quantile(0.5));
+        assert!(got.count_quantile(0.5) <= got.count_quantile(1.0));
+        assert!(got.count_quantile(1.0) <= 5);
+        // Exact median of the Poisson-binomial over the 5 view tuples is 2.
+        assert_eq!(got.count_quantile(0.5), 2);
+    }
+
+    #[test]
+    fn executor_on_empty_domain() {
+        let schema = Schema::of(&[("x", ColumnType::Int)]);
+        let v = ProbTable::new("v", schema);
+        let got = executor(1_000, 1, 0).run(&v, &vec![], None).unwrap();
+        assert_eq!(got.matching_tuples, 0);
+        assert_eq!(got.event_probability, 0.0);
+        assert_eq!(got.count_distribution, vec![1.0]);
+        assert_eq!(got.count_mean, 0.0);
+    }
+
+    #[test]
+    fn executor_rejects_bad_configs() {
+        for cfg in [
+            WorldsConfig {
+                max_worlds: 0,
+                ..WorldsConfig::default()
+            },
+            WorldsConfig {
+                batch_size: 0,
+                ..WorldsConfig::default()
+            },
+            WorldsConfig {
+                target_ci: Some(0.0),
+                ..WorldsConfig::default()
+            },
+            WorldsConfig {
+                target_ci: Some(-1.0),
+                ..WorldsConfig::default()
+            },
+        ] {
+            assert!(matches!(
+                WorldsExecutor::new(cfg),
+                Err(DbError::InvalidWorlds(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn executor_sum_on_text_column_errors() {
+        let schema = Schema::of(&[("tag", ColumnType::Text)]);
+        let mut v = ProbTable::new("v", schema);
+        v.insert(vec![Value::Text("a".into())], 0.5).unwrap();
+        let err = executor(100, 1, 0)
+            .run(&v, &vec![], Some("tag"))
+            .unwrap_err();
+        assert!(matches!(err, DbError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn display_summarizes_the_run() {
+        let v = view();
+        let got = executor(2_000, 1, 1)
+            .run(&v, &vec![], Some("room"))
+            .unwrap();
+        let text = got.to_string();
+        assert!(text.contains("worlds: 2000 sampled"));
+        assert!(text.contains("event probability"));
+        assert!(text.contains("sum(room)"));
     }
 }

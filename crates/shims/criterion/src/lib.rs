@@ -6,6 +6,12 @@
 //! the [`criterion_group!`]/[`criterion_main!`] macros. Measurement is a
 //! plain calibrated wall-clock loop printing `ns/iter`; there is no
 //! statistical analysis, HTML report or comparison baseline.
+//!
+//! One extension beyond the real API: when the `CRITERION_JSON`
+//! environment variable names a file, every measurement is also appended
+//! to it as one JSON object per line
+//! (`{"name":…,"ns_per_iter":…,"iters":…}`) so CI can collect bench
+//! results as an artifact.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -74,12 +80,34 @@ impl Bencher {
     }
 }
 
+/// Appends one measurement as a JSON line to `path` (the file named by
+/// `CRITERION_JSON` in normal operation; taken as a parameter so tests
+/// never have to mutate the process environment).
+fn report_json(path: &str, name: &str, ns: f64, iters: u64) {
+    // Names come from the benches themselves; escape the one character
+    // that would break the JSON string.
+    let escaped = name.replace('\\', "\\\\").replace('"', "\\\"");
+    let line = format!("{{\"name\":\"{escaped}\",\"ns_per_iter\":{ns},\"iters\":{iters}}}\n");
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("criterion shim: cannot append to CRITERION_JSON={path}: {e}");
+    }
+}
+
 fn report(name: &str, b: &Bencher) {
     if b.iters == 0 {
         println!("{name:<48} (no measurement)");
         return;
     }
     let ns = b.total.as_nanos() as f64 / b.iters as f64;
+    match std::env::var("CRITERION_JSON") {
+        Ok(path) if !path.is_empty() => report_json(&path, name, ns, b.iters),
+        _ => {}
+    }
     let human = if ns < 1_000.0 {
         format!("{ns:.1} ns")
     } else if ns < 1_000_000.0 {
@@ -209,5 +237,18 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
         assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+
+    #[test]
+    fn json_lines_are_well_formed() {
+        let path =
+            std::env::temp_dir().join(format!("criterion-shim-json-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        report_json(path.to_str().unwrap(), "grp/q\"uoted", 12.5, 40);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(text.contains("\"name\":\"grp/q\\\"uoted\""), "{text}");
+        assert!(text.contains("\"ns_per_iter\":12.5"));
+        assert!(text.contains("\"iters\":40"));
     }
 }

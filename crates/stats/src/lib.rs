@@ -16,6 +16,8 @@
 //! * [`divergence`] — Hellinger distance (paper eq. 10) and the Theorem 1/2
 //!   ratio-threshold bounds for the σ-cache.
 //! * [`ordf64`] — totally ordered `f64` for B-tree keyed caches.
+//! * [`parallel`] — deterministic fork-join helpers over index ranges
+//!   (shared by the Ω-view builder and the possible-worlds executor).
 //!
 //! This crate deliberately has no dependency other than `rand` (sampling);
 //! everything numerical is implemented and tested here.
@@ -38,6 +40,7 @@ pub mod error;
 pub mod linalg;
 pub mod optimize;
 pub mod ordf64;
+pub mod parallel;
 pub mod regression;
 pub mod special;
 pub mod student_t;

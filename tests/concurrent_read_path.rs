@@ -27,14 +27,17 @@ const CREATE_VIEW: &str =
     "CREATE VIEW pv AS DENSITY r OVER t OMEGA delta=0.25, n=12 FROM raw_values";
 
 /// A mixed bag of SELects exercising predicates, the prob pseudo-column,
-/// ordering, projection and limits.
-const QUERIES: [&str; 6] = [
+/// ordering, projection, limits, the probabilistic THRESHOLD/TOP clauses
+/// and Monte-Carlo `WITH WORLDS` evaluation.
+const QUERIES: [&str; 8] = [
     "SELECT * FROM pv",
     "SELECT * FROM pv WHERE prob >= 0.15",
     "SELECT t, lambda FROM pv WHERE lambda >= 0 ORDER BY prob DESC LIMIT 40",
     "SELECT * FROM pv WHERE prob >= 0.05 ORDER BY prob DESC LIMIT 100",
     "SELECT lambda FROM pv WHERE t >= 9000 AND t <= 20000",
     "SELECT * FROM raw_values WHERE t >= 12000 ORDER BY t ASC LIMIT 25",
+    "SELECT * FROM pv THRESHOLD 0.1 TOP 50",
+    "SELECT * FROM pv WHERE prob >= 0.05 WITH WORLDS 512 SEED 1",
 ];
 
 /// Renders a query output to comparable text (rows + probabilities).
@@ -42,6 +45,7 @@ fn fingerprint(out: &tspdb::probdb::QueryOutput) -> String {
     match out {
         tspdb::probdb::QueryOutput::Rows(t) => t.render(usize::MAX),
         tspdb::probdb::QueryOutput::ProbRows(t) => t.render(usize::MAX),
+        tspdb::probdb::QueryOutput::Worlds(w) => w.fingerprint(),
         tspdb::probdb::QueryOutput::None => "none".to_string(),
     }
 }

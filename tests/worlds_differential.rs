@@ -1,0 +1,228 @@
+//! Exact-vs-Monte-Carlo differential harness.
+//!
+//! The possible-worlds executor and the exact operators answer the same
+//! questions through entirely different code paths: closed forms over
+//! tuple independence (`event_probability`, `count_distribution`,
+//! `count_moments`, `expected_sum`) versus sampled worlds. This suite pins
+//! down two invariants, permanently:
+//!
+//! 1. **Convergence** — for generated probabilistic tables the MC
+//!    estimates land within statistical tolerance of the exact answers
+//!    (tolerances are multiples of the estimator's standard error, so they
+//!    hold deterministically for the fixed seeds used here);
+//! 2. **Thread invariance** — the executor returns *bit-identical*
+//!    results at 1 and 8 threads for the same seed, which is what makes
+//!    `WITH WORLDS` reproducible on any machine.
+
+use proptest::prelude::*;
+use tspdb::probdb::aggregates::{count_distribution, count_moments};
+use tspdb::probdb::query::{event_probability, expected_sum, CmpOp, Comparison};
+use tspdb::probdb::{
+    ColumnType, ProbTable, Schema, Value, WorldsConfig, WorldsExecutor, WorldsResult,
+};
+
+const WORLDS: usize = 30_000;
+
+/// `(room, reading)` table with rooms cycling 0..4 and readings tied to
+/// the row index, so predicates have something to bite on.
+fn table_from(probs: &[f64]) -> ProbTable {
+    let schema = Schema::of(&[("room", ColumnType::Int), ("reading", ColumnType::Float)]);
+    let mut v = ProbTable::new("v", schema);
+    for (i, &p) in probs.iter().enumerate() {
+        v.insert(
+            vec![Value::Int(i as i64 % 4), Value::Float(i as f64 * 0.5 - 2.0)],
+            p,
+        )
+        .unwrap();
+    }
+    v
+}
+
+fn run(
+    table: &ProbTable,
+    pred: &[Comparison],
+    seed: u64,
+    threads: usize,
+    sum_column: Option<&str>,
+) -> WorldsResult {
+    WorldsExecutor::new(WorldsConfig {
+        max_worlds: WORLDS,
+        seed,
+        threads,
+        ..WorldsConfig::default()
+    })
+    .unwrap()
+    .run(table, &pred.to_vec(), sum_column)
+    .unwrap()
+}
+
+/// Runs at 1 and 8 threads, asserts bit-identical estimates, returns one.
+fn run_both_widths(
+    table: &ProbTable,
+    pred: &[Comparison],
+    seed: u64,
+    sum_column: Option<&str>,
+) -> WorldsResult {
+    let one = run(table, pred, seed, 1, sum_column);
+    let eight = run(table, pred, seed, 8, sum_column);
+    assert_eq!(
+        one.fingerprint(),
+        eight.fingerprint(),
+        "1-thread and 8-thread runs diverged (seed {seed})"
+    );
+    one
+}
+
+proptest! {
+    #[test]
+    fn mc_converges_to_exact_closed_forms(
+        probs in proptest::collection::vec(0.0f64..=1.0, 1..25),
+        seed in 0u64..1_000_000,
+    ) {
+        let v = table_from(&probs);
+        let pred: Vec<Comparison> = Vec::new();
+
+        let exact_p = event_probability(&v, &pred).unwrap();
+        let exact_dist = count_distribution(&v, &pred).unwrap();
+        let (exact_mean, exact_var) = count_moments(&v, &pred).unwrap();
+
+        let mc = run_both_widths(&v, &pred, seed, None);
+        prop_assert_eq!(mc.worlds, WORLDS);
+        prop_assert_eq!(mc.matching_tuples, probs.len());
+
+        // Event probability: within 5 standard errors of the exact value.
+        let se_p = (exact_p * (1.0 - exact_p) / WORLDS as f64).sqrt();
+        prop_assert!(
+            (mc.event_probability - exact_p).abs() <= 5.0 * se_p + 1e-9,
+            "event: MC {} vs exact {} (SE {})",
+            mc.event_probability, exact_p, se_p
+        );
+
+        // Count distribution: every bucket within 5 SEs, plus a few worlds
+        // of absolute slack for the far tails where the bucket probability
+        // is so small that the normal approximation behind the SE bound
+        // breaks down (a single sampled world there is several "SEs").
+        prop_assert_eq!(mc.count_distribution.len(), exact_dist.len());
+        let slack = 5.0 / WORLDS as f64;
+        for (k, (e, m)) in exact_dist.iter().zip(&mc.count_distribution).enumerate() {
+            let se = (e * (1.0 - e) / WORLDS as f64).sqrt();
+            prop_assert!(
+                (e - m).abs() <= 5.0 * se + slack,
+                "count bucket {k}: exact {e} vs MC {m}"
+            );
+        }
+
+        // Count moments: the mean within 5 SEs, the variance loosely.
+        let se_mean = (exact_var / WORLDS as f64).sqrt();
+        prop_assert!(
+            (mc.count_mean - exact_mean).abs() <= 5.0 * se_mean + 1e-9,
+            "count mean: MC {} vs exact {}",
+            mc.count_mean, exact_mean
+        );
+        prop_assert!(
+            (mc.count_variance - exact_var).abs() <= 0.15 * exact_var + 0.05,
+            "count variance: MC {} vs exact {}",
+            mc.count_variance, exact_var
+        );
+    }
+
+    #[test]
+    fn mc_sum_converges_to_expected_sum(
+        probs in proptest::collection::vec(0.0f64..=1.0, 1..20),
+        seed in 0u64..1_000_000,
+    ) {
+        let v = table_from(&probs);
+        let exact = expected_sum(&v, "reading").unwrap();
+        let mc = run_both_widths(&v, &[], seed, Some("reading"));
+        let sum = mc.sum.as_ref().unwrap();
+        let se = (sum.variance / WORLDS as f64).sqrt();
+        prop_assert!(
+            (sum.mean - exact).abs() <= 5.0 * se + 1e-6,
+            "sum: MC {} vs exact {} (SE {})",
+            sum.mean, exact, se
+        );
+    }
+}
+
+#[test]
+fn predicated_queries_agree_with_exact_path() {
+    let probs: Vec<f64> = (0..24).map(|i| ((i * 37) % 97) as f64 / 100.0).collect();
+    let v = table_from(&probs);
+    for pred in [
+        vec![Comparison::new("room", CmpOp::Eq, 1i64)],
+        vec![Comparison::new("reading", CmpOp::Ge, 2.0)],
+        vec![
+            Comparison::new("room", CmpOp::Ne, 0i64),
+            Comparison::new("prob", CmpOp::Ge, 0.25),
+        ],
+    ] {
+        let exact = event_probability(&v, &pred).unwrap();
+        let mc = run_both_widths(&v, &pred, 2024, None);
+        assert!(
+            (mc.event_probability - exact).abs() <= 3.0 * mc.event_ci_half_width + 1e-3,
+            "pred {pred:?}: MC {} vs exact {exact}",
+            mc.event_probability
+        );
+        let exact_dist = count_distribution(&v, &pred).unwrap();
+        assert_eq!(mc.count_distribution.len(), exact_dist.len());
+    }
+}
+
+#[test]
+fn early_termination_is_thread_invariant_and_honours_the_target() {
+    let probs: Vec<f64> = (0..12).map(|i| 0.05 + 0.07 * i as f64).collect();
+    let v = table_from(&probs);
+    let run_ci = |threads: usize| {
+        WorldsExecutor::new(WorldsConfig {
+            max_worlds: 2_000_000,
+            seed: 77,
+            target_ci: Some(0.005),
+            threads,
+            ..WorldsConfig::default()
+        })
+        .unwrap()
+        .run(&v, &Vec::new(), None)
+        .unwrap()
+    };
+    let one = run_ci(1);
+    let eight = run_ci(8);
+    assert_eq!(one.fingerprint(), eight.fingerprint());
+    assert!(one.converged);
+    assert!(one.worlds < 2_000_000);
+    assert!(one.event_ci_half_width <= 0.005);
+}
+
+#[test]
+fn sql_with_worlds_matches_direct_executor_calls() {
+    // The SQL surface and the Rust API must drive the very same sampler:
+    // same seed, same worlds, same estimate.
+    let probs: Vec<f64> = (0..10).map(|i| 0.1 + 0.08 * i as f64).collect();
+    let v = table_from(&probs);
+    let mut db = tspdb::Database::new();
+    db.register_prob_table(v.clone()).unwrap();
+    for threads in [1, 8] {
+        db.set_worlds_threads(threads);
+        let via_sql = db
+            .query("SELECT * FROM v WHERE room = 2 WITH WORLDS 8000 SEED 31")
+            .unwrap();
+        let direct = WorldsExecutor::new(WorldsConfig {
+            max_worlds: 8_000,
+            seed: 31,
+            threads,
+            ..WorldsConfig::default()
+        })
+        .unwrap()
+        .run(
+            &tspdb::probdb::query::select_prob(&v, &vec![Comparison::new("room", CmpOp::Eq, 2i64)])
+                .unwrap(),
+            &Vec::new(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(
+            via_sql.worlds().unwrap().fingerprint(),
+            direct.fingerprint(),
+            "threads = {threads}"
+        );
+    }
+}
