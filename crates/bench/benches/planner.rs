@@ -1,0 +1,123 @@
+//! Query-planner overhead and aggregate throughput.
+//!
+//! Three questions, answered via the `CRITERION_JSON` shim like every
+//! other bench:
+//!
+//! 1. what does `parse → plan → execute` cost per `SELECT` against
+//!    plan-once/execute-many and against calling the row operators
+//!    directly (the pre-planner "legacy" shape)?
+//! 2. what does an exact grouped aggregate cost as the relation grows?
+//! 3. how does the Monte-Carlo aggregate path scale across 1/2/4/8
+//!    fork-join threads (single-core hosts only show overhead — the
+//!    estimates are bit-identical at every width either way)?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tspdb_probdb::query::{select_prob, top_k};
+use tspdb_probdb::{
+    parse, CmpOp, ColumnType, Comparison, Database, Planner, ProbTable, Schema, Statement, Value,
+};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// `(room, reading)` relation with `n` tuples and mixed probabilities.
+fn view(n: usize) -> ProbTable {
+    let schema = Schema::of(&[("room", ColumnType::Int), ("reading", ColumnType::Float)]);
+    let mut v = ProbTable::new("v", schema);
+    for i in 0..n {
+        let p = ((i * 37) % 97) as f64 / 100.0;
+        v.insert(
+            vec![Value::Int(i as i64 % 8), Value::Float(i as f64 * 0.25)],
+            p,
+        )
+        .unwrap();
+    }
+    v
+}
+
+fn database(n: usize) -> Database {
+    let mut db = Database::new();
+    db.register_prob_table(view(n)).unwrap();
+    db
+}
+
+fn bench_select_paths(c: &mut Criterion) {
+    let db = database(512);
+    let sql = "SELECT room FROM v WHERE room = 2 THRESHOLD 0.25 TOP 16";
+    let mut group = c.benchmark_group("planner_select");
+    group.sample_size(20);
+
+    // Full pipeline: tokenize, parse, plan, execute.
+    group.bench_function("parse_plan_execute", |b| {
+        b.iter(|| std::hint::black_box(db.query(sql).unwrap()))
+    });
+
+    // Plan once, execute many — the prepared-statement shape.
+    let planned = match parse(sql).unwrap() {
+        Statement::Select(sel) => Planner::plan(&sel).unwrap(),
+        other => panic!("not a SELECT: {other:?}"),
+    };
+    group.bench_function("plan_once_execute", |b| {
+        b.iter(|| std::hint::black_box(db.execute_planned(&planned).unwrap()))
+    });
+
+    // The pre-planner shape: call the row operators directly.
+    let v = view(512);
+    let pred = vec![Comparison::new("room", CmpOp::Eq, 2i64)];
+    group.bench_function("direct_operators", |b| {
+        b.iter(|| {
+            let selected = select_prob(&v, &pred).unwrap();
+            let thresholded = tspdb_probdb::query::threshold(&selected, 0.25).unwrap();
+            std::hint::black_box(top_k(&thresholded, 16))
+        })
+    });
+    group.finish();
+}
+
+fn bench_exact_aggregates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner_exact_aggregate");
+    group.sample_size(20);
+    for n in [128usize, 512, 2048] {
+        let db = database(n);
+        group.bench_with_input(BenchmarkId::new("grouped_count_sum", n), &n, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(
+                    db.query(
+                        "SELECT room, COUNT(*), SUM(reading) FROM v GROUP BY room \
+                         HAVING COUNT(*) >= 2",
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_worlds_aggregates(c: &mut Criterion) {
+    let mut db = database(256);
+    let mut group = c.benchmark_group("planner_worlds_aggregate");
+    group.sample_size(10);
+    for threads in THREAD_COUNTS {
+        db.set_worlds_threads(threads);
+        group.bench_with_input(BenchmarkId::new("grouped_mc", threads), &threads, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(
+                    db.query(
+                        "SELECT room, COUNT(*), SUM(reading) FROM v GROUP BY room \
+                             WITH WORLDS 4096 SEED 1",
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_select_paths,
+    bench_exact_aggregates,
+    bench_worlds_aggregates
+);
+criterion_main!(benches);

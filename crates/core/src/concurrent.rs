@@ -146,7 +146,7 @@ impl SharedEngine {
 
     /// Executes any SQL statement.
     ///
-    /// * `SELECT` — read lock, concurrent with other readers.
+    /// * `SELECT` / `EXPLAIN` — read lock, concurrent with other readers.
     /// * `CREATE VIEW … AS DENSITY` — the view is **built under the read
     ///   lock** (inference only reads the source table), then registered
     ///   under a brief write lock, so long builds do not starve queries.
@@ -176,6 +176,9 @@ impl SharedEngine {
             }
             tspdb_probdb::Statement::Select(sel) => {
                 self.read().query_select(&sel).map_err(CoreError::from)
+            }
+            tspdb_probdb::Statement::Explain(sel) => {
+                self.read().explain_select(&sel).map_err(CoreError::from)
             }
             other => self
                 .catalog
@@ -345,6 +348,36 @@ mod tests {
                     for _ in 0..5 {
                         let got = engine.query(MC_SQL).unwrap();
                         assert_eq!(&got.worlds().unwrap().fingerprint(), expected);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn shared_engine_serves_aggregates_and_explain_under_the_read_lock() {
+        let engine = shared_engine_with_view();
+        engine.set_worlds_threads(2);
+        const AGG_SQL: &str =
+            "SELECT t, COUNT(*), SUM(lambda) FROM pv GROUP BY t HAVING COUNT(*) >= 2 \
+             WITH WORLDS 1000 SEED 13";
+        let expected = engine
+            .query(AGG_SQL)
+            .unwrap()
+            .aggregate()
+            .unwrap()
+            .fingerprint();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let engine = engine.clone();
+                let expected = &expected;
+                s.spawn(move || {
+                    for _ in 0..3 {
+                        let got = engine.query(AGG_SQL).unwrap();
+                        assert_eq!(&got.aggregate().unwrap().fingerprint(), expected);
+                        let report = engine.query(&format!("EXPLAIN {AGG_SQL}")).unwrap();
+                        let report = report.explain().unwrap();
+                        assert!(report.strategy.contains("worlds"));
                     }
                 });
             }

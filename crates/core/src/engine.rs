@@ -115,6 +115,9 @@ impl Engine {
             tspdb_probdb::Statement::Select(sel) => {
                 self.db.query_select(&sel).map_err(CoreError::from)
             }
+            tspdb_probdb::Statement::Explain(sel) => {
+                self.db.explain_select(&sel).map_err(CoreError::from)
+            }
             other => self.db.execute_parsed(other).map_err(CoreError::from),
         }
     }
@@ -439,6 +442,39 @@ mod tests {
             "MC {} vs exact {exact}",
             w.event_probability
         );
+    }
+
+    #[test]
+    fn aggregate_queries_run_through_the_planner_on_views() {
+        let mut e = engine_with_series(150);
+        e.execute("CREATE VIEW pv AS DENSITY r OVER t OMEGA delta=0.5, n=6 FROM raw_values")
+            .unwrap();
+        // Exact grouped aggregate: E[count | t] = Σ prob over the 6 cells.
+        let out = e.query("SELECT t, COUNT(*) FROM pv GROUP BY t").unwrap();
+        let agg = out.aggregate().unwrap();
+        assert_eq!(agg.strategy, "exact");
+        assert_eq!(agg.groups.len(), 90);
+        // The MC strategy answers the same plan within tolerance.
+        let mc = e
+            .query("SELECT COUNT(*) FROM pv WITH WORLDS 4000 SEED 5")
+            .unwrap();
+        let mc = mc.aggregate().unwrap();
+        let exact = e.query("SELECT COUNT(*) FROM pv").unwrap();
+        let exact = exact.aggregate().unwrap();
+        let tol = 4.0 * mc.groups[0].values[0].ci_half_width.unwrap() + 1e-3;
+        assert!(
+            (mc.groups[0].values[0].value - exact.groups[0].values[0].value).abs() <= tol,
+            "MC {} vs exact {}",
+            mc.groups[0].values[0].value,
+            exact.groups[0].values[0].value
+        );
+        // EXPLAIN reports the plan without executing it.
+        let report = e
+            .execute("EXPLAIN SELECT t, COUNT(*) FROM pv GROUP BY t")
+            .unwrap();
+        let report = report.explain().unwrap();
+        assert!(report.logical.contains("Aggregate [COUNT(*)] GROUP BY t"));
+        assert!(report.strategy.starts_with("exact"));
     }
 
     #[test]

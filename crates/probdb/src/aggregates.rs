@@ -20,17 +20,55 @@ use crate::table::ProbTable;
 pub fn count_distribution(table: &ProbTable, pred: &Conjunction) -> Result<Vec<f64>, DbError> {
     let mut dist = vec![1.0f64];
     for (row, p) in table.iter() {
-        if !eval_conjunction(table.schema(), row, Some(p), pred)? {
-            continue;
+        if eval_conjunction(table.schema(), row, Some(p), pred)? {
+            fold_tuple(&mut dist, p);
         }
-        let mut next = vec![0.0; dist.len() + 1];
-        for (k, &mass) in dist.iter().enumerate() {
-            next[k] += mass * (1.0 - p);
-            next[k + 1] += mass * p;
-        }
-        dist = next;
     }
     Ok(dist)
+}
+
+/// Poisson-binomial distribution over an explicit probability slice — the
+/// predicate-free core of [`count_distribution`], used by the planner's
+/// per-group aggregate evaluation.
+pub fn count_distribution_of(probs: &[f64]) -> Vec<f64> {
+    let mut dist = Vec::with_capacity(probs.len() + 1);
+    dist.push(1.0f64);
+    for &p in probs {
+        fold_tuple(&mut dist, p);
+    }
+    dist
+}
+
+/// Folds one tuple with existence probability `p` into the partial-count
+/// distribution **in place**: one `push` to grow the buffer, then a
+/// backward sweep so every update reads only not-yet-overwritten entries.
+/// The DP stays O(n²) in time but drops the per-tuple `next` vector — the
+/// whole fold allocates O(1) times (the single buffer, grown amortised).
+fn fold_tuple(dist: &mut Vec<f64>, p: f64) {
+    dist.push(0.0);
+    for k in (1..dist.len()).rev() {
+        dist[k] = dist[k] * (1.0 - p) + dist[k - 1] * p;
+    }
+    dist[0] *= 1.0 - p;
+}
+
+/// Expectation and variance of the sum of `values` over tuples present in
+/// a possible world: `Σ p_i v_i` and `Σ p_i (1 − p_i) v_i²` (linearity of
+/// expectation; variance by tuple independence). `values` must be parallel
+/// to `probs`.
+pub fn sum_moments_of(probs: &[f64], values: &[f64]) -> (f64, f64) {
+    assert_eq!(
+        probs.len(),
+        values.len(),
+        "sum_moments_of: values must be parallel to probs"
+    );
+    let mut mean = 0.0;
+    let mut var = 0.0;
+    for (&p, &v) in probs.iter().zip(values) {
+        mean += p * v;
+        var += p * (1.0 - p) * v * v;
+    }
+    (mean, var)
 }
 
 /// `P(count ≥ k)` for tuples matching the predicate.
@@ -150,6 +188,26 @@ mod tests {
         let (mean, var) = count_moments(&v, &vec![]).unwrap();
         assert!((mean - mean_dp).abs() < 1e-12);
         assert!((var - (e2 - mean_dp * mean_dp)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn domain_dp_matches_table_dp() {
+        let probs = [0.1, 0.4, 0.65, 0.9, 0.25, 0.33];
+        let v = view(&probs);
+        assert_eq!(
+            count_distribution_of(&probs),
+            count_distribution(&v, &vec![]).unwrap()
+        );
+        assert_eq!(count_distribution_of(&[]), vec![1.0]);
+    }
+
+    #[test]
+    fn sum_moments_closed_forms() {
+        let probs = [0.5, 0.2];
+        let values = [3.0, -1.0];
+        let (mean, var) = sum_moments_of(&probs, &values);
+        assert!((mean - (0.5 * 3.0 - 0.2)).abs() < 1e-12);
+        assert!((var - (0.25 * 9.0 + 0.16 * 1.0)).abs() < 1e-12);
     }
 
     #[test]

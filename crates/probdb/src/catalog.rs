@@ -1,20 +1,27 @@
 //! The in-memory database: named relations plus statement execution.
 //!
 //! [`Database`] owns deterministic tables and probabilistic views and
-//! executes parsed [`Statement`]s. The one statement it cannot execute by
-//! itself is `CREATE VIEW … AS DENSITY …` — inferring densities is the job
-//! of the `tspdb-core` crate — so [`Database::execute_with`] accepts a
-//! *density handler* callback that the upper layer provides. This keeps the
-//! dependency arrow pointing from the paper's contribution down into the
-//! substrate, never backwards.
+//! executes parsed [`Statement`]s. `SELECT`s are **planned, not
+//! dispatched**: the statement is handed to [`Planner::plan`], which builds
+//! a logical/physical plan and picks an evaluation strategy
+//! ([`crate::plan::ExactStrategy`] or, under `WITH WORLDS`,
+//! [`crate::plan::WorldsStrategy`]); the catalog's job shrinks to resolving
+//! the scanned relation and running the chosen strategy. `EXPLAIN` returns
+//! the plan instead of running it.
+//!
+//! The one statement the catalog cannot execute by itself is `CREATE VIEW
+//! … AS DENSITY …` — inferring densities is the job of the `tspdb-core`
+//! crate — so [`Database::execute_with`] accepts a *density handler*
+//! callback that the upper layer provides. This keeps the dependency arrow
+//! pointing from the paper's contribution down into the substrate, never
+//! backwards.
 
 use crate::error::DbError;
-use crate::query::{eval_conjunction, Conjunction, PROB_PSEUDO_COLUMN};
+use crate::plan::{AggregateResult, ExplainReport, PlannedQuery, Planner};
 use crate::schema::Schema;
-use crate::sql::{parse, DensityViewSpec, SelectStmt, Statement, WorldsClause};
+use crate::sql::{parse, DensityViewSpec, SelectStmt, Statement};
 use crate::table::{ProbTable, Table};
-use crate::worlds::{WorldsConfig, WorldsExecutor, WorldsResult};
-use std::cmp::Ordering;
+use crate::worlds::WorldsResult;
 use std::collections::BTreeMap;
 
 /// A stored relation: deterministic or probabilistic.
@@ -39,6 +46,12 @@ pub enum QueryOutput {
     /// answers plus per-query sampling statistics (worlds sampled, CIs,
     /// wall time).
     Worlds(WorldsResult),
+    /// Result of an aggregate query (`COUNT(*)` / `SUM` / `AVG` /
+    /// `EXPECTED`, optionally grouped, optionally with a `HAVING` event
+    /// probability) from either evaluation strategy.
+    Aggregate(AggregateResult),
+    /// The plan report of an `EXPLAIN` statement.
+    Explain(ExplainReport),
 }
 
 impl QueryOutput {
@@ -62,6 +75,22 @@ impl QueryOutput {
     pub fn worlds(&self) -> Option<&WorldsResult> {
         match self {
             QueryOutput::Worlds(w) => Some(w),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor for aggregate results.
+    pub fn aggregate(&self) -> Option<&AggregateResult> {
+        match self {
+            QueryOutput::Aggregate(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor for `EXPLAIN` reports.
+    pub fn explain(&self) -> Option<&ExplainReport> {
+        match self {
+            QueryOutput::Explain(e) => Some(e),
             _ => None,
         }
     }
@@ -161,15 +190,60 @@ impl Database {
     pub fn query(&self, sql: &str) -> Result<QueryOutput, DbError> {
         match parse(sql)? {
             Statement::Select(sel) => self.query_select(&sel),
+            Statement::Explain(sel) => self.explain_select(&sel),
             other => Err(DbError::ReadOnly(format!("{other:?}"))),
         }
     }
 
     /// Runs an already-parsed `SELECT` with a shared borrow — the
     /// parse-free core of [`Database::query`], for callers (like the
-    /// engines) that classified the statement themselves.
+    /// engines) that classified the statement themselves. Planning and
+    /// execution are split so callers can also plan once and execute many
+    /// times via [`Database::execute_planned`].
     pub fn query_select(&self, sel: &SelectStmt) -> Result<QueryOutput, DbError> {
-        self.execute_select(sel)
+        self.execute_planned(&Planner::plan(sel)?)
+    }
+
+    /// Executes a planned query: resolves the scanned relation and runs
+    /// the plan's strategy over it.
+    pub fn execute_planned(&self, planned: &PlannedQuery) -> Result<QueryOutput, DbError> {
+        let relation = self
+            .relations
+            .get(&planned.physical.table)
+            .ok_or_else(|| DbError::UnknownTable(planned.physical.table.clone()))?;
+        planned
+            .strategy(self.worlds_threads)
+            .execute(relation, &planned.physical)
+    }
+
+    /// Plans a `SELECT` and returns its [`ExplainReport`] instead of
+    /// executing it (the `EXPLAIN` statement).
+    pub fn explain_select(&self, sel: &SelectStmt) -> Result<QueryOutput, DbError> {
+        let planned = Planner::plan(sel)?;
+        let relation = match self.relations.get(&planned.physical.table) {
+            Some(Relation::Deterministic(t)) => {
+                format!(
+                    "{}: deterministic ({} rows)",
+                    planned.physical.table,
+                    t.len()
+                )
+            }
+            Some(Relation::Probabilistic(t)) => format!(
+                "{}: probabilistic ({} tuples)",
+                planned.physical.table,
+                t.len()
+            ),
+            None => format!(
+                "{}: not found (plan is still valid)",
+                planned.physical.table
+            ),
+        };
+        Ok(QueryOutput::Explain(ExplainReport {
+            relation,
+            logical: planned.logical.to_string(),
+            physical: planned.physical.to_string(),
+            strategy: planned.strategy(self.worlds_threads).describe(),
+        }))
     }
 
     /// Executes a SQL statement that does not require density inference.
@@ -243,7 +317,8 @@ impl Database {
                     )),
                 }
             }
-            Statement::Select(sel) => self.execute_select(&sel),
+            Statement::Select(sel) => self.query_select(&sel),
+            Statement::Explain(sel) => self.explain_select(&sel),
             Statement::CreateDensityView(_) => unreachable!("handled by callers"),
             Statement::Drop { name } => {
                 self.drop_relation(&name)?;
@@ -251,214 +326,6 @@ impl Database {
             }
         }
     }
-
-    fn execute_select(&self, sel: &SelectStmt) -> Result<QueryOutput, DbError> {
-        match self.relations.get(&sel.table) {
-            Some(Relation::Deterministic(t)) => {
-                if sel.worlds.is_some() || sel.threshold.is_some() || sel.top.is_some() {
-                    return Err(DbError::InvalidWorlds(format!(
-                        "THRESHOLD/TOP/WITH WORLDS require a probabilistic relation; \
-                         {} is deterministic",
-                        sel.table
-                    )));
-                }
-                Ok(QueryOutput::Rows(select_deterministic(t, sel)?))
-            }
-            Some(Relation::Probabilistic(t)) => {
-                if let Some(w) = &sel.worlds {
-                    Ok(QueryOutput::Worlds(self.run_worlds(t, sel, w)?))
-                } else {
-                    Ok(QueryOutput::ProbRows(select_probabilistic(t, sel)?))
-                }
-            }
-            None => Err(DbError::UnknownTable(sel.table.clone())),
-        }
-    }
-
-    /// Serves a `WITH WORLDS` query: restricts the relation exactly as the
-    /// exact path would (`WHERE`, `THRESHOLD`, `TOP`), then hands the
-    /// surviving tuples' probabilities straight to the Monte-Carlo
-    /// executor (no scratch table). A single projected numeric column
-    /// additionally requests the SUM aggregate over that column.
-    ///
-    /// `ORDER BY` and `LIMIT` are presentation clauses over returned rows;
-    /// an MC query returns estimates, not rows, so combining them with
-    /// `WITH WORLDS` is rejected rather than silently ignored (`LIMIT`
-    /// would otherwise look like it restricts the sampling domain — that
-    /// is `THRESHOLD`/`TOP`'s job).
-    fn run_worlds(
-        &self,
-        t: &ProbTable,
-        sel: &SelectStmt,
-        clause: &WorldsClause,
-    ) -> Result<WorldsResult, DbError> {
-        if sel.order_by.is_some() || sel.limit.is_some() {
-            return Err(DbError::InvalidWorlds(
-                "ORDER BY/LIMIT do not apply to WITH WORLDS estimates; restrict the \
-                 sampling domain with WHERE, THRESHOLD or TOP instead"
-                    .into(),
-            ));
-        }
-        // Validate the projection exactly like the exact path would —
-        // unknown columns error no matter how many are listed.
-        for col in &sel.columns {
-            t.schema().index_of(col)?;
-        }
-        let keep = restrict_prob_indices(t, sel)?;
-        let probs: Vec<f64> = keep.iter().map(|&i| t.probs()[i]).collect();
-        // SUM only applies to a single *numeric* projection; a single text
-        // column (or a wider projection) just skips the aggregate — the
-        // documented contract.
-        let sum = match sel.columns.as_slice() {
-            [col] => match t.schema().type_of(col)? {
-                crate::value::ColumnType::Text => None,
-                _ => {
-                    let c = t.schema().index_of(col)?;
-                    let values: Vec<f64> = keep
-                        .iter()
-                        .map(|&i| {
-                            t.rows()[i][c]
-                                .as_f64()
-                                .expect("schema-validated numeric column")
-                        })
-                        .collect();
-                    Some((col.as_str(), values))
-                }
-            },
-            _ => None,
-        };
-        let executor = WorldsExecutor::new(WorldsConfig {
-            max_worlds: clause.worlds,
-            seed: clause.seed.unwrap_or(0),
-            target_ci: clause.confidence,
-            threads: self.worlds_threads,
-            ..WorldsConfig::default()
-        })?;
-        Ok(executor.run_domain(&probs, sum.as_ref().map(|(c, v)| (*c, v.as_slice()))))
-    }
-}
-
-/// Ordering key extraction shared by both select paths; `prob` addresses
-/// the tuple probability when one is available.
-fn sort_indices(
-    schema: &Schema,
-    rows: &[Vec<crate::value::Value>],
-    probs: Option<&[f64]>,
-    order: &(String, bool),
-) -> Result<Vec<usize>, DbError> {
-    let (col, asc) = order;
-    let mut idx: Vec<usize> = (0..rows.len()).collect();
-    if let (PROB_PSEUDO_COLUMN, Some(p)) = (col.as_str(), probs) {
-        idx.sort_by(|&a, &b| {
-            let ord = p[a].partial_cmp(&p[b]).unwrap_or(Ordering::Equal);
-            if *asc {
-                ord.then(a.cmp(&b))
-            } else {
-                ord.reverse().then(a.cmp(&b))
-            }
-        });
-    } else {
-        let c = schema.index_of(col)?;
-        idx.sort_by(|&a, &b| {
-            let ord = rows[a][c].compare(&rows[b][c]).unwrap_or(Ordering::Equal);
-            if *asc {
-                ord.then(a.cmp(&b))
-            } else {
-                ord.reverse().then(a.cmp(&b))
-            }
-        });
-    }
-    Ok(idx)
-}
-
-fn select_deterministic(t: &Table, sel: &SelectStmt) -> Result<Table, DbError> {
-    let filtered = filter_rows(t.schema(), t.rows(), None, &sel.predicate)?;
-    let rows: Vec<Vec<crate::value::Value>> =
-        filtered.iter().map(|&i| t.rows()[i].clone()).collect();
-    let mut order: Vec<usize> = (0..rows.len()).collect();
-    if let Some(ob) = &sel.order_by {
-        order = sort_indices(t.schema(), &rows, None, ob)?;
-    }
-    if let Some(l) = sel.limit {
-        order.truncate(l);
-    }
-    // Projection.
-    let (schema, idx) = if sel.columns.is_empty() {
-        (
-            t.schema().clone(),
-            (0..t.schema().arity()).collect::<Vec<_>>(),
-        )
-    } else {
-        t.schema().project(&sel.columns)?
-    };
-    let mut out = Table::new(t.name().to_string(), schema);
-    for &i in &order {
-        out.insert(idx.iter().map(|&c| rows[i][c].clone()).collect())?;
-    }
-    Ok(out)
-}
-
-/// Indices of the tuples a probabilistic `SELECT` works on: the `WHERE`
-/// filter, then `THRESHOLD` (minimum probability), then `TOP` (the k most
-/// probable, NaN-free total order, ties to the earlier row, returned in
-/// descending probability). Shared by the exact path and the `WITH WORLDS`
-/// sampler so both evaluate the same sub-relation.
-fn restrict_prob_indices(t: &ProbTable, sel: &SelectStmt) -> Result<Vec<usize>, DbError> {
-    let mut keep = filter_rows(t.schema(), t.rows(), Some(t.probs()), &sel.predicate)?;
-    if let Some(tau) = sel.threshold {
-        if !(0.0..=1.0).contains(&tau) {
-            return Err(DbError::InvalidProbability(tau));
-        }
-        keep.retain(|&i| t.probs()[i] >= tau);
-    }
-    if let Some(k) = sel.top {
-        crate::query::sort_indices_desc_by_prob(&mut keep, t.probs());
-        keep.truncate(k);
-    }
-    Ok(keep)
-}
-
-fn select_probabilistic(t: &ProbTable, sel: &SelectStmt) -> Result<ProbTable, DbError> {
-    let filtered = restrict_prob_indices(t, sel)?;
-    let rows: Vec<Vec<crate::value::Value>> =
-        filtered.iter().map(|&i| t.rows()[i].clone()).collect();
-    let probs: Vec<f64> = filtered.iter().map(|&i| t.probs()[i]).collect();
-    let mut order: Vec<usize> = (0..rows.len()).collect();
-    if let Some(ob) = &sel.order_by {
-        order = sort_indices(t.schema(), &rows, Some(&probs), ob)?;
-    }
-    if let Some(l) = sel.limit {
-        order.truncate(l);
-    }
-    let (schema, idx) = if sel.columns.is_empty() {
-        (
-            t.schema().clone(),
-            (0..t.schema().arity()).collect::<Vec<_>>(),
-        )
-    } else {
-        t.schema().project(&sel.columns)?
-    };
-    let mut out = ProbTable::new(t.name().to_string(), schema);
-    for &i in &order {
-        out.insert(idx.iter().map(|&c| rows[i][c].clone()).collect(), probs[i])?;
-    }
-    Ok(out)
-}
-
-fn filter_rows(
-    schema: &Schema,
-    rows: &[Vec<crate::value::Value>],
-    probs: Option<&[f64]>,
-    pred: &Conjunction,
-) -> Result<Vec<usize>, DbError> {
-    let mut out = Vec::new();
-    for (i, row) in rows.iter().enumerate() {
-        let p = probs.map(|ps| ps[i]);
-        if eval_conjunction(schema, row, p, pred)? {
-            out.push(i);
-        }
-    }
-    Ok(out)
 }
 
 #[cfg(test)]

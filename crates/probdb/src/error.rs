@@ -41,6 +41,10 @@ pub enum DbError {
     /// configuration, or a `WITH WORLDS` clause on a relation that cannot
     /// be sampled).
     InvalidWorlds(String),
+    /// The statement parsed but no valid query plan exists for it (e.g. a
+    /// projection column missing from `GROUP BY`, or `ORDER BY` on an
+    /// aggregate query).
+    Plan(String),
     /// The density-view handler reported a failure.
     ViewBuild(String),
 }
@@ -79,6 +83,7 @@ impl fmt::Display for DbError {
             DbError::InvalidWorlds(msg) => {
                 write!(f, "invalid possible-worlds request: {msg}")
             }
+            DbError::Plan(msg) => write!(f, "cannot plan query: {msg}"),
             DbError::ViewBuild(msg) => write!(f, "view build failed: {msg}"),
         }
     }

@@ -11,10 +11,16 @@
 //!   probabilistic deduplication, threshold, top-k, event probability,
 //!   expected aggregates.
 //! * [`sql`] — tokenizer/parser for the paper's SQL-like syntax including
-//!   the Fig. 7 `CREATE VIEW … AS DENSITY … OMEGA …` statement.
+//!   the Fig. 7 `CREATE VIEW … AS DENSITY … OMEGA …` statement, the
+//!   aggregate grammar (`COUNT(*)` / `SUM` / `AVG` / `EXPECTED`,
+//!   `GROUP BY`, `HAVING` event predicates) and `EXPLAIN`.
+//! * [`plan`] — the query planner: [`plan::LogicalPlan`] trees lowered to
+//!   [`plan::PhysicalPlan`]s and executed by a pluggable
+//!   [`plan::EvalStrategy`] ([`plan::ExactStrategy`] closed forms, or the
+//!   [`plan::WorldsStrategy`] Monte-Carlo backend under `WITH WORLDS`).
 //! * [`catalog`] — the in-memory [`catalog::Database`] executing
-//!   statements; density views are delegated to a handler supplied by the
-//!   engine layer (`tspdb-core`).
+//!   statements; `SELECT`s are planned then executed, density views are
+//!   delegated to a handler supplied by the engine layer (`tspdb-core`).
 //! * [`worlds`] — possible-world sampling: the parallel, deterministic
 //!   [`worlds::WorldsExecutor`] behind `SELECT … WITH WORLDS`, plus the
 //!   sequential reference sampler.
@@ -33,6 +39,7 @@
 pub mod aggregates;
 pub mod catalog;
 pub mod error;
+pub mod plan;
 pub mod query;
 pub mod schema;
 pub mod sql;
@@ -42,11 +49,18 @@ pub mod worlds;
 
 pub use catalog::{Database, QueryOutput, Relation};
 pub use error::DbError;
+pub use plan::{
+    AggregateResult, EvalStrategy, ExactStrategy, ExplainReport, LogicalPlan, PhysicalPlan,
+    PlannedQuery, Planner, StrategyKind, WorldsStrategy,
+};
 pub use query::{CmpOp, Comparison, Conjunction};
 pub use schema::Schema;
-pub use sql::{parse, DensityViewSpec, SelectStmt, Statement, WorldsClause};
+pub use sql::{
+    parse, AggExpr, AggFunc, DensityViewSpec, HavingClause, SelectItem, SelectStmt, Statement,
+    WorldsClause,
+};
 pub use table::{ProbTable, Table};
-pub use value::{ColumnType, Value};
+pub use value::{ColumnType, Value, ValueKey};
 pub use worlds::{SumEstimate, WorldsConfig, WorldsExecutor, WorldsResult};
 
 #[cfg(test)]

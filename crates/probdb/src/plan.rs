@@ -1,0 +1,1695 @@
+//! The query planner: logical plans, physical plans, and pluggable
+//! evaluation strategies.
+//!
+//! Query execution used to be ad-hoc dispatch inside the catalog — one
+//! hard-coded execution shape per SQL clause. This module replaces that
+//! with the classical pipeline
+//!
+//! ```text
+//! parse  →  LogicalPlan  →  PhysicalPlan  →  EvalStrategy
+//! ```
+//!
+//! * [`LogicalPlan`] is an operator tree (scan / filter / threshold /
+//!   top-k / sort / limit / project / aggregate) built from a parsed
+//!   [`SelectStmt`] by [`Planner::plan`]; it is what `EXPLAIN` prints.
+//! * [`PhysicalPlan`] is the lowered, flat form every strategy consumes: a
+//!   named scan, the tuple-domain restriction (`WHERE` / `THRESHOLD` /
+//!   `TOP`), and one terminal [`PhysicalAction`] (return rows, or compute
+//!   aggregates).
+//! * [`EvalStrategy`] is the pluggable evaluation backend.
+//!   [`ExactStrategy`] answers with closed forms over tuple independence
+//!   (Poisson-binomial `COUNT`, linearity-of-expectation `SUM`);
+//!   [`WorldsStrategy`] answers by Monte-Carlo possible-world sampling
+//!   (selected by `WITH WORLDS`), inheriting the executor's bit-identical
+//!   determinism at every thread count.
+//!
+//! Both strategies evaluate the *same* plans, so every aggregate admits an
+//! exact-vs-MC differential test, and every future operator (joins,
+//! windows, sharded scans) becomes a plan node instead of another `match`
+//! arm in the catalog.
+
+use crate::aggregates::{count_distribution_of, sum_moments_of};
+use crate::catalog::{QueryOutput, Relation};
+use crate::error::DbError;
+use crate::query::{eval_conjunction, Conjunction, PROB_PSEUDO_COLUMN};
+use crate::schema::Schema;
+use crate::sql::{AggExpr, AggFunc, HavingClause, SelectItem, SelectStmt, WorldsClause};
+use crate::table::{ProbTable, Table};
+use crate::value::{row_key, Value, ValueKey};
+use crate::worlds::{mix_seed, WorldsConfig, WorldsExecutor, WorldsResult};
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// Logical plans
+// ---------------------------------------------------------------------------
+
+/// A node of the logical operator tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Read a named relation.
+    Scan {
+        /// Table or view name.
+        table: String,
+    },
+    /// Keep tuples satisfying a conjunctive predicate.
+    Filter {
+        /// Input operator.
+        input: Box<LogicalPlan>,
+        /// The predicate.
+        predicate: Conjunction,
+    },
+    /// Keep tuples with probability ≥ τ (`THRESHOLD`).
+    Threshold {
+        /// Input operator.
+        input: Box<LogicalPlan>,
+        /// Minimum tuple probability.
+        tau: f64,
+    },
+    /// Keep the k most probable tuples (`TOP`).
+    TopK {
+        /// Input operator.
+        input: Box<LogicalPlan>,
+        /// Number of tuples to keep.
+        k: usize,
+    },
+    /// Order tuples by a column (or the `prob` pseudo-column).
+    Sort {
+        /// Input operator.
+        input: Box<LogicalPlan>,
+        /// Sort column.
+        column: String,
+        /// Ascending?
+        ascending: bool,
+    },
+    /// Keep the first n tuples (`LIMIT`).
+    Limit {
+        /// Input operator.
+        input: Box<LogicalPlan>,
+        /// Row cap.
+        n: usize,
+    },
+    /// Project onto named columns.
+    Project {
+        /// Input operator.
+        input: Box<LogicalPlan>,
+        /// Projected columns, in order.
+        columns: Vec<String>,
+    },
+    /// Grouped aggregation with an optional `HAVING` event predicate.
+    Aggregate {
+        /// Input operator.
+        input: Box<LogicalPlan>,
+        /// `GROUP BY` columns (empty = one global group).
+        group_by: Vec<String>,
+        /// Aggregate expressions, in projection order.
+        aggregates: Vec<AggExpr>,
+        /// Optional event predicate.
+        having: Option<HavingClause>,
+    },
+}
+
+impl LogicalPlan {
+    /// One-line description of this node (children excluded).
+    fn describe(&self) -> String {
+        match self {
+            LogicalPlan::Scan { table } => format!("Scan {table}"),
+            LogicalPlan::Filter { predicate, .. } => {
+                let preds: Vec<String> = predicate
+                    .iter()
+                    .map(|c| format!("{} {} {}", c.column, c.op, c.value))
+                    .collect();
+                format!("Filter {}", preds.join(" AND "))
+            }
+            LogicalPlan::Threshold { tau, .. } => format!("Threshold τ={tau}"),
+            LogicalPlan::TopK { k, .. } => format!("TopK k={k}"),
+            LogicalPlan::Sort {
+                column, ascending, ..
+            } => format!("Sort {column} {}", if *ascending { "ASC" } else { "DESC" }),
+            LogicalPlan::Limit { n, .. } => format!("Limit {n}"),
+            LogicalPlan::Project { columns, .. } => format!("Project [{}]", columns.join(", ")),
+            LogicalPlan::Aggregate {
+                group_by,
+                aggregates,
+                having,
+                ..
+            } => {
+                let aggs: Vec<String> = aggregates.iter().map(|a| a.to_string()).collect();
+                let mut s = format!("Aggregate [{}]", aggs.join(", "));
+                if !group_by.is_empty() {
+                    s.push_str(&format!(" GROUP BY {}", group_by.join(", ")));
+                }
+                if let Some(h) = having {
+                    s.push_str(&format!(" HAVING {h}"));
+                }
+                s
+            }
+        }
+    }
+
+    /// The node's single input, if it has one.
+    fn input(&self) -> Option<&LogicalPlan> {
+        match self {
+            LogicalPlan::Scan { .. } => None,
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Threshold { input, .. }
+            | LogicalPlan::TopK { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. } => Some(input),
+        }
+    }
+}
+
+impl fmt::Display for LogicalPlan {
+    /// Renders the tree root-first with two-space indentation per level.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut node = Some(self);
+        let mut depth = 0usize;
+        while let Some(n) = node {
+            if depth > 0 {
+                f.write_str("\n")?;
+            }
+            write!(f, "{:indent$}{}", "", n.describe(), indent = depth * 2)?;
+            node = n.input();
+            depth += 1;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Physical plans
+// ---------------------------------------------------------------------------
+
+/// The lowered plan every [`EvalStrategy`] consumes: scan + restriction +
+/// one terminal action.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysicalPlan {
+    /// Source relation name.
+    pub table: String,
+    /// `WHERE` conjunction (may reference the `prob` pseudo-column).
+    pub predicate: Conjunction,
+    /// `THRESHOLD` minimum tuple probability.
+    pub threshold: Option<f64>,
+    /// `TOP` k most probable tuples.
+    pub top: Option<usize>,
+    /// What to compute over the restricted domain.
+    pub action: PhysicalAction,
+}
+
+/// Terminal operator of a [`PhysicalPlan`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicalAction {
+    /// Return (projected, ordered, limited) tuples. Under the worlds
+    /// strategy this is the row-domain sampling estimate instead (`ORDER
+    /// BY` / `LIMIT` are rejected at plan time for that combination).
+    Rows {
+        /// Projected columns (empty = all).
+        columns: Vec<String>,
+        /// Optional ordering.
+        order_by: Option<(String, bool)>,
+        /// Optional row cap.
+        limit: Option<usize>,
+    },
+    /// Compute grouped aggregates.
+    Aggregate(AggregatePlan),
+}
+
+/// The aggregate part of a physical plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregatePlan {
+    /// Grouping columns (empty = one global group).
+    pub group_by: Vec<String>,
+    /// Aggregate expressions in projection order.
+    pub aggregates: Vec<AggExpr>,
+    /// Optional `HAVING` event predicate.
+    pub having: Option<HavingClause>,
+}
+
+impl fmt::Display for PhysicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scan({})", self.table)?;
+        if !self.predicate.is_empty() {
+            write!(f, " → filter({} comparisons)", self.predicate.len())?;
+        }
+        if let Some(tau) = self.threshold {
+            write!(f, " → threshold({tau})")?;
+        }
+        if let Some(k) = self.top {
+            write!(f, " → top({k})")?;
+        }
+        match &self.action {
+            PhysicalAction::Rows {
+                columns,
+                order_by,
+                limit,
+            } => {
+                if let Some((col, asc)) = order_by {
+                    write!(f, " → sort({col} {})", if *asc { "ASC" } else { "DESC" })?;
+                }
+                if let Some(n) = limit {
+                    write!(f, " → limit({n})")?;
+                }
+                if columns.is_empty() {
+                    write!(f, " → rows(*)")
+                } else {
+                    write!(f, " → rows({})", columns.join(", "))
+                }
+            }
+            PhysicalAction::Aggregate(agg) => {
+                let aggs: Vec<String> = agg.aggregates.iter().map(|a| a.to_string()).collect();
+                write!(f, " → aggregate([{}]", aggs.join(", "))?;
+                if !agg.group_by.is_empty() {
+                    write!(f, ", group_by=[{}]", agg.group_by.join(", "))?;
+                }
+                if let Some(h) = &agg.having {
+                    write!(f, ", having={h}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The planner
+// ---------------------------------------------------------------------------
+
+/// Which evaluation backend a plan runs on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StrategyKind {
+    /// Closed forms ([`ExactStrategy`]).
+    Exact,
+    /// Monte-Carlo possible-world sampling ([`WorldsStrategy`]), carrying
+    /// the `WITH WORLDS` clause that selected it.
+    Worlds(WorldsClause),
+}
+
+/// A fully planned query: logical tree, lowered physical plan, and the
+/// chosen strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedQuery {
+    /// The logical operator tree (what `EXPLAIN` prints).
+    pub logical: LogicalPlan,
+    /// The lowered plan the strategies execute.
+    pub physical: PhysicalPlan,
+    /// The chosen evaluation strategy.
+    pub strategy: StrategyKind,
+}
+
+impl PlannedQuery {
+    /// Instantiates the chosen strategy (`worlds_threads` is the engine's
+    /// fork-join width for sampling; it never changes MC estimates).
+    pub fn strategy(&self, worlds_threads: usize) -> Box<dyn EvalStrategy> {
+        match &self.strategy {
+            StrategyKind::Exact => Box::new(ExactStrategy),
+            StrategyKind::Worlds(clause) => Box::new(WorldsStrategy {
+                clause: clause.clone(),
+                threads: worlds_threads,
+            }),
+        }
+    }
+}
+
+/// Builds [`PlannedQuery`]s from parsed statements. Stateless — planning
+/// is a pure function of the statement; relation-dependent validation
+/// (unknown tables/columns, deterministic-vs-probabilistic rules) stays
+/// with execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Planner;
+
+impl Planner {
+    /// Plans a `SELECT`.
+    ///
+    /// Validation performed here (all [`DbError::Plan`] unless noted):
+    /// * plain projected columns must appear in `GROUP BY` when the
+    ///   projection carries aggregates (the result is keyed by the full
+    ///   `GROUP BY` list in `GROUP BY` order — see [`AggregateResult`]);
+    /// * `GROUP BY` / `HAVING` require an aggregate projection;
+    /// * aggregate queries reject `ORDER BY` / `LIMIT` (groups are
+    ///   returned in canonical key order);
+    /// * `HAVING` must compare `COUNT(*)` against a numeric literal (the
+    ///   only event predicate with an implemented evaluation);
+    /// * `WITH WORLDS` rejects `ORDER BY` / `LIMIT`
+    ///   ([`DbError::InvalidWorlds`], as before the planner existed).
+    pub fn plan(sel: &SelectStmt) -> Result<PlannedQuery, DbError> {
+        let aggregates: Vec<AggExpr> = sel
+            .projection
+            .iter()
+            .filter_map(|item| match item {
+                SelectItem::Aggregate(a) => Some(a.clone()),
+                SelectItem::Column(_) => None,
+            })
+            .collect();
+        let plain: Vec<String> = sel
+            .projection
+            .iter()
+            .filter_map(|item| match item {
+                SelectItem::Column(c) => Some(c.clone()),
+                SelectItem::Aggregate(_) => None,
+            })
+            .collect();
+
+        if aggregates.is_empty() {
+            if !sel.group_by.is_empty() {
+                return Err(DbError::Plan(
+                    "GROUP BY requires at least one aggregate in the projection".into(),
+                ));
+            }
+            if sel.having.is_some() {
+                return Err(DbError::Plan(
+                    "HAVING requires an aggregate projection".into(),
+                ));
+            }
+        } else {
+            for col in &plain {
+                if !sel.group_by.contains(col) {
+                    return Err(DbError::Plan(format!(
+                        "projected column {col} must appear in GROUP BY"
+                    )));
+                }
+            }
+            if sel.order_by.is_some() || sel.limit.is_some() {
+                return Err(DbError::Plan(
+                    "ORDER BY/LIMIT do not apply to aggregate queries; groups are \
+                     returned in canonical key order"
+                        .into(),
+                ));
+            }
+            if let Some(h) = &sel.having {
+                if h.agg != AggExpr::count() {
+                    return Err(DbError::Plan(format!(
+                        "HAVING supports only COUNT(*) event predicates, got {}",
+                        h.agg
+                    )));
+                }
+                if h.value.as_f64().is_none() {
+                    return Err(DbError::Plan(format!(
+                        "HAVING compares COUNT(*) against a number, got {:?}",
+                        h.value
+                    )));
+                }
+            }
+        }
+        if sel.worlds.is_some() && (sel.order_by.is_some() || sel.limit.is_some()) {
+            return Err(DbError::InvalidWorlds(
+                "ORDER BY/LIMIT do not apply to WITH WORLDS estimates; restrict the \
+                 sampling domain with WHERE, THRESHOLD or TOP instead"
+                    .into(),
+            ));
+        }
+
+        // Logical tree, bottom-up: scan → filter → threshold → top-k, then
+        // either the aggregate terminal or sort → limit → project.
+        let mut logical = LogicalPlan::Scan {
+            table: sel.table.clone(),
+        };
+        if !sel.predicate.is_empty() {
+            logical = LogicalPlan::Filter {
+                input: Box::new(logical),
+                predicate: sel.predicate.clone(),
+            };
+        }
+        if let Some(tau) = sel.threshold {
+            logical = LogicalPlan::Threshold {
+                input: Box::new(logical),
+                tau,
+            };
+        }
+        if let Some(k) = sel.top {
+            logical = LogicalPlan::TopK {
+                input: Box::new(logical),
+                k,
+            };
+        }
+        let action = if aggregates.is_empty() {
+            if let Some((column, ascending)) = &sel.order_by {
+                logical = LogicalPlan::Sort {
+                    input: Box::new(logical),
+                    column: column.clone(),
+                    ascending: *ascending,
+                };
+            }
+            if let Some(n) = sel.limit {
+                logical = LogicalPlan::Limit {
+                    input: Box::new(logical),
+                    n,
+                };
+            }
+            if !plain.is_empty() {
+                logical = LogicalPlan::Project {
+                    input: Box::new(logical),
+                    columns: plain.clone(),
+                };
+            }
+            PhysicalAction::Rows {
+                columns: plain,
+                order_by: sel.order_by.clone(),
+                limit: sel.limit,
+            }
+        } else {
+            let agg_plan = AggregatePlan {
+                group_by: sel.group_by.clone(),
+                aggregates: aggregates.clone(),
+                having: sel.having.clone(),
+            };
+            logical = LogicalPlan::Aggregate {
+                input: Box::new(logical),
+                group_by: sel.group_by.clone(),
+                aggregates,
+                having: sel.having.clone(),
+            };
+            PhysicalAction::Aggregate(agg_plan)
+        };
+
+        Ok(PlannedQuery {
+            logical,
+            physical: PhysicalPlan {
+                table: sel.table.clone(),
+                predicate: sel.predicate.clone(),
+                threshold: sel.threshold,
+                top: sel.top,
+                action,
+            },
+            strategy: match &sel.worlds {
+                Some(clause) => StrategyKind::Worlds(clause.clone()),
+                None => StrategyKind::Exact,
+            },
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate results
+// ---------------------------------------------------------------------------
+
+/// One aggregate estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggValue {
+    /// The point value: the exact closed form, or the MC mean.
+    pub value: f64,
+    /// 95% CI half-width of an MC estimate (`None` under exact evaluation,
+    /// and for `AVG`, which is reported as a ratio of expectations without
+    /// its own interval).
+    pub ci_half_width: Option<f64>,
+}
+
+/// One group of an [`AggregateResult`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateGroup {
+    /// The `GROUP BY` column values (empty for the global group).
+    pub key: Vec<Value>,
+    /// One estimate per aggregate expression, in projection order.
+    pub values: Vec<AggValue>,
+    /// The tuple-count distribution (exact Poisson-binomial or MC
+    /// histogram) when `COUNT(*)` or `HAVING` asked for counts.
+    pub count_distribution: Option<Vec<f64>>,
+    /// `P(HAVING predicate)` on probabilistic inputs (on deterministic
+    /// tables `HAVING` filters groups instead and this stays `None`).
+    pub event_probability: Option<f64>,
+    /// Worlds sampled for this group (`None` under exact evaluation).
+    pub worlds: Option<usize>,
+}
+
+/// Result of an aggregate query: one row per group, in canonical group-key
+/// order.
+///
+/// Groups are keyed by the **full `GROUP BY` list, in `GROUP BY` order**,
+/// regardless of how many of those columns the projection repeated or in
+/// what order — plain projected columns only have to *appear* in
+/// `GROUP BY` (the planner checks that); they do not reorder or narrow
+/// the group key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateResult {
+    /// `GROUP BY` column names (empty = single global group).
+    pub group_columns: Vec<String>,
+    /// The aggregate expressions, in projection order.
+    pub aggregates: Vec<AggExpr>,
+    /// The `HAVING` event predicate, if any.
+    pub having: Option<HavingClause>,
+    /// Name of the strategy that produced the result.
+    pub strategy: &'static str,
+    /// The groups.
+    pub groups: Vec<AggregateGroup>,
+}
+
+impl AggregateResult {
+    /// Bit-exact fingerprint of every estimate — the cross-thread-count
+    /// determinism witness for MC aggregates (wall-clock excluded; there
+    /// is none to exclude).
+    pub fn fingerprint(&self) -> String {
+        use fmt::Write;
+        let mut s = format!("strategy={} groups={}", self.strategy, self.groups.len());
+        for g in &self.groups {
+            write!(s, " |").expect("write to String cannot fail");
+            for k in &g.key {
+                write!(s, " {k}").expect("write to String cannot fail");
+            }
+            for v in &g.values {
+                write!(s, " {:016x}", v.value.to_bits()).expect("write to String cannot fail");
+                if let Some(ci) = v.ci_half_width {
+                    write!(s, "±{:016x}", ci.to_bits()).expect("write to String cannot fail");
+                }
+            }
+            if let Some(p) = g.event_probability {
+                write!(s, " ev={:016x}", p.to_bits()).expect("write to String cannot fail");
+            }
+            if let Some(dist) = &g.count_distribution {
+                for d in dist {
+                    write!(s, " d{:016x}", d.to_bits()).expect("write to String cannot fail");
+                }
+            }
+        }
+        s
+    }
+}
+
+impl fmt::Display for AggregateResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Header: group columns, aggregates, then the event column — the
+        // latter only when groups actually carry event probabilities (on
+        // deterministic inputs HAVING filters groups instead, so the rows
+        // would have no cell under that header).
+        let mut header: Vec<String> = self.group_columns.clone();
+        header.extend(self.aggregates.iter().map(|a| a.to_string()));
+        if let (Some(h), true) = (
+            &self.having,
+            self.groups.iter().any(|g| g.event_probability.is_some()),
+        ) {
+            header.push(format!("P({h})"));
+        }
+        writeln!(f, "{} [{}]", header.join("  "), self.strategy)?;
+        for g in &self.groups {
+            let mut cells: Vec<String> = g.key.iter().map(|v| v.to_string()).collect();
+            for v in &g.values {
+                match v.ci_half_width {
+                    Some(ci) => cells.push(format!("{:.4} ± {:.4}", v.value, ci)),
+                    None => cells.push(format!("{:.4}", v.value)),
+                }
+            }
+            if let Some(p) = g.event_probability {
+                cells.push(format!("{p:.4}"));
+            }
+            writeln!(f, "{}", cells.join("  "))?;
+        }
+        Ok(())
+    }
+}
+
+/// What `EXPLAIN` returns: the plans and the strategy, pre-rendered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainReport {
+    /// The source relation, annotated with its kind when it exists.
+    pub relation: String,
+    /// The logical operator tree.
+    pub logical: String,
+    /// The lowered physical pipeline.
+    pub physical: String,
+    /// The chosen strategy with its parameters.
+    pub strategy: String,
+}
+
+impl fmt::Display for ExplainReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "relation: {}", self.relation)?;
+        writeln!(f, "logical plan:")?;
+        for line in self.logical.lines() {
+            writeln!(f, "  {line}")?;
+        }
+        writeln!(f, "physical plan:\n  {}", self.physical)?;
+        writeln!(f, "strategy: {}", self.strategy)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation strategies
+// ---------------------------------------------------------------------------
+
+/// A pluggable evaluation backend executing physical plans.
+pub trait EvalStrategy {
+    /// Short name (`"exact"` / `"worlds"`).
+    fn name(&self) -> &'static str;
+
+    /// Parameter description for `EXPLAIN`.
+    fn describe(&self) -> String;
+
+    /// Executes a physical plan against the resolved source relation.
+    fn execute(&self, relation: &Relation, plan: &PhysicalPlan) -> Result<QueryOutput, DbError>;
+}
+
+/// Closed-form evaluation over tuple independence.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactStrategy;
+
+impl EvalStrategy for ExactStrategy {
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+
+    fn describe(&self) -> String {
+        "exact (closed forms: Poisson-binomial COUNT, linearity-of-expectation SUM)".into()
+    }
+
+    fn execute(&self, relation: &Relation, plan: &PhysicalPlan) -> Result<QueryOutput, DbError> {
+        match relation {
+            Relation::Deterministic(t) => {
+                if plan.threshold.is_some() || plan.top.is_some() {
+                    return Err(DbError::InvalidWorlds(format!(
+                        "THRESHOLD/TOP require a probabilistic relation; \
+                         {} is deterministic",
+                        plan.table
+                    )));
+                }
+                match &plan.action {
+                    PhysicalAction::Rows {
+                        columns,
+                        order_by,
+                        limit,
+                    } => Ok(QueryOutput::Rows(select_deterministic(
+                        t,
+                        &plan.predicate,
+                        columns,
+                        order_by.as_ref(),
+                        *limit,
+                    )?)),
+                    PhysicalAction::Aggregate(agg) => Ok(QueryOutput::Aggregate(
+                        aggregate_deterministic(t, &plan.predicate, agg)?,
+                    )),
+                }
+            }
+            Relation::Probabilistic(t) => match &plan.action {
+                PhysicalAction::Rows {
+                    columns,
+                    order_by,
+                    limit,
+                } => {
+                    let keep = restrict_prob_indices(t, plan)?;
+                    Ok(QueryOutput::ProbRows(select_probabilistic(
+                        t,
+                        &keep,
+                        columns,
+                        order_by.as_ref(),
+                        *limit,
+                    )?))
+                }
+                PhysicalAction::Aggregate(agg) => {
+                    let keep = restrict_prob_indices(t, plan)?;
+                    Ok(QueryOutput::Aggregate(aggregate_exact(t, &keep, agg)?))
+                }
+            },
+        }
+    }
+}
+
+/// Monte-Carlo possible-world evaluation (`WITH WORLDS`).
+///
+/// Group seeds derive deterministically from the clause seed and the
+/// group's canonical-order index (the global group keeps the clause seed
+/// itself), and each group runs the batched executor — so results stay
+/// bit-identical at every thread count, groups included.
+#[derive(Debug, Clone)]
+pub struct WorldsStrategy {
+    /// The selecting `WITH WORLDS` clause.
+    pub clause: WorldsClause,
+    /// Fork-join width (0 = one thread per core); latency only.
+    pub threads: usize,
+}
+
+impl WorldsStrategy {
+    fn executor(&self, seed: u64) -> Result<WorldsExecutor, DbError> {
+        WorldsExecutor::new(WorldsConfig {
+            max_worlds: self.clause.worlds,
+            seed,
+            target_ci: self.clause.confidence,
+            threads: self.threads,
+            ..WorldsConfig::default()
+        })
+    }
+}
+
+impl EvalStrategy for WorldsStrategy {
+    fn name(&self) -> &'static str {
+        "worlds"
+    }
+
+    fn describe(&self) -> String {
+        let mut s = format!(
+            "worlds (Monte-Carlo, max_worlds={}, seed={}",
+            self.clause.worlds,
+            self.clause.seed.unwrap_or(0)
+        );
+        if let Some(eps) = self.clause.confidence {
+            s.push_str(&format!(", confidence={eps}"));
+        }
+        s.push(')');
+        s
+    }
+
+    fn execute(&self, relation: &Relation, plan: &PhysicalPlan) -> Result<QueryOutput, DbError> {
+        let t = match relation {
+            Relation::Probabilistic(t) => t,
+            Relation::Deterministic(_) => {
+                return Err(DbError::InvalidWorlds(format!(
+                    "THRESHOLD/TOP/WITH WORLDS require a probabilistic relation; \
+                     {} is deterministic",
+                    plan.table
+                )));
+            }
+        };
+        let seed = self.clause.seed.unwrap_or(0);
+        match &plan.action {
+            PhysicalAction::Rows { columns, .. } => {
+                // Validate the projection exactly like the exact path —
+                // unknown columns error no matter how many are listed.
+                for col in columns {
+                    t.schema().index_of(col)?;
+                }
+                let keep = restrict_prob_indices(t, plan)?;
+                let probs: Vec<f64> = keep.iter().map(|&i| t.probs()[i]).collect();
+                // A single projected *numeric* column additionally requests
+                // the SUM aggregate over that column (the pre-planner
+                // heuristic, kept for compatibility; `SELECT SUM(col) …` is
+                // the first-class spelling).
+                let sum = match columns.as_slice() {
+                    [col] => match t.schema().type_of(col)? {
+                        crate::value::ColumnType::Text => None,
+                        _ => Some((
+                            col.as_str(),
+                            numeric_column(t.schema(), t.rows(), &keep, col)?,
+                        )),
+                    },
+                    _ => None,
+                };
+                let executor = self.executor(seed)?;
+                Ok(QueryOutput::Worlds(executor.run_domain(
+                    &probs,
+                    sum.as_ref().map(|(c, v)| (*c, v.as_slice())),
+                )))
+            }
+            PhysicalAction::Aggregate(agg) => {
+                let keep = restrict_prob_indices(t, plan)?;
+                Ok(QueryOutput::Aggregate(
+                    self.aggregate_worlds(t, &keep, agg, seed)?,
+                ))
+            }
+        }
+    }
+}
+
+impl WorldsStrategy {
+    /// MC aggregate evaluation: per group, one executor run per distinct
+    /// aggregated column (runs share the seed, hence the same sampled
+    /// worlds — presence sampling never consumes RNG for values).
+    fn aggregate_worlds(
+        &self,
+        t: &ProbTable,
+        keep: &[usize],
+        plan: &AggregatePlan,
+        seed: u64,
+    ) -> Result<AggregateResult, DbError> {
+        validate_aggregate_plan(plan)?;
+        let groups = group_rows(t.schema(), t.rows(), keep, &plan.group_by)?;
+        let single_group = plan.group_by.is_empty();
+        let mut out = Vec::with_capacity(groups.len());
+        for (gi, (key, indices)) in groups.into_iter().enumerate() {
+            let group_seed = if single_group {
+                seed
+            } else {
+                mix_seed(seed, gi as u64)
+            };
+            let probs: Vec<f64> = indices.iter().map(|&i| t.probs()[i]).collect();
+            // One run per distinct aggregated column; a base run when only
+            // COUNT-like information is needed.
+            let columns = aggregated_columns(plan, t.schema(), t.rows(), &indices)?;
+            let executor = self.executor(group_seed)?;
+            let runs: BTreeMap<&str, WorldsResult> = columns
+                .iter()
+                .map(|(&col, values)| (col, executor.run_domain(&probs, Some((col, values)))))
+                .collect();
+            let base = match runs.values().next() {
+                Some(r) => r.clone(),
+                None => executor.run_domain(&probs, None),
+            };
+            let values: Vec<AggValue> = plan
+                .aggregates
+                .iter()
+                .map(|agg| {
+                    let run = agg
+                        .column
+                        .as_ref()
+                        .map(|c| &runs[c.as_str()])
+                        .unwrap_or(&base);
+                    match agg.func {
+                        AggFunc::Count => AggValue {
+                            value: run.count_mean,
+                            ci_half_width: Some(run.count_ci_half_width),
+                        },
+                        AggFunc::Sum | AggFunc::Expected => {
+                            let sum = run.sum.as_ref().expect("every aggregated column has a run");
+                            AggValue {
+                                value: sum.mean,
+                                ci_half_width: Some(sum.ci_half_width),
+                            }
+                        }
+                        AggFunc::Avg => {
+                            let sum = run.sum.as_ref().expect("every aggregated column has a run");
+                            AggValue {
+                                value: ratio_of_expectations(sum.mean, run.count_mean),
+                                ci_half_width: None,
+                            }
+                        }
+                    }
+                })
+                .collect();
+            let event_probability = match &plan.having {
+                Some(h) => Some(tail_probability(
+                    &base.count_distribution,
+                    h.op,
+                    h.value
+                        .as_f64()
+                        .expect("validate_aggregate_plan checked the literal"),
+                )),
+                None => None,
+            };
+            out.push(AggregateGroup {
+                key,
+                values,
+                count_distribution: Some(base.count_distribution.clone()),
+                event_probability,
+                worlds: Some(base.worlds),
+            });
+        }
+        Ok(AggregateResult {
+            group_columns: plan.group_by.clone(),
+            aggregates: plan.aggregates.clone(),
+            having: plan.having.clone(),
+            strategy: "worlds",
+            groups: out,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared physical operators (row pipeline)
+// ---------------------------------------------------------------------------
+
+/// Indices of rows satisfying the conjunction.
+fn filter_rows(
+    schema: &Schema,
+    rows: &[Vec<Value>],
+    probs: Option<&[f64]>,
+    pred: &Conjunction,
+) -> Result<Vec<usize>, DbError> {
+    let mut out = Vec::new();
+    for (i, row) in rows.iter().enumerate() {
+        let p = probs.map(|ps| ps[i]);
+        if eval_conjunction(schema, row, p, pred)? {
+            out.push(i);
+        }
+    }
+    Ok(out)
+}
+
+/// Indices of the tuples a probabilistic query works on: the `WHERE`
+/// filter, then `THRESHOLD` (minimum probability), then `TOP` (the k most
+/// probable, NaN-free total order, ties to the earlier row, returned in
+/// descending probability). Shared by every strategy so all evaluate the
+/// same sub-relation.
+pub(crate) fn restrict_prob_indices(
+    t: &ProbTable,
+    plan: &PhysicalPlan,
+) -> Result<Vec<usize>, DbError> {
+    let mut keep = filter_rows(t.schema(), t.rows(), Some(t.probs()), &plan.predicate)?;
+    if let Some(tau) = plan.threshold {
+        if !(0.0..=1.0).contains(&tau) {
+            return Err(DbError::InvalidProbability(tau));
+        }
+        keep.retain(|&i| t.probs()[i] >= tau);
+    }
+    if let Some(k) = plan.top {
+        crate::query::sort_indices_desc_by_prob(&mut keep, t.probs());
+        keep.truncate(k);
+    }
+    Ok(keep)
+}
+
+/// Ordering key extraction shared by both row paths; `prob` addresses the
+/// tuple probability when one is available.
+fn sort_indices(
+    schema: &Schema,
+    rows: &[Vec<Value>],
+    probs: Option<&[f64]>,
+    order: &(String, bool),
+) -> Result<Vec<usize>, DbError> {
+    let (col, asc) = order;
+    let mut idx: Vec<usize> = (0..rows.len()).collect();
+    if let (PROB_PSEUDO_COLUMN, Some(p)) = (col.as_str(), probs) {
+        idx.sort_by(|&a, &b| {
+            let ord = p[a].partial_cmp(&p[b]).unwrap_or(Ordering::Equal);
+            if *asc {
+                ord.then(a.cmp(&b))
+            } else {
+                ord.reverse().then(a.cmp(&b))
+            }
+        });
+    } else {
+        let c = schema.index_of(col)?;
+        idx.sort_by(|&a, &b| {
+            let ord = rows[a][c].compare(&rows[b][c]).unwrap_or(Ordering::Equal);
+            if *asc {
+                ord.then(a.cmp(&b))
+            } else {
+                ord.reverse().then(a.cmp(&b))
+            }
+        });
+    }
+    Ok(idx)
+}
+
+/// Row-returning execution over a deterministic table.
+fn select_deterministic(
+    t: &Table,
+    pred: &Conjunction,
+    columns: &[String],
+    order_by: Option<&(String, bool)>,
+    limit: Option<usize>,
+) -> Result<Table, DbError> {
+    let filtered = filter_rows(t.schema(), t.rows(), None, pred)?;
+    let rows: Vec<Vec<Value>> = filtered.iter().map(|&i| t.rows()[i].clone()).collect();
+    let mut order: Vec<usize> = (0..rows.len()).collect();
+    if let Some(ob) = order_by {
+        order = sort_indices(t.schema(), &rows, None, ob)?;
+    }
+    if let Some(l) = limit {
+        order.truncate(l);
+    }
+    let (schema, idx) = if columns.is_empty() {
+        (
+            t.schema().clone(),
+            (0..t.schema().arity()).collect::<Vec<_>>(),
+        )
+    } else {
+        t.schema().project(columns)?
+    };
+    let mut out = Table::new(t.name().to_string(), schema);
+    for &i in &order {
+        out.insert(idx.iter().map(|&c| rows[i][c].clone()).collect())?;
+    }
+    Ok(out)
+}
+
+/// Row-returning execution over an already-restricted probabilistic
+/// relation.
+fn select_probabilistic(
+    t: &ProbTable,
+    keep: &[usize],
+    columns: &[String],
+    order_by: Option<&(String, bool)>,
+    limit: Option<usize>,
+) -> Result<ProbTable, DbError> {
+    let rows: Vec<Vec<Value>> = keep.iter().map(|&i| t.rows()[i].clone()).collect();
+    let probs: Vec<f64> = keep.iter().map(|&i| t.probs()[i]).collect();
+    let mut order: Vec<usize> = (0..rows.len()).collect();
+    if let Some(ob) = order_by {
+        order = sort_indices(t.schema(), &rows, Some(&probs), ob)?;
+    }
+    if let Some(l) = limit {
+        order.truncate(l);
+    }
+    let (schema, idx) = if columns.is_empty() {
+        (
+            t.schema().clone(),
+            (0..t.schema().arity()).collect::<Vec<_>>(),
+        )
+    } else {
+        t.schema().project(columns)?
+    };
+    let mut out = ProbTable::new(t.name().to_string(), schema);
+    for &i in &order {
+        out.insert(idx.iter().map(|&c| rows[i][c].clone()).collect(), probs[i])?;
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Shared physical operators (aggregation)
+// ---------------------------------------------------------------------------
+
+/// One aggregation group: its key values and its member row indices.
+type Group = (Vec<Value>, Vec<usize>);
+
+/// Splits the kept row indices into groups by the `GROUP BY` columns,
+/// returned in canonical group-key order ([`ValueKey`] order — the
+/// deterministic order both strategies and `GROUP BY` output share). An
+/// empty `group_by` yields one global group with an empty key. Works over
+/// any relation kind — callers pass the schema and row storage.
+fn group_rows(
+    schema: &Schema,
+    rows: &[Vec<Value>],
+    keep: &[usize],
+    group_by: &[String],
+) -> Result<Vec<Group>, DbError> {
+    if group_by.is_empty() {
+        return Ok(vec![(Vec::new(), keep.to_vec())]);
+    }
+    let mut idx = Vec::with_capacity(group_by.len());
+    for col in group_by {
+        idx.push(schema.index_of(col)?);
+    }
+    let mut groups: BTreeMap<Vec<ValueKey<'_>>, Vec<usize>> = BTreeMap::new();
+    for &i in keep {
+        groups.entry(row_key(&rows[i], &idx)).or_default().push(i);
+    }
+    Ok(groups
+        .into_values()
+        .map(|indices| {
+            let key: Vec<Value> = idx.iter().map(|&c| rows[indices[0]][c].clone()).collect();
+            (key, indices)
+        })
+        .collect())
+}
+
+/// Extracts a numeric column over the given row indices (errors on text
+/// columns, like the exact aggregates do).
+fn numeric_column(
+    schema: &Schema,
+    rows: &[Vec<Value>],
+    indices: &[usize],
+    column: &str,
+) -> Result<Vec<f64>, DbError> {
+    let c = schema.index_of(column)?;
+    indices
+        .iter()
+        .map(|&i| {
+            rows[i][c].as_f64().ok_or_else(|| DbError::TypeMismatch {
+                column: column.to_string(),
+                expected: crate::value::ColumnType::Float,
+                got: rows[i][c].column_type(),
+            })
+        })
+        .collect()
+}
+
+/// Checks the invariants [`Planner::plan`] guarantees for plans it built —
+/// every column-taking aggregate names a column, and `HAVING` compares
+/// `COUNT(*)` against a number. Re-checked at the entry of every aggregate
+/// evaluator because the plan structs have public fields: a hand-built
+/// [`PhysicalPlan`] fed to [`crate::Database::execute_planned`] must
+/// surface [`DbError::Plan`], not panic on the evaluators' internal
+/// `expect`s.
+fn validate_aggregate_plan(plan: &AggregatePlan) -> Result<(), DbError> {
+    for agg in &plan.aggregates {
+        match agg.func {
+            AggFunc::Count => {}
+            AggFunc::Sum | AggFunc::Avg | AggFunc::Expected if agg.column.is_none() => {
+                return Err(DbError::Plan(format!("{} requires a column", agg.func)));
+            }
+            _ => {}
+        }
+    }
+    if let Some(h) = &plan.having {
+        if h.agg != AggExpr::count() {
+            return Err(DbError::Plan(format!(
+                "HAVING supports only COUNT(*) event predicates, got {}",
+                h.agg
+            )));
+        }
+        if h.value.as_f64().is_none() {
+            return Err(DbError::Plan(format!(
+                "HAVING compares COUNT(*) against a number, got {:?}",
+                h.value
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// The distinct aggregated columns of a plan, extracted once per group so
+/// `SUM(r), AVG(r), EXPECTED(r)` shares one column scan instead of three.
+fn aggregated_columns<'a>(
+    plan: &'a AggregatePlan,
+    schema: &Schema,
+    rows: &[Vec<Value>],
+    indices: &[usize],
+) -> Result<BTreeMap<&'a str, Vec<f64>>, DbError> {
+    let mut columns: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+    for agg in &plan.aggregates {
+        if let Some(col) = &agg.column {
+            if !columns.contains_key(col.as_str()) {
+                columns.insert(col, numeric_column(schema, rows, indices, col)?);
+            }
+        }
+    }
+    Ok(columns)
+}
+
+/// `E[SUM] / E[COUNT]`, defined as 0 when the expected count is 0.
+fn ratio_of_expectations(sum_mean: f64, count_mean: f64) -> f64 {
+    if count_mean == 0.0 {
+        0.0
+    } else {
+        sum_mean / count_mean
+    }
+}
+
+/// `P(count op k)` over a count distribution: sums the mass of every
+/// count value satisfying the comparison.
+fn tail_probability(dist: &[f64], op: crate::query::CmpOp, k: f64) -> f64 {
+    let mut p = 0.0;
+    for (c, &mass) in dist.iter().enumerate() {
+        let holds = op.eval((c as f64).partial_cmp(&k));
+        if holds {
+            p += mass;
+        }
+    }
+    p.clamp(0.0, 1.0)
+}
+
+/// Exact aggregate evaluation over a restricted probabilistic relation:
+/// Poisson-binomial counts, linearity-of-expectation sums, per group.
+fn aggregate_exact(
+    t: &ProbTable,
+    keep: &[usize],
+    plan: &AggregatePlan,
+) -> Result<AggregateResult, DbError> {
+    validate_aggregate_plan(plan)?;
+    let needs_distribution =
+        plan.having.is_some() || plan.aggregates.iter().any(|a| a.func == AggFunc::Count);
+    let groups = group_rows(t.schema(), t.rows(), keep, &plan.group_by)?;
+    let mut out = Vec::with_capacity(groups.len());
+    for (key, indices) in groups {
+        let probs: Vec<f64> = indices.iter().map(|&i| t.probs()[i]).collect();
+        let count_mean: f64 = probs.iter().sum();
+        let dist = needs_distribution.then(|| count_distribution_of(&probs));
+        let columns = aggregated_columns(plan, t.schema(), t.rows(), &indices)?;
+        let values: Vec<AggValue> = plan
+            .aggregates
+            .iter()
+            .map(|agg| {
+                let value = match agg.func {
+                    AggFunc::Count => count_mean,
+                    AggFunc::Sum | AggFunc::Expected => {
+                        let col = agg
+                            .column
+                            .as_ref()
+                            .expect("validate_aggregate_plan checked the column");
+                        sum_moments_of(&probs, &columns[col.as_str()]).0
+                    }
+                    AggFunc::Avg => {
+                        let col = agg
+                            .column
+                            .as_ref()
+                            .expect("validate_aggregate_plan checked the column");
+                        let (sum_mean, _) = sum_moments_of(&probs, &columns[col.as_str()]);
+                        ratio_of_expectations(sum_mean, count_mean)
+                    }
+                };
+                AggValue {
+                    value,
+                    ci_half_width: None,
+                }
+            })
+            .collect();
+        let event_probability = plan.having.as_ref().map(|h| {
+            tail_probability(
+                dist.as_ref().expect("distribution computed for HAVING"),
+                h.op,
+                h.value
+                    .as_f64()
+                    .expect("validate_aggregate_plan checked the literal"),
+            )
+        });
+        out.push(AggregateGroup {
+            key,
+            values,
+            count_distribution: dist,
+            event_probability,
+            worlds: None,
+        });
+    }
+    Ok(AggregateResult {
+        group_columns: plan.group_by.clone(),
+        aggregates: plan.aggregates.clone(),
+        having: plan.having.clone(),
+        strategy: "exact",
+        groups: out,
+    })
+}
+
+/// Classic SQL aggregation over a deterministic table; `HAVING` filters
+/// groups (every world is the same world, so the event either holds or
+/// does not).
+fn aggregate_deterministic(
+    t: &Table,
+    pred: &Conjunction,
+    plan: &AggregatePlan,
+) -> Result<AggregateResult, DbError> {
+    validate_aggregate_plan(plan)?;
+    let keep = filter_rows(t.schema(), t.rows(), None, pred)?;
+    let groups = group_rows(t.schema(), t.rows(), &keep, &plan.group_by)?;
+    let mut out = Vec::new();
+    for (key, indices) in groups {
+        let count = indices.len() as f64;
+        // HAVING filters deterministic groups — checked first, so no
+        // per-group column extraction is spent on a discarded group.
+        if let Some(h) = &plan.having {
+            let k = h
+                .value
+                .as_f64()
+                .expect("validate_aggregate_plan checked the literal");
+            if !h.op.eval(count.partial_cmp(&k)) {
+                continue;
+            }
+        }
+        let columns = aggregated_columns(plan, t.schema(), t.rows(), &indices)?;
+        let values: Vec<AggValue> = plan
+            .aggregates
+            .iter()
+            .map(|agg| {
+                let value = match agg.func {
+                    AggFunc::Count => count,
+                    AggFunc::Sum | AggFunc::Expected => {
+                        let col = agg
+                            .column
+                            .as_ref()
+                            .expect("validate_aggregate_plan checked the column");
+                        columns[col.as_str()].iter().sum()
+                    }
+                    AggFunc::Avg => {
+                        let col = agg
+                            .column
+                            .as_ref()
+                            .expect("validate_aggregate_plan checked the column");
+                        let sum: f64 = columns[col.as_str()].iter().sum();
+                        ratio_of_expectations(sum, count)
+                    }
+                };
+                AggValue {
+                    value,
+                    ci_half_width: None,
+                }
+            })
+            .collect();
+        out.push(AggregateGroup {
+            key,
+            values,
+            count_distribution: None,
+            event_probability: None,
+            worlds: None,
+        });
+    }
+    Ok(AggregateResult {
+        group_columns: plan.group_by.clone(),
+        aggregates: plan.aggregates.clone(),
+        having: plan.having.clone(),
+        strategy: "exact",
+        groups: out,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::CmpOp;
+    use crate::sql::parse;
+    use crate::value::ColumnType;
+
+    fn plan_sql(sql: &str) -> PlannedQuery {
+        match parse(sql).unwrap() {
+            crate::sql::Statement::Select(sel) => Planner::plan(&sel).unwrap(),
+            other => panic!("not a SELECT: {other:?}"),
+        }
+    }
+
+    fn plan_err(sql: &str) -> DbError {
+        match parse(sql).unwrap() {
+            crate::sql::Statement::Select(sel) => Planner::plan(&sel).unwrap_err(),
+            other => panic!("not a SELECT: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn row_query_plans_the_full_pipeline() {
+        let planned = plan_sql(
+            "SELECT room FROM pv WHERE time = 1 THRESHOLD 0.25 TOP 3 \
+             ORDER BY prob DESC LIMIT 2",
+        );
+        let rendered = planned.logical.to_string();
+        assert!(rendered.starts_with("Project [room]"), "{rendered}");
+        for node in ["Limit 2", "Sort prob DESC", "TopK k=3", "Threshold τ=0.25"] {
+            assert!(rendered.contains(node), "{rendered} missing {node}");
+        }
+        assert!(rendered.trim_end().ends_with("Scan pv"), "{rendered}");
+        assert_eq!(planned.strategy, StrategyKind::Exact);
+        match &planned.physical.action {
+            PhysicalAction::Rows { columns, .. } => assert_eq!(columns, &["room".to_string()]),
+            other => panic!("wrong action: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregate_query_plans_an_aggregate_node() {
+        let planned =
+            plan_sql("SELECT g, COUNT(*), SUM(r) FROM pv GROUP BY g HAVING COUNT(*) >= 2 WITH WORLDS 100 SEED 4");
+        let rendered = planned.logical.to_string();
+        assert!(
+            rendered.starts_with("Aggregate [COUNT(*), SUM(r)] GROUP BY g HAVING COUNT(*) >= 2"),
+            "{rendered}"
+        );
+        assert!(matches!(planned.strategy, StrategyKind::Worlds(_)));
+        let physical = planned.physical.to_string();
+        assert!(physical.contains("aggregate("), "{physical}");
+    }
+
+    #[test]
+    fn planner_rejects_invalid_shapes() {
+        // Plain projected column not in GROUP BY.
+        assert!(matches!(
+            plan_err("SELECT room, COUNT(*) FROM pv"),
+            DbError::Plan(_)
+        ));
+        // GROUP BY without aggregates.
+        assert!(matches!(
+            plan_err("SELECT room FROM pv GROUP BY room"),
+            DbError::Plan(_)
+        ));
+        // HAVING without aggregates.
+        assert!(matches!(
+            plan_err("SELECT room FROM pv HAVING COUNT(*) >= 1"),
+            DbError::Plan(_)
+        ));
+        // ORDER BY on an aggregate query.
+        assert!(matches!(
+            plan_err("SELECT COUNT(*) FROM pv ORDER BY room"),
+            DbError::Plan(_)
+        ));
+        // HAVING over a non-COUNT aggregate.
+        assert!(matches!(
+            plan_err("SELECT COUNT(*) FROM pv HAVING SUM(r) >= 1"),
+            DbError::Plan(_)
+        ));
+        // HAVING against text.
+        assert!(matches!(
+            plan_err("SELECT COUNT(*) FROM pv HAVING COUNT(*) >= 'two'"),
+            DbError::Plan(_)
+        ));
+        // ORDER BY with WITH WORLDS keeps its historical error type.
+        assert!(matches!(
+            plan_err("SELECT * FROM pv ORDER BY prob WITH WORLDS 10"),
+            DbError::InvalidWorlds(_)
+        ));
+    }
+
+    fn fig1() -> ProbTable {
+        let schema = Schema::of(&[("time", ColumnType::Int), ("room", ColumnType::Int)]);
+        let mut v = ProbTable::new("pv", schema);
+        for (t, room, p) in [
+            (1, 1, 0.5),
+            (1, 2, 0.1),
+            (1, 3, 0.3),
+            (1, 4, 0.1),
+            (2, 1, 0.2),
+            (2, 2, 0.4),
+        ] {
+            v.insert(vec![Value::Int(t), Value::Int(room)], p).unwrap();
+        }
+        v
+    }
+
+    fn run(sql: &str, rel: &Relation) -> QueryOutput {
+        let planned = plan_sql(sql);
+        planned.strategy(1).execute(rel, &planned.physical).unwrap()
+    }
+
+    #[test]
+    fn exact_count_and_grouped_sum() {
+        let rel = Relation::Probabilistic(fig1());
+        // Global expected count: Σp = 1.6.
+        let out = run("SELECT COUNT(*) FROM pv", &rel);
+        let agg = match &out {
+            QueryOutput::Aggregate(a) => a,
+            other => panic!("wrong output: {other:?}"),
+        };
+        assert_eq!(agg.strategy, "exact");
+        assert_eq!(agg.groups.len(), 1);
+        assert!((agg.groups[0].values[0].value - 1.6).abs() < 1e-12);
+        let dist = agg.groups[0].count_distribution.as_ref().unwrap();
+        assert_eq!(dist.len(), 7);
+        assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+
+        // Grouped by time: E[Σ room | t=1] = 2.0, E[Σ room | t=2] = 1.0.
+        let out = run("SELECT time, SUM(room) FROM pv GROUP BY time", &rel);
+        let agg = match &out {
+            QueryOutput::Aggregate(a) => a,
+            other => panic!("wrong output: {other:?}"),
+        };
+        assert_eq!(agg.groups.len(), 2);
+        assert_eq!(agg.groups[0].key, vec![Value::Int(1)]);
+        assert!((agg.groups[0].values[0].value - 2.0).abs() < 1e-12);
+        assert_eq!(agg.groups[1].key, vec![Value::Int(2)]);
+        assert!((agg.groups[1].values[0].value - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_having_reports_event_probability() {
+        let rel = Relation::Probabilistic(fig1());
+        let out = run(
+            "SELECT COUNT(*) FROM pv WHERE time = 1 HAVING COUNT(*) >= 1",
+            &rel,
+        );
+        let agg = match &out {
+            QueryOutput::Aggregate(a) => a,
+            other => panic!("wrong output: {other:?}"),
+        };
+        // P(count ≥ 1) = 1 − 0.5·0.9·0.7·0.9 = 0.7165.
+        let p = agg.groups[0].event_probability.unwrap();
+        assert!((p - 0.7165).abs() < 1e-12, "got {p}");
+    }
+
+    #[test]
+    fn avg_and_expected_are_consistent() {
+        let rel = Relation::Probabilistic(fig1());
+        let out = run(
+            "SELECT AVG(room), EXPECTED(room), COUNT(*) FROM pv WHERE time = 1",
+            &rel,
+        );
+        let agg = match &out {
+            QueryOutput::Aggregate(a) => a,
+            other => panic!("wrong output: {other:?}"),
+        };
+        let avg = agg.groups[0].values[0].value;
+        let expected = agg.groups[0].values[1].value;
+        let count = agg.groups[0].values[2].value;
+        assert!((expected - 2.0).abs() < 1e-12);
+        assert!((avg - expected / count).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worlds_aggregates_converge_and_are_thread_invariant() {
+        let rel = Relation::Probabilistic(fig1());
+        let sql = "SELECT time, COUNT(*), SUM(room) FROM pv GROUP BY time \
+                   HAVING COUNT(*) >= 1 WITH WORLDS 40000 SEED 11";
+        let planned = plan_sql(sql);
+        let one = planned
+            .strategy(1)
+            .execute(&rel, &planned.physical)
+            .unwrap();
+        let eight = planned
+            .strategy(8)
+            .execute(&rel, &planned.physical)
+            .unwrap();
+        let (one, eight) = match (&one, &eight) {
+            (QueryOutput::Aggregate(a), QueryOutput::Aggregate(b)) => (a, b),
+            other => panic!("wrong outputs: {other:?}"),
+        };
+        assert_eq!(
+            one.fingerprint(),
+            eight.fingerprint(),
+            "thread count changed MC aggregates"
+        );
+        assert_eq!(one.strategy, "worlds");
+        assert_eq!(one.groups.len(), 2);
+
+        // Compare against the exact strategy group by group.
+        let exact = match run(
+            "SELECT time, COUNT(*), SUM(room) FROM pv GROUP BY time HAVING COUNT(*) >= 1",
+            &rel,
+        ) {
+            QueryOutput::Aggregate(a) => a,
+            other => panic!("wrong output: {other:?}"),
+        };
+        for (mc, ex) in one.groups.iter().zip(&exact.groups) {
+            assert_eq!(mc.key, ex.key);
+            for (m, e) in mc.values.iter().zip(&ex.values) {
+                let tol = 3.0 * m.ci_half_width.unwrap_or(0.05) + 1e-3;
+                assert!(
+                    (m.value - e.value).abs() <= tol,
+                    "MC {} vs exact {} (tol {tol})",
+                    m.value,
+                    e.value
+                );
+            }
+            let (mp, ep) = (mc.event_probability.unwrap(), ex.event_probability.unwrap());
+            assert!((mp - ep).abs() < 0.02, "event MC {mp} vs exact {ep}");
+        }
+    }
+
+    #[test]
+    fn deterministic_aggregates_follow_sql_semantics() {
+        let schema = Schema::of(&[("g", ColumnType::Int), ("x", ColumnType::Float)]);
+        let mut t = Table::new("t", schema);
+        for (g, x) in [(1, 1.0), (1, 3.0), (2, 10.0)] {
+            t.insert(vec![Value::Int(g), Value::Float(x)]).unwrap();
+        }
+        let rel = Relation::Deterministic(t);
+        let out = run(
+            "SELECT g, COUNT(*), SUM(x), AVG(x) FROM t GROUP BY g HAVING COUNT(*) >= 2",
+            &rel,
+        );
+        let agg = match &out {
+            QueryOutput::Aggregate(a) => a,
+            other => panic!("wrong output: {other:?}"),
+        };
+        // HAVING filtered group g=2 away.
+        assert_eq!(agg.groups.len(), 1);
+        assert_eq!(agg.groups[0].key, vec![Value::Int(1)]);
+        assert_eq!(agg.groups[0].values[0].value, 2.0);
+        assert_eq!(agg.groups[0].values[1].value, 4.0);
+        assert_eq!(agg.groups[0].values[2].value, 2.0);
+        assert_eq!(agg.groups[0].event_probability, None);
+    }
+
+    #[test]
+    fn text_column_aggregates_error() {
+        let schema = Schema::of(&[("tag", ColumnType::Text)]);
+        let mut v = ProbTable::new("pv", schema);
+        v.insert(vec![Value::from("a")], 0.5).unwrap();
+        let rel = Relation::Probabilistic(v);
+        let planned = plan_sql("SELECT SUM(tag) FROM pv");
+        let err = planned
+            .strategy(1)
+            .execute(&rel, &planned.physical)
+            .unwrap_err();
+        assert!(matches!(err, DbError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn hand_built_invalid_plans_error_instead_of_panicking() {
+        // The plan structs have public fields, so execute_planned can see
+        // shapes Planner::plan would never emit — they must surface
+        // DbError::Plan, not hit the evaluators' internal expects.
+        let rel = Relation::Probabilistic(fig1());
+        let det = Relation::Deterministic(Table::new("t", Schema::of(&[("g", ColumnType::Int)])));
+        let broken = [
+            AggregatePlan {
+                group_by: Vec::new(),
+                aggregates: vec![AggExpr {
+                    func: AggFunc::Sum,
+                    column: None, // SUM without a column
+                }],
+                having: None,
+            },
+            AggregatePlan {
+                group_by: Vec::new(),
+                aggregates: vec![AggExpr::count()],
+                having: Some(HavingClause {
+                    agg: AggExpr::count(),
+                    op: CmpOp::Ge,
+                    value: Value::from("two"), // text literal
+                }),
+            },
+        ];
+        for agg_plan in broken {
+            let physical = PhysicalPlan {
+                table: "pv".into(),
+                predicate: Vec::new(),
+                threshold: None,
+                top: None,
+                action: PhysicalAction::Aggregate(agg_plan),
+            };
+            for (strategy, relation) in [
+                (Box::new(ExactStrategy) as Box<dyn EvalStrategy>, &rel),
+                (Box::new(ExactStrategy) as Box<dyn EvalStrategy>, &det),
+                (
+                    Box::new(WorldsStrategy {
+                        clause: WorldsClause {
+                            worlds: 64,
+                            seed: None,
+                            confidence: None,
+                        },
+                        threads: 1,
+                    }) as Box<dyn EvalStrategy>,
+                    &rel,
+                ),
+            ] {
+                assert!(
+                    matches!(strategy.execute(relation, &physical), Err(DbError::Plan(_))),
+                    "{} strategy accepted an invalid plan",
+                    strategy.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tail_probability_covers_all_operators() {
+        let dist = [0.25, 0.25, 0.5]; // P(0), P(1), P(2)
+        assert!((tail_probability(&dist, CmpOp::Ge, 1.0) - 0.75).abs() < 1e-12);
+        assert!((tail_probability(&dist, CmpOp::Gt, 1.0) - 0.5).abs() < 1e-12);
+        assert!((tail_probability(&dist, CmpOp::Le, 1.0) - 0.5).abs() < 1e-12);
+        assert!((tail_probability(&dist, CmpOp::Lt, 1.0) - 0.25).abs() < 1e-12);
+        assert!((tail_probability(&dist, CmpOp::Eq, 1.0) - 0.25).abs() < 1e-12);
+        assert!((tail_probability(&dist, CmpOp::Ne, 1.0) - 0.75).abs() < 1e-12);
+        // A fractional threshold: P(count ≥ 1.5) = P(count = 2).
+        assert!((tail_probability(&dist, CmpOp::Ge, 1.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn explain_report_renders_all_sections() {
+        let planned = plan_sql("SELECT COUNT(*) FROM pv WITH WORLDS 500 SEED 2");
+        let report = ExplainReport {
+            relation: "pv: probabilistic (6 tuples)".into(),
+            logical: planned.logical.to_string(),
+            physical: planned.physical.to_string(),
+            strategy: planned.strategy(0).describe(),
+        };
+        let text = report.to_string();
+        assert!(text.contains("Aggregate [COUNT(*)]"), "{text}");
+        assert!(text.contains("Scan pv"), "{text}");
+        assert!(text.contains("strategy: worlds"), "{text}");
+        assert!(text.contains("max_worlds=500"), "{text}");
+        assert!(text.contains("seed=2"), "{text}");
+    }
+
+    #[test]
+    fn group_rows_orders_groups_canonically() {
+        let schema = Schema::of(&[("g", ColumnType::Int)]);
+        let mut v = ProbTable::new("pv", schema);
+        for g in [5, 1, 3, 1, 5] {
+            v.insert(vec![Value::Int(g)], 0.5).unwrap();
+        }
+        let keep: Vec<usize> = (0..v.len()).collect();
+        let groups = group_rows(v.schema(), v.rows(), &keep, &["g".to_string()]).unwrap();
+        let keys: Vec<i64> = groups.iter().map(|(k, _)| k[0].as_i64().unwrap()).collect();
+        assert_eq!(keys, vec![1, 3, 5]);
+        assert_eq!(groups[0].1, vec![1, 3]);
+        // Unknown group column errors.
+        assert!(matches!(
+            group_rows(v.schema(), v.rows(), &keep, &["nope".to_string()]),
+            Err(DbError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn predicate_in_plan_display_names_comparisons() {
+        let planned = plan_sql("SELECT * FROM pv WHERE room = 2 AND prob >= 0.1");
+        let rendered = planned.logical.to_string();
+        assert!(
+            rendered.contains("Filter room = 2 AND prob >= 0.1"),
+            "{rendered}"
+        );
+    }
+}

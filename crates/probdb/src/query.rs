@@ -11,7 +11,7 @@
 use crate::error::DbError;
 use crate::schema::Schema;
 use crate::table::{ProbTable, Table};
-use crate::value::Value;
+use crate::value::{row_key, Value, ValueKey};
 use std::cmp::Ordering;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -49,7 +49,7 @@ impl fmt::Display for CmpOp {
 
 impl CmpOp {
     /// Evaluates the operator against an ordering outcome.
-    fn eval(self, ord: Option<Ordering>) -> bool {
+    pub(crate) fn eval(self, ord: Option<Ordering>) -> bool {
         match (self, ord) {
             (CmpOp::Eq, Some(Ordering::Equal)) => true,
             (CmpOp::Ne, Some(o)) => o != Ordering::Equal,
@@ -144,21 +144,22 @@ pub fn select_prob(table: &ProbTable, pred: &Conjunction) -> Result<ProbTable, D
 /// least one contributing tuple exists, by tuple independence).
 pub fn project_prob(table: &ProbTable, columns: &[String]) -> Result<ProbTable, DbError> {
     let (schema, idx) = table.schema().project(columns)?;
-    // BTreeMap over a canonical text key keeps output order deterministic.
-    let mut groups: BTreeMap<String, (Vec<Value>, f64)> = BTreeMap::new();
-    for (row, p) in table.iter() {
-        let projected: Vec<Value> = idx.iter().map(|&i| row[i].clone()).collect();
-        let key = projected
-            .iter()
-            .map(|v| format!("{v:?}"))
-            .collect::<Vec<_>>()
-            .join("\u{1f}");
-        let entry = groups.entry(key).or_insert_with(|| (projected, 1.0));
+    // BTreeMap over the canonical value key keeps output order
+    // deterministic without formatting every cell into a string; the
+    // projected row is only materialised once per distinct key.
+    let mut groups: BTreeMap<Vec<ValueKey<'_>>, (usize, f64)> = BTreeMap::new();
+    for (i, (row, p)) in table.iter().enumerate() {
+        let entry = groups.entry(row_key(row, &idx)).or_insert((i, 1.0));
         entry.1 *= 1.0 - p; // accumulate absence probability
     }
+    // Emit groups in first-appearance order (deterministic, and saner than
+    // the lexicographic-debug-string order the old text keys produced).
+    let mut merged: Vec<(usize, f64)> = groups.into_values().collect();
+    merged.sort_by_key(|&(i, _)| i);
     let mut out = ProbTable::new(table.name().to_string(), schema);
-    for (_, (row, absent)) in groups {
-        out.insert(row, (1.0 - absent).clamp(0.0, 1.0))?;
+    for (i, absent) in merged {
+        let projected: Vec<Value> = idx.iter().map(|&c| table.rows()[i][c].clone()).collect();
+        out.insert(projected, (1.0 - absent).clamp(0.0, 1.0))?;
     }
     Ok(out)
 }
@@ -242,13 +243,12 @@ pub fn most_probable_per_group(
     group_column: &str,
 ) -> Result<ProbTable, DbError> {
     let g = table.schema().index_of(group_column)?;
-    let mut best: BTreeMap<String, (usize, f64)> = BTreeMap::new();
+    let mut best: BTreeMap<ValueKey<'_>, (usize, f64)> = BTreeMap::new();
     for (i, (row, p)) in table.iter().enumerate() {
-        let key = format!("{:?}", row[g]);
-        match best.get(&key) {
+        match best.get(&row[g].key()) {
             Some(&(_, bp)) if bp >= p => {}
             _ => {
-                best.insert(key, (i, p));
+                best.insert(row[g].key(), (i, p));
             }
         }
     }

@@ -14,8 +14,13 @@
 //! `WINDOW <H>` sets the sliding-window length (both default to the
 //! engine's configuration when omitted).
 //!
-//! `SELECT` carries three probabilistic extensions:
+//! `SELECT` carries the probabilistic extensions:
 //!
+//! * an **aggregate grammar** — `SELECT COUNT(*) | SUM(col) | AVG(col) |
+//!   EXPECTED(col)`, optionally `GROUP BY col, …`, optionally a `HAVING`
+//!   event predicate such as `HAVING COUNT(*) >= 2` (the probability that
+//!   the group's tuple count is at least 2). Aggregate queries are planned
+//!   and evaluated by [`crate::plan`];
 //! * `THRESHOLD <tau>` — keep only tuples with probability ≥ τ
 //!   ([`crate::query::threshold`]);
 //! * `TOP <k>` — the k most probable tuples ([`crate::query::top_k`]);
@@ -24,6 +29,10 @@
 //!   ([`crate::worlds::WorldsExecutor`]) over at most `n` worlds, seeded
 //!   with `s` (default 0), optionally stopping early once the 95% CI
 //!   half-width of the event-probability estimate is ≤ `eps`.
+//!
+//! `EXPLAIN <select>` wraps any `SELECT` and, instead of executing it,
+//! reports the logical plan, the lowered physical plan and the chosen
+//! evaluation strategy (see [`crate::plan`]).
 //!
 //! Every statement implements `Display` with the guarantee that
 //! `parse(stmt.to_string())` reproduces the statement exactly (the
@@ -53,6 +62,9 @@ pub enum Statement {
     },
     /// `SELECT … FROM … [WHERE …] [ORDER BY …] [LIMIT …]`
     Select(SelectStmt),
+    /// `EXPLAIN SELECT …` — plan the query and report the plan instead of
+    /// executing it.
+    Explain(SelectStmt),
     /// The paper's probabilistic view generation query.
     CreateDensityView(DensityViewSpec),
     /// `DROP TABLE name` / `DROP VIEW name`
@@ -69,20 +81,125 @@ impl Statement {
     /// shared `&self` borrow; everything else needs the exclusive write
     /// path.
     pub fn is_read_only(&self) -> bool {
-        matches!(self, Statement::Select(_))
+        matches!(self, Statement::Select(_) | Statement::Explain(_))
+    }
+}
+
+/// An aggregate function name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)` — the (distribution of the) number of tuples.
+    Count,
+    /// `SUM(col)` — the sum of a numeric column over present tuples.
+    Sum,
+    /// `AVG(col)` — `E[SUM(col)] / E[COUNT(*)]` (ratio of expectations).
+    Avg,
+    /// `EXPECTED(col)` — `E[SUM(col)]`, the paper-style expected aggregate.
+    Expected,
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Expected => "EXPECTED",
+        })
+    }
+}
+
+/// An aggregate expression in a projection: `COUNT(*)` or `FUNC(col)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggExpr {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// The aggregated column; `None` only for `COUNT(*)`.
+    pub column: Option<String>,
+}
+
+impl AggExpr {
+    /// `COUNT(*)`.
+    pub fn count() -> Self {
+        AggExpr {
+            func: AggFunc::Count,
+            column: None,
+        }
+    }
+
+    /// `FUNC(col)` for the column-taking aggregates.
+    pub fn over(func: AggFunc, column: impl Into<String>) -> Self {
+        AggExpr {
+            func,
+            column: Some(column.into()),
+        }
+    }
+}
+
+impl fmt::Display for AggExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.column {
+            Some(col) => write!(f, "{}({col})", self.func),
+            None => write!(f, "{}(*)", self.func),
+        }
+    }
+}
+
+/// One item of a `SELECT` projection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// A plain column reference.
+    Column(String),
+    /// An aggregate expression.
+    Aggregate(AggExpr),
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Column(c) => f.write_str(c),
+            SelectItem::Aggregate(a) => a.fmt(f),
+        }
+    }
+}
+
+/// A `HAVING <agg> <op> <literal>` event predicate over an aggregate
+/// query. On probabilistic relations it is *not* a filter: each group
+/// reports the probability that the predicate holds (e.g.
+/// `HAVING COUNT(*) >= 2` yields `P(count ≥ 2)` per group). On
+/// deterministic tables it filters groups, SQL-classic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HavingClause {
+    /// The aggregate on the left-hand side (currently only `COUNT(*)` is
+    /// executable; the grammar is kept general).
+    pub agg: AggExpr,
+    /// The comparison operator.
+    pub op: CmpOp,
+    /// The literal right-hand side.
+    pub value: Value,
+}
+
+impl fmt::Display for HavingClause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} ", self.agg, self.op)?;
+        fmt_literal(&self.value, f)
     }
 }
 
 /// A `SELECT` statement over a deterministic table or probabilistic view.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SelectStmt {
-    /// Projected columns; empty means `*`.
-    pub columns: Vec<String>,
+    /// Projected items; empty means `*`.
+    pub projection: Vec<SelectItem>,
     /// Source table or view.
     pub table: String,
     /// Conjunctive predicate (may reference the `prob` pseudo-column on
     /// probabilistic views).
     pub predicate: Conjunction,
+    /// `GROUP BY` columns (aggregate queries only).
+    pub group_by: Vec<String>,
+    /// Optional `HAVING` event predicate (aggregate queries only).
+    pub having: Option<HavingClause>,
     /// Optional `THRESHOLD <tau>`: minimum tuple probability (probabilistic
     /// relations only).
     pub threshold: Option<f64>,
@@ -96,6 +213,15 @@ pub struct SelectStmt {
     /// Optional `WITH WORLDS …`: answer by Monte-Carlo possible-world
     /// sampling instead of exact evaluation.
     pub worlds: Option<WorldsClause>,
+}
+
+impl SelectStmt {
+    /// Whether the projection contains at least one aggregate expression.
+    pub fn has_aggregates(&self) -> bool {
+        self.projection
+            .iter()
+            .any(|item| matches!(item, SelectItem::Aggregate(_)))
+    }
 }
 
 /// The `WITH WORLDS <n> [SEED <s>] [CONFIDENCE <eps>]` clause.
@@ -408,6 +534,13 @@ impl Parser {
         } else if self.peek_kw("SELECT") {
             self.next();
             self.select()
+        } else if self.peek_kw("EXPLAIN") {
+            self.next();
+            self.expect_kw("SELECT")?;
+            match self.select()? {
+                Statement::Select(sel) => Ok(Statement::Explain(sel)),
+                _ => unreachable!("select() only builds SELECTs"),
+            }
         } else if self.peek_kw("DROP") {
             self.next();
             if self.peek_kw("TABLE") || self.peek_kw("VIEW") {
@@ -417,8 +550,42 @@ impl Parser {
                 name: self.expect_ident()?,
             })
         } else {
-            Err(self.error("expected CREATE, INSERT, SELECT or DROP"))
+            Err(self.error("expected CREATE, INSERT, SELECT, EXPLAIN or DROP"))
         }
+    }
+
+    /// Parses the aggregate function name the parser is peeking at, if any
+    /// — an identifier is only an aggregate when followed by `(`.
+    fn peek_agg_func(&self) -> Option<AggFunc> {
+        let Some(Token::Ident(name)) = self.peek() else {
+            return None;
+        };
+        if self.tokens.get(self.pos + 1) != Some(&Token::LParen) {
+            return None;
+        }
+        match name.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(AggFunc::Count),
+            "SUM" => Some(AggFunc::Sum),
+            "AVG" => Some(AggFunc::Avg),
+            "EXPECTED" => Some(AggFunc::Expected),
+            _ => None,
+        }
+    }
+
+    /// `COUNT(*)` / `SUM(col)` / `AVG(col)` / `EXPECTED(col)`; the caller
+    /// has already identified the function via [`Parser::peek_agg_func`].
+    fn aggregate(&mut self, func: AggFunc) -> Result<AggExpr, DbError> {
+        self.next(); // function name
+        self.expect_token(Token::LParen)?;
+        let agg = if func == AggFunc::Count {
+            self.expect_token(Token::Star)
+                .map_err(|_| self.error("COUNT takes '*' (tuple counts have no column)"))?;
+            AggExpr::count()
+        } else {
+            AggExpr::over(func, self.expect_ident()?)
+        };
+        self.expect_token(Token::RParen)?;
+        Ok(agg)
     }
 
     fn create_table(&mut self) -> Result<Statement, DbError> {
@@ -467,12 +634,16 @@ impl Parser {
     }
 
     fn select(&mut self) -> Result<Statement, DbError> {
-        let mut columns = Vec::new();
+        let mut projection = Vec::new();
         if self.peek() == Some(&Token::Star) {
             self.next();
         } else {
             loop {
-                columns.push(self.expect_ident()?);
+                let item = match self.peek_agg_func() {
+                    Some(func) => SelectItem::Aggregate(self.aggregate(func)?),
+                    None => SelectItem::Column(self.expect_ident()?),
+                };
+                projection.push(item);
                 if self.peek() == Some(&Token::Comma) {
                     self.next();
                 } else {
@@ -486,6 +657,30 @@ impl Parser {
         if self.peek_kw("WHERE") {
             self.next();
             predicate = self.conjunction()?;
+        }
+        let mut group_by = Vec::new();
+        if self.peek_kw("GROUP") {
+            self.next();
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.expect_ident()?);
+                if self.peek() == Some(&Token::Comma) {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        let mut having = None;
+        if self.peek_kw("HAVING") {
+            self.next();
+            let func = self
+                .peek_agg_func()
+                .ok_or_else(|| self.error("HAVING needs an aggregate left-hand side"))?;
+            let agg = self.aggregate(func)?;
+            let op = self.comparison_op()?;
+            let value = self.literal()?;
+            having = Some(HavingClause { agg, op, value });
         }
         let mut threshold = None;
         if self.peek_kw("THRESHOLD") {
@@ -553,9 +748,11 @@ impl Parser {
             });
         }
         Ok(Statement::Select(SelectStmt {
-            columns,
+            projection,
             table,
             predicate,
+            group_by,
+            having,
             threshold,
             top,
             order_by,
@@ -659,15 +856,26 @@ fn fmt_conjunction(pred: &Conjunction, f: &mut fmt::Formatter<'_>) -> fmt::Resul
 impl fmt::Display for SelectStmt {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("SELECT ")?;
-        if self.columns.is_empty() {
+        if self.projection.is_empty() {
             f.write_str("*")?;
         } else {
-            f.write_str(&self.columns.join(", "))?;
+            for (i, item) in self.projection.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                item.fmt(f)?;
+            }
         }
         write!(f, " FROM {}", self.table)?;
         if !self.predicate.is_empty() {
             f.write_str(" WHERE ")?;
             fmt_conjunction(&self.predicate, f)?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY {}", self.group_by.join(", "))?;
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
         }
         if let Some(tau) = self.threshold {
             write!(f, " THRESHOLD {tau:?}")?;
@@ -751,6 +959,7 @@ impl fmt::Display for Statement {
                 Ok(())
             }
             Statement::Select(sel) => sel.fmt(f),
+            Statement::Explain(sel) => write!(f, "EXPLAIN {sel}"),
             Statement::CreateDensityView(spec) => spec.fmt(f),
             Statement::Drop { name } => write!(f, "DROP TABLE {name}"),
         }
@@ -855,7 +1064,13 @@ mod tests {
                    ORDER BY prob DESC LIMIT 2";
         match parse(sql).unwrap() {
             Statement::Select(s) => {
-                assert_eq!(s.columns, vec!["room".to_string(), "prob".to_string()]);
+                assert_eq!(
+                    s.projection,
+                    vec![
+                        SelectItem::Column("room".into()),
+                        SelectItem::Column("prob".into())
+                    ]
+                );
                 assert_eq!(s.predicate.len(), 2);
                 assert_eq!(s.order_by, Some(("prob".into(), false)));
                 assert_eq!(s.limit, Some(2));
@@ -867,8 +1082,94 @@ mod tests {
     #[test]
     fn select_star_yields_empty_projection() {
         match parse("SELECT * FROM t").unwrap() {
-            Statement::Select(s) => assert!(s.columns.is_empty()),
+            Statement::Select(s) => assert!(s.projection.is_empty()),
             other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_aggregates_group_by_and_having() {
+        let sql = "SELECT g, COUNT(*), SUM(r), AVG(r), EXPECTED(r) FROM pv \
+                   WHERE t >= 1 GROUP BY g, h HAVING COUNT(*) >= 2";
+        match parse(sql).unwrap() {
+            Statement::Select(s) => {
+                assert_eq!(s.projection.len(), 5);
+                assert_eq!(s.projection[0], SelectItem::Column("g".into()));
+                assert_eq!(s.projection[1], SelectItem::Aggregate(AggExpr::count()));
+                assert_eq!(
+                    s.projection[2],
+                    SelectItem::Aggregate(AggExpr::over(AggFunc::Sum, "r"))
+                );
+                assert_eq!(
+                    s.projection[3],
+                    SelectItem::Aggregate(AggExpr::over(AggFunc::Avg, "r"))
+                );
+                assert_eq!(
+                    s.projection[4],
+                    SelectItem::Aggregate(AggExpr::over(AggFunc::Expected, "r"))
+                );
+                assert_eq!(s.group_by, vec!["g".to_string(), "h".to_string()]);
+                let having = s.having.clone().unwrap();
+                assert_eq!(having.agg, AggExpr::count());
+                assert_eq!(having.op, CmpOp::Ge);
+                assert_eq!(having.value, Value::Int(2));
+                assert!(s.has_aggregates());
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregate_names_without_parens_stay_plain_columns() {
+        // `count`, `sum` etc. are only aggregate keywords when followed by
+        // '('; otherwise they are ordinary identifiers.
+        match parse("SELECT count, sum FROM t WHERE avg = 1").unwrap() {
+            Statement::Select(s) => {
+                assert!(!s.has_aggregates());
+                assert_eq!(
+                    s.projection,
+                    vec![
+                        SelectItem::Column("count".into()),
+                        SelectItem::Column("sum".into())
+                    ]
+                );
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_explain() {
+        match parse("EXPLAIN SELECT COUNT(*) FROM pv WITH WORLDS 100").unwrap() {
+            Statement::Explain(s) => {
+                assert_eq!(s.projection, vec![SelectItem::Aggregate(AggExpr::count())]);
+                assert!(s.worlds.is_some());
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+        assert!(parse("EXPLAIN SELECT * FROM pv").unwrap().is_read_only());
+        // Only SELECTs can be explained.
+        assert!(matches!(
+            parse("EXPLAIN DROP TABLE t"),
+            Err(DbError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_aggregates() {
+        for bad in [
+            "SELECT COUNT(r) FROM t",                    // COUNT takes *
+            "SELECT SUM(*) FROM t",                      // SUM takes a column
+            "SELECT COUNT(* FROM t",                     // unclosed
+            "SELECT SUM() FROM t",                       // missing column
+            "SELECT * FROM t GROUP BY",                  // missing columns
+            "SELECT COUNT(*) FROM t HAVING x >= 2",      // non-aggregate HAVING lhs
+            "SELECT COUNT(*) FROM t HAVING COUNT(*) >=", // missing literal
+        ] {
+            assert!(
+                matches!(parse(bad), Err(DbError::Parse(_))),
+                "should fail: {bad:?}"
+            );
         }
     }
 
@@ -996,6 +1297,10 @@ mod tests {
             "INSERT INTO raw_values VALUES (1, 4.2, 'a'), (2, -5.9, 'b')",
             "SELECT room, prob FROM pv WHERE time = 1 AND prob >= 0.25 ORDER BY prob DESC LIMIT 2",
             "SELECT * FROM pv THRESHOLD 0.5 TOP 4 WITH WORLDS 1000 SEED 3 CONFIDENCE 0.05",
+            "SELECT COUNT(*) FROM pv WHERE room = 2",
+            "SELECT g, COUNT(*), SUM(r) FROM pv GROUP BY g HAVING COUNT(*) >= 2",
+            "SELECT AVG(r), EXPECTED(r) FROM pv GROUP BY g THRESHOLD 0.25 WITH WORLDS 500 SEED 1",
+            "EXPLAIN SELECT SUM(r) FROM pv GROUP BY g WITH WORLDS 100",
             "CREATE VIEW v AS DENSITY r OVER t OMEGA delta=0.05, n=300 \
              FROM raw WHERE t >= 1 AND t <= 3 USING METRIC arma_garch WINDOW 60",
             "DROP TABLE raw",
@@ -1036,13 +1341,38 @@ mod roundtrip_props {
         }
     }
 
+    const AGG_FUNCS: [AggFunc; 4] = [
+        AggFunc::Count,
+        AggFunc::Sum,
+        AggFunc::Avg,
+        AggFunc::Expected,
+    ];
+
+    /// A projection item: plain column, or an aggregate over one.
+    fn item(kind: usize, col: usize) -> SelectItem {
+        let func = AGG_FUNCS[kind % AGG_FUNCS.len()];
+        if kind == 0 {
+            SelectItem::Column(COLS[col].to_string())
+        } else if func == AggFunc::Count {
+            SelectItem::Aggregate(AggExpr::count())
+        } else {
+            SelectItem::Aggregate(AggExpr::over(func, COLS[col]))
+        }
+    }
+
     fn arb_select() -> impl Strategy<Value = SelectStmt> {
         (
             (
-                proptest::collection::vec(0usize..COLS.len(), 0..4),
+                proptest::collection::vec((0usize..5, 0usize..COLS.len()), 0..4),
                 0usize..TABLES.len(),
             ),
             proptest::collection::vec((0usize..COLS.len(), 0usize..6, 0usize..3, -50i64..50), 0..3),
+            // GROUP BY columns and HAVING (op index; 0 = none, k).
+            (
+                proptest::collection::vec(0usize..COLS.len(), 0..3),
+                0usize..7,
+                0i64..6,
+            ),
             // threshold quarters (0 = none), TOP k (0 = none), ORDER BY
             // (0 = none, then column+direction), LIMIT (0 = none).
             (0usize..6, 0usize..4, 0usize..11, 0usize..4),
@@ -1055,34 +1385,53 @@ mod roundtrip_props {
                 0usize..100,
             ),
         )
-            .prop_map(|((cols, table), preds, clauses, worlds)| SelectStmt {
-                columns: cols.into_iter().map(|c| COLS[c].to_string()).collect(),
-                table: TABLES[table].to_string(),
-                predicate: preds
-                    .into_iter()
-                    .map(|(c, op, kind, i)| Comparison {
-                        column: COLS[c].to_string(),
-                        op: OPS[op],
-                        value: literal(kind, i),
-                    })
-                    .collect(),
-                threshold: (clauses.0 > 0).then(|| (clauses.0 - 1) as f64 / 4.0),
-                top: (clauses.1 > 0).then(|| clauses.1 - 1),
-                order_by: (clauses.2 > 0)
-                    .then(|| (COLS[(clauses.2 - 1) / 2].to_string(), clauses.2 % 2 == 1)),
-                limit: (clauses.3 > 0).then(|| (clauses.3 - 1) * 10),
-                worlds: (worlds.0 > 0).then(|| WorldsClause {
-                    worlds: worlds.1,
-                    seed: (worlds.2 > 0).then_some(worlds.3 as u64),
-                    confidence: (worlds.4 > 0).then(|| worlds.4 as f64 / 100.0),
-                }),
-            })
+            .prop_map(
+                |((items, table), preds, (groups, having_op, having_k), clauses, worlds)| {
+                    let mut group_by: Vec<String> =
+                        groups.into_iter().map(|c| COLS[c].to_string()).collect();
+                    group_by.dedup();
+                    SelectStmt {
+                        projection: items.into_iter().map(|(k, c)| item(k, c)).collect(),
+                        table: TABLES[table].to_string(),
+                        predicate: preds
+                            .into_iter()
+                            .map(|(c, op, kind, i)| Comparison {
+                                column: COLS[c].to_string(),
+                                op: OPS[op],
+                                value: literal(kind, i),
+                            })
+                            .collect(),
+                        group_by,
+                        having: (having_op > 0).then(|| HavingClause {
+                            agg: AggExpr::count(),
+                            op: OPS[having_op - 1],
+                            value: Value::Int(having_k),
+                        }),
+                        threshold: (clauses.0 > 0).then(|| (clauses.0 - 1) as f64 / 4.0),
+                        top: (clauses.1 > 0).then(|| clauses.1 - 1),
+                        order_by: (clauses.2 > 0)
+                            .then(|| (COLS[(clauses.2 - 1) / 2].to_string(), clauses.2 % 2 == 1)),
+                        limit: (clauses.3 > 0).then(|| (clauses.3 - 1) * 10),
+                        worlds: (worlds.0 > 0).then(|| WorldsClause {
+                            worlds: worlds.1,
+                            seed: (worlds.2 > 0).then_some(worlds.3 as u64),
+                            confidence: (worlds.4 > 0).then(|| worlds.4 as f64 / 100.0),
+                        }),
+                    }
+                },
+            )
     }
 
     proptest! {
         #[test]
-        fn select_statements_round_trip(sel in arb_select()) {
-            let stmt = Statement::Select(sel);
+        fn select_statements_round_trip(sel in arb_select(), explain in 0usize..2) {
+            // Every SELECT the generator produces must survive
+            // parse(format(…)) — and so must its EXPLAIN wrapping.
+            let stmt = if explain == 1 {
+                Statement::Explain(sel)
+            } else {
+                Statement::Select(sel)
+            };
             let formatted = stmt.to_string();
             let reparsed = parse(&formatted);
             prop_assert!(

@@ -97,6 +97,82 @@ impl Value {
     }
 }
 
+/// A canonical, totally ordered grouping key borrowed from a [`Value`].
+///
+/// Deduplication and `GROUP BY` evaluation need a key that is `Ord` +
+/// `Eq`, which `Value` cannot be (floats). Formatting every cell into a
+/// string gives such a key but allocates per row on the dedup hot path;
+/// `ValueKey` instead wraps the value with a total order (floats via
+/// `f64::total_cmp`, cross-type comparisons by the variant rank
+/// `Int < Float < Text`) and borrows text instead of cloning it.
+///
+/// The grouping semantics match the old format-based keys: values of
+/// different variants are always distinct (`Int(3)` ≠ `Float(3.0)`), and
+/// equal-bit floats (including NaN of the same sign) coincide.
+#[derive(Debug, Clone, Copy)]
+pub enum ValueKey<'a> {
+    /// Key of an [`Value::Int`].
+    Int(i64),
+    /// Key of a [`Value::Float`]; ordered by `f64::total_cmp`.
+    Float(f64),
+    /// Key of a [`Value::Text`], borrowed from the source value.
+    Text(&'a str),
+}
+
+impl ValueKey<'_> {
+    /// Variant rank for cross-type ordering.
+    fn rank(&self) -> u8 {
+        match self {
+            ValueKey::Int(_) => 0,
+            ValueKey::Float(_) => 1,
+            ValueKey::Text(_) => 2,
+        }
+    }
+}
+
+impl Ord for ValueKey<'_> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (ValueKey::Int(a), ValueKey::Int(b)) => a.cmp(b),
+            (ValueKey::Float(a), ValueKey::Float(b)) => a.total_cmp(b),
+            (ValueKey::Text(a), ValueKey::Text(b)) => a.cmp(b),
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+impl PartialOrd for ValueKey<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for ValueKey<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for ValueKey<'_> {}
+
+impl Value {
+    /// The canonical grouping key of this value (see [`ValueKey`]).
+    pub fn key(&self) -> ValueKey<'_> {
+        match self {
+            Value::Int(i) => ValueKey::Int(*i),
+            Value::Float(f) => ValueKey::Float(*f),
+            Value::Text(s) => ValueKey::Text(s),
+        }
+    }
+}
+
+/// The canonical grouping key of a whole row restricted to the given
+/// column indices — the shared key-extraction helper of the dedup and
+/// `GROUP BY` paths (allocates one small `Vec` per row, never a string).
+pub fn row_key<'a>(row: &'a [Value], idx: &[usize]) -> Vec<ValueKey<'a>> {
+    idx.iter().map(|&i| row[i].key()).collect()
+}
+
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -192,6 +268,27 @@ mod tests {
             assert_eq!(v.fits(t), expect, "{v:?} fits {t:?}");
             assert_eq!(v.clone().coerce(t).is_some(), expect);
         }
+    }
+
+    #[test]
+    fn value_keys_order_and_group_like_the_values() {
+        // Same variant: numeric / lexicographic order.
+        assert!(Value::Int(1).key() < Value::Int(2).key());
+        assert!(Value::Float(1.5).key() < Value::Float(2.0).key());
+        assert!(Value::from("a").key() < Value::from("b").key());
+        // Cross-variant: distinct, ranked Int < Float < Text.
+        assert_ne!(Value::Int(3).key(), Value::Float(3.0).key());
+        assert!(Value::Int(3).key() < Value::Float(3.0).key());
+        assert!(Value::Float(9.0).key() < Value::from("0").key());
+        // NaN keys are equal to themselves so NaN rows group together.
+        assert_eq!(Value::Float(f64::NAN).key(), Value::Float(f64::NAN).key());
+    }
+
+    #[test]
+    fn row_key_projects_in_index_order() {
+        let row = vec![Value::Int(1), Value::from("x"), Value::Float(2.0)];
+        let key = row_key(&row, &[2, 0]);
+        assert_eq!(key, vec![ValueKey::Float(2.0), ValueKey::Int(1)]);
     }
 
     #[test]

@@ -347,10 +347,11 @@ fn wilson_half_width(hits: u64, worlds: u64) -> f64 {
     Z_95 * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / (1.0 + z2 / n)
 }
 
-/// Derives the RNG seed of one batch (SplitMix64-style mix of the base
-/// seed and the batch index).
-fn batch_seed(seed: u64, batch: u64) -> u64 {
-    let mut z = seed ^ batch.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+/// Derives a sub-seed from a base seed and a salt (SplitMix64-style mix) —
+/// used for per-batch RNGs here and per-group runs in the planner's MC
+/// aggregate evaluation.
+pub(crate) fn mix_seed(seed: u64, salt: u64) -> u64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -498,7 +499,7 @@ impl WorldsExecutor {
 
     /// Draws one batch of worlds with the batch's own deterministic RNG.
     fn sample_batch(&self, batch: u64, worlds: usize, probs: &[f64], values: &[f64]) -> BatchTally {
-        let mut rng = StdRng::seed_from_u64(batch_seed(self.config.seed, batch));
+        let mut rng = StdRng::seed_from_u64(mix_seed(self.config.seed, batch));
         let mut tally = BatchTally::zero(probs.len() + 1);
         let with_sum = !values.is_empty();
         for _ in 0..worlds {

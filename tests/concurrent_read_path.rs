@@ -29,7 +29,7 @@ const CREATE_VIEW: &str =
 /// A mixed bag of SELects exercising predicates, the prob pseudo-column,
 /// ordering, projection, limits, the probabilistic THRESHOLD/TOP clauses
 /// and Monte-Carlo `WITH WORLDS` evaluation.
-const QUERIES: [&str; 8] = [
+const QUERIES: [&str; 11] = [
     "SELECT * FROM pv",
     "SELECT * FROM pv WHERE prob >= 0.15",
     "SELECT t, lambda FROM pv WHERE lambda >= 0 ORDER BY prob DESC LIMIT 40",
@@ -38,6 +38,9 @@ const QUERIES: [&str; 8] = [
     "SELECT * FROM raw_values WHERE t >= 12000 ORDER BY t ASC LIMIT 25",
     "SELECT * FROM pv THRESHOLD 0.1 TOP 50",
     "SELECT * FROM pv WHERE prob >= 0.05 WITH WORLDS 512 SEED 1",
+    "SELECT t, COUNT(*), SUM(lambda) FROM pv GROUP BY t HAVING COUNT(*) >= 2",
+    "SELECT COUNT(*) FROM pv THRESHOLD 0.05 WITH WORLDS 512 SEED 3",
+    "EXPLAIN SELECT SUM(lambda) FROM pv GROUP BY t WITH WORLDS 256",
 ];
 
 /// Renders a query output to comparable text (rows + probabilities).
@@ -46,6 +49,8 @@ fn fingerprint(out: &tspdb::probdb::QueryOutput) -> String {
         tspdb::probdb::QueryOutput::Rows(t) => t.render(usize::MAX),
         tspdb::probdb::QueryOutput::ProbRows(t) => t.render(usize::MAX),
         tspdb::probdb::QueryOutput::Worlds(w) => w.fingerprint(),
+        tspdb::probdb::QueryOutput::Aggregate(a) => a.fingerprint(),
+        tspdb::probdb::QueryOutput::Explain(e) => e.to_string(),
         tspdb::probdb::QueryOutput::None => "none".to_string(),
     }
 }

@@ -192,6 +192,136 @@ fn early_termination_is_thread_invariant_and_honours_the_target() {
     assert!(one.event_ci_half_width <= 0.005);
 }
 
+/// Runs an aggregate SQL query at 1 and 8 worlds-threads, asserts the
+/// bit-identical fingerprint, and returns the result.
+fn run_aggregate_both_widths(
+    db: &mut tspdb::Database,
+    sql: &str,
+) -> tspdb::probdb::AggregateResult {
+    db.set_worlds_threads(1);
+    let one = db.query(sql).unwrap().aggregate().unwrap().clone();
+    db.set_worlds_threads(8);
+    let eight = db.query(sql).unwrap().aggregate().unwrap().clone();
+    assert_eq!(
+        one.fingerprint(),
+        eight.fingerprint(),
+        "1-thread and 8-thread aggregate runs diverged for {sql}"
+    );
+    one
+}
+
+#[test]
+fn planned_sum_aggregate_agrees_between_strategies() {
+    // `SELECT SUM(col)` through the planner: the exact strategy answers
+    // with Σ p·v, the worlds strategy with the MC mean of per-world sums —
+    // they must agree within standard-error multiples, per group.
+    let probs: Vec<f64> = (0..24).map(|i| ((i * 41) % 89) as f64 / 100.0).collect();
+    let v = table_from(&probs);
+    let mut db = tspdb::Database::new();
+    db.register_prob_table(v.clone()).unwrap();
+
+    let exact = db
+        .query("SELECT room, SUM(reading) FROM v GROUP BY room")
+        .unwrap()
+        .aggregate()
+        .unwrap()
+        .clone();
+    assert_eq!(exact.strategy, "exact");
+    let mc = run_aggregate_both_widths(
+        &mut db,
+        "SELECT room, SUM(reading) FROM v GROUP BY room WITH WORLDS 30000 SEED 6",
+    );
+    assert_eq!(mc.strategy, "worlds");
+    assert_eq!(mc.groups.len(), exact.groups.len());
+    for (m, e) in mc.groups.iter().zip(&exact.groups) {
+        assert_eq!(m.key, e.key, "group keys must align");
+        let (ms, es) = (&m.values[0], &e.values[0]);
+        assert!(es.ci_half_width.is_none(), "exact values carry no CI");
+        let tol = 5.0 * ms.ci_half_width.unwrap() + 1e-6;
+        assert!(
+            (ms.value - es.value).abs() <= tol,
+            "group {:?}: MC sum {} vs exact {} (tol {tol})",
+            m.key,
+            ms.value,
+            es.value
+        );
+    }
+
+    // Per-group exact cross-check against the standalone closed form.
+    for e in &exact.groups {
+        let room = e.key[0].as_i64().unwrap();
+        let sub =
+            tspdb::probdb::query::select_prob(&v, &vec![Comparison::new("room", CmpOp::Eq, room)])
+                .unwrap();
+        let direct = expected_sum(&sub, "reading").unwrap();
+        assert!((e.values[0].value - direct).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn planned_count_event_agrees_between_strategies() {
+    // The `COUNT(*) >= k` event: exact Poisson-binomial tail vs the MC
+    // count-histogram tail, through the same SQL plan.
+    let probs: Vec<f64> = (0..18)
+        .map(|i| 0.04 + ((i * 29) % 83) as f64 / 100.0)
+        .collect();
+    let v = table_from(&probs);
+    let mut db = tspdb::Database::new();
+    db.register_prob_table(v.clone()).unwrap();
+
+    for k in [1i64, 3, 6] {
+        let exact_sql = format!("SELECT COUNT(*) FROM v HAVING COUNT(*) >= {k}");
+        let exact = db.query(&exact_sql).unwrap().aggregate().unwrap().clone();
+        let exact_p = exact.groups[0].event_probability.unwrap();
+        // Cross-check against the standalone closed form.
+        let direct =
+            tspdb::probdb::aggregates::prob_count_at_least(&v, &Vec::new(), k as usize).unwrap();
+        assert!((exact_p - direct).abs() < 1e-12);
+
+        let mc = run_aggregate_both_widths(
+            &mut db,
+            &format!("{exact_sql} WITH WORLDS {WORLDS} SEED {k}"),
+        );
+        let mc_p = mc.groups[0].event_probability.unwrap();
+        let se = (exact_p * (1.0 - exact_p) / WORLDS as f64).sqrt();
+        assert!(
+            (mc_p - exact_p).abs() <= 5.0 * se + 1e-9,
+            "k={k}: MC P(count>={k}) {mc_p} vs exact {exact_p} (SE {se})"
+        );
+
+        // The MC count mean must also track the exact expected count.
+        let (exact_mean, exact_var) = count_moments(&v, &Vec::new()).unwrap();
+        let se_mean = (exact_var / WORLDS as f64).sqrt();
+        assert!((mc.groups[0].values[0].value - exact_mean).abs() <= 5.0 * se_mean + 1e-9);
+    }
+}
+
+#[test]
+fn explain_names_plan_and_strategy_for_both_backends() {
+    let v = table_from(&[0.5, 0.25, 0.75]);
+    let mut db = tspdb::Database::new();
+    db.register_prob_table(v).unwrap();
+    let exact = db
+        .query("EXPLAIN SELECT COUNT(*) FROM v WHERE room = 1")
+        .unwrap()
+        .explain()
+        .unwrap()
+        .clone();
+    assert!(exact.logical.contains("Aggregate [COUNT(*)]"), "{exact:?}");
+    assert!(exact.logical.contains("Scan v"), "{exact:?}");
+    assert!(exact.strategy.starts_with("exact"), "{exact:?}");
+    let mc = db
+        .query("EXPLAIN SELECT SUM(reading) FROM v GROUP BY room WITH WORLDS 1000 SEED 9")
+        .unwrap()
+        .explain()
+        .unwrap()
+        .clone();
+    assert!(mc.logical.contains("GROUP BY room"), "{mc:?}");
+    assert!(mc.strategy.contains("worlds"), "{mc:?}");
+    assert!(mc.strategy.contains("max_worlds=1000"), "{mc:?}");
+    assert!(mc.relation.contains("probabilistic"), "{mc:?}");
+}
+
 #[test]
 fn sql_with_worlds_matches_direct_executor_calls() {
     // The SQL surface and the Rust API must drive the very same sampler:
