@@ -94,7 +94,7 @@ fn bench_exact_aggregates(c: &mut Criterion) {
 }
 
 fn bench_worlds_aggregates(c: &mut Criterion) {
-    let mut db = database(256);
+    let db = database(256);
     let mut group = c.benchmark_group("planner_worlds_aggregate");
     group.sample_size(10);
     for threads in THREAD_COUNTS {

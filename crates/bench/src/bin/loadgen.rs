@@ -1,0 +1,166 @@
+//! Load generator for the wire-protocol server: drives 1/2/4/8 concurrent
+//! connections through a fixed query mix and reports queries/sec.
+//!
+//! Every response is checked against the single-connection baseline —
+//! the executor's determinism contract (bit-identical MC estimates at
+//! every thread count *and* under concurrency) must hold across the
+//! wire, so any divergence fails the run. Results append to the file
+//! named by `CRITERION_JSON` in the same JSON-lines shape the criterion
+//! shim emits (`{"name":…,"ns_per_iter":…,"iters":…}`), joining the
+//! existing bench trajectory.
+//!
+//! ```text
+//! loadgen [--rounds N]        # default 20 mix-rounds per connection
+//! ```
+
+use std::time::Instant;
+use tspdb_client::Client;
+use tspdb_server::{demo_engine, Server, ServerConfig, ServerHandle};
+use tspdb_wire::canonical_result_bytes;
+
+/// The per-round query mix: the row pipeline, Monte-Carlo sampling (as a
+/// prepared statement — plan once, execute many), exact grouped
+/// aggregates, EXPLAIN, and a top-k probability sort.
+const AD_HOC: &[&str] = &[
+    "SELECT * FROM pv THRESHOLD 0.2",
+    "SELECT t, COUNT(*), SUM(lambda) FROM pv GROUP BY t HAVING COUNT(*) >= 2",
+    "EXPLAIN SELECT COUNT(*) FROM pv WITH WORLDS 500 SEED 9",
+    "SELECT t FROM pv WHERE prob >= 0.3 ORDER BY prob DESC LIMIT 8",
+];
+const PREPARED: &str = "SELECT * FROM pv WITH WORLDS 1000 SEED 5";
+
+/// One connection's work: `rounds` runs of the mix, checking every
+/// response against the baseline. Returns the number of queries issued.
+fn drive(addr: &str, rounds: usize, baseline: &[Vec<u8>]) -> usize {
+    let mut client = Client::connect(addr).expect("loadgen connects");
+    let stmt = client.prepare(PREPARED).expect("prepare MC statement");
+    let mut queries = 0usize;
+    for _ in 0..rounds {
+        for (i, sql) in AD_HOC.iter().enumerate() {
+            let out = client.query(sql).expect("ad-hoc query");
+            assert_eq!(
+                canonical_result_bytes(&out),
+                baseline[i],
+                "response diverged from the single-connection baseline: {sql}"
+            );
+            queries += 1;
+        }
+        let out = client.execute(stmt).expect("prepared execute");
+        assert_eq!(
+            canonical_result_bytes(&out),
+            baseline[AD_HOC.len()],
+            "prepared MC response diverged from the baseline"
+        );
+        queries += 1;
+    }
+    client.close().expect("clean close");
+    queries
+}
+
+fn start_server() -> ServerHandle {
+    let engine = demo_engine().expect("demo dataset builds");
+    Server::bind(
+        "127.0.0.1:0",
+        engine,
+        ServerConfig {
+            workers: 16,
+            queue_depth: 32,
+        },
+    )
+    .expect("bind ephemeral port")
+    .spawn()
+    .expect("start server threads")
+}
+
+/// Appends one measurement in the criterion shim's JSON-lines shape.
+fn report_json(name: &str, ns_per_iter: f64, iters: usize) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let line = format!("{{\"name\":\"{name}\",\"ns_per_iter\":{ns_per_iter},\"iters\":{iters}}}\n");
+    if let Err(e) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()))
+    {
+        eprintln!("loadgen: cannot append to CRITERION_JSON={path}: {e}");
+    }
+}
+
+fn main() {
+    let mut rounds = 20usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--rounds" => {
+                rounds = args.next().and_then(|r| r.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("usage: loadgen [--rounds N]");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("unknown argument: {other}\nusage: loadgen [--rounds N]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let handle = start_server();
+    let addr = handle.addr().to_string();
+    println!("loadgen: server on {addr}, {rounds} mix-rounds per connection");
+
+    // Single-connection baseline: the canonical response bytes every
+    // concurrent connection must reproduce.
+    let baseline: Vec<Vec<u8>> = {
+        let mut client = Client::connect(&addr).expect("baseline connects");
+        let mut base: Vec<Vec<u8>> = AD_HOC
+            .iter()
+            .map(|sql| canonical_result_bytes(&client.query(sql).expect("baseline query")))
+            .collect();
+        base.push(canonical_result_bytes(
+            &client.query(PREPARED).expect("baseline MC"),
+        ));
+        client.close().expect("clean close");
+        base
+    };
+
+    println!(
+        "{:>12}  {:>10}  {:>12}  {:>10}",
+        "connections", "queries", "wall", "queries/s"
+    );
+    for conns in [1usize, 2, 4, 8] {
+        let started = Instant::now();
+        let totals: Vec<usize> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..conns)
+                .map(|_| {
+                    let addr = &addr;
+                    let baseline = &baseline;
+                    s.spawn(move || drive(addr, rounds, baseline))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("loadgen connection thread"))
+                .collect()
+        });
+        let wall = started.elapsed();
+        let queries: usize = totals.iter().sum();
+        let qps = queries as f64 / wall.as_secs_f64();
+        println!(
+            "{conns:>12}  {queries:>10}  {:>10.1}ms  {qps:>10.1}",
+            wall.as_secs_f64() * 1e3
+        );
+        report_json(
+            &format!("loadgen/conns={conns}"),
+            wall.as_nanos() as f64 / queries as f64,
+            queries,
+        );
+    }
+
+    handle.shutdown();
+    println!("loadgen: every response matched the single-connection baseline");
+}

@@ -1,0 +1,185 @@
+//! # tspdb-client
+//!
+//! The blocking native client for the tspdb wire protocol: a [`Client`]
+//! wraps one TCP connection and exposes `query` / `prepare` / `execute`
+//! returning the **same result types** in-process callers get —
+//! [`QueryOutput`] with its `Rows` / `ProbRows` / `Worlds` / `Aggregate`
+//! / `Explain` variants — and server-side failures as structured
+//! [`DbError`]s, so code written against [`tspdb_probdb::Database`] ports
+//! to the server by swapping the handle.
+//!
+//! The protocol is a strict request/response alternation, which is
+//! exactly what a blocking client wants: every method writes one frame
+//! and reads one frame.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::fmt;
+use std::net::{TcpStream, ToSocketAddrs};
+use tspdb_probdb::{DbError, QueryOutput};
+use tspdb_wire::{read_frame, write_frame, Request, Response, StatementId, WireError};
+
+pub use tspdb_wire::PROTOCOL_VERSION;
+
+/// Errors a client call can produce.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or encoding failure — the connection is unusable.
+    Wire(WireError),
+    /// The server rejected the request with a database error; the session
+    /// stays usable.
+    Server(DbError),
+    /// The server answered with a frame the protocol does not allow here.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "wire failure: {e}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Wire(WireError::Io(e))
+    }
+}
+
+/// One blocking connection to a tspdb server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    server: String,
+}
+
+impl Client {
+    /// Connects and performs the protocol handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        write_frame(
+            &mut stream,
+            &Request::Hello {
+                version: PROTOCOL_VERSION,
+            },
+        )?;
+        match read_frame::<Response>(&mut stream)? {
+            Response::Hello { version, server } if version == PROTOCOL_VERSION => {
+                Ok(Client { stream, server })
+            }
+            Response::Hello { version, .. } => Err(ClientError::Protocol(format!(
+                "server speaks protocol version {version}, this client speaks {PROTOCOL_VERSION}"
+            ))),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Protocol(format!(
+                "handshake answered with {other:?}"
+            ))),
+        }
+    }
+
+    /// The server identification string from the handshake.
+    pub fn server_info(&self) -> &str {
+        &self.server
+    }
+
+    /// One request → one response; server-side `Error` frames become
+    /// [`ClientError::Server`].
+    fn round_trip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, req)?;
+        match read_frame::<Response>(&mut self.stream)? {
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Ok(other),
+        }
+    }
+
+    /// Parses and executes one SQL statement on the server.
+    pub fn query(&mut self, sql: &str) -> Result<QueryOutput, ClientError> {
+        match self.round_trip(&Request::Query {
+            sql: sql.to_string(),
+        })? {
+            Response::Result(out) => Ok(out),
+            other => Err(ClientError::Protocol(format!(
+                "Query answered with {other:?}"
+            ))),
+        }
+    }
+
+    /// Plans a read-only statement once on the server; the returned id
+    /// replays it via [`Client::execute`] without re-parsing or
+    /// re-planning.
+    pub fn prepare(&mut self, sql: &str) -> Result<StatementId, ClientError> {
+        match self.round_trip(&Request::Prepare {
+            sql: sql.to_string(),
+        })? {
+            Response::Prepared { statement } => Ok(statement),
+            other => Err(ClientError::Protocol(format!(
+                "Prepare answered with {other:?}"
+            ))),
+        }
+    }
+
+    /// Executes a prepared statement.
+    pub fn execute(&mut self, statement: StatementId) -> Result<QueryOutput, ClientError> {
+        match self.round_trip(&Request::Execute { statement })? {
+            Response::Result(out) => Ok(out),
+            other => Err(ClientError::Protocol(format!(
+                "Execute answered with {other:?}"
+            ))),
+        }
+    }
+
+    /// Discards a prepared statement on the server.
+    pub fn close_statement(&mut self, statement: StatementId) -> Result<(), ClientError> {
+        match self.round_trip(&Request::CloseStatement { statement })? {
+            Response::Closed { .. } => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "CloseStatement answered with {other:?}"
+            ))),
+        }
+    }
+
+    /// Overrides the `WITH WORLDS` fork-join width for this session only
+    /// (`0` = one thread per core). Latency-only — MC estimates are
+    /// bit-identical at every width.
+    pub fn set_worlds_threads(&mut self, threads: usize) -> Result<(), ClientError> {
+        self.send_worlds_threads(Some(threads as u64))
+    }
+
+    /// Clears the session's width override so queries track the
+    /// engine-wide default again.
+    pub fn reset_worlds_threads(&mut self) -> Result<(), ClientError> {
+        self.send_worlds_threads(None)
+    }
+
+    fn send_worlds_threads(&mut self, threads: Option<u64>) -> Result<(), ClientError> {
+        match self.round_trip(&Request::SetWorldsThreads { threads })? {
+            Response::WorldsThreadsSet { .. } => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "SetWorldsThreads answered with {other:?}"
+            ))),
+        }
+    }
+
+    /// Ends the session cleanly (the server acknowledges before closing).
+    pub fn close(mut self) -> Result<(), ClientError> {
+        match self.round_trip(&Request::Close)? {
+            Response::Bye => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "Close answered with {other:?}"
+            ))),
+        }
+    }
+}

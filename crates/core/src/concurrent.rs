@@ -158,7 +158,16 @@ impl SharedEngine {
     ///   registered last.
     /// * Everything else — write lock.
     pub fn execute(&self, sql: &str) -> Result<QueryOutput, CoreError> {
-        let stmt = tspdb_probdb::parse(sql)?;
+        self.execute_statement(tspdb_probdb::parse(sql)?)
+    }
+
+    /// [`SharedEngine::execute`] for an already-parsed statement — the
+    /// parse-free entry point the wire server uses after classifying the
+    /// statement itself. Lock discipline is identical to `execute`.
+    pub fn execute_statement(
+        &self,
+        stmt: tspdb_probdb::Statement,
+    ) -> Result<QueryOutput, CoreError> {
         match stmt {
             tspdb_probdb::Statement::CreateDensityView(spec) => {
                 let (view, built) = build_density_view(&self.read(), self.defaults, &spec)?;
@@ -215,14 +224,13 @@ impl SharedEngine {
     }
 
     /// Sets the fork-join width for `SELECT … WITH WORLDS` queries (`0` =
-    /// one thread per core; brief write lock). The Monte-Carlo queries
-    /// themselves run under the *read* lock like every other `SELECT`, so
-    /// concurrent sampling queries do not serialize each other.
+    /// one thread per core). The knob is an atomic on the catalog's read
+    /// path, so tuning it takes only the *read* lock and never blocks
+    /// concurrent queries; the Monte-Carlo queries themselves also run
+    /// under the read lock like every other `SELECT`. The width never
+    /// changes MC estimates, only their latency.
     pub fn set_worlds_threads(&self, threads: usize) {
-        self.catalog
-            .write()
-            .expect("catalog lock poisoned")
-            .set_worlds_threads(threads);
+        self.read().set_worlds_threads(threads);
     }
 }
 

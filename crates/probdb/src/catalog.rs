@@ -23,6 +23,7 @@ use crate::sql::{parse, DensityViewSpec, SelectStmt, Statement};
 use crate::table::{ProbTable, Table};
 use crate::worlds::WorldsResult;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A stored relation: deterministic or probabilistic.
 #[derive(Debug, Clone)]
@@ -34,7 +35,7 @@ pub enum Relation {
 }
 
 /// Result of executing one statement.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum QueryOutput {
     /// DDL/DML statements produce no rows.
     None,
@@ -94,6 +95,18 @@ impl QueryOutput {
             _ => None,
         }
     }
+
+    /// The variant's name, for logs and diagnostics.
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            QueryOutput::None => "None",
+            QueryOutput::Rows(_) => "Rows",
+            QueryOutput::ProbRows(_) => "ProbRows",
+            QueryOutput::Worlds(_) => "Worlds",
+            QueryOutput::Aggregate(_) => "Aggregate",
+            QueryOutput::Explain(_) => "Explain",
+        }
+    }
 }
 
 /// Signature of the density-view handler supplied by the upper layer: given
@@ -108,8 +121,10 @@ pub struct Database {
     relations: BTreeMap<String, Relation>,
     /// Fork-join width for `WITH WORLDS` queries (0 = one thread per core).
     /// Only wall-clock is affected — MC estimates are bit-identical at
-    /// every width.
-    worlds_threads: usize,
+    /// every width. Stored atomically so the knob is tunable from the
+    /// shared read path (`&self`) without an exclusive borrow — a server
+    /// session can retune MC parallelism without blocking readers.
+    worlds_threads: AtomicUsize,
 }
 
 impl Database {
@@ -120,14 +135,16 @@ impl Database {
 
     /// Sets the fork-join width used by `WITH WORLDS` queries (`0` = one
     /// thread per core). The executor's determinism contract means this
-    /// never changes query results, only their latency.
-    pub fn set_worlds_threads(&mut self, threads: usize) {
-        self.worlds_threads = threads;
+    /// never changes query results, only their latency — which is why a
+    /// shared borrow suffices: concurrent readers may observe either the
+    /// old or the new width, but their estimates are identical under both.
+    pub fn set_worlds_threads(&self, threads: usize) {
+        self.worlds_threads.store(threads, Ordering::Relaxed);
     }
 
     /// The configured `WITH WORLDS` fork-join width.
     pub fn worlds_threads(&self) -> usize {
-        self.worlds_threads
+        self.worlds_threads.load(Ordering::Relaxed)
     }
 
     /// Names of all stored relations, sorted.
@@ -204,15 +221,38 @@ impl Database {
         self.execute_planned(&Planner::plan(sel)?)
     }
 
+    /// [`Database::query_select`] with a per-query override of the
+    /// `WITH WORLDS` fork-join width (`None` uses the database setting) —
+    /// the hook server sessions use to tune MC parallelism per connection
+    /// without touching shared state.
+    pub fn query_select_with_threads(
+        &self,
+        sel: &SelectStmt,
+        worlds_threads: Option<usize>,
+    ) -> Result<QueryOutput, DbError> {
+        self.execute_planned_with_threads(&Planner::plan(sel)?, worlds_threads)
+    }
+
     /// Executes a planned query: resolves the scanned relation and runs
     /// the plan's strategy over it.
     pub fn execute_planned(&self, planned: &PlannedQuery) -> Result<QueryOutput, DbError> {
+        self.execute_planned_with_threads(planned, None)
+    }
+
+    /// [`Database::execute_planned`] with a per-query override of the
+    /// `WITH WORLDS` fork-join width (`None` uses the database setting;
+    /// the override never changes MC estimates, only their latency).
+    pub fn execute_planned_with_threads(
+        &self,
+        planned: &PlannedQuery,
+        worlds_threads: Option<usize>,
+    ) -> Result<QueryOutput, DbError> {
         let relation = self
             .relations
             .get(&planned.physical.table)
             .ok_or_else(|| DbError::UnknownTable(planned.physical.table.clone()))?;
         planned
-            .strategy(self.worlds_threads)
+            .strategy(worlds_threads.unwrap_or_else(|| self.worlds_threads()))
             .execute(relation, &planned.physical)
     }
 
@@ -242,7 +282,7 @@ impl Database {
             relation,
             logical: planned.logical.to_string(),
             physical: planned.physical.to_string(),
-            strategy: planned.strategy(self.worlds_threads).describe(),
+            strategy: planned.strategy(self.worlds_threads()).describe(),
         }))
     }
 
@@ -609,7 +649,7 @@ mod tests {
 
     #[test]
     fn worlds_queries_are_read_only_and_reproducible() {
-        let mut db = fig1_database();
+        let db = fig1_database();
         db.set_worlds_threads(1);
         let a = db
             .query("SELECT * FROM pv WITH WORLDS 5000 SEED 9")

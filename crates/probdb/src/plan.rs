@@ -36,7 +36,7 @@ use crate::schema::Schema;
 use crate::sql::{AggExpr, AggFunc, HavingClause, SelectItem, SelectStmt, WorldsClause};
 use crate::table::{ProbTable, Table};
 use crate::value::{row_key, Value, ValueKey};
-use crate::worlds::{mix_seed, WorldsConfig, WorldsExecutor, WorldsResult};
+use crate::worlds::{mix_seed, SumEstimate, WorldsConfig, WorldsExecutor};
 use std::cmp::Ordering;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -800,9 +800,11 @@ impl EvalStrategy for WorldsStrategy {
 }
 
 impl WorldsStrategy {
-    /// MC aggregate evaluation: per group, one executor run per distinct
-    /// aggregated column (runs share the seed, hence the same sampled
-    /// worlds — presence sampling never consumes RNG for values).
+    /// MC aggregate evaluation: per group, **one** sampling pass tallies
+    /// every distinct aggregated column at once
+    /// ([`WorldsExecutor::run_domain_multi`]); presence sampling never
+    /// consumes RNG for values, so the estimates are bit-identical to the
+    /// historical one-run-per-column evaluation with the same seed.
     fn aggregate_worlds(
         &self,
         t: &ProbTable,
@@ -821,45 +823,46 @@ impl WorldsStrategy {
                 mix_seed(seed, gi as u64)
             };
             let probs: Vec<f64> = indices.iter().map(|&i| t.probs()[i]).collect();
-            // One run per distinct aggregated column; a base run when only
-            // COUNT-like information is needed.
             let columns = aggregated_columns(plan, t.schema(), t.rows(), &indices)?;
-            let executor = self.executor(group_seed)?;
-            let runs: BTreeMap<&str, WorldsResult> = columns
+            let specs: Vec<(&str, &[f64])> = columns
                 .iter()
-                .map(|(&col, values)| (col, executor.run_domain(&probs, Some((col, values)))))
+                .map(|(&col, values)| (col, values.as_slice()))
                 .collect();
-            let base = match runs.values().next() {
-                Some(r) => r.clone(),
-                None => executor.run_domain(&probs, None),
-            };
+            let executor = self.executor(group_seed)?;
+            let (base, sum_estimates) = executor.run_domain_multi(&probs, &specs);
+            let sums: BTreeMap<&str, &SumEstimate> = specs
+                .iter()
+                .map(|&(col, _)| col)
+                .zip(sum_estimates.iter())
+                .collect();
             let values: Vec<AggValue> = plan
                 .aggregates
                 .iter()
-                .map(|agg| {
-                    let run = agg
-                        .column
-                        .as_ref()
-                        .map(|c| &runs[c.as_str()])
-                        .unwrap_or(&base);
-                    match agg.func {
-                        AggFunc::Count => AggValue {
-                            value: run.count_mean,
-                            ci_half_width: Some(run.count_ci_half_width),
-                        },
-                        AggFunc::Sum | AggFunc::Expected => {
-                            let sum = run.sum.as_ref().expect("every aggregated column has a run");
-                            AggValue {
-                                value: sum.mean,
-                                ci_half_width: Some(sum.ci_half_width),
-                            }
+                .map(|agg| match agg.func {
+                    AggFunc::Count => AggValue {
+                        value: base.count_mean,
+                        ci_half_width: Some(base.count_ci_half_width),
+                    },
+                    AggFunc::Sum | AggFunc::Expected => {
+                        let col = agg
+                            .column
+                            .as_ref()
+                            .expect("validate_aggregate_plan checked the column");
+                        let sum = sums[col.as_str()];
+                        AggValue {
+                            value: sum.mean,
+                            ci_half_width: Some(sum.ci_half_width),
                         }
-                        AggFunc::Avg => {
-                            let sum = run.sum.as_ref().expect("every aggregated column has a run");
-                            AggValue {
-                                value: ratio_of_expectations(sum.mean, run.count_mean),
-                                ci_half_width: None,
-                            }
+                    }
+                    AggFunc::Avg => {
+                        let col = agg
+                            .column
+                            .as_ref()
+                            .expect("validate_aggregate_plan checked the column");
+                        let sum = sums[col.as_str()];
+                        AggValue {
+                            value: ratio_of_expectations(sum.mean, base.count_mean),
+                            ci_half_width: None,
                         }
                     }
                 })

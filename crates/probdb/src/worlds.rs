@@ -300,24 +300,38 @@ impl fmt::Display for WorldsResult {
 
 /// Per-batch accumulator. Batches are folded into the global tally **in
 /// batch order**, so the floating-point reduction tree is independent of
-/// how batches were distributed over threads.
+/// how batches were distributed over threads. The SUM accumulators are
+/// per requested column (the multi-column tally): presence sampling never
+/// consumes RNG for values, so tallying any number of columns in one pass
+/// over the worlds produces bit-identical sums to one pass per column.
 struct BatchTally {
     worlds: u64,
     event_hits: u64,
     hist: Vec<u64>,
-    sum: f64,
-    sum_sq: f64,
+    /// `Σ_worlds (per-world sum)`, one entry per tallied column.
+    sums: Vec<f64>,
+    /// `Σ_worlds (per-world sum)²`, parallel to `sums`.
+    sums_sq: Vec<f64>,
 }
 
 impl BatchTally {
-    fn zero(buckets: usize) -> Self {
+    fn zero(buckets: usize, columns: usize) -> Self {
         BatchTally {
             worlds: 0,
             event_hits: 0,
             hist: vec![0; buckets],
-            sum: 0.0,
-            sum_sq: 0.0,
+            sums: vec![0.0; columns],
+            sums_sq: vec![0.0; columns],
         }
+    }
+
+    /// Books one sampled world's matching-tuple count.
+    fn record_world(&mut self, count: usize) {
+        self.worlds += 1;
+        if count > 0 {
+            self.event_hits += 1;
+        }
+        self.hist[count] += 1;
     }
 
     fn absorb(&mut self, other: &BatchTally) {
@@ -326,8 +340,12 @@ impl BatchTally {
         for (a, b) in self.hist.iter_mut().zip(&other.hist) {
             *a += b;
         }
-        self.sum += other.sum;
-        self.sum_sq += other.sum_sq;
+        for (a, b) in self.sums.iter_mut().zip(&other.sums) {
+            *a += b;
+        }
+        for (a, b) in self.sums_sq.iter_mut().zip(&other.sums_sq) {
+            *a += b;
+        }
     }
 }
 
@@ -440,26 +458,54 @@ impl WorldsExecutor {
     ///
     /// This is the allocation-free entry point the SQL layer uses after it
     /// has already computed the surviving tuples — no scratch `ProbTable`
-    /// needs to be materialised just to be torn apart again.
+    /// needs to be materialised just to be torn apart again. For several
+    /// SUM columns over the same domain, use
+    /// [`WorldsExecutor::run_domain_multi`], which tallies them all in one
+    /// sampling pass.
     pub fn run_domain(&self, probs: &[f64], sum: Option<(&str, &[f64])>) -> WorldsResult {
-        let started = Instant::now();
-        let (sum_column, values) = match sum {
-            Some((col, vals)) => {
-                assert_eq!(
-                    vals.len(),
-                    probs.len(),
-                    "run_domain: sum values must be parallel to probs"
-                );
-                (Some(col), vals)
+        match sum {
+            None => self.run_domain_multi(probs, &[]).0,
+            Some(cv) => {
+                let (mut result, mut sums) = self.run_domain_multi(probs, &[cv]);
+                result.sum = sums.pop();
+                result
             }
-            None => (None, &[][..]),
-        };
+        }
+    }
+
+    /// [`WorldsExecutor::run_domain`] for any number of SUM columns over
+    /// one shared sampling pass — the multi-column tally.
+    ///
+    /// Each `columns` entry is `(column name, per-tuple values)` with the
+    /// values parallel to `probs`. Returns the count/event estimates (with
+    /// [`WorldsResult::sum`] left empty) plus one [`SumEstimate`] per
+    /// requested column, in request order.
+    ///
+    /// Presence sampling never consumes RNG for values, and each column's
+    /// accumulator sees the same additions in the same order as a
+    /// dedicated single-column run would, so every estimate is
+    /// **bit-identical** to running `run_domain` once per column with the
+    /// same seed — while sampling the worlds only once.
+    pub fn run_domain_multi(
+        &self,
+        probs: &[f64],
+        columns: &[(&str, &[f64])],
+    ) -> (WorldsResult, Vec<SumEstimate>) {
+        let started = Instant::now();
+        for (col, vals) in columns {
+            assert_eq!(
+                vals.len(),
+                probs.len(),
+                "run_domain_multi: values of column {col} must be parallel to probs"
+            );
+        }
+        let values: Vec<&[f64]> = columns.iter().map(|&(_, vals)| vals).collect();
         let cfg = &self.config;
         let buckets = probs.len() + 1;
         let total_batches = cfg.max_worlds.div_ceil(cfg.batch_size);
         let threads = effective_threads(cfg.threads, total_batches.min(BATCHES_PER_ROUND));
 
-        let mut tally = BatchTally::zero(buckets);
+        let mut tally = BatchTally::zero(buckets, columns.len());
         let mut converged = false;
         let mut next_batch = 0usize;
         while next_batch < total_batches && !converged {
@@ -472,7 +518,7 @@ impl WorldsExecutor {
                         let b = next_batch + i;
                         let worlds_in_batch =
                             cfg.batch_size.min(cfg.max_worlds - b * cfg.batch_size);
-                        self.sample_batch(b as u64, worlds_in_batch, probs, values)
+                        self.sample_batch(b as u64, worlds_in_batch, probs, &values)
                     })
                     .collect::<Vec<_>>()
             });
@@ -490,7 +536,7 @@ impl WorldsExecutor {
         self.summarize(
             tally,
             probs.len(),
-            sum_column,
+            columns,
             threads,
             converged,
             started.elapsed(),
@@ -498,28 +544,71 @@ impl WorldsExecutor {
     }
 
     /// Draws one batch of worlds with the batch's own deterministic RNG.
-    fn sample_batch(&self, batch: u64, worlds: usize, probs: &[f64], values: &[f64]) -> BatchTally {
+    ///
+    /// The presence loop is specialized by column count — the 0- and
+    /// 1-column shapes dominate (plain `WITH WORLDS` queries and
+    /// single-aggregate plans) and a generic accumulator loop costs ~4×
+    /// on them. All shapes consume the RNG identically (one `gen_bool`
+    /// per tuple) and add per-column values in tuple order, so the
+    /// estimates are bit-identical regardless of which shape ran.
+    fn sample_batch(
+        &self,
+        batch: u64,
+        worlds: usize,
+        probs: &[f64],
+        values: &[&[f64]],
+    ) -> BatchTally {
         let mut rng = StdRng::seed_from_u64(mix_seed(self.config.seed, batch));
-        let mut tally = BatchTally::zero(probs.len() + 1);
-        let with_sum = !values.is_empty();
-        for _ in 0..worlds {
-            let mut count = 0usize;
-            let mut world_sum = 0.0f64;
-            for (i, &p) in probs.iter().enumerate() {
-                if rng.gen_bool(p.clamp(0.0, 1.0)) {
-                    count += 1;
-                    if with_sum {
-                        world_sum += values[i];
+        let mut tally = BatchTally::zero(probs.len() + 1, values.len());
+        match values {
+            [] => {
+                for _ in 0..worlds {
+                    let mut count = 0usize;
+                    for &p in probs {
+                        if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                            count += 1;
+                        }
+                    }
+                    tally.record_world(count);
+                }
+            }
+            [vals] => {
+                for _ in 0..worlds {
+                    let mut count = 0usize;
+                    let mut world_sum = 0.0f64;
+                    for (i, &p) in probs.iter().enumerate() {
+                        if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                            count += 1;
+                            world_sum += vals[i];
+                        }
+                    }
+                    tally.record_world(count);
+                    tally.sums[0] += world_sum;
+                    tally.sums_sq[0] += world_sum * world_sum;
+                }
+            }
+            _ => {
+                // One per-world accumulator per tallied column, reused
+                // across worlds so the inner loop never allocates.
+                let mut world_sums = vec![0.0f64; values.len()];
+                for _ in 0..worlds {
+                    let mut count = 0usize;
+                    world_sums.fill(0.0);
+                    for (i, &p) in probs.iter().enumerate() {
+                        if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                            count += 1;
+                            for (acc, vals) in world_sums.iter_mut().zip(values) {
+                                *acc += vals[i];
+                            }
+                        }
+                    }
+                    tally.record_world(count);
+                    for (j, &ws) in world_sums.iter().enumerate() {
+                        tally.sums[j] += ws;
+                        tally.sums_sq[j] += ws * ws;
                     }
                 }
             }
-            tally.worlds += 1;
-            if count > 0 {
-                tally.event_hits += 1;
-            }
-            tally.hist[count] += 1;
-            tally.sum += world_sum;
-            tally.sum_sq += world_sum * world_sum;
         }
         tally
     }
@@ -529,11 +618,11 @@ impl WorldsExecutor {
         &self,
         tally: BatchTally,
         matching: usize,
-        sum_column: Option<&str>,
+        columns: &[(&str, &[f64])],
         threads: usize,
         converged: bool,
         wall: Duration,
-    ) -> WorldsResult {
+    ) -> (WorldsResult, Vec<SumEstimate>) {
         let n = tally.worlds as f64;
         let event_probability = tally.event_hits as f64 / n;
         let event_ci_half_width = wilson_half_width(tally.event_hits, tally.worlds);
@@ -559,22 +648,26 @@ impl WorldsExecutor {
         };
         let count_ci_half_width = Z_95 * (count_variance / n).sqrt();
 
-        let sum = sum_column.map(|column| {
-            let mean = tally.sum / n;
-            let variance = if tally.worlds > 1 {
-                ((tally.sum_sq - n * mean * mean) / (n - 1.0)).max(0.0)
-            } else {
-                0.0
-            };
-            SumEstimate {
-                column: column.to_string(),
-                mean,
-                variance,
-                ci_half_width: Z_95 * (variance / n).sqrt(),
-            }
-        });
+        let sums: Vec<SumEstimate> = columns
+            .iter()
+            .enumerate()
+            .map(|(j, &(column, _))| {
+                let mean = tally.sums[j] / n;
+                let variance = if tally.worlds > 1 {
+                    ((tally.sums_sq[j] - n * mean * mean) / (n - 1.0)).max(0.0)
+                } else {
+                    0.0
+                };
+                SumEstimate {
+                    column: column.to_string(),
+                    mean,
+                    variance,
+                    ci_half_width: Z_95 * (variance / n).sqrt(),
+                }
+            })
+            .collect();
 
-        WorldsResult {
+        let result = WorldsResult {
             worlds: tally.worlds as usize,
             matching_tuples: matching,
             seed: self.config.seed,
@@ -586,9 +679,10 @@ impl WorldsExecutor {
             count_mean,
             count_variance,
             count_ci_half_width,
-            sum,
+            sum: None,
             wall,
-        }
+        };
+        (result, sums)
     }
 }
 

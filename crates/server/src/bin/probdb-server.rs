@@ -1,0 +1,79 @@
+//! The tspdb wire-protocol server binary.
+//!
+//! ```text
+//! probdb-server [--addr HOST:PORT] [--workers N] [--demo]
+//! ```
+//!
+//! * `--addr` — listen address (default `127.0.0.1:7878`; port `0` picks
+//!   an ephemeral port, printed on stdout).
+//! * `--workers` — worker threads, i.e. the bound on concurrently served
+//!   sessions (default 8).
+//! * `--demo` — pre-load the demo dataset (`raw_values` + density view
+//!   `pv`) so clients have something to query immediately.
+//!
+//! The listen address is announced on stdout as `listening on <addr>`
+//! before the accept loop starts — scripts (the CI smoke job) wait for
+//! that line.
+
+use tspdb_server::{demo_config, demo_engine, Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!("usage: probdb-server [--addr HOST:PORT] [--workers N] [--demo]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut config = ServerConfig::default();
+    let mut demo = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(a) => addr = a,
+                None => usage(),
+            },
+            "--workers" => match args.next().and_then(|w| w.parse().ok()) {
+                Some(w) => config.workers = w,
+                None => usage(),
+            },
+            "--demo" => demo = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+
+    let engine = if demo {
+        match demo_engine() {
+            Ok(engine) => engine,
+            Err(e) => {
+                eprintln!("cannot build demo dataset: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        tspdb_core::SharedEngine::new(demo_config())
+    };
+
+    let server = match Server::bind(&addr, engine, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let local = server.local_addr().expect("bound listener has an address");
+    let mut handle = match server.spawn() {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("cannot start server threads: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {local}");
+    handle.wait();
+}

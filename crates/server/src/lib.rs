@@ -1,0 +1,741 @@
+//! # tspdb-server
+//!
+//! A concurrent TCP front-end for the tspdb engine: many clients speak
+//! the [`tspdb_wire`] protocol to one [`SharedEngine`], so every
+//! connection rides the lock-free read path (`SELECT`s under the shared
+//! read lock, including Monte-Carlo `WITH WORLDS` queries) while writes
+//! (`CREATE` / `INSERT` / `DROP` / density-view registration) serialize
+//! through the catalog write lock exactly as in-process callers do.
+//!
+//! ## Architecture
+//!
+//! * [`Server::bind`] opens the listener; [`Server::spawn`] starts one
+//!   accept thread plus a **bounded worker pool** (`std::net` blocking
+//!   I/O — the build environment is offline, so there is no async
+//!   runtime; a thread per in-flight connection is the honest model).
+//!   Accepted connections queue on a bounded channel; each worker serves
+//!   one connection at a time, so `workers` bounds concurrent sessions
+//!   and the queue bounds accepted-but-unserved backlog.
+//! * Each connection runs a session: handshake, then a strict
+//!   request/response loop. Sessions own a prepared-statement map
+//!   (`Prepare` plans a `SELECT` once via the planner;
+//!   `Execute` replays the plan through
+//!   [`Database::execute_planned_with_threads`]) and a session-scoped
+//!   `WITH WORLDS` fork-join override that never touches shared state.
+//! * Shutdown is cooperative: workers poll a flag between reads (socket
+//!   read timeouts double as the poll tick), the accept thread is woken
+//!   by a loopback connection, and [`ServerHandle::shutdown`] joins
+//!   everything.
+//!
+//! [`Database::execute_planned_with_threads`]:
+//! tspdb_probdb::Database::execute_planned_with_threads
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::collections::HashMap;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tspdb_core::{CoreError, SharedEngine};
+use tspdb_probdb::plan::{PlannedQuery, Planner};
+use tspdb_probdb::sql::SelectStmt;
+use tspdb_probdb::{parse, DbError, QueryOutput, Statement};
+use tspdb_wire::{
+    decode_message, write_frame, Request, Response, StatementId, WireError, MAX_FRAME_LEN,
+    PROTOCOL_VERSION,
+};
+
+/// How the server identifies itself in the handshake.
+pub const SERVER_NAME: &str = concat!("tspdb-server/", env!("CARGO_PKG_VERSION"));
+
+/// How often a blocked worker wakes to check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(200);
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads — the bound on concurrently served sessions.
+    pub workers: usize,
+    /// Accepted connections that may wait for a free worker before the
+    /// accept thread blocks.
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 8,
+            queue_depth: 32,
+        }
+    }
+}
+
+/// Aggregate counters over the server's lifetime (relaxed atomics — read
+/// as diagnostics, not as a consistent snapshot).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Sessions that completed their handshake.
+    pub sessions: AtomicU64,
+    /// Requests answered (handshakes and errors included).
+    pub requests: AtomicU64,
+}
+
+/// A bound listener, ready to [`spawn`](Server::spawn) its threads.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    engine: SharedEngine,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Binds the listener (use port 0 for an ephemeral port) and wires it
+    /// to the engine every session will share.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        engine: SharedEngine,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            engine,
+            config,
+        })
+    }
+
+    /// The bound address (the actual port when 0 was requested).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Starts the accept thread and the worker pool; the returned handle
+    /// owns every thread.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ServerStats::default());
+        let workers = self.config.workers.max(1);
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(self.config.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+
+        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let engine = self.engine.clone();
+                let shutdown = Arc::clone(&shutdown);
+                let stats = Arc::clone(&stats);
+                std::thread::spawn(move || worker_loop(&rx, engine, &shutdown, &stats))
+            })
+            .collect();
+
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let listener = self.listener;
+            std::thread::spawn(move || accept_loop(&listener, &tx, &shutdown))
+        };
+
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            stats,
+            accept: Some(accept),
+            workers: worker_handles,
+        })
+    }
+}
+
+/// Owns a running server's threads; dropping without
+/// [`shutdown`](ServerHandle::shutdown) detaches them.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Blocks until the server stops accepting (i.e. until another thread
+    /// calls nothing — the accept loop only exits on shutdown; this is
+    /// what the server binary parks on).
+    pub fn wait(&mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+
+    /// Stops accepting, wakes blocked threads, and joins the pool.
+    /// In-flight requests finish; idle sessions are closed at the next
+    /// poll tick.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept thread with a throwaway loopback connection. A
+        // wildcard bind (0.0.0.0 / [::]) is not connectable on every
+        // platform — substitute the matching loopback address.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake {
+                SocketAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
+                SocketAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
+            });
+        }
+        let _ = TcpStream::connect_timeout(&wake, POLL_INTERVAL);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Accepts connections and queues them for the workers; exits when the
+/// shutdown flag is raised (woken by the loopback connection) and drops
+/// the sender so idle workers drain out.
+fn accept_loop(listener: &TcpListener, tx: &SyncSender<TcpStream>, shutdown: &AtomicBool) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Persistent accept errors (EMFILE when fds run out, etc.)
+                // must not busy-spin the accept thread exactly when the
+                // process is resource-starved.
+                std::thread::sleep(POLL_INTERVAL / 10);
+                continue;
+            }
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Block while the queue is full (backpressure), but keep checking
+        // for shutdown so a saturated server still stops promptly.
+        let mut pending = stream;
+        loop {
+            match tx.try_send(pending) {
+                Ok(()) => break,
+                Err(TrySendError::Full(back)) => {
+                    if shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    pending = back;
+                    std::thread::sleep(POLL_INTERVAL / 10);
+                }
+                Err(TrySendError::Disconnected(_)) => return,
+            }
+        }
+    }
+}
+
+/// One worker: serve queued connections until the channel closes or
+/// shutdown is raised.
+fn worker_loop(
+    rx: &Mutex<Receiver<TcpStream>>,
+    engine: SharedEngine,
+    shutdown: &AtomicBool,
+    stats: &ServerStats,
+) {
+    loop {
+        let stream = {
+            let guard = rx.lock().expect("connection queue lock poisoned");
+            guard.recv()
+        };
+        match stream {
+            Ok(stream) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // A failed session (I/O error, protocol violation) only
+                // affects that connection.
+                serve_connection(stream, &engine, shutdown, stats);
+            }
+            Err(_) => return, // accept loop gone
+        }
+    }
+}
+
+/// What one attempt to read a request produced.
+enum ReadOutcome {
+    /// A complete, well-formed request.
+    Request(Request),
+    /// The peer closed the connection (or overstayed a deadline).
+    Disconnected,
+    /// The server is shutting down.
+    ShuttingDown,
+}
+
+/// How long a connection may stay silent before completing the
+/// handshake. A socket that has not even said `Hello` must not pin a
+/// pool worker; established sessions may idle indefinitely *between*
+/// frames.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How long a *started* frame may take to arrive in full. Wall-clock, so
+/// a peer trickling one byte per poll interval (which never trips the
+/// socket timeout) still cannot pin a worker past this bound.
+const FRAME_COMPLETION_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Reads one frame, waking every [`POLL_INTERVAL`] to check the shutdown
+/// flag. `idle_deadline` bounds the wait for the frame to *start*
+/// (`None` = the session may idle forever); once its first byte arrives,
+/// the rest must land within [`FRAME_COMPLETION_TIMEOUT`]. Overstaying
+/// either deadline counts as a disconnect.
+fn read_request(
+    stream: &mut TcpStream,
+    shutdown: &AtomicBool,
+    idle_deadline: Option<Instant>,
+) -> Result<ReadOutcome, WireError> {
+    let mut prefix = [0u8; 4];
+    if !read_exact_interruptible(stream, &mut prefix[..1], shutdown, idle_deadline)? {
+        return Ok(interrupted_outcome(shutdown));
+    }
+    // A frame has started: the remainder races the completion clock (and
+    // still the idle deadline, if that is sooner — the handshake must fit
+    // entirely inside its window).
+    let mut deadline = Instant::now() + FRAME_COMPLETION_TIMEOUT;
+    if let Some(idle) = idle_deadline {
+        deadline = deadline.min(idle);
+    }
+    if !read_exact_interruptible(stream, &mut prefix[1..], shutdown, Some(deadline))? {
+        return Ok(interrupted_outcome(shutdown));
+    }
+    let len = u32::from_be_bytes(prefix);
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::FrameTooLarge {
+            len,
+            max: MAX_FRAME_LEN,
+        });
+    }
+    let mut body = vec![0u8; len as usize];
+    if !read_exact_interruptible(stream, &mut body, shutdown, Some(deadline))? {
+        return Ok(interrupted_outcome(shutdown));
+    }
+    Ok(ReadOutcome::Request(decode_message(&body)?))
+}
+
+fn interrupted_outcome(shutdown: &AtomicBool) -> ReadOutcome {
+    if shutdown.load(Ordering::SeqCst) {
+        ReadOutcome::ShuttingDown
+    } else {
+        ReadOutcome::Disconnected
+    }
+}
+
+/// Fills `buf` from the socket, treating read timeouts as shutdown poll
+/// ticks and `deadline` as a wall-clock cutoff checked on every pass.
+/// Returns `false` on EOF, shutdown or deadline expiry; `true` when
+/// `buf` is full.
+fn read_exact_interruptible(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shutdown: &AtomicBool,
+    deadline: Option<Instant>,
+) -> Result<bool, WireError> {
+    let mut have = 0usize;
+    while have < buf.len() {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return Ok(false);
+        }
+        match stream.read(&mut buf[have..]) {
+            Ok(0) => return Ok(false),
+            Ok(n) => have += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(false);
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(true)
+}
+
+/// A prepared statement held by one session.
+enum Prepared {
+    /// A planned `SELECT` — executing replays the plan without parsing or
+    /// planning again.
+    Select(PlannedQuery),
+    /// An `EXPLAIN` — re-reported per execute so the relation annotation
+    /// reflects the current catalog.
+    Explain(SelectStmt),
+}
+
+/// Per-connection state: the prepared-statement map and the session's
+/// `WITH WORLDS` fork-join override.
+struct Session {
+    prepared: HashMap<u64, Prepared>,
+    next_statement: u64,
+    worlds_threads: Option<usize>,
+}
+
+impl Session {
+    fn new() -> Self {
+        Session {
+            prepared: HashMap::new(),
+            next_statement: 1,
+            worlds_threads: None,
+        }
+    }
+}
+
+/// Maps an engine-layer error onto the wire's [`DbError`] vocabulary.
+fn core_to_db(e: CoreError) -> DbError {
+    match e {
+        CoreError::Db(db) => db,
+        other => DbError::ViewBuild(other.to_string()),
+    }
+}
+
+/// Runs one SQL statement with session-level routing: `SELECT`/`EXPLAIN`
+/// under the shared read lock (with the session's worlds override),
+/// everything else through the engine's write path.
+fn run_sql(engine: &SharedEngine, session: &Session, sql: &str) -> Result<QueryOutput, DbError> {
+    match parse(sql)? {
+        Statement::Select(sel) => engine
+            .read()
+            .query_select_with_threads(&sel, session.worlds_threads),
+        Statement::Explain(sel) => engine.read().explain_select(&sel),
+        other => engine.execute_statement(other).map_err(core_to_db),
+    }
+}
+
+/// Builds the response to one post-handshake request; the bool is
+/// `false` when the session should end.
+fn respond(engine: &SharedEngine, session: &mut Session, req: Request) -> (Response, bool) {
+    match req {
+        Request::Hello { .. } => (
+            Response::Error(DbError::Unsupported(
+                "session already opened; a second handshake is a protocol violation".into(),
+            )),
+            false,
+        ),
+        Request::Query { sql } => match run_sql(engine, session, &sql) {
+            Ok(out) => (Response::Result(out), true),
+            Err(e) => (Response::Error(e), true),
+        },
+        Request::Prepare { sql } => {
+            let prepared = match parse(&sql) {
+                Ok(Statement::Select(sel)) => Planner::plan(&sel).map(Prepared::Select),
+                Ok(Statement::Explain(sel)) => {
+                    // Validate now so Prepare surfaces plan errors; the
+                    // report itself is rebuilt per execute.
+                    Planner::plan(&sel).map(|_| Prepared::Explain(sel))
+                }
+                Ok(other) => Err(DbError::ReadOnly(format!(
+                    "only read-only statements can be prepared: {other:?}"
+                ))),
+                Err(e) => Err(e),
+            };
+            match prepared {
+                Ok(p) => {
+                    let id = session.next_statement;
+                    session.next_statement += 1;
+                    session.prepared.insert(id, p);
+                    (
+                        Response::Prepared {
+                            statement: StatementId(id),
+                        },
+                        true,
+                    )
+                }
+                Err(e) => (Response::Error(e), true),
+            }
+        }
+        Request::Execute { statement } => {
+            let result = match session.prepared.get(&statement.0) {
+                Some(Prepared::Select(planned)) => engine
+                    .read()
+                    .execute_planned_with_threads(planned, session.worlds_threads),
+                Some(Prepared::Explain(sel)) => engine.read().explain_select(sel),
+                None => Err(DbError::Unsupported(format!(
+                    "unknown prepared statement {statement}"
+                ))),
+            };
+            match result {
+                Ok(out) => (Response::Result(out), true),
+                Err(e) => (Response::Error(e), true),
+            }
+        }
+        Request::CloseStatement { statement } => {
+            if session.prepared.remove(&statement.0).is_some() {
+                (Response::Closed { statement }, true)
+            } else {
+                (
+                    Response::Error(DbError::Unsupported(format!(
+                        "unknown prepared statement {statement}"
+                    ))),
+                    true,
+                )
+            }
+        }
+        Request::SetWorldsThreads { threads } => {
+            session.worlds_threads = threads.map(|t| usize::try_from(t).unwrap_or(usize::MAX));
+            (Response::WorldsThreadsSet { threads }, true)
+        }
+        Request::Close => (Response::Bye, false),
+    }
+}
+
+/// Serves one connection end-to-end: handshake, request loop, teardown.
+fn serve_connection(
+    mut stream: TcpStream,
+    engine: &SharedEngine,
+    shutdown: &AtomicBool,
+    stats: &ServerStats,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+
+    // Handshake first; anything else (including line noise) ends the
+    // connection, with a structured error when one can still be written.
+    // A connection that stays silent past the handshake deadline is
+    // dropped so idle pre-handshake sockets cannot pin pool workers.
+    match read_request(
+        &mut stream,
+        shutdown,
+        Some(Instant::now() + HANDSHAKE_TIMEOUT),
+    ) {
+        Ok(ReadOutcome::Request(Request::Hello { version })) if version == PROTOCOL_VERSION => {
+            let hello = Response::Hello {
+                version: PROTOCOL_VERSION,
+                server: SERVER_NAME.to_string(),
+            };
+            if write_frame(&mut stream, &hello).is_err() {
+                return;
+            }
+        }
+        Ok(ReadOutcome::Request(Request::Hello { version })) => {
+            let _ = write_frame(
+                &mut stream,
+                &Response::Error(DbError::Unsupported(format!(
+                    "protocol version {version} not supported; server speaks {PROTOCOL_VERSION}"
+                ))),
+            );
+            return;
+        }
+        Ok(ReadOutcome::Request(_)) => {
+            let _ = write_frame(
+                &mut stream,
+                &Response::Error(DbError::Unsupported(
+                    "the first request must be the handshake".into(),
+                )),
+            );
+            return;
+        }
+        Ok(ReadOutcome::Disconnected | ReadOutcome::ShuttingDown) | Err(_) => return,
+    }
+    stats.sessions.fetch_add(1, Ordering::Relaxed);
+
+    let mut session = Session::new();
+    loop {
+        let req = match read_request(&mut stream, shutdown, None) {
+            Ok(ReadOutcome::Request(req)) => req,
+            Ok(ReadOutcome::Disconnected | ReadOutcome::ShuttingDown) => return,
+            Err(WireError::Io(_)) => return,
+            Err(e) => {
+                // Protocol violations get a structured goodbye when the
+                // socket still works; either way the session ends.
+                let _ = write_frame(
+                    &mut stream,
+                    &Response::Error(DbError::Unsupported(format!("malformed request: {e}"))),
+                );
+                return;
+            }
+        };
+        let (response, keep_going) = respond(engine, &mut session, req);
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+        let written = match write_frame(&mut stream, &response) {
+            Ok(()) => true,
+            // A result too large for one frame is a *server-side* error,
+            // not a dead socket: answer it as a structured Error so the
+            // session keeps its "errors never kill a session" contract.
+            Err(WireError::FrameTooLarge { len, max }) => write_frame(
+                &mut stream,
+                &Response::Error(DbError::Unsupported(format!(
+                    "result of {len} bytes exceeds the {max}-byte frame limit; \
+                     restrict the query (WHERE/LIMIT/THRESHOLD)"
+                ))),
+            )
+            .is_ok(),
+            Err(_) => false,
+        };
+        if !written || !keep_going {
+            return;
+        }
+    }
+}
+
+/// The view-builder configuration the demo server runs with — one fixed,
+/// documented config so an out-of-process client (the `server_client`
+/// example, the CI smoke job) can rebuild the exact same views locally
+/// and compare results byte for byte.
+pub fn demo_config() -> tspdb_core::ViewBuilderConfig {
+    tspdb_core::ViewBuilderConfig {
+        window: 60,
+        metric_config: tspdb_core::MetricConfig {
+            p: 1,
+            ..tspdb_core::MetricConfig::default()
+        },
+        ..tspdb_core::ViewBuilderConfig::default()
+    }
+}
+
+/// One `INSERT` statement carrying the 60-reading synthetic series the
+/// differential surfaces (the `server_client` example, the end-to-end
+/// tests) replay — literals, so a server and a local mirror executing the
+/// same text are guaranteed the same data.
+pub fn demo_insert_statement(table: &str) -> String {
+    let mut stmt = format!("INSERT INTO {table} VALUES ");
+    for t in 0..60 {
+        if t > 0 {
+            stmt.push_str(", ");
+        }
+        let r = 4.0 + 0.05 * t as f64 + ((t * 7919) % 13) as f64 * 0.01;
+        stmt.push_str(&format!("({t}, {r})"));
+    }
+    stmt
+}
+
+/// A [`demo_config`] engine pre-loaded with the demo dataset: 150
+/// synthetic temperature readings in `raw_values` and a density view `pv`
+/// over them — enough for every statement shape (rows, probabilistic
+/// rows, `WITH WORLDS`, aggregates, `EXPLAIN`) to have a target.
+pub fn demo_engine() -> Result<SharedEngine, CoreError> {
+    let engine = SharedEngine::new(demo_config());
+    let series = tspdb_timeseries::generate::TemperatureGenerator::default().generate(150);
+    engine.load_series("raw_values", "r", &series)?;
+    engine.execute("CREATE VIEW pv AS DENSITY r OVER t OMEGA delta=0.5, n=6 FROM raw_values")?;
+    Ok(engine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tspdb_client::Client;
+
+    fn demo_server() -> ServerHandle {
+        Server::bind(
+            "127.0.0.1:0",
+            demo_engine().unwrap(),
+            ServerConfig::default(),
+        )
+        .unwrap()
+        .spawn()
+        .unwrap()
+    }
+
+    #[test]
+    fn serves_queries_and_shuts_down() {
+        let handle = demo_server();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        assert!(client.server_info().starts_with("tspdb-server/"));
+        let out = client.query("SELECT * FROM pv THRESHOLD 0.2").unwrap();
+        assert!(!out.prob_rows().unwrap().is_empty());
+        client.close().unwrap();
+        assert_eq!(handle.stats().sessions.load(Ordering::Relaxed), 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn prepared_statements_replay_the_plan() {
+        let handle = demo_server();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let stmt = client
+            .prepare("SELECT t, COUNT(*) FROM pv GROUP BY t WITH WORLDS 500 SEED 3")
+            .unwrap();
+        let a = client.execute(stmt).unwrap();
+        let b = client.execute(stmt).unwrap();
+        assert_eq!(
+            a.aggregate().unwrap().fingerprint(),
+            b.aggregate().unwrap().fingerprint()
+        );
+        client.close_statement(stmt).unwrap();
+        assert!(client.execute(stmt).is_err());
+        client.close().unwrap();
+        handle.shutdown();
+    }
+
+    #[test]
+    fn writes_and_reads_share_one_catalog() {
+        let handle = demo_server();
+        let mut a = Client::connect(handle.addr()).unwrap();
+        let mut b = Client::connect(handle.addr()).unwrap();
+        a.query("CREATE TABLE shared_t (x INT)").unwrap();
+        a.query("INSERT INTO shared_t VALUES (1), (2), (3)")
+            .unwrap();
+        let out = b.query("SELECT COUNT(*) FROM shared_t").unwrap();
+        let agg = out.aggregate().unwrap();
+        assert_eq!(agg.groups[0].values[0].value, 3.0);
+        a.close().unwrap();
+        b.close().unwrap();
+        handle.shutdown();
+    }
+
+    #[test]
+    fn session_worlds_override_changes_latency_only_and_is_clearable() {
+        let handle = demo_server();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        const SQL: &str = "SELECT * FROM pv WITH WORLDS 2000 SEED 11";
+        let base = client.query(SQL).unwrap().worlds().unwrap().fingerprint();
+        client.set_worlds_threads(4).unwrap();
+        let overridden = client.query(SQL).unwrap().worlds().unwrap().fingerprint();
+        assert_eq!(base, overridden);
+        // Clearing the override hands the session back to the engine-wide
+        // default — still the same estimate, by the determinism contract.
+        client.reset_worlds_threads().unwrap();
+        let cleared = client.query(SQL).unwrap().worlds().unwrap().fingerprint();
+        assert_eq!(base, cleared);
+        client.close().unwrap();
+        handle.shutdown();
+    }
+
+    #[test]
+    fn errors_are_structured_and_non_fatal() {
+        let handle = demo_server();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let err = client.query("SELECT * FROM nope").unwrap_err();
+        assert!(matches!(
+            err,
+            tspdb_client::ClientError::Server(DbError::UnknownTable(_))
+        ));
+        let err = client.query("SELEC typo").unwrap_err();
+        assert!(matches!(
+            err,
+            tspdb_client::ClientError::Server(DbError::Parse(_))
+        ));
+        let err = client.prepare("INSERT INTO raw_values VALUES (1, 2.0)");
+        assert!(matches!(
+            err,
+            Err(tspdb_client::ClientError::Server(DbError::ReadOnly(_)))
+        ));
+        // The session survived all three.
+        assert!(client.query("SELECT * FROM pv LIMIT 1").is_ok());
+        client.close().unwrap();
+        handle.shutdown();
+    }
+}

@@ -1,0 +1,293 @@
+//! Frames: the request/response messages and their length-prefixed
+//! transport encoding.
+//!
+//! Every message travels as one frame:
+//!
+//! ```text
+//! ┌────────────────┬──────────────────────────────┐
+//! │ u32 big-endian │ body                         │
+//! │ body length    │ u8 message tag + payload     │
+//! └────────────────┴──────────────────────────────┘
+//! ```
+//!
+//! The first request on a connection must be [`Request::Hello`], whose
+//! payload leads with the [`MAGIC`] bytes and the client's
+//! [`PROTOCOL_VERSION`]; the server answers [`Response::Hello`] or an
+//! error frame and closes. After the handshake the client drives a strict
+//! request/response alternation — no pipelining, no server push — which
+//! keeps the session state machine trivial on both ends.
+
+use crate::codec::{decode_message, encode_message, Decoder, Encoder, Wire, WireError};
+use std::io::{Read, Write};
+use tspdb_probdb::{DbError, QueryOutput};
+
+/// Bytes opening every [`Request::Hello`] payload — rejects stray
+/// connections speaking some other protocol before any allocation
+/// happens.
+pub const MAGIC: [u8; 4] = *b"TPDB";
+
+/// Version of the wire protocol this build speaks. The handshake rejects
+/// mismatches outright (no negotiation until a second version exists).
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on a frame body. Large enough for any realistic result
+/// relation, small enough that a hostile length prefix cannot exhaust
+/// memory.
+pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+/// A server-assigned handle to a prepared statement, scoped to the
+/// session that prepared it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StatementId(pub u64);
+
+impl Wire for StatementId {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.0);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(StatementId(dec.take_u64()?))
+    }
+}
+
+impl std::fmt::Display for StatementId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Opens the session: magic bytes plus the client's protocol version.
+    Hello {
+        /// The client's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// Parse and execute one SQL statement.
+    Query {
+        /// The statement text.
+        sql: String,
+    },
+    /// Parse and plan a read-only statement once; execute it later by id.
+    Prepare {
+        /// The statement text.
+        sql: String,
+    },
+    /// Execute a prepared statement (plan-once / execute-many).
+    Execute {
+        /// Id returned by [`Response::Prepared`].
+        statement: StatementId,
+    },
+    /// Discard a prepared statement.
+    CloseStatement {
+        /// Id returned by [`Response::Prepared`].
+        statement: StatementId,
+    },
+    /// Session-scoped override of the `WITH WORLDS` fork-join width
+    /// (`Some(0)` = one thread per core, `None` = clear the override and
+    /// track the engine-wide default again). Latency-only: MC estimates
+    /// are bit-identical at every width.
+    SetWorldsThreads {
+        /// The requested width, or `None` to clear the override.
+        threads: Option<u64>,
+    },
+    /// Ends the session; the server answers [`Response::Bye`] and closes.
+    Close,
+}
+
+impl Wire for Request {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            Request::Hello { version } => {
+                enc.put_u8(0);
+                enc.put_raw(&MAGIC);
+                enc.put_u32(*version);
+            }
+            Request::Query { sql } => {
+                enc.put_u8(1);
+                enc.put_str(sql);
+            }
+            Request::Prepare { sql } => {
+                enc.put_u8(2);
+                enc.put_str(sql);
+            }
+            Request::Execute { statement } => {
+                enc.put_u8(3);
+                statement.encode(enc);
+            }
+            Request::CloseStatement { statement } => {
+                enc.put_u8(4);
+                statement.encode(enc);
+            }
+            Request::SetWorldsThreads { threads } => {
+                enc.put_u8(5);
+                threads.encode(enc);
+            }
+            Request::Close => enc.put_u8(6),
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        match dec.take_u8()? {
+            0 => {
+                let magic = dec.take_raw(MAGIC.len())?;
+                if magic != MAGIC {
+                    return Err(WireError::Malformed(format!(
+                        "bad handshake magic {magic:02x?}"
+                    )));
+                }
+                Ok(Request::Hello {
+                    version: dec.take_u32()?,
+                })
+            }
+            1 => Ok(Request::Query {
+                sql: dec.take_str()?,
+            }),
+            2 => Ok(Request::Prepare {
+                sql: dec.take_str()?,
+            }),
+            3 => Ok(Request::Execute {
+                statement: StatementId::decode(dec)?,
+            }),
+            4 => Ok(Request::CloseStatement {
+                statement: StatementId::decode(dec)?,
+            }),
+            5 => Ok(Request::SetWorldsThreads {
+                threads: Option::decode(dec)?,
+            }),
+            6 => Ok(Request::Close),
+            other => Err(WireError::Malformed(format!("unknown request tag {other}"))),
+        }
+    }
+}
+
+/// A server → client message. Every request yields exactly one response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Successful handshake.
+    Hello {
+        /// The server's [`PROTOCOL_VERSION`].
+        version: u32,
+        /// Human-readable server identification (name/version).
+        server: String,
+    },
+    /// Result of a `Query` or `Execute`.
+    Result(QueryOutput),
+    /// A statement was prepared.
+    Prepared {
+        /// Handle for subsequent [`Request::Execute`] calls.
+        statement: StatementId,
+    },
+    /// A prepared statement was closed.
+    Closed {
+        /// The handle that is now invalid.
+        statement: StatementId,
+    },
+    /// The session's worlds fork-join width was set or cleared.
+    WorldsThreadsSet {
+        /// The override now in effect for this session (`None` = the
+        /// engine-wide default applies).
+        threads: Option<u64>,
+    },
+    /// The request failed; the session stays usable.
+    Error(DbError),
+    /// Acknowledges [`Request::Close`]; the server closes the connection.
+    Bye,
+}
+
+impl Wire for Response {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            Response::Hello { version, server } => {
+                enc.put_u8(0);
+                enc.put_u32(*version);
+                enc.put_str(server);
+            }
+            Response::Result(out) => {
+                enc.put_u8(1);
+                out.encode(enc);
+            }
+            Response::Prepared { statement } => {
+                enc.put_u8(2);
+                statement.encode(enc);
+            }
+            Response::Closed { statement } => {
+                enc.put_u8(3);
+                statement.encode(enc);
+            }
+            Response::WorldsThreadsSet { threads } => {
+                enc.put_u8(4);
+                threads.encode(enc);
+            }
+            Response::Error(e) => {
+                enc.put_u8(5);
+                e.encode(enc);
+            }
+            Response::Bye => enc.put_u8(6),
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        match dec.take_u8()? {
+            0 => Ok(Response::Hello {
+                version: dec.take_u32()?,
+                server: dec.take_str()?,
+            }),
+            1 => Ok(Response::Result(QueryOutput::decode(dec)?)),
+            2 => Ok(Response::Prepared {
+                statement: StatementId::decode(dec)?,
+            }),
+            3 => Ok(Response::Closed {
+                statement: StatementId::decode(dec)?,
+            }),
+            4 => Ok(Response::WorldsThreadsSet {
+                threads: Option::decode(dec)?,
+            }),
+            5 => Ok(Response::Error(DbError::decode(dec)?)),
+            6 => Ok(Response::Bye),
+            other => Err(WireError::Malformed(format!(
+                "unknown response tag {other}"
+            ))),
+        }
+    }
+}
+
+/// Writes one message as a length-prefixed frame and flushes.
+pub fn write_frame<T: Wire>(w: &mut impl Write, msg: &T) -> Result<(), WireError> {
+    let body = encode_message(msg);
+    let len = u32::try_from(body.len()).map_err(|_| WireError::FrameTooLarge {
+        len: u32::MAX,
+        max: MAX_FRAME_LEN,
+    })?;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::FrameTooLarge {
+            len,
+            max: MAX_FRAME_LEN,
+        });
+    }
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(&body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame and decodes its body as `T`.
+///
+/// (The server does not use this: its reads interleave with shutdown
+/// checks and wall-clock deadlines, so it reads the prefix and body
+/// itself and shares only [`decode_message`].)
+pub fn read_frame<T: Wire>(r: &mut impl Read) -> Result<T, WireError> {
+    let mut prefix = [0u8; 4];
+    r.read_exact(&mut prefix)?;
+    let len = u32::from_be_bytes(prefix);
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::FrameTooLarge {
+            len,
+            max: MAX_FRAME_LEN,
+        });
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    decode_message(&body)
+}

@@ -1,0 +1,30 @@
+//! # tspdb-wire
+//!
+//! The versioned, length-prefixed binary wire protocol shared by
+//! `tspdb-server` and `tspdb-client`: a [`codec`] turning every
+//! query-result type the database produces into deterministic bytes, and
+//! [`frame`]s carrying requests (handshake, `Query`, `Prepare` /
+//! `Execute` / `CloseStatement`, the session `SetWorldsThreads` knob,
+//! `Close`) and responses (typed results for every
+//! [`tspdb_probdb::QueryOutput`] variant, structured
+//! [`tspdb_probdb::DbError`]s, acks).
+//!
+//! The crate deliberately contains **no I/O policy** beyond reading and
+//! writing one frame — connection handling, sessions and threading live
+//! in the server; blocking convenience calls live in the client. Both
+//! ends therefore test against the exact same byte-level contract, and
+//! the encode→decode identity is property-tested here once for every
+//! frame type.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod codec;
+pub mod frame;
+
+pub use codec::{
+    canonical_result_bytes, decode_message, encode_message, Decoder, Encoder, Wire, WireError,
+};
+pub use frame::{
+    read_frame, write_frame, Request, Response, StatementId, MAGIC, MAX_FRAME_LEN, PROTOCOL_VERSION,
+};

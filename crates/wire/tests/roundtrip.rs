@@ -1,0 +1,382 @@
+//! Encode→decode identity for every frame type, mirroring the SQL
+//! parse→format→parse round-trip property: whatever the database layer
+//! can produce must cross the wire unchanged — bit-for-bit for floats.
+
+use std::time::Duration;
+use tspdb_probdb::plan::{AggValue, AggregateGroup, AggregateResult, ExplainReport};
+use tspdb_probdb::sql::{AggExpr, AggFunc, HavingClause};
+use tspdb_probdb::{
+    CmpOp, ColumnType, DbError, ProbTable, QueryOutput, Schema, SumEstimate, Table, Value,
+    WorldsResult,
+};
+use tspdb_wire::{decode_message, encode_message, Request, Response, StatementId, Wire};
+
+/// Asserts the identity (and re-encode stability) for one message.
+fn assert_round_trip<T: Wire + PartialEq + std::fmt::Debug>(msg: &T) {
+    let bytes = encode_message(msg);
+    let back: T = decode_message(&bytes).expect("decode of a just-encoded message");
+    assert_eq!(&back, msg, "value changed across the wire");
+    assert_eq!(
+        encode_message(&back),
+        bytes,
+        "re-encoding produced different bytes"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic builders: raw (kind, int, float) material → wire values
+// ---------------------------------------------------------------------------
+
+const TEXTS: [&str; 4] = ["", "a", "room b", "Ω-view δ"];
+const COLS: [&str; 4] = ["t", "room", "lambda", "r"];
+
+fn value(kind: usize, i: i64, f: f64) -> Value {
+    match kind % 3 {
+        0 => Value::Int(i),
+        1 => Value::Float(f),
+        _ => Value::Text(TEXTS[i.unsigned_abs() as usize % TEXTS.len()].to_string()),
+    }
+}
+
+fn column_type(kind: usize) -> ColumnType {
+    match kind % 3 {
+        0 => ColumnType::Int,
+        1 => ColumnType::Float,
+        _ => ColumnType::Text,
+    }
+}
+
+/// A schema with one column per raw entry (names are made unique by
+/// position, as `Schema` requires).
+fn schema(raw: &[(usize, i64, f64)]) -> Schema {
+    Schema::new(
+        raw.iter()
+            .enumerate()
+            .map(|(pos, &(kind, _, _))| {
+                (
+                    format!("{}_{pos}", COLS[kind % COLS.len()]),
+                    column_type(kind),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// A row matching `schema(raw)`, varied by `salt`.
+fn row(raw: &[(usize, i64, f64)], salt: i64) -> Vec<Value> {
+    raw.iter()
+        .map(|&(kind, i, f)| match column_type(kind) {
+            ColumnType::Int => Value::Int(i.wrapping_add(salt)),
+            ColumnType::Float => Value::Float(f + salt as f64),
+            ColumnType::Text => Value::Text(
+                TEXTS[(i.wrapping_add(salt)).unsigned_abs() as usize % TEXTS.len()].to_string(),
+            ),
+        })
+        .collect()
+}
+
+fn table(raw: &[(usize, i64, f64)], rows: usize) -> Table {
+    let mut t = Table::new("wire_t", schema(raw));
+    for salt in 0..rows {
+        t.insert(row(raw, salt as i64)).expect("row fits schema");
+    }
+    t
+}
+
+fn prob_table(raw: &[(usize, i64, f64)], rows: usize) -> ProbTable {
+    let mut t = ProbTable::new("wire_pv", schema(raw));
+    for salt in 0..rows {
+        let p = (salt % 11) as f64 / 10.0;
+        t.insert(row(raw, salt as i64), p)
+            .expect("tuple fits schema");
+    }
+    t
+}
+
+fn worlds_result(fs: &[f64], with_sum: bool) -> WorldsResult {
+    let f = |i: usize| fs[i % fs.len()];
+    WorldsResult {
+        worlds: fs.len() * 100,
+        matching_tuples: fs.len(),
+        seed: fs.len() as u64 * 7,
+        threads: 1 + fs.len() % 8,
+        converged: fs.len().is_multiple_of(2),
+        event_probability: f(0),
+        event_ci_half_width: f(1),
+        count_distribution: fs.to_vec(),
+        count_mean: f(2),
+        count_variance: f(3),
+        count_ci_half_width: f(4),
+        sum: with_sum.then(|| SumEstimate {
+            column: "r".into(),
+            mean: f(5),
+            variance: f(6),
+            ci_half_width: f(7),
+        }),
+        wall: Duration::new(fs.len() as u64, (fs.len() as u32 * 31) % 1_000_000_000),
+    }
+}
+
+fn agg_expr(kind: usize) -> AggExpr {
+    match kind % 4 {
+        0 => AggExpr::count(),
+        1 => AggExpr::over(AggFunc::Sum, "r"),
+        2 => AggExpr::over(AggFunc::Avg, "lambda"),
+        _ => AggExpr::over(AggFunc::Expected, "r"),
+    }
+}
+
+fn cmp_op(kind: usize) -> CmpOp {
+    [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ][kind % 6]
+}
+
+fn aggregate_result(raw: &[(usize, i64, f64)], mc: bool) -> AggregateResult {
+    let groups = raw
+        .iter()
+        .enumerate()
+        .map(|(gi, &(kind, i, f))| AggregateGroup {
+            key: vec![value(kind, i, f)],
+            values: vec![
+                AggValue {
+                    value: f,
+                    ci_half_width: mc.then_some(f.abs() / 10.0),
+                },
+                AggValue {
+                    value: i as f64,
+                    ci_half_width: None,
+                },
+            ],
+            count_distribution: (gi % 2 == 0).then(|| vec![f, 1.0 - f]),
+            event_probability: (gi % 3 == 0).then_some((f.abs() / 4.0).min(1.0)),
+            worlds: mc.then_some(1000 + gi),
+        })
+        .collect();
+    AggregateResult {
+        group_columns: vec!["g".into()],
+        aggregates: vec![agg_expr(raw.len()), agg_expr(raw.len() + 1)],
+        having: raw.len().is_multiple_of(2).then(|| HavingClause {
+            agg: AggExpr::count(),
+            op: cmp_op(raw.len()),
+            value: Value::Int(raw[0].1),
+        }),
+        strategy: if mc { "worlds" } else { "exact" },
+        groups,
+    }
+}
+
+fn db_error(kind: usize, text: &str, f: f64) -> DbError {
+    match kind % 12 {
+        0 => DbError::UnknownColumn(text.into()),
+        1 => DbError::UnknownTable(text.into()),
+        2 => DbError::DuplicateTable(text.into()),
+        3 => DbError::ArityMismatch {
+            expected: kind,
+            got: kind + 2,
+        },
+        4 => DbError::TypeMismatch {
+            column: text.into(),
+            expected: column_type(kind),
+            got: column_type(kind + 1),
+        },
+        5 => DbError::InvalidProbability(f),
+        6 => DbError::Parse(text.into()),
+        7 => DbError::Unsupported(text.into()),
+        8 => DbError::ReadOnly(text.into()),
+        9 => DbError::InvalidWorlds(text.into()),
+        10 => DbError::Plan(text.into()),
+        _ => DbError::ViewBuild(text.into()),
+    }
+}
+
+fn query_output(raw: &[(usize, i64, f64)], variant: usize) -> QueryOutput {
+    let fs: Vec<f64> = raw.iter().map(|&(_, _, f)| f).collect();
+    match variant % 6 {
+        0 => QueryOutput::None,
+        1 => QueryOutput::Rows(table(raw, raw.len())),
+        2 => QueryOutput::ProbRows(prob_table(raw, raw.len())),
+        3 => QueryOutput::Worlds(worlds_result(&fs, raw.len().is_multiple_of(2))),
+        4 => QueryOutput::Aggregate(aggregate_result(raw, raw.len() % 2 == 1)),
+        _ => QueryOutput::Explain(ExplainReport {
+            relation: format!(
+                "{}: probabilistic ({} tuples)",
+                TEXTS[raw.len() % 4],
+                raw.len()
+            ),
+            logical: "Scan pv".into(),
+            physical: "scan(pv) → rows(*)".into(),
+            strategy: "exact".into(),
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------------
+
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn requests_round_trip(
+        raw in proptest::collection::vec((0usize..6, -1000i64..1000, -100.0f64..100.0), 1..10),
+        variant in 0usize..7,
+    ) {
+        let (kind, i, _f) = raw[0];
+        let req = match variant {
+            0 => Request::Hello { version: i.unsigned_abs() as u32 },
+            1 => Request::Query { sql: format!("SELECT * FROM t{kind}") },
+            2 => Request::Prepare { sql: format!("SELECT r FROM pv TOP {}", raw.len()) },
+            3 => Request::Execute { statement: StatementId(i.unsigned_abs()) },
+            4 => Request::CloseStatement { statement: StatementId(i.unsigned_abs()) },
+            5 => Request::SetWorldsThreads {
+                threads: (raw.len() % 2 == 0).then_some(raw.len() as u64),
+            },
+            _ => Request::Close,
+        };
+        let bytes = encode_message(&req);
+        prop_assert_eq!(decode_message::<Request>(&bytes).unwrap(), req);
+    }
+
+    #[test]
+    fn responses_round_trip(
+        raw in proptest::collection::vec((0usize..6, -1000i64..1000, -100.0f64..100.0), 1..10),
+        variant in 0usize..7,
+    ) {
+        let (kind, i, f) = raw[0];
+        let resp = match variant {
+            0 => Response::Hello { version: 1, server: TEXTS[kind % 4].to_string() },
+            1 => Response::Result(query_output(&raw, kind + raw.len())),
+            2 => Response::Prepared { statement: StatementId(i.unsigned_abs()) },
+            3 => Response::Closed { statement: StatementId(i.unsigned_abs()) },
+            4 => Response::WorldsThreadsSet {
+                threads: (raw.len() % 2 == 1).then_some(raw.len() as u64),
+            },
+            5 => Response::Error(db_error(kind + raw.len(), TEXTS[kind % 4], f)),
+            _ => Response::Bye,
+        };
+        assert_round_trip(&resp);
+    }
+
+    #[test]
+    fn every_query_output_variant_round_trips(
+        raw in proptest::collection::vec((0usize..6, -1000i64..1000, -100.0f64..100.0), 1..12),
+    ) {
+        for variant in 0..6 {
+            assert_round_trip(&Response::Result(query_output(&raw, variant)));
+        }
+    }
+
+    #[test]
+    fn every_db_error_variant_round_trips(
+        i in -1000i64..1000,
+        f in -100.0f64..100.0,
+    ) {
+        for kind in 0..12 {
+            let text = TEXTS[i.unsigned_abs() as usize % TEXTS.len()];
+            assert_round_trip(&Response::Error(db_error(kind, text, f)));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic edge cases
+// ---------------------------------------------------------------------------
+
+#[test]
+fn float_bit_patterns_survive() {
+    for f in [
+        0.0,
+        -0.0,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::MIN_POSITIVE,
+        f64::EPSILON,
+        1.0 / 3.0,
+    ] {
+        let v = Value::Float(f);
+        let bytes = encode_message(&v);
+        let back: Value = decode_message(&bytes).unwrap();
+        assert_eq!(back, v);
+    }
+    // NaN is not PartialEq-comparable; compare the bits instead.
+    let bytes = encode_message(&Value::Float(f64::NAN));
+    match decode_message::<Value>(&bytes).unwrap() {
+        Value::Float(f) => assert_eq!(f.to_bits(), f64::NAN.to_bits()),
+        other => panic!("decoded {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_inputs_error_instead_of_panicking() {
+    // Truncated message.
+    let bytes = encode_message(&Request::Query {
+        sql: "SELECT 1".into(),
+    });
+    assert!(decode_message::<Request>(&bytes[..bytes.len() - 1]).is_err());
+    // Trailing garbage.
+    let mut padded = bytes.clone();
+    padded.push(0);
+    assert!(decode_message::<Request>(&padded).is_err());
+    // Unknown tag.
+    assert!(decode_message::<Request>(&[0xEE]).is_err());
+    // Bad handshake magic.
+    let mut hello = encode_message(&Request::Hello { version: 1 });
+    hello[1] = b'X';
+    assert!(decode_message::<Request>(&hello).is_err());
+    // Sequence length beyond the frame.
+    let mut dist = encode_message(&Response::Result(QueryOutput::Worlds(worlds_result(
+        &[0.5, 0.5],
+        false,
+    ))));
+    // Corrupt the count_distribution length prefix region by truncation.
+    dist.truncate(dist.len() / 2);
+    assert!(decode_message::<Response>(&dist).is_err());
+    // An inflated sequence prefix that still fits the frame byte-wise
+    // (1M claimed elements, each worth >100 bytes decoded) must fail on
+    // the first element decode without a proportional pre-allocation —
+    // the decoder caps its up-front reservation, so this returns
+    // Malformed instead of attempting a multi-hundred-MB Vec.
+    let mut inflated = Vec::new();
+    inflated.extend_from_slice(&1_000_000u32.to_be_bytes());
+    inflated.resize(1_000_001, 0xAB);
+    assert!(decode_message::<Vec<AggregateGroup>>(&inflated).is_err());
+    // A schema repeating a column name decodes as malformed, not a panic.
+    let schema = Schema::of(&[("a", ColumnType::Int)]);
+    let bytes = encode_message(&schema);
+    let mut doubled = Vec::new();
+    doubled.extend_from_slice(&2u32.to_be_bytes());
+    doubled.extend_from_slice(&bytes[4..]);
+    doubled.extend_from_slice(&bytes[4..]);
+    assert!(decode_message::<Schema>(&doubled).is_err());
+}
+
+#[test]
+fn frame_io_round_trips_over_a_buffer() {
+    let req = Request::Query {
+        sql: "SELECT * FROM pv WITH WORLDS 100 SEED 4".into(),
+    };
+    let mut buf = Vec::new();
+    tspdb_wire::write_frame(&mut buf, &req).unwrap();
+    let mut cursor: &[u8] = &buf;
+    let back: Request = tspdb_wire::read_frame(&mut cursor).unwrap();
+    assert_eq!(back, req);
+    assert!(cursor.is_empty(), "frame reader left bytes behind");
+}
+
+#[test]
+fn oversized_frame_is_rejected_on_read() {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&(tspdb_wire::MAX_FRAME_LEN + 1).to_be_bytes());
+    let mut cursor: &[u8] = &buf;
+    assert!(matches!(
+        tspdb_wire::read_frame::<Request>(&mut cursor),
+        Err(tspdb_wire::WireError::FrameTooLarge { .. })
+    ));
+}

@@ -1,0 +1,196 @@
+//! End-to-end wire-protocol tests: a real server on an ephemeral loopback
+//! port, the native client, and an in-process mirror executing the exact
+//! same statements — results must match byte for byte (Monte-Carlo
+//! results by their bit-exact fingerprint, which excludes only wall
+//! time).
+
+use tspdb::Engine;
+use tspdb_client::{Client, ClientError};
+use tspdb_server::{demo_config, demo_insert_statement, Server, ServerConfig, ServerHandle};
+use tspdb_wire::canonical_result_bytes;
+
+/// Starts an empty demo-config server.
+fn start_server() -> ServerHandle {
+    Server::bind(
+        "127.0.0.1:0",
+        tspdb::SharedEngine::new(demo_config()),
+        ServerConfig::default(),
+    )
+    .expect("bind ephemeral port")
+    .spawn()
+    .expect("spawn server")
+}
+
+/// The `tests/sql_pipeline.rs` statement set: raw table via SQL, the 60
+/// synthetic readings, a density view, and the Fig. 1-style questions —
+/// plus one statement per remaining result shape.
+fn pipeline_statements() -> Vec<String> {
+    vec![
+        "CREATE TABLE raw_values (t INT, r FLOAT)".to_string(),
+        demo_insert_statement("raw_values"),
+        "CREATE VIEW pv AS DENSITY r OVER t OMEGA delta=0.1, n=6 \
+         FROM raw_values WHERE t >= 45 USING METRIC vt WINDOW 40"
+            .to_string(),
+        "SELECT * FROM pv ORDER BY prob DESC".to_string(),
+        "SELECT t, r FROM raw_values WHERE t >= 2 AND t <= 10 ORDER BY r DESC LIMIT 4".to_string(),
+        "SELECT * FROM pv WHERE prob >= 0.1 THRESHOLD 0.15 TOP 12".to_string(),
+        "SELECT lambda FROM pv WHERE t = 50".to_string(),
+        "SELECT * FROM pv WHERE t >= 50 WITH WORLDS 3000 SEED 17".to_string(),
+        "SELECT t, COUNT(*), SUM(lambda) FROM pv GROUP BY t HAVING COUNT(*) >= 3".to_string(),
+        "SELECT t, COUNT(*), SUM(lambda), AVG(lambda) FROM pv GROUP BY t \
+         WITH WORLDS 1000 SEED 23"
+            .to_string(),
+        "EXPLAIN SELECT t, COUNT(*) FROM pv GROUP BY t WITH WORLDS 500 SEED 7".to_string(),
+        "SELECT COUNT(*) FROM raw_values".to_string(),
+    ]
+}
+
+#[test]
+fn pipeline_statement_set_matches_in_process_execution() {
+    let handle = start_server();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let mut mirror = Engine::new(demo_config());
+
+    let mut variants_seen = std::collections::BTreeSet::new();
+    for sql in pipeline_statements() {
+        let over_wire = client
+            .query(&sql)
+            .unwrap_or_else(|e| panic!("server rejected {sql:?}: {e}"));
+        let in_process = mirror
+            .execute(&sql)
+            .unwrap_or_else(|e| panic!("mirror rejected {sql:?}: {e}"));
+        assert_eq!(
+            canonical_result_bytes(&over_wire),
+            canonical_result_bytes(&in_process),
+            "wire and in-process results diverge for {sql:?}"
+        );
+        variants_seen.insert(over_wire.variant_name());
+    }
+    // None + all five result variants crossed the wire.
+    assert_eq!(
+        variants_seen.len(),
+        6,
+        "some QueryOutput variant was never exercised"
+    );
+
+    client.close().expect("clean close");
+    handle.shutdown();
+}
+
+#[test]
+fn prepared_statements_survive_catalog_growth_and_close() {
+    let handle = start_server();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client.query("CREATE TABLE kv (k INT, v FLOAT)").unwrap();
+    client
+        .query("INSERT INTO kv VALUES (1, 1.5), (2, 2.5), (3, 3.5)")
+        .unwrap();
+
+    let stmt = client
+        .prepare("SELECT k, v FROM kv WHERE k >= 2 ORDER BY k ASC")
+        .unwrap();
+    let first = client.execute(stmt).unwrap();
+    assert_eq!(first.rows().unwrap().len(), 2);
+
+    // The plan re-executes against current data: growing the table is
+    // visible to the next execute.
+    client.query("INSERT INTO kv VALUES (4, 4.5)").unwrap();
+    let second = client.execute(stmt).unwrap();
+    assert_eq!(second.rows().unwrap().len(), 3);
+
+    client.close_statement(stmt).unwrap();
+    match client.execute(stmt) {
+        Err(ClientError::Server(tspdb::DbError::Unsupported(msg))) => {
+            assert!(msg.contains("unknown prepared statement"), "{msg}")
+        }
+        other => panic!("executing a closed statement produced {other:?}"),
+    }
+
+    // Ids are session-scoped: a fresh session does not see them.
+    let mut other = Client::connect(handle.addr()).expect("connect second session");
+    assert!(other.execute(stmt).is_err());
+    other.close().unwrap();
+
+    client.close().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn eight_concurrent_connections_get_identical_answers() {
+    let handle = start_server();
+    let mut seeder = Client::connect(handle.addr()).expect("connect");
+    for sql in pipeline_statements().iter().take(3) {
+        seeder.query(sql).expect("seed statement");
+    }
+    const MC_SQL: &str = "SELECT * FROM pv WITH WORLDS 2000 SEED 99";
+    const AGG_SQL: &str =
+        "SELECT t, COUNT(*), SUM(lambda) FROM pv GROUP BY t WITH WORLDS 800 SEED 3";
+    let mc_base = canonical_result_bytes(&seeder.query(MC_SQL).unwrap());
+    let agg_base = canonical_result_bytes(&seeder.query(AGG_SQL).unwrap());
+    seeder.close().unwrap();
+
+    std::thread::scope(|s| {
+        for worker in 0..8 {
+            let addr = handle.addr();
+            let mc_base = &mc_base;
+            let agg_base = &agg_base;
+            s.spawn(move || {
+                let mut client = Client::connect(addr).expect("worker connects");
+                // Half the sessions override MC parallelism — it must not
+                // change a single bit of any answer.
+                if worker % 2 == 0 {
+                    client.set_worlds_threads(2 + worker % 4).unwrap();
+                }
+                let stmt = client.prepare(MC_SQL).unwrap();
+                for _ in 0..4 {
+                    assert_eq!(
+                        &canonical_result_bytes(&client.query(MC_SQL).unwrap()),
+                        mc_base
+                    );
+                    assert_eq!(
+                        &canonical_result_bytes(&client.execute(stmt).unwrap()),
+                        mc_base
+                    );
+                    assert_eq!(
+                        &canonical_result_bytes(&client.query(AGG_SQL).unwrap()),
+                        agg_base
+                    );
+                }
+                client.close().unwrap();
+            });
+        }
+    });
+    handle.shutdown();
+}
+
+#[test]
+fn structured_errors_cross_the_wire() {
+    let handle = start_server();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    type ErrorCheck = fn(&tspdb::DbError) -> bool;
+    let cases: [(&str, ErrorCheck); 4] = [
+        (
+            "SELECT * FROM missing",
+            |e| matches!(e, tspdb::DbError::UnknownTable(t) if t == "missing"),
+        ),
+        ("SELECT gibberish FROM", |e| {
+            matches!(e, tspdb::DbError::Parse(_))
+        }),
+        ("SELECT room, COUNT(*) FROM pv", |e| {
+            matches!(e, tspdb::DbError::Plan(_))
+        }),
+        ("SELECT * FROM pv ORDER BY prob DESC WITH WORLDS 10", |e| {
+            matches!(e, tspdb::DbError::InvalidWorlds(_))
+        }),
+    ];
+    for (sql, check) in cases {
+        match client.query(sql) {
+            Err(ClientError::Server(e)) => assert!(check(&e), "{sql} produced {e:?}"),
+            other => panic!("{sql} produced {other:?}"),
+        }
+    }
+    // The session survives every failure.
+    client.query("CREATE TABLE ok (x INT)").unwrap();
+    client.close().unwrap();
+    handle.shutdown();
+}

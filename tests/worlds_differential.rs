@@ -356,3 +356,149 @@ fn sql_with_worlds_matches_direct_executor_calls() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Multi-column tally (single sampling pass for grouped MC aggregates)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn multi_column_tally_is_bit_identical_to_per_column_runs() {
+    // `run_domain_multi` tallies every SUM column during one pass over the
+    // sampled worlds. Presence sampling never consumes RNG for values, so
+    // with the same seed each column's estimate must equal a dedicated
+    // single-column run **bit for bit** — this is the invariant that let
+    // the planner collapse its one-run-per-column MC aggregation into a
+    // single pass without moving any fingerprint.
+    let probs: Vec<f64> = (0..23).map(|i| ((i * 37) % 97) as f64 / 100.0).collect();
+    let reading: Vec<f64> = (0..23).map(|i| i as f64 * 0.5 - 2.0).collect();
+    let weight: Vec<f64> = (0..23).map(|i| ((i * 13) % 7) as f64 + 0.25).collect();
+
+    for threads in [1usize, 8] {
+        let executor = WorldsExecutor::new(WorldsConfig {
+            max_worlds: 10_000,
+            seed: 77,
+            threads,
+            ..WorldsConfig::default()
+        })
+        .unwrap();
+
+        let (multi_base, sums) =
+            executor.run_domain_multi(&probs, &[("reading", &reading), ("weight", &weight)]);
+        let solo_reading = executor.run_domain(&probs, Some(("reading", &reading)));
+        let solo_weight = executor.run_domain(&probs, Some(("weight", &weight)));
+        let bare = executor.run_domain(&probs, None);
+
+        // Count/event estimates are shared and identical across all runs.
+        assert_eq!(multi_base.fingerprint(), bare.fingerprint());
+        for solo in [&solo_reading, &solo_weight] {
+            assert_eq!(solo.count_distribution, multi_base.count_distribution);
+            assert_eq!(
+                solo.event_probability.to_bits(),
+                multi_base.event_probability.to_bits()
+            );
+        }
+        // Each column's SUM estimate matches its dedicated run bit for bit.
+        assert_eq!(sums.len(), 2);
+        for (from_multi, from_solo) in [(&sums[0], &solo_reading), (&sums[1], &solo_weight)] {
+            let solo_sum = from_solo.sum.as_ref().unwrap();
+            assert_eq!(from_multi.column, solo_sum.column);
+            assert_eq!(from_multi.mean.to_bits(), solo_sum.mean.to_bits());
+            assert_eq!(from_multi.variance.to_bits(), solo_sum.variance.to_bits());
+            assert_eq!(
+                from_multi.ci_half_width.to_bits(),
+                solo_sum.ci_half_width.to_bits()
+            );
+        }
+    }
+}
+
+#[test]
+fn grouped_multi_column_mc_aggregates_are_one_pass_and_stable() {
+    // SQL-level witness of the same invariant: a query aggregating two
+    // distinct columns per group must report, for each column, exactly the
+    // estimate a single-column query with the same seed reports — and stay
+    // bit-identical across worlds-thread counts.
+    let schema = Schema::of(&[
+        ("room", ColumnType::Int),
+        ("reading", ColumnType::Float),
+        ("weight", ColumnType::Float),
+    ]);
+    let mut v = ProbTable::new("v2", schema);
+    for i in 0..26 {
+        v.insert(
+            vec![
+                Value::Int(i % 3),
+                Value::Float(i as f64 * 0.4 - 1.0),
+                Value::Float(((i * 11) % 5) as f64 + 0.5),
+            ],
+            ((i as usize * 53) % 91) as f64 / 100.0,
+        )
+        .unwrap();
+    }
+    let mut db = tspdb::Database::new();
+    db.register_prob_table(v).unwrap();
+
+    let combined = run_aggregate_both_widths(
+        &mut db,
+        "SELECT room, COUNT(*), SUM(reading), SUM(weight), AVG(reading) FROM v2 \
+         GROUP BY room WITH WORLDS 20000 SEED 12",
+    );
+    let reading_only = run_aggregate_both_widths(
+        &mut db,
+        "SELECT room, SUM(reading) FROM v2 GROUP BY room WITH WORLDS 20000 SEED 12",
+    );
+    let weight_only = run_aggregate_both_widths(
+        &mut db,
+        "SELECT room, SUM(weight) FROM v2 GROUP BY room WITH WORLDS 20000 SEED 12",
+    );
+    assert_eq!(combined.groups.len(), 3);
+    for (gi, g) in combined.groups.iter().enumerate() {
+        // Projection order: COUNT(*), SUM(reading), SUM(weight), AVG(reading).
+        let sum_reading = &g.values[1];
+        let sum_weight = &g.values[2];
+        let solo_r = &reading_only.groups[gi].values[0];
+        let solo_w = &weight_only.groups[gi].values[0];
+        assert_eq!(sum_reading.value.to_bits(), solo_r.value.to_bits());
+        assert_eq!(sum_weight.value.to_bits(), solo_w.value.to_bits());
+        assert_eq!(
+            sum_reading.ci_half_width.unwrap().to_bits(),
+            solo_r.ci_half_width.unwrap().to_bits()
+        );
+        assert_eq!(
+            sum_weight.ci_half_width.unwrap().to_bits(),
+            solo_w.ci_half_width.unwrap().to_bits()
+        );
+        // AVG is the ratio of the two shared-pass expectations.
+        let avg = g.values[3].value;
+        assert_eq!(
+            avg.to_bits(),
+            (sum_reading.value / g.values[0].value).to_bits()
+        );
+    }
+
+    // And the MC answers still converge to the exact strategy's closed
+    // forms, per column, per group.
+    let exact = db
+        .query(
+            "SELECT room, COUNT(*), SUM(reading), SUM(weight), AVG(reading) FROM v2 \
+             GROUP BY room",
+        )
+        .unwrap()
+        .aggregate()
+        .unwrap()
+        .clone();
+    assert_eq!(exact.strategy, "exact");
+    for (m, e) in combined.groups.iter().zip(&exact.groups) {
+        assert_eq!(m.key, e.key);
+        for col in 0..3 {
+            let tol = 5.0 * m.values[col].ci_half_width.unwrap() + 1e-6;
+            assert!(
+                (m.values[col].value - e.values[col].value).abs() <= tol,
+                "group {:?} aggregate {col}: MC {} vs exact {} (tol {tol})",
+                m.key,
+                m.values[col].value,
+                e.values[col].value
+            );
+        }
+    }
+}
