@@ -114,10 +114,53 @@ fn bench_worlds_aggregates(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_windowed_aggregates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner_windowed_aggregate");
+    group.sample_size(20);
+    // Exact per-bucket closed forms as the relation (and bucket count:
+    // readings span [0, n/4), so n/64 buckets of width 16) grows.
+    for n in [512usize, 2048] {
+        let db = database(n);
+        group.bench_with_input(BenchmarkId::new("exact_window_count_sum", n), &n, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(
+                    db.query(
+                        "SELECT COUNT(*), SUM(reading) FROM v \
+                         GROUP BY WINDOW(reading, 16.0) HAVING COUNT(*) >= 2",
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    // The MC path: one bucket-seeded sampling run per window.
+    let db = database(256);
+    for threads in THREAD_COUNTS {
+        db.set_worlds_threads(threads);
+        group.bench_with_input(
+            BenchmarkId::new("mc_window_count", threads),
+            &threads,
+            |b, _| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        db.query(
+                            "SELECT COUNT(*) FROM v GROUP BY WINDOW(reading, 16.0) \
+                         WITH WORLDS 2048 SEED 1",
+                        )
+                        .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_select_paths,
     bench_exact_aggregates,
-    bench_worlds_aggregates
+    bench_worlds_aggregates,
+    bench_windowed_aggregates
 );
 criterion_main!(benches);

@@ -11,6 +11,32 @@
 //! The protocol is a strict request/response alternation, which is
 //! exactly what a blocking client wants: every method writes one frame
 //! and reads one frame.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tspdb_client::Client;
+//! use tspdb_core::SharedEngine;
+//! use tspdb_server::{demo_config, Server, ServerConfig};
+//!
+//! // An in-process loopback server stands in for the real deployment.
+//! let server = Server::bind(
+//!     "127.0.0.1:0",
+//!     SharedEngine::new(demo_config()),
+//!     ServerConfig::default(),
+//! )
+//! .unwrap()
+//! .spawn()
+//! .unwrap();
+//!
+//! let mut client = Client::connect(server.addr()).unwrap();
+//! client.query("CREATE TABLE readings (t INT, r FLOAT)").unwrap();
+//! client.query("INSERT INTO readings VALUES (1, 20.5), (2, 21.0)").unwrap();
+//! let out = client.query("SELECT COUNT(*) FROM readings").unwrap();
+//! assert_eq!(out.aggregate().unwrap().groups[0].values[0].value, 2.0);
+//! client.close().unwrap();
+//! server.shutdown();
+//! ```
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -106,6 +132,36 @@ impl Client {
     }
 
     /// Parses and executes one SQL statement on the server.
+    ///
+    /// Results come back as the same [`QueryOutput`] in-process callers
+    /// get; database-side failures are [`ClientError::Server`] and leave
+    /// the session usable.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tspdb_client::Client;
+    /// use tspdb_core::SharedEngine;
+    /// use tspdb_server::{demo_config, Server, ServerConfig};
+    ///
+    /// let server = Server::bind(
+    ///     "127.0.0.1:0",
+    ///     SharedEngine::new(demo_config()),
+    ///     ServerConfig::default(),
+    /// )
+    /// .unwrap()
+    /// .spawn()
+    /// .unwrap();
+    /// let mut client = Client::connect(server.addr()).unwrap();
+    ///
+    /// client.query("CREATE TABLE kv (k INT, v FLOAT)").unwrap();
+    /// let out = client.query("SELECT * FROM kv").unwrap();
+    /// assert_eq!(out.rows().unwrap().len(), 0);
+    /// // A bad statement errors server-side but keeps the session alive.
+    /// assert!(client.query("SELECT * FROM missing").is_err());
+    /// client.close().unwrap();
+    /// server.shutdown();
+    /// ```
     pub fn query(&mut self, sql: &str) -> Result<QueryOutput, ClientError> {
         match self.round_trip(&Request::Query {
             sql: sql.to_string(),

@@ -11,6 +11,29 @@
 //! * [`archtest`] — the ARCH-effect hypothesis test of Section VII-D
 //!   (eq. 15-16) used to verify time-varying volatility (Fig. 15).
 //! * [`order`] — AIC/BIC model-order selection (extension).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tspdb_models::fit_arma;
+//!
+//! // An AR(1) series x_t = 0.6·x_{t−1} + ε_t with LCG pseudo-noise.
+//! let mut state = 42u64;
+//! let mut next = || {
+//!     state = state
+//!         .wrapping_mul(6364136223846793005)
+//!         .wrapping_add(1442695040888963407);
+//!     (state >> 33) as f64 / (1u64 << 31) as f64 - 0.5
+//! };
+//! let mut x = vec![0.0f64];
+//! for i in 1..240 {
+//!     let prev = x[i - 1];
+//!     x.push(0.6 * prev + next());
+//! }
+//! let fit = fit_arma(&x, 1, 0).unwrap();
+//! assert!((fit.phi[0] - 0.6).abs() < 0.2, "phi = {}", fit.phi[0]);
+//! assert!(fit.sigma2_a > 0.0);
+//! ```
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]

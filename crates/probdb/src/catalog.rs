@@ -204,6 +204,26 @@ impl Database {
     /// threads can run queries at once (e.g. through the read side of an
     /// `RwLock`). Mutating statements are rejected with
     /// [`DbError::ReadOnly`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tspdb_probdb::{ColumnType, Database, ProbTable, Schema, Value};
+    ///
+    /// let mut db = Database::new();
+    /// let mut view = ProbTable::new("pv", Schema::of(&[("room", ColumnType::Int)]));
+    /// view.insert(vec![Value::Int(1)], 0.5).unwrap();
+    /// view.insert(vec![Value::Int(2)], 0.25).unwrap();
+    /// db.register_prob_table(view).unwrap();
+    ///
+    /// // Expected count E[COUNT(*)] = 0.5 + 0.25.
+    /// let out = db.query("SELECT COUNT(*) FROM pv").unwrap();
+    /// let agg = out.aggregate().unwrap();
+    /// assert!((agg.groups[0].values[0].value - 0.75).abs() < 1e-12);
+    ///
+    /// // Writes are rejected on this path.
+    /// assert!(db.query("DROP TABLE pv").is_err());
+    /// ```
     pub fn query(&self, sql: &str) -> Result<QueryOutput, DbError> {
         match parse(sql)? {
             Statement::Select(sel) => self.query_select(&sel),

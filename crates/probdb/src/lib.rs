@@ -24,6 +24,25 @@
 //! * [`worlds`] — possible-world sampling: the parallel, deterministic
 //!   [`worlds::WorldsExecutor`] behind `SELECT … WITH WORLDS`, plus the
 //!   sequential reference sampler.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tspdb_probdb::{ColumnType, Database, ProbTable, Schema, Value};
+//!
+//! let mut db = Database::new();
+//! let schema = Schema::of(&[("t", ColumnType::Int), ("room", ColumnType::Int)]);
+//! let mut pv = ProbTable::new("pv", schema);
+//! pv.insert(vec![Value::Int(1), Value::Int(2)], 0.9).unwrap();
+//! pv.insert(vec![Value::Int(3), Value::Int(2)], 0.4).unwrap();
+//! db.register_prob_table(pv).unwrap();
+//!
+//! // Temporal windows: expected sightings per 2-step bucket.
+//! let out = db.query("SELECT COUNT(*) FROM pv GROUP BY WINDOW(t, 2)").unwrap();
+//! let agg = out.aggregate().unwrap();
+//! assert_eq!(agg.groups.len(), 2); // buckets [0, 2) and [2, 4)
+//! assert!((agg.groups[0].values[0].value - 0.9).abs() < 1e-12);
+//! ```
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -57,7 +76,7 @@ pub use query::{CmpOp, Comparison, Conjunction};
 pub use schema::Schema;
 pub use sql::{
     parse, AggExpr, AggFunc, DensityViewSpec, HavingClause, SelectItem, SelectStmt, Statement,
-    WorldsClause,
+    WindowSpec, WorldsClause,
 };
 pub use table::{ProbTable, Table};
 pub use value::{ColumnType, Value, ValueKey};

@@ -33,7 +33,9 @@ use crate::catalog::{QueryOutput, Relation};
 use crate::error::DbError;
 use crate::query::{eval_conjunction, Conjunction, PROB_PSEUDO_COLUMN};
 use crate::schema::Schema;
-use crate::sql::{AggExpr, AggFunc, HavingClause, SelectItem, SelectStmt, WorldsClause};
+use crate::sql::{
+    AggExpr, AggFunc, HavingClause, SelectItem, SelectStmt, WindowSpec, WorldsClause,
+};
 use crate::table::{ProbTable, Table};
 use crate::value::{row_key, Value, ValueKey};
 use crate::worlds::{mix_seed, SumEstimate, WorldsConfig, WorldsExecutor};
@@ -97,6 +99,16 @@ pub enum LogicalPlan {
         /// Projected columns, in order.
         columns: Vec<String>,
     },
+    /// Bucket tuples into temporal windows (`GROUP BY WINDOW(…)`): each
+    /// tuple joins the half-open bucket containing its window-column value
+    /// (canonical index `⌊(value − origin) / width⌋`), and every bucket
+    /// becomes one aggregation group keyed by its bucket start.
+    Window {
+        /// Input operator.
+        input: Box<LogicalPlan>,
+        /// The window specification.
+        spec: WindowSpec,
+    },
     /// Grouped aggregation with an optional `HAVING` event predicate.
     Aggregate {
         /// Input operator.
@@ -129,6 +141,12 @@ impl LogicalPlan {
             } => format!("Sort {column} {}", if *ascending { "ASC" } else { "DESC" }),
             LogicalPlan::Limit { n, .. } => format!("Limit {n}"),
             LogicalPlan::Project { columns, .. } => format!("Project [{}]", columns.join(", ")),
+            LogicalPlan::Window { spec, .. } => format!(
+                "Window {} width={} origin={}",
+                spec.column,
+                spec.width,
+                spec.origin()
+            ),
             LogicalPlan::Aggregate {
                 group_by,
                 aggregates,
@@ -158,6 +176,7 @@ impl LogicalPlan {
             | LogicalPlan::Sort { input, .. }
             | LogicalPlan::Limit { input, .. }
             | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Window { input, .. }
             | LogicalPlan::Aggregate { input, .. } => Some(input),
         }
     }
@@ -221,6 +240,9 @@ pub enum PhysicalAction {
 /// The aggregate part of a physical plan.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AggregatePlan {
+    /// Optional temporal window bucketing; when present, every bucket is
+    /// one group keyed by its bucket start, ahead of the `group_by` values.
+    pub window: Option<WindowSpec>,
     /// Grouping columns (empty = one global group).
     pub group_by: Vec<String>,
     /// Aggregate expressions in projection order.
@@ -262,6 +284,9 @@ impl fmt::Display for PhysicalPlan {
             PhysicalAction::Aggregate(agg) => {
                 let aggs: Vec<String> = agg.aggregates.iter().map(|a| a.to_string()).collect();
                 write!(f, " → aggregate([{}]", aggs.join(", "))?;
+                if let Some(w) = &agg.window {
+                    write!(f, ", window={w}")?;
+                }
                 if !agg.group_by.is_empty() {
                     write!(f, ", group_by=[{}]", agg.group_by.join(", "))?;
                 }
@@ -328,11 +353,16 @@ impl Planner {
     /// * plain projected columns must appear in `GROUP BY` when the
     ///   projection carries aggregates (the result is keyed by the full
     ///   `GROUP BY` list in `GROUP BY` order — see [`AggregateResult`]);
-    /// * `GROUP BY` / `HAVING` require an aggregate projection;
+    /// * `GROUP BY` (windowed or not) / `HAVING` require an aggregate
+    ///   projection;
     /// * aggregate queries reject `ORDER BY` / `LIMIT` (groups are
     ///   returned in canonical key order);
+    /// * `GROUP BY WINDOW(…)` needs a positive, finite width (and a finite
+    ///   origin when given); buckets become ordinary groups keyed by their
+    ///   bucket start, ahead of the plain `GROUP BY` values;
     /// * `HAVING` must compare `COUNT(*)` against a numeric literal (the
-    ///   only event predicate with an implemented evaluation);
+    ///   only event predicate with an implemented evaluation —
+    ///   `HAVING SUM(…)` names the missing sum-distribution closed form);
     /// * `WITH WORLDS` rejects `ORDER BY` / `LIMIT`
     ///   ([`DbError::InvalidWorlds`], as before the planner existed).
     pub fn plan(sel: &SelectStmt) -> Result<PlannedQuery, DbError> {
@@ -354,7 +384,7 @@ impl Planner {
             .collect();
 
         if aggregates.is_empty() {
-            if !sel.group_by.is_empty() {
+            if !sel.group_by.is_empty() || sel.window.is_some() {
                 return Err(DbError::Plan(
                     "GROUP BY requires at least one aggregate in the projection".into(),
                 ));
@@ -379,19 +409,11 @@ impl Planner {
                         .into(),
                 ));
             }
+            if let Some(w) = &sel.window {
+                validate_window(w)?;
+            }
             if let Some(h) = &sel.having {
-                if h.agg != AggExpr::count() {
-                    return Err(DbError::Plan(format!(
-                        "HAVING supports only COUNT(*) event predicates, got {}",
-                        h.agg
-                    )));
-                }
-                if h.value.as_f64().is_none() {
-                    return Err(DbError::Plan(format!(
-                        "HAVING compares COUNT(*) against a number, got {:?}",
-                        h.value
-                    )));
-                }
+                validate_having(h)?;
             }
         }
         if sel.worlds.is_some() && (sel.order_by.is_some() || sel.limit.is_some()) {
@@ -451,7 +473,14 @@ impl Planner {
                 limit: sel.limit,
             }
         } else {
+            if let Some(w) = &sel.window {
+                logical = LogicalPlan::Window {
+                    input: Box::new(logical),
+                    spec: w.clone(),
+                };
+            }
             let agg_plan = AggregatePlan {
+                window: sel.window.clone(),
                 group_by: sel.group_by.clone(),
                 aggregates: aggregates.clone(),
                 having: sel.having.clone(),
@@ -521,7 +550,11 @@ pub struct AggregateGroup {
 /// regardless of how many of those columns the projection repeated or in
 /// what order — plain projected columns only have to *appear* in
 /// `GROUP BY` (the planner checks that); they do not reorder or narrow
-/// the group key.
+/// the group key. A `GROUP BY WINDOW(…)` bucketing contributes the bucket
+/// start as the **first** key value (a float), with the window's canonical
+/// rendering as the matching first entry of `group_columns` — so windowed
+/// results reuse this struct unchanged and cross the wire without any new
+/// frame shape.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AggregateResult {
     /// `GROUP BY` column names (empty = single global group).
@@ -813,8 +846,14 @@ impl WorldsStrategy {
         seed: u64,
     ) -> Result<AggregateResult, DbError> {
         validate_aggregate_plan(plan)?;
-        let groups = group_rows(t.schema(), t.rows(), keep, &plan.group_by)?;
-        let single_group = plan.group_by.is_empty();
+        let groups = group_rows(
+            t.schema(),
+            t.rows(),
+            keep,
+            plan.window.as_ref(),
+            &plan.group_by,
+        )?;
+        let single_group = plan.window.is_none() && plan.group_by.is_empty();
         let mut out = Vec::with_capacity(groups.len());
         for (gi, (key, indices)) in groups.into_iter().enumerate() {
             let group_seed = if single_group {
@@ -886,7 +925,7 @@ impl WorldsStrategy {
             });
         }
         Ok(AggregateResult {
-            group_columns: plan.group_by.clone(),
+            group_columns: group_columns_of(plan),
             aggregates: plan.aggregates.clone(),
             having: plan.having.clone(),
             strategy: "worlds",
@@ -1044,35 +1083,81 @@ fn select_probabilistic(
 /// One aggregation group: its key values and its member row indices.
 type Group = (Vec<Value>, Vec<usize>);
 
-/// Splits the kept row indices into groups by the `GROUP BY` columns,
-/// returned in canonical group-key order ([`ValueKey`] order — the
-/// deterministic order both strategies and `GROUP BY` output share). An
-/// empty `group_by` yields one global group with an empty key. Works over
-/// any relation kind — callers pass the schema and row storage.
+/// Splits the kept row indices into groups by the optional temporal
+/// window and the `GROUP BY` columns, returned in canonical group-key
+/// order ([`ValueKey`] order — the deterministic order both strategies
+/// and `GROUP BY` output share). A windowed plan keys each group by the
+/// bucket start ([`WindowSpec::bucket_start`], always a float) ahead of
+/// the `GROUP BY` values; no window and an empty `group_by` yield one
+/// global group with an empty key. Works over any relation kind —
+/// callers pass the schema and row storage.
 fn group_rows(
     schema: &Schema,
     rows: &[Vec<Value>],
     keep: &[usize],
+    window: Option<&WindowSpec>,
     group_by: &[String],
 ) -> Result<Vec<Group>, DbError> {
-    if group_by.is_empty() {
+    if window.is_none() && group_by.is_empty() {
         return Ok(vec![(Vec::new(), keep.to_vec())]);
     }
     let mut idx = Vec::with_capacity(group_by.len());
     for col in group_by {
         idx.push(schema.index_of(col)?);
     }
+    // Per-kept-row bucket starts (windowed plans only), computed once so
+    // the canonical bucket index is derived exactly one way everywhere.
+    let starts: Vec<f64> = match window {
+        Some(w) => {
+            let c = schema.index_of(&w.column)?;
+            keep.iter()
+                .map(|&i| {
+                    let v = rows[i][c].as_f64().ok_or_else(|| DbError::TypeMismatch {
+                        column: w.column.clone(),
+                        expected: crate::value::ColumnType::Float,
+                        got: rows[i][c].column_type(),
+                    })?;
+                    Ok(w.bucket_start(v))
+                })
+                .collect::<Result<_, DbError>>()?
+        }
+        None => Vec::new(),
+    };
     let mut groups: BTreeMap<Vec<ValueKey<'_>>, Vec<usize>> = BTreeMap::new();
-    for &i in keep {
-        groups.entry(row_key(&rows[i], &idx)).or_default().push(i);
+    for (ki, &i) in keep.iter().enumerate() {
+        let mut key = Vec::with_capacity(idx.len() + usize::from(window.is_some()));
+        if window.is_some() {
+            key.push(ValueKey::Float(starts[ki]));
+        }
+        key.extend(row_key(&rows[i], &idx));
+        groups.entry(key).or_default().push(i);
     }
     Ok(groups
-        .into_values()
-        .map(|indices| {
-            let key: Vec<Value> = idx.iter().map(|&c| rows[indices[0]][c].clone()).collect();
+        .into_iter()
+        .map(|(group_key, indices)| {
+            let mut key: Vec<Value> = Vec::with_capacity(group_key.len());
+            if window.is_some() {
+                match group_key[0] {
+                    ValueKey::Float(start) => key.push(Value::Float(start)),
+                    _ => unreachable!("window keys are always floats"),
+                }
+            }
+            key.extend(idx.iter().map(|&c| rows[indices[0]][c].clone()));
             (key, indices)
         })
         .collect())
+}
+
+/// The result's group-column names: the window label (its canonical
+/// `WINDOW(col, width[, origin])` rendering) ahead of the `GROUP BY`
+/// columns — matching the key layout [`group_rows`] produces.
+fn group_columns_of(plan: &AggregatePlan) -> Vec<String> {
+    let mut cols = Vec::with_capacity(plan.group_by.len() + usize::from(plan.window.is_some()));
+    if let Some(w) = &plan.window {
+        cols.push(w.to_string());
+    }
+    cols.extend(plan.group_by.iter().cloned());
+    cols
 }
 
 /// Extracts a numeric column over the given row indices (errors on text
@@ -1113,19 +1198,61 @@ fn validate_aggregate_plan(plan: &AggregatePlan) -> Result<(), DbError> {
             _ => {}
         }
     }
+    if let Some(w) = &plan.window {
+        validate_window(w)?;
+    }
     if let Some(h) = &plan.having {
-        if h.agg != AggExpr::count() {
+        validate_having(h)?;
+    }
+    Ok(())
+}
+
+/// Validates a `GROUP BY WINDOW(…)` specification: the width must be a
+/// positive, finite float (the canonical bucket index divides by it), and
+/// an explicit origin must be finite.
+fn validate_window(w: &WindowSpec) -> Result<(), DbError> {
+    if !(w.width > 0.0) || !w.width.is_finite() {
+        return Err(DbError::Plan(format!(
+            "WINDOW width must be positive and finite, got {}",
+            w.width
+        )));
+    }
+    if let Some(o) = w.origin {
+        if !o.is_finite() {
             return Err(DbError::Plan(format!(
-                "HAVING supports only COUNT(*) event predicates, got {}",
-                h.agg
+                "WINDOW origin must be finite, got {o}"
             )));
         }
-        if h.value.as_f64().is_none() {
+    }
+    Ok(())
+}
+
+/// Validates a `HAVING` event predicate. Only `COUNT(*)` events have an
+/// implemented evaluation; `HAVING SUM(…)` gets a dedicated message
+/// because it is the one shape users reach for next — its closed form
+/// (a sum-distribution DP, or an MC-only lowering) is an open ROADMAP
+/// item, not a parse failure.
+fn validate_having(h: &HavingClause) -> Result<(), DbError> {
+    if h.agg != AggExpr::count() {
+        if h.agg.func == AggFunc::Sum {
             return Err(DbError::Plan(format!(
-                "HAVING compares COUNT(*) against a number, got {:?}",
-                h.value
+                "HAVING {} {} … event predicates are not supported yet: \
+                 P(SUM {} s) needs a sum-distribution closed form (or an \
+                 MC-only lowering) — see the ROADMAP open item \"HAVING SUM \
+                 closed form\"; only COUNT(*) event predicates are evaluable",
+                h.agg, h.op, h.op
             )));
         }
+        return Err(DbError::Plan(format!(
+            "HAVING supports only COUNT(*) event predicates, got {}",
+            h.agg
+        )));
+    }
+    if h.value.as_f64().is_none() {
+        return Err(DbError::Plan(format!(
+            "HAVING compares COUNT(*) against a number, got {:?}",
+            h.value
+        )));
     }
     Ok(())
 }
@@ -1181,7 +1308,13 @@ fn aggregate_exact(
     validate_aggregate_plan(plan)?;
     let needs_distribution =
         plan.having.is_some() || plan.aggregates.iter().any(|a| a.func == AggFunc::Count);
-    let groups = group_rows(t.schema(), t.rows(), keep, &plan.group_by)?;
+    let groups = group_rows(
+        t.schema(),
+        t.rows(),
+        keep,
+        plan.window.as_ref(),
+        &plan.group_by,
+    )?;
     let mut out = Vec::with_capacity(groups.len());
     for (key, indices) in groups {
         let probs: Vec<f64> = indices.iter().map(|&i| t.probs()[i]).collect();
@@ -1234,7 +1367,7 @@ fn aggregate_exact(
         });
     }
     Ok(AggregateResult {
-        group_columns: plan.group_by.clone(),
+        group_columns: group_columns_of(plan),
         aggregates: plan.aggregates.clone(),
         having: plan.having.clone(),
         strategy: "exact",
@@ -1252,7 +1385,13 @@ fn aggregate_deterministic(
 ) -> Result<AggregateResult, DbError> {
     validate_aggregate_plan(plan)?;
     let keep = filter_rows(t.schema(), t.rows(), None, pred)?;
-    let groups = group_rows(t.schema(), t.rows(), &keep, &plan.group_by)?;
+    let groups = group_rows(
+        t.schema(),
+        t.rows(),
+        &keep,
+        plan.window.as_ref(),
+        &plan.group_by,
+    )?;
     let mut out = Vec::new();
     for (key, indices) in groups {
         let count = indices.len() as f64;
@@ -1305,7 +1444,7 @@ fn aggregate_deterministic(
         });
     }
     Ok(AggregateResult {
-        group_columns: plan.group_by.clone(),
+        group_columns: group_columns_of(plan),
         aggregates: plan.aggregates.clone(),
         having: plan.having.clone(),
         strategy: "exact",
@@ -1473,6 +1612,195 @@ mod tests {
     }
 
     #[test]
+    fn windowed_exact_aggregates_bucket_canonically() {
+        let rel = Relation::Probabilistic(fig1());
+        // Width 2 from origin 0 over time ∈ {1, 2}: bucket [0, 2) holds the
+        // four t=1 tuples, bucket [2, 4) the two t=2 tuples.
+        let out = run(
+            "SELECT COUNT(*), SUM(room) FROM pv GROUP BY WINDOW(time, 2)",
+            &rel,
+        );
+        let agg = out.aggregate().unwrap();
+        assert_eq!(agg.group_columns, vec!["WINDOW(time, 2.0)".to_string()]);
+        assert_eq!(agg.groups.len(), 2);
+        assert_eq!(agg.groups[0].key, vec![Value::Float(0.0)]);
+        assert!((agg.groups[0].values[0].value - 1.0).abs() < 1e-12); // Σp at t=1
+        assert!((agg.groups[0].values[1].value - 2.0).abs() < 1e-12); // E[Σ room | t=1]
+        assert_eq!(agg.groups[1].key, vec![Value::Float(2.0)]);
+        assert!((agg.groups[1].values[0].value - 0.6).abs() < 1e-12);
+        assert!((agg.groups[1].values[1].value - 1.0).abs() < 1e-12);
+
+        // An origin shifts the alignment: width 2 from origin 1 puts both
+        // timestamps into the single bucket [1, 3).
+        let out = run("SELECT COUNT(*) FROM pv GROUP BY WINDOW(time, 2, 1)", &rel);
+        let agg = out.aggregate().unwrap();
+        assert_eq!(agg.groups.len(), 1);
+        assert_eq!(agg.groups[0].key, vec![Value::Float(1.0)]);
+        assert!((agg.groups[0].values[0].value - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_composes_with_group_by_columns() {
+        let rel = Relation::Probabilistic(fig1());
+        let out = run(
+            "SELECT room, COUNT(*) FROM pv GROUP BY WINDOW(time, 2), room",
+            &rel,
+        );
+        let agg = out.aggregate().unwrap();
+        assert_eq!(
+            agg.group_columns,
+            vec!["WINDOW(time, 2.0)".to_string(), "room".to_string()]
+        );
+        // Bucket [0, 2) has rooms 1–4, bucket [2, 4) rooms 1–2: 6 groups in
+        // canonical (bucket, room) order.
+        assert_eq!(agg.groups.len(), 6);
+        assert_eq!(agg.groups[0].key, vec![Value::Float(0.0), Value::Int(1)]);
+        assert_eq!(
+            agg.groups.last().unwrap().key,
+            vec![Value::Float(2.0), Value::Int(2)]
+        );
+    }
+
+    #[test]
+    fn windowed_having_reports_per_bucket_event_probability() {
+        let rel = Relation::Probabilistic(fig1());
+        let out = run(
+            "SELECT COUNT(*) FROM pv GROUP BY WINDOW(time, 2) HAVING COUNT(*) >= 1",
+            &rel,
+        );
+        let agg = out.aggregate().unwrap();
+        assert_eq!(agg.groups.len(), 2);
+        // Bucket [0, 2): 1 − 0.5·0.9·0.7·0.9 = 0.7165; bucket [2, 4):
+        // 1 − 0.8·0.6 = 0.52.
+        let p0 = agg.groups[0].event_probability.unwrap();
+        let p1 = agg.groups[1].event_probability.unwrap();
+        assert!((p0 - 0.7165).abs() < 1e-12, "got {p0}");
+        assert!((p1 - 0.52).abs() < 1e-12, "got {p1}");
+    }
+
+    #[test]
+    fn windowed_worlds_aggregates_are_thread_invariant_and_converge() {
+        let rel = Relation::Probabilistic(fig1());
+        let sql = "SELECT COUNT(*), SUM(room) FROM pv GROUP BY WINDOW(time, 2) \
+                   HAVING COUNT(*) >= 1 WITH WORLDS 40000 SEED 21";
+        let planned = plan_sql(sql);
+        let one = planned
+            .strategy(1)
+            .execute(&rel, &planned.physical)
+            .unwrap();
+        let eight = planned
+            .strategy(8)
+            .execute(&rel, &planned.physical)
+            .unwrap();
+        let (one, eight) = match (&one, &eight) {
+            (QueryOutput::Aggregate(a), QueryOutput::Aggregate(b)) => (a, b),
+            other => panic!("wrong outputs: {other:?}"),
+        };
+        assert_eq!(
+            one.fingerprint(),
+            eight.fingerprint(),
+            "thread count changed windowed MC aggregates"
+        );
+        let exact = match run(
+            "SELECT COUNT(*), SUM(room) FROM pv GROUP BY WINDOW(time, 2) HAVING COUNT(*) >= 1",
+            &rel,
+        ) {
+            QueryOutput::Aggregate(a) => a,
+            other => panic!("wrong output: {other:?}"),
+        };
+        assert_eq!(one.groups.len(), exact.groups.len());
+        for (mc, ex) in one.groups.iter().zip(&exact.groups) {
+            assert_eq!(mc.key, ex.key, "bucket keys must align");
+            for (m, e) in mc.values.iter().zip(&ex.values) {
+                let tol = 3.0 * m.ci_half_width.unwrap_or(0.05) + 1e-3;
+                assert!(
+                    (m.value - e.value).abs() <= tol,
+                    "MC {} vs exact {} (tol {tol})",
+                    m.value,
+                    e.value
+                );
+            }
+            let (mp, ep) = (mc.event_probability.unwrap(), ex.event_probability.unwrap());
+            assert!((mp - ep).abs() < 0.02, "event MC {mp} vs exact {ep}");
+        }
+    }
+
+    #[test]
+    fn windowed_deterministic_aggregates_follow_sql_semantics() {
+        let schema = Schema::of(&[("x", ColumnType::Float), ("v", ColumnType::Int)]);
+        let mut t = Table::new("t", schema);
+        // Negative values exercise the floor (not truncate-toward-zero)
+        // bucket index: −0.5 lands in bucket [−5, 0), not [0, 5).
+        for (x, v) in [(-0.5, 1), (1.0, 2), (4.9, 3), (5.0, 4), (12.0, 5)] {
+            t.insert(vec![Value::Float(x), Value::Int(v)]).unwrap();
+        }
+        let rel = Relation::Deterministic(t);
+        let out = run(
+            "SELECT COUNT(*), SUM(v) FROM t GROUP BY WINDOW(x, 5) HAVING COUNT(*) >= 2",
+            &rel,
+        );
+        let agg = out.aggregate().unwrap();
+        // Buckets: [−5, 0) → {1}, [0, 5) → {2, 3}, [5, 10) → {4},
+        // [10, 15) → {5}; HAVING keeps only [0, 5).
+        assert_eq!(agg.groups.len(), 1);
+        assert_eq!(agg.groups[0].key, vec![Value::Float(0.0)]);
+        assert_eq!(agg.groups[0].values[0].value, 2.0);
+        assert_eq!(agg.groups[0].values[1].value, 5.0);
+    }
+
+    #[test]
+    fn window_over_text_column_errors() {
+        let schema = Schema::of(&[("tag", ColumnType::Text)]);
+        let mut v = ProbTable::new("pv", schema);
+        v.insert(vec![Value::from("a")], 0.5).unwrap();
+        let rel = Relation::Probabilistic(v);
+        let planned = plan_sql("SELECT COUNT(*) FROM pv GROUP BY WINDOW(tag, 2)");
+        let err = planned
+            .strategy(1)
+            .execute(&rel, &planned.physical)
+            .unwrap_err();
+        assert!(matches!(err, DbError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn window_plans_render_in_logical_and_physical_form() {
+        let planned = plan_sql(
+            "SELECT COUNT(*) FROM pv WHERE room = 1 GROUP BY WINDOW(time, 2.5, 1) \
+             WITH WORLDS 100 SEED 3",
+        );
+        let logical = planned.logical.to_string();
+        assert!(
+            logical.contains("Window time width=2.5 origin=1"),
+            "{logical}"
+        );
+        assert!(
+            logical.starts_with("Aggregate [COUNT(*)]"),
+            "window sits below the aggregate: {logical}"
+        );
+        let physical = planned.physical.to_string();
+        assert!(
+            physical.contains("window=WINDOW(time, 2.5, 1.0)"),
+            "{physical}"
+        );
+        // Windows without aggregates have no plan.
+        assert!(matches!(
+            plan_err("SELECT room FROM pv GROUP BY WINDOW(time, 2)"),
+            DbError::Plan(_)
+        ));
+    }
+
+    #[test]
+    fn having_sum_reports_the_dedicated_unsupported_shape() {
+        let err = plan_err("SELECT COUNT(*) FROM pv HAVING SUM(room) >= 3");
+        let DbError::Plan(msg) = &err else {
+            panic!("expected DbError::Plan, got {err:?}");
+        };
+        assert!(msg.contains("SUM(room)"), "names the shape: {msg}");
+        assert!(msg.contains("sum-distribution"), "names the fix: {msg}");
+        assert!(msg.contains("ROADMAP"), "points at the open item: {msg}");
+    }
+
+    #[test]
     fn avg_and_expected_are_consistent() {
         let rel = Relation::Probabilistic(fig1());
         let out = run(
@@ -1588,6 +1916,7 @@ mod tests {
         let det = Relation::Deterministic(Table::new("t", Schema::of(&[("g", ColumnType::Int)])));
         let broken = [
             AggregatePlan {
+                window: None,
                 group_by: Vec::new(),
                 aggregates: vec![AggExpr {
                     func: AggFunc::Sum,
@@ -1596,6 +1925,7 @@ mod tests {
                 having: None,
             },
             AggregatePlan {
+                window: None,
                 group_by: Vec::new(),
                 aggregates: vec![AggExpr::count()],
                 having: Some(HavingClause {
@@ -1603,6 +1933,26 @@ mod tests {
                     op: CmpOp::Ge,
                     value: Value::from("two"), // text literal
                 }),
+            },
+            AggregatePlan {
+                window: Some(crate::sql::WindowSpec {
+                    column: "time".into(),
+                    width: 0.0, // the parser would reject this width
+                    origin: None,
+                }),
+                group_by: Vec::new(),
+                aggregates: vec![AggExpr::count()],
+                having: None,
+            },
+            AggregatePlan {
+                window: Some(crate::sql::WindowSpec {
+                    column: "time".into(),
+                    width: 1.0,
+                    origin: Some(f64::INFINITY), // non-finite origin
+                }),
+                group_by: Vec::new(),
+                aggregates: vec![AggExpr::count()],
+                having: None,
             },
         ];
         for agg_plan in broken {
@@ -1675,13 +2025,13 @@ mod tests {
             v.insert(vec![Value::Int(g)], 0.5).unwrap();
         }
         let keep: Vec<usize> = (0..v.len()).collect();
-        let groups = group_rows(v.schema(), v.rows(), &keep, &["g".to_string()]).unwrap();
+        let groups = group_rows(v.schema(), v.rows(), &keep, None, &["g".to_string()]).unwrap();
         let keys: Vec<i64> = groups.iter().map(|(k, _)| k[0].as_i64().unwrap()).collect();
         assert_eq!(keys, vec![1, 3, 5]);
         assert_eq!(groups[0].1, vec![1, 3]);
         // Unknown group column errors.
         assert!(matches!(
-            group_rows(v.schema(), v.rows(), &keep, &["nope".to_string()]),
+            group_rows(v.schema(), v.rows(), &keep, None, &["nope".to_string()]),
             Err(DbError::UnknownColumn(_))
         ));
     }

@@ -21,6 +21,11 @@
 //!   event predicate such as `HAVING COUNT(*) >= 2` (the probability that
 //!   the group's tuple count is at least 2). Aggregate queries are planned
 //!   and evaluated by [`crate::plan`];
+//! * **temporal windows** — `GROUP BY WINDOW(<col>, <width> [, <origin>])`
+//!   buckets tuples by a numeric column into half-open intervals
+//!   `[origin + k·width, origin + (k+1)·width)` and aggregates per bucket
+//!   (`origin` defaults to 0). The window composes with further `GROUP BY`
+//!   columns and with `HAVING`/`WITH WORLDS`; see [`WindowSpec`];
 //! * `THRESHOLD <tau>` — keep only tuples with probability ≥ τ
 //!   ([`crate::query::threshold`]);
 //! * `TOP <k>` — the k most probable tuples ([`crate::query::top_k`]);
@@ -186,6 +191,51 @@ impl fmt::Display for HavingClause {
     }
 }
 
+/// A temporal window bucketing: `WINDOW(<col>, <width> [, <origin>])`
+/// inside a `GROUP BY` list.
+///
+/// Tuples are assigned to half-open buckets
+/// `[origin + k·width, origin + (k+1)·width)` by the **canonical bucket
+/// index** `k = ⌊(value − origin) / width⌋` over the numeric window column;
+/// each bucket becomes one aggregation group keyed by its bucket *start*
+/// `origin + k·width` (a float), ahead of any further `GROUP BY` columns.
+/// `origin` defaults to 0 when omitted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSpec {
+    /// The bucketed (numeric) column — typically the time column.
+    pub column: String,
+    /// Bucket width; must be positive and finite.
+    pub width: f64,
+    /// Bucket alignment origin (`None` = 0).
+    pub origin: Option<f64>,
+}
+
+impl WindowSpec {
+    /// The effective alignment origin (0 when omitted).
+    pub fn origin(&self) -> f64 {
+        self.origin.unwrap_or(0.0)
+    }
+
+    /// The start of the bucket containing `value`: `origin + k·width` with
+    /// the canonical index `k = ⌊(value − origin) / width⌋`. Every strategy
+    /// derives bucket keys through this one function, so exact and
+    /// Monte-Carlo evaluation agree on bucket boundaries bit for bit.
+    pub fn bucket_start(&self, value: f64) -> f64 {
+        let origin = self.origin();
+        origin + ((value - origin) / self.width).floor() * self.width
+    }
+}
+
+impl fmt::Display for WindowSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "WINDOW({}, {:?}", self.column, self.width)?;
+        if let Some(o) = self.origin {
+            write!(f, ", {o:?}")?;
+        }
+        f.write_str(")")
+    }
+}
+
 /// A `SELECT` statement over a deterministic table or probabilistic view.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SelectStmt {
@@ -196,6 +246,10 @@ pub struct SelectStmt {
     /// Conjunctive predicate (may reference the `prob` pseudo-column on
     /// probabilistic views).
     pub predicate: Conjunction,
+    /// Optional temporal window bucketing (`GROUP BY WINDOW(…)`; aggregate
+    /// queries only). At most one window per statement; it composes with
+    /// plain `group_by` columns.
+    pub window: Option<WindowSpec>,
     /// `GROUP BY` columns (aggregate queries only).
     pub group_by: Vec<String>,
     /// Optional `HAVING` event predicate (aggregate queries only).
@@ -659,11 +713,21 @@ impl Parser {
             predicate = self.conjunction()?;
         }
         let mut group_by = Vec::new();
+        let mut window = None;
         if self.peek_kw("GROUP") {
             self.next();
             self.expect_kw("BY")?;
             loop {
-                group_by.push(self.expect_ident()?);
+                // `WINDOW` is only the bucketing form when followed by `(`;
+                // otherwise it is an ordinary grouping column name.
+                if self.peek_kw("WINDOW") && self.tokens.get(self.pos + 1) == Some(&Token::LParen) {
+                    if window.is_some() {
+                        return Err(self.error("GROUP BY allows at most one WINDOW bucketing"));
+                    }
+                    window = Some(self.window_spec()?);
+                } else {
+                    group_by.push(self.expect_ident()?);
+                }
                 if self.peek() == Some(&Token::Comma) {
                     self.next();
                 } else {
@@ -751,6 +815,7 @@ impl Parser {
             projection,
             table,
             predicate,
+            window,
             group_by,
             having,
             threshold,
@@ -759,6 +824,37 @@ impl Parser {
             limit,
             worlds,
         }))
+    }
+
+    /// `WINDOW(col, width [, origin])` inside a `GROUP BY` list; the caller
+    /// has already seen the keyword and the `(`.
+    fn window_spec(&mut self) -> Result<WindowSpec, DbError> {
+        self.next(); // WINDOW
+        self.expect_token(Token::LParen)?;
+        let column = self.expect_ident()?;
+        self.expect_token(Token::Comma)?;
+        let width = self.expect_number()?;
+        if !(width > 0.0) || !width.is_finite() {
+            return Err(self.error(format!("WINDOW width must be positive, got {width}")));
+        }
+        let origin = if self.peek() == Some(&Token::Comma) {
+            self.next();
+            let o = self.expect_number()?;
+            // Like the width, a non-finite origin (e.g. the overflowing
+            // literal 1e999) would break the parse→format→parse identity.
+            if !o.is_finite() {
+                return Err(self.error(format!("WINDOW origin must be finite, got {o}")));
+            }
+            Some(o)
+        } else {
+            None
+        };
+        self.expect_token(Token::RParen)?;
+        Ok(WindowSpec {
+            column,
+            width,
+            origin,
+        })
     }
 
     /// `VIEW name AS DENSITY col OVER col OMEGA delta=…, n=… FROM table
@@ -871,8 +967,20 @@ impl fmt::Display for SelectStmt {
             f.write_str(" WHERE ")?;
             fmt_conjunction(&self.predicate, f)?;
         }
-        if !self.group_by.is_empty() {
-            write!(f, " GROUP BY {}", self.group_by.join(", "))?;
+        if self.window.is_some() || !self.group_by.is_empty() {
+            f.write_str(" GROUP BY ")?;
+            let mut first = true;
+            if let Some(w) = &self.window {
+                w.fmt(f)?;
+                first = false;
+            }
+            for col in &self.group_by {
+                if !first {
+                    f.write_str(", ")?;
+                }
+                f.write_str(col)?;
+                first = false;
+            }
         }
         if let Some(h) = &self.having {
             write!(f, " HAVING {h}")?;
@@ -1120,6 +1228,86 @@ mod tests {
     }
 
     #[test]
+    fn parses_group_by_window() {
+        let sql =
+            "SELECT COUNT(*), SUM(r) FROM pv GROUP BY WINDOW(t, 3600), room HAVING COUNT(*) >= 2";
+        match parse(sql).unwrap() {
+            Statement::Select(s) => {
+                let w = s.window.unwrap();
+                assert_eq!(w.column, "t");
+                assert_eq!(w.width, 3600.0);
+                assert_eq!(w.origin, None);
+                assert_eq!(s.group_by, vec!["room".to_string()]);
+                assert!(s.having.is_some());
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+        // The window may appear anywhere in the GROUP BY list, with a
+        // fractional width and a negative origin.
+        match parse("SELECT COUNT(*) FROM pv GROUP BY room, WINDOW(t, 0.5, -2.25)").unwrap() {
+            Statement::Select(s) => {
+                let w = s.window.unwrap();
+                assert_eq!(w.width, 0.5);
+                assert_eq!(w.origin, Some(-2.25));
+                assert_eq!(w.origin(), -2.25);
+                assert_eq!(s.group_by, vec!["room".to_string()]);
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn window_keyword_without_parens_stays_a_column() {
+        // Like the aggregate names, `window` is only special when followed
+        // by '(' inside GROUP BY.
+        match parse("SELECT window, COUNT(*) FROM t GROUP BY window").unwrap() {
+            Statement::Select(s) => {
+                assert_eq!(s.window, None);
+                assert_eq!(s.group_by, vec!["window".to_string()]);
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_windows() {
+        for bad in [
+            "SELECT COUNT(*) FROM pv GROUP BY WINDOW(t, 0)", // zero width
+            "SELECT COUNT(*) FROM pv GROUP BY WINDOW(t, -5)", // negative
+            "SELECT COUNT(*) FROM pv GROUP BY WINDOW(t)",    // no width
+            "SELECT COUNT(*) FROM pv GROUP BY WINDOW(t, 1, 2, 3)", // extra arg
+            "SELECT COUNT(*) FROM pv GROUP BY WINDOW(t, 1), WINDOW(r, 2)", // two windows
+            "SELECT COUNT(*) FROM pv GROUP BY WINDOW(, 1)",  // no column
+            "SELECT COUNT(*) FROM pv GROUP BY WINDOW(t, 1e999)", // overflow → inf width
+            "SELECT COUNT(*) FROM pv GROUP BY WINDOW(t, 1, 1e999)", // overflow → inf origin
+        ] {
+            assert!(
+                matches!(parse(bad), Err(DbError::Parse(_))),
+                "should fail: {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_start_uses_floor_semantics() {
+        let w = WindowSpec {
+            column: "t".into(),
+            width: 2.0,
+            origin: None,
+        };
+        assert_eq!(w.bucket_start(3.0), 2.0);
+        assert_eq!(w.bucket_start(4.0), 4.0);
+        assert_eq!(w.bucket_start(-0.5), -2.0);
+        let o = WindowSpec {
+            column: "t".into(),
+            width: 2.0,
+            origin: Some(1.0),
+        };
+        assert_eq!(o.bucket_start(3.0), 3.0);
+        assert_eq!(o.bucket_start(0.5), -1.0);
+    }
+
+    #[test]
     fn aggregate_names_without_parens_stay_plain_columns() {
         // `count`, `sum` etc. are only aggregate keywords when followed by
         // '('; otherwise they are ordinary identifiers.
@@ -1299,6 +1487,8 @@ mod tests {
             "SELECT * FROM pv THRESHOLD 0.5 TOP 4 WITH WORLDS 1000 SEED 3 CONFIDENCE 0.05",
             "SELECT COUNT(*) FROM pv WHERE room = 2",
             "SELECT g, COUNT(*), SUM(r) FROM pv GROUP BY g HAVING COUNT(*) >= 2",
+            "SELECT COUNT(*), SUM(r) FROM pv GROUP BY WINDOW(t, 3600.0) HAVING COUNT(*) >= 2",
+            "SELECT g, COUNT(*) FROM pv GROUP BY WINDOW(t, 0.5, -2.25), g WITH WORLDS 100 SEED 2",
             "SELECT AVG(r), EXPECTED(r) FROM pv GROUP BY g THRESHOLD 0.25 WITH WORLDS 500 SEED 1",
             "EXPLAIN SELECT SUM(r) FROM pv GROUP BY g WITH WORLDS 100",
             "CREATE VIEW v AS DENSITY r OVER t OMEGA delta=0.05, n=300 \
@@ -1367,11 +1557,15 @@ mod roundtrip_props {
                 0usize..TABLES.len(),
             ),
             proptest::collection::vec((0usize..COLS.len(), 0usize..6, 0usize..3, -50i64..50), 0..3),
-            // GROUP BY columns and HAVING (op index; 0 = none, k).
+            // GROUP BY columns, HAVING (op index; 0 = none, k) and the
+            // window (kind; 0 = none, otherwise column + origin presence,
+            // and the width/origin scale).
             (
                 proptest::collection::vec(0usize..COLS.len(), 0..3),
                 0usize..7,
                 0i64..6,
+                0usize..(2 * COLS.len() + 1),
+                1usize..9,
             ),
             // threshold quarters (0 = none), TOP k (0 = none), ORDER BY
             // (0 = none, then column+direction), LIMIT (0 = none).
@@ -1386,7 +1580,13 @@ mod roundtrip_props {
             ),
         )
             .prop_map(
-                |((items, table), preds, (groups, having_op, having_k), clauses, worlds)| {
+                |(
+                    (items, table),
+                    preds,
+                    (groups, having_op, having_k, win, win_scale),
+                    clauses,
+                    worlds,
+                )| {
                     let mut group_by: Vec<String> =
                         groups.into_iter().map(|c| COLS[c].to_string()).collect();
                     group_by.dedup();
@@ -1401,6 +1601,11 @@ mod roundtrip_props {
                                 value: literal(kind, i),
                             })
                             .collect(),
+                        window: (win > 0).then(|| WindowSpec {
+                            column: COLS[(win - 1) % COLS.len()].to_string(),
+                            width: win_scale as f64 / 4.0,
+                            origin: (win > COLS.len()).then(|| win_scale as f64 / 2.0 - 1.5),
+                        }),
                         group_by,
                         having: (having_op > 0).then(|| HavingClause {
                             agg: AggExpr::count(),

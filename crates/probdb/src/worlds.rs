@@ -462,6 +462,23 @@ impl WorldsExecutor {
     /// SUM columns over the same domain, use
     /// [`WorldsExecutor::run_domain_multi`], which tallies them all in one
     /// sampling pass.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tspdb_probdb::{WorldsConfig, WorldsExecutor};
+    ///
+    /// let executor = WorldsExecutor::new(WorldsConfig {
+    ///     max_worlds: 4096,
+    ///     seed: 7,
+    ///     ..WorldsConfig::default()
+    /// })
+    /// .unwrap();
+    /// // Two tuples with P = 0.5 and 0.25: P(at least one) = 0.625.
+    /// let result = executor.run_domain(&[0.5, 0.25], None);
+    /// assert_eq!(result.worlds, 4096);
+    /// assert!((result.event_probability - 0.625).abs() < 0.05);
+    /// ```
     pub fn run_domain(&self, probs: &[f64], sum: Option<(&str, &[f64])>) -> WorldsResult {
         match sum {
             None => self.run_domain_multi(probs, &[]).0,

@@ -29,6 +29,27 @@
 //!
 //! [`Database::execute_planned_with_threads`]:
 //! tspdb_probdb::Database::execute_planned_with_threads
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tspdb_core::SharedEngine;
+//! use tspdb_server::{demo_config, Server, ServerConfig};
+//!
+//! let handle = Server::bind(
+//!     "127.0.0.1:0", // ephemeral port
+//!     SharedEngine::new(demo_config()),
+//!     ServerConfig::default(),
+//! )
+//! .unwrap()
+//! .spawn()
+//! .unwrap();
+//!
+//! let mut client = tspdb_client::Client::connect(handle.addr()).unwrap();
+//! client.query("CREATE TABLE t (x INT)").unwrap();
+//! client.close().unwrap();
+//! handle.shutdown();
+//! ```
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]

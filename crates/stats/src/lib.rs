@@ -21,6 +21,17 @@
 //!
 //! This crate deliberately has no dependency other than `rand` (sampling);
 //! everything numerical is implemented and tested here.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tspdb_stats::distributions::Normal;
+//!
+//! let n = Normal::from_mean_var(0.0, 4.0);
+//! assert!((n.cdf(0.0) - 0.5).abs() < 1e-12);
+//! // quantile inverts cdf to machine-class precision.
+//! assert!((n.quantile(n.cdf(1.3)) - 1.3).abs() < 1e-9);
+//! ```
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]

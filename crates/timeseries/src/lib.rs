@@ -12,6 +12,17 @@
 //! * [`io`] — dependency-free CSV import/export.
 //! * [`datasets`] — canned campus-data / car-data constructors and the
 //!   Table II summary.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tspdb_timeseries::TimeSeries;
+//!
+//! let s = TimeSeries::regular("temp", 0, 1, vec![20.0, 21.5, 19.8]);
+//! assert_eq!(s.len(), 3);
+//! assert_eq!(s.values()[1], 21.5);
+//! assert_eq!(s.window_before(2, 2), Some(&[20.0, 21.5][..]));
+//! ```
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]

@@ -15,6 +15,18 @@
 //! ends therefore test against the exact same byte-level contract, and
 //! the encode→decode identity is property-tested here once for every
 //! frame type.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tspdb_wire::{decode_message, encode_message, Request};
+//!
+//! let request = Request::Query {
+//!     sql: "SELECT COUNT(*) FROM pv GROUP BY WINDOW(t, 10)".into(),
+//! };
+//! let bytes = encode_message(&request);
+//! assert_eq!(decode_message::<Request>(&bytes).unwrap(), request);
+//! ```
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]

@@ -4,7 +4,10 @@
 //! system reports noisy (x, y) coordinates. We infer a density per axis
 //! with the ARMA-GARCH metric, integrate it over each room's extent, and
 //! materialise the `prob_view` table of Fig. 1: `⟨time, room, probability⟩`.
-//! Finally the most-probable-room query is scored against the ground truth.
+//! The most-probable-room query is scored against the ground truth, and the
+//! temporal-window clause buckets the trace into fixed-width windows to
+//! report per-window event probabilities (`GROUP BY WINDOW(time, w)`),
+//! exact and Monte-Carlo.
 //!
 //! Run with: `cargo run --release --example indoor_tracking`
 
@@ -156,4 +159,32 @@ fn main() {
             .sum();
         println!("  room {id}: {mass:.1}");
     }
+
+    // Temporal windows through the SQL planner: bucket the trace into
+    // 50-timestep windows and ask, per window, how many room-2 sightings
+    // we expect and how likely at least five are. The bucket start is the
+    // first result column; HAVING reports P(count ≥ 5) per bucket.
+    let mut db = tspdb::probdb::Database::new();
+    db.register_prob_table(prob_view.clone())
+        .expect("register the view");
+    let windowed = db
+        .query(
+            "SELECT COUNT(*) FROM prob_view WHERE room = 2 \
+             GROUP BY WINDOW(time, 50) HAVING COUNT(*) >= 5",
+        )
+        .expect("windowed aggregate");
+    println!("\nper-50-step windows, room 2 — E[count] and P(count ≥ 5):");
+    print!("{}", windowed.aggregate().expect("aggregate result"));
+
+    // The same buckets under Monte-Carlo evaluation: an independent code
+    // path (per-bucket seeded possible-world sampling) that must agree.
+    let mc = db
+        .query(
+            "SELECT COUNT(*) FROM prob_view WHERE room = 2 \
+             GROUP BY WINDOW(time, 50) HAVING COUNT(*) >= 5 \
+             WITH WORLDS 20000 SEED 1",
+        )
+        .expect("windowed MC aggregate");
+    println!("Monte-Carlo cross-check (20000 worlds per bucket):");
+    print!("{}", mc.aggregate().expect("aggregate result"));
 }

@@ -42,6 +42,12 @@ fn pipeline_statements() -> Vec<String> {
             .to_string(),
         "EXPLAIN SELECT t, COUNT(*) FROM pv GROUP BY t WITH WORLDS 500 SEED 7".to_string(),
         "SELECT COUNT(*) FROM raw_values".to_string(),
+        // Temporal windows — exact and MC per-bucket answers must cross the
+        // wire byte-identically, bucket keys (float starts) included.
+        "SELECT COUNT(*), SUM(lambda) FROM pv GROUP BY WINDOW(t, 10)".to_string(),
+        "SELECT COUNT(*) FROM pv GROUP BY WINDOW(t, 10, 45) HAVING COUNT(*) >= 2 \
+         WITH WORLDS 800 SEED 41"
+            .to_string(),
     ]
 }
 

@@ -97,6 +97,33 @@ fn operators_compose_on_fig1_view() {
 }
 
 #[test]
+fn windowed_aggregates_answer_fig1_questions() {
+    // "Per 2-timestep window, how many sightings do we expect, and how
+    // likely is at least one?" — the temporal window clause end to end.
+    let mut db = Database::new();
+    db.register_prob_table(fig1_view()).unwrap();
+    let agg = db
+        .query("SELECT COUNT(*) FROM prob_view GROUP BY WINDOW(time, 2) HAVING COUNT(*) >= 1")
+        .unwrap()
+        .aggregate()
+        .unwrap()
+        .clone();
+    // Bucket [0, 2) holds t=1, bucket [2, 4) holds t=2; each timestamp's
+    // probabilities sum to 1, so both expected counts are 1.
+    assert_eq!(agg.groups.len(), 2);
+    assert_eq!(agg.groups[0].key, vec![Value::Float(0.0)]);
+    assert_eq!(agg.groups[1].key, vec![Value::Float(2.0)]);
+    for g in &agg.groups {
+        assert!((g.values[0].value - 1.0).abs() < 1e-12);
+    }
+    // P(count ≥ 1): t=1 → 1 − 0.5·0.9·0.7·0.9; t=2 → 1 − 0.8·0.6·0.9·0.7.
+    let p0 = agg.groups[0].event_probability.unwrap();
+    let p1 = agg.groups[1].event_probability.unwrap();
+    assert!((p0 - 0.7165).abs() < 1e-12, "got {p0}");
+    assert!((p1 - 0.6976).abs() < 1e-12, "got {p1}");
+}
+
+#[test]
 fn raw_values_to_view_round_trip_via_sql_strings() {
     // Full textual pipeline: create the raw table via SQL, insert the
     // Fig. 2 values, build a density view, query it — no Rust-level table

@@ -259,6 +259,115 @@ fn planned_sum_aggregate_agrees_between_strategies() {
 }
 
 #[test]
+fn windowed_aggregates_agree_between_strategies() {
+    // `GROUP BY WINDOW` through the planner: per-bucket Poisson-binomial /
+    // linearity closed forms versus per-bucket MC sampling with
+    // bucket-derived seeds. Both strategies must produce the same buckets
+    // (same canonical starts), statistically identical answers, and the MC
+    // side must stay bit-identical across worlds-thread counts.
+    let probs: Vec<f64> = (0..28).map(|i| ((i * 43) % 95) as f64 / 100.0).collect();
+    let v = table_from(&probs); // readings span [−2.0, 11.5]
+    let mut db = tspdb::Database::new();
+    db.register_prob_table(v.clone()).unwrap();
+
+    let sql_exact = "SELECT COUNT(*), SUM(reading) FROM v \
+                     GROUP BY WINDOW(reading, 4.0, -2.0) HAVING COUNT(*) >= 2";
+    let exact = db.query(sql_exact).unwrap().aggregate().unwrap().clone();
+    assert_eq!(exact.strategy, "exact");
+    assert_eq!(
+        exact.group_columns,
+        vec!["WINDOW(reading, 4.0, -2.0)".to_string()]
+    );
+    // Buckets [−2, 2), [2, 6), [6, 10), [10, 14): starts −2, 2, 6, 10.
+    let starts: Vec<f64> = exact
+        .groups
+        .iter()
+        .map(|g| g.key[0].as_f64().unwrap())
+        .collect();
+    assert_eq!(starts, vec![-2.0, 2.0, 6.0, 10.0]);
+
+    // Per-bucket exact values cross-check against the standalone closed
+    // forms over the equivalent WHERE-range restriction.
+    for g in &exact.groups {
+        let start = g.key[0].as_f64().unwrap();
+        let sub = tspdb::probdb::query::select_prob(
+            &v,
+            &vec![
+                Comparison::new("reading", CmpOp::Ge, start),
+                Comparison::new("reading", CmpOp::Lt, start + 4.0),
+            ],
+        )
+        .unwrap();
+        let direct = expected_sum(&sub, "reading").unwrap();
+        assert!((g.values[1].value - direct).abs() < 1e-12);
+        let (mean, _) = count_moments(&sub, &Vec::new()).unwrap();
+        assert!((g.values[0].value - mean).abs() < 1e-12);
+    }
+
+    let mc = run_aggregate_both_widths(
+        &mut db,
+        &format!("{sql_exact} WITH WORLDS {WORLDS} SEED 19"),
+    );
+    assert_eq!(mc.strategy, "worlds");
+    assert_eq!(mc.groups.len(), exact.groups.len());
+    for (m, e) in mc.groups.iter().zip(&exact.groups) {
+        assert_eq!(m.key, e.key, "bucket keys must align across strategies");
+        for (mv, ev) in m.values.iter().zip(&e.values) {
+            let tol = 5.0 * mv.ci_half_width.unwrap() + 1e-6;
+            assert!(
+                (mv.value - ev.value).abs() <= tol,
+                "bucket {:?}: MC {} vs exact {} (tol {tol})",
+                m.key,
+                mv.value,
+                ev.value
+            );
+        }
+        let (mp, ep) = (m.event_probability.unwrap(), e.event_probability.unwrap());
+        let se = (ep * (1.0 - ep) / WORLDS as f64).sqrt();
+        assert!(
+            (mp - ep).abs() <= 5.0 * se + 1e-9,
+            "bucket {:?}: MC P(count ≥ 2) {mp} vs exact {ep} (SE {se})",
+            m.key
+        );
+    }
+}
+
+#[test]
+fn window_composed_with_group_by_matches_manual_two_level_grouping() {
+    // WINDOW(reading, w) combined with GROUP BY room must answer exactly
+    // like restricting to each (bucket, room) pair by hand.
+    let probs: Vec<f64> = (0..24).map(|i| ((i * 31) % 89) as f64 / 100.0).collect();
+    let v = table_from(&probs);
+    let mut db = tspdb::Database::new();
+    db.register_prob_table(v.clone()).unwrap();
+    let agg = db
+        .query("SELECT room, COUNT(*) FROM v GROUP BY WINDOW(reading, 5.0), room")
+        .unwrap()
+        .aggregate()
+        .unwrap()
+        .clone();
+    assert!(agg.groups.len() > 2);
+    for g in &agg.groups {
+        let start = g.key[0].as_f64().unwrap();
+        let room = g.key[1].as_i64().unwrap();
+        let sub = tspdb::probdb::query::select_prob(
+            &v,
+            &vec![
+                Comparison::new("reading", CmpOp::Ge, start),
+                Comparison::new("reading", CmpOp::Lt, start + 5.0),
+                Comparison::new("room", CmpOp::Eq, room),
+            ],
+        )
+        .unwrap();
+        let (mean, _) = count_moments(&sub, &Vec::new()).unwrap();
+        assert!(
+            (g.values[0].value - mean).abs() < 1e-12,
+            "bucket {start} room {room}"
+        );
+    }
+}
+
+#[test]
 fn planned_count_event_agrees_between_strategies() {
     // The `COUNT(*) >= k` event: exact Poisson-binomial tail vs the MC
     // count-histogram tail, through the same SQL plan.
