@@ -10,11 +10,16 @@
 //! 3. how does the Monte-Carlo aggregate path scale across 1/2/4/8
 //!    fork-join threads (single-core hosts only show overhead — the
 //!    estimates are bit-identical at every width either way)?
+//! 4. how do the three backends — exact closed forms, `WITH WORLDS`
+//!    sampling, `WITH SYNOPSIS` O(B) histograms — compare on the same
+//!    aggregate as the relation grows 1k → 100k, and what does building
+//!    (and narrowing) the synopsis itself cost?
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tspdb_probdb::query::{select_prob, top_k};
 use tspdb_probdb::{
-    parse, CmpOp, ColumnType, Comparison, Database, Planner, ProbTable, Schema, Statement, Value,
+    parse, CmpOp, ColumnType, Comparison, Database, Planner, ProbTable, RelationSynopses, Schema,
+    Statement, Value,
 };
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -156,11 +161,75 @@ fn bench_windowed_aggregates(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_strategy_compare(c: &mut Criterion) {
+    // The paper's headline trade-off: the same `COUNT(*) + SUM` aggregate
+    // through all three backends. Exact runs the O(n²) Poisson-binomial DP,
+    // MC samples 1024 worlds over n tuples, the synopsis folds 64 buckets
+    // regardless of n — at 100k tuples the gap is ~10⁵×, far past the 10×
+    // bar, and it widens with n.
+    let mut group = c.benchmark_group("planner_strategy_compare");
+    group.sample_size(10);
+    const SQL: &str = "SELECT COUNT(*), SUM(reading) FROM v";
+    for n in [1_000usize, 10_000, 100_000] {
+        let db = database(n);
+        group.bench_with_input(BenchmarkId::new("exact_count_sum", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(db.query(SQL).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("mc_count_sum", n), &n, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(db.query(&format!("{SQL} WITH WORLDS 1024 SEED 1")).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("synopsis_count_sum", n), &n, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(
+                    db.query(&format!("{SQL} WITH SYNOPSIS BUCKETS 64"))
+                        .unwrap(),
+                )
+            })
+        });
+        // Windowed grouping stays O(B + groups) under the synopsis.
+        group.bench_with_input(BenchmarkId::new("synopsis_windowed", n), &n, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(
+                    db.query(
+                        "SELECT COUNT(*), SUM(reading) FROM v \
+                         GROUP BY WINDOW(reading, 4096.0) WITH SYNOPSIS BUCKETS 64",
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_synopsis_build(c: &mut Criterion) {
+    // Build cost is what every write pays (the catalog rebuilds on
+    // registration); narrowing 256 → 64 buckets is the per-query cost when
+    // a `BUCKETS` clause asks for fewer than the catalog holds.
+    let mut group = c.benchmark_group("synopsis_build");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000, 100_000] {
+        let v = view(n);
+        group.bench_with_input(BenchmarkId::new("build_64", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(RelationSynopses::build(&v, 64)))
+        });
+    }
+    let wide = RelationSynopses::build(&view(10_000), 256);
+    group.bench_function("merge_256_to_64", |b| {
+        b.iter(|| std::hint::black_box(wide.merge_to(64)))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_select_paths,
     bench_exact_aggregates,
     bench_worlds_aggregates,
-    bench_windowed_aggregates
+    bench_windowed_aggregates,
+    bench_strategy_compare,
+    bench_synopsis_build
 );
 criterion_main!(benches);

@@ -18,22 +18,28 @@ use tspdb_client::Client;
 use tspdb_server::{demo_engine, Server, ServerConfig, ServerHandle};
 use tspdb_wire::canonical_result_bytes;
 
-/// The per-round query mix: the row pipeline, Monte-Carlo sampling (as a
-/// prepared statement — plan once, execute many), exact grouped
-/// aggregates, EXPLAIN, and a top-k probability sort.
+/// The per-round query mix: the row pipeline, Monte-Carlo sampling and the
+/// O(B) synopsis backend (both as prepared statements — plan once, execute
+/// many), exact grouped aggregates, EXPLAIN, and a top-k probability sort.
 const AD_HOC: &[&str] = &[
     "SELECT * FROM pv THRESHOLD 0.2",
     "SELECT t, COUNT(*), SUM(lambda) FROM pv GROUP BY t HAVING COUNT(*) >= 2",
     "EXPLAIN SELECT COUNT(*) FROM pv WITH WORLDS 500 SEED 9",
     "SELECT t FROM pv WHERE prob >= 0.3 ORDER BY prob DESC LIMIT 8",
 ];
-const PREPARED: &str = "SELECT * FROM pv WITH WORLDS 1000 SEED 5";
+const PREPARED: &[&str] = &[
+    "SELECT * FROM pv WITH WORLDS 1000 SEED 5",
+    "SELECT COUNT(*), SUM(lambda) FROM pv WITH SYNOPSIS BUCKETS 64",
+];
 
 /// One connection's work: `rounds` runs of the mix, checking every
 /// response against the baseline. Returns the number of queries issued.
 fn drive(addr: &str, rounds: usize, baseline: &[Vec<u8>]) -> usize {
     let mut client = Client::connect(addr).expect("loadgen connects");
-    let stmt = client.prepare(PREPARED).expect("prepare MC statement");
+    let stmts: Vec<_> = PREPARED
+        .iter()
+        .map(|sql| client.prepare(sql).expect("prepare statement"))
+        .collect();
     let mut queries = 0usize;
     for _ in 0..rounds {
         for (i, sql) in AD_HOC.iter().enumerate() {
@@ -45,13 +51,16 @@ fn drive(addr: &str, rounds: usize, baseline: &[Vec<u8>]) -> usize {
             );
             queries += 1;
         }
-        let out = client.execute(stmt).expect("prepared execute");
-        assert_eq!(
-            canonical_result_bytes(&out),
-            baseline[AD_HOC.len()],
-            "prepared MC response diverged from the baseline"
-        );
-        queries += 1;
+        for (i, &stmt) in stmts.iter().enumerate() {
+            let out = client.execute(stmt).expect("prepared execute");
+            assert_eq!(
+                canonical_result_bytes(&out),
+                baseline[AD_HOC.len() + i],
+                "prepared response diverged from the baseline: {}",
+                PREPARED[i]
+            );
+            queries += 1;
+        }
     }
     client.close().expect("clean close");
     queries
@@ -117,13 +126,11 @@ fn main() {
     // concurrent connection must reproduce.
     let baseline: Vec<Vec<u8>> = {
         let mut client = Client::connect(&addr).expect("baseline connects");
-        let mut base: Vec<Vec<u8>> = AD_HOC
+        let base: Vec<Vec<u8>> = AD_HOC
             .iter()
+            .chain(PREPARED.iter())
             .map(|sql| canonical_result_bytes(&client.query(sql).expect("baseline query")))
             .collect();
-        base.push(canonical_result_bytes(
-            &client.query(PREPARED).expect("baseline MC"),
-        ));
         client.close().expect("clean close");
         base
     };

@@ -9,7 +9,7 @@
 //! needed).
 
 use crate::error::DbError;
-use crate::query::{eval_conjunction, Conjunction};
+use crate::query::{eval_conjunction, CmpOp, Conjunction};
 use crate::table::ProbTable;
 
 /// Exact distribution of the number of matching tuples present in a
@@ -69,6 +69,179 @@ pub fn sum_moments_of(probs: &[f64], values: &[f64]) -> (f64, f64) {
         var += p * (1.0 - p) * v * v;
     }
     (mean, var)
+}
+
+/// Largest dyadic scale probed when looking for an exact integer
+/// representation of the sum domain: values are checked against grids of
+/// step `2^-k` for `k = 0..=MAX_DYADIC_SHIFT`.
+const MAX_DYADIC_SHIFT: u32 = 20;
+
+/// Number of quantisation steps when values have no exact dyadic
+/// representation: the sum domain is snapped to a grid of
+/// `Σ|v| / QUANT_STEPS`, so the DP support stays bounded.
+const QUANT_STEPS: f64 = 65536.0;
+
+/// Ceiling on `tuples × support` cells the sum DP may touch — the
+/// resource guard that turns a pathological `HAVING SUM` into a
+/// [`DbError::Plan`] instead of an unbounded computation.
+const MAX_DP_CELLS: u128 = 1 << 27;
+
+/// Exact distribution of `SUM(column)` over possible worlds of a
+/// tuple-independent group, on a uniform value grid.
+///
+/// Built by [`sum_distribution_of`]: tuple values are mapped to integer
+/// multiples of a grid `step` (exactly, when a dyadic grid of step
+/// `2^-k`, `k ≤ 20`, represents every value; otherwise snapped to a
+/// `Σ|v| / 2^16` grid), and the world sum's probability mass function is
+/// folded tuple by tuple — the value-weighted generalisation of the
+/// Poisson-binomial count DP. Negative values are handled by an index
+/// offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SumDistribution {
+    /// `dist[i] = P(sum = offset + i·step)`.
+    dist: Vec<f64>,
+    /// Grid step between adjacent support points.
+    step: f64,
+    /// Smallest representable sum (all-negative-tuples world).
+    offset: f64,
+    /// Whether the grid represents every input value exactly.
+    exact: bool,
+}
+
+impl SumDistribution {
+    /// `P(sum ⟨op⟩ threshold)`. Support points within `1e-9` of the
+    /// threshold compare as equal, so grid-aligned thresholds behave
+    /// exactly under `>=` / `<=` / `=`.
+    pub fn tail(&self, op: CmpOp, threshold: f64) -> f64 {
+        let mut mass = 0.0;
+        for (i, &p) in self.dist.iter().enumerate() {
+            let s = self.offset + i as f64 * self.step;
+            let ord = if (s - threshold).abs() <= 1e-9 {
+                std::cmp::Ordering::Equal
+            } else if s < threshold {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Greater
+            };
+            if op.eval(Some(ord)) {
+                mass += p;
+            }
+        }
+        mass.clamp(0.0, 1.0)
+    }
+
+    /// Mean of the distribution (equals `Σ p·v` up to grid resolution).
+    pub fn mean(&self) -> f64 {
+        self.dist
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| p * (self.offset + i as f64 * self.step))
+            .sum()
+    }
+
+    /// Whether every input value was represented exactly on the grid
+    /// (false means values were quantised to `Σ|v| / 2^16` resolution).
+    pub fn is_exact(&self) -> bool {
+        self.exact
+    }
+
+    /// Number of support points.
+    pub fn support_len(&self) -> usize {
+        self.dist.len()
+    }
+}
+
+/// Builds the exact [`SumDistribution`] of `Σ v_i` over worlds of
+/// independent tuples `(p_i, v_i)`. `values` must be parallel to `probs`.
+///
+/// Fails with a [`DbError::Plan`] resource guard when the DP would touch
+/// more than `2^27` cells — the caller should fall back to `WITH WORLDS`
+/// estimation for such groups.
+pub fn sum_distribution_of(probs: &[f64], values: &[f64]) -> Result<SumDistribution, DbError> {
+    assert_eq!(
+        probs.len(),
+        values.len(),
+        "sum_distribution_of: values must be parallel to probs"
+    );
+    // Tuples that cannot move the sum (impossible, or value 0) only
+    // waste support; drop them up front.
+    let live: Vec<(f64, f64)> = probs
+        .iter()
+        .zip(values)
+        .filter(|&(&p, &v)| p > 0.0 && v != 0.0)
+        .map(|(&p, &v)| (p, v))
+        .collect();
+
+    let (step, exact) = match dyadic_step(live.iter().map(|&(_, v)| v)) {
+        Some(step) => (step, true),
+        None => {
+            let magnitude: f64 = live.iter().map(|&(_, v)| v.abs()).sum();
+            (magnitude / QUANT_STEPS, false)
+        }
+    };
+    let mut units: Vec<(f64, i64)> = Vec::with_capacity(live.len());
+    let mut span: u128 = 0;
+    for &(p, v) in &live {
+        let u = (v / step).round() as i64;
+        span += u.unsigned_abs() as u128;
+        units.push((p, u));
+    }
+    let cells = span.saturating_add(1) * live.len().max(1) as u128;
+    if cells > MAX_DP_CELLS {
+        return Err(DbError::Plan(format!(
+            "HAVING SUM distribution needs {cells} DP cells over {} tuples \
+             (limit {MAX_DP_CELLS}); narrow the group or estimate with WITH WORLDS",
+            live.len()
+        )));
+    }
+
+    // Index layout: sums live on offset + i·step for i in 0..=span, where
+    // offset is the all-negative-tuples world. Fold keeps the live index
+    // range tight so cost tracks the actual support, not the allocation.
+    let neg: i64 = units.iter().map(|&(_, u)| u.min(0)).sum();
+    let mut dist = vec![0.0f64; span as usize + 1];
+    let base = (-neg) as usize;
+    dist[base] = 1.0;
+    let (mut lo, mut hi) = (base, base);
+    for &(p, u) in &units {
+        if u > 0 {
+            let u = u as usize;
+            hi += u;
+            for i in (lo..=hi).rev() {
+                let carried = if i >= lo + u { dist[i - u] } else { 0.0 };
+                dist[i] = dist[i] * (1.0 - p) + carried * p;
+            }
+        } else {
+            let u = (-u) as usize;
+            lo -= u;
+            for i in lo..=hi {
+                let carried = if i + u <= hi { dist[i + u] } else { 0.0 };
+                dist[i] = dist[i] * (1.0 - p) + carried * p;
+            }
+        }
+    }
+    Ok(SumDistribution {
+        dist,
+        step,
+        offset: neg as f64 * step,
+        exact,
+    })
+}
+
+/// The smallest dyadic grid step `2^-k` (`k ≤ `[`MAX_DYADIC_SHIFT`]) that
+/// represents every value exactly, or `None` when no such grid exists.
+fn dyadic_step(values: impl Iterator<Item = f64> + Clone) -> Option<f64> {
+    for k in 0..=MAX_DYADIC_SHIFT {
+        let scale = (1u64 << k) as f64;
+        let fits = values.clone().all(|v| {
+            let scaled = v * scale;
+            scaled.abs() < 2f64.powi(52) && (scaled - scaled.round()).abs() <= 1e-9
+        });
+        if fits {
+            return Some(1.0 / scale);
+        }
+    }
+    None
 }
 
 /// `P(count ≥ k)` for tuples matching the predicate.
@@ -216,5 +389,98 @@ mod tests {
         let dist = count_distribution(&v, &vec![]).unwrap();
         assert_eq!(dist, vec![1.0]);
         assert_eq!(most_likely_count(&v, &vec![]).unwrap(), 0);
+    }
+
+    /// Brute-force `P(sum ⟨op⟩ t)` by enumerating all 2^n worlds.
+    fn brute_sum_tail(probs: &[f64], values: &[f64], op: CmpOp, t: f64) -> f64 {
+        let n = probs.len();
+        let mut mass = 0.0;
+        for world in 0..(1u32 << n) {
+            let mut p_world = 1.0;
+            let mut sum = 0.0;
+            for i in 0..n {
+                if world & (1 << i) != 0 {
+                    p_world *= probs[i];
+                    sum += values[i];
+                } else {
+                    p_world *= 1.0 - probs[i];
+                }
+            }
+            let ord = if (sum - t).abs() <= 1e-9 {
+                std::cmp::Ordering::Equal
+            } else {
+                sum.partial_cmp(&t).unwrap()
+            };
+            if op.eval(Some(ord)) {
+                mass += p_world;
+            }
+        }
+        mass
+    }
+
+    #[test]
+    fn sum_distribution_matches_world_enumeration() {
+        let probs = [0.3, 0.7, 0.5, 0.9, 0.2];
+        let values = [1.5, -2.0, 0.25, 3.0, -0.5];
+        let d = sum_distribution_of(&probs, &values).unwrap();
+        assert!(d.is_exact(), "dyadic values must use the exact grid");
+        for op in [
+            CmpOp::Ge,
+            CmpOp::Gt,
+            CmpOp::Le,
+            CmpOp::Lt,
+            CmpOp::Eq,
+            CmpOp::Ne,
+        ] {
+            for t in [-2.5, -2.0, 0.0, 0.25, 1.0, 2.75, 4.75, 10.0] {
+                let exact = brute_sum_tail(&probs, &values, op, t);
+                let got = d.tail(op, t);
+                assert!(
+                    (got - exact).abs() < 1e-9,
+                    "{op:?} {t}: DP {got} vs worlds {exact}"
+                );
+            }
+        }
+        let (mean, _) = sum_moments_of(&probs, &values);
+        assert!((d.mean() - mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum_distribution_quantizes_non_dyadic_values() {
+        let probs = [0.5, 0.5, 0.5];
+        let values = [0.1, 0.3, 1.0 / 3.0];
+        let d = sum_distribution_of(&probs, &values).unwrap();
+        assert!(!d.is_exact());
+        // Quantisation resolution is Σ|v|/2^16 ≈ 1e-5; the tail at a
+        // mid-grid threshold still matches world enumeration closely.
+        let exact = brute_sum_tail(&probs, &values, CmpOp::Ge, 0.2);
+        assert!((d.tail(CmpOp::Ge, 0.2) - exact).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sum_distribution_edge_cases() {
+        // No tuples → point mass at zero.
+        let d = sum_distribution_of(&[], &[]).unwrap();
+        assert_eq!(d.support_len(), 1);
+        assert_eq!(d.tail(CmpOp::Ge, 0.0), 1.0);
+        assert_eq!(d.tail(CmpOp::Gt, 0.0), 0.0);
+        // Zero-probability and zero-value tuples cannot move the sum.
+        let d = sum_distribution_of(&[0.0, 0.8], &[5.0, 0.0]).unwrap();
+        assert_eq!(d.support_len(), 1);
+        assert_eq!(d.tail(CmpOp::Eq, 0.0), 1.0);
+        // Certain tuples shift the whole distribution.
+        let d = sum_distribution_of(&[1.0, 0.5], &[-2.0, 1.0]).unwrap();
+        assert!((d.tail(CmpOp::Le, -2.0) - 0.5).abs() < 1e-12);
+        assert!((d.tail(CmpOp::Eq, -1.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_distribution_resource_guard_trips() {
+        // One tuple whose unit count alone exceeds the cell budget.
+        let err = sum_distribution_of(&[0.5], &[(1u64 << 40) as f64]).unwrap_err();
+        match err {
+            DbError::Plan(msg) => assert!(msg.contains("DP cells"), "{msg}"),
+            other => panic!("expected Plan error, got {other:?}"),
+        }
     }
 }

@@ -4,10 +4,11 @@
 //! executes parsed [`Statement`]s. `SELECT`s are **planned, not
 //! dispatched**: the statement is handed to [`Planner::plan`], which builds
 //! a logical/physical plan and picks an evaluation strategy
-//! ([`crate::plan::ExactStrategy`] or, under `WITH WORLDS`,
-//! [`crate::plan::WorldsStrategy`]); the catalog's job shrinks to resolving
-//! the scanned relation and running the chosen strategy. `EXPLAIN` returns
-//! the plan instead of running it.
+//! ([`crate::plan::ExactStrategy`], [`crate::plan::WorldsStrategy`] under
+//! `WITH WORLDS`, or [`crate::plan::SynopsisStrategy`] under
+//! `WITH SYNOPSIS`, fed the relation's precomputed [`RelationSynopses`]);
+//! the catalog's job shrinks to resolving the scanned relation and running
+//! the chosen strategy. `EXPLAIN` returns the plan instead of running it.
 //!
 //! The one statement the catalog cannot execute by itself is `CREATE VIEW
 //! … AS DENSITY …` — inferring densities is the job of the `tspdb-core`
@@ -21,9 +22,98 @@ use crate::plan::{AggregateResult, ExplainReport, PlannedQuery, Planner};
 use crate::schema::Schema;
 use crate::sql::{parse, DensityViewSpec, SelectStmt, Statement};
 use crate::table::{ProbTable, Table};
+use crate::value::ColumnType;
 use crate::worlds::WorldsResult;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use tspdb_stats::synopsis::ProbHistogram;
+
+/// Default bucket count for relation synopses (`WITH SYNOPSIS` without a
+/// `BUCKETS` clause, and the catalog's precomputed histograms).
+pub const DEFAULT_SYNOPSIS_BUCKETS: usize = 64;
+
+/// The precomputed probabilistic-histogram synopses of one relation: a
+/// B-bucket [`ProbHistogram`] per numeric column, all built from the same
+/// tuple snapshot.
+///
+/// The catalog keeps one per probabilistic view behind an [`Arc`] and
+/// replaces the whole value on every write (views are registered whole),
+/// so readers clone the `Arc` lock-free and never observe a half-rebuilt
+/// synopsis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelationSynopses {
+    buckets: usize,
+    tuples: usize,
+    columns: BTreeMap<String, ProbHistogram>,
+}
+
+impl RelationSynopses {
+    /// Builds `buckets`-bucket histograms for every numeric column of the
+    /// view (text columns have no value order to bucket and are skipped).
+    pub fn build(t: &ProbTable, buckets: usize) -> Self {
+        let mut columns = BTreeMap::new();
+        for c in 0..t.schema().arity() {
+            let (name, ty) = t.schema().column(c);
+            if ty == ColumnType::Text {
+                continue;
+            }
+            let pairs: Vec<(f64, f64)> = t
+                .rows()
+                .iter()
+                .zip(t.probs())
+                .filter_map(|(row, &p)| row[c].as_f64().map(|v| (v, p)))
+                .collect();
+            columns.insert(name.to_string(), ProbHistogram::build(pairs, buckets));
+        }
+        RelationSynopses {
+            buckets,
+            tuples: t.len(),
+            columns,
+        }
+    }
+
+    /// The bucket count the histograms were built with.
+    pub fn buckets(&self) -> usize {
+        self.buckets
+    }
+
+    /// Tuples summarised (the view's length at build time).
+    pub fn tuples(&self) -> usize {
+        self.tuples
+    }
+
+    /// The histogram of one column (`None` for text/unknown columns).
+    pub fn column(&self, name: &str) -> Option<&ProbHistogram> {
+        self.columns.get(name)
+    }
+
+    /// Names of the summarised columns, sorted.
+    pub fn column_names(&self) -> impl Iterator<Item = &str> {
+        self.columns.keys().map(String::as_str)
+    }
+
+    /// The lexicographically-first summarised column, if any — the
+    /// deterministic anchor for pure-`COUNT` queries.
+    pub fn first_column(&self) -> Option<&str> {
+        self.columns.keys().next().map(String::as_str)
+    }
+
+    /// A coarser view with every histogram merged down to `buckets`
+    /// buckets (bucket payloads are additive, so derived answers keep
+    /// sound bounds).
+    pub fn merge_to(&self, buckets: usize) -> Self {
+        RelationSynopses {
+            buckets,
+            tuples: self.tuples,
+            columns: self
+                .columns
+                .iter()
+                .map(|(name, hist)| (name.clone(), hist.merge_to(buckets)))
+                .collect(),
+        }
+    }
+}
 
 /// A stored relation: deterministic or probabilistic.
 #[derive(Debug, Clone)]
@@ -119,6 +209,10 @@ pub type DensityHandler<'a> =
 #[derive(Debug, Default)]
 pub struct Database {
     relations: BTreeMap<String, Relation>,
+    /// Precomputed synopses, keyed by relation name. Maintained eagerly on
+    /// the write paths (`&mut self`: view registration and drops), so the
+    /// shared read path clones an [`Arc`] snapshot without locking.
+    synopses: BTreeMap<String, Arc<RelationSynopses>>,
     /// Fork-join width for `WITH WORLDS` queries (0 = one thread per core).
     /// Only wall-clock is affected — MC estimates are bit-identical at
     /// every width. Stored atomically so the knob is tunable from the
@@ -164,14 +258,27 @@ impl Database {
 
     /// Registers a probabilistic view, replacing any same-named view (views
     /// are derived data, so re-creation is allowed; tables are not
-    /// replaceable).
+    /// replaceable). The view's synopses are (re)built here — every write
+    /// goes through registration, so a cached synopsis never outlives the
+    /// tuples it summarises.
     pub fn register_prob_table(&mut self, table: ProbTable) -> Result<(), DbError> {
         let name = table.name().to_string();
         if matches!(self.relations.get(&name), Some(Relation::Deterministic(_))) {
             return Err(DbError::DuplicateTable(name));
         }
+        self.synopses.insert(
+            name.clone(),
+            Arc::new(RelationSynopses::build(&table, DEFAULT_SYNOPSIS_BUCKETS)),
+        );
         self.relations.insert(name, Relation::Probabilistic(table));
         Ok(())
+    }
+
+    /// The precomputed synopsis snapshot of a probabilistic view (`None`
+    /// for deterministic tables and unknown names). Cloning the [`Arc`] is
+    /// the whole cost — the snapshot is immutable.
+    pub fn synopses(&self, name: &str) -> Option<Arc<RelationSynopses>> {
+        self.synopses.get(name).cloned()
     }
 
     /// Looks up a deterministic table.
@@ -190,8 +297,9 @@ impl Database {
         }
     }
 
-    /// Drops a relation by name.
+    /// Drops a relation by name (and its synopses, if any).
     pub fn drop_relation(&mut self, name: &str) -> Result<(), DbError> {
+        self.synopses.remove(name);
         self.relations
             .remove(name)
             .map(|_| ())
@@ -272,7 +380,10 @@ impl Database {
             .get(&planned.physical.table)
             .ok_or_else(|| DbError::UnknownTable(planned.physical.table.clone()))?;
         planned
-            .strategy(worlds_threads.unwrap_or_else(|| self.worlds_threads()))
+            .strategy_with_synopses(
+                worlds_threads.unwrap_or_else(|| self.worlds_threads()),
+                self.synopses(&planned.physical.table),
+            )
             .execute(relation, &planned.physical)
     }
 
@@ -302,7 +413,12 @@ impl Database {
             relation,
             logical: planned.logical.to_string(),
             physical: planned.physical.to_string(),
-            strategy: planned.strategy(self.worlds_threads()).describe(),
+            strategy: planned
+                .strategy_with_synopses(
+                    self.worlds_threads(),
+                    self.synopses(&planned.physical.table),
+                )
+                .describe(),
         }))
     }
 

@@ -16,8 +16,10 @@
 //!   `GROUP BY`, `HAVING` event predicates) and `EXPLAIN`.
 //! * [`plan`] — the query planner: [`plan::LogicalPlan`] trees lowered to
 //!   [`plan::PhysicalPlan`]s and executed by a pluggable
-//!   [`plan::EvalStrategy`] ([`plan::ExactStrategy`] closed forms, or the
-//!   [`plan::WorldsStrategy`] Monte-Carlo backend under `WITH WORLDS`).
+//!   [`plan::EvalStrategy`] ([`plan::ExactStrategy`] closed forms, the
+//!   [`plan::WorldsStrategy`] Monte-Carlo backend under `WITH WORLDS`, or
+//!   the [`plan::SynopsisStrategy`] O(B) histogram backend under
+//!   `WITH SYNOPSIS`).
 //! * [`catalog`] — the in-memory [`catalog::Database`] executing
 //!   statements; `SELECT`s are planned then executed, density views are
 //!   delegated to a handler supplied by the engine layer (`tspdb-core`).
@@ -66,17 +68,18 @@ pub mod table;
 pub mod value;
 pub mod worlds;
 
-pub use catalog::{Database, QueryOutput, Relation};
+pub use aggregates::{sum_distribution_of, SumDistribution};
+pub use catalog::{Database, QueryOutput, Relation, RelationSynopses, DEFAULT_SYNOPSIS_BUCKETS};
 pub use error::DbError;
 pub use plan::{
     AggregateResult, EvalStrategy, ExactStrategy, ExplainReport, LogicalPlan, PhysicalPlan,
-    PlannedQuery, Planner, StrategyKind, WorldsStrategy,
+    PlannedQuery, Planner, StrategyKind, SynopsisStrategy, WorldsStrategy,
 };
 pub use query::{CmpOp, Comparison, Conjunction};
 pub use schema::Schema;
 pub use sql::{
     parse, AggExpr, AggFunc, DensityViewSpec, HavingClause, SelectItem, SelectStmt, Statement,
-    WindowSpec, WorldsClause,
+    SynopsisClause, WindowSpec, WorldsClause,
 };
 pub use table::{ProbTable, Table};
 pub use value::{ColumnType, Value, ValueKey};

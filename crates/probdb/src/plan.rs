@@ -18,30 +18,38 @@
 //!   aggregates).
 //! * [`EvalStrategy`] is the pluggable evaluation backend.
 //!   [`ExactStrategy`] answers with closed forms over tuple independence
-//!   (Poisson-binomial `COUNT`, linearity-of-expectation `SUM`);
-//!   [`WorldsStrategy`] answers by Monte-Carlo possible-world sampling
-//!   (selected by `WITH WORLDS`), inheriting the executor's bit-identical
-//!   determinism at every thread count.
+//!   (Poisson-binomial `COUNT`, linearity-of-expectation `SUM`, the
+//!   sum-distribution DP for `HAVING SUM`); [`WorldsStrategy`] answers by
+//!   Monte-Carlo possible-world sampling (selected by `WITH WORLDS`),
+//!   inheriting the executor's bit-identical determinism at every thread
+//!   count; [`SynopsisStrategy`] (selected by `WITH SYNOPSIS`) answers in
+//!   O(B) from the relation's precomputed B-bucket probabilistic
+//!   histogram synopsis with a guaranteed error bound per value, falling
+//!   back to [`ExactStrategy`] — with the reason surfaced in `EXPLAIN` —
+//!   when a plan shape has no synopsis answer.
 //!
-//! Both strategies evaluate the *same* plans, so every aggregate admits an
-//! exact-vs-MC differential test, and every future operator (joins,
-//! windows, sharded scans) becomes a plan node instead of another `match`
-//! arm in the catalog.
+//! All strategies evaluate the *same* plans, so every aggregate admits an
+//! exact-vs-MC-vs-synopsis differential test, and every future operator
+//! (joins, windows, sharded scans) becomes a plan node instead of another
+//! `match` arm in the catalog.
 
-use crate::aggregates::{count_distribution_of, sum_moments_of};
-use crate::catalog::{QueryOutput, Relation};
+use crate::aggregates::{count_distribution_of, sum_distribution_of, sum_moments_of};
+use crate::catalog::{QueryOutput, Relation, RelationSynopses, DEFAULT_SYNOPSIS_BUCKETS};
 use crate::error::DbError;
-use crate::query::{eval_conjunction, Conjunction, PROB_PSEUDO_COLUMN};
+use crate::query::{eval_conjunction, CmpOp, Conjunction, PROB_PSEUDO_COLUMN};
 use crate::schema::Schema;
 use crate::sql::{
-    AggExpr, AggFunc, HavingClause, SelectItem, SelectStmt, WindowSpec, WorldsClause,
+    AggExpr, AggFunc, HavingClause, SelectItem, SelectStmt, SynopsisClause, WindowSpec,
+    WorldsClause,
 };
 use crate::table::{ProbTable, Table};
 use crate::value::{row_key, Value, ValueKey};
-use crate::worlds::{mix_seed, SumEstimate, WorldsConfig, WorldsExecutor};
+use crate::worlds::{mix_seed, SumEstimate, SumEventSpec, WorldsConfig, WorldsExecutor};
 use std::cmp::Ordering;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
+use tspdb_stats::synopsis::{Estimate, PROB_BANDS};
 
 // ---------------------------------------------------------------------------
 // Logical plans
@@ -311,6 +319,9 @@ pub enum StrategyKind {
     /// Monte-Carlo possible-world sampling ([`WorldsStrategy`]), carrying
     /// the `WITH WORLDS` clause that selected it.
     Worlds(WorldsClause),
+    /// Precomputed probabilistic-histogram synopses ([`SynopsisStrategy`]),
+    /// carrying the `WITH SYNOPSIS` clause that selected it.
+    Synopsis(SynopsisClause),
 }
 
 /// A fully planned query: logical tree, lowered physical plan, and the
@@ -328,13 +339,33 @@ pub struct PlannedQuery {
 impl PlannedQuery {
     /// Instantiates the chosen strategy (`worlds_threads` is the engine's
     /// fork-join width for sampling; it never changes MC estimates).
+    ///
+    /// [`SynopsisStrategy`] is instantiated without precomputed synopses
+    /// and builds them on demand; the catalog injects its cached ones via
+    /// [`PlannedQuery::strategy_with_synopses`].
     pub fn strategy(&self, worlds_threads: usize) -> Box<dyn EvalStrategy> {
+        self.strategy_with_synopses(worlds_threads, None)
+    }
+
+    /// Like [`PlannedQuery::strategy`], but hands the synopsis backend the
+    /// relation's precomputed [`RelationSynopses`] snapshot (if any) so it
+    /// answers in O(B) instead of rebuilding histograms per query.
+    pub fn strategy_with_synopses(
+        &self,
+        worlds_threads: usize,
+        synopses: Option<Arc<RelationSynopses>>,
+    ) -> Box<dyn EvalStrategy> {
         match &self.strategy {
             StrategyKind::Exact => Box::new(ExactStrategy),
             StrategyKind::Worlds(clause) => Box::new(WorldsStrategy {
                 clause: clause.clone(),
                 threads: worlds_threads,
             }),
+            StrategyKind::Synopsis(clause) => Box::new(SynopsisStrategy::new(
+                clause.clone(),
+                &self.physical,
+                synopses,
+            )),
         }
     }
 }
@@ -360,9 +391,10 @@ impl Planner {
     /// * `GROUP BY WINDOW(…)` needs a positive, finite width (and a finite
     ///   origin when given); buckets become ordinary groups keyed by their
     ///   bucket start, ahead of the plain `GROUP BY` values;
-    /// * `HAVING` must compare `COUNT(*)` against a numeric literal (the
-    ///   only event predicate with an implemented evaluation —
-    ///   `HAVING SUM(…)` names the missing sum-distribution closed form);
+    /// * `HAVING` must compare `COUNT(*)` or `SUM(col)` against a numeric
+    ///   literal (`COUNT` tails come from the Poisson-binomial DP,
+    ///   `SUM` tails from the sum-distribution DP; `AVG`/`EXPECTED` event
+    ///   predicates have no closed form and are rejected);
     /// * `WITH WORLDS` rejects `ORDER BY` / `LIMIT`
     ///   ([`DbError::InvalidWorlds`], as before the planner existed).
     pub fn plan(sel: &SelectStmt) -> Result<PlannedQuery, DbError> {
@@ -503,9 +535,17 @@ impl Planner {
                 top: sel.top,
                 action,
             },
-            strategy: match &sel.worlds {
-                Some(clause) => StrategyKind::Worlds(clause.clone()),
-                None => StrategyKind::Exact,
+            strategy: match (&sel.worlds, &sel.synopsis) {
+                (Some(_), Some(_)) => {
+                    return Err(DbError::Plan(
+                        "a statement selects at most one evaluation clause: \
+                         WITH WORLDS or WITH SYNOPSIS"
+                            .into(),
+                    ));
+                }
+                (Some(clause), None) => StrategyKind::Worlds(clause.clone()),
+                (None, Some(clause)) => StrategyKind::Synopsis(clause.clone()),
+                (None, None) => StrategyKind::Exact,
             },
         })
     }
@@ -518,11 +558,13 @@ impl Planner {
 /// One aggregate estimate.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AggValue {
-    /// The point value: the exact closed form, or the MC mean.
+    /// The point value: the exact closed form, the MC mean, or the
+    /// synopsis midpoint estimate.
     pub value: f64,
-    /// 95% CI half-width of an MC estimate (`None` under exact evaluation,
-    /// and for `AVG`, which is reported as a ratio of expectations without
-    /// its own interval).
+    /// Uncertainty half-width: the 95% CI of an MC estimate, or the
+    /// guaranteed error bound of a synopsis answer (`None` under exact
+    /// evaluation, and for MC `AVG`, which is reported as a ratio of
+    /// expectations without its own interval).
     pub ci_half_width: Option<f64>,
 }
 
@@ -663,7 +705,7 @@ impl fmt::Display for ExplainReport {
 
 /// A pluggable evaluation backend executing physical plans.
 pub trait EvalStrategy {
-    /// Short name (`"exact"` / `"worlds"`).
+    /// Short name (`"exact"` / `"worlds"` / `"synopsis"`).
     fn name(&self) -> &'static str;
 
     /// Parameter description for `EXPLAIN`.
@@ -867,8 +909,34 @@ impl WorldsStrategy {
                 .iter()
                 .map(|(&col, values)| (col, values.as_slice()))
                 .collect();
+            // `HAVING SUM(col)` piggybacks on the tallied per-world sums as
+            // an event indicator; it consumes no RNG, so every other
+            // estimate stays bit-identical with or without it.
+            let event = match &plan.having {
+                Some(h) if h.agg.func == AggFunc::Sum => {
+                    let col = h
+                        .agg
+                        .column
+                        .as_ref()
+                        .expect("validate_having checked the column");
+                    let column = specs
+                        .iter()
+                        .position(|&(c, _)| c == col)
+                        .expect("aggregated_columns includes the HAVING SUM column");
+                    Some(SumEventSpec {
+                        column,
+                        op: h.op,
+                        threshold: h
+                            .value
+                            .as_f64()
+                            .expect("validate_having checked the literal"),
+                    })
+                }
+                _ => None,
+            };
             let executor = self.executor(group_seed)?;
-            let (base, sum_estimates) = executor.run_domain_multi(&probs, &specs);
+            let (base, sum_estimates, sum_event) =
+                executor.run_domain_multi_event(&probs, &specs, event);
             let sums: BTreeMap<&str, &SumEstimate> = specs
                 .iter()
                 .map(|&(col, _)| col)
@@ -907,6 +975,9 @@ impl WorldsStrategy {
                 })
                 .collect();
             let event_probability = match &plan.having {
+                Some(h) if h.agg.func == AggFunc::Sum => {
+                    sum_event.map(|(frequency, _half_width)| frequency)
+                }
                 Some(h) => Some(tail_probability(
                     &base.count_distribution,
                     h.op,
@@ -932,6 +1003,462 @@ impl WorldsStrategy {
             groups: out,
         })
     }
+}
+
+/// Windowed synopsis answers enumerate candidate buckets over the value
+/// range; past this many the enumeration would dominate the O(B) win, so
+/// the query falls back to exact evaluation instead.
+const MAX_SYNOPSIS_WINDOW_GROUPS: usize = 4096;
+
+/// Berry–Esseen constant bounding the normal-approximation error of a
+/// Poisson-binomial CDF: `|F(x) − Φ(x)| ≤ 0.56·ρ/σ³` (Shevtsova's bound
+/// for non-identically distributed summands).
+const BERRY_ESSEEN_C: f64 = 0.56;
+
+/// Sublinear aggregate evaluation from precomputed probabilistic-histogram
+/// synopses (`WITH SYNOPSIS`).
+///
+/// Answers `COUNT(*)`/`SUM`/`AVG`/`EXPECTED` aggregates — globally or per
+/// `GROUP BY WINDOW` bucket — in O(B) per group from the relation's
+/// B-bucket [`ProbHistogram`](tspdb_stats::synopsis::ProbHistogram)s
+/// instead of scanning tuples, reporting a
+/// guaranteed error bound in each value's `ci_half_width`. `THRESHOLD τ`
+/// resolves through the per-bucket probability bands (exact for τ on a
+/// band edge, bounded otherwise) and `HAVING COUNT` through a
+/// Berry–Esseen-backed normal tail of the bucketed count moments.
+///
+/// Plan shapes a synopsis cannot answer (row queries, `WHERE`, `TOP`,
+/// plain `GROUP BY` columns, `HAVING SUM`, windowed aggregates over a
+/// column other than the window column) fall back to [`ExactStrategy`]
+/// automatically; `EXPLAIN` surfaces the reason. A `MAXERROR e` clause
+/// additionally falls back whenever any reported bound would exceed `e`.
+#[derive(Debug, Clone)]
+pub struct SynopsisStrategy {
+    /// The selecting `WITH SYNOPSIS` clause.
+    pub clause: SynopsisClause,
+    /// The catalog's precomputed synopsis snapshot for the scanned
+    /// relation (`None` = build on demand from the tuples).
+    synopses: Option<Arc<RelationSynopses>>,
+    /// Why this plan shape has no synopsis answer (delegates to exact).
+    fallback: Option<DbError>,
+}
+
+impl SynopsisStrategy {
+    /// Builds the strategy for a plan, deciding up front — from the plan
+    /// shape alone — whether it must fall back to exact evaluation.
+    pub fn new(
+        clause: SynopsisClause,
+        plan: &PhysicalPlan,
+        synopses: Option<Arc<RelationSynopses>>,
+    ) -> Self {
+        let fallback = synopsis_support(plan).err();
+        SynopsisStrategy {
+            clause,
+            synopses,
+            fallback,
+        }
+    }
+
+    /// The reason this plan falls back to exact evaluation, if any.
+    pub fn fallback_reason(&self) -> Option<&DbError> {
+        self.fallback.as_ref()
+    }
+
+    /// The synopsis snapshot answering this query at the requested bucket
+    /// count: the catalog's cached one when it matches, a merged view when
+    /// the request is coarser, a fresh build otherwise (finer than cached,
+    /// stale tuple count, or nothing cached).
+    fn resolve_synopses(&self, t: &ProbTable, requested: usize) -> Arc<RelationSynopses> {
+        match &self.synopses {
+            Some(s) if s.tuples() == t.len() => {
+                if requested == s.buckets() {
+                    Arc::clone(s)
+                } else if requested < s.buckets() {
+                    Arc::new(s.merge_to(requested))
+                } else {
+                    Arc::new(RelationSynopses::build(t, requested))
+                }
+            }
+            _ => Arc::new(RelationSynopses::build(t, requested)),
+        }
+    }
+
+    /// The O(B) synopsis answer, or `None` when runtime conditions force
+    /// the exact path (a needed column has no histogram, the window
+    /// enumeration is too wide, or a bound exceeds `MAXERROR`).
+    fn try_synopsis(
+        &self,
+        t: &ProbTable,
+        plan: &PhysicalPlan,
+        agg: &AggregatePlan,
+    ) -> Result<Option<AggregateResult>, DbError> {
+        validate_aggregate_plan(agg)?;
+        let min_prob = match plan.threshold {
+            Some(tau) => {
+                if !(0.0..=1.0).contains(&tau) {
+                    return Err(DbError::InvalidProbability(tau));
+                }
+                tau
+            }
+            None => 0.0,
+        };
+        let requested = self.clause.buckets.unwrap_or_else(|| {
+            self.synopses
+                .as_ref()
+                .map_or(DEFAULT_SYNOPSIS_BUCKETS, |s| s.buckets())
+        });
+        let syn = self.resolve_synopses(t, requested);
+
+        // Every aggregated column needs a histogram; a miss (Text column,
+        // unknown name) routes through exact, which reports the right
+        // error — or the right answer, if the synopsis simply skipped it.
+        for agg_expr in &agg.aggregates {
+            if let Some(col) = &agg_expr.column {
+                if syn.column(col).is_none() {
+                    return Ok(None);
+                }
+            }
+        }
+        // The anchor histogram answers COUNT and HAVING COUNT; any column
+        // works for full-domain counts (every histogram summarises all
+        // tuples), but windowed groups must anchor on the window column.
+        let anchor = match &agg.window {
+            Some(w) => w.column.as_str(),
+            None => match agg
+                .aggregates
+                .iter()
+                .find_map(|a| a.column.as_deref())
+                .or_else(|| syn.first_column())
+            {
+                Some(col) => col,
+                None => return Ok(None),
+            },
+        };
+        let anchor_hist = match syn.column(anchor) {
+            Some(h) => h,
+            None => return Ok(None),
+        };
+
+        // Candidate groups: the single global group, or one window bucket
+        // per candidate bucket start across the anchor's value range. Each
+        // entry pairs the group key with its optional value range.
+        type GroupCandidate = (Vec<Value>, Option<(f64, f64)>);
+        let groups: Vec<GroupCandidate> = match &agg.window {
+            None => vec![(Vec::new(), None)],
+            Some(w) => match anchor_hist.value_range() {
+                None => Vec::new(),
+                Some((vmin, vmax)) => {
+                    let origin = w.origin();
+                    let k_lo = ((vmin - origin) / w.width).floor();
+                    let k_hi = ((vmax - origin) / w.width).floor();
+                    let span = k_hi - k_lo;
+                    if !span.is_finite() || span >= MAX_SYNOPSIS_WINDOW_GROUPS as f64 {
+                        return Ok(None);
+                    }
+                    let mut gs = Vec::new();
+                    let mut k = k_lo;
+                    while k <= k_hi {
+                        // Bit-identical to `WindowSpec::bucket_start` for
+                        // every tuple in the bucket: same `origin + k·width`
+                        // expression over the same integral `k`.
+                        let start = origin + k * w.width;
+                        gs.push((vec![Value::Float(start)], Some((start, start + w.width))));
+                        k += 1.0;
+                    }
+                    gs
+                }
+            },
+        };
+
+        let mut worst: f64 = 0.0;
+        let mut out = Vec::with_capacity(groups.len());
+        for (key, range) in groups {
+            let count = match range {
+                None => anchor_hist.count(min_prob),
+                Some((lo, hi)) => anchor_hist.count_in(lo, hi, min_prob),
+            };
+            // A window bucket whose count upper bound is 0 certainly holds
+            // no qualifying tuples — it is not a group.
+            if range.is_some() && count.value + count.half_width <= 0.0 {
+                continue;
+            }
+            let sum_of = |col: &str| {
+                let hist = syn.column(col).expect("checked above");
+                match range {
+                    None => hist.sum(min_prob),
+                    Some((lo, hi)) => hist.sum_in(lo, hi, min_prob),
+                }
+            };
+            let values: Vec<AggValue> = agg
+                .aggregates
+                .iter()
+                .map(|agg_expr| {
+                    let (value, half_width) = match agg_expr.func {
+                        AggFunc::Count => (count.value, count.half_width),
+                        AggFunc::Sum | AggFunc::Expected => {
+                            let col = agg_expr
+                                .column
+                                .as_ref()
+                                .expect("validate_aggregate_plan checked the column");
+                            let est = sum_of(col);
+                            (est.value, est.half_width)
+                        }
+                        AggFunc::Avg => {
+                            let col = agg_expr
+                                .column
+                                .as_ref()
+                                .expect("validate_aggregate_plan checked the column");
+                            ratio_estimate(sum_of(col), count)
+                        }
+                    };
+                    worst = worst.max(half_width);
+                    AggValue {
+                        value,
+                        ci_half_width: Some(half_width),
+                    }
+                })
+                .collect();
+            let event_probability = match &agg.having {
+                None => None,
+                Some(h) => {
+                    let k = h
+                        .value
+                        .as_f64()
+                        .expect("validate_aggregate_plan checked the literal");
+                    let moments = anchor_hist.count_moments(range, min_prob);
+                    let (p, bound) = having_count_probability(h.op, k, &moments);
+                    worst = worst.max(bound);
+                    Some(p)
+                }
+            };
+            out.push(AggregateGroup {
+                key,
+                values,
+                count_distribution: None,
+                event_probability,
+                worlds: None,
+            });
+        }
+        if let Some(e) = self.clause.max_error {
+            // NaN or infinite bounds fail the gate too: `!(worst <= e)`.
+            if !(worst <= e) {
+                return Ok(None);
+            }
+        }
+        Ok(Some(AggregateResult {
+            group_columns: group_columns_of(agg),
+            aggregates: agg.aggregates.clone(),
+            having: agg.having.clone(),
+            strategy: "synopsis",
+            groups: out,
+        }))
+    }
+}
+
+impl EvalStrategy for SynopsisStrategy {
+    fn name(&self) -> &'static str {
+        "synopsis"
+    }
+
+    fn describe(&self) -> String {
+        let mut s = format!(
+            "synopsis (probabilistic histogram, buckets={}, bands={PROB_BANDS}",
+            self.clause.buckets.unwrap_or(DEFAULT_SYNOPSIS_BUCKETS)
+        );
+        if let Some(e) = self.clause.max_error {
+            s.push_str(&format!(", maxerror={e}"));
+        }
+        s.push(')');
+        if let Some(DbError::Plan(reason)) = &self.fallback {
+            s.push_str(&format!(" → falls back to exact: {reason}"));
+        }
+        s
+    }
+
+    fn execute(&self, relation: &Relation, plan: &PhysicalPlan) -> Result<QueryOutput, DbError> {
+        if self.fallback.is_some() {
+            return ExactStrategy.execute(relation, plan);
+        }
+        let t = match relation {
+            Relation::Probabilistic(t) => t,
+            // Deterministic tables have no tuple probabilities to
+            // summarise; exact answers them directly (and owns the
+            // THRESHOLD/TOP rejection).
+            Relation::Deterministic(_) => return ExactStrategy.execute(relation, plan),
+        };
+        let agg = match &plan.action {
+            PhysicalAction::Aggregate(agg) => agg,
+            // Unreachable through the planner (synopsis_support rejects row
+            // queries), kept total for hand-built plans.
+            PhysicalAction::Rows { .. } => return ExactStrategy.execute(relation, plan),
+        };
+        match self.try_synopsis(t, plan, agg)? {
+            Some(result) => Ok(QueryOutput::Aggregate(result)),
+            None => ExactStrategy.execute(relation, plan),
+        }
+    }
+}
+
+/// Decides whether a plan shape has a synopsis answer; the error names the
+/// reason it does not (surfaced by `EXPLAIN` and the exact fallback).
+fn synopsis_support(plan: &PhysicalPlan) -> Result<(), DbError> {
+    let agg = match &plan.action {
+        PhysicalAction::Rows { .. } => {
+            return Err(DbError::Plan(
+                "row-returning queries need the tuples themselves; a synopsis \
+                 only carries bucketed moments"
+                    .into(),
+            ));
+        }
+        PhysicalAction::Aggregate(agg) => agg,
+    };
+    if !plan.predicate.is_empty() {
+        return Err(DbError::Plan(
+            "WHERE predicates filter individual tuples, which a synopsis \
+             cannot re-derive from bucketed moments"
+                .into(),
+        ));
+    }
+    if plan.top.is_some() {
+        return Err(DbError::Plan(
+            "TOP ranks individual tuple probabilities, which a synopsis \
+             does not retain"
+                .into(),
+        ));
+    }
+    if !agg.group_by.is_empty() {
+        return Err(DbError::Plan(
+            "plain GROUP BY keys groups by exact column values; the synopsis \
+             has no per-value index (GROUP BY WINDOW is supported)"
+                .into(),
+        ));
+    }
+    if let Some(h) = &agg.having {
+        if h.agg.func == AggFunc::Sum {
+            return Err(DbError::Plan(
+                "HAVING SUM needs the sum distribution; a synopsis carries \
+                 only per-bucket count and sum moments"
+                    .into(),
+            ));
+        }
+    }
+    if let Some(w) = &agg.window {
+        for agg_expr in &agg.aggregates {
+            if let Some(col) = &agg_expr.column {
+                if *col != w.column {
+                    return Err(DbError::Plan(format!(
+                        "windowed {}({col}) needs a joint synopsis over \
+                         ({col}, {}); only per-column histograms are kept",
+                        agg_expr.func, w.column
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `AVG` interval from the `SUM` and `COUNT` estimates: the point is the
+/// ratio of expectations (matching exact/MC), the half-width spans the
+/// ratio over the corner extremes of both intervals. Unbounded (infinite)
+/// when the count interval reaches 0, since the ratio then has no finite
+/// range.
+fn ratio_estimate(sum: Estimate, count: Estimate) -> (f64, f64) {
+    let value = ratio_of_expectations(sum.value, count.value);
+    let c_lo = count.value - count.half_width;
+    if c_lo <= 0.0 {
+        return (value, f64::INFINITY);
+    }
+    let c_hi = count.value + count.half_width;
+    let s_lo = sum.value - sum.half_width;
+    let s_hi = sum.value + sum.half_width;
+    let corners = [s_lo / c_lo, s_lo / c_hi, s_hi / c_lo, s_hi / c_hi];
+    let lo = corners.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = corners.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    (value, (value - lo).max(hi - value).max(0.0))
+}
+
+/// `P(COUNT op k)` from bucketed count moments via a continuity-corrected
+/// normal tail, with an error bound combining the moment-interval corner
+/// spread and the Berry–Esseen normal-approximation term.
+fn having_count_probability(
+    op: CmpOp,
+    k: f64,
+    m: &tspdb_stats::synopsis::CountMoments,
+) -> (f64, f64) {
+    let point = normal_count_tail(op, k, m.mean.value, m.variance.value);
+    let mut lo = point;
+    let mut hi = point;
+    for mean in [
+        m.mean.value - m.mean.half_width,
+        m.mean.value + m.mean.half_width,
+    ] {
+        for var in [
+            (m.variance.value - m.variance.half_width).max(0.0),
+            m.variance.value + m.variance.half_width,
+        ] {
+            let p = normal_count_tail(op, k, mean, var);
+            lo = lo.min(p);
+            hi = hi.max(p);
+        }
+    }
+    let sigma_lo = (m.variance.value - m.variance.half_width).max(0.0).sqrt();
+    let rho_hi = (m.rho.value + m.rho.half_width).max(0.0);
+    let be = if sigma_lo > 0.0 {
+        BERRY_ESSEEN_C * rho_hi / (sigma_lo * sigma_lo * sigma_lo)
+    } else if rho_hi > 0.0 {
+        1.0
+    } else {
+        // A certainly-degenerate count (ρ = 0): the point-mass tail is
+        // exact up to the mean interval, no normal error to add.
+        0.0
+    };
+    // Eq/Ne difference two CDF evaluations, doubling the approximation
+    // error.
+    let factor = match op {
+        CmpOp::Eq | CmpOp::Ne => 2.0,
+        _ => 1.0,
+    };
+    let bound = ((point - lo).max(hi - point) + factor * be).min(1.0);
+    (point, bound)
+}
+
+/// Continuity-corrected normal tail of an integer count with the given
+/// mean and variance: `P(count ≤ x) ≈ Φ((x + ½ − μ)/σ)` for integral `x`.
+/// A (near-)zero variance degenerates to a point mass at `round(μ)`.
+fn normal_count_tail(op: CmpOp, k: f64, mean: f64, variance: f64) -> f64 {
+    let sigma = variance.max(0.0).sqrt();
+    if sigma < 1e-9 {
+        let c = mean.round();
+        let holds = match op {
+            CmpOp::Eq => (c - k).abs() < 1e-9,
+            CmpOp::Ne => (c - k).abs() >= 1e-9,
+            _ => op.eval(c.partial_cmp(&k)),
+        };
+        return if holds { 1.0 } else { 0.0 };
+    }
+    let cdf = |x: f64| tspdb_stats::special::std_normal_cdf((x + 0.5 - mean) / sigma);
+    let p = match op {
+        CmpOp::Ge => 1.0 - cdf(k.ceil() - 1.0),
+        CmpOp::Gt => 1.0 - cdf(k.floor()),
+        CmpOp::Le => cdf(k.floor()),
+        CmpOp::Lt => cdf(k.ceil() - 1.0),
+        CmpOp::Eq => {
+            if (k - k.round()).abs() < 1e-9 {
+                cdf(k.round()) - cdf(k.round() - 1.0)
+            } else {
+                0.0
+            }
+        }
+        CmpOp::Ne => {
+            if (k - k.round()).abs() < 1e-9 {
+                1.0 - (cdf(k.round()) - cdf(k.round() - 1.0))
+            } else {
+                1.0
+            }
+        }
+    };
+    p.clamp(0.0, 1.0)
 }
 
 // ---------------------------------------------------------------------------
@@ -1227,38 +1754,32 @@ fn validate_window(w: &WindowSpec) -> Result<(), DbError> {
     Ok(())
 }
 
-/// Validates a `HAVING` event predicate. Only `COUNT(*)` events have an
-/// implemented evaluation; `HAVING SUM(…)` gets a dedicated message
-/// because it is the one shape users reach for next — its closed form
-/// (a sum-distribution DP, or an MC-only lowering) is an open ROADMAP
-/// item, not a parse failure.
+/// Validates a `HAVING` event predicate. `COUNT(*)` events evaluate
+/// through the Poisson-binomial DP and `SUM(col)` events through the
+/// sum-distribution DP ([`sum_distribution_of`]); `AVG`/`EXPECTED` events
+/// are ratios without a closed-form distribution and are rejected.
 fn validate_having(h: &HavingClause) -> Result<(), DbError> {
-    if h.agg != AggExpr::count() {
-        if h.agg.func == AggFunc::Sum {
-            return Err(DbError::Plan(format!(
-                "HAVING {} {} … event predicates are not supported yet: \
-                 P(SUM {} s) needs a sum-distribution closed form (or an \
-                 MC-only lowering) — see the ROADMAP open item \"HAVING SUM \
-                 closed form\"; only COUNT(*) event predicates are evaluable",
-                h.agg, h.op, h.op
-            )));
-        }
+    let supported =
+        h.agg == AggExpr::count() || (h.agg.func == AggFunc::Sum && h.agg.column.is_some());
+    if !supported {
         return Err(DbError::Plan(format!(
-            "HAVING supports only COUNT(*) event predicates, got {}",
+            "HAVING supports COUNT(*) and SUM(col) event predicates, got {}",
             h.agg
         )));
     }
     if h.value.as_f64().is_none() {
         return Err(DbError::Plan(format!(
-            "HAVING compares COUNT(*) against a number, got {:?}",
-            h.value
+            "HAVING compares {} against a number, got {:?}",
+            h.agg, h.value
         )));
     }
     Ok(())
 }
 
-/// The distinct aggregated columns of a plan, extracted once per group so
-/// `SUM(r), AVG(r), EXPECTED(r)` shares one column scan instead of three.
+/// The distinct aggregated columns of a plan — including a `HAVING
+/// SUM(col)` column that appears nowhere in the projection — extracted
+/// once per group so `SUM(r), AVG(r), EXPECTED(r)` shares one column scan
+/// instead of three.
 fn aggregated_columns<'a>(
     plan: &'a AggregatePlan,
     schema: &Schema,
@@ -1266,11 +1787,19 @@ fn aggregated_columns<'a>(
     indices: &[usize],
 ) -> Result<BTreeMap<&'a str, Vec<f64>>, DbError> {
     let mut columns: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
-    for agg in &plan.aggregates {
-        if let Some(col) = &agg.column {
-            if !columns.contains_key(col.as_str()) {
-                columns.insert(col, numeric_column(schema, rows, indices, col)?);
-            }
+    let having_sum_column = plan.having.as_ref().and_then(|h| {
+        (h.agg.func == AggFunc::Sum)
+            .then_some(h.agg.column.as_deref())
+            .flatten()
+    });
+    let wanted = plan
+        .aggregates
+        .iter()
+        .filter_map(|agg| agg.column.as_deref())
+        .chain(having_sum_column);
+    for col in wanted {
+        if !columns.contains_key(col) {
+            columns.insert(col, numeric_column(schema, rows, indices, col)?);
         }
     }
     Ok(columns)
@@ -1299,15 +1828,21 @@ fn tail_probability(dist: &[f64], op: crate::query::CmpOp, k: f64) -> f64 {
 }
 
 /// Exact aggregate evaluation over a restricted probabilistic relation:
-/// Poisson-binomial counts, linearity-of-expectation sums, per group.
+/// Poisson-binomial counts, linearity-of-expectation sums, and the
+/// sum-distribution DP for `HAVING SUM` events, per group.
 fn aggregate_exact(
     t: &ProbTable,
     keep: &[usize],
     plan: &AggregatePlan,
 ) -> Result<AggregateResult, DbError> {
     validate_aggregate_plan(plan)?;
-    let needs_distribution =
-        plan.having.is_some() || plan.aggregates.iter().any(|a| a.func == AggFunc::Count);
+    // `HAVING SUM` needs the sum distribution, not the count distribution,
+    // so it does not force the O(n²) count DP on its own.
+    let needs_distribution = plan.aggregates.iter().any(|a| a.func == AggFunc::Count)
+        || plan
+            .having
+            .as_ref()
+            .is_some_and(|h| h.agg.func != AggFunc::Sum);
     let groups = group_rows(
         t.schema(),
         t.rows(),
@@ -1349,15 +1884,30 @@ fn aggregate_exact(
                 }
             })
             .collect();
-        let event_probability = plan.having.as_ref().map(|h| {
-            tail_probability(
-                dist.as_ref().expect("distribution computed for HAVING"),
-                h.op,
-                h.value
+        let event_probability = match &plan.having {
+            None => None,
+            Some(h) => {
+                let k = h
+                    .value
                     .as_f64()
-                    .expect("validate_aggregate_plan checked the literal"),
-            )
-        });
+                    .expect("validate_aggregate_plan checked the literal");
+                if h.agg.func == AggFunc::Sum {
+                    let col = h
+                        .agg
+                        .column
+                        .as_ref()
+                        .expect("validate_having checked the column");
+                    let sum_dist = sum_distribution_of(&probs, &columns[col.as_str()])?;
+                    Some(sum_dist.tail(h.op, k))
+                } else {
+                    Some(tail_probability(
+                        dist.as_ref().expect("distribution computed for HAVING"),
+                        h.op,
+                        k,
+                    ))
+                }
+            }
+        };
         out.push(AggregateGroup {
             key,
             values,
@@ -1395,18 +1945,28 @@ fn aggregate_deterministic(
     let mut out = Vec::new();
     for (key, indices) in groups {
         let count = indices.len() as f64;
-        // HAVING filters deterministic groups — checked first, so no
-        // per-group column extraction is spent on a discarded group.
+        let columns = aggregated_columns(plan, t.schema(), t.rows(), &indices)?;
+        // HAVING filters deterministic groups (every world is the same
+        // world): the comparand is the group's actual COUNT or SUM.
         if let Some(h) = &plan.having {
             let k = h
                 .value
                 .as_f64()
                 .expect("validate_aggregate_plan checked the literal");
-            if !h.op.eval(count.partial_cmp(&k)) {
+            let comparand = if h.agg.func == AggFunc::Sum {
+                let col = h
+                    .agg
+                    .column
+                    .as_ref()
+                    .expect("validate_having checked the column");
+                columns[col.as_str()].iter().sum()
+            } else {
+                count
+            };
+            if !h.op.eval(comparand.partial_cmp(&k)) {
                 continue;
             }
         }
-        let columns = aggregated_columns(plan, t.schema(), t.rows(), &indices)?;
         let values: Vec<AggValue> = plan
             .aggregates
             .iter()
@@ -1528,11 +2088,22 @@ mod tests {
             plan_err("SELECT COUNT(*) FROM pv ORDER BY room"),
             DbError::Plan(_)
         ));
-        // HAVING over a non-COUNT aggregate.
+        // HAVING over an aggregate without a count/sum distribution.
         assert!(matches!(
-            plan_err("SELECT COUNT(*) FROM pv HAVING SUM(r) >= 1"),
+            plan_err("SELECT COUNT(*) FROM pv HAVING AVG(r) >= 1"),
             DbError::Plan(_)
         ));
+        // WITH WORLDS and WITH SYNOPSIS cannot combine (hand-built; the
+        // parser already rejects a second WITH clause).
+        let mut sel = match parse("SELECT COUNT(*) FROM pv WITH WORLDS 10").unwrap() {
+            crate::sql::Statement::Select(sel) => sel,
+            other => panic!("not a SELECT: {other:?}"),
+        };
+        sel.synopsis = Some(crate::sql::SynopsisClause {
+            buckets: None,
+            max_error: None,
+        });
+        assert!(matches!(Planner::plan(&sel), Err(DbError::Plan(_))));
         // HAVING against text.
         assert!(matches!(
             plan_err("SELECT COUNT(*) FROM pv HAVING COUNT(*) >= 'two'"),
@@ -1790,14 +2361,71 @@ mod tests {
     }
 
     #[test]
-    fn having_sum_reports_the_dedicated_unsupported_shape() {
-        let err = plan_err("SELECT COUNT(*) FROM pv HAVING SUM(room) >= 3");
-        let DbError::Plan(msg) = &err else {
-            panic!("expected DbError::Plan, got {err:?}");
+    fn having_sum_executes_exactly() {
+        let rel = Relation::Probabilistic(fig1());
+        // At time 2: room 1 (p=0.2) and room 2 (p=0.4). SUM(room) ≥ 2 holds
+        // exactly when room 2 is present: P = 0.4.
+        let out = run(
+            "SELECT COUNT(*) FROM pv WHERE time = 2 HAVING SUM(room) >= 2",
+            &rel,
+        );
+        let agg = match &out {
+            QueryOutput::Aggregate(a) => a,
+            other => panic!("wrong output: {other:?}"),
         };
-        assert!(msg.contains("SUM(room)"), "names the shape: {msg}");
-        assert!(msg.contains("sum-distribution"), "names the fix: {msg}");
-        assert!(msg.contains("ROADMAP"), "points at the open item: {msg}");
+        assert_eq!(agg.strategy, "exact");
+        let g = &agg.groups[0];
+        assert!((g.values[0].value - 0.6).abs() < 1e-12);
+        assert!(
+            (g.event_probability.unwrap() - 0.4).abs() < 1e-12,
+            "P(SUM(room) >= 2) = {:?}",
+            g.event_probability
+        );
+        // The HAVING SUM column need not be projected, and the event works
+        // per group.
+        let out = run(
+            "SELECT time, COUNT(*) FROM pv GROUP BY time HAVING SUM(room) >= 2",
+            &rel,
+        );
+        let agg = match &out {
+            QueryOutput::Aggregate(a) => a,
+            other => panic!("wrong output: {other:?}"),
+        };
+        assert_eq!(agg.groups.len(), 2);
+        // Time 1: SUM(room) < 2 iff nothing or only room 1 is present.
+        let p_lt2 = 0.5 * 0.9 * 0.7 * 0.9 * 2.0;
+        assert!((agg.groups[0].event_probability.unwrap() - (1.0 - p_lt2)).abs() < 1e-12);
+        assert!((agg.groups[1].event_probability.unwrap() - 0.4).abs() < 1e-12);
+        // HAVING SUM does not force the count DP when COUNT isn't asked.
+        let out = run("SELECT SUM(room) FROM pv HAVING SUM(room) >= 2", &rel);
+        let agg = match &out {
+            QueryOutput::Aggregate(a) => a,
+            other => panic!("wrong output: {other:?}"),
+        };
+        assert!(agg.groups[0].count_distribution.is_none());
+        assert!(agg.groups[0].event_probability.is_some());
+    }
+
+    #[test]
+    fn having_sum_filters_deterministic_groups() {
+        let schema = Schema::of(&[("g", ColumnType::Int), ("x", ColumnType::Int)]);
+        let mut t = Table::new("t", schema);
+        for (g, x) in [(1, 1), (1, 2), (2, 4), (2, 5)] {
+            t.insert(vec![Value::Int(g), Value::Int(x)]).unwrap();
+        }
+        let rel = Relation::Deterministic(t);
+        let out = run(
+            "SELECT g, COUNT(*) FROM t GROUP BY g HAVING SUM(x) >= 5",
+            &rel,
+        );
+        let agg = match &out {
+            QueryOutput::Aggregate(a) => a,
+            other => panic!("wrong output: {other:?}"),
+        };
+        // Group 1 sums to 3 and is filtered; group 2 sums to 9 and stays.
+        assert_eq!(agg.groups.len(), 1);
+        assert_eq!(agg.groups[0].key, vec![Value::Int(2)]);
+        assert_eq!(agg.groups[0].event_probability, None);
     }
 
     #[test]
@@ -1977,6 +2605,17 @@ mod tests {
                     }) as Box<dyn EvalStrategy>,
                     &rel,
                 ),
+                (
+                    Box::new(SynopsisStrategy::new(
+                        SynopsisClause {
+                            buckets: None,
+                            max_error: None,
+                        },
+                        &physical,
+                        None,
+                    )) as Box<dyn EvalStrategy>,
+                    &rel,
+                ),
             ] {
                 assert!(
                     matches!(strategy.execute(relation, &physical), Err(DbError::Plan(_))),
@@ -2044,5 +2683,243 @@ mod tests {
             rendered.contains("Filter room = 2 AND prob >= 0.1"),
             "{rendered}"
         );
+    }
+
+    /// A synthetic view with deterministic contents: `t` counts up, `r`
+    /// ramps, probabilities cycle over [0, 0.96].
+    fn synth(n: usize) -> ProbTable {
+        let schema = Schema::of(&[("t", ColumnType::Int), ("r", ColumnType::Float)]);
+        let mut v = ProbTable::new("pv", schema);
+        for i in 0..n {
+            let p = ((i * 37) % 97) as f64 / 100.0;
+            v.insert(vec![Value::Int(i as i64), Value::Float(i as f64 * 0.25)], p)
+                .unwrap();
+        }
+        v
+    }
+
+    fn run_agg(sql: &str, rel: &Relation) -> AggregateResult {
+        match run(sql, rel) {
+            QueryOutput::Aggregate(a) => a,
+            other => panic!("wrong output: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn synopsis_planner_selects_the_strategy() {
+        let planned = plan_sql("SELECT COUNT(*) FROM pv WITH SYNOPSIS BUCKETS 8 MAXERROR 0.5");
+        assert!(matches!(planned.strategy, StrategyKind::Synopsis(_)));
+        let described = planned.strategy(0).describe();
+        for part in ["synopsis", "buckets=8", "bands=20", "maxerror=0.5"] {
+            assert!(described.contains(part), "{described} missing {part}");
+        }
+        assert_eq!(planned.strategy(0).name(), "synopsis");
+    }
+
+    #[test]
+    fn synopsis_answers_stay_within_their_reported_bounds() {
+        let rel = Relation::Probabilistic(synth(200));
+        let sql = "SELECT COUNT(*), SUM(r), AVG(r), EXPECTED(r) FROM pv";
+        let exact = run_agg(sql, &rel);
+        let syn = run_agg(&format!("{sql} WITH SYNOPSIS BUCKETS 8"), &rel);
+        assert_eq!(syn.strategy, "synopsis");
+        assert_eq!(syn.groups.len(), 1);
+        assert!(syn.groups[0].count_distribution.is_none());
+        assert!(syn.groups[0].worlds.is_none());
+        for (i, (s, e)) in syn.groups[0]
+            .values
+            .iter()
+            .zip(&exact.groups[0].values)
+            .enumerate()
+        {
+            let hw = s.ci_half_width.expect("synopsis reports a bound");
+            assert!(
+                (s.value - e.value).abs() <= hw + 1e-9,
+                "aggregate {i}: {} ± {hw} vs exact {}",
+                s.value,
+                e.value
+            );
+        }
+    }
+
+    #[test]
+    fn synopsis_band_aligned_threshold_is_exact() {
+        let rel = Relation::Probabilistic(synth(150));
+        // τ = 0.25 lies on a probability-band edge (bands are 0.05 wide):
+        // the band cut is exact, so the COUNT bound collapses to zero.
+        let sql = "SELECT COUNT(*) FROM pv THRESHOLD 0.25";
+        let exact = run_agg(sql, &rel);
+        let syn = run_agg(&format!("{sql} WITH SYNOPSIS BUCKETS 4"), &rel);
+        let s = &syn.groups[0].values[0];
+        assert_eq!(s.ci_half_width, Some(0.0));
+        assert!((s.value - exact.groups[0].values[0].value).abs() < 1e-9);
+        // An off-band τ keeps a nonzero straddle bound that still contains
+        // the exact answer.
+        let sql = "SELECT COUNT(*) FROM pv THRESHOLD 0.33";
+        let exact = run_agg(sql, &rel);
+        let syn = run_agg(&format!("{sql} WITH SYNOPSIS BUCKETS 4"), &rel);
+        let s = &syn.groups[0].values[0];
+        let hw = s.ci_half_width.unwrap();
+        assert!(hw > 0.0);
+        assert!((s.value - exact.groups[0].values[0].value).abs() <= hw + 1e-9);
+    }
+
+    #[test]
+    fn synopsis_windowed_groups_match_exact_keys_within_bounds() {
+        let rel = Relation::Probabilistic(synth(200));
+        let sql = "SELECT COUNT(*), SUM(t) FROM pv GROUP BY WINDOW(t, 16)";
+        let exact = run_agg(sql, &rel);
+        let syn = run_agg(&format!("{sql} WITH SYNOPSIS BUCKETS 32"), &rel);
+        assert_eq!(syn.strategy, "synopsis");
+        assert_eq!(
+            exact.groups.iter().map(|g| &g.key).collect::<Vec<_>>(),
+            syn.groups.iter().map(|g| &g.key).collect::<Vec<_>>(),
+            "window bucket keys must be bit-identical to the exact grouping"
+        );
+        for (sg, eg) in syn.groups.iter().zip(&exact.groups) {
+            for (s, e) in sg.values.iter().zip(&eg.values) {
+                let hw = s.ci_half_width.unwrap();
+                assert!(
+                    (s.value - e.value).abs() <= hw + 1e-9,
+                    "group {:?}: {} ± {hw} vs exact {}",
+                    sg.key,
+                    s.value,
+                    e.value
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn synopsis_having_count_tracks_the_exact_tail() {
+        let schema = Schema::of(&[("t", ColumnType::Int)]);
+        let mut v = ProbTable::new("pv", schema);
+        for i in 0..100 {
+            v.insert(vec![Value::Int(i)], 0.5).unwrap();
+        }
+        let rel = Relation::Probabilistic(v);
+        let sql = "SELECT COUNT(*) FROM pv HAVING COUNT(*) >= 50";
+        let exact = run_agg(sql, &rel);
+        let syn = run_agg(&format!("{sql} WITH SYNOPSIS BUCKETS 16"), &rel);
+        let (pe, ps) = (
+            exact.groups[0].event_probability.unwrap(),
+            syn.groups[0].event_probability.unwrap(),
+        );
+        // Full-range moments are exact here, so the only error is the
+        // normal approximation of the Binomial(100, ½) tail.
+        assert!((pe - ps).abs() < 0.05, "exact {pe} vs synopsis {ps}");
+    }
+
+    #[test]
+    fn synopsis_falls_back_to_exact_with_a_reason() {
+        let rel = Relation::Probabilistic(fig1());
+        for (sql, reason) in [
+            ("SELECT room FROM pv WITH SYNOPSIS", "row-returning"),
+            (
+                "SELECT COUNT(*) FROM pv WHERE time = 1 WITH SYNOPSIS",
+                "WHERE",
+            ),
+            ("SELECT COUNT(*) FROM pv TOP 3 WITH SYNOPSIS", "TOP"),
+            (
+                "SELECT room, COUNT(*) FROM pv GROUP BY room WITH SYNOPSIS",
+                "GROUP BY",
+            ),
+            (
+                "SELECT COUNT(*) FROM pv HAVING SUM(room) >= 2 WITH SYNOPSIS",
+                "HAVING SUM",
+            ),
+            (
+                "SELECT SUM(room) FROM pv GROUP BY WINDOW(time, 1) WITH SYNOPSIS",
+                "joint synopsis",
+            ),
+        ] {
+            let planned = plan_sql(sql);
+            let described = planned.strategy(0).describe();
+            assert!(
+                described.contains("falls back to exact") && described.contains(reason),
+                "{sql}: {described}"
+            );
+            // The fallback executes — and reports itself as exact.
+            match planned
+                .strategy(0)
+                .execute(&rel, &planned.physical)
+                .unwrap()
+            {
+                QueryOutput::Aggregate(a) => assert_eq!(a.strategy, "exact"),
+                QueryOutput::ProbRows(_) => {}
+                other => panic!("{sql}: wrong output {other:?}"),
+            }
+        }
+        // Supported shapes do not advertise a fallback.
+        let planned = plan_sql("SELECT COUNT(*) FROM pv THRESHOLD 0.3 WITH SYNOPSIS");
+        assert!(
+            !planned.strategy(0).describe().contains("falls back"),
+            "{}",
+            planned.strategy(0).describe()
+        );
+    }
+
+    #[test]
+    fn synopsis_maxerror_gate_falls_back_when_bounds_are_too_wide() {
+        let rel = Relation::Probabilistic(synth(150));
+        // An off-band τ forces a nonzero bound; a tight MAXERROR rejects it.
+        let tight = run_agg(
+            "SELECT COUNT(*) FROM pv THRESHOLD 0.33 WITH SYNOPSIS BUCKETS 4 MAXERROR 0.000001",
+            &rel,
+        );
+        assert_eq!(tight.strategy, "exact");
+        let loose = run_agg(
+            "SELECT COUNT(*) FROM pv THRESHOLD 0.33 WITH SYNOPSIS BUCKETS 4 MAXERROR 100",
+            &rel,
+        );
+        assert_eq!(loose.strategy, "synopsis");
+    }
+
+    #[test]
+    fn synopsis_results_are_deterministic_across_runs_and_bucket_sources() {
+        let table = synth(120);
+        let rel = Relation::Probabilistic(table.clone());
+        let sql = "SELECT COUNT(*), SUM(r) FROM pv THRESHOLD 0.33 WITH SYNOPSIS BUCKETS 8";
+        let a = run_agg(sql, &rel);
+        let b = run_agg(sql, &rel);
+        assert_eq!(a.fingerprint(), b.fingerprint(), "repeat runs must agree");
+        // Injected catalog synopses (built at the default bucket count and
+        // merged down) answer identically to the on-demand build path when
+        // the merge boundaries line up — and always within bounds of exact.
+        let planned = plan_sql(sql);
+        let cached = Arc::new(RelationSynopses::build(&table, 64));
+        let out = planned
+            .strategy_with_synopses(1, Some(cached))
+            .execute(&rel, &planned.physical)
+            .unwrap();
+        let QueryOutput::Aggregate(c) = out else {
+            panic!("wrong output");
+        };
+        assert_eq!(c.strategy, "synopsis");
+        let exact = run_agg("SELECT COUNT(*), SUM(r) FROM pv THRESHOLD 0.33", &rel);
+        for (s, e) in c.groups[0].values.iter().zip(&exact.groups[0].values) {
+            assert!((s.value - e.value).abs() <= s.ci_half_width.unwrap() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn normal_count_tail_covers_all_operators() {
+        // A healthy σ: complementary operators partition the mass.
+        for (a, b) in [
+            (CmpOp::Ge, CmpOp::Lt),
+            (CmpOp::Gt, CmpOp::Le),
+            (CmpOp::Eq, CmpOp::Ne),
+        ] {
+            let p = normal_count_tail(a, 10.0, 10.0, 4.0);
+            let q = normal_count_tail(b, 10.0, 10.0, 4.0);
+            assert!((p + q - 1.0).abs() < 1e-12, "{a:?}/{b:?}: {p} + {q}");
+        }
+        // Fractional thresholds collapse Eq to 0 (counts are integers).
+        assert_eq!(normal_count_tail(CmpOp::Eq, 1.5, 10.0, 4.0), 0.0);
+        assert_eq!(normal_count_tail(CmpOp::Ne, 1.5, 10.0, 4.0), 1.0);
+        // Degenerate variance: a point mass at the rounded mean.
+        assert_eq!(normal_count_tail(CmpOp::Ge, 3.0, 3.0, 0.0), 1.0);
+        assert_eq!(normal_count_tail(CmpOp::Gt, 3.0, 3.0, 0.0), 0.0);
+        assert_eq!(normal_count_tail(CmpOp::Eq, 3.0, 3.0, 0.0), 1.0);
     }
 }

@@ -33,7 +33,13 @@
 //!   by Monte-Carlo possible-world sampling
 //!   ([`crate::worlds::WorldsExecutor`]) over at most `n` worlds, seeded
 //!   with `s` (default 0), optionally stopping early once the 95% CI
-//!   half-width of the event-probability estimate is ≤ `eps`.
+//!   half-width of the event-probability estimate is ≤ `eps`;
+//! * `WITH SYNOPSIS [BUCKETS <b>] [MAXERROR <e>]` — answer aggregate
+//!   queries in O(B) from the relation's precomputed probabilistic
+//!   histogram synopsis ([`crate::plan::SynopsisStrategy`]) instead of
+//!   scanning tuples, reporting a guaranteed error bound per value and
+//!   falling back to exact evaluation when the bound would exceed `e`.
+//!   At most one `WITH` clause per statement.
 //!
 //! `EXPLAIN <select>` wraps any `SELECT` and, instead of executing it,
 //! reports the logical plan, the lowered physical plan and the chosen
@@ -267,6 +273,9 @@ pub struct SelectStmt {
     /// Optional `WITH WORLDS …`: answer by Monte-Carlo possible-world
     /// sampling instead of exact evaluation.
     pub worlds: Option<WorldsClause>,
+    /// Optional `WITH SYNOPSIS …`: answer from the relation's precomputed
+    /// probabilistic histogram synopsis instead of scanning tuples.
+    pub synopsis: Option<SynopsisClause>,
 }
 
 impl SelectStmt {
@@ -287,6 +296,17 @@ pub struct WorldsClause {
     pub seed: Option<u64>,
     /// Early-termination CI half-width target (`CONFIDENCE <eps>`).
     pub confidence: Option<f64>,
+}
+
+/// The `WITH SYNOPSIS [BUCKETS <b>] [MAXERROR <e>]` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynopsisClause {
+    /// Histogram bucket budget B (`BUCKETS <b>`); the catalog default is
+    /// used when omitted.
+    pub buckets: Option<usize>,
+    /// Largest acceptable absolute error bound (`MAXERROR <e>`); answers
+    /// whose guaranteed bound exceeds it fall back to exact evaluation.
+    pub max_error: Option<f64>,
 }
 
 /// The probability value generation query (paper Definition 2 / Fig. 7).
@@ -782,34 +802,58 @@ impl Parser {
             limit = Some(self.expect_usize()?);
         }
         let mut worlds = None;
+        let mut synopsis = None;
         if self.peek_kw("WITH") {
             self.next();
-            self.expect_kw("WORLDS")?;
-            let n = self.expect_usize()?;
-            if n == 0 {
-                return Err(self.error("WITH WORLDS needs at least one world"));
-            }
-            let mut seed = None;
-            if self.peek_kw("SEED") {
+            if self.peek_kw("SYNOPSIS") {
                 self.next();
-                seed = Some(self.expect_usize()? as u64);
-            }
-            let mut confidence = None;
-            if self.peek_kw("CONFIDENCE") {
-                self.next();
-                let eps = self.expect_number()?;
-                if !(eps > 0.0) {
-                    return Err(
-                        self.error(format!("CONFIDENCE target must be positive, got {eps}"))
-                    );
+                let mut buckets = None;
+                if self.peek_kw("BUCKETS") {
+                    self.next();
+                    let b = self.expect_usize()?;
+                    if b == 0 {
+                        return Err(self.error("SYNOPSIS BUCKETS needs at least one bucket"));
+                    }
+                    buckets = Some(b);
                 }
-                confidence = Some(eps);
+                let mut max_error = None;
+                if self.peek_kw("MAXERROR") {
+                    self.next();
+                    let e = self.expect_number()?;
+                    if !(e > 0.0) {
+                        return Err(self.error(format!("MAXERROR bound must be positive, got {e}")));
+                    }
+                    max_error = Some(e);
+                }
+                synopsis = Some(SynopsisClause { buckets, max_error });
+            } else {
+                self.expect_kw("WORLDS")?;
+                let n = self.expect_usize()?;
+                if n == 0 {
+                    return Err(self.error("WITH WORLDS needs at least one world"));
+                }
+                let mut seed = None;
+                if self.peek_kw("SEED") {
+                    self.next();
+                    seed = Some(self.expect_usize()? as u64);
+                }
+                let mut confidence = None;
+                if self.peek_kw("CONFIDENCE") {
+                    self.next();
+                    let eps = self.expect_number()?;
+                    if !(eps > 0.0) {
+                        return Err(
+                            self.error(format!("CONFIDENCE target must be positive, got {eps}"))
+                        );
+                    }
+                    confidence = Some(eps);
+                }
+                worlds = Some(WorldsClause {
+                    worlds: n,
+                    seed,
+                    confidence,
+                });
             }
-            worlds = Some(WorldsClause {
-                worlds: n,
-                seed,
-                confidence,
-            });
         }
         Ok(Statement::Select(SelectStmt {
             projection,
@@ -823,6 +867,7 @@ impl Parser {
             order_by,
             limit,
             worlds,
+            synopsis,
         }))
     }
 
@@ -1004,6 +1049,15 @@ impl fmt::Display for SelectStmt {
             }
             if let Some(eps) = w.confidence {
                 write!(f, " CONFIDENCE {eps:?}")?;
+            }
+        }
+        if let Some(s) = &self.synopsis {
+            f.write_str(" WITH SYNOPSIS")?;
+            if let Some(b) = s.buckets {
+                write!(f, " BUCKETS {b}")?;
+            }
+            if let Some(e) = s.max_error {
+                write!(f, " MAXERROR {e:?}")?;
             }
         }
         Ok(())
@@ -1460,6 +1514,36 @@ mod tests {
     }
 
     #[test]
+    fn parses_synopsis_clause_parts() {
+        match parse("SELECT COUNT(*) FROM pv WITH SYNOPSIS BUCKETS 64 MAXERROR 0.5").unwrap() {
+            Statement::Select(s) => {
+                assert_eq!(
+                    s.synopsis,
+                    Some(SynopsisClause {
+                        buckets: Some(64),
+                        max_error: Some(0.5),
+                    })
+                );
+                assert_eq!(s.worlds, None);
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+        // Both parts are optional.
+        match parse("SELECT COUNT(*) FROM pv WITH SYNOPSIS").unwrap() {
+            Statement::Select(s) => {
+                assert_eq!(
+                    s.synopsis,
+                    Some(SynopsisClause {
+                        buckets: None,
+                        max_error: None,
+                    })
+                );
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
     fn rejects_invalid_probabilistic_clauses() {
         for bad in [
             "SELECT * FROM pv THRESHOLD 1.5",
@@ -1470,6 +1554,13 @@ mod tests {
             "SELECT * FROM pv WITH WORLDS",
             "SELECT * FROM pv WITH TABLES 3",
             "SELECT * FROM pv TOP x",
+            "SELECT COUNT(*) FROM pv WITH SYNOPSIS BUCKETS 0",
+            "SELECT COUNT(*) FROM pv WITH SYNOPSIS MAXERROR 0",
+            "SELECT COUNT(*) FROM pv WITH SYNOPSIS MAXERROR -1.5",
+            "SELECT COUNT(*) FROM pv WITH SYNOPSIS BUCKETS",
+            // One WITH clause per statement.
+            "SELECT COUNT(*) FROM pv WITH WORLDS 100 WITH SYNOPSIS",
+            "SELECT COUNT(*) FROM pv WITH SYNOPSIS WITH WORLDS 100",
         ] {
             assert!(
                 matches!(parse(bad), Err(DbError::Parse(_))),
@@ -1491,6 +1582,9 @@ mod tests {
             "SELECT g, COUNT(*) FROM pv GROUP BY WINDOW(t, 0.5, -2.25), g WITH WORLDS 100 SEED 2",
             "SELECT AVG(r), EXPECTED(r) FROM pv GROUP BY g THRESHOLD 0.25 WITH WORLDS 500 SEED 1",
             "EXPLAIN SELECT SUM(r) FROM pv GROUP BY g WITH WORLDS 100",
+            "SELECT COUNT(*) FROM pv WITH SYNOPSIS BUCKETS 64 MAXERROR 0.25",
+            "SELECT COUNT(*), SUM(r) FROM pv GROUP BY WINDOW(t, 10.0) WITH SYNOPSIS",
+            "EXPLAIN SELECT AVG(r) FROM pv THRESHOLD 0.25 WITH SYNOPSIS BUCKETS 32",
             "CREATE VIEW v AS DENSITY r OVER t OMEGA delta=0.05, n=300 \
              FROM raw WHERE t >= 1 AND t <= 3 USING METRIC arma_garch WINDOW 60",
             "DROP TABLE raw",
@@ -1570,13 +1664,20 @@ mod roundtrip_props {
             // threshold quarters (0 = none), TOP k (0 = none), ORDER BY
             // (0 = none, then column+direction), LIMIT (0 = none).
             (0usize..6, 0usize..4, 0usize..11, 0usize..4),
-            // WITH WORLDS: presence, n, seed presence, seed, confidence %.
+            // The WITH clause: WORLDS (presence, n, seed presence, seed,
+            // confidence %) and SYNOPSIS (presence, buckets presence,
+            // buckets, maxerror eighths; 0 = none). The grammar allows a
+            // single WITH clause, so SYNOPSIS is only generated when
+            // WORLDS is absent.
             (
-                0usize..2,
-                1usize..5000,
-                0usize..2,
-                0usize..1000,
-                0usize..100,
+                (
+                    0usize..2,
+                    1usize..5000,
+                    0usize..2,
+                    0usize..1000,
+                    0usize..100,
+                ),
+                (0usize..2, 0usize..2, 1usize..300, 0usize..40),
             ),
         )
             .prop_map(
@@ -1585,7 +1686,7 @@ mod roundtrip_props {
                     preds,
                     (groups, having_op, having_k, win, win_scale),
                     clauses,
-                    worlds,
+                    (worlds, syn),
                 )| {
                     let mut group_by: Vec<String> =
                         groups.into_iter().map(|c| COLS[c].to_string()).collect();
@@ -1621,6 +1722,10 @@ mod roundtrip_props {
                             worlds: worlds.1,
                             seed: (worlds.2 > 0).then_some(worlds.3 as u64),
                             confidence: (worlds.4 > 0).then(|| worlds.4 as f64 / 100.0),
+                        }),
+                        synopsis: (worlds.0 == 0 && syn.0 > 0).then(|| SynopsisClause {
+                            buckets: (syn.1 > 0).then_some(syn.2),
+                            max_error: (syn.3 > 0).then(|| syn.3 as f64 / 8.0),
                         }),
                     }
                 },

@@ -23,7 +23,7 @@
 //!   a target.
 
 use crate::error::DbError;
-use crate::query::{eval_conjunction, Conjunction};
+use crate::query::{eval_conjunction, CmpOp, Conjunction};
 use crate::table::{ProbTable, Table};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -298,6 +298,29 @@ impl fmt::Display for WorldsResult {
     }
 }
 
+/// A `HAVING SUM(col) ⟨op⟩ s` event checked inside the sampling loop:
+/// each world's sum over [`SumEventSpec::column`] (an index into the
+/// tallied columns) is compared against the threshold, and the hit
+/// frequency estimates the event probability. Checking piggybacks on the
+/// per-world sum the tally already computes — no extra RNG is consumed,
+/// so adding an event never changes any other estimate's bits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct SumEventSpec {
+    /// Index into the tallied `columns` slice whose per-world sum is
+    /// tested.
+    pub column: usize,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right-hand side of the comparison.
+    pub threshold: f64,
+}
+
+impl SumEventSpec {
+    fn holds(&self, world_sum: f64) -> bool {
+        self.op.eval(world_sum.partial_cmp(&self.threshold))
+    }
+}
+
 /// Per-batch accumulator. Batches are folded into the global tally **in
 /// batch order**, so the floating-point reduction tree is independent of
 /// how batches were distributed over threads. The SUM accumulators are
@@ -312,6 +335,9 @@ struct BatchTally {
     sums: Vec<f64>,
     /// `Σ_worlds (per-world sum)²`, parallel to `sums`.
     sums_sq: Vec<f64>,
+    /// Worlds whose tested column sum satisfied the [`SumEventSpec`]
+    /// (always 0 when no event was requested).
+    sum_event_hits: u64,
 }
 
 impl BatchTally {
@@ -322,6 +348,7 @@ impl BatchTally {
             hist: vec![0; buckets],
             sums: vec![0.0; columns],
             sums_sq: vec![0.0; columns],
+            sum_event_hits: 0,
         }
     }
 
@@ -346,6 +373,7 @@ impl BatchTally {
         for (a, b) in self.sums_sq.iter_mut().zip(&other.sums_sq) {
             *a += b;
         }
+        self.sum_event_hits += other.sum_event_hits;
     }
 }
 
@@ -508,12 +536,37 @@ impl WorldsExecutor {
         probs: &[f64],
         columns: &[(&str, &[f64])],
     ) -> (WorldsResult, Vec<SumEstimate>) {
+        let (result, sums, _) = self.run_domain_multi_event(probs, columns, None);
+        (result, sums)
+    }
+
+    /// [`WorldsExecutor::run_domain_multi`] plus an optional
+    /// [`SumEventSpec`] evaluated inside the sampling loop. The third
+    /// return value is the event's `(probability, Wilson 95% half-width)`
+    /// when an event was requested.
+    ///
+    /// The event check reuses the per-world column sums the tally already
+    /// computes and consumes no RNG, so every other estimate stays
+    /// bit-identical to an event-free run with the same seed.
+    pub(crate) fn run_domain_multi_event(
+        &self,
+        probs: &[f64],
+        columns: &[(&str, &[f64])],
+        event: Option<SumEventSpec>,
+    ) -> (WorldsResult, Vec<SumEstimate>, Option<(f64, f64)>) {
         let started = Instant::now();
         for (col, vals) in columns {
             assert_eq!(
                 vals.len(),
                 probs.len(),
                 "run_domain_multi: values of column {col} must be parallel to probs"
+            );
+        }
+        if let Some(ev) = event {
+            assert!(
+                ev.column < columns.len(),
+                "run_domain_multi_event: event column {} is not tallied",
+                ev.column
             );
         }
         let values: Vec<&[f64]> = columns.iter().map(|&(_, vals)| vals).collect();
@@ -535,7 +588,7 @@ impl WorldsExecutor {
                         let b = next_batch + i;
                         let worlds_in_batch =
                             cfg.batch_size.min(cfg.max_worlds - b * cfg.batch_size);
-                        self.sample_batch(b as u64, worlds_in_batch, probs, &values)
+                        self.sample_batch(b as u64, worlds_in_batch, probs, &values, event)
                     })
                     .collect::<Vec<_>>()
             });
@@ -550,14 +603,21 @@ impl WorldsExecutor {
             }
         }
 
-        self.summarize(
+        let sum_event = event.map(|_| {
+            (
+                tally.sum_event_hits as f64 / tally.worlds as f64,
+                wilson_half_width(tally.sum_event_hits, tally.worlds),
+            )
+        });
+        let (result, sums) = self.summarize(
             tally,
             probs.len(),
             columns,
             threads,
             converged,
             started.elapsed(),
-        )
+        );
+        (result, sums, sum_event)
     }
 
     /// Draws one batch of worlds with the batch's own deterministic RNG.
@@ -574,11 +634,13 @@ impl WorldsExecutor {
         worlds: usize,
         probs: &[f64],
         values: &[&[f64]],
+        event: Option<SumEventSpec>,
     ) -> BatchTally {
         let mut rng = StdRng::seed_from_u64(mix_seed(self.config.seed, batch));
         let mut tally = BatchTally::zero(probs.len() + 1, values.len());
         match values {
             [] => {
+                debug_assert!(event.is_none(), "sum event needs a tallied column");
                 for _ in 0..worlds {
                     let mut count = 0usize;
                     for &p in probs {
@@ -602,6 +664,11 @@ impl WorldsExecutor {
                     tally.record_world(count);
                     tally.sums[0] += world_sum;
                     tally.sums_sq[0] += world_sum * world_sum;
+                    if let Some(ev) = event {
+                        if ev.holds(world_sum) {
+                            tally.sum_event_hits += 1;
+                        }
+                    }
                 }
             }
             _ => {
@@ -623,6 +690,11 @@ impl WorldsExecutor {
                     for (j, &ws) in world_sums.iter().enumerate() {
                         tally.sums[j] += ws;
                         tally.sums_sq[j] += ws * ws;
+                    }
+                    if let Some(ev) = event {
+                        if ev.holds(world_sums[ev.column]) {
+                            tally.sum_event_hits += 1;
+                        }
                     }
                 }
             }
@@ -845,6 +917,33 @@ mod tests {
             (sum.mean - exact).abs() < 3.0 * sum.ci_half_width + 1e-3,
             "MC sum {} vs exact {exact}",
             sum.mean
+        );
+    }
+
+    #[test]
+    fn sum_event_converges_and_keeps_other_estimates_bit_identical() {
+        let probs = [0.5, 0.25, 0.4, 0.9, 0.05];
+        let values = [1.5, -2.0, 0.5, 3.0, 1.0];
+        let exec = executor(40_000, 21, 0);
+        let spec = SumEventSpec {
+            column: 0,
+            op: CmpOp::Ge,
+            threshold: 2.0,
+        };
+        let (with_event, sums_a, event) =
+            exec.run_domain_multi_event(&probs, &[("v", &values)], Some(spec));
+        let (without, sums_b) = exec.run_domain_multi(&probs, &[("v", &values)]);
+        // The event check consumes no RNG: every other estimate is
+        // bit-identical with and without it.
+        assert_eq!(with_event.fingerprint(), without.fingerprint());
+        assert_eq!(sums_a, sums_b);
+        let (p_hat, hw) = event.expect("event was requested");
+        let exact = crate::aggregates::sum_distribution_of(&probs, &values)
+            .unwrap()
+            .tail(CmpOp::Ge, 2.0);
+        assert!(
+            (p_hat - exact).abs() < 3.0 * hw + 1e-3,
+            "MC sum event {p_hat} ± {hw} vs exact {exact}"
         );
     }
 

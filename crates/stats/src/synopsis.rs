@@ -1,0 +1,804 @@
+//! B-bucket probabilistic histogram synopses over (value, probability)
+//! pairs — the numeric core of the planner's `SynopsisStrategy`.
+//!
+//! A [`ProbHistogram`] summarises a column of a tuple-independent
+//! probabilistic relation: every tuple contributes its value `v` and its
+//! existence probability `p`. Tuples are packed into at most `B` value
+//! buckets chosen by the optimal-bucketing dynamic program of Cormode &
+//! Garofalakis (*Histograms and Wavelets on Probabilistic Data*),
+//! specialised to the expectation synopses used here: bucket boundaries
+//! minimise the probability-weighted sum of squared value deviations
+//! (the V-optimal objective with `p` as the item weight), so buckets are
+//! tight exactly where the expected mass sits.
+//!
+//! Each bucket stores its payload split into [`PROB_BANDS`] fixed
+//! probability bands, and each band carries five closed-form sums:
+//! expected count `Σp`, count variance `Σp(1−p)`, expected sum `Σp·v`,
+//! sum variance `Σp(1−p)v²`, and the Berry–Esseen third-moment sum
+//! `Σp(1−p)(p²+(1−p)²)`. From those, `COUNT`/`SUM` aggregates — full
+//! range, value-range restricted, and/or probability-thresholded — are
+//! answered in O(B·G) with a **sound error bound**: the reported
+//! half-width always contains the exact answer, and is exactly `0` when
+//! no query boundary cuts through a bucket or band.
+//!
+//! Determinism: building and querying are pure floating-point folds over
+//! a totally ordered (`f64::total_cmp`) input, so identical inputs give
+//! bit-identical synopses and bit-identical answers on every run.
+
+use std::fmt;
+
+/// Number of fixed probability bands per bucket. Band `j` holds tuples
+/// with `p ∈ [j/G, (j+1)/G)` (the last band is closed at 1), so any
+/// `THRESHOLD τ` that is a multiple of `1/G` — with `G = 20`, every
+/// multiple of `0.05` — is answered exactly; other thresholds pay only
+/// the straddled band's mass as error bound.
+pub const PROB_BANDS: usize = 20;
+
+/// Cap on the number of base segments the optimal-bucketing DP runs
+/// over. Inputs larger than this are pre-aggregated into equi-depth
+/// segments first, keeping the DP at `O(cap²·B)` regardless of input
+/// size.
+const MAX_BASE_SEGMENTS: usize = 512;
+
+/// The five closed-form sums one probability band of one bucket carries.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BandStats {
+    /// Expected tuple count `Σ p`.
+    pub exp_count: f64,
+    /// Count variance `Σ p(1−p)` (tuple independence).
+    pub var_count: f64,
+    /// Expected value sum `Σ p·v` (linearity of expectation).
+    pub exp_sum: f64,
+    /// Sum variance `Σ p(1−p)·v²`.
+    pub var_sum: f64,
+    /// Berry–Esseen third-moment sum `Σ p(1−p)(p²+(1−p)²)` — bounds the
+    /// normal approximation of the bucket's Poisson-binomial count.
+    pub rho: f64,
+}
+
+impl BandStats {
+    fn add_tuple(&mut self, v: f64, p: f64) {
+        let q = 1.0 - p;
+        self.exp_count += p;
+        self.var_count += p * q;
+        self.exp_sum += p * v;
+        self.var_sum += p * q * v * v;
+        self.rho += p * q * (p * p + q * q);
+    }
+
+    fn absorb(&mut self, other: &BandStats) {
+        self.exp_count += other.exp_count;
+        self.var_count += other.var_count;
+        self.exp_sum += other.exp_sum;
+        self.var_sum += other.var_sum;
+        self.rho += other.rho;
+    }
+}
+
+/// One value bucket of a [`ProbHistogram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bucket {
+    /// Smallest member value.
+    pub lo: f64,
+    /// Largest member value (buckets cover the closed range `[lo, hi]`
+    /// of their members; adjacent buckets never share a value).
+    pub hi: f64,
+    /// Number of member tuples.
+    pub tuples: usize,
+    /// Per-probability-band payload ([`PROB_BANDS`] bands).
+    pub bands: [BandStats; PROB_BANDS],
+}
+
+impl Bucket {
+    /// The bucket's payload summed over all probability bands.
+    pub fn totals(&self) -> BandStats {
+        let mut t = BandStats::default();
+        for b in &self.bands {
+            t.absorb(b);
+        }
+        t
+    }
+}
+
+/// An estimate with its sound absolute error bound: the exact answer is
+/// guaranteed to lie in `[value − half_width, value + half_width]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// The point estimate.
+    pub value: f64,
+    /// Sound absolute error bound (0 = the answer is exact).
+    pub half_width: f64,
+}
+
+impl Estimate {
+    /// An exact estimate (zero half-width).
+    pub fn exact(value: f64) -> Self {
+        Estimate {
+            value,
+            half_width: 0.0,
+        }
+    }
+}
+
+impl fmt::Display for Estimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ± {}", self.value, self.half_width)
+    }
+}
+
+/// Count moments of a (restricted) domain, each with its error bound —
+/// the inputs a normal-approximation tail probability needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CountMoments {
+    /// Expected count `Σ p`.
+    pub mean: Estimate,
+    /// Count variance `Σ p(1−p)`.
+    pub variance: Estimate,
+    /// Berry–Esseen third-moment sum `Σ p(1−p)(p²+(1−p)²)`.
+    pub rho: Estimate,
+}
+
+/// A guaranteed enclosure `[lo, hi]` around a point estimate — the
+/// internal interval arithmetic behind every [`Estimate`].
+#[derive(Debug, Clone, Copy)]
+struct Interval {
+    lo: f64,
+    hi: f64,
+    point: f64,
+}
+
+impl Interval {
+    fn zero() -> Self {
+        Interval {
+            lo: 0.0,
+            hi: 0.0,
+            point: 0.0,
+        }
+    }
+
+    fn add(mut self, other: Interval) -> Interval {
+        self.lo += other.lo;
+        self.hi += other.hi;
+        self.point += other.point;
+        self
+    }
+
+    fn estimate(self) -> Estimate {
+        Estimate {
+            value: self.point,
+            half_width: (self.point - self.lo).max(self.hi - self.point).max(0.0),
+        }
+    }
+}
+
+/// How a bucket relates to a half-open value range `[lo, hi)`.
+enum Overlap {
+    Out,
+    Full,
+    /// Partially overlapped; carries the overlapped fraction of the
+    /// bucket's value span (the interpolation point, not a guarantee).
+    Partial(f64),
+}
+
+/// The probability-threshold cut expressed in band space: bands
+/// `full_from..` qualify entirely, `straddle` (when present) qualifies
+/// partially.
+#[derive(Clone, Copy)]
+struct ThresholdCut {
+    full_from: usize,
+    straddle: Option<usize>,
+}
+
+impl ThresholdCut {
+    fn of(min_prob: f64) -> Self {
+        if min_prob <= 0.0 {
+            return ThresholdCut {
+                full_from: 0,
+                straddle: None,
+            };
+        }
+        let g = PROB_BANDS as f64;
+        if min_prob >= 1.0 - 1e-12 {
+            // τ = 1 keeps only certain tuples; they share the last band
+            // with p ∈ [1 − 1/G, 1), so that band straddles.
+            return ThresholdCut {
+                full_from: PROB_BANDS,
+                straddle: Some(PROB_BANDS - 1),
+            };
+        }
+        let cut = min_prob * g;
+        let rounded = cut.round();
+        if (cut - rounded).abs() < 1e-9 {
+            // τ sits on a band boundary: bands ≥ it qualify exactly.
+            ThresholdCut {
+                full_from: rounded as usize,
+                straddle: None,
+            }
+        } else {
+            let below = cut.floor() as usize;
+            ThresholdCut {
+                full_from: below + 1,
+                straddle: Some(below),
+            }
+        }
+    }
+}
+
+/// A B-bucket probabilistic histogram over one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbHistogram {
+    buckets: Vec<Bucket>,
+    tuples: usize,
+}
+
+impl ProbHistogram {
+    /// Builds a histogram with at most `buckets` buckets from `(value,
+    /// probability)` pairs. Non-finite values are dropped; probabilities
+    /// are clamped into `[0, 1]`. `buckets` is clamped to at least 1.
+    ///
+    /// Bucket boundaries come from the V-optimal DP (probability-weighted
+    /// SSE of values), run over at most `MAX_BASE_SEGMENTS` (512) equi-depth
+    /// base segments so the build stays `O(n log n + cap²·B)`.
+    pub fn build(mut pairs: Vec<(f64, f64)>, buckets: usize) -> ProbHistogram {
+        let buckets = buckets.max(1);
+        pairs.retain(|&(v, _)| v.is_finite());
+        for (_, p) in pairs.iter_mut() {
+            *p = p.clamp(0.0, 1.0);
+        }
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let n = pairs.len();
+        if n == 0 {
+            return ProbHistogram {
+                buckets: Vec::new(),
+                tuples: 0,
+            };
+        }
+
+        let segments = base_segments(&pairs);
+        let bounds = optimal_boundaries(&pairs, &segments, buckets);
+
+        let mut out = Vec::with_capacity(bounds.len().saturating_sub(1));
+        for w in bounds.windows(2) {
+            let (start, end) = (w[0], w[1]);
+            let mut bucket = Bucket {
+                lo: pairs[start].0,
+                hi: pairs[end - 1].0,
+                tuples: end - start,
+                bands: [BandStats::default(); PROB_BANDS],
+            };
+            for &(v, p) in &pairs[start..end] {
+                bucket.bands[band_of(p)].add_tuple(v, p);
+            }
+            out.push(bucket);
+        }
+        ProbHistogram {
+            buckets: out,
+            tuples: n,
+        }
+    }
+
+    /// The buckets, in ascending value order.
+    pub fn buckets(&self) -> &[Bucket] {
+        &self.buckets
+    }
+
+    /// Number of buckets actually built (≤ the requested B).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Number of tuples summarised.
+    pub fn tuples(&self) -> usize {
+        self.tuples
+    }
+
+    /// Smallest and largest summarised value (`None` when empty).
+    pub fn value_range(&self) -> Option<(f64, f64)> {
+        match (self.buckets.first(), self.buckets.last()) {
+            (Some(first), Some(last)) => Some((first.lo, last.hi)),
+            _ => None,
+        }
+    }
+
+    /// Expected count of tuples with `p ≥ min_prob`, with its bound.
+    pub fn count(&self, min_prob: f64) -> Estimate {
+        self.fold(None, min_prob, |b| b.exp_count).estimate()
+    }
+
+    /// Expected count restricted to values in `[lo, hi)`.
+    pub fn count_in(&self, lo: f64, hi: f64, min_prob: f64) -> Estimate {
+        self.fold(Some((lo, hi)), min_prob, |b| b.exp_count)
+            .estimate()
+    }
+
+    /// Expected value sum of tuples with `p ≥ min_prob`, with its bound.
+    pub fn sum(&self, min_prob: f64) -> Estimate {
+        self.fold_sum(None, min_prob).estimate()
+    }
+
+    /// Expected value sum restricted to values in `[lo, hi)`.
+    pub fn sum_in(&self, lo: f64, hi: f64, min_prob: f64) -> Estimate {
+        self.fold_sum(Some((lo, hi)), min_prob).estimate()
+    }
+
+    /// Count mean, variance and Berry–Esseen moment of the domain
+    /// restricted to `range` (when given, a half-open `[lo, hi)`) and to
+    /// tuples with `p ≥ min_prob` — the inputs for a tail-probability
+    /// normal approximation.
+    pub fn count_moments(&self, range: Option<(f64, f64)>, min_prob: f64) -> CountMoments {
+        CountMoments {
+            mean: self.fold(range, min_prob, |b| b.exp_count).estimate(),
+            variance: self.fold(range, min_prob, |b| b.var_count).estimate(),
+            rho: self.fold(range, min_prob, |b| b.rho).estimate(),
+        }
+    }
+
+    /// A coarser histogram with at most `buckets` buckets, made by
+    /// merging adjacent buckets (payloads are additive, so every derived
+    /// answer keeps a sound bound). Returns a clone when already coarse
+    /// enough.
+    pub fn merge_to(&self, buckets: usize) -> ProbHistogram {
+        let buckets = buckets.max(1);
+        let l = self.buckets.len();
+        if l <= buckets {
+            return self.clone();
+        }
+        let mut merged = Vec::with_capacity(buckets);
+        for g in 0..buckets {
+            let start = g * l / buckets;
+            let end = (g + 1) * l / buckets;
+            let mut bucket = self.buckets[start].clone();
+            for other in &self.buckets[start + 1..end] {
+                bucket.hi = other.hi;
+                bucket.tuples += other.tuples;
+                for (mine, theirs) in bucket.bands.iter_mut().zip(&other.bands) {
+                    mine.absorb(theirs);
+                }
+            }
+            merged.push(bucket);
+        }
+        ProbHistogram {
+            buckets: merged,
+            tuples: self.tuples,
+        }
+    }
+
+    /// The shared fold behind every *per-tuple-nonnegative* quantity
+    /// (expected count, count variance, Berry–Esseen moment): the band
+    /// quantity accumulated over buckets against the value range and the
+    /// probability threshold, as a guaranteed enclosure. Soundness leans
+    /// on nonnegativity — any qualifying subset of a band contributes
+    /// between 0 and the band total.
+    fn fold(
+        &self,
+        range: Option<(f64, f64)>,
+        min_prob: f64,
+        pick: impl Fn(&BandStats) -> f64,
+    ) -> Interval {
+        let cut = ThresholdCut::of(min_prob);
+        let mut acc = Interval::zero();
+        for bucket in &self.buckets {
+            let overlap = match range {
+                None => Overlap::Full,
+                Some((lo, hi)) => bucket_overlap(bucket, lo, hi),
+            };
+            if matches!(overlap, Overlap::Out) {
+                continue;
+            }
+            let mut included = 0.0;
+            for band in &bucket.bands[cut.full_from.min(PROB_BANDS)..] {
+                included += pick(band);
+            }
+            let straddle = cut.straddle.map_or(0.0, |j| pick(&bucket.bands[j]));
+            acc = acc.add(match overlap {
+                // Straddled-band tuples contribute an unknown share of a
+                // nonnegative total.
+                Overlap::Full => Interval {
+                    lo: included,
+                    hi: included + straddle,
+                    point: included + straddle / 2.0,
+                },
+                // A value cut keeps an unknown subset of everything.
+                Overlap::Partial(f) => {
+                    let hi = included + straddle;
+                    Interval {
+                        lo: 0.0,
+                        hi,
+                        point: (f * (included + straddle / 2.0)).clamp(0.0, hi),
+                    }
+                }
+                Overlap::Out => unreachable!("skipped above"),
+            });
+        }
+        acc
+    }
+
+    /// The fold behind `SUM`: per-tuple contributions `p·v` can be
+    /// negative, so an unknown qualifying subset is *not* bounded by the
+    /// band total. Instead each partially-qualified population is bounded
+    /// through its value range: a subset with probability mass at most
+    /// `C` and values in `[a, b]` has expected sum in
+    /// `[min(0, C·a), max(0, C·b)]`.
+    fn fold_sum(&self, range: Option<(f64, f64)>, min_prob: f64) -> Interval {
+        let cut = ThresholdCut::of(min_prob);
+        let mut acc = Interval::zero();
+        for bucket in &self.buckets {
+            let overlap = match range {
+                None => Overlap::Full,
+                Some((lo, hi)) => bucket_overlap(bucket, lo, hi),
+            };
+            if matches!(overlap, Overlap::Out) {
+                continue;
+            }
+            let (mut inc_count, mut inc_sum) = (0.0, 0.0);
+            for band in &bucket.bands[cut.full_from.min(PROB_BANDS)..] {
+                inc_count += band.exp_count;
+                inc_sum += band.exp_sum;
+            }
+            let (str_count, str_sum) = cut.straddle.map_or((0.0, 0.0), |j| {
+                (bucket.bands[j].exp_count, bucket.bands[j].exp_sum)
+            });
+            acc = acc.add(match overlap {
+                Overlap::Full => {
+                    // Included bands qualify entirely; only the straddled
+                    // band's unknown subset needs the value-range bound.
+                    let lo = inc_sum + (str_count * bucket.lo).min(0.0);
+                    let hi = inc_sum + (str_count * bucket.hi).max(0.0);
+                    Interval {
+                        lo,
+                        hi,
+                        point: (inc_sum + str_sum / 2.0).clamp(lo, hi),
+                    }
+                }
+                Overlap::Partial(f) => {
+                    let (a, b) = match range {
+                        Some((q_lo, q_hi)) => (q_lo.max(bucket.lo), q_hi.min(bucket.hi)),
+                        None => (bucket.lo, bucket.hi),
+                    };
+                    let mass = inc_count + str_count;
+                    let lo = (mass * a).min(0.0);
+                    let hi = (mass * b).max(0.0);
+                    Interval {
+                        lo,
+                        hi,
+                        point: (f * (inc_sum + str_sum / 2.0)).clamp(lo, hi),
+                    }
+                }
+                Overlap::Out => unreachable!("skipped above"),
+            });
+        }
+        acc
+    }
+}
+
+/// Probability band index of `p` (see [`PROB_BANDS`]).
+fn band_of(p: f64) -> usize {
+    ((p * PROB_BANDS as f64).floor() as usize).min(PROB_BANDS - 1)
+}
+
+/// How `bucket` (members span the closed `[bucket.lo, bucket.hi]`)
+/// relates to the query range `[lo, hi)`.
+fn bucket_overlap(bucket: &Bucket, lo: f64, hi: f64) -> Overlap {
+    if bucket.hi < lo || bucket.lo >= hi {
+        return Overlap::Out;
+    }
+    if bucket.lo >= lo && bucket.hi < hi {
+        return Overlap::Full;
+    }
+    let span = bucket.hi - bucket.lo;
+    if span <= 0.0 {
+        // A point bucket partially cut can only mean its single value
+        // sits exactly at the open upper edge — excluded, but the Out
+        // check above already handled that; the remaining case is the
+        // closed lower edge, which is included.
+        return Overlap::Full;
+    }
+    let from = lo.max(bucket.lo);
+    let to = hi.min(bucket.hi);
+    Overlap::Partial(((to - from) / span).clamp(0.0, 1.0))
+}
+
+/// Equi-depth base segment boundaries (indices into the sorted pairs),
+/// snapped forward so equal values never split across segments. Always
+/// starts with 0 and ends with `n`.
+fn base_segments(pairs: &[(f64, f64)]) -> Vec<usize> {
+    let n = pairs.len();
+    let m = n.min(MAX_BASE_SEGMENTS);
+    let mut bounds = vec![0usize];
+    for s in 1..m {
+        let mut at = s * n / m;
+        // Snap forward past an equal-value run so a value never spans
+        // two segments (keeps bucket ranges disjoint).
+        while at < n && at > 0 && pairs[at].0 == pairs[at - 1].0 {
+            at += 1;
+        }
+        if at > *bounds.last().expect("bounds never empty") && at < n {
+            bounds.push(at);
+        }
+    }
+    bounds.push(n);
+    bounds
+}
+
+/// V-optimal bucket boundaries (tuple indices) via the classic dynamic
+/// program over base segments: minimise the total probability-weighted
+/// SSE of values, `Σ_buckets (Σwv² − (Σwv)²/Σw)` with `w = p`.
+fn optimal_boundaries(pairs: &[(f64, f64)], segments: &[usize], buckets: usize) -> Vec<usize> {
+    let m = segments.len() - 1; // number of base segments
+    let b = buckets.min(m);
+    // Prefix sums over base segments: s0 = Σw, s1 = Σwv, s2 = Σwv².
+    let mut s0 = vec![0.0f64; m + 1];
+    let mut s1 = vec![0.0f64; m + 1];
+    let mut s2 = vec![0.0f64; m + 1];
+    for s in 0..m {
+        let (mut w, mut wv, mut wv2) = (0.0, 0.0, 0.0);
+        for &(v, p) in &pairs[segments[s]..segments[s + 1]] {
+            w += p;
+            wv += p * v;
+            wv2 += p * v * v;
+        }
+        s0[s + 1] = s0[s] + w;
+        s1[s + 1] = s1[s] + wv;
+        s2[s + 1] = s2[s] + wv2;
+    }
+    let cost = |j: usize, i: usize| -> f64 {
+        let w = s0[i] - s0[j];
+        if w <= 1e-300 {
+            return 0.0;
+        }
+        let wv = s1[i] - s1[j];
+        ((s2[i] - s2[j]) - wv * wv / w).max(0.0)
+    };
+
+    // dp[i] = best cost covering segments 0..i with the current number
+    // of buckets; choice[level][i] = the split that achieved it.
+    let mut dp: Vec<f64> = (0..=m).map(|i| cost(0, i)).collect();
+    let mut choice = vec![vec![0usize; m + 1]; b];
+    for level in 1..b {
+        let mut next = vec![f64::INFINITY; m + 1];
+        // With `level` splits made, at least `level` segments are used.
+        for i in level..=m {
+            let mut best = f64::INFINITY;
+            let mut at = level;
+            for j in level..i {
+                let c = dp[j] + cost(j, i);
+                if c < best {
+                    best = c;
+                    at = j;
+                }
+            }
+            // Zero buckets so far (i == level means every prior bucket
+            // is a single segment) still needs a valid split point.
+            if i == level {
+                best = dp[i];
+                at = i;
+            }
+            next[i] = best;
+            choice[level][i] = at;
+        }
+        next[0] = 0.0;
+        dp = next;
+    }
+
+    // Backtrack the segment-space boundaries, then map to tuple indices.
+    let mut seg_bounds = vec![m];
+    let mut at = m;
+    for level in (1..b).rev() {
+        at = choice[level][at];
+        seg_bounds.push(at);
+    }
+    seg_bounds.push(0);
+    seg_bounds.reverse();
+    seg_bounds.dedup();
+    seg_bounds.into_iter().map(|s| segments[s]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(spec: &[(f64, f64)]) -> Vec<(f64, f64)> {
+        spec.to_vec()
+    }
+
+    /// Brute-force expected count/sum over `p ≥ tau` and `v ∈ [lo, hi)`.
+    fn brute(spec: &[(f64, f64)], tau: f64, range: Option<(f64, f64)>) -> (f64, f64) {
+        let mut count = 0.0;
+        let mut sum = 0.0;
+        for &(v, p) in spec {
+            let in_range = range.is_none_or(|(lo, hi)| v >= lo && v < hi);
+            if p >= tau && in_range {
+                count += p;
+                sum += p * v;
+            }
+        }
+        (count, sum)
+    }
+
+    #[test]
+    fn totals_are_exact_without_cuts() {
+        let spec = [(1.0, 0.5), (2.0, 0.25), (3.0, 0.8), (10.0, 0.33)];
+        let h = ProbHistogram::build(pairs(&spec), 2);
+        let (count, sum) = brute(&spec, 0.0, None);
+        let c = h.count(0.0);
+        let s = h.sum(0.0);
+        assert!((c.value - count).abs() < 1e-12);
+        assert_eq!(c.half_width, 0.0);
+        assert!((s.value - sum).abs() < 1e-12);
+        assert_eq!(s.half_width, 0.0);
+        assert_eq!(h.tuples(), 4);
+    }
+
+    #[test]
+    fn band_aligned_thresholds_are_exact() {
+        let spec = [(1.0, 0.1), (2.0, 0.15), (3.0, 0.2), (4.0, 0.8), (5.0, 1.0)];
+        let h = ProbHistogram::build(pairs(&spec), 3);
+        for tau in [0.05, 0.1, 0.15, 0.2, 0.25, 0.8, 1.0] {
+            let (count, sum) = brute(&spec, tau, None);
+            let c = h.count(tau);
+            let s = h.sum(tau);
+            assert!(
+                (c.value - count).abs() <= c.half_width + 1e-12,
+                "τ={tau}: count {c} vs {count}"
+            );
+            assert!(
+                (s.value - sum).abs() <= s.half_width + 1e-12,
+                "τ={tau}: sum {s} vs {sum}"
+            );
+            if tau != 1.0 {
+                assert_eq!(c.half_width, 0.0, "aligned τ={tau} must be exact");
+            }
+        }
+    }
+
+    #[test]
+    fn off_grid_threshold_stays_within_bound() {
+        let spec = [(1.0, 0.12), (2.0, 0.13), (3.0, 0.17), (4.0, 0.9)];
+        let h = ProbHistogram::build(pairs(&spec), 2);
+        let (count, _) = brute(&spec, 0.13, None);
+        let c = h.count(0.13);
+        assert!(
+            (c.value - count).abs() <= c.half_width + 1e-12,
+            "count {c} vs {count}"
+        );
+        assert!(c.half_width > 0.0, "an off-grid τ cannot be exact");
+    }
+
+    #[test]
+    fn range_queries_bound_the_truth() {
+        let spec: Vec<(f64, f64)> = (0..100)
+            .map(|i| (i as f64 * 0.5, ((i * 37) % 97) as f64 / 100.0))
+            .collect();
+        let h = ProbHistogram::build(spec.clone(), 8);
+        for (lo, hi) in [(0.0, 10.0), (3.3, 17.9), (-5.0, 100.0), (20.0, 20.1)] {
+            let (count, sum) = brute(&spec, 0.0, Some((lo, hi)));
+            let c = h.count_in(lo, hi, 0.0);
+            let s = h.sum_in(lo, hi, 0.0);
+            assert!(
+                (c.value - count).abs() <= c.half_width + 1e-9,
+                "[{lo},{hi}): count {c} vs {count}"
+            );
+            assert!(
+                (s.value - sum).abs() <= s.half_width + 1e-9,
+                "[{lo},{hi}): sum {s} vs {sum}"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_aligned_ranges_are_exact() {
+        let spec: Vec<(f64, f64)> = (0..64).map(|i| (i as f64, 0.5)).collect();
+        let h = ProbHistogram::build(spec, 64);
+        // Every value gets its own bucket, so any integer range is exact.
+        let c = h.count_in(10.0, 20.0, 0.0);
+        assert_eq!(c.half_width, 0.0);
+        assert!((c.value - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn count_moments_cover_variance_and_rho() {
+        let spec = [(1.0, 0.5), (2.0, 0.5), (3.0, 0.5)];
+        let h = ProbHistogram::build(pairs(&spec), 2);
+        let m = h.count_moments(None, 0.0);
+        assert!((m.mean.value - 1.5).abs() < 1e-12);
+        assert!((m.variance.value - 0.75).abs() < 1e-12);
+        // Each tuple: p(1−p)(p²+(1−p)²) = 0.25·0.5 = 0.125.
+        assert!((m.rho.value - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_preserves_totals() {
+        let spec: Vec<(f64, f64)> = (0..200)
+            .map(|i| (i as f64, (i % 10) as f64 / 10.0))
+            .collect();
+        let h = ProbHistogram::build(spec, 32);
+        let coarse = h.merge_to(5);
+        assert!(coarse.bucket_count() <= 5);
+        assert_eq!(coarse.tuples(), h.tuples());
+        assert!((coarse.count(0.0).value - h.count(0.0).value).abs() < 1e-9);
+        assert!((coarse.sum(0.0).value - h.sum(0.0).value).abs() < 1e-9);
+        // Coarse enough already → clone.
+        assert_eq!(h.merge_to(1000), h);
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let h = ProbHistogram::build(Vec::new(), 8);
+        assert_eq!(h.bucket_count(), 0);
+        assert_eq!(h.count(0.0), Estimate::exact(0.0));
+        assert_eq!(h.value_range(), None);
+
+        let h = ProbHistogram::build(vec![(4.0, 0.5)], 8);
+        assert_eq!(h.bucket_count(), 1);
+        assert_eq!(h.value_range(), Some((4.0, 4.0)));
+        assert!((h.count(0.0).value - 0.5).abs() < 1e-12);
+        // Point bucket at the closed lower range edge is included…
+        assert!((h.count_in(4.0, 5.0, 0.0).value - 0.5).abs() < 1e-12);
+        // …and excluded at the open upper edge.
+        assert_eq!(h.count_in(3.0, 4.0, 0.0).value, 0.0);
+    }
+
+    #[test]
+    fn dp_is_no_worse_than_equal_splits_on_clustered_data() {
+        // Two tight clusters far apart: the DP must put the boundary in
+        // the gap, making cluster-aligned range queries exact.
+        let mut spec = Vec::new();
+        for i in 0..50 {
+            spec.push((i as f64 * 0.01, 0.5));
+            spec.push((1000.0 + i as f64 * 0.01, 0.5));
+        }
+        let h = ProbHistogram::build(spec, 2);
+        assert_eq!(h.bucket_count(), 2);
+        let c = h.count_in(0.0, 500.0, 0.0);
+        assert_eq!(c.half_width, 0.0, "cluster boundary must be bucket-aligned");
+        assert!((c.value - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let spec: Vec<(f64, f64)> = (0..500)
+            .map(|i| ((i * 97 % 313) as f64 * 0.25, ((i * 37) % 97) as f64 / 100.0))
+            .collect();
+        let a = ProbHistogram::build(spec.clone(), 16);
+        let b = ProbHistogram::build(spec, 16);
+        assert_eq!(a, b);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn bounds_always_contain_the_truth(
+                spec in proptest::collection::vec((-100i64..100, 0u32..=100), 0..120),
+                buckets in 1usize..12,
+                tau_pct in 0u32..=100,
+                range in (-120i64..120, 0i64..60),
+            ) {
+                let spec: Vec<(f64, f64)> = spec
+                    .into_iter()
+                    .map(|(v, p)| (v as f64 * 0.5, p as f64 / 100.0))
+                    .collect();
+                let tau = tau_pct as f64 / 100.0;
+                let (lo, hi) = (range.0 as f64, (range.0 + range.1) as f64);
+                let h = ProbHistogram::build(spec.clone(), buckets);
+                for r in [None, Some((lo, hi))] {
+                    let (count, sum) = brute(&spec, tau, r);
+                    let (c, s) = match r {
+                        None => (h.count(tau), h.sum(tau)),
+                        Some((lo, hi)) => (h.count_in(lo, hi, tau), h.sum_in(lo, hi, tau)),
+                    };
+                    prop_assert!(
+                        (c.value - count).abs() <= c.half_width + 1e-9,
+                        "count {c} vs truth {count} (τ={tau}, range={r:?})"
+                    );
+                    prop_assert!(
+                        (s.value - sum).abs() <= s.half_width + 1e-9,
+                        "sum {s} vs truth {sum} (τ={tau}, range={r:?})"
+                    );
+                }
+            }
+        }
+    }
+}

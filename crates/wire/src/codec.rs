@@ -734,10 +734,11 @@ impl Wire for AggregateResult {
         let aggregates = Vec::decode(dec)?;
         let having = Option::decode(dec)?;
         // `strategy` is a `&'static str` naming the evaluation backend;
-        // only the two known backends can be reconstituted.
+        // only the known backends can be reconstituted.
         let strategy = match dec.take_str()?.as_str() {
             "exact" => "exact",
             "worlds" => "worlds",
+            "synopsis" => "synopsis",
             other => return malformed(format!("unknown evaluation strategy {other:?}")),
         };
         Ok(AggregateResult {

@@ -1,10 +1,11 @@
-//! Exact-vs-Monte-Carlo differential harness.
+//! Exact-vs-Monte-Carlo-vs-synopsis differential harness.
 //!
-//! The possible-worlds executor and the exact operators answer the same
-//! questions through entirely different code paths: closed forms over
-//! tuple independence (`event_probability`, `count_distribution`,
-//! `count_moments`, `expected_sum`) versus sampled worlds. This suite pins
-//! down two invariants, permanently:
+//! The possible-worlds executor, the exact operators and the histogram
+//! synopses answer the same questions through entirely different code
+//! paths: closed forms over tuple independence (`event_probability`,
+//! `count_distribution`, `count_moments`, `expected_sum`), sampled worlds,
+//! and O(B) bucketed moments. This suite pins down three invariants,
+//! permanently:
 //!
 //! 1. **Convergence** — for generated probabilistic tables the MC
 //!    estimates land within statistical tolerance of the exact answers
@@ -12,7 +13,11 @@
 //!    hold deterministically for the fixed seeds used here);
 //! 2. **Thread invariance** — the executor returns *bit-identical*
 //!    results at 1 and 8 threads for the same seed, which is what makes
-//!    `WITH WORLDS` reproducible on any machine.
+//!    `WITH WORLDS` reproducible on any machine;
+//! 3. **Bound soundness** — every `WITH SYNOPSIS` answer carries an error
+//!    bound that contains the exact answer, is bit-identical across runs,
+//!    and the precomputed catalog synopses equal a from-scratch build
+//!    after every write.
 
 use proptest::prelude::*;
 use tspdb::probdb::aggregates::{count_distribution, count_moments};
@@ -609,5 +614,170 @@ fn grouped_multi_column_mc_aggregates_are_one_pass_and_stable() {
                 e.values[col].value
             );
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HAVING SUM: sum-distribution DP vs Monte-Carlo event frequency
+// ---------------------------------------------------------------------------
+
+#[test]
+fn having_sum_event_agrees_between_exact_and_mc() {
+    // `HAVING SUM(col) >= s` executes exactly through the sum-distribution
+    // DP; the MC lowering tallies the same event over sampled worlds. They
+    // must agree within standard-error multiples — and the MC estimates of
+    // everything else must be unaffected by tallying the event.
+    let probs: Vec<f64> = (0..22).map(|i| ((i * 37) % 97) as f64 / 100.0).collect();
+    let v = table_from(&probs); // readings i·0.5 − 2.0: dyadic, so the DP is exact
+    let mut db = tspdb::Database::new();
+    db.register_prob_table(v).unwrap();
+
+    for s in ["2", "10.25", "-1"] {
+        let exact_sql = format!("SELECT COUNT(*), SUM(reading) FROM v HAVING SUM(reading) >= {s}");
+        let exact = db.query(&exact_sql).unwrap().aggregate().unwrap().clone();
+        assert_eq!(exact.strategy, "exact");
+        let exact_p = exact.groups[0].event_probability.unwrap();
+        assert!((0.0..=1.0).contains(&exact_p));
+
+        let mc = run_aggregate_both_widths(
+            &mut db,
+            &format!("{exact_sql} WITH WORLDS {WORLDS} SEED 23"),
+        );
+        let mc_p = mc.groups[0].event_probability.unwrap();
+        let se = (exact_p * (1.0 - exact_p) / WORLDS as f64).sqrt();
+        assert!(
+            (mc_p - exact_p).abs() <= 5.0 * se + 1e-3,
+            "s={s}: MC P(SUM >= {s}) {mc_p} vs exact {exact_p} (SE {se})"
+        );
+
+        // The event tally consumes no RNG: the COUNT/SUM estimates match a
+        // no-HAVING run of the same seed bit for bit.
+        let plain = run_aggregate_both_widths(
+            &mut db,
+            &format!("SELECT COUNT(*), SUM(reading) FROM v WITH WORLDS {WORLDS} SEED 23"),
+        );
+        for (with_event, without) in mc.groups[0].values.iter().zip(&plain.groups[0].values) {
+            assert_eq!(with_event.value.to_bits(), without.value.to_bits());
+        }
+    }
+
+    // Grouped HAVING SUM: per-group events against per-group DP tails.
+    let exact_sql = "SELECT room, COUNT(*) FROM v GROUP BY room HAVING SUM(reading) >= 1";
+    let exact = db.query(exact_sql).unwrap().aggregate().unwrap().clone();
+    let mc = run_aggregate_both_widths(
+        &mut db,
+        &format!("{exact_sql} WITH WORLDS {WORLDS} SEED 29"),
+    );
+    assert_eq!(exact.groups.len(), mc.groups.len());
+    for (e, m) in exact.groups.iter().zip(&mc.groups) {
+        assert_eq!(e.key, m.key);
+        let (ep, mp) = (e.event_probability.unwrap(), m.event_probability.unwrap());
+        let se = (ep * (1.0 - ep) / WORLDS as f64).sqrt();
+        assert!(
+            (mp - ep).abs() <= 5.0 * se + 1e-3,
+            "group {:?}: MC {mp} vs exact {ep}",
+            e.key
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Synopsis strategy: bounds contain exact, answers are deterministic
+// ---------------------------------------------------------------------------
+
+#[test]
+fn synopsis_answers_contain_exact_and_are_bit_identical() {
+    let probs: Vec<f64> = (0..180).map(|i| ((i * 37) % 97) as f64 / 100.0).collect();
+    let v = table_from(&probs);
+    let mut db = tspdb::Database::new();
+    db.register_prob_table(v).unwrap();
+
+    for sql in [
+        "SELECT COUNT(*), SUM(reading), AVG(reading), EXPECTED(reading) FROM v",
+        "SELECT COUNT(*), SUM(reading) FROM v THRESHOLD 0.25",
+        "SELECT COUNT(*), SUM(reading) FROM v THRESHOLD 0.37",
+        "SELECT COUNT(*), SUM(reading) FROM v GROUP BY WINDOW(reading, 16.0)",
+        "SELECT COUNT(*) FROM v HAVING COUNT(*) >= 80",
+    ] {
+        let exact = db.query(sql).unwrap().aggregate().unwrap().clone();
+        let syn_sql = format!("{sql} WITH SYNOPSIS BUCKETS 16");
+        let syn = db.query(&syn_sql).unwrap().aggregate().unwrap().clone();
+        assert_eq!(syn.strategy, "synopsis", "{sql}");
+        // Determinism: repeat runs are bit-identical (the synopsis is a
+        // precomputed immutable snapshot; no sampling anywhere).
+        let again = db.query(&syn_sql).unwrap().aggregate().unwrap().clone();
+        assert_eq!(syn.fingerprint(), again.fingerprint(), "{sql}");
+
+        assert_eq!(
+            exact.groups.iter().map(|g| &g.key).collect::<Vec<_>>(),
+            syn.groups.iter().map(|g| &g.key).collect::<Vec<_>>(),
+            "{sql}: group keys diverged"
+        );
+        for (e, s) in exact.groups.iter().zip(&syn.groups) {
+            for (i, (ev, sv)) in e.values.iter().zip(&s.values).enumerate() {
+                let hw = sv.ci_half_width.expect("synopsis values carry bounds");
+                assert!(
+                    (sv.value - ev.value).abs() <= hw + 1e-9,
+                    "{sql} group {:?} aggregate {i}: synopsis {} ± {hw} vs exact {}",
+                    e.key,
+                    sv.value,
+                    ev.value
+                );
+            }
+        }
+    }
+
+    // The windowed COUNT query is where the paper's sublinearity shows up:
+    // the HAVING COUNT tail must also track the exact Poisson-binomial.
+    let sql = "SELECT COUNT(*) FROM v HAVING COUNT(*) >= 80";
+    let exact_p = db.query(sql).unwrap().aggregate().unwrap().groups[0]
+        .event_probability
+        .unwrap();
+    let syn_p = db
+        .query(&format!("{sql} WITH SYNOPSIS BUCKETS 16"))
+        .unwrap()
+        .aggregate()
+        .unwrap()
+        .groups[0]
+        .event_probability
+        .unwrap();
+    assert!(
+        (exact_p - syn_p).abs() < 0.05,
+        "P(count >= 80): exact {exact_p} vs synopsis {syn_p}"
+    );
+}
+
+proptest! {
+    #[test]
+    fn synopsis_rebuild_after_write_equals_build_from_scratch(
+        probs in proptest::collection::vec(0.0f64..=1.0, 1..40),
+        extra in proptest::collection::vec(0.0f64..=1.0, 1..10),
+    ) {
+        use tspdb::probdb::{RelationSynopses, DEFAULT_SYNOPSIS_BUCKETS};
+
+        // Register, then re-register with more tuples (the only write path
+        // for probabilistic views): the cached synopses must equal a
+        // from-scratch build of the final contents every time.
+        let mut db = tspdb::Database::new();
+        db.register_prob_table(table_from(&probs)).unwrap();
+        let cached = db.synopses("v").expect("registration builds synopses");
+        prop_assert_eq!(
+            &*cached,
+            &RelationSynopses::build(&table_from(&probs), DEFAULT_SYNOPSIS_BUCKETS)
+        );
+
+        let mut grown = probs.clone();
+        grown.extend_from_slice(&extra);
+        db.register_prob_table(table_from(&grown)).unwrap();
+        let rebuilt = db.synopses("v").expect("re-registration rebuilds");
+        prop_assert_eq!(
+            &*rebuilt,
+            &RelationSynopses::build(&table_from(&grown), DEFAULT_SYNOPSIS_BUCKETS)
+        );
+        prop_assert_eq!(rebuilt.tuples(), grown.len());
+
+        // Dropping the relation drops its synopses.
+        db.execute("DROP TABLE v").unwrap();
+        prop_assert!(db.synopses("v").is_none());
     }
 }
