@@ -24,9 +24,17 @@ use crate::engine::{build_density_view, series_to_table, Engine, LastBuild};
 use crate::error::CoreError;
 use crate::omega::{OmegaSpec, ProbabilityValue};
 use crate::sigma_cache::{CacheStats, SigmaCache, SigmaCacheConfig};
+use std::path::Path;
 use std::sync::{Arc, RwLock, RwLockReadGuard};
-use tspdb_probdb::{Database, QueryOutput};
+use tspdb_probdb::{Database, DbError, QueryOutput, Relation, ScanSource, Statement, Table};
+use tspdb_storage::{JournalOp, Storage, StorageOptions};
 use tspdb_timeseries::TimeSeries;
+
+/// WAL size (bytes of redo records) above which a journaled write
+/// triggers an automatic checkpoint. Checkpoints rewrite the whole
+/// database file, so the threshold trades recovery time against write
+/// amplification.
+const WAL_AUTOCHECKPOINT_BYTES: u64 = 4 * 1024 * 1024;
 
 /// A cloneable handle to a shared σ-cache.
 ///
@@ -103,6 +111,9 @@ pub struct SharedEngine {
     catalog: Arc<RwLock<Database>>,
     defaults: ViewBuilderConfig,
     last_build: Arc<RwLock<Option<LastBuild>>>,
+    /// The persistent storage engine, when this engine was opened with
+    /// [`SharedEngine::open_persistent`]. `None` = purely in-memory.
+    storage: Option<Arc<Storage>>,
 }
 
 impl Default for SharedEngine {
@@ -118,6 +129,7 @@ impl SharedEngine {
             catalog: Arc::new(RwLock::new(Database::new())),
             defaults,
             last_build: Arc::new(RwLock::new(None)),
+            storage: None,
         }
     }
 
@@ -129,7 +141,157 @@ impl SharedEngine {
             catalog: Arc::new(RwLock::new(db)),
             defaults,
             last_build: Arc::new(RwLock::new(last_build)),
+            storage: None,
         }
+    }
+
+    /// Opens (creating if absent) a **persistent** engine on `dir` and
+    /// runs crash recovery:
+    ///
+    /// 1. load every relation of the checkpointed database file into the
+    ///    catalog (probabilistic views go through registration, which
+    ///    rebuilds their synopses deterministically from the tuples);
+    /// 2. replay the write-ahead log's committed suffix through the normal
+    ///    write path — per-statement errors are ignored, because a
+    ///    statement that failed deterministically before the crash fails
+    ///    identically on replay and leaves the same state;
+    /// 3. checkpoint immediately, so the on-disk file equals the
+    ///    post-replay state before any query is served;
+    /// 4. attach the storage engine as the catalog's scan source, so
+    ///    evicted relations are served from disk behind the same scan leaf.
+    ///
+    /// Every later mutating statement is journaled to the WAL (fsync on
+    /// commit) **before** it is applied in memory.
+    pub fn open_persistent(dir: &Path, defaults: ViewBuilderConfig) -> Result<Self, CoreError> {
+        let (storage, recovery) = Storage::open(dir, StorageOptions::default())
+            .map_err(DbError::from)
+            .map_err(CoreError::from)?;
+        let storage = Arc::new(storage);
+        let engine = SharedEngine {
+            catalog: Arc::new(RwLock::new(Database::new())),
+            defaults,
+            last_build: Arc::new(RwLock::new(None)),
+            storage: Some(Arc::clone(&storage)),
+        };
+        {
+            let mut catalog = engine.catalog.write().expect("catalog lock poisoned");
+            // 1. Checkpointed relations.
+            for name in storage.relation_names() {
+                if let Some(relation) = storage.scan(&name).map_err(DbError::from)? {
+                    match relation {
+                        Relation::Deterministic(t) => catalog.register_table(t)?,
+                        Relation::Probabilistic(t) => catalog.register_prob_table(t)?,
+                    }
+                }
+            }
+            // 2. WAL replay (no re-logging).
+            for op in &recovery.ops {
+                let _ = engine.replay_op(&mut catalog, op);
+            }
+            // 3. Boot checkpoint: disk == post-replay state, WAL empty.
+            engine.checkpoint_locked(&mut catalog, &storage)?;
+            // 4. Disk-backed scans behind the same scan leaf.
+            catalog.attach_scan_source(Arc::clone(&storage) as Arc<dyn ScanSource>);
+        }
+        Ok(engine)
+    }
+
+    /// The persistent storage engine, if this engine has one (fault
+    /// injection and cache diagnostics hang off this handle).
+    pub fn storage(&self) -> Option<&Arc<Storage>> {
+        self.storage.as_ref()
+    }
+
+    /// Applies one recovered journal operation without journaling it
+    /// again. Errors are returned for the caller to ignore — see
+    /// [`SharedEngine::open_persistent`] for why that is sound.
+    fn replay_op(&self, catalog: &mut Database, op: &JournalOp) -> Result<(), CoreError> {
+        match op {
+            JournalOp::Sql(sql) => {
+                let stmt = tspdb_probdb::parse(sql)?;
+                self.apply_locked(catalog, stmt)?;
+            }
+            JournalOp::LoadTable { name, schema, rows } => {
+                let mut table = Table::new(name.clone(), schema.clone());
+                for row in rows {
+                    table.insert(row.clone())?;
+                }
+                catalog.register_table(table)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a statement against an exclusively borrowed catalog — the
+    /// write path shared by journaled execution and WAL replay. Density
+    /// views build inside the exclusive borrow here (unlike the in-memory
+    /// engine's build-under-read-lock path) so the WAL's commit order and
+    /// the apply order are the same order.
+    fn apply_locked(
+        &self,
+        catalog: &mut Database,
+        stmt: Statement,
+    ) -> Result<QueryOutput, CoreError> {
+        match stmt {
+            Statement::CreateDensityView(spec) => {
+                let (view, built) = build_density_view(catalog, self.defaults, &spec)?;
+                catalog.register_prob_table(view)?;
+                *self.last_build.write().expect("last-build lock poisoned") = Some(LastBuild {
+                    view_name: spec.view_name.clone(),
+                    built,
+                });
+                Ok(QueryOutput::None)
+            }
+            other => catalog.execute_parsed(other).map_err(CoreError::from),
+        }
+    }
+
+    /// Collects every reachable relation and writes a checkpoint, with the
+    /// catalog exclusively borrowed so the snapshot is consistent with the
+    /// WAL floor. Evicted relations are made resident first so the new
+    /// file keeps them.
+    fn checkpoint_locked(
+        &self,
+        catalog: &mut Database,
+        storage: &Storage,
+    ) -> Result<(), CoreError> {
+        let names = catalog.all_relation_names();
+        for name in &names {
+            catalog.ensure_resident(name)?;
+        }
+        let relations: Vec<Relation> = names
+            .iter()
+            .filter_map(|n| catalog.relation(n).cloned())
+            .collect();
+        storage
+            .checkpoint(&relations)
+            .map_err(DbError::from)
+            .map_err(CoreError::from)
+    }
+
+    /// Forces a checkpoint now: rewrites the database file from the
+    /// current catalog, truncates the WAL. No-op error when the engine is
+    /// not persistent.
+    pub fn checkpoint(&self) -> Result<(), CoreError> {
+        let storage = self.storage.as_ref().ok_or_else(|| {
+            CoreError::Db(DbError::Storage("engine has no data directory".into()))
+        })?;
+        let mut catalog = self.catalog.write().expect("catalog lock poisoned");
+        self.checkpoint_locked(&mut catalog, storage)
+    }
+
+    /// Checkpoints, then drops the named relation's tuples from memory
+    /// while keeping its synopses; subsequent scans are served from disk
+    /// through the page cache — with bit-identical query results, which is
+    /// what the persistence differential tests pin down.
+    pub fn evict_to_disk(&self, name: &str) -> Result<(), CoreError> {
+        let storage = self.storage.as_ref().ok_or_else(|| {
+            CoreError::Db(DbError::Storage("engine has no data directory".into()))
+        })?;
+        let mut catalog = self.catalog.write().expect("catalog lock poisoned");
+        self.checkpoint_locked(&mut catalog, storage)?;
+        catalog.evict_relation(name)?;
+        Ok(())
     }
 
     /// Read access to the catalog. Holding the guard blocks writers (not
@@ -158,16 +320,69 @@ impl SharedEngine {
     ///   registered last.
     /// * Everything else — write lock.
     pub fn execute(&self, sql: &str) -> Result<QueryOutput, CoreError> {
-        self.execute_statement(tspdb_probdb::parse(sql)?)
+        let stmt = tspdb_probdb::parse(sql)?;
+        self.execute_journaled(Some(sql), stmt)
     }
 
     /// [`SharedEngine::execute`] for an already-parsed statement — the
-    /// parse-free entry point the wire server uses after classifying the
-    /// statement itself. Lock discipline is identical to `execute`.
+    /// parse-free entry point for callers that classified the statement
+    /// themselves. Lock discipline is identical to `execute`.
+    ///
+    /// On a **persistent** engine, mutating statements are rejected here:
+    /// the journal records original SQL text, so persistent writers must
+    /// supply it via [`SharedEngine::execute_sql_statement`] (or
+    /// [`SharedEngine::execute`]).
     pub fn execute_statement(
         &self,
         stmt: tspdb_probdb::Statement,
     ) -> Result<QueryOutput, CoreError> {
+        self.execute_journaled(None, stmt)
+    }
+
+    /// [`SharedEngine::execute_statement`] with the statement's original
+    /// SQL text alongside the parsed form — the entry point the wire
+    /// server uses, avoiding a re-parse while keeping the journal able to
+    /// record the text.
+    pub fn execute_sql_statement(
+        &self,
+        sql: &str,
+        stmt: tspdb_probdb::Statement,
+    ) -> Result<QueryOutput, CoreError> {
+        self.execute_journaled(Some(sql), stmt)
+    }
+
+    /// The write path behind every `execute*` variant. In-memory engines
+    /// keep the original lock discipline (density views build under the
+    /// read lock). Persistent engines serialise mutating statements under
+    /// the write lock and journal them **before** applying: append + fsync
+    /// to the WAL first, then apply in memory — the redo-log ordering that
+    /// makes the committed prefix recoverable. Holding the write lock
+    /// across both steps keeps WAL order and apply order identical, which
+    /// replay depends on.
+    fn execute_journaled(
+        &self,
+        sql: Option<&str>,
+        stmt: tspdb_probdb::Statement,
+    ) -> Result<QueryOutput, CoreError> {
+        let mutating = !matches!(stmt, Statement::Select(_) | Statement::Explain(_));
+        if let (Some(storage), true) = (&self.storage, mutating) {
+            let Some(sql) = sql else {
+                return Err(CoreError::Db(DbError::Storage(
+                    "persistent engines journal original SQL text; \
+                     use execute() or execute_sql_statement()"
+                        .into(),
+                )));
+            };
+            let mut catalog = self.catalog.write().expect("catalog lock poisoned");
+            storage
+                .log(&JournalOp::Sql(sql.to_string()))
+                .map_err(DbError::from)?;
+            let out = self.apply_locked(&mut catalog, stmt)?;
+            if storage.wal_bytes().map_err(DbError::from)? >= WAL_AUTOCHECKPOINT_BYTES {
+                self.checkpoint_locked(&mut catalog, storage)?;
+            }
+            return Ok(out);
+        }
         match stmt {
             tspdb_probdb::Statement::CreateDensityView(spec) => {
                 let (view, built) = build_density_view(&self.read(), self.defaults, &spec)?;
@@ -207,10 +422,20 @@ impl SharedEngine {
         series: &TimeSeries,
     ) -> Result<(), CoreError> {
         let table = series_to_table(table_name, value_column, series)?;
-        self.catalog
-            .write()
-            .expect("catalog lock poisoned")
-            .register_table(table)?;
+        let mut catalog = self.catalog.write().expect("catalog lock poisoned");
+        if let Some(storage) = &self.storage {
+            // No SQL text exists for a programmatic load, so the journal
+            // records the finished table itself (schema + rows, floats as
+            // bit patterns) — replay re-registers it verbatim.
+            storage
+                .log(&JournalOp::LoadTable {
+                    name: table.name().to_string(),
+                    schema: table.schema().clone(),
+                    rows: table.rows().to_vec(),
+                })
+                .map_err(DbError::from)?;
+        }
+        catalog.register_table(table)?;
         Ok(())
     }
 

@@ -71,6 +71,10 @@ pub use metrics::{
 pub use omega::{OmegaSpec, ProbabilityValue};
 pub use quality::{density_distance, evaluate_metric, MetricEvaluation};
 pub use sigma_cache::{CacheStats, SigmaCache, SigmaCacheConfig, SigmaLadder};
+/// The persistent storage engine backing [`SharedEngine::open_persistent`]
+/// (re-exported so engine users reach the fault-injection and cache
+/// diagnostics without a direct `tspdb-storage` dependency).
+pub use tspdb_storage as storage;
 
 #[cfg(test)]
 mod proptests {

@@ -205,10 +205,34 @@ impl QueryOutput {
 pub type DensityHandler<'a> =
     dyn FnMut(&Table, &DensityViewSpec) -> Result<ProbTable, DbError> + 'a;
 
+/// A fallback provider of relations that are not resident in memory —
+/// implemented by the persistent storage engine upstream (`tspdb-storage`),
+/// which materialises relations from its paged on-disk tables.
+///
+/// The substrate stays storage-agnostic: it only asks for a relation by
+/// name when the in-memory catalog misses. Whatever comes back is executed
+/// by the *same* strategies over the *same* tuple representation, so for a
+/// fixed query + seed the results are bit-identical whether the relation
+/// was resident or scanned from the source.
+pub trait ScanSource: std::fmt::Debug + Send + Sync {
+    /// Materialises the named relation, or `None` if the source doesn't
+    /// hold it either.
+    fn scan(&self, name: &str) -> Result<Option<Relation>, DbError>;
+    /// Names of all relations the source can scan.
+    fn names(&self) -> Vec<String>;
+}
+
 /// An in-memory database of named relations.
 #[derive(Debug, Default)]
 pub struct Database {
     relations: BTreeMap<String, Relation>,
+    /// Fallback relation provider consulted when `relations` misses (the
+    /// persistent storage engine, when the database runs on one).
+    scan_source: Option<Arc<dyn ScanSource>>,
+    /// Names dropped since the scan source last checkpointed. The source
+    /// still holds their pages until the next checkpoint rewrites the
+    /// file; these tombstones stop the fallback from resurrecting them.
+    dropped: std::collections::BTreeSet<String>,
     /// Precomputed synopses, keyed by relation name. Maintained eagerly on
     /// the write paths (`&mut self`: view registration and drops), so the
     /// shared read path clones an [`Arc`] snapshot without locking.
@@ -246,12 +270,100 @@ impl Database {
         self.relations.keys().map(String::as_str).collect()
     }
 
+    /// Names of all reachable relations — resident ones plus any the
+    /// attached scan source holds — sorted and deduplicated.
+    pub fn all_relation_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.relations.keys().cloned().collect();
+        if let Some(source) = &self.scan_source {
+            names.extend(
+                source
+                    .names()
+                    .into_iter()
+                    .filter(|n| !self.dropped.contains(n)),
+            );
+        }
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Attaches the fallback relation provider consulted when the
+    /// in-memory catalog misses (the persistent storage engine).
+    pub fn attach_scan_source(&mut self, source: Arc<dyn ScanSource>) {
+        self.scan_source = Some(source);
+    }
+
+    /// Whether a scan source is attached.
+    pub fn has_scan_source(&self) -> bool {
+        self.scan_source.is_some()
+    }
+
+    /// Materialises a relation from the attached scan source (`None` when
+    /// no source is attached or the source doesn't hold the name).
+    fn scan_from_source(&self, name: &str) -> Result<Option<Relation>, DbError> {
+        if self.dropped.contains(name) {
+            return Ok(None);
+        }
+        match &self.scan_source {
+            Some(source) => source.scan(name),
+            None => Ok(None),
+        }
+    }
+
+    /// Drops a relation's tuples from memory while **keeping its
+    /// synopses**, so later reads fall through to the scan source. Keeping
+    /// the synopses means planner strategy selection — and therefore every
+    /// query result — is identical for the disk-backed relation and the
+    /// resident one. Refuses to evict anything the attached source cannot
+    /// serve back (that would be data loss, not eviction).
+    pub fn evict_relation(&mut self, name: &str) -> Result<(), DbError> {
+        if !self.relations.contains_key(name) {
+            return Err(DbError::UnknownTable(name.to_string()));
+        }
+        let served = self
+            .scan_source
+            .as_ref()
+            .is_some_and(|s| s.names().iter().any(|n| n == name));
+        if !served {
+            return Err(DbError::Storage(format!(
+                "evicting {name:?} would lose data: the scan source cannot serve it"
+            )));
+        }
+        self.relations.remove(name);
+        Ok(())
+    }
+
+    /// Loads a relation back into memory from the scan source if it is not
+    /// already resident. Returns whether the relation is resident
+    /// afterwards. Write paths call this so statements hit evicted
+    /// relations transparently.
+    pub fn ensure_resident(&mut self, name: &str) -> Result<bool, DbError> {
+        if self.relations.contains_key(name) {
+            return Ok(true);
+        }
+        match self.scan_from_source(name)? {
+            Some(Relation::Deterministic(t)) => {
+                self.relations
+                    .insert(name.to_string(), Relation::Deterministic(t));
+                Ok(true)
+            }
+            Some(Relation::Probabilistic(t)) => {
+                // Goes through registration so the synopses are (re)built
+                // deterministically from the recovered tuples.
+                self.register_prob_table(t)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
     /// Registers a deterministic table (errors on name collision).
     pub fn register_table(&mut self, table: Table) -> Result<(), DbError> {
         let name = table.name().to_string();
         if self.relations.contains_key(&name) {
             return Err(DbError::DuplicateTable(name));
         }
+        self.dropped.remove(&name);
         self.relations.insert(name, Relation::Deterministic(table));
         Ok(())
     }
@@ -266,6 +378,7 @@ impl Database {
         if matches!(self.relations.get(&name), Some(Relation::Deterministic(_))) {
             return Err(DbError::DuplicateTable(name));
         }
+        self.dropped.remove(&name);
         self.synopses.insert(
             name.clone(),
             Arc::new(RelationSynopses::build(&table, DEFAULT_SYNOPSIS_BUCKETS)),
@@ -279,6 +392,11 @@ impl Database {
     /// the whole cost — the snapshot is immutable.
     pub fn synopses(&self, name: &str) -> Option<Arc<RelationSynopses>> {
         self.synopses.get(name).cloned()
+    }
+
+    /// Borrow of one resident relation (no scan-source fallback).
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
     }
 
     /// Looks up a deterministic table.
@@ -297,9 +415,12 @@ impl Database {
         }
     }
 
-    /// Drops a relation by name (and its synopses, if any).
+    /// Drops a relation by name (and its synopses, if any). A tombstone
+    /// stops the scan source from resurrecting the name until a
+    /// checkpoint rewrites the on-disk file (or the name is re-created).
     pub fn drop_relation(&mut self, name: &str) -> Result<(), DbError> {
         self.synopses.remove(name);
+        self.dropped.insert(name.to_string());
         self.relations
             .remove(name)
             .map(|_| ())
@@ -375,10 +496,21 @@ impl Database {
         planned: &PlannedQuery,
         worlds_threads: Option<usize>,
     ) -> Result<QueryOutput, DbError> {
-        let relation = self
-            .relations
-            .get(&planned.physical.table)
-            .ok_or_else(|| DbError::UnknownTable(planned.physical.table.clone()))?;
+        // Resident relations win; otherwise fall through to the attached
+        // scan source (the persistent storage engine). Either way the same
+        // strategy executes over the same tuple representation, so results
+        // are bit-identical across media for a fixed query + seed.
+        let fetched;
+        let relation = match self.relations.get(&planned.physical.table) {
+            Some(r) => r,
+            None => match self.scan_from_source(&planned.physical.table)? {
+                Some(r) => {
+                    fetched = r;
+                    &fetched
+                }
+                None => return Err(DbError::UnknownTable(planned.physical.table.clone())),
+            },
+        };
         planned
             .strategy_with_synopses(
                 worlds_threads.unwrap_or_else(|| self.worlds_threads()),
@@ -404,6 +536,14 @@ impl Database {
                 planned.physical.table,
                 t.len()
             ),
+            None if !self.dropped.contains(&planned.physical.table)
+                && self
+                    .scan_source
+                    .as_ref()
+                    .is_some_and(|s| s.names().contains(&planned.physical.table)) =>
+            {
+                format!("{}: on disk (via scan source)", planned.physical.table)
+            }
             None => format!(
                 "{}: not found (plan is still valid)",
                 planned.physical.table
@@ -477,6 +617,9 @@ impl Database {
                 Ok(QueryOutput::None)
             }
             Statement::Insert { table, rows } => {
+                // An evicted relation comes back into memory before the
+                // write so inserts hit disk-backed tables transparently.
+                self.ensure_resident(&table)?;
                 let rel = self
                     .relations
                     .get_mut(&table)
@@ -497,6 +640,10 @@ impl Database {
             Statement::Explain(sel) => self.explain_select(&sel),
             Statement::CreateDensityView(_) => unreachable!("handled by callers"),
             Statement::Drop { name } => {
+                // Materialise an evicted relation first so the drop is
+                // visible to the catalog (the storage layer forgets it at
+                // the next checkpoint).
+                self.ensure_resident(&name)?;
                 self.drop_relation(&name)?;
                 Ok(QueryOutput::None)
             }
@@ -613,6 +760,33 @@ mod tests {
         let rows = out.prob_rows().unwrap();
         assert_eq!(rows.rows()[0][0], Value::Int(2));
         assert_eq!(rows.rows()[1][0], Value::Int(3));
+    }
+
+    #[test]
+    fn synopsis_rebuild_is_scoped_to_the_written_relation() {
+        let mut db = Database::new();
+        let schema = Schema::of(&[("x", crate::value::ColumnType::Int)]);
+        for name in ["a", "b"] {
+            let mut v = ProbTable::new(name, schema.clone());
+            v.insert(vec![Value::Int(1)], 0.5).unwrap();
+            db.register_prob_table(v).unwrap();
+        }
+        let a_before = db.synopses("a").unwrap();
+
+        // A write to `b` must rebuild `b`'s synopses and nobody else's:
+        // `a`'s snapshot is still the very same allocation.
+        let b_before = db.synopses("b").unwrap();
+        let mut v = ProbTable::new("b", schema);
+        v.insert(vec![Value::Int(2)], 0.25).unwrap();
+        db.register_prob_table(v).unwrap();
+        assert!(
+            Arc::ptr_eq(&a_before, &db.synopses("a").unwrap()),
+            "writing b must not touch a's synopses"
+        );
+        assert!(
+            !Arc::ptr_eq(&b_before, &db.synopses("b").unwrap()),
+            "writing b must rebuild b's synopses"
+        );
     }
 
     #[test]

@@ -47,6 +47,10 @@ pub enum DbError {
     Plan(String),
     /// The density-view handler reported a failure.
     ViewBuild(String),
+    /// The persistent storage layer reported a failure (I/O error, corrupt
+    /// page, poisoned handle). Carried as text so the substrate stays free
+    /// of a storage dependency.
+    Storage(String),
 }
 
 impl fmt::Display for DbError {
@@ -85,6 +89,7 @@ impl fmt::Display for DbError {
             }
             DbError::Plan(msg) => write!(f, "cannot plan query: {msg}"),
             DbError::ViewBuild(msg) => write!(f, "view build failed: {msg}"),
+            DbError::Storage(msg) => write!(f, "storage error: {msg}"),
         }
     }
 }

@@ -69,7 +69,9 @@ pub mod value;
 pub mod worlds;
 
 pub use aggregates::{sum_distribution_of, SumDistribution};
-pub use catalog::{Database, QueryOutput, Relation, RelationSynopses, DEFAULT_SYNOPSIS_BUCKETS};
+pub use catalog::{
+    Database, QueryOutput, Relation, RelationSynopses, ScanSource, DEFAULT_SYNOPSIS_BUCKETS,
+};
 pub use error::DbError;
 pub use plan::{
     AggregateResult, EvalStrategy, ExactStrategy, ExplainReport, LogicalPlan, PhysicalPlan,

@@ -1,24 +1,30 @@
 //! The tspdb wire-protocol server binary.
 //!
 //! ```text
-//! probdb-server [--addr HOST:PORT] [--workers N] [--demo]
+//! probdb-server [--addr HOST:PORT] [--workers N] [--data-dir DIR] [--demo]
 //! ```
 //!
 //! * `--addr` — listen address (default `127.0.0.1:7878`; port `0` picks
 //!   an ephemeral port, printed on stdout).
 //! * `--workers` — worker threads, i.e. the bound on concurrently served
 //!   sessions (default 8).
+//! * `--data-dir` — persistent mode: open (or create) a database
+//!   directory, recover committed writes from its write-ahead log, and
+//!   journal every later write. Without it the server is purely
+//!   in-memory.
 //! * `--demo` — pre-load the demo dataset (`raw_values` + density view
-//!   `pv`) so clients have something to query immediately.
+//!   `pv`) so clients have something to query immediately. With
+//!   `--data-dir`, the dataset is only loaded if the directory does not
+//!   already hold it.
 //!
 //! The listen address is announced on stdout as `listening on <addr>`
 //! before the accept loop starts — scripts (the CI smoke job) wait for
 //! that line.
 
-use tspdb_server::{demo_config, demo_engine, Server, ServerConfig};
+use tspdb_server::{demo_config, load_demo_data, Server, ServerConfig};
 
 fn usage() -> ! {
-    eprintln!("usage: probdb-server [--addr HOST:PORT] [--workers N] [--demo]");
+    eprintln!("usage: probdb-server [--addr HOST:PORT] [--workers N] [--data-dir DIR] [--demo]");
     std::process::exit(2);
 }
 
@@ -26,6 +32,7 @@ fn main() {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut config = ServerConfig::default();
     let mut demo = false;
+    let mut data_dir: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -38,6 +45,10 @@ fn main() {
                 Some(w) => config.workers = w,
                 None => usage(),
             },
+            "--data-dir" => match args.next() {
+                Some(d) => data_dir = Some(d),
+                None => usage(),
+            },
             "--demo" => demo = true,
             "--help" | "-h" => usage(),
             other => {
@@ -47,17 +58,30 @@ fn main() {
         }
     }
 
-    let engine = if demo {
-        match demo_engine() {
-            Ok(engine) => engine,
-            Err(e) => {
-                eprintln!("cannot build demo dataset: {e}");
-                std::process::exit(1);
+    let engine = match &data_dir {
+        Some(dir) => {
+            match tspdb_core::SharedEngine::open_persistent(
+                std::path::Path::new(dir),
+                demo_config(),
+            ) {
+                Ok(engine) => {
+                    println!("data dir {dir} recovered");
+                    engine
+                }
+                Err(e) => {
+                    eprintln!("cannot open data dir {dir}: {e}");
+                    std::process::exit(1);
+                }
             }
         }
-    } else {
-        tspdb_core::SharedEngine::new(demo_config())
+        None => tspdb_core::SharedEngine::new(demo_config()),
     };
+    if demo {
+        if let Err(e) = load_demo_data(&engine) {
+            eprintln!("cannot build demo dataset: {e}");
+            std::process::exit(1);
+        }
+    }
 
     let server = match Server::bind(&addr, engine, config) {
         Ok(server) => server,

@@ -276,7 +276,11 @@ fn worker_loop(
 ) {
     loop {
         let stream = {
-            let guard = rx.lock().expect("connection queue lock poisoned");
+            // Recover the queue from a poisoned lock: a worker that
+            // panicked mid-`recv` left the receiver itself intact, and
+            // letting the poison flag cascade would kill every remaining
+            // worker one by one as each touches the mutex.
+            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
             guard.recv()
         };
         match stream {
@@ -345,9 +349,20 @@ fn read_request(
             max: MAX_FRAME_LEN,
         });
     }
-    let mut body = vec![0u8; len as usize];
-    if !read_exact_interruptible(stream, &mut body, shutdown, Some(deadline))? {
-        return Ok(interrupted_outcome(shutdown));
+    // Grow the body in bounded chunks instead of trusting the 4-byte
+    // prefix with one up-front allocation (a hostile prefix just under
+    // MAX_FRAME_LEN would otherwise pin 64 MiB per connection before a
+    // single body byte arrives). Memory now grows only as fast as the
+    // peer actually delivers data.
+    const BODY_CHUNK: usize = 64 * 1024;
+    let mut body = Vec::new();
+    while body.len() < len as usize {
+        let take = BODY_CHUNK.min(len as usize - body.len());
+        let start = body.len();
+        body.resize(start + take, 0);
+        if !read_exact_interruptible(stream, &mut body[start..], shutdown, Some(deadline))? {
+            return Ok(interrupted_outcome(shutdown));
+        }
     }
     Ok(ReadOutcome::Request(decode_message(&body)?))
 }
@@ -441,7 +456,9 @@ fn run_sql(engine: &SharedEngine, session: &Session, sql: &str) -> Result<QueryO
             .read()
             .query_select_with_threads(&sel, session.worlds_threads),
         Statement::Explain(sel) => engine.read().explain_select(&sel),
-        other => engine.execute_statement(other).map_err(core_to_db),
+        // Writes carry the original SQL text alongside the parsed form so
+        // a persistent engine can journal the text to its WAL.
+        other => engine.execute_sql_statement(sql, other).map_err(core_to_db),
     }
 }
 
@@ -648,10 +665,26 @@ pub fn demo_insert_statement(table: &str) -> String {
 /// rows, `WITH WORLDS`, aggregates, `EXPLAIN`) to have a target.
 pub fn demo_engine() -> Result<SharedEngine, CoreError> {
     let engine = SharedEngine::new(demo_config());
+    load_demo_data(&engine)?;
+    Ok(engine)
+}
+
+/// Loads the demo dataset into an existing engine (the `--demo --data-dir`
+/// combination). Skipped when `raw_values` already exists — a recovered
+/// data directory keeps its own data.
+pub fn load_demo_data(engine: &SharedEngine) -> Result<(), CoreError> {
+    if engine
+        .read()
+        .all_relation_names()
+        .iter()
+        .any(|n| n == "raw_values")
+    {
+        return Ok(());
+    }
     let series = tspdb_timeseries::generate::TemperatureGenerator::default().generate(150);
     engine.load_series("raw_values", "r", &series)?;
     engine.execute("CREATE VIEW pv AS DENSITY r OVER t OMEGA delta=0.5, n=6 FROM raw_values")?;
-    Ok(engine)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -1,0 +1,145 @@
+//! Cursors over a relation's interior/leaf page chains.
+//!
+//! A relation on disk is an **interior chain** — pages whose payload is the
+//! ordered list of leaf page ids — and the **leaf pages** those ids point
+//! at, each holding `count` encoded tuples. [`PageCursor`] walks the
+//! interior chain once up front and then hands out leaves in order;
+//! [`TupleCursor`] decodes tuples out of those leaves one at a time.
+//! Both read through the pager, so a warm scan never touches the disk.
+
+use crate::codec::Reader;
+use crate::error::StorageError;
+use crate::page::{Page, PageKind};
+use crate::pager::Pager;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use tspdb_probdb::{Schema, Value};
+
+/// Iterates the leaf pages of one relation, in tuple order.
+#[derive(Debug)]
+pub struct PageCursor<'a> {
+    pager: &'a Pager,
+    leaves: VecDeque<u64>,
+}
+
+impl<'a> PageCursor<'a> {
+    /// Walks the interior chain rooted at `root` (0 = empty relation) and
+    /// prepares to iterate its leaves.
+    pub fn new(pager: &'a Pager, root: u64) -> Result<Self, StorageError> {
+        let mut leaves = VecDeque::new();
+        let mut id = root;
+        while id != 0 {
+            let page = pager.get(id)?;
+            if page.kind() != PageKind::Interior {
+                return Err(StorageError::CorruptPage {
+                    page: id,
+                    reason: format!("expected an interior page, found {:?}", page.kind()),
+                });
+            }
+            let mut r = Reader::new(page.payload(), id);
+            for _ in 0..page.count() {
+                leaves.push_back(r.take_u64()?);
+            }
+            id = page.next();
+        }
+        Ok(PageCursor { pager, leaves })
+    }
+
+    /// Number of leaves not yet returned.
+    pub fn remaining_leaves(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// The next leaf page, or `None` when the relation is exhausted.
+    pub fn next_leaf(&mut self) -> Result<Option<(u64, Arc<Page>)>, StorageError> {
+        let Some(id) = self.leaves.pop_front() else {
+            return Ok(None);
+        };
+        let page = self.pager.get(id)?;
+        if page.kind() != PageKind::Leaf {
+            return Err(StorageError::CorruptPage {
+                page: id,
+                reason: format!("expected a leaf page, found {:?}", page.kind()),
+            });
+        }
+        Ok(Some((id, page)))
+    }
+}
+
+/// One decoded tuple: the row plus its existence probability
+/// (`None` for deterministic relations).
+pub type DecodedTuple = (Vec<Value>, Option<f64>);
+
+/// Decoding position inside the current leaf.
+#[derive(Debug)]
+struct LeafPos {
+    id: u64,
+    page: Arc<Page>,
+    pos: usize,
+    remaining: u32,
+}
+
+/// Streams the tuples of one relation: `(row, existence probability)` for
+/// probabilistic relations, `(row, None)` for deterministic ones.
+#[derive(Debug)]
+pub struct TupleCursor<'a> {
+    pages: PageCursor<'a>,
+    schema: Schema,
+    probabilistic: bool,
+    current: Option<LeafPos>,
+}
+
+impl<'a> TupleCursor<'a> {
+    /// A tuple cursor over the relation rooted at `root`.
+    pub fn new(
+        pager: &'a Pager,
+        root: u64,
+        schema: Schema,
+        probabilistic: bool,
+    ) -> Result<Self, StorageError> {
+        Ok(TupleCursor {
+            pages: PageCursor::new(pager, root)?,
+            schema,
+            probabilistic,
+            current: None,
+        })
+    }
+
+    /// Decodes the next tuple, or `None` at end of relation.
+    pub fn next_tuple(&mut self) -> Result<Option<DecodedTuple>, StorageError> {
+        let arity = self.schema.arity();
+        let probabilistic = self.probabilistic;
+        loop {
+            if let Some(cur) = &mut self.current {
+                if cur.remaining > 0 {
+                    let page = Arc::clone(&cur.page);
+                    let mut r = Reader::new(&page.payload()[cur.pos..], cur.id);
+                    let prob = if probabilistic {
+                        Some(r.take_f64()?)
+                    } else {
+                        None
+                    };
+                    let mut row = Vec::with_capacity(arity);
+                    for _ in 0..arity {
+                        row.push(r.take_value()?);
+                    }
+                    cur.pos += r.position();
+                    cur.remaining -= 1;
+                    return Ok(Some((row, prob)));
+                }
+                self.current = None;
+            }
+            match self.pages.next_leaf()? {
+                Some((id, page)) => {
+                    self.current = Some(LeafPos {
+                        id,
+                        remaining: page.count(),
+                        page,
+                        pos: 0,
+                    });
+                }
+                None => return Ok(None),
+            }
+        }
+    }
+}

@@ -1,0 +1,467 @@
+//! The write-ahead log: checksummed, sequence-numbered redo records with
+//! fsync-on-commit, plus the fault-injection crash points the recovery
+//! tests drive.
+//!
+//! ## Record layout
+//!
+//! The file opens with a 12-byte header (`"TSPDB-WAL"` padded magic +
+//! format version), then zero or more records:
+//!
+//! ```text
+//! [len: u32][crc: u32][payload: len bytes]     payload = [seq: u64][op]
+//! ```
+//!
+//! `crc` is the CRC-32 of the payload. A record is **committed** iff it is
+//! completely on disk with a valid checksum; the commit point is the
+//! `fsync` after the record is written. Replay reads records until EOF or
+//! the first damaged record — a torn tail from a crash mid-write — and
+//! discards everything from the damage on, which is exactly the
+//! uncommitted suffix.
+//!
+//! ## Sequence numbers and checkpoints
+//!
+//! Every record carries a monotonically increasing sequence number that
+//! survives log resets. A checkpoint stores the sequence of the last
+//! operation it includes in the database file's meta page; replay skips
+//! records at or below that floor. This makes the
+//! crash-between-checkpoint-rename-and-log-reset window safe: the stale
+//! records are still in the log, but their sequence numbers identify them
+//! as already applied.
+
+use crate::codec::{crc32, Reader, Writer};
+use crate::error::StorageError;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write as _};
+use std::path::Path;
+use tspdb_probdb::{Schema, Value};
+
+/// WAL file magic (9 bytes of name + 3 of padding → 12-byte header with
+/// the version).
+const WAL_MAGIC: &[u8; 8] = b"TSPDBWAL";
+
+/// WAL format version.
+const WAL_VERSION: u32 = 1;
+
+/// Header length: magic + version.
+const WAL_HEADER_LEN: u64 = 12;
+
+/// One journaled write operation — the redo unit of recovery.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalOp {
+    /// A mutating SQL statement, journaled as its original source text.
+    /// Replaying the text through the engine's write path is deterministic
+    /// (witnessed end-to-end by the fingerprint differentials), so the
+    /// statement itself is the redo record.
+    Sql(String),
+    /// A programmatic table load (`SharedEngine::load_series`): the
+    /// finished table, schema and rows, since no SQL text exists for it.
+    LoadTable {
+        /// Table name.
+        name: String,
+        /// Column layout.
+        schema: Schema,
+        /// Row values (already schema-checked by the original load).
+        rows: Vec<Vec<Value>>,
+    },
+}
+
+impl JournalOp {
+    /// Encodes the operation payload (without the sequence number).
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            JournalOp::Sql(sql) => {
+                w.put_u8(1);
+                w.put_str(sql);
+            }
+            JournalOp::LoadTable { name, schema, rows } => {
+                w.put_u8(2);
+                w.put_str(name);
+                w.put_schema(schema);
+                w.put_u64(rows.len() as u64);
+                for row in rows {
+                    for v in row {
+                        w.put_value(v);
+                    }
+                }
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<JournalOp, StorageError> {
+        match r.take_u8()? {
+            1 => Ok(JournalOp::Sql(r.take_str()?)),
+            2 => {
+                let name = r.take_str()?;
+                let schema = r.take_schema()?;
+                let n = r.take_u64()? as usize;
+                let mut rows = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    let mut row = Vec::with_capacity(schema.arity());
+                    for _ in 0..schema.arity() {
+                        row.push(r.take_value()?);
+                    }
+                    rows.push(row);
+                }
+                Ok(JournalOp::LoadTable { name, schema, rows })
+            }
+            tag => Err(StorageError::CorruptPage {
+                page: 0,
+                reason: format!("unknown journal op tag {tag}"),
+            }),
+        }
+    }
+}
+
+/// Where the fault-injection harness kills the write path. Each point
+/// models one real crash window; after firing, the [`Wal`] is poisoned and
+/// every later write fails with [`StorageError::Poisoned`] — the process
+/// is "dead" as far as the storage layer is concerned, and the test
+/// re-opens the directory to recover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Dies before any record byte reaches the log: the write is lost
+    /// entirely and recovery must yield the prior committed prefix.
+    PreCommit,
+    /// Dies halfway through the record: a torn tail that replay must
+    /// detect (checksum/length) and discard.
+    MidRecord,
+    /// Dies after the record is committed (written + fsynced) but before
+    /// the in-memory apply / any checkpoint: replay must redo it.
+    PostCommit,
+}
+
+/// Result of replaying a WAL at open.
+#[derive(Debug)]
+pub struct WalReplay {
+    /// Committed operations with sequence numbers above the checkpoint
+    /// floor, in commit order.
+    pub ops: Vec<(u64, JournalOp)>,
+    /// Highest sequence number seen in the log (0 when empty).
+    pub last_seq: u64,
+    /// Records skipped as already covered by the checkpoint.
+    pub skipped: usize,
+    /// Whether a torn/damaged tail was truncated away.
+    pub truncated_tail: bool,
+}
+
+/// The write-ahead log of one database directory.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    /// Whether commits fsync (`true` everywhere except throwaway tests).
+    fsync: bool,
+    crash_point: Option<CrashPoint>,
+    poisoned: bool,
+}
+
+impl Wal {
+    /// Opens (or creates) the log at `path` and replays it: committed
+    /// records with sequence numbers above `floor` come back as redo
+    /// operations; a torn tail is truncated so later appends start from a
+    /// clean end of file.
+    pub fn open(path: &Path, floor: u64, fsync: bool) -> Result<(Wal, WalReplay), StorageError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        if len == 0 {
+            let mut header = Vec::with_capacity(WAL_HEADER_LEN as usize);
+            header.extend_from_slice(WAL_MAGIC);
+            header.extend_from_slice(&WAL_VERSION.to_be_bytes());
+            file.write_all(&header)?;
+            file.sync_data()?;
+        } else {
+            let mut header = [0u8; WAL_HEADER_LEN as usize];
+            file.seek(SeekFrom::Start(0))?;
+            file.read_exact(&mut header)?;
+            if &header[..8] != WAL_MAGIC {
+                return Err(StorageError::BadDatabase("WAL magic mismatch".into()));
+            }
+            let version = u32::from_be_bytes(header[8..12].try_into().expect("4 bytes"));
+            if version != WAL_VERSION {
+                return Err(StorageError::BadDatabase(format!(
+                    "WAL format v{version}, this build reads v{WAL_VERSION}"
+                )));
+            }
+        }
+
+        // Replay: committed prefix only.
+        let mut bytes = Vec::new();
+        file.seek(SeekFrom::Start(WAL_HEADER_LEN))?;
+        file.read_to_end(&mut bytes)?;
+        let mut ops = Vec::new();
+        let mut last_seq = 0u64;
+        let mut skipped = 0usize;
+        let mut pos = 0usize;
+        let mut good_end = WAL_HEADER_LEN;
+        let mut truncated_tail = false;
+        while bytes.len() - pos >= 8 {
+            let len = u32::from_be_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let crc = u32::from_be_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+            if len < 8 || bytes.len() - pos - 8 < len {
+                truncated_tail = true;
+                break;
+            }
+            let payload = &bytes[pos + 8..pos + 8 + len];
+            if crc32(payload) != crc {
+                truncated_tail = true;
+                break;
+            }
+            let mut r = Reader::new(payload, 0);
+            let seq = r.take_u64()?;
+            let op = JournalOp::decode(&mut r)?;
+            last_seq = last_seq.max(seq);
+            if seq > floor {
+                ops.push((seq, op));
+            } else {
+                skipped += 1;
+            }
+            pos += 8 + len;
+            good_end = WAL_HEADER_LEN + pos as u64;
+        }
+        truncated_tail |= bytes.len() > pos;
+        if truncated_tail {
+            // Drop the uncommitted suffix so the next append extends the
+            // committed prefix instead of burying garbage mid-log.
+            file.set_len(good_end)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::Start(good_end))?;
+
+        Ok((
+            Wal {
+                file,
+                fsync,
+                crash_point: None,
+                poisoned: false,
+            },
+            WalReplay {
+                ops,
+                last_seq,
+                skipped,
+                truncated_tail,
+            },
+        ))
+    }
+
+    /// Arms a fault-injection crash point for the **next** append.
+    pub fn set_crash_point(&mut self, point: Option<CrashPoint>) {
+        self.crash_point = point;
+    }
+
+    /// Appends and commits one operation. On success the record is
+    /// durable: written in full, checksummed, fsynced.
+    pub fn append(&mut self, seq: u64, op: &JournalOp) -> Result<(), StorageError> {
+        if self.poisoned {
+            return Err(StorageError::Poisoned);
+        }
+        let mut payload = Writer::new();
+        payload.put_u64(seq);
+        op.encode(&mut payload);
+        let payload = payload.into_bytes();
+        let mut record = Vec::with_capacity(8 + payload.len());
+        record.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        record.extend_from_slice(&crc32(&payload).to_be_bytes());
+        record.extend_from_slice(&payload);
+
+        match self.crash_point.take() {
+            Some(CrashPoint::PreCommit) => {
+                self.poisoned = true;
+                return Err(StorageError::InjectedCrash("pre-commit"));
+            }
+            Some(CrashPoint::MidRecord) => {
+                // Half the record reaches the disk — a torn write.
+                self.file.write_all(&record[..record.len() / 2])?;
+                self.file.sync_data()?;
+                self.poisoned = true;
+                return Err(StorageError::InjectedCrash("mid-record"));
+            }
+            Some(CrashPoint::PostCommit) => {
+                self.file.write_all(&record)?;
+                self.file.sync_data()?;
+                self.poisoned = true;
+                return Err(StorageError::InjectedCrash("post-commit"));
+            }
+            None => {}
+        }
+
+        self.file.write_all(&record)?;
+        if self.fsync {
+            self.file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Truncates the log back to its header (after a checkpoint has made
+    /// its contents redundant).
+    pub fn reset(&mut self) -> Result<(), StorageError> {
+        if self.poisoned {
+            return Err(StorageError::Poisoned);
+        }
+        self.file.set_len(WAL_HEADER_LEN)?;
+        self.file.seek(SeekFrom::Start(WAL_HEADER_LEN))?;
+        if self.fsync {
+            self.file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Bytes of record data currently in the log (header excluded).
+    pub fn len_bytes(&self) -> Result<u64, StorageError> {
+        Ok(self.file.metadata()?.len().saturating_sub(WAL_HEADER_LEN))
+    }
+
+    /// Whether an injected crash has poisoned this handle.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_wal_path() -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "tspdb-wal-test-{}-{}.wal",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn sql(n: u64) -> JournalOp {
+        JournalOp::Sql(format!("INSERT INTO t VALUES ({n})"))
+    }
+
+    #[test]
+    fn append_replay_round_trip() {
+        let path = temp_wal_path();
+        {
+            let (mut wal, replay) = Wal::open(&path, 0, true).unwrap();
+            assert!(replay.ops.is_empty());
+            for seq in 1..=5 {
+                wal.append(seq, &sql(seq)).unwrap();
+            }
+        }
+        let (_, replay) = Wal::open(&path, 0, true).unwrap();
+        assert_eq!(replay.ops.len(), 5);
+        assert_eq!(replay.last_seq, 5);
+        assert!(!replay.truncated_tail);
+        assert_eq!(replay.ops[2].1, sql(3));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn floor_skips_checkpointed_records() {
+        let path = temp_wal_path();
+        {
+            let (mut wal, _) = Wal::open(&path, 0, true).unwrap();
+            for seq in 1..=6 {
+                wal.append(seq, &sql(seq)).unwrap();
+            }
+        }
+        let (_, replay) = Wal::open(&path, 4, true).unwrap();
+        assert_eq!(replay.skipped, 4);
+        assert_eq!(
+            replay.ops.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![5, 6]
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_to_the_committed_prefix() {
+        let path = temp_wal_path();
+        {
+            let (mut wal, _) = Wal::open(&path, 0, true).unwrap();
+            wal.append(1, &sql(1)).unwrap();
+            wal.append(2, &sql(2)).unwrap();
+            wal.set_crash_point(Some(CrashPoint::MidRecord));
+            assert!(matches!(
+                wal.append(3, &sql(3)),
+                Err(StorageError::InjectedCrash("mid-record"))
+            ));
+            assert!(matches!(
+                wal.append(4, &sql(4)),
+                Err(StorageError::Poisoned)
+            ));
+        }
+        let (mut wal, replay) = Wal::open(&path, 0, true).unwrap();
+        assert!(replay.truncated_tail);
+        assert_eq!(replay.ops.len(), 2);
+        assert_eq!(replay.last_seq, 2);
+        // The log is clean again: appends after recovery replay normally.
+        wal.append(3, &sql(3)).unwrap();
+        drop(wal);
+        let (_, replay) = Wal::open(&path, 0, true).unwrap();
+        assert_eq!(replay.ops.len(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn pre_and_post_commit_crash_points() {
+        let path = temp_wal_path();
+        {
+            let (mut wal, _) = Wal::open(&path, 0, true).unwrap();
+            wal.set_crash_point(Some(CrashPoint::PreCommit));
+            assert!(wal.append(1, &sql(1)).is_err());
+        }
+        let (_, replay) = Wal::open(&path, 0, true).unwrap();
+        assert!(replay.ops.is_empty(), "pre-commit writes are lost");
+
+        {
+            let (mut wal, _) = Wal::open(&path, 0, true).unwrap();
+            wal.set_crash_point(Some(CrashPoint::PostCommit));
+            assert!(wal.append(1, &sql(1)).is_err());
+        }
+        let (_, replay) = Wal::open(&path, 0, true).unwrap();
+        assert_eq!(replay.ops.len(), 1, "post-commit writes are durable");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_table_op_round_trips() {
+        use tspdb_probdb::ColumnType;
+        let path = temp_wal_path();
+        let op = JournalOp::LoadTable {
+            name: "raw".into(),
+            schema: Schema::of(&[("t", ColumnType::Int), ("r", ColumnType::Float)]),
+            rows: vec![
+                vec![Value::Int(1), Value::Float(0.1 + 0.2)],
+                vec![Value::Int(2), Value::Float(-0.0)],
+            ],
+        };
+        {
+            let (mut wal, _) = Wal::open(&path, 0, true).unwrap();
+            wal.append(1, &op).unwrap();
+        }
+        let (_, replay) = Wal::open(&path, 0, true).unwrap();
+        assert_eq!(replay.ops[0].1, op);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reset_empties_the_log() {
+        let path = temp_wal_path();
+        {
+            let (mut wal, _) = Wal::open(&path, 0, true).unwrap();
+            wal.append(1, &sql(1)).unwrap();
+            assert!(wal.len_bytes().unwrap() > 0);
+            wal.reset().unwrap();
+            assert_eq!(wal.len_bytes().unwrap(), 0);
+            wal.append(2, &sql(2)).unwrap();
+        }
+        let (_, replay) = Wal::open(&path, 0, true).unwrap();
+        assert_eq!(
+            replay.ops.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![2]
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -867,6 +867,10 @@ impl Wire for DbError {
                 enc.put_u8(11);
                 enc.put_str(msg);
             }
+            DbError::Storage(msg) => {
+                enc.put_u8(12);
+                enc.put_str(msg);
+            }
         }
     }
 
@@ -891,6 +895,7 @@ impl Wire for DbError {
             9 => Ok(DbError::InvalidWorlds(dec.take_str()?)),
             10 => Ok(DbError::Plan(dec.take_str()?)),
             11 => Ok(DbError::ViewBuild(dec.take_str()?)),
+            12 => Ok(DbError::Storage(dec.take_str()?)),
             other => malformed(format!("unknown database error tag {other}")),
         }
     }

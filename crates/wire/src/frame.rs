@@ -28,6 +28,12 @@ pub const MAGIC: [u8; 4] = *b"TPDB";
 
 /// Version of the wire protocol this build speaks. The handshake rejects
 /// mismatches outright (no negotiation until a second version exists).
+///
+/// Still **1** after the persistent storage engine landed: its
+/// [`DbError::Storage`] variant is a new error tag (12) at the end of the
+/// tag space, which the version-bump policy classifies as a compatible
+/// addition — old peers decode it as `Malformed` rather than corrupting
+/// state.
 pub const PROTOCOL_VERSION: u32 = 1;
 
 /// Upper bound on a frame body. Large enough for any realistic result
