@@ -65,6 +65,14 @@ fn bench_select_paths(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(db.execute_planned(&planned).unwrap()))
     });
 
+    // The shared plan cache: first call plans and caches, every later
+    // call hits the raw-text key and skips parse + plan — the server's
+    // hot path for repeated ad-hoc statements.
+    db.query_cached(sql).unwrap(); // warm the cache
+    group.bench_function("cached_plan_execute", |b| {
+        b.iter(|| std::hint::black_box(db.query_cached(sql).unwrap()))
+    });
+
     // The pre-planner shape: call the row operators directly.
     let v = view(512);
     let pred = vec![Comparison::new("room", CmpOp::Eq, 2i64)];

@@ -1,5 +1,14 @@
-//! Load generator for the wire-protocol server: drives 1/2/4/8 concurrent
-//! connections through a fixed query mix and reports queries/sec.
+//! Load generator for the wire-protocol server: drives large sweeps of
+//! concurrent connections (default 64/256/1024) through a fixed query mix
+//! and reports queries/sec plus p50/p95/p99 latency.
+//!
+//! The generator is event-driven like the server it exercises: every
+//! connection is a nonblocking socket registered with one
+//! [`tspdb_server::poller::Poller`], so a thousand concurrent sessions
+//! cost one descriptor each rather than a thread each. Each connection
+//! walks the same script — handshake, prepare both prepared statements,
+//! then `--rounds` repetitions of the mix — with per-request latency
+//! measured from enqueue to verified response.
 //!
 //! Every response is checked against the single-connection baseline —
 //! the executor's determinism contract (bit-identical MC estimates at
@@ -10,17 +19,27 @@
 //! existing bench trajectory.
 //!
 //! ```text
-//! loadgen [--rounds N]        # default 20 mix-rounds per connection
+//! loadgen [--rounds N] [--conns A,B,C]   # defaults: 20 rounds, 64,256,1024
 //! ```
 
-use std::time::Instant;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::fd::AsRawFd;
+use std::time::{Duration, Instant};
 use tspdb_client::Client;
+use tspdb_server::poller::{Event, Interest, Poller};
 use tspdb_server::{demo_engine, Server, ServerConfig, ServerHandle};
-use tspdb_wire::canonical_result_bytes;
+use tspdb_wire::{
+    canonical_result_bytes, decode_message, write_frame, Request, Response, StatementId,
+    PROTOCOL_VERSION,
+};
 
 /// The per-round query mix: the row pipeline, Monte-Carlo sampling and the
 /// O(B) synopsis backend (both as prepared statements — plan once, execute
 /// many), exact grouped aggregates, EXPLAIN, and a top-k probability sort.
+/// Every statement is read-only, so each repetition past the first rides
+/// the server's shared plan cache.
 const AD_HOC: &[&str] = &[
     "SELECT * FROM pv THRESHOLD 0.2",
     "SELECT t, COUNT(*), SUM(lambda) FROM pv GROUP BY t HAVING COUNT(*) >= 2",
@@ -32,48 +51,350 @@ const PREPARED: &[&str] = &[
     "SELECT COUNT(*), SUM(lambda) FROM pv WITH SYNOPSIS BUCKETS 64",
 ];
 
-/// One connection's work: `rounds` runs of the mix, checking every
-/// response against the baseline. Returns the number of queries issued.
-fn drive(addr: &str, rounds: usize, baseline: &[Vec<u8>]) -> usize {
-    let mut client = Client::connect(addr).expect("loadgen connects");
-    let stmts: Vec<_> = PREPARED
-        .iter()
-        .map(|sql| client.prepare(sql).expect("prepare statement"))
-        .collect();
-    let mut queries = 0usize;
-    for _ in 0..rounds {
-        for (i, sql) in AD_HOC.iter().enumerate() {
-            let out = client.query(sql).expect("ad-hoc query");
-            assert_eq!(
-                canonical_result_bytes(&out),
-                baseline[i],
-                "response diverged from the single-connection baseline: {sql}"
-            );
-            queries += 1;
-        }
-        for (i, &stmt) in stmts.iter().enumerate() {
-            let out = client.execute(stmt).expect("prepared execute");
-            assert_eq!(
-                canonical_result_bytes(&out),
-                baseline[AD_HOC.len() + i],
-                "prepared response diverged from the baseline: {}",
-                PREPARED[i]
-            );
-            queries += 1;
-        }
+/// `setrlimit(RLIMIT_NOFILE)` via the glibc symbols the standard library
+/// already links: a 1k-connection sweep needs ~2 descriptors per
+/// connection (client end + server end, both in this process), which
+/// overflows the common 1024 soft limit. Best-effort — a refusal just
+/// means the sweep runs under whatever limit the kernel grants.
+#[allow(unsafe_code)]
+mod rlimit {
+    #[repr(C)]
+    struct Rlimit {
+        cur: u64,
+        max: u64,
     }
-    client.close().expect("clean close");
-    queries
+    const RLIMIT_NOFILE: i32 = 7;
+    extern "C" {
+        fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+        fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+    }
+
+    /// Raises the soft fd limit toward `target` (capped by the hard
+    /// limit); returns the limit now in force.
+    pub fn raise_nofile(target: u64) -> u64 {
+        let mut lim = Rlimit { cur: 0, max: 0 };
+        if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+            return 0;
+        }
+        if lim.cur < target {
+            let want = Rlimit {
+                cur: target.min(lim.max),
+                max: lim.max,
+            };
+            unsafe {
+                let _ = setrlimit(RLIMIT_NOFILE, &want);
+                let _ = getrlimit(RLIMIT_NOFILE, &mut lim);
+            }
+        }
+        lim.cur
+    }
 }
 
-fn start_server() -> ServerHandle {
+/// What the script expects back for the request just sent.
+#[derive(Debug, Clone, Copy)]
+enum Expect {
+    Hello,
+    Prepared(u64),
+    /// A query result to verify against `baseline[index]`.
+    Result(usize),
+    Bye,
+}
+
+/// Yields the script's request at `step`, or `None` past the end:
+/// handshake, both prepares, `rounds` repetitions of the mix, close.
+fn step_request(step: usize, rounds: usize) -> Option<(Request, Expect)> {
+    if step == 0 {
+        return Some((
+            Request::Hello {
+                version: PROTOCOL_VERSION,
+            },
+            Expect::Hello,
+        ));
+    }
+    let step = step - 1;
+    if step < PREPARED.len() {
+        return Some((
+            Request::Prepare {
+                sql: PREPARED[step].to_string(),
+            },
+            Expect::Prepared(step as u64 + 1),
+        ));
+    }
+    let step = step - PREPARED.len();
+    let per_round = AD_HOC.len() + PREPARED.len();
+    if step < rounds * per_round {
+        let i = step % per_round;
+        if i < AD_HOC.len() {
+            return Some((
+                Request::Query {
+                    sql: AD_HOC[i].to_string(),
+                },
+                Expect::Result(i),
+            ));
+        }
+        let j = i - AD_HOC.len();
+        return Some((
+            Request::Execute {
+                statement: StatementId(j as u64 + 1),
+            },
+            Expect::Result(AD_HOC.len() + j),
+        ));
+    }
+    if step == rounds * per_round {
+        return Some((Request::Close, Expect::Bye));
+    }
+    None
+}
+
+/// One scripted connection: a nonblocking socket plus enough state to
+/// resume mid-frame in either direction.
+struct Conn {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    step: usize,
+    expect: Expect,
+    sent_at: Instant,
+    wants_write: bool,
+    done: bool,
+    /// Nanosecond latency of every verified query result.
+    latencies: Vec<u64>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            step: 0,
+            expect: Expect::Hello,
+            sent_at: Instant::now(),
+            wants_write: false,
+            done: false,
+            latencies: Vec::new(),
+        }
+    }
+
+    /// Queues the current step's request frame and arms the clock.
+    fn queue_step(&mut self, rounds: usize) {
+        let Some((request, expect)) = step_request(self.step, rounds) else {
+            self.done = true;
+            return;
+        };
+        self.expect = expect;
+        self.sent_at = Instant::now();
+        write_frame(&mut self.write_buf, &request).expect("request frames always encode");
+    }
+
+    /// Writes until blocked or drained; returns whether bytes remain.
+    fn flush(&mut self) -> bool {
+        while self.write_pos < self.write_buf.len() {
+            match self.stream.write(&self.write_buf[self.write_pos..]) {
+                Ok(0) => panic!("server closed the connection mid-request"),
+                Ok(n) => self.write_pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => panic!("loadgen write failed: {e}"),
+            }
+        }
+        self.write_buf.clear();
+        self.write_pos = 0;
+        false
+    }
+
+    /// Reads until blocked; returns whether the peer hung up (which is
+    /// only fatal if buffered frames don't finish the script — the `Bye`
+    /// frame and the EOF often arrive in the same readiness event).
+    fn fill(&mut self) -> bool {
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => return true,
+                Ok(n) => self.read_buf.extend_from_slice(&buf[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return false,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => panic!("loadgen read failed: {e}"),
+            }
+        }
+    }
+
+    /// Cuts one complete response frame out of the read buffer.
+    fn next_frame(&mut self) -> Option<Vec<u8>> {
+        if self.read_buf.len() < 4 {
+            return None;
+        }
+        let len = u32::from_be_bytes(self.read_buf[..4].try_into().unwrap()) as usize;
+        if self.read_buf.len() < 4 + len {
+            return None;
+        }
+        let body = self.read_buf[4..4 + len].to_vec();
+        self.read_buf.drain(..4 + len);
+        Some(body)
+    }
+
+    /// Verifies one response against the script and advances to the next
+    /// step. Returns `true` when the script completed.
+    fn verify(&mut self, body: &[u8], baseline: &[Vec<u8>], rounds: usize) -> bool {
+        let response: Response = decode_message(body).expect("well-formed response frame");
+        match (self.expect, response) {
+            (Expect::Hello, Response::Hello { version, .. }) => {
+                assert_eq!(version, PROTOCOL_VERSION);
+            }
+            (Expect::Prepared(id), Response::Prepared { statement }) => {
+                assert_eq!(statement.0, id, "prepared statement ids are sequential");
+            }
+            (Expect::Result(index), Response::Result(out)) => {
+                self.latencies
+                    .push(self.sent_at.elapsed().as_nanos() as u64);
+                assert_eq!(
+                    canonical_result_bytes(&out),
+                    baseline[index],
+                    "response diverged from the single-connection baseline (step {})",
+                    self.step
+                );
+            }
+            (Expect::Bye, Response::Bye) => {
+                self.done = true;
+                return true;
+            }
+            (expect, other) => panic!("expected {expect:?}, got {other:?}"),
+        }
+        self.step += 1;
+        self.queue_step(rounds);
+        false
+    }
+}
+
+/// Outcome of one connection-count sweep.
+struct SweepResult {
+    queries: usize,
+    wall: Duration,
+    /// Sorted nanosecond latencies across every connection.
+    latencies: Vec<u64>,
+}
+
+/// Drives `conns` scripted connections concurrently off one poller.
+fn sweep(addr: &str, conns: usize, rounds: usize, baseline: &[Vec<u8>]) -> SweepResult {
+    let started = Instant::now();
+    let poller = Poller::new().expect("poller");
+    let mut table: HashMap<u64, Conn> = HashMap::with_capacity(conns);
+    for token in 0..conns as u64 {
+        let stream = TcpStream::connect(addr).expect("loadgen connects");
+        stream.set_nonblocking(true).expect("nonblocking socket");
+        let _ = stream.set_nodelay(true);
+        let mut conn = Conn::new(stream);
+        conn.queue_step(rounds);
+        let blocked = conn.flush();
+        let interest = if blocked {
+            conn.wants_write = true;
+            Interest::READ_WRITE
+        } else {
+            Interest::READ
+        };
+        poller
+            .register(conn.stream.as_raw_fd(), token, interest)
+            .expect("register connection");
+        table.insert(token, conn);
+    }
+
+    let mut events: Vec<Event> = Vec::new();
+    let mut active = table.len();
+    let mut last_progress = Instant::now();
+    let mut latencies: Vec<u64> = Vec::new();
+    while active > 0 {
+        poller
+            .wait(&mut events, Some(Duration::from_millis(500)))
+            .expect("poller wait");
+        if events.is_empty() {
+            assert!(
+                last_progress.elapsed() < Duration::from_secs(60),
+                "loadgen stalled: {active} connections made no progress for 60s"
+            );
+            continue;
+        }
+        last_progress = Instant::now();
+        for event in std::mem::take(&mut events) {
+            let Some(conn) = table.get_mut(&event.token) else {
+                continue;
+            };
+            if event.writable {
+                let blocked = conn.flush();
+                if !blocked && conn.wants_write {
+                    conn.wants_write = false;
+                    poller
+                        .modify(conn.stream.as_raw_fd(), event.token, Interest::READ)
+                        .expect("drop write interest");
+                }
+            }
+            if event.readable {
+                let eof = conn.fill();
+                let mut finished = false;
+                while let Some(body) = conn.next_frame() {
+                    if conn.verify(&body, baseline, rounds) {
+                        finished = true;
+                        break;
+                    }
+                }
+                if finished {
+                    let mut conn = table.remove(&event.token).expect("finished connection");
+                    let _ = poller.deregister(conn.stream.as_raw_fd());
+                    latencies.append(&mut conn.latencies);
+                    active -= 1;
+                    continue;
+                }
+                assert!(
+                    !eof,
+                    "server hung up before the script finished (step {})",
+                    conn.step
+                );
+                let blocked = conn.flush();
+                if blocked != conn.wants_write {
+                    conn.wants_write = blocked;
+                    let interest = if blocked {
+                        Interest::READ_WRITE
+                    } else {
+                        Interest::READ
+                    };
+                    poller
+                        .modify(conn.stream.as_raw_fd(), event.token, interest)
+                        .expect("update write interest");
+                }
+            }
+        }
+    }
+    let wall = started.elapsed();
+    latencies.sort_unstable();
+    SweepResult {
+        queries: latencies.len(),
+        wall,
+        latencies,
+    }
+}
+
+/// Nearest-rank percentile over a sorted slice.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn start_server(max_conns: usize) -> ServerHandle {
     let engine = demo_engine().expect("demo dataset builds");
     Server::bind(
         "127.0.0.1:0",
         engine,
         ServerConfig {
-            workers: 16,
-            queue_depth: 32,
+            workers: 8,
+            max_connections: max_conns + 64,
+            // A 1k-connection ramp handshakes sequentially through one
+            // loop; give the tail plenty of room.
+            handshake_timeout: Duration::from_secs(60),
+            ..ServerConfig::default()
         },
     )
     .expect("bind ephemeral port")
@@ -100,27 +421,44 @@ fn report_json(name: &str, ns_per_iter: f64, iters: usize) {
     }
 }
 
+fn usage() -> ! {
+    eprintln!("usage: loadgen [--rounds N] [--conns A,B,C]");
+    std::process::exit(2);
+}
+
 fn main() {
     let mut rounds = 20usize;
+    let mut conn_counts: Vec<usize> = vec![64, 256, 1024];
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--rounds" => {
-                rounds = args.next().and_then(|r| r.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("usage: loadgen [--rounds N]");
-                    std::process::exit(2);
-                })
-            }
+            "--rounds" => match args.next().and_then(|r| r.parse().ok()) {
+                Some(r) => rounds = r,
+                None => usage(),
+            },
+            "--conns" => match args.next().map(|c| {
+                c.split(',')
+                    .map(|part| part.trim().parse::<usize>())
+                    .collect::<Result<Vec<_>, _>>()
+            }) {
+                Some(Ok(counts)) if !counts.is_empty() => conn_counts = counts,
+                _ => usage(),
+            },
             other => {
-                eprintln!("unknown argument: {other}\nusage: loadgen [--rounds N]");
-                std::process::exit(2);
+                eprintln!("unknown argument: {other}");
+                usage();
             }
         }
     }
 
-    let handle = start_server();
+    let max_conns = conn_counts.iter().copied().max().unwrap_or(1);
+    let fd_limit = rlimit::raise_nofile((4 * max_conns + 256) as u64);
+    let handle = start_server(max_conns);
     let addr = handle.addr().to_string();
-    println!("loadgen: server on {addr}, {rounds} mix-rounds per connection");
+    println!(
+        "loadgen: server on {addr}, {rounds} mix-rounds per connection, \
+         sweep {conn_counts:?}, fd limit {fd_limit}"
+    );
 
     // Single-connection baseline: the canonical response bytes every
     // concurrent connection must reproduce.
@@ -136,35 +474,44 @@ fn main() {
     };
 
     println!(
-        "{:>12}  {:>10}  {:>12}  {:>10}",
-        "connections", "queries", "wall", "queries/s"
+        "{:>12}  {:>10}  {:>12}  {:>10}  {:>9}  {:>9}  {:>9}",
+        "connections", "queries", "wall", "queries/s", "p50", "p95", "p99"
     );
-    for conns in [1usize, 2, 4, 8] {
-        let started = Instant::now();
-        let totals: Vec<usize> = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..conns)
-                .map(|_| {
-                    let addr = &addr;
-                    let baseline = &baseline;
-                    s.spawn(move || drive(addr, rounds, baseline))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("loadgen connection thread"))
-                .collect()
-        });
-        let wall = started.elapsed();
-        let queries: usize = totals.iter().sum();
-        let qps = queries as f64 / wall.as_secs_f64();
+    for &conns in &conn_counts {
+        let result = sweep(&addr, conns, rounds, &baseline);
+        let qps = result.queries as f64 / result.wall.as_secs_f64();
+        let (p50, p95, p99) = (
+            percentile(&result.latencies, 0.50),
+            percentile(&result.latencies, 0.95),
+            percentile(&result.latencies, 0.99),
+        );
         println!(
-            "{conns:>12}  {queries:>10}  {:>10.1}ms  {qps:>10.1}",
-            wall.as_secs_f64() * 1e3
+            "{conns:>12}  {:>10}  {:>10.1}ms  {qps:>10.1}  {:>7.2}ms  {:>7.2}ms  {:>7.2}ms",
+            result.queries,
+            result.wall.as_secs_f64() * 1e3,
+            p50 as f64 / 1e6,
+            p95 as f64 / 1e6,
+            p99 as f64 / 1e6,
         );
         report_json(
             &format!("loadgen/conns={conns}"),
-            wall.as_nanos() as f64 / queries as f64,
-            queries,
+            result.wall.as_nanos() as f64 / result.queries.max(1) as f64,
+            result.queries,
+        );
+        report_json(
+            &format!("loadgen/conns={conns}/p50"),
+            p50 as f64,
+            result.queries,
+        );
+        report_json(
+            &format!("loadgen/conns={conns}/p95"),
+            p95 as f64,
+            result.queries,
+        );
+        report_json(
+            &format!("loadgen/conns={conns}/p99"),
+            p99 as f64,
+            result.queries,
         );
     }
 

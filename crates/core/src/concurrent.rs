@@ -306,6 +306,25 @@ impl SharedEngine {
         self.read().query(sql).map_err(CoreError::from)
     }
 
+    /// [`SharedEngine::query`] through the catalog's shared plan cache:
+    /// hot statements skip parse+plan across *all* sessions. Semantics
+    /// are identical to [`SharedEngine::query`] — every DDL/write bumps
+    /// the catalog generation, which invalidates cached plans.
+    pub fn query_cached(&self, sql: &str) -> Result<QueryOutput, CoreError> {
+        self.read().query_cached(sql).map_err(CoreError::from)
+    }
+
+    /// The catalog generation (bumped by every DDL/write; keys the plan
+    /// cache).
+    pub fn catalog_generation(&self) -> u64 {
+        self.read().generation()
+    }
+
+    /// Plan-cache effectiveness counters, for diagnostics and benches.
+    pub fn plan_cache_stats(&self) -> tspdb_probdb::PlanCacheStats {
+        self.read().plan_cache_stats()
+    }
+
     /// Executes any SQL statement.
     ///
     /// * `SELECT` / `EXPLAIN` — read lock, concurrent with other readers.
@@ -532,6 +551,37 @@ mod tests {
             .execute("CREATE VIEW pv AS DENSITY r OVER t OMEGA delta=0.5, n=6 FROM raw_values")
             .unwrap();
         engine
+    }
+
+    #[test]
+    fn shared_engine_plan_cache_is_shared_and_generation_invalidated() {
+        let engine = shared_engine_with_view();
+        let sql = "SELECT * FROM pv WHERE prob >= 0.1";
+        let baseline = engine.query(sql).unwrap();
+        // Warm the cache once (one miss), then concurrent "sessions" all
+        // run the same hot statement: every one of them hits.
+        assert_eq!(engine.query_cached(sql).unwrap(), baseline);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..4 {
+                        assert_eq!(engine.query_cached(sql).unwrap(), baseline);
+                    }
+                });
+            }
+        });
+        let stats = engine.plan_cache_stats();
+        assert_eq!(stats.misses, 1, "{stats:?}");
+        assert_eq!(stats.hits, 32, "{stats:?}");
+        // A write bumps the generation and invalidates the cached plan,
+        // but answers stay correct (and reflect the write).
+        let g = engine.catalog_generation();
+        engine.execute("CREATE TABLE extra (k INT)").unwrap();
+        assert!(engine.catalog_generation() > g);
+        assert_eq!(engine.query_cached(sql).unwrap(), baseline);
+        let stats = engine.plan_cache_stats();
+        assert_eq!(stats.misses, 2, "{stats:?}");
+        assert_eq!(stats.invalidations, 1, "{stats:?}");
     }
 
     #[test]

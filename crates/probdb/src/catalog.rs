@@ -19,15 +19,26 @@
 
 use crate::error::DbError;
 use crate::plan::{AggregateResult, ExplainReport, PlannedQuery, Planner};
+use crate::plan_cache::{PlanCache, PlanCacheStats};
 use crate::schema::Schema;
+use crate::shard::ShardMap;
 use crate::sql::{parse, DensityViewSpec, SelectStmt, Statement};
 use crate::table::{ProbTable, Table};
 use crate::value::ColumnType;
 use crate::worlds::WorldsResult;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use tspdb_stats::synopsis::ProbHistogram;
+
+/// Probabilistic views at or above this tuple count are sharded
+/// automatically on registration (below it, a scan is cheap enough that
+/// fan-out overhead dominates).
+pub const AUTO_SHARD_MIN_ROWS: usize = 32_768;
+
+/// Target tuples per shard when auto-sharding (the shard count is
+/// `len / AUTO_SHARD_TARGET_ROWS`, clamped to `2..=64`).
+pub const AUTO_SHARD_TARGET_ROWS: usize = 8_192;
 
 /// Default bucket count for relation synopses (`WITH SYNOPSIS` without a
 /// `BUCKETS` clause, and the catalog's precomputed histograms).
@@ -237,6 +248,22 @@ pub struct Database {
     /// the write paths (`&mut self`: view registration and drops), so the
     /// shared read path clones an [`Arc`] snapshot without locking.
     synopses: BTreeMap<String, Arc<RelationSynopses>>,
+    /// Shard layouts of probabilistic views, keyed by relation name.
+    /// Rebuilt whole on every write (like `synopses`), so the shared read
+    /// path clones an [`Arc`] snapshot that always matches the tuples.
+    shards: BTreeMap<String, Arc<ShardMap>>,
+    /// Explicitly-requested shard layouts (`shard_relation`): column +
+    /// count, re-applied whenever the view is re-registered. Auto-sharded
+    /// views have no spec and are re-derived from their size.
+    shard_specs: BTreeMap<String, (String, usize)>,
+    /// Catalog generation: bumped by every DDL/write. Cached plans are
+    /// keyed by the generation they were planned under and lazily evicted
+    /// when it moves on.
+    generation: AtomicU64,
+    /// Shared plan cache (see [`crate::plan_cache`]). Interior-mutable so
+    /// the concurrent read path (`&self`) can record hits and insert
+    /// freshly-planned statements.
+    plan_cache: PlanCache,
     /// Fork-join width for `WITH WORLDS` queries (0 = one thread per core).
     /// Only wall-clock is affected — MC estimates are bit-identical at
     /// every width. Stored atomically so the knob is tunable from the
@@ -265,6 +292,73 @@ impl Database {
         self.worlds_threads.load(Ordering::Relaxed)
     }
 
+    /// The catalog generation: a counter bumped by every DDL/write, used
+    /// to key (and invalidate) cached plans.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    fn bump_generation(&self) {
+        self.generation.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Plan-cache effectiveness counters.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache.stats()
+    }
+
+    /// The plan cached under this exact statement text at the current
+    /// generation, if any — the parse-free fast path. Stale entries
+    /// (older generation) are evicted, never returned.
+    pub fn cached_plan(&self, sql: &str) -> Option<Arc<PlannedQuery>> {
+        self.plan_cache.lookup(sql, self.generation())
+    }
+
+    /// Plans a `SELECT` through the shared plan cache: a normalized-text
+    /// hit (the statement's `Display`, which the parser round-trips)
+    /// reuses the cached plan and aliases this spelling's raw text for
+    /// next time; a miss plans fresh and caches under both keys.
+    pub fn plan_select_cached(
+        &self,
+        sql: &str,
+        sel: &SelectStmt,
+    ) -> Result<Arc<PlannedQuery>, DbError> {
+        let generation = self.generation();
+        let normalized = sel.to_string();
+        if let Some(plan) = self.plan_cache.lookup(&normalized, generation) {
+            if normalized != sql {
+                self.plan_cache.insert(&[sql], &plan, generation);
+            }
+            return Ok(plan);
+        }
+        self.plan_cache.record_miss();
+        let planned = Arc::new(Planner::plan(sel)?);
+        if normalized == sql {
+            self.plan_cache.insert(&[sql], &planned, generation);
+        } else {
+            self.plan_cache
+                .insert(&[sql, normalized.as_str()], &planned, generation);
+        }
+        Ok(planned)
+    }
+
+    /// [`Database::query`] through the shared plan cache: hot statements
+    /// skip parse+plan entirely (raw-text hit) or at least planning
+    /// (normalized hit). Semantics are identical to [`Database::query`].
+    pub fn query_cached(&self, sql: &str) -> Result<QueryOutput, DbError> {
+        if let Some(planned) = self.cached_plan(sql) {
+            return self.execute_planned(&planned);
+        }
+        match parse(sql)? {
+            Statement::Select(sel) => {
+                let planned = self.plan_select_cached(sql, &sel)?;
+                self.execute_planned(&planned)
+            }
+            Statement::Explain(sel) => self.explain_select(&sel),
+            other => Err(DbError::ReadOnly(format!("{other:?}"))),
+        }
+    }
+
     /// Names of all stored relations, sorted.
     pub fn relation_names(&self) -> Vec<&str> {
         self.relations.keys().map(String::as_str).collect()
@@ -291,6 +385,8 @@ impl Database {
     /// in-memory catalog misses (the persistent storage engine).
     pub fn attach_scan_source(&mut self, source: Arc<dyn ScanSource>) {
         self.scan_source = Some(source);
+        // The reachable-relation set just changed shape.
+        self.bump_generation();
     }
 
     /// Whether a scan source is attached.
@@ -365,6 +461,7 @@ impl Database {
         }
         self.dropped.remove(&name);
         self.relations.insert(name, Relation::Deterministic(table));
+        self.bump_generation();
         Ok(())
     }
 
@@ -383,8 +480,99 @@ impl Database {
             name.clone(),
             Arc::new(RelationSynopses::build(&table, DEFAULT_SYNOPSIS_BUCKETS)),
         );
-        self.relations.insert(name, Relation::Probabilistic(table));
+        self.relations
+            .insert(name.clone(), Relation::Probabilistic(table));
+        self.reshard(&name);
+        self.bump_generation();
         Ok(())
+    }
+
+    /// Pins a shard layout for a probabilistic view: `count` contiguous
+    /// shards along `column`, rebuilt automatically whenever the view is
+    /// re-registered by a write. Sharding never changes results — only
+    /// how the scan is restricted (pruned + fanned out) — so the layout
+    /// is a pure performance knob.
+    pub fn shard_relation(
+        &mut self,
+        name: &str,
+        column: &str,
+        count: usize,
+    ) -> Result<(), DbError> {
+        self.ensure_resident(name)?;
+        let map = match self.relations.get(name) {
+            Some(Relation::Probabilistic(t)) => ShardMap::build(t, column, count)?,
+            Some(Relation::Deterministic(_)) => {
+                return Err(DbError::Unsupported(format!(
+                    "sharding applies to probabilistic views; {name:?} is deterministic"
+                )))
+            }
+            None => return Err(DbError::UnknownTable(name.to_string())),
+        };
+        self.shard_specs
+            .insert(name.to_string(), (column.to_string(), count));
+        self.shards.insert(name.to_string(), Arc::new(map));
+        self.bump_generation();
+        Ok(())
+    }
+
+    /// The shard layout of a probabilistic view (`None` when the view is
+    /// unsharded or unknown). Cloning the [`Arc`] is the whole cost.
+    pub fn shard_map(&self, name: &str) -> Option<Arc<ShardMap>> {
+        self.shards.get(name).cloned()
+    }
+
+    /// Rebuilds (or clears) the shard layout of one relation after a
+    /// write: a pinned spec is re-applied; otherwise large views are
+    /// auto-sharded along their time column and small views stay flat.
+    fn reshard(&mut self, name: &str) {
+        let Some(Relation::Probabilistic(t)) = self.relations.get(name) else {
+            self.shards.remove(name);
+            return;
+        };
+        if let Some((column, count)) = self.shard_specs.get(name).cloned() {
+            match ShardMap::build(t, &column, count) {
+                Ok(map) => {
+                    self.shards.insert(name.to_string(), Arc::new(map));
+                    return;
+                }
+                Err(_) => {
+                    // The pinned column vanished from the re-created view;
+                    // forget the spec and fall back to auto-sharding.
+                    self.shard_specs.remove(name);
+                }
+            }
+        }
+        match Self::auto_shard(t) {
+            Some(map) => {
+                self.shards.insert(name.to_string(), Arc::new(map));
+            }
+            None => {
+                self.shards.remove(name);
+            }
+        }
+    }
+
+    /// Default layout for large views: shard along `t`/`time` when one of
+    /// those columns is numeric, else the first numeric column; `None`
+    /// below the size floor or when no numeric column exists.
+    fn auto_shard(t: &ProbTable) -> Option<ShardMap> {
+        if t.len() < AUTO_SHARD_MIN_ROWS {
+            return None;
+        }
+        let schema = t.schema();
+        let column = ["t", "time"]
+            .iter()
+            .copied()
+            .find(|c| schema.type_of(c).is_ok_and(|ty| ty != ColumnType::Text))
+            .map(str::to_string)
+            .or_else(|| {
+                (0..schema.arity())
+                    .map(|i| schema.column(i))
+                    .find(|(_, ty)| *ty != ColumnType::Text)
+                    .map(|(n, _)| n.to_string())
+            })?;
+        let count = (t.len() / AUTO_SHARD_TARGET_ROWS).clamp(2, 64);
+        ShardMap::build(t, &column, count).ok()
     }
 
     /// The precomputed synopsis snapshot of a probabilistic view (`None`
@@ -420,7 +608,10 @@ impl Database {
     /// checkpoint rewrites the on-disk file (or the name is re-created).
     pub fn drop_relation(&mut self, name: &str) -> Result<(), DbError> {
         self.synopses.remove(name);
+        self.shards.remove(name);
+        self.shard_specs.remove(name);
         self.dropped.insert(name.to_string());
+        self.bump_generation();
         self.relations
             .remove(name)
             .map(|_| ())
@@ -512,9 +703,10 @@ impl Database {
             },
         };
         planned
-            .strategy_with_synopses(
+            .strategy_with_context(
                 worlds_threads.unwrap_or_else(|| self.worlds_threads()),
                 self.synopses(&planned.physical.table),
+                self.shard_map(&planned.physical.table),
             )
             .execute(relation, &planned.physical)
     }
@@ -531,11 +723,20 @@ impl Database {
                     t.len()
                 )
             }
-            Some(Relation::Probabilistic(t)) => format!(
-                "{}: probabilistic ({} tuples)",
-                planned.physical.table,
-                t.len()
-            ),
+            Some(Relation::Probabilistic(t)) => match self.shard_map(&planned.physical.table) {
+                Some(map) => format!(
+                    "{}: probabilistic ({} tuples, {} shards by {:?})",
+                    planned.physical.table,
+                    t.len(),
+                    map.shard_count(),
+                    map.column()
+                ),
+                None => format!(
+                    "{}: probabilistic ({} tuples)",
+                    planned.physical.table,
+                    t.len()
+                ),
+            },
             None if !self.dropped.contains(&planned.physical.table)
                 && self
                     .scan_source
@@ -624,17 +825,19 @@ impl Database {
                     .relations
                     .get_mut(&table)
                     .ok_or_else(|| DbError::UnknownTable(table.clone()))?;
-                match rel {
-                    Relation::Deterministic(t) => {
-                        for row in rows {
-                            t.insert(row)?;
-                        }
-                        Ok(QueryOutput::None)
-                    }
+                let out = match rel {
+                    Relation::Deterministic(t) => rows
+                        .into_iter()
+                        .try_for_each(|row| t.insert(row))
+                        .map(|()| QueryOutput::None),
                     Relation::Probabilistic(_) => Err(DbError::Unsupported(
                         "INSERT into probabilistic views is not allowed; views are derived".into(),
                     )),
-                }
+                };
+                // Bump even on a partial failure: any row that did land
+                // changes answers, and a spurious bump only costs a replan.
+                self.bump_generation();
+                out
             }
             Statement::Select(sel) => self.query_select(&sel),
             Statement::Explain(sel) => self.explain_select(&sel),

@@ -61,8 +61,10 @@ pub mod aggregates;
 pub mod catalog;
 pub mod error;
 pub mod plan;
+pub mod plan_cache;
 pub mod query;
 pub mod schema;
+pub mod shard;
 pub mod sql;
 pub mod table;
 pub mod value;
@@ -70,15 +72,18 @@ pub mod worlds;
 
 pub use aggregates::{sum_distribution_of, SumDistribution};
 pub use catalog::{
-    Database, QueryOutput, Relation, RelationSynopses, ScanSource, DEFAULT_SYNOPSIS_BUCKETS,
+    Database, QueryOutput, Relation, RelationSynopses, ScanSource, AUTO_SHARD_MIN_ROWS,
+    DEFAULT_SYNOPSIS_BUCKETS,
 };
 pub use error::DbError;
 pub use plan::{
     AggregateResult, EvalStrategy, ExactStrategy, ExplainReport, LogicalPlan, PhysicalPlan,
-    PlannedQuery, Planner, StrategyKind, SynopsisStrategy, WorldsStrategy,
+    PlannedQuery, Planner, ScanContext, StrategyKind, SynopsisStrategy, WorldsStrategy,
 };
+pub use plan_cache::PlanCacheStats;
 pub use query::{CmpOp, Comparison, Conjunction};
 pub use schema::Schema;
+pub use shard::{ColumnBounds, Shard, ShardMap};
 pub use sql::{
     parse, AggExpr, AggFunc, DensityViewSpec, HavingClause, SelectItem, SelectStmt, Statement,
     SynopsisClause, WindowSpec, WorldsClause,

@@ -38,6 +38,7 @@ use crate::catalog::{QueryOutput, Relation, RelationSynopses, DEFAULT_SYNOPSIS_B
 use crate::error::DbError;
 use crate::query::{eval_conjunction, CmpOp, Conjunction, PROB_PSEUDO_COLUMN};
 use crate::schema::Schema;
+use crate::shard::ShardMap;
 use crate::sql::{
     AggExpr, AggFunc, HavingClause, SelectItem, SelectStmt, SynopsisClause, WindowSpec,
     WorldsClause,
@@ -355,19 +356,49 @@ impl PlannedQuery {
         worlds_threads: usize,
         synopses: Option<Arc<RelationSynopses>>,
     ) -> Box<dyn EvalStrategy> {
+        self.strategy_with_context(worlds_threads, synopses, None)
+    }
+
+    /// Like [`PlannedQuery::strategy_with_synopses`], additionally handing
+    /// every strategy the scanned relation's [`ShardMap`] (if the catalog
+    /// sharded it) so tuple restriction can prune and fan out across
+    /// shards. Sharding is a pure performance knob: the shard-ordered
+    /// reduction keeps every answer bit-identical to unsharded execution.
+    pub fn strategy_with_context(
+        &self,
+        threads: usize,
+        synopses: Option<Arc<RelationSynopses>>,
+        shards: Option<Arc<ShardMap>>,
+    ) -> Box<dyn EvalStrategy> {
+        let scan = ScanContext { threads, shards };
         match &self.strategy {
-            StrategyKind::Exact => Box::new(ExactStrategy),
+            StrategyKind::Exact => Box::new(ExactStrategy { scan }),
             StrategyKind::Worlds(clause) => Box::new(WorldsStrategy {
                 clause: clause.clone(),
-                threads: worlds_threads,
+                threads,
+                scan,
             }),
-            StrategyKind::Synopsis(clause) => Box::new(SynopsisStrategy::new(
+            StrategyKind::Synopsis(clause) => Box::new(SynopsisStrategy::new_with_context(
                 clause.clone(),
                 &self.physical,
                 synopses,
+                scan,
             )),
         }
     }
+}
+
+/// Catalog-resolved inputs every strategy's scan phase shares: the
+/// fork-join width and the scanned relation's shard layout (if any).
+/// `Default` means "flat sequential scan" — exactly the historical
+/// behaviour, which sharded execution reproduces bit-for-bit.
+#[derive(Debug, Clone, Default)]
+pub struct ScanContext {
+    /// Fork-join width for the shard fan-out (0 = one thread per core);
+    /// affects latency only.
+    pub threads: usize,
+    /// Shard layout of the scanned relation (`None` = unsharded).
+    pub shards: Option<Arc<ShardMap>>,
 }
 
 /// Builds [`PlannedQuery`]s from parsed statements. Stateless — planning
@@ -716,8 +747,12 @@ pub trait EvalStrategy {
 }
 
 /// Closed-form evaluation over tuple independence.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct ExactStrategy;
+#[derive(Debug, Clone, Default)]
+pub struct ExactStrategy {
+    /// Scan-phase context (shard layout + fan-out width). The default is
+    /// a flat sequential scan.
+    pub scan: ScanContext,
+}
 
 impl EvalStrategy for ExactStrategy {
     fn name(&self) -> &'static str {
@@ -761,7 +796,7 @@ impl EvalStrategy for ExactStrategy {
                     order_by,
                     limit,
                 } => {
-                    let keep = restrict_prob_indices(t, plan)?;
+                    let keep = restrict_prob_indices(t, plan, &self.scan)?;
                     Ok(QueryOutput::ProbRows(select_probabilistic(
                         t,
                         &keep,
@@ -771,7 +806,7 @@ impl EvalStrategy for ExactStrategy {
                     )?))
                 }
                 PhysicalAction::Aggregate(agg) => {
-                    let keep = restrict_prob_indices(t, plan)?;
+                    let keep = restrict_prob_indices(t, plan, &self.scan)?;
                     Ok(QueryOutput::Aggregate(aggregate_exact(t, &keep, agg)?))
                 }
             },
@@ -791,6 +826,10 @@ pub struct WorldsStrategy {
     pub clause: WorldsClause,
     /// Fork-join width (0 = one thread per core); latency only.
     pub threads: usize,
+    /// Scan-phase context (shard layout + fan-out width). Sampling always
+    /// runs once over the merged, shard-ordered domain, so estimates are
+    /// bit-identical with and without shards.
+    pub scan: ScanContext,
 }
 
 impl WorldsStrategy {
@@ -842,7 +881,7 @@ impl EvalStrategy for WorldsStrategy {
                 for col in columns {
                     t.schema().index_of(col)?;
                 }
-                let keep = restrict_prob_indices(t, plan)?;
+                let keep = restrict_prob_indices(t, plan, &self.scan)?;
                 let probs: Vec<f64> = keep.iter().map(|&i| t.probs()[i]).collect();
                 // A single projected *numeric* column additionally requests
                 // the SUM aggregate over that column (the pre-planner
@@ -865,7 +904,7 @@ impl EvalStrategy for WorldsStrategy {
                 )))
             }
             PhysicalAction::Aggregate(agg) => {
-                let keep = restrict_prob_indices(t, plan)?;
+                let keep = restrict_prob_indices(t, plan, &self.scan)?;
                 Ok(QueryOutput::Aggregate(
                     self.aggregate_worlds(t, &keep, agg, seed)?,
                 ))
@@ -1041,6 +1080,8 @@ pub struct SynopsisStrategy {
     synopses: Option<Arc<RelationSynopses>>,
     /// Why this plan shape has no synopsis answer (delegates to exact).
     fallback: Option<DbError>,
+    /// Scan-phase context handed to the exact fallback.
+    scan: ScanContext,
 }
 
 impl SynopsisStrategy {
@@ -1051,11 +1092,31 @@ impl SynopsisStrategy {
         plan: &PhysicalPlan,
         synopses: Option<Arc<RelationSynopses>>,
     ) -> Self {
+        SynopsisStrategy::new_with_context(clause, plan, synopses, ScanContext::default())
+    }
+
+    /// [`SynopsisStrategy::new`] with a [`ScanContext`] for the exact
+    /// fallback path (so sharded relations keep their fan-out when the
+    /// synopsis cannot answer).
+    pub fn new_with_context(
+        clause: SynopsisClause,
+        plan: &PhysicalPlan,
+        synopses: Option<Arc<RelationSynopses>>,
+        scan: ScanContext,
+    ) -> Self {
         let fallback = synopsis_support(plan).err();
         SynopsisStrategy {
             clause,
             synopses,
             fallback,
+            scan,
+        }
+    }
+
+    /// The exact strategy this one falls back to, sharing the scan context.
+    fn exact(&self) -> ExactStrategy {
+        ExactStrategy {
+            scan: self.scan.clone(),
         }
     }
 
@@ -1277,24 +1338,24 @@ impl EvalStrategy for SynopsisStrategy {
 
     fn execute(&self, relation: &Relation, plan: &PhysicalPlan) -> Result<QueryOutput, DbError> {
         if self.fallback.is_some() {
-            return ExactStrategy.execute(relation, plan);
+            return self.exact().execute(relation, plan);
         }
         let t = match relation {
             Relation::Probabilistic(t) => t,
             // Deterministic tables have no tuple probabilities to
             // summarise; exact answers them directly (and owns the
             // THRESHOLD/TOP rejection).
-            Relation::Deterministic(_) => return ExactStrategy.execute(relation, plan),
+            Relation::Deterministic(_) => return self.exact().execute(relation, plan),
         };
         let agg = match &plan.action {
             PhysicalAction::Aggregate(agg) => agg,
             // Unreachable through the planner (synopsis_support rejects row
             // queries), kept total for hand-built plans.
-            PhysicalAction::Rows { .. } => return ExactStrategy.execute(relation, plan),
+            PhysicalAction::Rows { .. } => return self.exact().execute(relation, plan),
         };
         match self.try_synopsis(t, plan, agg)? {
             Some(result) => Ok(QueryOutput::Aggregate(result)),
-            None => ExactStrategy.execute(relation, plan),
+            None => self.exact().execute(relation, plan),
         }
     }
 }
@@ -1482,16 +1543,65 @@ fn filter_rows(
     Ok(out)
 }
 
+/// Shard-parallel [`filter_rows`]: prunable shards are skipped whole,
+/// the rest are filtered concurrently through the fork-join helpers, and
+/// the surviving indices are concatenated **in shard order** — shards are
+/// contiguous ascending index ranges, so the result is bit-identical to
+/// the sequential scan (the first error in row order wins there too:
+/// `try_map_segments` reports the first failing segment in order, and
+/// pruning only fires when the sequential evaluator provably could not
+/// have raised an error inside the pruned shard — see
+/// [`crate::shard::Shard`]).
+fn filter_rows_sharded(
+    t: &ProbTable,
+    plan: &PhysicalPlan,
+    shards: &ShardMap,
+    threads: usize,
+) -> Result<Vec<usize>, DbError> {
+    let schema = t.schema();
+    let segments = tspdb_stats::parallel::try_map_segments(
+        shards.shard_count(),
+        threads,
+        |range: std::ops::Range<usize>| {
+            let mut keep = Vec::new();
+            for shard in &shards.shards()[range] {
+                if shard.is_prunable(schema, plan) {
+                    continue;
+                }
+                for i in shard.rows() {
+                    let p = t.probs()[i];
+                    if eval_conjunction(schema, &t.rows()[i], Some(p), &plan.predicate)? {
+                        keep.push(i);
+                    }
+                }
+            }
+            Ok(keep)
+        },
+    )?;
+    Ok(segments.concat())
+}
+
 /// Indices of the tuples a probabilistic query works on: the `WHERE`
 /// filter, then `THRESHOLD` (minimum probability), then `TOP` (the k most
 /// probable, NaN-free total order, ties to the earlier row, returned in
 /// descending probability). Shared by every strategy so all evaluate the
-/// same sub-relation.
+/// same sub-relation. When the scan context carries a [`ShardMap`] that
+/// still matches the relation, the filter step prunes and fans out across
+/// shards; `THRESHOLD`/`TOP` always run on the merged index list, so the
+/// result is identical either way.
 pub(crate) fn restrict_prob_indices(
     t: &ProbTable,
     plan: &PhysicalPlan,
+    scan: &ScanContext,
 ) -> Result<Vec<usize>, DbError> {
-    let mut keep = filter_rows(t.schema(), t.rows(), Some(t.probs()), &plan.predicate)?;
+    let shards = scan
+        .shards
+        .as_deref()
+        .filter(|s| s.covers(t) && s.shard_count() > 1);
+    let mut keep = match shards {
+        Some(shards) => filter_rows_sharded(t, plan, shards, scan.threads)?,
+        None => filter_rows(t.schema(), t.rows(), Some(t.probs()), &plan.predicate)?,
+    };
     if let Some(tau) = plan.threshold {
         if !(0.0..=1.0).contains(&tau) {
             return Err(DbError::InvalidProbability(tau));
@@ -2592,8 +2702,14 @@ mod tests {
                 action: PhysicalAction::Aggregate(agg_plan),
             };
             for (strategy, relation) in [
-                (Box::new(ExactStrategy) as Box<dyn EvalStrategy>, &rel),
-                (Box::new(ExactStrategy) as Box<dyn EvalStrategy>, &det),
+                (
+                    Box::new(ExactStrategy::default()) as Box<dyn EvalStrategy>,
+                    &rel,
+                ),
+                (
+                    Box::new(ExactStrategy::default()) as Box<dyn EvalStrategy>,
+                    &det,
+                ),
                 (
                     Box::new(WorldsStrategy {
                         clause: WorldsClause {
@@ -2602,6 +2718,7 @@ mod tests {
                             confidence: None,
                         },
                         threads: 1,
+                        scan: ScanContext::default(),
                     }) as Box<dyn EvalStrategy>,
                     &rel,
                 ),
@@ -2703,6 +2820,57 @@ mod tests {
             QueryOutput::Aggregate(a) => a,
             other => panic!("wrong output: {other:?}"),
         }
+    }
+
+    #[test]
+    fn sharded_restriction_is_bit_identical_to_sequential() {
+        let v = synth(103);
+        let statements = [
+            "SELECT t FROM pv",
+            "SELECT t FROM pv WHERE t >= 90",
+            "SELECT t FROM pv WHERE r < 4.0 THRESHOLD 0.5",
+            "SELECT t FROM pv THRESHOLD 0.99",
+            "SELECT t FROM pv WHERE prob >= 0.6 TOP 7",
+            "SELECT t FROM pv WHERE t = 1000",
+            "SELECT t FROM pv WHERE t = 1000 AND bogus = 1",
+        ];
+        for sql in statements {
+            let plan = plan_sql(sql).physical;
+            let flat = restrict_prob_indices(&v, &plan, &ScanContext::default());
+            for shard_count in [2, 3, 8, 64] {
+                let shards = Arc::new(ShardMap::build(&v, "t", shard_count).unwrap());
+                for threads in [1, 4] {
+                    let scan = ScanContext {
+                        threads,
+                        shards: Some(Arc::clone(&shards)),
+                    };
+                    let sharded = restrict_prob_indices(&v, &plan, &scan);
+                    assert_eq!(
+                        format!("{flat:?}"),
+                        format!("{sharded:?}"),
+                        "{sql} @ {shard_count} shards, {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_restriction_reproduces_filter_errors() {
+        // Every row reaches the unresolvable second comparison (t >= 0
+        // always holds), so both paths must raise UnknownColumn — pruning
+        // must not short-circuit the error away.
+        let v = synth(64);
+        let plan = plan_sql("SELECT t FROM pv WHERE t >= 0 AND bogus = 1").physical;
+        let shards = Arc::new(ShardMap::build(&v, "t", 8).unwrap());
+        let scan = ScanContext {
+            threads: 4,
+            shards: Some(shards),
+        };
+        let flat = restrict_prob_indices(&v, &plan, &ScanContext::default()).unwrap_err();
+        let sharded = restrict_prob_indices(&v, &plan, &scan).unwrap_err();
+        assert_eq!(format!("{flat:?}"), format!("{sharded:?}"));
+        assert!(matches!(sharded, DbError::UnknownColumn(_)));
     }
 
     #[test]

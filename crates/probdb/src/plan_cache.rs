@@ -1,0 +1,235 @@
+//! Shared, generation-keyed plan cache.
+//!
+//! Planning is a pure function of the `SELECT` statement, so one planned
+//! query can serve every session that submits the same statement. The
+//! catalog owns one `PlanCache` and keys it two ways:
+//!
+//! * the **raw statement text**, so an exact textual repeat skips the
+//!   parser entirely, and
+//! * the **normalized text** (`SelectStmt`'s `Display`, which the parser
+//!   round-trips), so textual variants of one statement — spacing, case
+//!   of keywords — share a single cached plan across sessions.
+//!
+//! Entries hold immutable [`Arc<PlannedQuery>`] snapshots in the σ-cache
+//! idiom: the mutex only guards the index, never a plan, and a hit is an
+//! `Arc` clone executed entirely outside the lock. Every entry records
+//! the catalog **generation** it was planned under; any DDL or write
+//! bumps the generation, and lookups lazily evict entries from older
+//! generations. Today's planner never reads the catalog, so a stale plan
+//! would still execute correctly — the generation check is the contract
+//! that keeps that true once plans start embedding catalog-derived
+//! physical information (shard layouts, synopsis choices).
+
+use crate::plan::PlannedQuery;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Entry cap; reaching it clears the cache whole (hot statements repopulate
+/// within one request each, and whole-clear keeps the index allocation-free
+/// on the hit path).
+const PLAN_CACHE_CAPACITY: usize = 1024;
+
+/// Counters describing plan-cache effectiveness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Statements that had to be planned fresh.
+    pub misses: u64,
+    /// Entries evicted because the catalog generation moved on.
+    pub invalidations: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+#[derive(Debug)]
+struct CachedPlan {
+    plan: Arc<PlannedQuery>,
+    generation: u64,
+}
+
+/// The cache itself. Interior-mutable so read-locked catalog handles can
+/// record hits and insert fresh plans.
+#[derive(Debug, Default)]
+pub(crate) struct PlanCache {
+    inner: Mutex<HashMap<String, CachedPlan>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl PlanCache {
+    /// Returns the plan cached under `key` if it was planned at
+    /// `generation`; lazily evicts (and counts) stale entries.
+    pub(crate) fn lookup(&self, key: &str, generation: u64) -> Option<Arc<PlannedQuery>> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        match inner.get(key) {
+            Some(cached) if cached.generation == generation => {
+                let plan = Arc::clone(&cached.plan);
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(plan)
+            }
+            Some(_) => {
+                inner.remove(key);
+                drop(inner);
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Records that a statement had to be planned fresh.
+    pub(crate) fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Stores `plan` under every key in `keys` at `generation`.
+    pub(crate) fn insert(&self, keys: &[&str], plan: &Arc<PlannedQuery>, generation: u64) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.len() + keys.len() > PLAN_CACHE_CAPACITY {
+            inner.clear();
+        }
+        for key in keys {
+            inner.insert(
+                (*key).to_string(),
+                CachedPlan {
+                    plan: Arc::clone(plan),
+                    generation,
+                },
+            );
+        }
+    }
+
+    /// Effectiveness counters plus the current entry count.
+    pub(crate) fn stats(&self) -> PlanCacheStats {
+        let entries = self.inner.lock().unwrap_or_else(|e| e.into_inner()).len();
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::catalog::Database;
+    use crate::error::DbError;
+
+    fn db_with_table() -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE kv (k INT, v FLOAT)").unwrap();
+        db.execute("INSERT INTO kv VALUES (1, 1.5), (2, 2.5)")
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn textual_variants_share_one_plan() {
+        let db = db_with_table();
+        let a = "SELECT k FROM kv WHERE k >= 1";
+        let b = "select   k from kv where k >= 1";
+        db.query_cached(a).unwrap();
+        let stats = db.plan_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (0, 1));
+        // The variant parses to the same normalized statement: a hit, and
+        // its raw text is aliased for next time.
+        db.query_cached(b).unwrap();
+        let stats = db.plan_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // Exact repeats of either spelling skip the parser (raw-key hit).
+        db.query_cached(a).unwrap();
+        db.query_cached(b).unwrap();
+        assert_eq!(db.plan_cache_stats().hits, 3);
+    }
+
+    #[test]
+    fn writes_invalidate_cached_plans() {
+        let mut db = db_with_table();
+        let sql = "SELECT k FROM kv";
+        db.query_cached(sql).unwrap();
+        let g = db.generation();
+        db.execute("INSERT INTO kv VALUES (3, 3.5)").unwrap();
+        assert!(db.generation() > g, "a write must bump the generation");
+        assert!(db.cached_plan(sql).is_none(), "stale entry must not hit");
+        db.query_cached(sql).unwrap();
+        let stats = db.plan_cache_stats();
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn drop_table_invalidates_and_errors_resurface() {
+        let mut db = db_with_table();
+        let sql = "SELECT k FROM kv";
+        db.query_cached(sql).unwrap();
+        db.execute("DROP TABLE kv").unwrap();
+        assert!(db.cached_plan(sql).is_none());
+        assert!(matches!(
+            db.query_cached(sql),
+            Err(DbError::UnknownTable(_))
+        ));
+        // Re-created with a different schema: the cached SELECT must plan
+        // fresh and see the new shape, not replay the old answer.
+        db.execute("CREATE TABLE kv (kk INT)").unwrap();
+        db.execute("INSERT INTO kv VALUES (7)").unwrap();
+        assert!(matches!(
+            db.query_cached(sql),
+            Err(DbError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn cache_clears_instead_of_growing_without_bound() {
+        let db = db_with_table();
+        for i in 0..2_000 {
+            db.query_cached(&format!("SELECT k FROM kv WHERE k = {i}"))
+                .unwrap();
+        }
+        assert!(db.plan_cache_stats().entries <= 1024);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// One step of an interleaved read/write workload.
+        fn apply(db: &mut Database, cached: bool, op: u32, x: i64) -> Result<String, String> {
+            let sql = match op {
+                0 => format!("INSERT INTO kv VALUES ({x}, {}.5)", x % 7),
+                1 => "DROP TABLE kv".to_string(),
+                2 => "CREATE TABLE kv (k INT, v FLOAT)".to_string(),
+                3 => format!("SELECT k, v FROM kv WHERE k >= {} ORDER BY k ASC", x % 5),
+                4 => "SELECT COUNT(*), SUM(v) FROM kv".to_string(),
+                _ => format!("SELECT v FROM kv WHERE k = {}", x % 5),
+            };
+            let out = if op <= 2 {
+                db.execute(&sql).map(|o| format!("{o:?}"))
+            } else if cached {
+                db.query_cached(&sql).map(|o| format!("{o:?}"))
+            } else {
+                db.query(&sql).map(|o| format!("{o:?}"))
+            };
+            out.map_err(|e| format!("{e:?}"))
+        }
+
+        proptest! {
+            #[test]
+            fn cached_answers_match_fresh_answers_under_interleaved_writes(
+                ops in proptest::collection::vec((0u32..6, 0i64..40), 0..60)
+            ) {
+                let mut cached_db = db_with_table();
+                let mut fresh_db = db_with_table();
+                for (op, x) in ops {
+                    let a = apply(&mut cached_db, true, op, x);
+                    let b = apply(&mut fresh_db, false, op, x);
+                    prop_assert_eq!(a, b);
+                }
+            }
+        }
+    }
+}

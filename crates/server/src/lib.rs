@@ -1,6 +1,6 @@
 //! # tspdb-server
 //!
-//! A concurrent TCP front-end for the tspdb engine: many clients speak
+//! An event-driven TCP front-end for the tspdb engine: many clients speak
 //! the [`tspdb_wire`] protocol to one [`SharedEngine`], so every
 //! connection rides the lock-free read path (`SELECT`s under the shared
 //! read lock, including Monte-Carlo `WITH WORLDS` queries) while writes
@@ -9,23 +9,39 @@
 //!
 //! ## Architecture
 //!
-//! * [`Server::bind`] opens the listener; [`Server::spawn`] starts one
-//!   accept thread plus a **bounded worker pool** (`std::net` blocking
-//!   I/O — the build environment is offline, so there is no async
-//!   runtime; a thread per in-flight connection is the honest model).
-//!   Accepted connections queue on a bounded channel; each worker serves
-//!   one connection at a time, so `workers` bounds concurrent sessions
-//!   and the queue bounds accepted-but-unserved backlog.
-//! * Each connection runs a session: handshake, then a strict
-//!   request/response loop. Sessions own a prepared-statement map
-//!   (`Prepare` plans a `SELECT` once via the planner;
-//!   `Execute` replays the plan through
+//! * One **event-loop thread** owns a hand-rolled `epoll` reactor (the
+//!   [`poller`] module — the build environment is offline, so there is no
+//!   async runtime) plus the nonblocking listener and every connection's
+//!   socket. Per-connection read/write buffers and a small state machine
+//!   absorb partial frames: the loop never blocks on any one peer, so
+//!   thousands of idle connections cost one registered descriptor each
+//!   rather than a parked thread.
+//! * A pool of **CPU workers** executes ready requests off the loop.
+//!   When a full frame has been buffered the loop hands the decoded
+//!   request (plus the session it belongs to) to a worker; the worker
+//!   runs it against the engine, *encodes the response frame itself*, and
+//!   posts the bytes back through a completion queue + [`poller::Waker`].
+//!   The loop only ever shuttles buffers.
+//! * **Backpressure** is write-interest registration: a response that
+//!   does not fit the socket buffer parks in the connection's write
+//!   buffer and the descriptor is re-registered for writability; the
+//!   loop resumes the flush when the peer drains. A peer that stops
+//!   reading stalls only its own connection.
+//! * **Admission control**: at most [`ServerConfig::max_connections`]
+//!   sockets are resident; a connection beyond the cap is answered with
+//!   a structured [`Response::Error`] and drained, never ignored.
+//!   Pre-handshake sockets must say `Hello` within
+//!   [`ServerConfig::handshake_timeout`], idle sessions are reaped after
+//!   [`ServerConfig::idle_timeout`], and a started-but-stalled frame is
+//!   bounded by a fixed completion timeout — so no peer can pin loop
+//!   state forever.
+//! * Sessions own a prepared-statement map (`Prepare` plans a `SELECT`
+//!   once — through the engine's shared plan cache — and `Execute`
+//!   replays the plan through
 //!   [`Database::execute_planned_with_threads`]) and a session-scoped
 //!   `WITH WORLDS` fork-join override that never touches shared state.
-//! * Shutdown is cooperative: workers poll a flag between reads (socket
-//!   read timeouts double as the poll tick), the accept thread is woken
-//!   by a loopback connection, and [`ServerHandle::shutdown`] joins
-//!   everything.
+//!   Ad-hoc `Query` text is also answered from the plan cache when the
+//!   catalog generation still matches, skipping parse and plan entirely.
 //!
 //! [`Database::execute_planned_with_threads`]:
 //! tspdb_probdb::Database::execute_planned_with_threads
@@ -54,11 +70,15 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
-use std::collections::HashMap;
-use std::io::Read;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+pub mod poller;
+
+use poller::{Event, Interest, Poller, Waker};
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -67,31 +87,56 @@ use tspdb_probdb::plan::{PlannedQuery, Planner};
 use tspdb_probdb::sql::SelectStmt;
 use tspdb_probdb::{parse, DbError, QueryOutput, Statement};
 use tspdb_wire::{
-    decode_message, write_frame, Request, Response, StatementId, WireError, MAX_FRAME_LEN,
+    decode_message, write_frame, Request, Response, StatementId, Wire, WireError, MAX_FRAME_LEN,
     PROTOCOL_VERSION,
 };
 
 /// How the server identifies itself in the handshake.
 pub const SERVER_NAME: &str = concat!("tspdb-server/", env!("CARGO_PKG_VERSION"));
 
-/// How often a blocked worker wakes to check the shutdown flag.
+/// The event loop's housekeeping tick: the longest it will sleep in
+/// `epoll_wait` before sweeping timeouts and checking the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(200);
+
+/// How long a *started* frame may take to arrive in full. Wall-clock, so
+/// a peer trickling one byte per tick still cannot pin connection state
+/// past this bound.
+const FRAME_COMPLETION_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// How long a rejected (over-capacity) connection is drained so the
+/// error frame outruns the close (an immediate close with unread `Hello`
+/// bytes in the receive buffer would RST the frame away).
+const REJECT_LINGER: Duration = Duration::from_secs(1);
+
+/// Hard bound on a connection's buffered-but-unprocessed input: one
+/// maximum frame plus slack. The protocol is strict request/response, so
+/// a peer exceeding this is flooding, not pipelining.
+const READ_BUFFER_LIMIT: usize = MAX_FRAME_LEN as usize + 4 + 64 * 1024;
 
 /// Configuration of a [`Server`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads — the bound on concurrently served sessions.
+    /// CPU worker threads executing ready queries — the bound on
+    /// concurrently *executing* requests (connections are not bounded by
+    /// this; idle ones cost no thread at all).
     pub workers: usize,
-    /// Accepted connections that may wait for a free worker before the
-    /// accept thread blocks.
-    pub queue_depth: usize,
+    /// Sockets resident at once; a connection beyond the cap receives a
+    /// structured error and is drained, never left hanging.
+    pub max_connections: usize,
+    /// How long an established session may sit idle *between* frames
+    /// before the server drops it.
+    pub idle_timeout: Duration,
+    /// How long a fresh socket may take to complete the handshake.
+    pub handshake_timeout: Duration,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             workers: 8,
-            queue_depth: 32,
+            max_connections: 1024,
+            idle_timeout: Duration::from_secs(300),
+            handshake_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -102,7 +147,7 @@ impl Default for ServerConfig {
 pub struct ServerStats {
     /// Sessions that completed their handshake.
     pub sessions: AtomicU64,
-    /// Requests answered (handshakes and errors included).
+    /// Post-handshake requests answered (errors included).
     pub requests: AtomicU64,
 }
 
@@ -113,6 +158,13 @@ pub struct Server {
     engine: SharedEngine,
     config: ServerConfig,
 }
+
+/// Reactor token of the listening socket.
+const TOKEN_LISTENER: u64 = 0;
+/// Reactor token of the loop's wake eventfd.
+const TOKEN_WAKER: u64 = 1;
+/// First token handed to an accepted connection.
+const TOKEN_FIRST_CONNECTION: u64 = 2;
 
 impl Server {
     /// Binds the listener (use port 0 for an ephemeral port) and wires it
@@ -134,38 +186,56 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Starts the accept thread and the worker pool; the returned handle
-    /// owns every thread.
+    /// Starts the event-loop thread and the CPU worker pool; the returned
+    /// handle owns every thread.
     pub fn spawn(self) -> std::io::Result<ServerHandle> {
         let addr = self.listener.local_addr()?;
+        self.listener.set_nonblocking(true)?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(ServerStats::default());
-        let workers = self.config.workers.max(1);
-        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(self.config.queue_depth.max(1));
-        let rx = Arc::new(Mutex::new(rx));
+        let waker = Arc::new(Waker::new()?);
+        let completions = Arc::new(Mutex::new(VecDeque::new()));
+        let (job_tx, job_rx) = std::sync::mpsc::channel::<Job>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
 
-        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+        let workers: Vec<JoinHandle<()>> = (0..self.config.workers.max(1))
             .map(|_| {
-                let rx = Arc::clone(&rx);
+                let job_rx = Arc::clone(&job_rx);
                 let engine = self.engine.clone();
-                let shutdown = Arc::clone(&shutdown);
                 let stats = Arc::clone(&stats);
-                std::thread::spawn(move || worker_loop(&rx, engine, &shutdown, &stats))
+                let completions = Arc::clone(&completions);
+                let waker = Arc::clone(&waker);
+                std::thread::spawn(move || {
+                    worker_loop(&job_rx, engine, &stats, &completions, &waker)
+                })
             })
             .collect();
 
-        let accept = {
-            let shutdown = Arc::clone(&shutdown);
-            let listener = self.listener;
-            std::thread::spawn(move || accept_loop(&listener, &tx, &shutdown))
+        let poller = Poller::new()?;
+        poller.register(self.listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
+        poller.register(waker.as_raw_fd(), TOKEN_WAKER, Interest::READ)?;
+
+        let event_loop = EventLoop {
+            poller,
+            listener: self.listener,
+            config: self.config,
+            shutdown: Arc::clone(&shutdown),
+            stats: Arc::clone(&stats),
+            waker: Arc::clone(&waker),
+            completions,
+            job_tx,
+            connections: HashMap::new(),
+            next_token: TOKEN_FIRST_CONNECTION,
         };
+        let loop_thread = std::thread::spawn(move || event_loop.run());
 
         Ok(ServerHandle {
             addr,
             shutdown,
             stats,
-            accept: Some(accept),
-            workers: worker_handles,
+            waker,
+            event_loop: Some(loop_thread),
+            workers,
         })
     }
 }
@@ -177,7 +247,8 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
-    accept: Option<JoinHandle<()>>,
+    waker: Arc<Waker>,
+    event_loop: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -192,33 +263,22 @@ impl ServerHandle {
         &self.stats
     }
 
-    /// Blocks until the server stops accepting (i.e. until another thread
-    /// calls nothing — the accept loop only exits on shutdown; this is
-    /// what the server binary parks on).
+    /// Blocks until the event loop exits (it only exits on shutdown;
+    /// this is what the server binary parks on).
     pub fn wait(&mut self) {
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
+        if let Some(event_loop) = self.event_loop.take() {
+            let _ = event_loop.join();
         }
     }
 
-    /// Stops accepting, wakes blocked threads, and joins the pool.
-    /// In-flight requests finish; idle sessions are closed at the next
-    /// poll tick.
+    /// Raises the shutdown flag, wakes the loop, and joins every thread.
+    /// The loop drops its job sender on exit, which drains the worker
+    /// pool; open connections are closed without a goodbye frame.
     pub fn shutdown(mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // Wake the accept thread with a throwaway loopback connection. A
-        // wildcard bind (0.0.0.0 / [::]) is not connectable on every
-        // platform — substitute the matching loopback address.
-        let mut wake = self.addr;
-        if wake.ip().is_unspecified() {
-            wake.set_ip(match wake {
-                SocketAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
-                SocketAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
-            });
-        }
-        let _ = TcpStream::connect_timeout(&wake, POLL_INTERVAL);
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
+        self.waker.wake();
+        if let Some(event_loop) = self.event_loop.take() {
+            let _ = event_loop.join();
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
@@ -226,199 +286,571 @@ impl ServerHandle {
     }
 }
 
-/// Accepts connections and queues them for the workers; exits when the
-/// shutdown flag is raised (woken by the loopback connection) and drops
-/// the sender so idle workers drain out.
-fn accept_loop(listener: &TcpListener, tx: &SyncSender<TcpStream>, shutdown: &AtomicBool) {
-    loop {
-        let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(_) => {
-                if shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                // Persistent accept errors (EMFILE when fds run out, etc.)
-                // must not busy-spin the accept thread exactly when the
-                // process is resource-starved.
-                std::thread::sleep(POLL_INTERVAL / 10);
-                continue;
-            }
-        };
-        if shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        // Block while the queue is full (backpressure), but keep checking
-        // for shutdown so a saturated server still stops promptly.
-        let mut pending = stream;
-        loop {
-            match tx.try_send(pending) {
-                Ok(()) => break,
-                Err(TrySendError::Full(back)) => {
-                    if shutdown.load(Ordering::SeqCst) {
-                        return;
-                    }
-                    pending = back;
-                    std::thread::sleep(POLL_INTERVAL / 10);
-                }
-                Err(TrySendError::Disconnected(_)) => return,
-            }
-        }
-    }
+/// Encodes one message as a length-prefixed frame, reusing
+/// [`write_frame`]'s size check.
+fn encode_frame<T: Wire>(msg: &T) -> Result<Vec<u8>, WireError> {
+    let mut buf = Vec::new();
+    write_frame(&mut buf, msg)?;
+    Ok(buf)
 }
 
-/// One worker: serve queued connections until the channel closes or
-/// shutdown is raised.
+/// A ready request handed from the loop to a CPU worker. The session
+/// travels with it (the connection is `Busy` and strictly alternating,
+/// so nothing else can touch the session meanwhile).
+struct Job {
+    token: u64,
+    request: Request,
+    session: Session,
+}
+
+/// A finished request travelling back: the encoded response frame plus
+/// the returned session.
+struct Completion {
+    token: u64,
+    session: Session,
+    frame: Vec<u8>,
+    keep_going: bool,
+}
+
+/// One CPU worker: execute queued jobs until the loop drops the sender.
 fn worker_loop(
-    rx: &Mutex<Receiver<TcpStream>>,
+    jobs: &Mutex<Receiver<Job>>,
     engine: SharedEngine,
-    shutdown: &AtomicBool,
     stats: &ServerStats,
+    completions: &Mutex<VecDeque<Completion>>,
+    waker: &Waker,
 ) {
     loop {
-        let stream = {
-            // Recover the queue from a poisoned lock: a worker that
-            // panicked mid-`recv` left the receiver itself intact, and
-            // letting the poison flag cascade would kill every remaining
-            // worker one by one as each touches the mutex.
-            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+        let job = {
+            // Recover from a poisoned lock: a worker that panicked
+            // mid-`recv` left the receiver itself intact.
+            let guard = jobs.lock().unwrap_or_else(|e| e.into_inner());
             guard.recv()
         };
-        match stream {
-            Ok(stream) => {
-                if shutdown.load(Ordering::SeqCst) {
+        let Ok(Job {
+            token,
+            request,
+            mut session,
+        }) = job
+        else {
+            return; // event loop gone
+        };
+        let (response, keep_going) = respond(&engine, &mut session, request);
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+        let frame = match encode_frame(&response) {
+            Ok(frame) => frame,
+            // A result too large for one frame is a *server-side* error,
+            // not a dead socket: substitute a structured Error so the
+            // session keeps its "errors never kill a session" contract.
+            Err(WireError::FrameTooLarge { len, max }) => {
+                encode_frame(&Response::Error(DbError::Unsupported(format!(
+                    "result of {len} bytes exceeds the {max}-byte frame limit; \
+                     restrict the query (WHERE/LIMIT/THRESHOLD)"
+                ))))
+                .unwrap_or_default()
+            }
+            Err(_) => Vec::new(), // unencodable: the loop closes the connection
+        };
+        completions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(Completion {
+                token,
+                session,
+                frame,
+                keep_going,
+            });
+        waker.wake();
+    }
+}
+
+/// Where a connection is in its life cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    /// Accepted; waiting for a well-formed `Hello`.
+    Handshake,
+    /// Session established; waiting for the next request frame.
+    Ready,
+    /// A request is out with a CPU worker (the session travelled with
+    /// it); buffered input is held un-parsed until the completion lands.
+    Busy,
+    /// Flush the write buffer, then close.
+    Closing,
+    /// Rejected at capacity: flush the error frame, discard input, close
+    /// at EOF or the stored deadline.
+    Draining(Instant),
+}
+
+/// Per-socket state owned by the event loop.
+struct Connection {
+    stream: TcpStream,
+    state: ConnState,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    session: Option<Session>,
+    created: Instant,
+    last_activity: Instant,
+    /// When the first byte of a still-incomplete frame arrived.
+    frame_started: Option<Instant>,
+    /// Whether the descriptor is currently registered for writability.
+    wants_write: bool,
+}
+
+impl Connection {
+    fn new(stream: TcpStream, now: Instant) -> Connection {
+        Connection {
+            stream,
+            state: ConnState::Handshake,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            session: None,
+            created: now,
+            last_activity: now,
+            frame_started: None,
+            wants_write: false,
+        }
+    }
+}
+
+/// What one pass over a connection's read buffer produced.
+enum Parsed {
+    /// No complete frame buffered.
+    Incomplete,
+    /// A protocol violation worth a structured goodbye.
+    Violation(String),
+    /// One complete, well-formed request.
+    Request(Request),
+}
+
+/// The reactor: owns the poller, the listener and every connection.
+struct EventLoop {
+    poller: Poller,
+    listener: TcpListener,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    waker: Arc<Waker>,
+    completions: Arc<Mutex<VecDeque<Completion>>>,
+    job_tx: Sender<Job>,
+    connections: HashMap<u64, Connection>,
+    next_token: u64,
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return; // dropping `self` closes every socket and the job sender
+            }
+            if self.poller.wait(&mut events, Some(POLL_INTERVAL)).is_err() {
+                return; // a broken epoll fd is unrecoverable
+            }
+            for event in std::mem::take(&mut events) {
+                match event.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKER => self.waker.drain(),
+                    token => self.connection_ready(token, &event),
+                }
+            }
+            self.apply_completions();
+            self.sweep(Instant::now());
+        }
+    }
+
+    /// Accepts until the listener would block; every accepted socket is
+    /// made nonblocking and either admitted or rejected with a frame.
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => self.admit(stream),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                // Persistent accept errors (EMFILE when fds run out, etc.)
+                // retry at the next readiness event or tick instead of
+                // spinning exactly when the process is resource-starved.
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn admit(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let now = Instant::now();
+        let at_capacity = self.connections.len() >= self.config.max_connections;
+        let mut conn = Connection::new(stream, now);
+        if at_capacity {
+            let Ok(frame) = encode_frame(&Response::Error(DbError::Unsupported(format!(
+                "server at capacity ({} connections); try again later",
+                self.config.max_connections
+            )))) else {
+                return;
+            };
+            conn.write_buf = frame;
+            conn.state = ConnState::Draining(now + REJECT_LINGER);
+        }
+        let token = self.next_token;
+        self.next_token += 1;
+        if self
+            .poller
+            .register(conn.stream.as_raw_fd(), token, Interest::READ)
+            .is_err()
+        {
+            return; // dropped: the peer sees a reset
+        }
+        self.connections.insert(token, conn);
+        if at_capacity {
+            self.flush(token);
+        }
+    }
+
+    fn connection_ready(&mut self, token: u64, event: &Event) {
+        if event.writable {
+            self.flush(token);
+        }
+        if event.readable || event.hangup {
+            self.read_ready(token);
+        }
+    }
+
+    /// Drains the socket into the read buffer (or the void, when
+    /// draining a rejected/closing connection), then parses.
+    fn read_ready(&mut self, token: u64) {
+        let mut disconnected = false;
+        let mut flooded = false;
+        {
+            let Some(conn) = self.connections.get_mut(&token) else {
+                return;
+            };
+            let discard = matches!(conn.state, ConnState::Draining(_) | ConnState::Closing);
+            let mut buf = [0u8; 16 * 1024];
+            loop {
+                match conn.stream.read(&mut buf) {
+                    Ok(0) => {
+                        disconnected = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        if discard {
+                            continue;
+                        }
+                        conn.read_buf.extend_from_slice(&buf[..n]);
+                        conn.last_activity = Instant::now();
+                        if conn.read_buf.len() > READ_BUFFER_LIMIT {
+                            flooded = true;
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        disconnected = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if disconnected || flooded {
+            self.close(token);
+            return;
+        }
+        self.process_read_buffer(token);
+    }
+
+    /// Parses and dispatches complete frames until the buffer runs dry
+    /// or the connection stops being in a parsing state.
+    fn process_read_buffer(&mut self, token: u64) {
+        loop {
+            let parsed = {
+                let Some(conn) = self.connections.get_mut(&token) else {
+                    return;
+                };
+                if !matches!(conn.state, ConnState::Handshake | ConnState::Ready) {
                     return;
                 }
-                // A failed session (I/O error, protocol violation) only
-                // affects that connection.
-                serve_connection(stream, &engine, shutdown, stats);
+                parse_one_frame(conn)
+            };
+            match parsed {
+                Parsed::Incomplete => return,
+                Parsed::Violation(message) => {
+                    self.fail(token, message);
+                    return;
+                }
+                Parsed::Request(request) => self.handle_request(token, request),
             }
-            Err(_) => return, // accept loop gone
         }
     }
-}
 
-/// What one attempt to read a request produced.
-enum ReadOutcome {
-    /// A complete, well-formed request.
-    Request(Request),
-    /// The peer closed the connection (or overstayed a deadline).
-    Disconnected,
-    /// The server is shutting down.
-    ShuttingDown,
-}
-
-/// How long a connection may stay silent before completing the
-/// handshake. A socket that has not even said `Hello` must not pin a
-/// pool worker; established sessions may idle indefinitely *between*
-/// frames.
-const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
-
-/// How long a *started* frame may take to arrive in full. Wall-clock, so
-/// a peer trickling one byte per poll interval (which never trips the
-/// socket timeout) still cannot pin a worker past this bound.
-const FRAME_COMPLETION_TIMEOUT: Duration = Duration::from_secs(60);
-
-/// Reads one frame, waking every [`POLL_INTERVAL`] to check the shutdown
-/// flag. `idle_deadline` bounds the wait for the frame to *start*
-/// (`None` = the session may idle forever); once its first byte arrives,
-/// the rest must land within [`FRAME_COMPLETION_TIMEOUT`]. Overstaying
-/// either deadline counts as a disconnect.
-fn read_request(
-    stream: &mut TcpStream,
-    shutdown: &AtomicBool,
-    idle_deadline: Option<Instant>,
-) -> Result<ReadOutcome, WireError> {
-    let mut prefix = [0u8; 4];
-    if !read_exact_interruptible(stream, &mut prefix[..1], shutdown, idle_deadline)? {
-        return Ok(interrupted_outcome(shutdown));
-    }
-    // A frame has started: the remainder races the completion clock (and
-    // still the idle deadline, if that is sooner — the handshake must fit
-    // entirely inside its window).
-    let mut deadline = Instant::now() + FRAME_COMPLETION_TIMEOUT;
-    if let Some(idle) = idle_deadline {
-        deadline = deadline.min(idle);
-    }
-    if !read_exact_interruptible(stream, &mut prefix[1..], shutdown, Some(deadline))? {
-        return Ok(interrupted_outcome(shutdown));
-    }
-    let len = u32::from_be_bytes(prefix);
-    if len > MAX_FRAME_LEN {
-        return Err(WireError::FrameTooLarge {
-            len,
-            max: MAX_FRAME_LEN,
-        });
-    }
-    // Grow the body in bounded chunks instead of trusting the 4-byte
-    // prefix with one up-front allocation (a hostile prefix just under
-    // MAX_FRAME_LEN would otherwise pin 64 MiB per connection before a
-    // single body byte arrives). Memory now grows only as fast as the
-    // peer actually delivers data.
-    const BODY_CHUNK: usize = 64 * 1024;
-    let mut body = Vec::new();
-    while body.len() < len as usize {
-        let take = BODY_CHUNK.min(len as usize - body.len());
-        let start = body.len();
-        body.resize(start + take, 0);
-        if !read_exact_interruptible(stream, &mut body[start..], shutdown, Some(deadline))? {
-            return Ok(interrupted_outcome(shutdown));
-        }
-    }
-    Ok(ReadOutcome::Request(decode_message(&body)?))
-}
-
-fn interrupted_outcome(shutdown: &AtomicBool) -> ReadOutcome {
-    if shutdown.load(Ordering::SeqCst) {
-        ReadOutcome::ShuttingDown
-    } else {
-        ReadOutcome::Disconnected
-    }
-}
-
-/// Fills `buf` from the socket, treating read timeouts as shutdown poll
-/// ticks and `deadline` as a wall-clock cutoff checked on every pass.
-/// Returns `false` on EOF, shutdown or deadline expiry; `true` when
-/// `buf` is full.
-fn read_exact_interruptible(
-    stream: &mut TcpStream,
-    buf: &mut [u8],
-    shutdown: &AtomicBool,
-    deadline: Option<Instant>,
-) -> Result<bool, WireError> {
-    let mut have = 0usize;
-    while have < buf.len() {
-        if deadline.is_some_and(|d| Instant::now() >= d) {
-            return Ok(false);
-        }
-        match stream.read(&mut buf[have..]) {
-            Ok(0) => return Ok(false),
-            Ok(n) => have += n,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock
-                        | std::io::ErrorKind::TimedOut
-                        | std::io::ErrorKind::Interrupted
-                ) =>
-            {
-                if shutdown.load(Ordering::SeqCst) {
-                    return Ok(false);
+    /// Routes one complete request: handshakes are answered inline on
+    /// the loop (cheap, no engine access); everything else goes to a
+    /// CPU worker with the session in tow.
+    fn handle_request(&mut self, token: u64, request: Request) {
+        let Some(conn) = self.connections.get_mut(&token) else {
+            return;
+        };
+        match conn.state {
+            ConnState::Handshake => match request {
+                Request::Hello { version } if version == PROTOCOL_VERSION => {
+                    let Ok(frame) = encode_frame(&Response::Hello {
+                        version: PROTOCOL_VERSION,
+                        server: SERVER_NAME.to_string(),
+                    }) else {
+                        self.close(token);
+                        return;
+                    };
+                    conn.session = Some(Session::new());
+                    conn.state = ConnState::Ready;
+                    conn.write_buf.extend_from_slice(&frame);
+                    self.stats.sessions.fetch_add(1, Ordering::Relaxed);
+                    self.flush(token);
+                }
+                Request::Hello { version } => {
+                    self.fail(
+                        token,
+                        format!(
+                            "protocol version {version} not supported; \
+                             server speaks {PROTOCOL_VERSION}"
+                        ),
+                    );
+                }
+                _ => self.fail(token, "the first request must be the handshake".into()),
+            },
+            ConnState::Ready => {
+                let session = conn
+                    .session
+                    .take()
+                    .expect("a ready connection owns its session");
+                conn.state = ConnState::Busy;
+                if self
+                    .job_tx
+                    .send(Job {
+                        token,
+                        request,
+                        session,
+                    })
+                    .is_err()
+                {
+                    self.close(token); // workers gone: shutting down
                 }
             }
-            Err(e) => return Err(e.into()),
+            _ => {}
         }
     }
-    Ok(true)
+
+    /// Applies every queued worker completion: restore the session,
+    /// queue the response frame, flush, and resume parsing anything the
+    /// peer sent meanwhile.
+    fn apply_completions(&mut self) {
+        loop {
+            let completion = self
+                .completions
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front();
+            let Some(completion) = completion else { return };
+            let token = completion.token;
+            {
+                let Some(conn) = self.connections.get_mut(&token) else {
+                    continue; // connection died while the worker ran
+                };
+                conn.session = Some(completion.session);
+                conn.last_activity = Instant::now();
+                if completion.frame.is_empty() {
+                    conn.state = ConnState::Closing; // unencodable response
+                } else {
+                    conn.state = if completion.keep_going {
+                        ConnState::Ready
+                    } else {
+                        ConnState::Closing
+                    };
+                    conn.write_buf.extend_from_slice(&completion.frame);
+                }
+            }
+            self.flush(token);
+            if self
+                .connections
+                .get(&token)
+                .is_some_and(|c| c.state == ConnState::Ready)
+            {
+                self.process_read_buffer(token);
+            }
+        }
+    }
+
+    /// Writes buffered output until done or the socket would block;
+    /// registers/deregisters write interest accordingly and finishes
+    /// `Closing`/`Draining` connections whose buffers drained.
+    fn flush(&mut self, token: u64) {
+        let mut failed = false;
+        let (done, fd) = {
+            let Some(conn) = self.connections.get_mut(&token) else {
+                return;
+            };
+            let fd = conn.stream.as_raw_fd();
+            while conn.write_pos < conn.write_buf.len() {
+                match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+                    Ok(0) => {
+                        failed = true;
+                        break;
+                    }
+                    Ok(n) => conn.write_pos += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+            (conn.write_pos >= conn.write_buf.len(), fd)
+        };
+        if failed {
+            self.close(token);
+            return;
+        }
+        if !done {
+            // Backpressure: resume when the peer drains its socket.
+            let conn = self
+                .connections
+                .get_mut(&token)
+                .expect("connection checked above");
+            if !conn.wants_write {
+                conn.wants_write = true;
+                let _ = self.poller.modify(fd, token, Interest::READ_WRITE);
+            }
+            return;
+        }
+        let state = {
+            let conn = self
+                .connections
+                .get_mut(&token)
+                .expect("connection checked above");
+            conn.write_buf.clear();
+            conn.write_pos = 0;
+            if conn.wants_write {
+                conn.wants_write = false;
+                let _ = self.poller.modify(fd, token, Interest::READ);
+            }
+            conn.state
+        };
+        match state {
+            ConnState::Closing => self.close(token),
+            ConnState::Draining(_) => {
+                // Frame delivered; half-close so the peer sees EOF after
+                // the error instead of a reset, then wait out the linger.
+                if let Some(conn) = self.connections.get(&token) {
+                    let _ = conn.stream.shutdown(Shutdown::Write);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Answers a protocol violation with a structured error, then closes
+    /// once it flushes.
+    fn fail(&mut self, token: u64, message: String) {
+        let frame = encode_frame(&Response::Error(DbError::Unsupported(message)));
+        let Some(conn) = self.connections.get_mut(&token) else {
+            return;
+        };
+        conn.state = ConnState::Closing;
+        if let Ok(frame) = frame {
+            conn.write_buf.extend_from_slice(&frame);
+        }
+        self.flush(token);
+    }
+
+    /// Drops every connection that overstayed a deadline. `Busy`
+    /// connections are exempt — their clock restarts when the worker's
+    /// completion lands.
+    fn sweep(&mut self, now: Instant) {
+        let expired: Vec<u64> = self
+            .connections
+            .iter()
+            .filter(|(_, conn)| {
+                let frame_stalled = conn
+                    .frame_started
+                    .is_some_and(|s| now.duration_since(s) > FRAME_COMPLETION_TIMEOUT);
+                match conn.state {
+                    ConnState::Handshake => {
+                        now.duration_since(conn.created) > self.config.handshake_timeout
+                    }
+                    ConnState::Ready => {
+                        now.duration_since(conn.last_activity) > self.config.idle_timeout
+                            || frame_stalled
+                    }
+                    ConnState::Busy => false,
+                    ConnState::Closing => {
+                        now.duration_since(conn.last_activity)
+                            > self.config.idle_timeout.max(self.config.handshake_timeout)
+                    }
+                    ConnState::Draining(deadline) => now >= deadline,
+                }
+            })
+            .map(|(&token, _)| token)
+            .collect();
+        for token in expired {
+            self.close(token);
+        }
+    }
+
+    /// Removes a connection; dropping the stream closes the descriptor
+    /// (the explicit deregister just keeps the epoll set tidy first).
+    fn close(&mut self, token: u64) {
+        if let Some(conn) = self.connections.remove(&token) {
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        }
+    }
+}
+
+/// Tries to cut one complete frame from the connection's read buffer,
+/// maintaining the partial-frame clock.
+fn parse_one_frame(conn: &mut Connection) -> Parsed {
+    if conn.read_buf.len() < 4 {
+        conn.frame_started = if conn.read_buf.is_empty() {
+            None
+        } else {
+            conn.frame_started.or_else(|| Some(Instant::now()))
+        };
+        return Parsed::Incomplete;
+    }
+    let len = u32::from_be_bytes(conn.read_buf[..4].try_into().expect("4-byte slice"));
+    if len > MAX_FRAME_LEN {
+        let e = WireError::FrameTooLarge {
+            len,
+            max: MAX_FRAME_LEN,
+        };
+        return Parsed::Violation(format!("malformed request: {e}"));
+    }
+    let total = 4 + len as usize;
+    if conn.read_buf.len() < total {
+        conn.frame_started = conn.frame_started.or_else(|| Some(Instant::now()));
+        return Parsed::Incomplete;
+    }
+    let request = decode_message::<Request>(&conn.read_buf[4..total]);
+    conn.read_buf.drain(..total);
+    conn.frame_started = None;
+    conn.last_activity = Instant::now();
+    match request {
+        Ok(request) => Parsed::Request(request),
+        Err(e) => Parsed::Violation(format!("malformed request: {e}")),
+    }
 }
 
 /// A prepared statement held by one session.
 enum Prepared {
-    /// A planned `SELECT` — executing replays the plan without parsing or
-    /// planning again.
-    Select(PlannedQuery),
+    /// A planned `SELECT` — an immutable snapshot out of the shared plan
+    /// cache; executing replays it without parsing or planning again.
+    Select(Arc<PlannedQuery>),
     /// An `EXPLAIN` — re-reported per execute so the relation annotation
-    /// reflects the current catalog.
-    Explain(SelectStmt),
+    /// reflects the current catalog (boxed: the statement AST dwarfs the
+    /// `Arc` in the other variant).
+    Explain(Box<SelectStmt>),
 }
 
 /// Per-connection state: the prepared-statement map and the session's
@@ -447,14 +879,23 @@ fn core_to_db(e: CoreError) -> DbError {
     }
 }
 
-/// Runs one SQL statement with session-level routing: `SELECT`/`EXPLAIN`
-/// under the shared read lock (with the session's worlds override),
-/// everything else through the engine's write path.
+/// Runs one SQL statement with session-level routing: `SELECT`s are
+/// answered through the shared plan cache (an exact textual repeat skips
+/// the parser entirely), `EXPLAIN` under the read lock, everything else
+/// through the engine's write path.
 fn run_sql(engine: &SharedEngine, session: &Session, sql: &str) -> Result<QueryOutput, DbError> {
+    {
+        let db = engine.read();
+        if let Some(plan) = db.cached_plan(sql) {
+            return db.execute_planned_with_threads(&plan, session.worlds_threads);
+        }
+    }
     match parse(sql)? {
-        Statement::Select(sel) => engine
-            .read()
-            .query_select_with_threads(&sel, session.worlds_threads),
+        Statement::Select(sel) => {
+            let db = engine.read();
+            let plan = db.plan_select_cached(sql, &sel)?;
+            db.execute_planned_with_threads(&plan, session.worlds_threads)
+        }
         Statement::Explain(sel) => engine.read().explain_select(&sel),
         // Writes carry the original SQL text alongside the parsed form so
         // a persistent engine can journal the text to its WAL.
@@ -478,11 +919,14 @@ fn respond(engine: &SharedEngine, session: &mut Session, req: Request) -> (Respo
         },
         Request::Prepare { sql } => {
             let prepared = match parse(&sql) {
-                Ok(Statement::Select(sel)) => Planner::plan(&sel).map(Prepared::Select),
+                Ok(Statement::Select(sel)) => engine
+                    .read()
+                    .plan_select_cached(&sql, &sel)
+                    .map(Prepared::Select),
                 Ok(Statement::Explain(sel)) => {
                     // Validate now so Prepare surfaces plan errors; the
                     // report itself is rebuilt per execute.
-                    Planner::plan(&sel).map(|_| Prepared::Explain(sel))
+                    Planner::plan(&sel).map(|_| Prepared::Explain(Box::new(sel)))
                 }
                 Ok(other) => Err(DbError::ReadOnly(format!(
                     "only read-only statements can be prepared: {other:?}"
@@ -536,95 +980,6 @@ fn respond(engine: &SharedEngine, session: &mut Session, req: Request) -> (Respo
             (Response::WorldsThreadsSet { threads }, true)
         }
         Request::Close => (Response::Bye, false),
-    }
-}
-
-/// Serves one connection end-to-end: handshake, request loop, teardown.
-fn serve_connection(
-    mut stream: TcpStream,
-    engine: &SharedEngine,
-    shutdown: &AtomicBool,
-    stats: &ServerStats,
-) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
-
-    // Handshake first; anything else (including line noise) ends the
-    // connection, with a structured error when one can still be written.
-    // A connection that stays silent past the handshake deadline is
-    // dropped so idle pre-handshake sockets cannot pin pool workers.
-    match read_request(
-        &mut stream,
-        shutdown,
-        Some(Instant::now() + HANDSHAKE_TIMEOUT),
-    ) {
-        Ok(ReadOutcome::Request(Request::Hello { version })) if version == PROTOCOL_VERSION => {
-            let hello = Response::Hello {
-                version: PROTOCOL_VERSION,
-                server: SERVER_NAME.to_string(),
-            };
-            if write_frame(&mut stream, &hello).is_err() {
-                return;
-            }
-        }
-        Ok(ReadOutcome::Request(Request::Hello { version })) => {
-            let _ = write_frame(
-                &mut stream,
-                &Response::Error(DbError::Unsupported(format!(
-                    "protocol version {version} not supported; server speaks {PROTOCOL_VERSION}"
-                ))),
-            );
-            return;
-        }
-        Ok(ReadOutcome::Request(_)) => {
-            let _ = write_frame(
-                &mut stream,
-                &Response::Error(DbError::Unsupported(
-                    "the first request must be the handshake".into(),
-                )),
-            );
-            return;
-        }
-        Ok(ReadOutcome::Disconnected | ReadOutcome::ShuttingDown) | Err(_) => return,
-    }
-    stats.sessions.fetch_add(1, Ordering::Relaxed);
-
-    let mut session = Session::new();
-    loop {
-        let req = match read_request(&mut stream, shutdown, None) {
-            Ok(ReadOutcome::Request(req)) => req,
-            Ok(ReadOutcome::Disconnected | ReadOutcome::ShuttingDown) => return,
-            Err(WireError::Io(_)) => return,
-            Err(e) => {
-                // Protocol violations get a structured goodbye when the
-                // socket still works; either way the session ends.
-                let _ = write_frame(
-                    &mut stream,
-                    &Response::Error(DbError::Unsupported(format!("malformed request: {e}"))),
-                );
-                return;
-            }
-        };
-        let (response, keep_going) = respond(engine, &mut session, req);
-        stats.requests.fetch_add(1, Ordering::Relaxed);
-        let written = match write_frame(&mut stream, &response) {
-            Ok(()) => true,
-            // A result too large for one frame is a *server-side* error,
-            // not a dead socket: answer it as a structured Error so the
-            // session keeps its "errors never kill a session" contract.
-            Err(WireError::FrameTooLarge { len, max }) => write_frame(
-                &mut stream,
-                &Response::Error(DbError::Unsupported(format!(
-                    "result of {len} bytes exceeds the {max}-byte frame limit; \
-                     restrict the query (WHERE/LIMIT/THRESHOLD)"
-                ))),
-            )
-            .is_ok(),
-            Err(_) => false,
-        };
-        if !written || !keep_going {
-            return;
-        }
     }
 }
 
@@ -790,6 +1145,91 @@ mod tests {
         // The session survived all three.
         assert!(client.query("SELECT * FROM pv LIMIT 1").is_ok());
         client.close().unwrap();
+        handle.shutdown();
+    }
+
+    #[test]
+    fn idle_sessions_are_reaped() {
+        let handle = Server::bind(
+            "127.0.0.1:0",
+            demo_engine().unwrap(),
+            ServerConfig {
+                idle_timeout: Duration::from_millis(300),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap()
+        .spawn()
+        .unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        assert!(client.query("SELECT * FROM pv LIMIT 1").is_ok());
+        // Stay silent past the idle deadline plus a couple of sweep
+        // ticks: the server must have dropped the session.
+        std::thread::sleep(Duration::from_millis(1200));
+        assert!(client.query("SELECT * FROM pv LIMIT 1").is_err());
+        handle.shutdown();
+    }
+
+    #[test]
+    fn capacity_guard_rejects_with_a_structured_error() {
+        let handle = Server::bind(
+            "127.0.0.1:0",
+            demo_engine().unwrap(),
+            ServerConfig {
+                max_connections: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap()
+        .spawn()
+        .unwrap();
+        let mut a = Client::connect(handle.addr()).unwrap();
+        let b = Client::connect(handle.addr()).unwrap();
+        // The third connection is told why, not left hanging.
+        let err = Client::connect(handle.addr()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                tspdb_client::ClientError::Server(DbError::Unsupported(ref msg))
+                    if msg.contains("capacity")
+            ),
+            "{err:?}"
+        );
+        // The established sessions are unaffected...
+        assert!(a.query("SELECT * FROM pv LIMIT 1").is_ok());
+        // ...and closing one frees its slot.
+        drop(b);
+        std::thread::sleep(Duration::from_millis(600));
+        let mut c = Client::connect(handle.addr()).unwrap();
+        assert!(c.query("SELECT * FROM pv LIMIT 1").is_ok());
+        c.close().unwrap();
+        a.close().unwrap();
+        handle.shutdown();
+    }
+
+    #[test]
+    fn silent_prehandshake_sockets_are_dropped() {
+        let handle = Server::bind(
+            "127.0.0.1:0",
+            demo_engine().unwrap(),
+            ServerConfig {
+                handshake_timeout: Duration::from_millis(300),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap()
+        .spawn()
+        .unwrap();
+        let mut socket = std::net::TcpStream::connect(handle.addr()).unwrap();
+        socket
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        // Never say Hello: the server must hang up (EOF), not hold the
+        // socket open indefinitely.
+        let mut buf = [0u8; 16];
+        let n = socket.read(&mut buf).unwrap();
+        assert_eq!(n, 0, "expected EOF for a silent pre-handshake socket");
+        assert_eq!(handle.stats().sessions.load(Ordering::Relaxed), 0);
         handle.shutdown();
     }
 }

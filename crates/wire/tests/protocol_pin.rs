@@ -1,0 +1,138 @@
+//! Pins the wire protocol's observable surface: version, magic, frame
+//! limit, message tags, and the frame layout itself.
+//!
+//! The server front-end was rewritten from a thread-per-connection pool
+//! to an event-driven loop; this suite is the proof that the rewrite is
+//! invisible on the wire. Any byte-level change here is a protocol
+//! change and must come with a [`PROTOCOL_VERSION`] bump and an entry in
+//! `docs/wire-protocol.md`'s version-bump policy — the failing assertion
+//! is the reminder.
+
+use tspdb_wire::{
+    decode_message, encode_message, read_frame, write_frame, Request, Response, StatementId, MAGIC,
+    MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
+
+#[test]
+fn constants_are_pinned() {
+    assert_eq!(PROTOCOL_VERSION, 1, "protocol version must not drift");
+    assert_eq!(MAGIC, *b"TPDB");
+    assert_eq!(MAX_FRAME_LEN, 64 * 1024 * 1024);
+}
+
+/// Every request variant, one of each tag.
+fn all_requests() -> Vec<Request> {
+    vec![
+        Request::Hello {
+            version: PROTOCOL_VERSION,
+        },
+        Request::Query {
+            sql: "SELECT * FROM pv THRESHOLD 0.2".into(),
+        },
+        Request::Prepare {
+            sql: "SELECT COUNT(*) FROM pv".into(),
+        },
+        Request::Execute {
+            statement: StatementId(7),
+        },
+        Request::CloseStatement {
+            statement: StatementId(7),
+        },
+        Request::SetWorldsThreads { threads: Some(4) },
+        Request::Close,
+    ]
+}
+
+/// Every response variant a pure-wire test can build (a `Result` body
+/// needs an engine-side `QueryOutput`; the round-trip suite covers it).
+fn all_responses() -> Vec<Response> {
+    vec![
+        Response::Hello {
+            version: PROTOCOL_VERSION,
+            server: "tspdb-server/test".into(),
+        },
+        Response::Prepared {
+            statement: StatementId(7),
+        },
+        Response::Closed {
+            statement: StatementId(7),
+        },
+        Response::WorldsThreadsSet { threads: None },
+        Response::Error(tspdb_probdb::DbError::Unsupported("pinned".into())),
+        Response::Bye,
+    ]
+}
+
+#[test]
+fn request_tags_are_pinned() {
+    let tags: Vec<u8> = all_requests()
+        .iter()
+        .map(|r| encode_message(r)[0])
+        .collect();
+    assert_eq!(tags, vec![0, 1, 2, 3, 4, 5, 6]);
+}
+
+#[test]
+fn response_tags_are_pinned() {
+    let tags: Vec<u8> = all_responses()
+        .iter()
+        .map(|r| encode_message(r)[0])
+        .collect();
+    // `Response::Result` (tag 1) is absent from the pure-wire list.
+    assert_eq!(tags, vec![0, 2, 3, 4, 5, 6]);
+}
+
+#[test]
+fn hello_request_bytes_are_pinned() {
+    // tag 0, the 4 magic bytes, then the version as big-endian u32:
+    // the exact opening bytes every client ever written must produce.
+    let body = encode_message(&Request::Hello {
+        version: PROTOCOL_VERSION,
+    });
+    assert_eq!(body, vec![0, b'T', b'P', b'D', b'B', 0, 0, 0, 1]);
+}
+
+#[test]
+fn frame_layout_is_pinned() {
+    // u32 big-endian body length, then the body — nothing else.
+    let msg = Request::Query {
+        sql: "SELECT 1".into(),
+    };
+    let body = encode_message(&msg);
+    let mut frame = Vec::new();
+    write_frame(&mut frame, &msg).unwrap();
+    assert_eq!(frame.len(), 4 + body.len());
+    assert_eq!(&frame[..4], &(body.len() as u32).to_be_bytes());
+    assert_eq!(&frame[4..], &body[..]);
+}
+
+#[test]
+fn every_variant_round_trips() {
+    for req in all_requests() {
+        let decoded: Request = decode_message(&encode_message(&req)).unwrap();
+        assert_eq!(decoded, req);
+        let mut frame = Vec::new();
+        write_frame(&mut frame, &req).unwrap();
+        let framed: Request = read_frame(&mut frame.as_slice()).unwrap();
+        assert_eq!(framed, req);
+    }
+    for resp in all_responses() {
+        let decoded: Response = decode_message(&encode_message(&resp)).unwrap();
+        assert_eq!(decoded, resp);
+        let mut frame = Vec::new();
+        write_frame(&mut frame, &resp).unwrap();
+        let framed: Response = read_frame(&mut frame.as_slice()).unwrap();
+        assert_eq!(framed, resp);
+    }
+}
+
+#[test]
+fn oversized_frames_are_rejected_on_read() {
+    // A hostile length prefix larger than MAX_FRAME_LEN must be refused
+    // before any body allocation.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&(MAX_FRAME_LEN + 1).to_be_bytes());
+    bytes.extend_from_slice(&[0u8; 16]);
+    let err = read_frame::<Request>(&mut bytes.as_slice()).unwrap_err();
+    assert!(matches!(err, tspdb_wire::WireError::FrameTooLarge { .. }));
+}

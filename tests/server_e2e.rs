@@ -177,6 +177,61 @@ fn eight_concurrent_connections_get_identical_answers() {
 }
 
 #[test]
+fn cached_plans_never_survive_cross_session_writes_or_ddl() {
+    // The plan cache is engine-wide: a statement cached by one session is
+    // keyed on the catalog generation, and any write or DDL — from *any*
+    // session — bumps it. A stale plan must never answer.
+    let handle = start_server();
+    let mut a = Client::connect(handle.addr()).expect("connect session a");
+    let mut b = Client::connect(handle.addr()).expect("connect session b");
+
+    a.query("CREATE TABLE kv (k INT, v FLOAT)").unwrap();
+    a.query("INSERT INTO kv VALUES (1, 1.5), (2, 2.5)").unwrap();
+
+    const SQL: &str = "SELECT k, v FROM kv WHERE k >= 1 ORDER BY k ASC";
+    // First query plans and caches; the repeat is the cache hit.
+    assert_eq!(a.query(SQL).unwrap().rows().unwrap().len(), 2);
+    assert_eq!(a.query(SQL).unwrap().rows().unwrap().len(), 2);
+
+    // An answer-changing write from the *other* session: the next cached
+    // execution must see it.
+    b.query("INSERT INTO kv VALUES (3, 3.5)").unwrap();
+    assert_eq!(a.query(SQL).unwrap().rows().unwrap().len(), 3);
+
+    // Drop and re-create with a narrower schema from the other session:
+    // the old plan's column set no longer exists, so serving it stale
+    // would fabricate rows. It must be replanned — and fail cleanly.
+    b.query("DROP TABLE kv").unwrap();
+    b.query("CREATE TABLE kv (k INT)").unwrap();
+    b.query("INSERT INTO kv VALUES (7)").unwrap();
+    match a.query(SQL) {
+        Err(ClientError::Server(e)) => {
+            assert!(
+                matches!(
+                    e,
+                    tspdb::DbError::UnknownColumn(_) | tspdb::DbError::Plan(_)
+                ),
+                "stale plan produced the wrong error: {e:?}"
+            )
+        }
+        other => panic!("stale cached plan produced {other:?}"),
+    }
+    // The replanned shape of the new table works from both sessions.
+    assert_eq!(
+        a.query("SELECT k FROM kv").unwrap().rows().unwrap().len(),
+        1
+    );
+    assert_eq!(
+        b.query("SELECT k FROM kv").unwrap().rows().unwrap().len(),
+        1
+    );
+
+    a.close().unwrap();
+    b.close().unwrap();
+    handle.shutdown();
+}
+
+#[test]
 fn structured_errors_cross_the_wire() {
     let handle = start_server();
     let mut client = Client::connect(handle.addr()).expect("connect");

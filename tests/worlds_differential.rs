@@ -747,6 +747,128 @@ fn synopsis_answers_contain_exact_and_are_bit_identical() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Time-sharded scans: sharding is invisible in every answer
+// ---------------------------------------------------------------------------
+
+/// Fresh database over `probs`, with the relation sharded on `layout`
+/// (`None` = unsharded baseline).
+fn sharded_db(probs: &[f64], layout: Option<(&str, usize)>) -> tspdb::Database {
+    let mut db = tspdb::Database::new();
+    db.register_prob_table(table_from(probs)).unwrap();
+    if let Some((column, count)) = layout {
+        db.shard_relation("v", column, count).unwrap();
+        let map = db.shard_map("v").expect("layout was just installed");
+        // `build` clamps to one-tuple shards when the relation is small.
+        assert_eq!(
+            map.shard_count(),
+            count.min(probs.len()).max(1),
+            "requested layout must stick"
+        );
+    }
+    db
+}
+
+#[test]
+fn sharded_scans_are_bit_identical_to_unsharded_for_every_strategy() {
+    // The shard-ordered reduction promises that sharding is a pure
+    // performance knob: for every strategy — exact closed forms, `WITH
+    // WORLDS` sampling, `WITH SYNOPSIS` histograms — and every fan-out
+    // width, a sharded scan answers bit-for-bit what the unsharded scan
+    // answers. `canonical_result_bytes` is the strictest equality we have
+    // (Monte-Carlo results compare by their bit-exact fingerprint).
+    let probs: Vec<f64> = (0..120).map(|i| ((i * 37) % 97) as f64 / 100.0).collect();
+    const QUERIES: [&str; 6] = [
+        // Exact row scan: prunable predicate + THRESHOLD/TOP on the
+        // merged index list.
+        "SELECT * FROM v WHERE reading >= 1.0 THRESHOLD 0.2 TOP 16",
+        // Exact grouped aggregate with a restriction and a HAVING event.
+        "SELECT room, COUNT(*), SUM(reading) FROM v WHERE reading >= -1.0 \
+         GROUP BY room HAVING COUNT(*) >= 2",
+        // MC sampling runs once over the merged shard-ordered domain.
+        "SELECT room, COUNT(*), SUM(reading) FROM v GROUP BY room \
+         WITH WORLDS 6000 SEED 13",
+        "SELECT * FROM v WHERE room = 2 WITH WORLDS 4000 SEED 7",
+        // Synopsis answers come from the immutable catalog snapshot.
+        "SELECT COUNT(*), SUM(reading) FROM v WITH SYNOPSIS BUCKETS 16",
+        // Windowed MC: per-bucket restrictions also fan out over shards.
+        "SELECT COUNT(*) FROM v GROUP BY WINDOW(reading, 8.0) \
+         WITH WORLDS 2000 SEED 5",
+    ];
+    const LAYOUTS: [Option<(&str, usize)>; 4] = [
+        Some(("reading", 2)),
+        Some(("reading", 7)),
+        Some(("reading", 64)),
+        Some(("room", 3)),
+    ];
+    for sql in QUERIES {
+        // Unsharded baseline at each fan-out width (widths must agree
+        // with each other too, but that is the older invariant — here
+        // each width gets its own byte-exact baseline).
+        let mut baseline = Vec::new();
+        let base_db = sharded_db(&probs, None);
+        for threads in [1usize, 8] {
+            base_db.set_worlds_threads(threads);
+            baseline.push(tspdb_wire::canonical_result_bytes(
+                &base_db.query(sql).unwrap(),
+            ));
+        }
+        for layout in LAYOUTS {
+            let db = sharded_db(&probs, layout);
+            for (ti, threads) in [1usize, 8].into_iter().enumerate() {
+                db.set_worlds_threads(threads);
+                let sharded = tspdb_wire::canonical_result_bytes(&db.query(sql).unwrap());
+                assert_eq!(
+                    sharded, baseline[ti],
+                    "{sql} diverged under layout {layout:?} at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_scans_reproduce_unsharded_errors() {
+    // A shard whose bounds would let it be pruned must still surface the
+    // same error an unsharded scan raises — pruning never hides failures.
+    let probs: Vec<f64> = (0..64).map(|i| ((i * 29) % 83) as f64 / 100.0).collect();
+    let base = sharded_db(&probs, None)
+        .query("SELECT * FROM v WHERE missing = 1")
+        .unwrap_err();
+    let sharded = sharded_db(&probs, Some(("reading", 8)))
+        .query("SELECT * FROM v WHERE missing = 1")
+        .unwrap_err();
+    assert_eq!(format!("{base:?}"), format!("{sharded:?}"));
+}
+
+proptest! {
+    #[test]
+    fn sharded_aggregates_match_unsharded_for_generated_tables(
+        probs in proptest::collection::vec(0.0f64..=1.0, 2..60),
+        shard_count in 2u32..12,
+        seed in 0u64..100_000,
+    ) {
+        // Property form of the same invariant: any table, any shard
+        // count, both strategies, both widths — byte-identical answers.
+        let layout = Some(("reading", shard_count as usize));
+        let exact_sql = "SELECT room, COUNT(*), SUM(reading) FROM v GROUP BY room";
+        let mc_sql = format!("{exact_sql} WITH WORLDS 1500 SEED {seed}");
+        let base_db = sharded_db(&probs, None);
+        let db = sharded_db(&probs, layout);
+        for sql in [exact_sql, mc_sql.as_str()] {
+            for threads in [1usize, 8] {
+                base_db.set_worlds_threads(threads);
+                db.set_worlds_threads(threads);
+                prop_assert_eq!(
+                    tspdb_wire::canonical_result_bytes(&db.query(sql).unwrap()),
+                    tspdb_wire::canonical_result_bytes(&base_db.query(sql).unwrap()),
+                    "{} diverged at {} shards, {} threads", sql, shard_count, threads
+                );
+            }
+        }
+    }
+}
+
 proptest! {
     #[test]
     fn synopsis_rebuild_after_write_equals_build_from_scratch(
