@@ -1,0 +1,173 @@
+//! Streaming-append throughput: group commit (one WAL fsync per 64-row
+//! batch) against the fsync-per-statement `INSERT` path it replaces.
+//!
+//! The structural fact behind the speedup is pinned with hard assertions
+//! — exactly one fsync per appended batch, exactly one per journaled
+//! statement — so the measured ratio can only come from the amortization
+//! the ingest subsystem claims, not from a broken counter. The measured
+//! numbers land in the `CRITERION_JSON` artifact next to every other
+//! bench, plus an explicit `ingest_append/speedup` line with the ratio.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::cell::Cell;
+use std::path::PathBuf;
+use std::time::Instant;
+use tspdb_core::{SharedEngine, ViewBuilderConfig};
+use tspdb_probdb::Value;
+
+/// Rows per append batch — the issue's pinned comparison point.
+const BATCH: usize = 64;
+
+/// A self-cleaning scratch directory for one persistent engine.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir =
+            std::env::temp_dir().join(format!("tspdb-ingest-bench-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create bench data dir");
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn persistent_engine(dir: &TempDir) -> SharedEngine {
+    let engine = SharedEngine::open_persistent(&dir.0, ViewBuilderConfig::default())
+        .expect("open persistent engine");
+    engine
+        .execute("CREATE TABLE s (t INT, r FLOAT)")
+        .expect("create append target");
+    engine
+}
+
+/// `n` synthetic readings starting at time `from` — the same shape both
+/// paths ingest, so the comparison is fsync policy and nothing else.
+fn rows(from: i64, n: usize) -> Vec<Vec<Value>> {
+    (0..n as i64)
+        .map(|i| {
+            let t = from + i;
+            vec![
+                Value::Int(t),
+                Value::Float(20.0 + 3.0 * (t as f64 * 0.21).sin()),
+            ]
+        })
+        .collect()
+}
+
+/// Ingests one batch through per-statement `INSERT`s: parse, journal and
+/// fsync once per row.
+fn insert_per_statement(engine: &SharedEngine, from: i64) {
+    for row in rows(from, BATCH) {
+        let (Value::Int(t), Value::Float(r)) = (&row[0], &row[1]) else {
+            unreachable!("rows() yields (Int, Float)");
+        };
+        engine
+            .execute(&format!("INSERT INTO s VALUES ({t}, {r})"))
+            .expect("statement insert");
+    }
+}
+
+/// Appends one measurement in the criterion shim's JSON-lines shape.
+fn report_json(name: &str, ns_per_iter: f64, iters: usize) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let line = format!("{{\"name\":\"{name}\",\"ns_per_iter\":{ns_per_iter},\"iters\":{iters}}}\n");
+    if let Err(e) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()))
+    {
+        eprintln!("ingest bench: cannot append to CRITERION_JSON={path}: {e}");
+    }
+}
+
+fn bench_group_commit(c: &mut Criterion) {
+    // Structural pin: the batch path costs ONE fsync, the statement path
+    // costs BATCH of them. Deterministic, so asserted rather than timed.
+    {
+        let dir = TempDir::new("pin");
+        let engine = persistent_engine(&dir);
+        let storage = engine.storage().expect("persistent engine").clone();
+        let before = storage.wal_fsyncs();
+        engine
+            .append_rows("s", rows(0, BATCH))
+            .expect("batched append");
+        assert_eq!(
+            storage.wal_fsyncs(),
+            before + 1,
+            "group commit must amortize the batch into one fsync"
+        );
+        let before = storage.wal_fsyncs();
+        insert_per_statement(&engine, BATCH as i64);
+        assert_eq!(
+            storage.wal_fsyncs(),
+            before + BATCH as u64,
+            "the statement path must fsync once per INSERT"
+        );
+    }
+
+    let mut group = c.benchmark_group("ingest_append");
+
+    let stmt_dir = TempDir::new("per-stmt");
+    let stmt_engine = persistent_engine(&stmt_dir);
+    let stmt_t = Cell::new(0i64);
+    group.bench_function("fsync_per_statement/64", |b| {
+        b.iter(|| {
+            let from = stmt_t.get();
+            stmt_t.set(from + BATCH as i64);
+            insert_per_statement(&stmt_engine, from);
+        })
+    });
+
+    let batch_dir = TempDir::new("group-commit");
+    let batch_engine = persistent_engine(&batch_dir);
+    let batch_t = Cell::new(0i64);
+    group.bench_function("group_commit/64", |b| {
+        b.iter(|| {
+            let from = batch_t.get();
+            batch_t.set(from + BATCH as i64);
+            batch_engine
+                .append_rows("s", rows(from, BATCH))
+                .expect("batched append")
+        })
+    });
+    group.finish();
+
+    // A fixed-work head-to-head for the artifact: the same 20 batches
+    // through both paths, reported as an explicit speedup figure.
+    const HEAD_TO_HEAD: usize = 20;
+    let stmt_base = stmt_t.get();
+    let started = Instant::now();
+    for i in 0..HEAD_TO_HEAD {
+        insert_per_statement(&stmt_engine, stmt_base + (i * BATCH) as i64);
+    }
+    let per_statement = started.elapsed();
+    let batch_base = batch_t.get();
+    let started = Instant::now();
+    for i in 0..HEAD_TO_HEAD {
+        batch_engine
+            .append_rows("s", rows(batch_base + (i * BATCH) as i64, BATCH))
+            .expect("batched append");
+    }
+    let grouped = started.elapsed();
+    let speedup = per_statement.as_secs_f64() / grouped.as_secs_f64().max(f64::MIN_POSITIVE);
+    println!(
+        "ingest_append/speedup: group commit {speedup:.1}x faster than \
+         fsync-per-statement over {HEAD_TO_HEAD} batches of {BATCH}"
+    );
+    report_json("ingest_append/speedup", speedup, HEAD_TO_HEAD);
+}
+
+criterion_group!(benches, bench_group_commit);
+criterion_main!(benches);

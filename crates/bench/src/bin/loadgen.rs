@@ -21,6 +21,22 @@
 //! ```text
 //! loadgen [--rounds N] [--conns A,B,C]   # defaults: 20 rounds, 64,256,1024
 //! ```
+//!
+//! A second mode drives the **streaming ingestion** subsystem end to end
+//! against a persistent data directory: a writer group-commits batched
+//! appends through [`tspdb_ingest::Appender`] while reader connections
+//! watch the row count grow monotonically over the wire and a TAIL
+//! subscriber checks every pushed window frame against the equivalent
+//! one-shot query (closed buckets are immutable under monotone appends,
+//! so the comparison is exact whenever it runs). `--verify` reopens the
+//! directory — typically after a `kill -9` — recovers, and diffs the
+//! recovered table and Ω-view fingerprints against a never-crashed
+//! in-memory twin fed the same deterministic row prefix.
+//!
+//! ```text
+//! loadgen --mode streaming --data-dir DIR [--appends N] [--batch B] [--readers R]
+//! loadgen --mode streaming --data-dir DIR --verify
+//! ```
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -422,16 +438,358 @@ fn report_json(name: &str, ns_per_iter: f64, iters: usize) {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: loadgen [--rounds N] [--conns A,B,C]");
+    eprintln!(
+        "usage: loadgen [--rounds N] [--conns A,B,C]\n       \
+         loadgen --mode streaming --data-dir DIR [--appends N] [--batch B] [--readers R]\n       \
+         loadgen --mode streaming --data-dir DIR --verify"
+    );
     std::process::exit(2);
 }
 
+/// Streaming-ingestion exercise: group-committed appends against a
+/// persistent directory under concurrent wire readers and an active TAIL
+/// subscription, plus a crash-recovery verifier built on the
+/// incremental-equals-rebuild invariant.
+mod streaming {
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::time::{Duration, Instant};
+    use tspdb_client::{Client, TailNotice};
+    use tspdb_core::{MetricConfig, SharedEngine, ViewBuilderConfig};
+    use tspdb_ingest::{Appender, AppenderConfig};
+    use tspdb_probdb::{QueryOutput, Value};
+    use tspdb_server::{Server, ServerConfig};
+    use tspdb_wire::canonical_result_bytes;
+
+    /// CLI options for `--mode streaming`.
+    pub struct Options {
+        pub data_dir: PathBuf,
+        pub appends: usize,
+        pub batch: usize,
+        pub readers: usize,
+    }
+
+    const TABLE_SQL: &str = "CREATE TABLE stream (t INT, r FLOAT)";
+    const VIEW_SQL: &str = "CREATE VIEW sv AS DENSITY r OVER t OMEGA delta=0.5, n=6 FROM stream";
+    /// The windowed aggregate both the TAIL subscription and its one-shot
+    /// verification twin run. Exact evaluation on a deterministic table,
+    /// so equality is byte-equality, not approximation.
+    const ONESHOT_SQL: &str = "SELECT COUNT(*), SUM(r) FROM stream GROUP BY WINDOW(t, 512)";
+    const TAIL_SQL: &str = "TAIL SELECT COUNT(*), SUM(r) FROM stream GROUP BY WINDOW(t, 512)";
+    /// Full scan of the Ω-view — every tuple, every probability — for the
+    /// recovery diff.
+    const VIEW_PROBE_SQL: &str = "SELECT * FROM sv THRESHOLD 0.0";
+    /// Rows that must exist before `CREATE VIEW` (the build needs at
+    /// least one full model window; 64 also keeps the DDL off the
+    /// first group commit).
+    const VIEW_MIN_ROWS: u64 = 64;
+
+    /// Engine defaults for the stream: a short AR(1) window keeps the
+    /// per-batch incremental Ω-maintenance cheap enough to sustain 100k+
+    /// appends, and `cache: None` keeps maintenance on the direct
+    /// evaluation path whose incremental-equals-rebuild contract the
+    /// differential suite pins.
+    fn config() -> ViewBuilderConfig {
+        ViewBuilderConfig {
+            window: 30,
+            metric_config: MetricConfig {
+                p: 1,
+                q: 0,
+                ..MetricConfig::default()
+            },
+            cache: None,
+            ..ViewBuilderConfig::default()
+        }
+    }
+
+    /// The deterministic reading at time `t`. Every run — first boot,
+    /// post-crash resume, in-memory rebuild twin — generates the same
+    /// row for the same `t`, which is what makes crash recovery checkable:
+    /// WAL replay drops a torn tail, so the recovered table is always the
+    /// exact prefix `t = 0..n-1` of this sequence for some `n`.
+    fn stream_row(t: i64) -> Vec<Value> {
+        vec![
+            Value::Int(t),
+            Value::Float(20.0 + 3.0 * (t as f64 * 0.21).sin()),
+        ]
+    }
+
+    /// `COUNT(*)` of the stream table, or `None` when it doesn't exist.
+    fn row_count(engine: &SharedEngine) -> Option<u64> {
+        let out = engine.query("SELECT COUNT(*) FROM stream").ok()?;
+        let agg = out.aggregate()?;
+        Some(agg.groups.first()?.values.first()?.value.round() as u64)
+    }
+
+    fn has_view(engine: &SharedEngine) -> bool {
+        engine.read().all_relation_names().iter().any(|n| n == "sv")
+    }
+
+    /// `COUNT(*)` over the wire, as a reader connection sees it.
+    fn wire_count(client: &mut Client) -> u64 {
+        let out: QueryOutput = client
+            .query("SELECT COUNT(*) FROM stream")
+            .expect("reader COUNT query");
+        let agg = out.aggregate().expect("COUNT(*) aggregates");
+        agg.groups
+            .first()
+            .and_then(|g| g.values.first())
+            .map_or(0, |v| v.value.round() as u64)
+    }
+
+    /// Checks one pushed TAIL frame against the one-shot windowed query
+    /// run *now* on the same connection: the frame's bucket closed before
+    /// emission and appends are monotone in `t`, so the bucket is
+    /// immutable and the fingerprints must match bit for bit.
+    fn verify_frame(client: &mut Client, frame: &tspdb_client::TailFrame) {
+        let out = client.query(ONESHOT_SQL).expect("one-shot windowed query");
+        let full = out.aggregate().expect("windowed aggregate").clone();
+        let mut filtered = full;
+        filtered.groups.retain(|g| {
+            g.key.first().and_then(Value::as_f64).map(f64::to_bits) == Some(frame.bucket.to_bits())
+        });
+        assert_eq!(
+            frame.result.fingerprint(),
+            filtered.fingerprint(),
+            "TAIL frame for bucket {} diverged from the one-shot query",
+            frame.bucket
+        );
+    }
+
+    /// The ingest run: writer group-commits `appends` rows while `readers`
+    /// wire connections assert the visible row count only ever grows and a
+    /// TAIL subscriber verifies every closed-bucket frame. Designed to be
+    /// `kill -9`ed at any instant — every durable state is one `--verify`
+    /// away from being proven correct.
+    pub fn run(opts: Options) {
+        let engine =
+            SharedEngine::open_persistent(&opts.data_dir, config()).expect("open data dir");
+        let recovered = match row_count(&engine) {
+            Some(n) => n,
+            None => {
+                engine.execute(TABLE_SQL).expect("create stream table");
+                0
+            }
+        };
+        let handle = Server::bind(
+            "127.0.0.1:0",
+            engine.clone(),
+            ServerConfig {
+                workers: 4,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind ephemeral port")
+        .spawn()
+        .expect("start server threads");
+        let addr = handle.addr().to_string();
+        println!(
+            "loadgen[streaming]: {} recovered rows in {}, server on {addr}, \
+             appending {} more (batch {}, {} readers)",
+            recovered,
+            opts.data_dir.display(),
+            opts.appends,
+            opts.batch,
+            opts.readers,
+        );
+
+        let stop = AtomicBool::new(false);
+        let reader_queries = AtomicU64::new(0);
+        let frames_checked = AtomicU64::new(0);
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            // TAIL subscriber: every pushed frame is fingerprint-checked
+            // against the one-shot query, buckets must arrive in order,
+            // and a lapse is a failure (nothing drops the table here).
+            let subscriber = scope.spawn(|| {
+                let mut client = Client::connect(&addr).expect("subscriber connects");
+                let tail = client.tail(TAIL_SQL).expect("TAIL subscription");
+                let mut last_bucket = f64::NEG_INFINITY;
+                let mut pump = |client: &mut Client, timeout| match client
+                    .tail_next(Some(timeout))
+                    .expect("tail_next")
+                {
+                    Some(TailNotice::Frame(frame)) => {
+                        assert!(
+                            frame.bucket > last_bucket,
+                            "TAIL buckets must close in order: {} after {}",
+                            frame.bucket,
+                            last_bucket
+                        );
+                        last_bucket = frame.bucket;
+                        verify_frame(client, &frame);
+                        frames_checked.fetch_add(1, Ordering::Relaxed);
+                        true
+                    }
+                    Some(TailNotice::Stopped { reason, .. }) => {
+                        panic!("TAIL lapsed mid-stream: {reason}")
+                    }
+                    None => false,
+                };
+                while !stop.load(Ordering::Relaxed) {
+                    pump(&mut client, Duration::from_millis(100));
+                }
+                // Workers poll the registry after every request, so one
+                // more query flushes any frame the final group commit
+                // closed; then drain until quiet.
+                let _ = wire_count(&mut client);
+                while pump(&mut client, Duration::from_millis(300)) {}
+                client.tail_stop(tail).expect("clean TAIL stop");
+                client.close().expect("clean close");
+            });
+            let readers: Vec<_> = (0..opts.readers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut client = Client::connect(&addr).expect("reader connects");
+                        let mut last = 0u64;
+                        while !stop.load(Ordering::Relaxed) {
+                            let count = wire_count(&mut client);
+                            assert!(
+                                count >= last,
+                                "visible row count went backwards: {count} < {last}"
+                            );
+                            last = count;
+                            reader_queries.fetch_add(1, Ordering::Relaxed);
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        client.close().expect("clean close");
+                    })
+                })
+                .collect();
+
+            // The writer: one Appender, group commit per `--batch` rows.
+            let mut appender = Appender::new(
+                engine.clone(),
+                AppenderConfig {
+                    max_rows: opts.batch,
+                    max_delay: Duration::from_millis(50),
+                },
+            );
+            let mut view_ready = has_view(&engine);
+            if !view_ready && recovered >= VIEW_MIN_ROWS {
+                engine.execute(VIEW_SQL).expect("create Ω-view");
+                view_ready = true;
+            }
+            for i in 0..opts.appends as u64 {
+                let t = (recovered + i) as i64;
+                appender.append("stream", stream_row(t)).expect("append");
+                let total = recovered + i + 1;
+                if !view_ready && total >= VIEW_MIN_ROWS {
+                    appender.flush().expect("flush before CREATE VIEW");
+                    engine.execute(VIEW_SQL).expect("create Ω-view");
+                    view_ready = true;
+                }
+                if total % 20_000 == 0 {
+                    println!(
+                        "loadgen[streaming]: {total} rows durable \
+                         ({:.0} rows/s)",
+                        (i + 1) as f64 / started.elapsed().as_secs_f64()
+                    );
+                }
+            }
+            appender.flush().expect("final flush");
+            let stats = appender.stats();
+            let wall = started.elapsed();
+            stop.store(true, Ordering::Relaxed);
+            for reader in readers {
+                reader.join().expect("reader thread");
+            }
+            subscriber.join().expect("subscriber thread");
+            println!(
+                "loadgen[streaming]: {} rows in {} group commits over {:.1}s \
+                 ({:.0} rows/s), {} reader queries, {} TAIL frames verified",
+                stats.rows,
+                stats.flushes,
+                wall.as_secs_f64(),
+                stats.rows as f64 / wall.as_secs_f64(),
+                reader_queries.load(Ordering::Relaxed),
+                frames_checked.load(Ordering::Relaxed),
+            );
+            super::report_json(
+                "loadgen/streaming/append",
+                wall.as_nanos() as f64 / opts.appends.max(1) as f64,
+                opts.appends,
+            );
+        });
+        handle.shutdown();
+        let final_count = row_count(&engine).expect("stream table exists");
+        assert_eq!(final_count, recovered + opts.appends as u64);
+        println!("loadgen[streaming]: done, {final_count} rows durable");
+    }
+
+    /// The crash-recovery check: reopen the directory (replaying the WAL,
+    /// dropping any torn tail), then rebuild a never-crashed in-memory
+    /// twin from the recovered row count and demand byte-identical query
+    /// results. Two invariants make this exact: recovered rows are always
+    /// a strict prefix of the deterministic `stream_row` sequence, and an
+    /// incrementally-maintained Ω-view is bit-identical to one rebuilt
+    /// from scratch over the same rows.
+    pub fn verify(opts: Options) {
+        let engine =
+            SharedEngine::open_persistent(&opts.data_dir, config()).expect("open data dir");
+        let n = row_count(&engine).expect("recovered stream table");
+        assert!(n > 0, "nothing recovered from {}", opts.data_dir.display());
+        let view_recovered = has_view(&engine);
+        println!(
+            "loadgen[verify]: recovered {n} rows (Ω-view: {}), rebuilding twin",
+            if view_recovered { "present" } else { "absent" }
+        );
+
+        let twin = SharedEngine::new(config());
+        twin.execute(TABLE_SQL).expect("twin table");
+        let mut t = 0i64;
+        while (t as u64) < n {
+            let chunk = 4096.min(n - t as u64) as i64;
+            twin.append_rows("stream", (t..t + chunk).map(stream_row).collect())
+                .expect("twin append");
+            t += chunk;
+        }
+        if view_recovered {
+            // Built AFTER every append — the recovered view was maintained
+            // incrementally, so equality below is the invariant at work.
+            twin.execute(VIEW_SQL).expect("twin Ω-view");
+        }
+
+        let diff = |sql: &str| {
+            let recovered = canonical_result_bytes(&engine.query(sql).expect("recovered query"));
+            let rebuilt = canonical_result_bytes(&twin.query(sql).expect("twin query"));
+            assert_eq!(
+                recovered, rebuilt,
+                "recovered state diverged from the never-crashed twin on {sql:?}"
+            );
+        };
+        diff(ONESHOT_SQL);
+        if view_recovered {
+            diff(VIEW_PROBE_SQL);
+        }
+        println!(
+            "loadgen[verify]: recovered fingerprints byte-identical to the \
+             never-crashed twin ({n} rows{})",
+            if view_recovered {
+                ", Ω-view included"
+            } else {
+                ""
+            }
+        );
+    }
+}
+
 fn main() {
+    let mut mode = String::from("sweep");
     let mut rounds = 20usize;
     let mut conn_counts: Vec<usize> = vec![64, 256, 1024];
+    let mut data_dir: Option<std::path::PathBuf> = None;
+    let mut appends = 120_000usize;
+    let mut batch = 64usize;
+    let mut readers = 2usize;
+    let mut verify = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--mode" => match args.next() {
+                Some(m) => mode = m,
+                None => usage(),
+            },
             "--rounds" => match args.next().and_then(|r| r.parse().ok()) {
                 Some(r) => rounds = r,
                 None => usage(),
@@ -444,10 +802,53 @@ fn main() {
                 Some(Ok(counts)) if !counts.is_empty() => conn_counts = counts,
                 _ => usage(),
             },
+            "--data-dir" => match args.next() {
+                Some(dir) => data_dir = Some(std::path::PathBuf::from(dir)),
+                None => usage(),
+            },
+            "--appends" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => appends = n,
+                None => usage(),
+            },
+            "--batch" => match args.next().and_then(|b| b.parse().ok()) {
+                Some(b) if b > 0 => batch = b,
+                _ => usage(),
+            },
+            "--readers" => match args.next().and_then(|r| r.parse().ok()) {
+                Some(r) => readers = r,
+                None => usage(),
+            },
+            "--verify" => verify = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 usage();
             }
+        }
+    }
+
+    match mode.as_str() {
+        "sweep" => {}
+        "streaming" => {
+            let Some(data_dir) = data_dir else {
+                eprintln!("--mode streaming requires --data-dir");
+                usage();
+            };
+            let opts = streaming::Options {
+                data_dir,
+                appends,
+                batch,
+                readers,
+            };
+            if verify {
+                streaming::verify(opts);
+            } else {
+                streaming::run(opts);
+            }
+            return;
+        }
+        other => {
+            eprintln!("unknown mode: {other}");
+            usage();
         }
     }
 

@@ -10,7 +10,11 @@
 //!
 //! The protocol is a strict request/response alternation, which is
 //! exactly what a blocking client wants: every method writes one frame
-//! and reads one frame.
+//! and reads one frame. The one exception is TAIL: after
+//! [`Client::tail`] registers a standing windowed query, the server
+//! pushes one frame per closed window bucket, which the client surfaces
+//! through [`Client::tail_next`] and transparently sets aside when one
+//! arrives interleaved with an ordinary response.
 //!
 //! ## Quick start
 //!
@@ -41,8 +45,11 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+use std::collections::VecDeque;
 use std::fmt;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+use tspdb_probdb::plan::AggregateResult;
 use tspdb_probdb::{DbError, QueryOutput};
 use tspdb_wire::{read_frame, write_frame, Request, Response, StatementId, WireError};
 
@@ -84,11 +91,51 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
+/// Handle for a TAIL subscription, returned by [`Client::tail`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TailId(pub u64);
+
+impl fmt::Display for TailId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// One pushed TAIL result: a window bucket that closed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TailFrame {
+    /// The subscription the frame belongs to.
+    pub tail: TailId,
+    /// Start of the closed window bucket.
+    pub bucket: f64,
+    /// The bucket's groups — byte-identical (by fingerprint) to running
+    /// the equivalent one-shot windowed query and keeping this bucket.
+    pub result: AggregateResult,
+}
+
+/// What [`Client::tail_next`] delivered.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TailNotice {
+    /// A window bucket closed.
+    Frame(TailFrame),
+    /// The server ended a subscription (source table dropped, standing
+    /// query stopped executing); no more frames will arrive for it.
+    Stopped {
+        /// The subscription that ended.
+        tail: TailId,
+        /// Why the server ended it.
+        reason: String,
+    },
+}
+
 /// One blocking connection to a tspdb server.
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
     server: String,
+    /// TAIL pushes that arrived interleaved with an ordinary response —
+    /// held for the next [`Client::tail_next`] call.
+    pending_tail: VecDeque<TailNotice>,
 }
 
 impl Client {
@@ -103,9 +150,11 @@ impl Client {
             },
         )?;
         match read_frame::<Response>(&mut stream)? {
-            Response::Hello { version, server } if version == PROTOCOL_VERSION => {
-                Ok(Client { stream, server })
-            }
+            Response::Hello { version, server } if version == PROTOCOL_VERSION => Ok(Client {
+                stream,
+                server,
+                pending_tail: VecDeque::new(),
+            }),
             Response::Hello { version, .. } => Err(ClientError::Protocol(format!(
                 "server speaks protocol version {version}, this client speaks {PROTOCOL_VERSION}"
             ))),
@@ -122,12 +171,33 @@ impl Client {
     }
 
     /// One request → one response; server-side `Error` frames become
-    /// [`ClientError::Server`].
+    /// [`ClientError::Server`]. TAIL pushes that land ahead of the reply
+    /// are set aside for [`Client::tail_next`] — they are identifiable by
+    /// type (`TailFrame` is only ever pushed; a `TailStopped` carrying a
+    /// reason is only ever pushed), so the alternation never miscounts.
     fn round_trip(&mut self, req: &Request) -> Result<Response, ClientError> {
         write_frame(&mut self.stream, req)?;
-        match read_frame::<Response>(&mut self.stream)? {
-            Response::Error(e) => Err(ClientError::Server(e)),
-            other => Ok(other),
+        loop {
+            match read_frame::<Response>(&mut self.stream)? {
+                Response::TailFrame {
+                    token,
+                    bucket,
+                    result,
+                } => self.pending_tail.push_back(TailNotice::Frame(TailFrame {
+                    tail: TailId(token),
+                    bucket,
+                    result,
+                })),
+                Response::TailStopped {
+                    token,
+                    reason: Some(reason),
+                } => self.pending_tail.push_back(TailNotice::Stopped {
+                    tail: TailId(token),
+                    reason,
+                }),
+                Response::Error(e) => return Err(ClientError::Server(e)),
+                other => return Ok(other),
+            }
         }
     }
 
@@ -225,6 +295,98 @@ impl Client {
             Response::WorldsThreadsSet { .. } => Ok(()),
             other => Err(ClientError::Protocol(format!(
                 "SetWorldsThreads answered with {other:?}"
+            ))),
+        }
+    }
+
+    /// Registers a `TAIL SELECT ... GROUP BY WINDOW(...)` standing query.
+    ///
+    /// The server pushes one [`TailFrame`] per window bucket as buckets
+    /// close — starting with every bucket that had already closed when
+    /// the subscription was made, so a late subscriber sees the same
+    /// frame sequence an early one did. Consume frames with
+    /// [`Client::tail_next`]; cancel with [`Client::tail_stop`]. The
+    /// subscription also ends when the connection closes or when the
+    /// standing query stops executing server-side (delivered as
+    /// [`TailNotice::Stopped`]).
+    pub fn tail(&mut self, sql: &str) -> Result<TailId, ClientError> {
+        match self.round_trip(&Request::Tail {
+            sql: sql.to_string(),
+        })? {
+            Response::TailStarted { token } => Ok(TailId(token)),
+            other => Err(ClientError::Protocol(format!(
+                "Tail answered with {other:?}"
+            ))),
+        }
+    }
+
+    /// Delivers the next TAIL push: a buffered one if an earlier call set
+    /// one aside, otherwise blocks on the socket until a push arrives or
+    /// `timeout` elapses (`None` = wait indefinitely).
+    ///
+    /// Returns `Ok(None)` on timeout. The timeout is only safe at frame
+    /// boundaries: the server writes each frame in one burst, so a
+    /// timeout mid-frame (which would desynchronise the stream) requires
+    /// the network to stall inside a single small write.
+    pub fn tail_next(
+        &mut self,
+        timeout: Option<Duration>,
+    ) -> Result<Option<TailNotice>, ClientError> {
+        if let Some(notice) = self.pending_tail.pop_front() {
+            return Ok(Some(notice));
+        }
+        self.stream.set_read_timeout(timeout)?;
+        let frame = read_frame::<Response>(&mut self.stream);
+        let restore = self.stream.set_read_timeout(None);
+        let response = match frame {
+            Ok(response) => response,
+            Err(WireError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                restore?;
+                return Ok(None);
+            }
+            Err(e) => return Err(e.into()),
+        };
+        restore?;
+        match response {
+            Response::TailFrame {
+                token,
+                bucket,
+                result,
+            } => Ok(Some(TailNotice::Frame(TailFrame {
+                tail: TailId(token),
+                bucket,
+                result,
+            }))),
+            Response::TailStopped {
+                token,
+                reason: Some(reason),
+            } => Ok(Some(TailNotice::Stopped {
+                tail: TailId(token),
+                reason,
+            })),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Protocol(format!(
+                "unsolicited frame while waiting for a TAIL push: {other:?}"
+            ))),
+        }
+    }
+
+    /// Cancels a TAIL subscription. Frames pushed before the server
+    /// processed the stop may still be delivered by later
+    /// [`Client::tail_next`] calls. Errors with
+    /// [`ClientError::Server`] if the subscription is unknown — including
+    /// when it lapsed server-side an instant earlier (the
+    /// [`TailNotice::Stopped`] explaining why is then already queued).
+    pub fn tail_stop(&mut self, tail: TailId) -> Result<(), ClientError> {
+        match self.round_trip(&Request::TailStop { token: tail.0 })? {
+            Response::TailStopped { .. } => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "TailStop answered with {other:?}"
             ))),
         }
     }

@@ -18,15 +18,34 @@
 //!   DENSITY` — run under the read lock too, since building only reads the
 //!   source table; the write lock is held just long enough to register the
 //!   finished view.
+//!
+//! ## Streaming ingestion
+//!
+//! [`SharedEngine::append_batches`] is the write path of the `tspdb-ingest`
+//! subsystem: a whole flush of per-relation row batches is journaled as one
+//! group commit (one WAL fsync amortized over every batch), applied under
+//! one write lock, and every Ω-view derived from an appended source table
+//! is maintained in place. When the fresh rows are a strict suffix in time
+//! and densities are evaluated directly (no σ-cache), maintenance re-runs
+//! the builder over just the new time interval and *appends* the resulting
+//! tuples — bit-identical to a full rebuild, because per-window density
+//! inference is stateless. Any other shape falls back to the rebuild.
+//! Appends bump only the catalog's *data* generation, so cached plans and
+//! in-flight [`tspdb_probdb::RelationSnapshot`] readers survive a stream of
+//! them untouched.
 
 use crate::builder::ViewBuilderConfig;
 use crate::engine::{build_density_view, series_to_table, Engine, LastBuild};
 use crate::error::CoreError;
 use crate::omega::{OmegaSpec, ProbabilityValue};
 use crate::sigma_cache::{CacheStats, SigmaCache, SigmaCacheConfig};
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
-use std::sync::{Arc, RwLock, RwLockReadGuard};
-use tspdb_probdb::{Database, DbError, QueryOutput, Relation, ScanSource, Statement, Table};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
+use tspdb_probdb::{
+    CmpOp, Comparison, Database, DbError, DensityViewSpec, Planner, QueryOutput, Relation,
+    ScanSource, SelectStmt, Statement, Table, Value,
+};
 use tspdb_storage::{JournalOp, Storage, StorageOptions};
 use tspdb_timeseries::TimeSeries;
 
@@ -114,6 +133,14 @@ pub struct SharedEngine {
     /// The persistent storage engine, when this engine was opened with
     /// [`SharedEngine::open_persistent`]. `None` = purely in-memory.
     storage: Option<Arc<Storage>>,
+    /// Ω-view lineage: view name → the spec it was created from, so
+    /// appends to a source table know which views to maintain. Persisted
+    /// as spec text in the storage meta sidecar at every checkpoint.
+    lineage: Arc<Mutex<BTreeMap<String, DensityViewSpec>>>,
+    /// Relations written since the last checkpoint. An empty set (with an
+    /// empty WAL) means the on-disk file already equals the catalog, so
+    /// checkpoints and evictions skip the rewrite entirely.
+    dirty: Arc<Mutex<BTreeSet<String>>>,
 }
 
 impl Default for SharedEngine {
@@ -130,6 +157,8 @@ impl SharedEngine {
             defaults,
             last_build: Arc::new(RwLock::new(None)),
             storage: None,
+            lineage: Arc::new(Mutex::new(BTreeMap::new())),
+            dirty: Arc::new(Mutex::new(BTreeSet::new())),
         }
     }
 
@@ -142,6 +171,8 @@ impl SharedEngine {
             defaults,
             last_build: Arc::new(RwLock::new(last_build)),
             storage: None,
+            lineage: Arc::new(Mutex::new(BTreeMap::new())),
+            dirty: Arc::new(Mutex::new(BTreeSet::new())),
         }
     }
 
@@ -172,6 +203,8 @@ impl SharedEngine {
             defaults,
             last_build: Arc::new(RwLock::new(None)),
             storage: Some(Arc::clone(&storage)),
+            lineage: Arc::new(Mutex::new(BTreeMap::new())),
+            dirty: Arc::new(Mutex::new(BTreeSet::new())),
         };
         {
             let mut catalog = engine.catalog.write().expect("catalog lock poisoned");
@@ -181,6 +214,16 @@ impl SharedEngine {
                     match relation {
                         Relation::Deterministic(t) => catalog.register_table(t)?,
                         Relation::Probabilistic(t) => catalog.register_prob_table(t)?,
+                    }
+                }
+            }
+            // 1b. Ω-view lineage from the meta sidecar, so replayed appends
+            // maintain the views the checkpointed catalog already derives.
+            if let Some(meta) = storage.get_meta().map_err(DbError::from)? {
+                let mut lineage = engine.lineage.lock().unwrap_or_else(|e| e.into_inner());
+                for line in meta.lines().map(str::trim).filter(|l| !l.is_empty()) {
+                    if let Ok(Statement::CreateDensityView(spec)) = tspdb_probdb::parse(line) {
+                        lineage.insert(spec.view_name.clone(), spec);
                     }
                 }
             }
@@ -216,8 +259,21 @@ impl SharedEngine {
                 for row in rows {
                     table.insert(row.clone())?;
                 }
+                self.mark_dirty(std::iter::once(name.clone()));
                 catalog.register_table(table)?;
             }
+            JournalOp::AppendRows { table, rows, probs } => match probs {
+                // The streaming path journals only the deterministic source
+                // rows; dependent Ω-views are re-derived on replay, exactly
+                // as they were derived when the batch first landed.
+                None => {
+                    self.apply_append(catalog, table, rows.clone())?;
+                }
+                Some(probs) => {
+                    self.mark_dirty(std::iter::once(table.clone()));
+                    catalog.append_prob_rows(table, rows.clone(), probs.clone())?;
+                }
+            },
         }
         Ok(())
     }
@@ -232,6 +288,7 @@ impl SharedEngine {
         catalog: &mut Database,
         stmt: Statement,
     ) -> Result<QueryOutput, CoreError> {
+        self.mark_dirty(statement_dirty_targets(&stmt));
         match stmt {
             Statement::CreateDensityView(spec) => {
                 let (view, built) = build_density_view(catalog, self.defaults, &spec)?;
@@ -240,9 +297,26 @@ impl SharedEngine {
                     view_name: spec.view_name.clone(),
                     built,
                 });
+                self.lineage
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert(spec.view_name.clone(), spec);
                 Ok(QueryOutput::None)
             }
-            other => catalog.execute_parsed(other).map_err(CoreError::from),
+            other => {
+                let dropped = match &other {
+                    Statement::Drop { name } => Some(name.clone()),
+                    _ => None,
+                };
+                let out = catalog.execute_parsed(other).map_err(CoreError::from)?;
+                if let Some(name) = dropped {
+                    self.lineage
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .remove(&name);
+                }
+                Ok(out)
+            }
         }
     }
 
@@ -255,6 +329,19 @@ impl SharedEngine {
         catalog: &mut Database,
         storage: &Storage,
     ) -> Result<(), CoreError> {
+        // Clean skip: no relation was written since the last checkpoint
+        // and the WAL holds no records past the floor, so the on-disk
+        // file already equals the catalog — rewriting it would only burn
+        // write bandwidth.
+        let clean = self
+            .dirty
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_empty()
+            && storage.wal_bytes().map_err(DbError::from)? == 0;
+        if clean {
+            return Ok(());
+        }
         let names = catalog.all_relation_names();
         for name in &names {
             catalog.ensure_resident(name)?;
@@ -266,7 +353,20 @@ impl SharedEngine {
         storage
             .checkpoint(&relations)
             .map_err(DbError::from)
-            .map_err(CoreError::from)
+            .map_err(CoreError::from)?;
+        // Persist Ω-view lineage alongside the checkpoint so a reopened
+        // engine keeps maintaining the same views under replayed appends.
+        let meta = {
+            let lineage = self.lineage.lock().unwrap_or_else(|e| e.into_inner());
+            lineage
+                .values()
+                .map(|spec| spec.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        storage.put_meta(&meta).map_err(DbError::from)?;
+        self.dirty.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        Ok(())
     }
 
     /// Forces a checkpoint now: rewrites the database file from the
@@ -284,12 +384,24 @@ impl SharedEngine {
     /// while keeping its synopses; subsequent scans are served from disk
     /// through the page cache — with bit-identical query results, which is
     /// what the persistence differential tests pin down.
+    ///
+    /// A relation that has seen no writes since the last checkpoint (its
+    /// on-disk copy is already current) skips the checkpoint rewrite and
+    /// is evicted directly.
     pub fn evict_to_disk(&self, name: &str) -> Result<(), CoreError> {
         let storage = self.storage.as_ref().ok_or_else(|| {
             CoreError::Db(DbError::Storage("engine has no data directory".into()))
         })?;
         let mut catalog = self.catalog.write().expect("catalog lock poisoned");
-        self.checkpoint_locked(&mut catalog, storage)?;
+        let clean = !self
+            .dirty
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .contains(name)
+            && storage.relation_names().iter().any(|n| n == name);
+        if !clean {
+            self.checkpoint_locked(&mut catalog, storage)?;
+        }
         catalog.evict_relation(name)?;
         Ok(())
     }
@@ -308,16 +420,67 @@ impl SharedEngine {
 
     /// [`SharedEngine::query`] through the catalog's shared plan cache:
     /// hot statements skip parse+plan across *all* sessions. Semantics
-    /// are identical to [`SharedEngine::query`] — every DDL/write bumps
-    /// the catalog generation, which invalidates cached plans.
+    /// are identical to [`SharedEngine::query`] — DDL bumps the catalog
+    /// generation, which invalidates cached plans (tuple-only appends
+    /// bump a separate data generation and leave plans standing).
+    ///
+    /// This is the MVCC read path: the read lock is held only long enough
+    /// to resolve the plan and clone an immutable [`RelationSnapshot`]
+    /// (`Arc`s of the relation rung, synopses and shard layout); the
+    /// query then executes entirely outside the lock while appends land
+    /// new rungs next to it.
+    ///
+    /// [`RelationSnapshot`]: tspdb_probdb::RelationSnapshot
     pub fn query_cached(&self, sql: &str) -> Result<QueryOutput, CoreError> {
-        self.read().query_cached(sql).map_err(CoreError::from)
+        let (planned, snap, threads) = {
+            let catalog = self.read();
+            let planned = match catalog.cached_plan(sql) {
+                Some(planned) => planned,
+                None => match tspdb_probdb::parse(sql)? {
+                    Statement::Select(sel) => catalog.plan_select_cached(sql, &sel)?,
+                    Statement::Explain(sel) => {
+                        return catalog.explain_select(&sel).map_err(CoreError::from)
+                    }
+                    other => return Err(CoreError::Db(DbError::ReadOnly(format!("{other:?}")))),
+                },
+            };
+            let snap = catalog.snapshot(&planned.physical.table)?;
+            (planned, snap, catalog.worlds_threads())
+        };
+        planned
+            .strategy_with_context(threads, snap.synopses, snap.shards)
+            .execute(&snap.relation, &planned.physical)
+            .map_err(CoreError::from)
+    }
+
+    /// Plans and executes one already-parsed `SELECT` against an immutable
+    /// relation snapshot, holding the read lock only for plan + snapshot —
+    /// the entry point standing (TAIL) queries re-run on every emission
+    /// without ever blocking the write path mid-scan.
+    pub fn query_select_snapshot(&self, sel: &SelectStmt) -> Result<QueryOutput, CoreError> {
+        let (planned, snap, threads) = {
+            let catalog = self.read();
+            let planned = Planner::plan(sel).map_err(CoreError::from)?;
+            let snap = catalog.snapshot(&planned.physical.table)?;
+            (planned, snap, catalog.worlds_threads())
+        };
+        planned
+            .strategy_with_context(threads, snap.synopses, snap.shards)
+            .execute(&snap.relation, &planned.physical)
+            .map_err(CoreError::from)
     }
 
     /// The catalog generation (bumped by every DDL/write; keys the plan
     /// cache).
     pub fn catalog_generation(&self) -> u64 {
         self.read().generation()
+    }
+
+    /// The catalog's *data* generation — bumped by every tuple-only write
+    /// (`INSERT`, streaming appends). TAIL polling uses this as its cheap
+    /// "anything new?" check before re-running a standing query.
+    pub fn data_generation(&self) -> u64 {
+        self.read().data_generation()
     }
 
     /// Plan-cache effectiveness counters, for diagnostics and benches.
@@ -383,6 +546,14 @@ impl SharedEngine {
         sql: Option<&str>,
         stmt: tspdb_probdb::Statement,
     ) -> Result<QueryOutput, CoreError> {
+        // TAIL registers a continuous query; there is no one-shot answer
+        // to produce and nothing to redo on recovery. Reject it *before*
+        // the journaling branch so the statement never reaches the WAL.
+        if matches!(stmt, Statement::Tail(_)) {
+            return Err(CoreError::Db(DbError::Unsupported(
+                "TAIL is a continuous query; submit it over the server wire protocol".into(),
+            )));
+        }
         let mutating = !matches!(stmt, Statement::Select(_) | Statement::Explain(_));
         if let (Some(storage), true) = (&self.storage, mutating) {
             let Some(sql) = sql else {
@@ -415,6 +586,10 @@ impl SharedEngine {
                         built,
                     });
                 }
+                self.lineage
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert(spec.view_name.clone(), spec);
                 Ok(QueryOutput::None)
             }
             tspdb_probdb::Statement::Select(sel) => {
@@ -423,13 +598,164 @@ impl SharedEngine {
             tspdb_probdb::Statement::Explain(sel) => {
                 self.read().explain_select(&sel).map_err(CoreError::from)
             }
-            other => self
-                .catalog
-                .write()
-                .expect("catalog lock poisoned")
-                .execute_parsed(other)
-                .map_err(CoreError::from),
+            other => {
+                let dropped = match &other {
+                    Statement::Drop { name } => Some(name.clone()),
+                    _ => None,
+                };
+                let out = self
+                    .catalog
+                    .write()
+                    .expect("catalog lock poisoned")
+                    .execute_parsed(other)
+                    .map_err(CoreError::from)?;
+                if let Some(name) = dropped {
+                    self.lineage
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .remove(&name);
+                }
+                Ok(out)
+            }
         }
+    }
+
+    /// Appends `rows` to one deterministic table — a single-batch
+    /// [`SharedEngine::append_batches`].
+    pub fn append_rows(&self, table: &str, rows: Vec<Vec<Value>>) -> Result<usize, CoreError> {
+        self.append_batches(vec![(table.to_string(), rows)])
+    }
+
+    /// The streaming-ingestion write path: lands a whole flush of
+    /// per-relation row batches in one **group commit**.
+    ///
+    /// On a persistent engine, every batch is encoded as one
+    /// [`JournalOp::AppendRows`] record and the whole flush hits the WAL
+    /// with a *single* fsync — durability cost is amortized over every row
+    /// in the flush instead of paid per statement. The batches are then
+    /// applied in order under one write lock; each one validates its rows
+    /// atomically, swaps a fresh relation rung in (snapshot readers keep
+    /// the old rung), bumps only the *data* generation (cached plans
+    /// survive) and maintains any Ω-views derived from the table.
+    ///
+    /// A batch that fails validation is skipped — later batches still
+    /// apply, mirroring WAL replay (which ignores per-op errors because
+    /// deterministic failures repeat identically) — and the first error is
+    /// returned. Returns the number of rows appended.
+    pub fn append_batches(
+        &self,
+        batches: Vec<(String, Vec<Vec<Value>>)>,
+    ) -> Result<usize, CoreError> {
+        if batches.is_empty() {
+            return Ok(0);
+        }
+        let mut catalog = self.catalog.write().expect("catalog lock poisoned");
+        if let Some(storage) = &self.storage {
+            let ops: Vec<JournalOp> = batches
+                .iter()
+                .map(|(table, rows)| JournalOp::AppendRows {
+                    table: table.clone(),
+                    rows: rows.clone(),
+                    probs: None,
+                })
+                .collect();
+            storage.log_batch(&ops).map_err(DbError::from)?;
+        }
+        let mut appended = 0usize;
+        let mut first_err: Option<CoreError> = None;
+        for (table, rows) in batches {
+            match self.apply_append(&mut catalog, &table, rows) {
+                Ok(n) => appended += n,
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        if let Some(storage) = &self.storage {
+            if storage.wal_bytes().map_err(DbError::from)? >= WAL_AUTOCHECKPOINT_BYTES {
+                self.checkpoint_locked(&mut catalog, storage)?;
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(appended),
+        }
+    }
+
+    /// Applies one already-journaled append batch: source rows in, dirty
+    /// bookkeeping, then maintenance of every dependent Ω-view.
+    fn apply_append(
+        &self,
+        catalog: &mut Database,
+        table: &str,
+        rows: Vec<Vec<Value>>,
+    ) -> Result<usize, CoreError> {
+        let appended = catalog.append_rows(table, rows)?;
+        self.mark_dirty(std::iter::once(table.to_string()));
+        self.maintain_dependent_views(catalog, table, appended)?;
+        Ok(appended)
+    }
+
+    /// Brings every Ω-view derived from `source` up to date after
+    /// `appended` fresh source rows.
+    ///
+    /// When the new rows form a strict suffix in time (every new timestamp
+    /// greater than every old one) **and** densities are evaluated
+    /// directly (`defaults.cache == None`), the builder re-runs over just
+    /// the new interval and the produced tuples are *appended* to the
+    /// view. That is bit-identical to a full rebuild: per-window density
+    /// inference is stateless, the builder walks the series in time order,
+    /// and the view's synopses absorb the suffix through the same stable
+    /// merge a rebuild would sort through. A σ-cache build quantizes
+    /// against the σ̂ range of the *whole* view, so with a cache configured
+    /// — or on backfill — maintenance falls back to the full rebuild
+    /// (which bumps the DDL generation like any re-registration).
+    fn maintain_dependent_views(
+        &self,
+        catalog: &mut Database,
+        source: &str,
+        appended: usize,
+    ) -> Result<(), CoreError> {
+        if appended == 0 {
+            return Ok(());
+        }
+        let specs: Vec<DensityViewSpec> = {
+            let lineage = self.lineage.lock().unwrap_or_else(|e| e.into_inner());
+            lineage
+                .values()
+                .filter(|spec| spec.source_table == source)
+                .cloned()
+                .collect()
+        };
+        for spec in specs {
+            let floor = monotone_suffix_floor(catalog, &spec, appended)?;
+            match floor {
+                Some(floor) if self.defaults.cache.is_none() => {
+                    let mut suffix = spec.clone();
+                    suffix.predicate.push(Comparison::new(
+                        spec.time_column.clone(),
+                        CmpOp::Gt,
+                        Value::Int(floor),
+                    ));
+                    let (view, _) = build_density_view(catalog, self.defaults, &suffix)?;
+                    let rows = view.rows().to_vec();
+                    let probs = view.probs().to_vec();
+                    catalog.append_prob_rows(&spec.view_name, rows, probs)?;
+                }
+                _ => {
+                    let (view, _) = build_density_view(catalog, self.defaults, &spec)?;
+                    catalog.register_prob_table(view)?;
+                }
+            }
+            self.mark_dirty(std::iter::once(spec.view_name.clone()));
+        }
+        Ok(())
+    }
+
+    /// Records relations written since the last checkpoint.
+    fn mark_dirty<I: IntoIterator<Item = String>>(&self, names: I) {
+        self.dirty
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .extend(names);
     }
 
     /// Loads a time series as a `(t INT, <value_col> FLOAT)` table (write
@@ -453,6 +779,7 @@ impl SharedEngine {
                     rows: table.rows().to_vec(),
                 })
                 .map_err(DbError::from)?;
+            self.mark_dirty(std::iter::once(table.name().to_string()));
         }
         catalog.register_table(table)?;
         Ok(())
@@ -476,6 +803,55 @@ impl SharedEngine {
     pub fn set_worlds_threads(&self, threads: usize) {
         self.read().set_worlds_threads(threads);
     }
+}
+
+/// The relations a mutating statement writes — what the dirty tracker
+/// records before the statement applies. Conservative by construction:
+/// marking too much only costs a checkpoint rewrite, marking too little
+/// would lose data on a skipped one, so the match is exhaustive and any
+/// new mutating variant must name its targets here.
+fn statement_dirty_targets(stmt: &Statement) -> Vec<String> {
+    match stmt {
+        Statement::CreateTable { name, .. } | Statement::Drop { name } => vec![name.clone()],
+        Statement::Insert { table, .. } => vec![table.clone()],
+        Statement::CreateDensityView(spec) => vec![spec.view_name.clone()],
+        Statement::Select(_) | Statement::Explain(_) | Statement::Tail(_) => vec![],
+    }
+}
+
+/// If the `appended` newest rows of a view's source table all carry
+/// timestamps strictly greater than every pre-existing one, returns that
+/// old maximum — the time floor the incremental suffix build starts
+/// after. `None` (history empty, a backfilled timestamp, or a non-integer
+/// time cell) sends maintenance down the full-rebuild path.
+fn monotone_suffix_floor(
+    catalog: &Database,
+    spec: &DensityViewSpec,
+    appended: usize,
+) -> Result<Option<i64>, CoreError> {
+    let table = catalog.table(&spec.source_table).map_err(CoreError::from)?;
+    let Ok(t_idx) = table.schema().index_of(&spec.time_column) else {
+        return Ok(None);
+    };
+    let rows = table.rows();
+    let old_len = rows.len().saturating_sub(appended);
+    if old_len == 0 {
+        return Ok(None);
+    }
+    let mut old_max = i64::MIN;
+    for row in &rows[..old_len] {
+        match row[t_idx].as_i64() {
+            Some(t) => old_max = old_max.max(t),
+            None => return Ok(None),
+        }
+    }
+    for row in &rows[old_len..] {
+        match row[t_idx].as_i64() {
+            Some(t) if t > old_max => {}
+            _ => return Ok(None),
+        }
+    }
+    Ok(Some(old_max))
 }
 
 #[cfg(test)]
@@ -721,6 +1097,325 @@ mod tests {
         assert_eq!(rows_before, rows_after);
         assert_eq!(shared.last_build().unwrap().view_name, "pv");
         assert!(shared.read().prob_table("pv").is_ok());
+    }
+
+    /// Self-cleaning temp dir for the persistent-engine tests (no
+    /// external crates in the offline build).
+    struct TempDir(std::path::PathBuf);
+
+    impl TempDir {
+        fn new() -> TempDir {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static NEXT: AtomicU64 = AtomicU64::new(0);
+            let path = std::env::temp_dir().join(format!(
+                "tspdb-concurrent-test-{}-{}",
+                std::process::id(),
+                NEXT.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&path).unwrap();
+            TempDir(path)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    /// Deterministic synthetic series: strictly increasing integer times,
+    /// smooth values — the shape the ingest subsystem streams.
+    fn synthetic_rows(range: std::ops::Range<i64>) -> Vec<Vec<tspdb_probdb::Value>> {
+        use tspdb_probdb::Value;
+        range
+            .map(|t| {
+                let v = 20.0 + 3.0 * ((t as f64) * 0.21).sin() + 0.01 * (t % 7) as f64;
+                vec![Value::Int(t), Value::Float(v)]
+            })
+            .collect()
+    }
+
+    /// A config whose densities are evaluated directly (no σ-cache) —
+    /// the mode whose incremental maintenance is bit-identical.
+    fn direct_config() -> ViewBuilderConfig {
+        ViewBuilderConfig {
+            window: 30,
+            metric_config: MetricConfig {
+                p: 1,
+                q: 0,
+                ..MetricConfig::default()
+            },
+            cache: None,
+            threads: 1,
+            ..ViewBuilderConfig::default()
+        }
+    }
+
+    fn engine_with_rows(config: ViewBuilderConfig, upto: i64) -> SharedEngine {
+        let engine = SharedEngine::new(config);
+        engine
+            .execute("CREATE TABLE raw_values (t INT, r FLOAT)")
+            .unwrap();
+        engine
+            .append_rows("raw_values", synthetic_rows(0..upto))
+            .unwrap();
+        engine
+            .execute("CREATE VIEW pv AS DENSITY r OVER t OMEGA delta=0.5, n=6 FROM raw_values")
+            .unwrap();
+        engine
+    }
+
+    #[test]
+    fn monotone_appends_maintain_views_incrementally_and_bit_identically() {
+        // Incremental: view created over 100 rows, then three streamed
+        // suffix batches. Scratch twin: all 130 rows first, view built once.
+        let engine = engine_with_rows(direct_config(), 100);
+        let ddl_gen = engine.catalog_generation();
+        let data_gen = engine.data_generation();
+        engine
+            .append_rows("raw_values", synthetic_rows(100..110))
+            .unwrap();
+        engine
+            .append_rows("raw_values", synthetic_rows(110..111))
+            .unwrap();
+        engine
+            .append_rows("raw_values", synthetic_rows(111..130))
+            .unwrap();
+        assert_eq!(
+            engine.catalog_generation(),
+            ddl_gen,
+            "suffix maintenance must not re-register the view (DDL generation moved)"
+        );
+        assert!(engine.data_generation() > data_gen);
+
+        let twin = engine_with_rows(direct_config(), 130);
+        let sql = "SELECT * FROM pv";
+        assert_eq!(engine.query(sql).unwrap(), twin.query(sql).unwrap());
+        // Synopses absorbed the suffix through the stable merge: equal to
+        // the rebuild's from-scratch sort, retained runs included.
+        let (a, b) = (
+            engine.read().synopses("pv").unwrap(),
+            twin.read().synopses("pv").unwrap(),
+        );
+        assert_eq!(*a, *b);
+        // And derived answers agree across every strategy surface.
+        let agg = "SELECT COUNT(*) FROM pv GROUP BY WINDOW(t, 16)";
+        assert_eq!(engine.query(agg).unwrap(), twin.query(agg).unwrap());
+    }
+
+    #[test]
+    fn backfill_appends_fall_back_to_a_full_rebuild() {
+        let engine2 = engine_with_rows(direct_config(), 100);
+        let ddl_gen = engine2.catalog_generation();
+        // New rows strictly *before* existing history: not a suffix.
+        engine2
+            .append_rows("raw_values", synthetic_rows(-20..0))
+            .unwrap();
+        assert!(
+            engine2.catalog_generation() > ddl_gen,
+            "backfill must take the rebuild path (re-registration bumps DDL generation)"
+        );
+        let twin = SharedEngine::new(direct_config());
+        twin.execute("CREATE TABLE raw_values (t INT, r FLOAT)")
+            .unwrap();
+        let mut all = synthetic_rows(0..100);
+        all.extend(synthetic_rows(-20..0));
+        twin.append_rows("raw_values", all).unwrap();
+        twin.execute("CREATE VIEW pv AS DENSITY r OVER t OMEGA delta=0.5, n=6 FROM raw_values")
+            .unwrap();
+        let sql = "SELECT * FROM pv";
+        assert_eq!(engine2.query(sql).unwrap(), twin.query(sql).unwrap());
+    }
+
+    #[test]
+    fn append_batches_group_commits_with_one_fsync_and_recovers() {
+        let dir = TempDir::new();
+        let engine = SharedEngine::open_persistent(&dir.0, direct_config()).unwrap();
+        engine.execute("CREATE TABLE kv (k INT, v FLOAT)").unwrap();
+        let storage = Arc::clone(engine.storage().unwrap());
+        let before = storage.wal_fsyncs();
+        // Three relations' batches in one flush: one WAL fsync total.
+        engine
+            .append_batches(vec![
+                ("kv".into(), synthetic_rows(0..40)),
+                ("kv".into(), synthetic_rows(40..64)),
+                ("kv".into(), synthetic_rows(64..100)),
+            ])
+            .unwrap();
+        assert_eq!(storage.wal_fsyncs(), before + 1, "group commit = one fsync");
+        assert_eq!(
+            engine
+                .query("SELECT * FROM kv")
+                .unwrap()
+                .rows()
+                .unwrap()
+                .len(),
+            100
+        );
+        drop(engine);
+        // The batch is redo-logged: a reopen replays it verbatim.
+        let reopened = SharedEngine::open_persistent(&dir.0, direct_config()).unwrap();
+        assert_eq!(
+            reopened
+                .query("SELECT * FROM kv")
+                .unwrap()
+                .rows()
+                .unwrap()
+                .len(),
+            100
+        );
+    }
+
+    #[test]
+    fn append_batch_errors_skip_the_batch_but_keep_later_ones() {
+        use tspdb_probdb::Value;
+        let engine = SharedEngine::new(direct_config());
+        engine.execute("CREATE TABLE kv (k INT, v FLOAT)").unwrap();
+        let err = engine
+            .append_batches(vec![
+                ("kv".into(), synthetic_rows(0..3)),
+                // Arity mismatch rejects this whole batch atomically…
+                ("kv".into(), vec![vec![Value::Int(9)]]),
+                // …while later batches still land (mirrors WAL replay).
+                ("kv".into(), synthetic_rows(3..5)),
+            ])
+            .unwrap_err();
+        assert!(format!("{err}").contains("arity") || format!("{err:?}").contains("Arity"));
+        assert_eq!(
+            engine
+                .query("SELECT * FROM kv")
+                .unwrap()
+                .rows()
+                .unwrap()
+                .len(),
+            5
+        );
+    }
+
+    #[test]
+    fn tail_statements_are_rejected_before_the_journal() {
+        let dir = TempDir::new();
+        let engine = SharedEngine::open_persistent(&dir.0, direct_config()).unwrap();
+        engine.execute("CREATE TABLE kv (k INT, v FLOAT)").unwrap();
+        let storage = Arc::clone(engine.storage().unwrap());
+        let wal_before = storage.wal_bytes().unwrap();
+        let err = engine
+            .execute("TAIL SELECT COUNT(*) FROM kv GROUP BY WINDOW(k, 10)")
+            .unwrap_err();
+        assert!(format!("{err}").contains("continuous query"), "{err}");
+        assert_eq!(
+            storage.wal_bytes().unwrap(),
+            wal_before,
+            "a rejected TAIL must never reach the WAL"
+        );
+    }
+
+    #[test]
+    fn clean_engines_skip_checkpoint_rewrites() {
+        let dir = TempDir::new();
+        let engine = SharedEngine::open_persistent(&dir.0, direct_config()).unwrap();
+        engine.execute("CREATE TABLE kv (k INT, v FLOAT)").unwrap();
+        engine.append_rows("kv", synthetic_rows(0..10)).unwrap();
+        engine.checkpoint().unwrap();
+        let db_file = dir.0.join(tspdb_storage::DB_FILE);
+        let written = std::fs::metadata(&db_file).unwrap().modified().unwrap();
+        // Nothing changed since: the rewrite is skipped wholesale.
+        engine.checkpoint().unwrap();
+        assert_eq!(
+            std::fs::metadata(&db_file).unwrap().modified().unwrap(),
+            written,
+            "clean checkpoint rewrote the database file"
+        );
+        // Evicting a clean relation also skips the rewrite, and disk
+        // still serves the current tuples.
+        engine.evict_to_disk("kv").unwrap();
+        assert_eq!(
+            std::fs::metadata(&db_file).unwrap().modified().unwrap(),
+            written
+        );
+        assert_eq!(
+            engine
+                .query("SELECT * FROM kv")
+                .unwrap()
+                .rows()
+                .unwrap()
+                .len(),
+            10
+        );
+        // A new append re-dirties: the next checkpoint writes again.
+        engine.append_rows("kv", synthetic_rows(10..12)).unwrap();
+        engine.checkpoint().unwrap();
+        assert_ne!(
+            std::fs::metadata(&db_file).unwrap().modified().unwrap(),
+            written,
+            "dirty checkpoint must rewrite the database file"
+        );
+    }
+
+    #[test]
+    fn view_maintenance_survives_restart_via_the_lineage_sidecar() {
+        let dir = TempDir::new();
+        {
+            let engine = SharedEngine::open_persistent(&dir.0, direct_config()).unwrap();
+            engine
+                .execute("CREATE TABLE raw_values (t INT, r FLOAT)")
+                .unwrap();
+            engine
+                .append_rows("raw_values", synthetic_rows(0..60))
+                .unwrap();
+            engine
+                .execute("CREATE VIEW pv AS DENSITY r OVER t OMEGA delta=0.5, n=6 FROM raw_values")
+                .unwrap();
+            engine.checkpoint().unwrap();
+        }
+        // The reopened engine only knows pv through the meta sidecar (the
+        // CREATE VIEW is below the checkpoint floor, so replay never sees
+        // it) — streamed appends must still maintain the view.
+        let engine = SharedEngine::open_persistent(&dir.0, direct_config()).unwrap();
+        engine
+            .append_rows("raw_values", synthetic_rows(60..90))
+            .unwrap();
+        let twin = engine_with_rows(direct_config(), 90);
+        let sql = "SELECT * FROM pv";
+        assert_eq!(engine.query(sql).unwrap(), twin.query(sql).unwrap());
+        // And the maintained state is what a crash recovery reproduces.
+        drop(engine);
+        let reopened = SharedEngine::open_persistent(&dir.0, direct_config()).unwrap();
+        assert_eq!(reopened.query(sql).unwrap(), twin.query(sql).unwrap());
+    }
+
+    #[test]
+    fn snapshot_reads_keep_serving_while_appends_land() {
+        let engine = engine_with_rows(direct_config(), 60);
+        let sql = "SELECT * FROM pv WHERE prob >= 0.0";
+        let start = engine.query_cached(sql).unwrap().prob_rows().unwrap().len();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let reader = engine.clone();
+                s.spawn(move || {
+                    let mut last = start;
+                    for _ in 0..40 {
+                        let n = reader.query_cached(sql).unwrap().prob_rows().unwrap().len();
+                        // Monotone stream + MVCC snapshots: row counts only grow.
+                        assert!(n >= last, "snapshot went backwards: {n} < {last}");
+                        last = n;
+                    }
+                });
+            }
+            let writer = engine.clone();
+            s.spawn(move || {
+                for t in 60..110 {
+                    writer
+                        .append_rows("raw_values", synthetic_rows(t..t + 1))
+                        .unwrap();
+                }
+            });
+        });
+        let end = engine.query_cached(sql).unwrap().prob_rows().unwrap().len();
+        assert!(end > start);
+        // The whole stream of appends kept every cached plan standing.
+        let stats = engine.plan_cache_stats();
+        assert_eq!(stats.invalidations, 0, "{stats:?}");
     }
 
     #[test]

@@ -24,12 +24,12 @@ use crate::schema::Schema;
 use crate::shard::ShardMap;
 use crate::sql::{parse, DensityViewSpec, SelectStmt, Statement};
 use crate::table::{ProbTable, Table};
-use crate::value::ColumnType;
+use crate::value::{ColumnType, Value};
 use crate::worlds::WorldsResult;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use tspdb_stats::synopsis::ProbHistogram;
+use tspdb_stats::synopsis::{merge_sorted_pairs, ProbHistogram};
 
 /// Probabilistic views at or above this tuple count are sharded
 /// automatically on registration (below it, a scan is cheap enough that
@@ -57,30 +57,73 @@ pub struct RelationSynopses {
     buckets: usize,
     tuples: usize,
     columns: BTreeMap<String, ProbHistogram>,
+    /// The canonical sorted `(value, probability)` run each histogram was
+    /// built from, retained per column so an append can stable-merge the
+    /// new tuples' run into it and rebuild buckets from the merged run —
+    /// bit-identical to a from-scratch build over the whole view, without
+    /// re-sorting the old tuples (the Cormode & Garofalakis incremental
+    /// recipe). Empty on [`RelationSynopses::merge_to`]-derived copies,
+    /// which are per-query throwaways never appended to.
+    pairs: BTreeMap<String, Vec<(f64, f64)>>,
 }
 
 impl RelationSynopses {
     /// Builds `buckets`-bucket histograms for every numeric column of the
     /// view (text columns have no value order to bucket and are skipped).
     pub fn build(t: &ProbTable, buckets: usize) -> Self {
+        Self::build_from(t, 0, buckets, &BTreeMap::new())
+    }
+
+    /// The incremental form of [`RelationSynopses::build`]: `self` must
+    /// summarise exactly the first `from_row` rows of `t`; the result
+    /// summarises all of `t` and is **bit-identical** to
+    /// `RelationSynopses::build(t, self.buckets)`. Only the appended
+    /// suffix is extracted and sorted; the retained runs absorb it by
+    /// stable merge.
+    pub fn append_from(&self, t: &ProbTable, from_row: usize) -> Self {
+        Self::build_from(t, from_row, self.buckets, &self.pairs)
+    }
+
+    fn build_from(
+        t: &ProbTable,
+        from_row: usize,
+        buckets: usize,
+        base: &BTreeMap<String, Vec<(f64, f64)>>,
+    ) -> Self {
         let mut columns = BTreeMap::new();
+        let mut pairs = BTreeMap::new();
         for c in 0..t.schema().arity() {
             let (name, ty) = t.schema().column(c);
             if ty == ColumnType::Text {
                 continue;
             }
-            let pairs: Vec<(f64, f64)> = t
-                .rows()
-                .iter()
-                .zip(t.probs())
-                .filter_map(|(row, &p)| row[c].as_f64().map(|v| (v, p)))
-                .collect();
-            columns.insert(name.to_string(), ProbHistogram::build(pairs, buckets));
+            // A column without a retained run (never the case for
+            // catalog-built synopses; schemas are fixed per view) falls
+            // back to extracting the whole column from row 0.
+            let start = if base.contains_key(name) { from_row } else { 0 };
+            let delta = ProbHistogram::prepare_pairs(
+                t.rows()[start..]
+                    .iter()
+                    .zip(&t.probs()[start..])
+                    .filter_map(|(row, &p)| row[c].as_f64().map(|v| (v, p)))
+                    .collect(),
+            );
+            // A stable merge of two stably-sorted runs (base first on
+            // ties) is exactly the stable sort of their concatenation, so
+            // the merged run — and every bucket built from it — matches a
+            // from-scratch build bit for bit.
+            let run = match base.get(name) {
+                Some(b) => merge_sorted_pairs(b, &delta),
+                None => delta,
+            };
+            columns.insert(name.to_string(), ProbHistogram::from_sorted(&run, buckets));
+            pairs.insert(name.to_string(), run);
         }
         RelationSynopses {
             buckets,
             tuples: t.len(),
             columns,
+            pairs,
         }
     }
 
@@ -122,6 +165,9 @@ impl RelationSynopses {
                 .iter()
                 .map(|(name, hist)| (name.clone(), hist.merge_to(buckets)))
                 .collect(),
+            // Coarsened copies are per-query throwaways; cloning the runs
+            // into them would only burn memory.
+            pairs: BTreeMap::new(),
         }
     }
 }
@@ -133,6 +179,21 @@ pub enum Relation {
     Deterministic(Table),
     /// Tuple-independent probabilistic view.
     Probabilistic(ProbTable),
+}
+
+/// An immutable, internally-consistent snapshot of one relation and the
+/// derived structures a query strategy consumes — see
+/// [`Database::snapshot`]. All three `Arc`s were taken under the same
+/// catalog borrow, so the synopses and shard layout always describe
+/// exactly the tuples in `relation`.
+#[derive(Debug, Clone)]
+pub struct RelationSnapshot {
+    /// The relation rung.
+    pub relation: Arc<Relation>,
+    /// Precomputed histogram synopses (probabilistic views only).
+    pub synopses: Option<Arc<RelationSynopses>>,
+    /// Shard layout (sharded probabilistic views only).
+    pub shards: Option<Arc<ShardMap>>,
 }
 
 /// Result of executing one statement.
@@ -236,7 +297,12 @@ pub trait ScanSource: std::fmt::Debug + Send + Sync {
 /// An in-memory database of named relations.
 #[derive(Debug, Default)]
 pub struct Database {
-    relations: BTreeMap<String, Relation>,
+    /// The relation rungs, in the σ-cache idiom: each relation sits behind
+    /// an immutable [`Arc`] snapshot. Writes swap in a new rung
+    /// ([`Arc::make_mut`] copies only when a reader still holds the old
+    /// one), so a query path that cloned the `Arc` keeps executing against
+    /// a consistent MVCC-style snapshot while appends land.
+    relations: BTreeMap<String, Arc<Relation>>,
     /// Fallback relation provider consulted when `relations` misses (the
     /// persistent storage engine, when the database runs on one).
     scan_source: Option<Arc<dyn ScanSource>>,
@@ -256,10 +322,17 @@ pub struct Database {
     /// count, re-applied whenever the view is re-registered. Auto-sharded
     /// views have no spec and are re-derived from their size.
     shard_specs: BTreeMap<String, (String, usize)>,
-    /// Catalog generation: bumped by every DDL/write. Cached plans are
-    /// keyed by the generation they were planned under and lazily evicted
-    /// when it moves on.
+    /// Catalog (DDL) generation: bumped by every statement that changes
+    /// the *shape* of the catalog — CREATE/DROP, view re-registration,
+    /// shard re-layout. Cached plans are keyed by the generation they were
+    /// planned under and lazily evicted when it moves on.
     generation: AtomicU64,
+    /// Data generation: bumped by writes that only add tuples (INSERT and
+    /// the batched append paths). Kept separate from the DDL generation so
+    /// cached plans — which embed no tuple-derived state — survive pure
+    /// appends; observers that need "did any data change?" (TAIL polling,
+    /// dirty-relation checkpoint tracking) watch this counter instead.
+    data_generation: AtomicU64,
     /// Shared plan cache (see [`crate::plan_cache`]). Interior-mutable so
     /// the concurrent read path (`&self`) can record hits and insert
     /// freshly-planned statements.
@@ -300,6 +373,17 @@ impl Database {
 
     fn bump_generation(&self) {
         self.generation.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The data generation: bumped by tuple-only writes (INSERT/appends),
+    /// which deliberately do **not** move the DDL generation — plans stay
+    /// cached across pure appends.
+    pub fn data_generation(&self) -> u64 {
+        self.data_generation.load(Ordering::Relaxed)
+    }
+
+    fn bump_data_generation(&self) {
+        self.data_generation.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Plan-cache effectiveness counters.
@@ -440,7 +524,7 @@ impl Database {
         match self.scan_from_source(name)? {
             Some(Relation::Deterministic(t)) => {
                 self.relations
-                    .insert(name.to_string(), Relation::Deterministic(t));
+                    .insert(name.to_string(), Arc::new(Relation::Deterministic(t)));
                 Ok(true)
             }
             Some(Relation::Probabilistic(t)) => {
@@ -460,7 +544,8 @@ impl Database {
             return Err(DbError::DuplicateTable(name));
         }
         self.dropped.remove(&name);
-        self.relations.insert(name, Relation::Deterministic(table));
+        self.relations
+            .insert(name, Arc::new(Relation::Deterministic(table)));
         self.bump_generation();
         Ok(())
     }
@@ -472,7 +557,10 @@ impl Database {
     /// tuples it summarises.
     pub fn register_prob_table(&mut self, table: ProbTable) -> Result<(), DbError> {
         let name = table.name().to_string();
-        if matches!(self.relations.get(&name), Some(Relation::Deterministic(_))) {
+        if matches!(
+            self.relations.get(&name).map(|r| r.as_ref()),
+            Some(Relation::Deterministic(_))
+        ) {
             return Err(DbError::DuplicateTable(name));
         }
         self.dropped.remove(&name);
@@ -481,10 +569,103 @@ impl Database {
             Arc::new(RelationSynopses::build(&table, DEFAULT_SYNOPSIS_BUCKETS)),
         );
         self.relations
-            .insert(name.clone(), Relation::Probabilistic(table));
+            .insert(name.clone(), Arc::new(Relation::Probabilistic(table)));
         self.reshard(&name);
         self.bump_generation();
         Ok(())
+    }
+
+    /// Appends a batch of rows to a deterministic table — the write half
+    /// of the streaming ingest path (a plain `INSERT` routes here too).
+    ///
+    /// The whole batch is validated against the schema **before** the
+    /// relation is touched, so a bad row rejects the batch atomically
+    /// instead of leaving a prefix behind. The append swaps in a new
+    /// relation rung and bumps only the *data* generation: cached plans
+    /// survive, in-flight snapshot readers keep their old rung.
+    pub fn append_rows(&mut self, table: &str, rows: Vec<Vec<Value>>) -> Result<usize, DbError> {
+        // An evicted relation comes back into memory before the write so
+        // appends hit disk-backed tables transparently.
+        self.ensure_resident(table)?;
+        let rel = self
+            .relations
+            .get_mut(table)
+            .ok_or_else(|| DbError::UnknownTable(table.to_string()))?;
+        let Relation::Deterministic(t) = rel.as_ref() else {
+            return Err(DbError::Unsupported(
+                "INSERT into probabilistic views is not allowed; views are derived".into(),
+            ));
+        };
+        let checked = rows
+            .into_iter()
+            .map(|row| t.schema().check_row(row))
+            .collect::<Result<Vec<_>, _>>()?;
+        let appended = checked.len();
+        let Relation::Deterministic(t) = Arc::make_mut(rel) else {
+            unreachable!("variant checked above");
+        };
+        for row in checked {
+            t.insert(row)?;
+        }
+        self.bump_data_generation();
+        Ok(appended)
+    }
+
+    /// Appends pre-derived tuples to a probabilistic view — the path
+    /// incremental Ω-view maintenance lands its suffix through. Validation
+    /// is batch-atomic like [`Database::append_rows`]; the view's synopses
+    /// absorb the suffix incrementally via
+    /// [`RelationSynopses::append_from`] (bit-identical to a rebuild), the
+    /// shard layout is re-derived, and only the data generation moves.
+    pub fn append_prob_rows(
+        &mut self,
+        view: &str,
+        rows: Vec<Vec<Value>>,
+        probs: Vec<f64>,
+    ) -> Result<usize, DbError> {
+        if rows.len() != probs.len() {
+            return Err(DbError::Unsupported(format!(
+                "append_prob_rows: {} rows but {} probabilities",
+                rows.len(),
+                probs.len()
+            )));
+        }
+        self.ensure_resident(view)?;
+        let rel = self
+            .relations
+            .get_mut(view)
+            .ok_or_else(|| DbError::UnknownTable(view.to_string()))?;
+        let Relation::Probabilistic(t) = rel.as_ref() else {
+            return Err(DbError::Unsupported(format!(
+                "append_prob_rows targets probabilistic views; {view:?} is deterministic"
+            )));
+        };
+        if let Some(&p) = probs
+            .iter()
+            .find(|p| !(0.0..=1.0).contains(*p) || p.is_nan())
+        {
+            return Err(DbError::InvalidProbability(p));
+        }
+        let from_row = t.len();
+        let checked = rows
+            .into_iter()
+            .map(|row| t.schema().check_row(row))
+            .collect::<Result<Vec<_>, _>>()?;
+        let appended = checked.len();
+        let Relation::Probabilistic(t) = Arc::make_mut(rel) else {
+            unreachable!("variant checked above");
+        };
+        for (row, p) in checked.into_iter().zip(&probs) {
+            t.insert(row, *p)?;
+        }
+        let synopses = match self.synopses.get(view) {
+            Some(base) => base.append_from(t, from_row),
+            None => RelationSynopses::build(t, DEFAULT_SYNOPSIS_BUCKETS),
+        };
+        self.synopses.insert(view.to_string(), Arc::new(synopses));
+        self.reshard(view);
+        self.bump_data_generation();
+        Ok(appended)
     }
 
     /// Pins a shard layout for a probabilistic view: `count` contiguous
@@ -499,7 +680,7 @@ impl Database {
         count: usize,
     ) -> Result<(), DbError> {
         self.ensure_resident(name)?;
-        let map = match self.relations.get(name) {
+        let map = match self.relations.get(name).map(|r| r.as_ref()) {
             Some(Relation::Probabilistic(t)) => ShardMap::build(t, column, count)?,
             Some(Relation::Deterministic(_)) => {
                 return Err(DbError::Unsupported(format!(
@@ -525,7 +706,7 @@ impl Database {
     /// write: a pinned spec is re-applied; otherwise large views are
     /// auto-sharded along their time column and small views stay flat.
     fn reshard(&mut self, name: &str) {
-        let Some(Relation::Probabilistic(t)) = self.relations.get(name) else {
+        let Some(Relation::Probabilistic(t)) = self.relations.get(name).map(|r| r.as_ref()) else {
             self.shards.remove(name);
             return;
         };
@@ -584,12 +765,43 @@ impl Database {
 
     /// Borrow of one resident relation (no scan-source fallback).
     pub fn relation(&self, name: &str) -> Option<&Relation> {
-        self.relations.get(name)
+        self.relations.get(name).map(|r| r.as_ref())
+    }
+
+    /// The current rung of one resident relation — an immutable snapshot a
+    /// caller can keep executing against after dropping whatever lock
+    /// guards the catalog. Appends swap in a new rung rather than mutating
+    /// this one in place (unless nobody else holds it), so the snapshot
+    /// stays internally consistent for as long as the `Arc` lives.
+    pub fn relation_snapshot(&self, name: &str) -> Option<Arc<Relation>> {
+        self.relations.get(name).cloned()
+    }
+
+    /// Everything a planned query needs to execute against one relation,
+    /// as immutable snapshots: the relation rung plus the matching synopsis
+    /// and shard-layout `Arc`s. This is the MVCC read path — clone the
+    /// snapshot under a shared lock, release the lock, then run
+    /// [`crate::plan::PlannedQuery::strategy_with_context`] against it
+    /// while writers land new rungs. Falls through to the scan source for
+    /// evicted relations (materialising a fresh snapshot).
+    pub fn snapshot(&self, name: &str) -> Result<RelationSnapshot, DbError> {
+        let relation = match self.relations.get(name).cloned() {
+            Some(r) => r,
+            None => match self.scan_from_source(name)? {
+                Some(r) => Arc::new(r),
+                None => return Err(DbError::UnknownTable(name.to_string())),
+            },
+        };
+        Ok(RelationSnapshot {
+            relation,
+            synopses: self.synopses(name),
+            shards: self.shard_map(name),
+        })
     }
 
     /// Looks up a deterministic table.
     pub fn table(&self, name: &str) -> Result<&Table, DbError> {
-        match self.relations.get(name) {
+        match self.relations.get(name).map(|r| r.as_ref()) {
             Some(Relation::Deterministic(t)) => Ok(t),
             _ => Err(DbError::UnknownTable(name.to_string())),
         }
@@ -597,7 +809,7 @@ impl Database {
 
     /// Looks up a probabilistic view.
     pub fn prob_table(&self, name: &str) -> Result<&ProbTable, DbError> {
-        match self.relations.get(name) {
+        match self.relations.get(name).map(|r| r.as_ref()) {
             Some(Relation::Probabilistic(t)) => Ok(t),
             _ => Err(DbError::UnknownTable(name.to_string())),
         }
@@ -693,7 +905,7 @@ impl Database {
         // are bit-identical across media for a fixed query + seed.
         let fetched;
         let relation = match self.relations.get(&planned.physical.table) {
-            Some(r) => r,
+            Some(r) => r.as_ref(),
             None => match self.scan_from_source(&planned.physical.table)? {
                 Some(r) => {
                     fetched = r;
@@ -715,7 +927,11 @@ impl Database {
     /// executing it (the `EXPLAIN` statement).
     pub fn explain_select(&self, sel: &SelectStmt) -> Result<QueryOutput, DbError> {
         let planned = Planner::plan(sel)?;
-        let relation = match self.relations.get(&planned.physical.table) {
+        let relation = match self
+            .relations
+            .get(&planned.physical.table)
+            .map(|r| r.as_ref())
+        {
             Some(Relation::Deterministic(t)) => {
                 format!(
                     "{}: deterministic ({} rows)",
@@ -818,30 +1034,14 @@ impl Database {
                 Ok(QueryOutput::None)
             }
             Statement::Insert { table, rows } => {
-                // An evicted relation comes back into memory before the
-                // write so inserts hit disk-backed tables transparently.
-                self.ensure_resident(&table)?;
-                let rel = self
-                    .relations
-                    .get_mut(&table)
-                    .ok_or_else(|| DbError::UnknownTable(table.clone()))?;
-                let out = match rel {
-                    Relation::Deterministic(t) => rows
-                        .into_iter()
-                        .try_for_each(|row| t.insert(row))
-                        .map(|()| QueryOutput::None),
-                    Relation::Probabilistic(_) => Err(DbError::Unsupported(
-                        "INSERT into probabilistic views is not allowed; views are derived".into(),
-                    )),
-                };
-                // Bump even on a partial failure: any row that did land
-                // changes answers, and a spurious bump only costs a replan.
-                self.bump_generation();
-                out
+                self.append_rows(&table, rows).map(|_| QueryOutput::None)
             }
             Statement::Select(sel) => self.query_select(&sel),
             Statement::Explain(sel) => self.explain_select(&sel),
             Statement::CreateDensityView(_) => unreachable!("handled by callers"),
+            Statement::Tail(_) => Err(DbError::Unsupported(
+                "TAIL is a continuous query; submit it over the server wire protocol".into(),
+            )),
             Statement::Drop { name } => {
                 // Materialise an evicted relation first so the drop is
                 // visible to the catalog (the storage layer forgets it at

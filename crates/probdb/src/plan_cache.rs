@@ -13,21 +13,25 @@
 //! Entries hold immutable [`Arc<PlannedQuery>`] snapshots in the σ-cache
 //! idiom: the mutex only guards the index, never a plan, and a hit is an
 //! `Arc` clone executed entirely outside the lock. Every entry records
-//! the catalog **generation** it was planned under; any DDL or write
-//! bumps the generation, and lookups lazily evict entries from older
-//! generations. Today's planner never reads the catalog, so a stale plan
-//! would still execute correctly — the generation check is the contract
-//! that keeps that true once plans start embedding catalog-derived
-//! physical information (shard layouts, synopsis choices).
+//! the catalog **DDL generation** it was planned under; any DDL bumps the
+//! generation, and lookups lazily evict entries from older generations.
+//! Tuple-only writes (INSERT, the streaming append path) bump a separate
+//! *data* generation instead, so a hot statement stays planned across a
+//! stream of appends — today's planner never reads the catalog, so a plan
+//! over new tuples is exactly the plan over the old ones.
+//!
+//! At capacity the cache evicts per entry rather than clearing whole: the
+//! victim is the entry with the fewest recorded hits (breaking ties
+//! towards the least-recently-used), so a one-off statement storm cannot
+//! wash out the standing hot set the way the old clear-on-full policy did.
 
 use crate::plan::PlannedQuery;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// Entry cap; reaching it clears the cache whole (hot statements repopulate
-/// within one request each, and whole-clear keeps the index allocation-free
-/// on the hit path).
+/// Entry cap; reaching it evicts the coldest entry (fewest hits, then
+/// least recently used) to make room.
 const PLAN_CACHE_CAPACITY: usize = 1024;
 
 /// Counters describing plan-cache effectiveness.
@@ -39,6 +43,8 @@ pub struct PlanCacheStats {
     pub misses: u64,
     /// Entries evicted because the catalog generation moved on.
     pub invalidations: u64,
+    /// Entries evicted at capacity to make room (coldest-first).
+    pub evictions: u64,
     /// Entries currently resident.
     pub entries: usize,
 }
@@ -47,6 +53,10 @@ pub struct PlanCacheStats {
 struct CachedPlan {
     plan: Arc<PlannedQuery>,
     generation: u64,
+    /// Hits this entry has served — the primary eviction key.
+    hits: u64,
+    /// Logical clock tick of the last touch — the LRU tie-break.
+    last_used: u64,
 }
 
 /// The cache itself. Interior-mutable so read-locked catalog handles can
@@ -54,18 +64,29 @@ struct CachedPlan {
 #[derive(Debug, Default)]
 pub(crate) struct PlanCache {
     inner: Mutex<HashMap<String, CachedPlan>>,
+    /// Logical clock: bumped on every touch, stamped into entries.
+    clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     invalidations: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl PlanCache {
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
     /// Returns the plan cached under `key` if it was planned at
-    /// `generation`; lazily evicts (and counts) stale entries.
+    /// `generation`; lazily evicts (and counts) stale entries. A hit
+    /// bumps the entry's hit count and recency stamp.
     pub(crate) fn lookup(&self, key: &str, generation: u64) -> Option<Arc<PlannedQuery>> {
+        let now = self.tick();
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        match inner.get(key) {
+        match inner.get_mut(key) {
             Some(cached) if cached.generation == generation => {
+                cached.hits += 1;
+                cached.last_used = now;
                 let plan = Arc::clone(&cached.plan);
                 drop(inner);
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -86,20 +107,41 @@ impl PlanCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Stores `plan` under every key in `keys` at `generation`.
+    /// Stores `plan` under every key in `keys` at `generation`, evicting
+    /// the coldest entries first when the cache is full. The O(n) victim
+    /// scan only runs on the miss path, which already paid for a parse
+    /// and a plan; hits never touch it.
     pub(crate) fn insert(&self, keys: &[&str], plan: &Arc<PlannedQuery>, generation: u64) {
+        let now = self.tick();
+        let mut evicted = 0u64;
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        if inner.len() + keys.len() > PLAN_CACHE_CAPACITY {
-            inner.clear();
-        }
         for key in keys {
+            while inner.len() >= PLAN_CACHE_CAPACITY && !inner.contains_key(*key) {
+                let victim = inner
+                    .iter()
+                    .min_by_key(|(_, e)| (e.hits, e.last_used))
+                    .map(|(k, _)| k.clone());
+                match victim {
+                    Some(k) => {
+                        inner.remove(&k);
+                        evicted += 1;
+                    }
+                    None => break,
+                }
+            }
             inner.insert(
                 (*key).to_string(),
                 CachedPlan {
                     plan: Arc::clone(plan),
                     generation,
+                    hits: 0,
+                    last_used: now,
                 },
             );
+        }
+        drop(inner);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
         }
     }
 
@@ -110,6 +152,7 @@ impl PlanCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
             entries,
         }
     }
@@ -148,18 +191,28 @@ mod tests {
     }
 
     #[test]
-    fn writes_invalidate_cached_plans() {
+    fn appends_keep_cached_plans_but_bump_the_data_generation() {
         let mut db = db_with_table();
         let sql = "SELECT k FROM kv";
         db.query_cached(sql).unwrap();
-        let g = db.generation();
+        let (g, dg) = (db.generation(), db.data_generation());
         db.execute("INSERT INTO kv VALUES (3, 3.5)").unwrap();
-        assert!(db.generation() > g, "a write must bump the generation");
-        assert!(db.cached_plan(sql).is_none(), "stale entry must not hit");
-        db.query_cached(sql).unwrap();
+        assert_eq!(
+            db.generation(),
+            g,
+            "a tuple-only write must not move the DDL generation"
+        );
+        assert!(
+            db.data_generation() > dg,
+            "a tuple-only write must move the data generation"
+        );
+        // The plan survived — and it serves the post-append answer,
+        // because execution resolves the relation at run time.
+        assert!(db.cached_plan(sql).is_some(), "append evicted the plan");
+        let out = db.query_cached(sql).unwrap();
+        assert_eq!(out.rows().unwrap().len(), 3);
         let stats = db.plan_cache_stats();
-        assert_eq!(stats.invalidations, 1);
-        assert_eq!(stats.misses, 2);
+        assert_eq!((stats.misses, stats.invalidations), (1, 0));
     }
 
     #[test]
@@ -184,13 +237,27 @@ mod tests {
     }
 
     #[test]
-    fn cache_clears_instead_of_growing_without_bound() {
+    fn eviction_is_coldest_first_and_capacity_bounded() {
         let db = db_with_table();
-        for i in 0..2_000 {
+        let hot = "SELECT k FROM kv WHERE k >= 0";
+        db.query_cached(hot).unwrap();
+        // Keep the hot statement warm while a storm of one-off statements
+        // churns through every cache slot many times over.
+        for i in 0..4_000 {
             db.query_cached(&format!("SELECT k FROM kv WHERE k = {i}"))
                 .unwrap();
+            if i % 16 == 0 {
+                db.query_cached(hot).unwrap();
+            }
         }
-        assert!(db.plan_cache_stats().entries <= 1024);
+        let stats = db.plan_cache_stats();
+        assert!(stats.entries <= 1024, "{} entries", stats.entries);
+        assert!(stats.evictions > 0, "the storm must have forced evictions");
+        // The hot entry outlived thousands of cold insertions.
+        assert!(
+            db.cached_plan(hot).is_some(),
+            "hot statement was evicted by one-off statements"
+        );
     }
 
     mod properties {

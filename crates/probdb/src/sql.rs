@@ -83,6 +83,12 @@ pub enum Statement {
         /// Table or view name.
         name: String,
     },
+    /// `TAIL SELECT … GROUP BY WINDOW(…)` — registers the wrapped windowed
+    /// query as a standing continuous query. The catalog cannot execute it
+    /// (there is nothing to return yet); the server surface owns the
+    /// subscription lifecycle and emits a frame each time a window bucket
+    /// closes.
+    Tail(SelectStmt),
 }
 
 impl Statement {
@@ -615,6 +621,18 @@ impl Parser {
                 Statement::Select(sel) => Ok(Statement::Explain(sel)),
                 _ => unreachable!("select() only builds SELECTs"),
             }
+        } else if self.peek_kw("TAIL") {
+            self.next();
+            self.expect_kw("SELECT")?;
+            match self.select()? {
+                Statement::Select(sel) => {
+                    if sel.window.is_none() {
+                        return Err(self.error("TAIL requires GROUP BY WINDOW(…)"));
+                    }
+                    Ok(Statement::Tail(sel))
+                }
+                _ => unreachable!("select() only builds SELECTs"),
+            }
         } else if self.peek_kw("DROP") {
             self.next();
             if self.peek_kw("TABLE") || self.peek_kw("VIEW") {
@@ -624,7 +642,7 @@ impl Parser {
                 name: self.expect_ident()?,
             })
         } else {
-            Err(self.error("expected CREATE, INSERT, SELECT, EXPLAIN or DROP"))
+            Err(self.error("expected CREATE, INSERT, SELECT, EXPLAIN, TAIL or DROP"))
         }
     }
 
@@ -1124,6 +1142,7 @@ impl fmt::Display for Statement {
             Statement::Explain(sel) => write!(f, "EXPLAIN {sel}"),
             Statement::CreateDensityView(spec) => spec.fmt(f),
             Statement::Drop { name } => write!(f, "DROP TABLE {name}"),
+            Statement::Tail(sel) => write!(f, "TAIL {sel}"),
         }
     }
 }
@@ -1308,6 +1327,23 @@ mod tests {
             }
             other => panic!("wrong statement: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_tail_of_windowed_select() {
+        let sql = "TAIL SELECT COUNT(*) FROM pv GROUP BY WINDOW(t, 60)";
+        match parse(sql).unwrap() {
+            Statement::Tail(s) => {
+                let w = s.window.unwrap();
+                assert_eq!(w.column, "t");
+                assert_eq!(w.width, 60.0);
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+        // TAIL without a window has no bucket to close on: rejected.
+        assert!(parse("TAIL SELECT COUNT(*) FROM pv").is_err());
+        // And TAIL is not read-only — the shared query path must refuse it.
+        assert!(!parse(sql).unwrap().is_read_only());
     }
 
     #[test]
@@ -1734,13 +1770,14 @@ mod roundtrip_props {
 
     proptest! {
         #[test]
-        fn select_statements_round_trip(sel in arb_select(), explain in 0usize..2) {
+        fn select_statements_round_trip(sel in arb_select(), wrap in 0usize..3) {
             // Every SELECT the generator produces must survive
-            // parse(format(…)) — and so must its EXPLAIN wrapping.
-            let stmt = if explain == 1 {
-                Statement::Explain(sel)
-            } else {
-                Statement::Select(sel)
+            // parse(format(…)) — and so must its EXPLAIN wrapping and (for
+            // windowed statements) its TAIL wrapping.
+            let stmt = match wrap {
+                1 => Statement::Explain(sel),
+                2 if sel.window.is_some() => Statement::Tail(sel),
+                _ => Statement::Select(sel),
             };
             let formatted = stmt.to_string();
             let reparsed = parse(&formatted);

@@ -42,6 +42,15 @@
 //!   `WITH WORLDS` fork-join override that never touches shared state.
 //!   Ad-hoc `Query` text is also answered from the plan cache when the
 //!   catalog generation still matches, skipping parse and plan entirely.
+//! * **TAIL continuous queries**: a [`tspdb_ingest::TailRegistry`] shared
+//!   by the workers holds every standing `TAIL SELECT ... GROUP BY
+//!   WINDOW(...)` query. After each request a worker polls the registry
+//!   (two generation loads per subscription when nothing changed) and
+//!   queues pushed `TailFrame` responses — one per newly closed window
+//!   bucket — to the owning connections through the same completion
+//!   path replies travel; the loop appends them to write buffers under
+//!   the usual backpressure rules. Subscriptions die with their
+//!   connection.
 //!
 //! [`Database::execute_planned_with_threads`]:
 //! tspdb_probdb::Database::execute_planned_with_threads
@@ -83,6 +92,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tspdb_core::{CoreError, SharedEngine};
+use tspdb_ingest::{TailEvent, TailRegistry, TailToken};
 use tspdb_probdb::plan::{PlannedQuery, Planner};
 use tspdb_probdb::sql::SelectStmt;
 use tspdb_probdb::{parse, DbError, QueryOutput, Statement};
@@ -195,6 +205,8 @@ impl Server {
         let stats = Arc::new(ServerStats::default());
         let waker = Arc::new(Waker::new()?);
         let completions = Arc::new(Mutex::new(VecDeque::new()));
+        let tails = Arc::new(TailRegistry::new());
+        let tail_owners: Arc<TailOwners> = Arc::new(Mutex::new(HashMap::new()));
         let (job_tx, job_rx) = std::sync::mpsc::channel::<Job>();
         let job_rx = Arc::new(Mutex::new(job_rx));
 
@@ -205,8 +217,18 @@ impl Server {
                 let stats = Arc::clone(&stats);
                 let completions = Arc::clone(&completions);
                 let waker = Arc::clone(&waker);
+                let tails = Arc::clone(&tails);
+                let tail_owners = Arc::clone(&tail_owners);
                 std::thread::spawn(move || {
-                    worker_loop(&job_rx, engine, &stats, &completions, &waker)
+                    worker_loop(
+                        &job_rx,
+                        engine,
+                        &stats,
+                        &completions,
+                        &waker,
+                        &tails,
+                        &tail_owners,
+                    )
                 })
             })
             .collect();
@@ -226,6 +248,8 @@ impl Server {
             job_tx,
             connections: HashMap::new(),
             next_token: TOKEN_FIRST_CONNECTION,
+            tails,
+            tail_owners,
         };
         let loop_thread = std::thread::spawn(move || event_loop.run());
 
@@ -303,13 +327,26 @@ struct Job {
     session: Session,
 }
 
-/// A finished request travelling back: the encoded response frame plus
-/// the returned session.
-struct Completion {
-    token: u64,
-    session: Session,
-    frame: Vec<u8>,
-    keep_going: bool,
+/// Which session owns each live TAIL subscription (tail token →
+/// reactor connection token). Workers insert on `Tail` and remove on
+/// `TailStop`/lapse; the event loop removes every entry of a closing
+/// connection.
+type TailOwners = Mutex<HashMap<u64, u64>>;
+
+/// Work travelling back from a CPU worker to the event loop.
+enum Completion {
+    /// A finished request: the encoded response frame plus the returned
+    /// session.
+    Reply {
+        token: u64,
+        session: Session,
+        frame: Vec<u8>,
+        keep_going: bool,
+    },
+    /// A pushed TAIL frame for whichever connection owns the
+    /// subscription — appended to that connection's write buffer outside
+    /// the request/response alternation.
+    Push { token: u64, frame: Vec<u8> },
 }
 
 /// One CPU worker: execute queued jobs until the loop drops the sender.
@@ -319,6 +356,8 @@ fn worker_loop(
     stats: &ServerStats,
     completions: &Mutex<VecDeque<Completion>>,
     waker: &Waker,
+    tails: &TailRegistry,
+    tail_owners: &TailOwners,
 ) {
     loop {
         let job = {
@@ -335,7 +374,11 @@ fn worker_loop(
         else {
             return; // event loop gone
         };
-        let (response, keep_going) = respond(&engine, &mut session, request);
+        let (response, keep_going) = match request {
+            Request::Tail { sql } => tail_subscribe(tails, tail_owners, token, &sql),
+            Request::TailStop { token: tail } => tail_stop(tails, tail_owners, token, tail),
+            other => respond(&engine, &mut session, other),
+        };
         stats.requests.fetch_add(1, Ordering::Relaxed);
         let frame = match encode_frame(&response) {
             Ok(frame) => frame,
@@ -354,13 +397,139 @@ fn worker_loop(
         completions
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .push_back(Completion {
+            .push_back(Completion::Reply {
                 token,
                 session,
                 frame,
                 keep_going,
             });
+        // Whatever just ran may have closed window buckets (an INSERT
+        // landing rows past a bucket boundary, a fresh subscription
+        // replaying closed history): drive the standing queries and push
+        // their frames. Cheap when nothing changed — two generation
+        // loads per subscription. Queued after the reply, so a new
+        // subscriber sees `TailStarted` before its history frames.
+        push_tail_frames(&engine, tails, tail_owners, completions);
         waker.wake();
+    }
+}
+
+/// Registers a TAIL standing query owned by connection `conn`. Frames
+/// start arriving via the poll that follows this request — including the
+/// replay of already-closed buckets.
+fn tail_subscribe(
+    tails: &TailRegistry,
+    tail_owners: &TailOwners,
+    conn: u64,
+    sql: &str,
+) -> (Response, bool) {
+    match tails.subscribe_sql(sql) {
+        Ok(token) => {
+            tail_owners
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(token.0, conn);
+            (Response::TailStarted { token: token.0 }, true)
+        }
+        Err(e) => (Response::Error(core_to_db(e)), true),
+    }
+}
+
+/// Cancels a TAIL subscription — only for the session that opened it, so
+/// one connection cannot tear down another's standing query.
+fn tail_stop(
+    tails: &TailRegistry,
+    tail_owners: &TailOwners,
+    conn: u64,
+    token: u64,
+) -> (Response, bool) {
+    let owned = {
+        let mut owners = tail_owners.lock().unwrap_or_else(|e| e.into_inner());
+        if owners.get(&token) == Some(&conn) {
+            owners.remove(&token);
+            true
+        } else {
+            false
+        }
+    };
+    if owned {
+        tails.unsubscribe(TailToken(token));
+        (
+            Response::TailStopped {
+                token,
+                reason: None,
+            },
+            true,
+        )
+    } else {
+        (
+            Response::Error(DbError::Unsupported(format!(
+                "unknown TAIL subscription #{token}"
+            ))),
+            true,
+        )
+    }
+}
+
+/// Polls every standing query and queues one [`Completion::Push`] per
+/// event to the owning connection. A frame that cannot be encoded (too
+/// large for the frame limit) ends its subscription with a pushed
+/// `TailStopped` rather than silently skipping a bucket.
+fn push_tail_frames(
+    engine: &SharedEngine,
+    tails: &TailRegistry,
+    tail_owners: &TailOwners,
+    completions: &Mutex<VecDeque<Completion>>,
+) {
+    let events = tails.poll(engine);
+    if events.is_empty() {
+        return;
+    }
+    for event in events {
+        let (tail, response) = match event {
+            TailEvent::Frame(f) => (
+                f.token.0,
+                Response::TailFrame {
+                    token: f.token.0,
+                    bucket: f.bucket,
+                    result: f.result,
+                },
+            ),
+            TailEvent::Lapsed { token, error } => (
+                token.0,
+                Response::TailStopped {
+                    token: token.0,
+                    reason: Some(error),
+                },
+            ),
+        };
+        let ended = matches!(response, Response::TailStopped { .. });
+        let (frame, ended) = match encode_frame(&response) {
+            Ok(frame) => (frame, ended),
+            Err(e) => {
+                tails.unsubscribe(TailToken(tail));
+                let stopped = Response::TailStopped {
+                    token: tail,
+                    reason: Some(format!("frame could not be delivered: {e}")),
+                };
+                (encode_frame(&stopped).unwrap_or_default(), true)
+            }
+        };
+        let owner = {
+            let mut owners = tail_owners.lock().unwrap_or_else(|e| e.into_inner());
+            if ended {
+                owners.remove(&tail)
+            } else {
+                owners.get(&tail).copied()
+            }
+        };
+        let (Some(conn), false) = (owner, frame.is_empty()) else {
+            continue; // connection already gone, or frame unencodable
+        };
+        completions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(Completion::Push { token: conn, frame });
     }
 }
 
@@ -436,6 +605,8 @@ struct EventLoop {
     job_tx: Sender<Job>,
     connections: HashMap<u64, Connection>,
     next_token: u64,
+    tails: Arc<TailRegistry>,
+    tail_owners: Arc<TailOwners>,
 }
 
 impl EventLoop {
@@ -642,9 +813,11 @@ impl EventLoop {
         }
     }
 
-    /// Applies every queued worker completion: restore the session,
-    /// queue the response frame, flush, and resume parsing anything the
-    /// peer sent meanwhile.
+    /// Applies every queued worker completion. A `Reply` restores the
+    /// session, queues the response frame, flushes, and resumes parsing
+    /// anything the peer sent meanwhile; a `Push` appends a TAIL frame to
+    /// the owning connection's write buffer regardless of its
+    /// request/response state.
     fn apply_completions(&mut self) {
         loop {
             let completion = self
@@ -653,31 +826,58 @@ impl EventLoop {
                 .unwrap_or_else(|e| e.into_inner())
                 .pop_front();
             let Some(completion) = completion else { return };
-            let token = completion.token;
-            {
-                let Some(conn) = self.connections.get_mut(&token) else {
-                    continue; // connection died while the worker ran
-                };
-                conn.session = Some(completion.session);
-                conn.last_activity = Instant::now();
-                if completion.frame.is_empty() {
-                    conn.state = ConnState::Closing; // unencodable response
-                } else {
-                    conn.state = if completion.keep_going {
-                        ConnState::Ready
-                    } else {
-                        ConnState::Closing
-                    };
-                    conn.write_buf.extend_from_slice(&completion.frame);
+            match completion {
+                Completion::Reply {
+                    token,
+                    session,
+                    frame,
+                    keep_going,
+                } => {
+                    {
+                        let Some(conn) = self.connections.get_mut(&token) else {
+                            continue; // connection died while the worker ran
+                        };
+                        conn.session = Some(session);
+                        conn.last_activity = Instant::now();
+                        if frame.is_empty() {
+                            conn.state = ConnState::Closing; // unencodable response
+                        } else {
+                            conn.state = if keep_going {
+                                ConnState::Ready
+                            } else {
+                                ConnState::Closing
+                            };
+                            conn.write_buf.extend_from_slice(&frame);
+                        }
+                    }
+                    self.flush(token);
+                    if self
+                        .connections
+                        .get(&token)
+                        .is_some_and(|c| c.state == ConnState::Ready)
+                    {
+                        self.process_read_buffer(token);
+                    }
                 }
-            }
-            self.flush(token);
-            if self
-                .connections
-                .get(&token)
-                .is_some_and(|c| c.state == ConnState::Ready)
-            {
-                self.process_read_buffer(token);
+                Completion::Push { token, frame } => {
+                    let deliverable = {
+                        let Some(conn) = self.connections.get_mut(&token) else {
+                            continue; // subscriber vanished; frame is moot
+                        };
+                        // Only sessions in their steady state receive
+                        // pushes; a closing/draining connection is past
+                        // caring.
+                        if matches!(conn.state, ConnState::Ready | ConnState::Busy) {
+                            conn.write_buf.extend_from_slice(&frame);
+                            true
+                        } else {
+                            false
+                        }
+                    };
+                    if deliverable {
+                        self.flush(token);
+                    }
+                }
             }
         }
     }
@@ -801,9 +1001,26 @@ impl EventLoop {
 
     /// Removes a connection; dropping the stream closes the descriptor
     /// (the explicit deregister just keeps the epoll set tidy first).
+    /// Any TAIL subscriptions the session owned die with it — standing
+    /// queries never outlive their subscriber.
     fn close(&mut self, token: u64) {
         if let Some(conn) = self.connections.remove(&token) {
             let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        }
+        let orphaned: Vec<u64> = {
+            let mut owners = self.tail_owners.lock().unwrap_or_else(|e| e.into_inner());
+            let ids: Vec<u64> = owners
+                .iter()
+                .filter(|&(_, &conn)| conn == token)
+                .map(|(&tail, _)| tail)
+                .collect();
+            for tail in &ids {
+                owners.remove(tail);
+            }
+            ids
+        };
+        for tail in orphaned {
+            self.tails.unsubscribe(TailToken(tail));
         }
     }
 }
@@ -980,6 +1197,14 @@ fn respond(engine: &SharedEngine, session: &mut Session, req: Request) -> (Respo
             (Response::WorldsThreadsSet { threads }, true)
         }
         Request::Close => (Response::Bye, false),
+        // Dispatched in `worker_loop` before `respond` (they need the
+        // registry and the connection token); reaching here is a bug.
+        Request::Tail { .. } | Request::TailStop { .. } => (
+            Response::Error(DbError::Unsupported(
+                "TAIL requests bypass the plain dispatcher".into(),
+            )),
+            true,
+        ),
     }
 }
 
@@ -1204,6 +1429,149 @@ mod tests {
         assert!(c.query("SELECT * FROM pv LIMIT 1").is_ok());
         c.close().unwrap();
         a.close().unwrap();
+        handle.shutdown();
+    }
+
+    #[test]
+    fn tail_streams_closed_buckets_byte_identically() {
+        use tspdb_client::TailNotice;
+        use tspdb_probdb::Value;
+
+        let handle = demo_server();
+        let mut writer = Client::connect(handle.addr()).unwrap();
+        let mut sub = Client::connect(handle.addr()).unwrap();
+        writer
+            .query("CREATE TABLE stream_t (t INT, r FLOAT)")
+            .unwrap();
+        writer
+            .query("INSERT INTO stream_t VALUES (0, 1.0), (5, 2.0)")
+            .unwrap();
+
+        const TAIL_SQL: &str = "TAIL SELECT COUNT(*), SUM(r) FROM stream_t GROUP BY WINDOW(t, 10)";
+        let tail = sub.tail(TAIL_SQL).unwrap();
+        // Bucket [0, 10) is still open — nothing later exists — so the
+        // subscription stays silent.
+        assert_eq!(
+            sub.tail_next(Some(Duration::from_millis(300))).unwrap(),
+            None
+        );
+
+        // A row in the next bucket closes [0, 10); the frame is pushed.
+        writer
+            .query("INSERT INTO stream_t VALUES (12, 3.0)")
+            .unwrap();
+        let notice = sub
+            .tail_next(Some(Duration::from_secs(10)))
+            .unwrap()
+            .unwrap();
+        let TailNotice::Frame(frame) = notice else {
+            panic!("expected a frame, got {notice:?}");
+        };
+        assert_eq!(frame.tail, tail);
+        assert_eq!(frame.bucket, 0.0);
+
+        // Byte-identity: the frame equals the one-shot windowed query
+        // filtered to the closed bucket.
+        let oneshot = writer
+            .query("SELECT COUNT(*), SUM(r) FROM stream_t GROUP BY WINDOW(t, 10)")
+            .unwrap();
+        let mut expected = oneshot.aggregate().unwrap().clone();
+        expected
+            .groups
+            .retain(|g| g.key.first().and_then(Value::as_f64) == Some(0.0));
+        assert_eq!(frame.result.fingerprint(), expected.fingerprint());
+
+        // A late subscriber replays the closed history: same frame.
+        let mut late = Client::connect(handle.addr()).unwrap();
+        let late_tail = late.tail(TAIL_SQL).unwrap();
+        let replay = late
+            .tail_next(Some(Duration::from_secs(10)))
+            .unwrap()
+            .unwrap();
+        let TailNotice::Frame(replayed) = replay else {
+            panic!("expected a replayed frame, got {replay:?}");
+        };
+        assert_eq!(replayed.tail, late_tail);
+        assert_eq!(replayed.bucket, 0.0);
+        assert_eq!(replayed.result.fingerprint(), frame.result.fingerprint());
+
+        // Pushes interleave with the subscriber's own round trips: close
+        // bucket [10, 20) and make the subscriber issue a query before
+        // collecting — the frame is set aside, never misread as a reply.
+        writer
+            .query("INSERT INTO stream_t VALUES (25, 4.0)")
+            .unwrap();
+        assert!(sub.query("SELECT COUNT(*) FROM stream_t").is_ok());
+        let second = sub
+            .tail_next(Some(Duration::from_secs(10)))
+            .unwrap()
+            .unwrap();
+        let TailNotice::Frame(second) = second else {
+            panic!("expected the second bucket's frame, got {second:?}");
+        };
+        assert_eq!(second.bucket, 10.0);
+
+        // Stop is owned: another session cannot cancel, the owner can —
+        // once.
+        assert!(writer.tail_stop(tail).is_err());
+        sub.tail_stop(tail).unwrap();
+        assert!(sub.tail_stop(tail).is_err());
+
+        // The late subscriber got the second bucket too.
+        let late_second = late
+            .tail_next(Some(Duration::from_secs(10)))
+            .unwrap()
+            .unwrap();
+        assert!(
+            matches!(late_second, TailNotice::Frame(ref f) if f.bucket == 10.0),
+            "{late_second:?}"
+        );
+
+        // Dropping the source table lapses the remaining subscription
+        // with a pushed, reasoned TailStopped.
+        writer.query("DROP TABLE stream_t").unwrap();
+        let lapse = late
+            .tail_next(Some(Duration::from_secs(10)))
+            .unwrap()
+            .unwrap();
+        let TailNotice::Stopped { tail: lapsed, .. } = lapse else {
+            panic!("expected a lapse notice, got {lapse:?}");
+        };
+        assert_eq!(lapsed, late_tail);
+
+        writer.close().unwrap();
+        sub.close().unwrap();
+        late.close().unwrap();
+        handle.shutdown();
+    }
+
+    #[test]
+    fn tail_misuse_is_rejected_with_structured_errors() {
+        let handle = demo_server();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        // TAIL without a window cannot stand.
+        let err = client.tail("TAIL SELECT COUNT(*) FROM pv").unwrap_err();
+        assert!(
+            matches!(err, tspdb_client::ClientError::Server(_)),
+            "{err:?}"
+        );
+        // TAIL over the one-shot Query path points at the right door.
+        let err = client
+            .query("TAIL SELECT COUNT(*) FROM pv GROUP BY WINDOW(t, 10)")
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                tspdb_client::ClientError::Server(DbError::Unsupported(ref msg))
+                    if msg.contains("continuous")
+            ),
+            "{err:?}"
+        );
+        // Stopping a never-started subscription errors; the session
+        // survives all three.
+        assert!(client.tail_stop(tspdb_client::TailId(999)).is_err());
+        assert!(client.query("SELECT * FROM pv LIMIT 1").is_ok());
+        client.close().unwrap();
         handle.shutdown();
     }
 

@@ -63,7 +63,7 @@ pub use distributions::{Density, Normal, Uniform};
 pub use error::StatsError;
 pub use ordf64::OrdF64;
 pub use student_t::StudentT;
-pub use synopsis::{CountMoments, Estimate, ProbHistogram, PROB_BANDS};
+pub use synopsis::{merge_sorted_pairs, CountMoments, Estimate, ProbHistogram, PROB_BANDS};
 
 #[cfg(test)]
 mod proptests {

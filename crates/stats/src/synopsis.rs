@@ -239,13 +239,38 @@ impl ProbHistogram {
     /// Bucket boundaries come from the V-optimal DP (probability-weighted
     /// SSE of values), run over at most `MAX_BASE_SEGMENTS` (512) equi-depth
     /// base segments so the build stays `O(n log n + cap²·B)`.
-    pub fn build(mut pairs: Vec<(f64, f64)>, buckets: usize) -> ProbHistogram {
-        let buckets = buckets.max(1);
+    pub fn build(pairs: Vec<(f64, f64)>, buckets: usize) -> ProbHistogram {
+        Self::from_sorted(&Self::prepare_pairs(pairs), buckets)
+    }
+
+    /// Sanitizes and stably sorts `(value, probability)` pairs exactly as
+    /// [`ProbHistogram::build`] does: non-finite values are dropped,
+    /// probabilities clamped into `[0, 1]`, then a **stable** sort by
+    /// `total_cmp` on the value. The output is the canonical pair sequence
+    /// the histogram is a pure function of — callers that retain it can
+    /// maintain the histogram incrementally via [`merge_sorted_pairs`]
+    /// with a bit-identical-to-rebuild guarantee.
+    pub fn prepare_pairs(mut pairs: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
         pairs.retain(|&(v, _)| v.is_finite());
         for (_, p) in pairs.iter_mut() {
             *p = p.clamp(0.0, 1.0);
         }
         pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        pairs
+    }
+
+    /// Builds a histogram from pairs already in [`prepare_pairs`] order —
+    /// the deterministic core of [`ProbHistogram::build`]. Identical input
+    /// sequences produce bit-identical histograms, which is the contract
+    /// incremental synopsis maintenance rests on.
+    ///
+    /// [`prepare_pairs`]: ProbHistogram::prepare_pairs
+    pub fn from_sorted(pairs: &[(f64, f64)], buckets: usize) -> ProbHistogram {
+        let buckets = buckets.max(1);
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0].0.total_cmp(&w[1].0).is_le()),
+            "from_sorted requires prepare_pairs order"
+        );
         let n = pairs.len();
         if n == 0 {
             return ProbHistogram {
@@ -254,8 +279,8 @@ impl ProbHistogram {
             };
         }
 
-        let segments = base_segments(&pairs);
-        let bounds = optimal_boundaries(&pairs, &segments, buckets);
+        let segments = base_segments(pairs);
+        let bounds = optimal_boundaries(pairs, &segments, buckets);
 
         let mut out = Vec::with_capacity(bounds.len().saturating_sub(1));
         for w in bounds.windows(2) {
@@ -496,6 +521,33 @@ fn bucket_overlap(bucket: &Bucket, lo: f64, hi: f64) -> Overlap {
     let from = lo.max(bucket.lo);
     let to = hi.min(bucket.hi);
     Overlap::Partial(((to - from) / span).clamp(0.0, 1.0))
+}
+
+/// Stable two-way merge of two pair runs already in
+/// [`ProbHistogram::prepare_pairs`] order; on value ties every `base`
+/// element precedes every `delta` element. Because a stable merge of two
+/// stably-sorted runs equals the stable sort of their concatenation,
+/// `from_sorted(&merge_sorted_pairs(&prepare_pairs(old), &prepare_pairs(new)))`
+/// is **bit-identical** to `build(old ++ new)` — the incremental-synopsis
+/// maintenance invariant (Cormode & Garofalakis-style delta merging with
+/// an exact rebuild guarantee).
+pub fn merge_sorted_pairs(base: &[(f64, f64)], delta: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    let mut out = Vec::with_capacity(base.len() + delta.len());
+    let (mut i, mut j) = (0, 0);
+    while i < base.len() && j < delta.len() {
+        // `<=` keeps base elements first on ties: exactly the order a
+        // stable sort of the concatenated input would produce.
+        if base[i].0.total_cmp(&delta[j].0).is_le() {
+            out.push(base[i]);
+            i += 1;
+        } else {
+            out.push(delta[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&base[i..]);
+    out.extend_from_slice(&delta[j..]);
+    out
 }
 
 /// Equi-depth base segment boundaries (indices into the sorted pairs),
@@ -798,6 +850,35 @@ mod tests {
                         "sum {s} vs truth {sum} (τ={tau}, range={r:?})"
                     );
                 }
+            }
+
+            /// The incremental-maintenance invariant: merging a sorted
+            /// delta into retained sorted pairs and rebuilding is
+            /// bit-identical to a from-scratch build over the concatenated
+            /// input — including ties, NaN-probability clamps and
+            /// non-finite value drops.
+            #[test]
+            fn delta_merge_equals_from_scratch_build(
+                base in proptest::collection::vec((-50.0f64..50.0, 0.0f64..1.0), 0..80),
+                delta in proptest::collection::vec((-50.0f64..50.0, -0.5f64..1.5), 0..80),
+                dup in 0usize..10,
+                buckets in 1usize..12,
+            ) {
+                // Force value ties across the base/delta boundary so the
+                // stable-merge tie rule is actually exercised.
+                let mut delta = delta;
+                for k in 0..dup.min(base.len()) {
+                    delta.push((base[k].0, 0.25));
+                }
+                let mut whole = base.clone();
+                whole.extend_from_slice(&delta);
+                let scratch = ProbHistogram::build(whole, buckets);
+                let merged = merge_sorted_pairs(
+                    &ProbHistogram::prepare_pairs(base),
+                    &ProbHistogram::prepare_pairs(delta),
+                );
+                let incremental = ProbHistogram::from_sorted(&merged, buckets);
+                prop_assert_eq!(scratch, incremental);
             }
         }
     }

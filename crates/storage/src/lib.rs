@@ -73,6 +73,11 @@ pub const DB_FILE: &str = "tspdb.db";
 /// Name of the write-ahead log inside a data directory.
 pub const WAL_FILE: &str = "tspdb.wal";
 
+/// Name of the engine metadata sidecar inside a data directory (free-form
+/// text the upper layer owns — e.g. density-view lineage specs persisted
+/// across checkpoints). Written atomically (tmp + rename + dir fsync).
+pub const META_FILE: &str = "tspdb.meta";
+
 /// Tuning knobs of a [`Storage`].
 #[derive(Debug, Clone, Copy)]
 pub struct StorageOptions {
@@ -190,6 +195,36 @@ impl Storage {
         wal.append(seq, op)?;
         self.last_seq.store(seq, Ordering::Relaxed);
         Ok(seq)
+    }
+
+    /// Journals a batch of operations with **group commit**: all records
+    /// are appended and committed under one WAL fsync instead of one per
+    /// operation — the amortisation that makes a streamed append workload
+    /// affordable. Returns the sequence number of the batch's last record.
+    /// Durability is prefix-shaped: a crash mid-batch recovers some prefix
+    /// of it (the torn suffix never happened).
+    pub fn log_batch(&self, ops: &[JournalOp]) -> Result<u64, StorageError> {
+        let mut wal = self.wal.lock().unwrap_or_else(|e| e.into_inner());
+        let start = self.last_seq.load(Ordering::Relaxed) + 1;
+        wal.append_batch(start, ops)?;
+        let last = start + ops.len().saturating_sub(1) as u64;
+        if !ops.is_empty() {
+            self.last_seq.store(last, Ordering::Relaxed);
+        }
+        Ok(last)
+    }
+
+    /// Sequence number of the last journaled record — the cheap dirty
+    /// check: a relation whose last-touched sequence is at or below the
+    /// checkpoint floor has nothing new to checkpoint.
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq.load(Ordering::Relaxed)
+    }
+
+    /// Commit fsyncs issued by the WAL so far (observable for the group
+    /// commit tests: N batched ops move this by 1).
+    pub fn wal_fsyncs(&self) -> u64 {
+        self.wal.lock().unwrap_or_else(|e| e.into_inner()).fsyncs()
     }
 
     /// Arms a fault-injection crash point for the next [`Storage::log`]
@@ -320,6 +355,36 @@ impl Storage {
     /// Page-cache counters of the live pager.
     pub fn cache_stats(&self) -> PagerStats {
         self.pager.read().unwrap_or_else(|e| e.into_inner()).stats()
+    }
+
+    /// Atomically replaces the metadata sidecar with `contents` (tmp +
+    /// rename + directory fsync, same discipline as the checkpoint file).
+    /// The storage engine treats the contents as opaque; the upper layer
+    /// uses it for state that must survive a checkpoint + WAL reset but
+    /// has no tuple representation (density-view lineage).
+    pub fn put_meta(&self, contents: &str) -> Result<(), StorageError> {
+        let meta_path = self.dir.join(META_FILE);
+        let tmp_path = self.dir.join(format!("{META_FILE}.tmp"));
+        {
+            let mut f = File::create(&tmp_path)?;
+            f.write_all(contents.as_bytes())?;
+            if self.options.fsync {
+                f.sync_data()?;
+            }
+        }
+        std::fs::rename(&tmp_path, &meta_path)?;
+        sync_dir(&self.dir)?;
+        Ok(())
+    }
+
+    /// The metadata sidecar's contents (`None` when none was ever
+    /// written).
+    pub fn get_meta(&self) -> Result<Option<String>, StorageError> {
+        match std::fs::read_to_string(self.dir.join(META_FILE)) {
+            Ok(s) => Ok(Some(s)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
     }
 }
 

@@ -14,11 +14,19 @@
 //! payload leads with the [`MAGIC`] bytes and the client's
 //! [`PROTOCOL_VERSION`]; the server answers [`Response::Hello`] or an
 //! error frame and closes. After the handshake the client drives a strict
-//! request/response alternation — no pipelining, no server push — which
-//! keeps the session state machine trivial on both ends.
+//! request/response alternation — no pipelining — which keeps the session
+//! state machine trivial on both ends.
+//!
+//! **One exception**: a session holding a [`Request::Tail`] subscription
+//! may receive pushed [`Response::TailFrame`] frames (and a pushed
+//! [`Response::TailStopped`] when a standing query lapses) at any point
+//! between its own request/response pairs, including interleaved before
+//! an in-flight request's reply. A client that never sends `Tail` never
+//! sees a pushed frame, so pre-TAIL clients keep the pure alternation.
 
 use crate::codec::{decode_message, encode_message, Decoder, Encoder, Wire, WireError};
 use std::io::{Read, Write};
+use tspdb_probdb::plan::AggregateResult;
 use tspdb_probdb::{DbError, QueryOutput};
 
 /// Bytes opening every [`Request::Hello`] payload — rejects stray
@@ -34,6 +42,14 @@ pub const MAGIC: [u8; 4] = *b"TPDB";
 /// tag space, which the version-bump policy classifies as a compatible
 /// addition — old peers decode it as `Malformed` rather than corrupting
 /// state.
+///
+/// Still **1** after TAIL continuous queries landed, for the same
+/// reason: [`Request::Tail`] / [`Request::TailStop`] (tags 7, 8) and
+/// [`Response::TailStarted`] / [`Response::TailFrame`] /
+/// [`Response::TailStopped`] (tags 7, 8, 9) extend the ends of their tag
+/// spaces, and a pushed frame only ever reaches a session that opted in
+/// by sending `Tail` — an old client cannot receive bytes it cannot
+/// decode.
 pub const PROTOCOL_VERSION: u32 = 1;
 
 /// Upper bound on a frame body. Large enough for any realistic result
@@ -98,6 +114,22 @@ pub enum Request {
         /// The requested width, or `None` to clear the override.
         threads: Option<u64>,
     },
+    /// Registers a `TAIL SELECT ... GROUP BY WINDOW(...)` standing query.
+    /// The server answers [`Response::TailStarted`] with a token, then
+    /// pushes one [`Response::TailFrame`] per window bucket as buckets
+    /// close — already-closed history first, so a late subscriber catches
+    /// up before it streams.
+    Tail {
+        /// The `TAIL SELECT ...` statement text.
+        sql: String,
+    },
+    /// Cancels a TAIL subscription; the server answers
+    /// [`Response::TailStopped`] (frames already pushed may still be in
+    /// flight ahead of the ack).
+    TailStop {
+        /// Token returned by [`Response::TailStarted`].
+        token: u64,
+    },
     /// Ends the session; the server answers [`Response::Bye`] and closes.
     Close,
 }
@@ -131,6 +163,14 @@ impl Wire for Request {
                 threads.encode(enc);
             }
             Request::Close => enc.put_u8(6),
+            Request::Tail { sql } => {
+                enc.put_u8(7);
+                enc.put_str(sql);
+            }
+            Request::TailStop { token } => {
+                enc.put_u8(8);
+                enc.put_u64(*token);
+            }
         }
     }
 
@@ -163,12 +203,21 @@ impl Wire for Request {
                 threads: Option::decode(dec)?,
             }),
             6 => Ok(Request::Close),
+            7 => Ok(Request::Tail {
+                sql: dec.take_str()?,
+            }),
+            8 => Ok(Request::TailStop {
+                token: dec.take_u64()?,
+            }),
             other => Err(WireError::Malformed(format!("unknown request tag {other}"))),
         }
     }
 }
 
-/// A server → client message. Every request yields exactly one response.
+/// A server → client message. Every request yields exactly one response;
+/// in addition, a session holding a TAIL subscription may receive pushed
+/// [`Response::TailFrame`] / [`Response::TailStopped`] frames between its
+/// own request/response pairs.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// Successful handshake.
@@ -200,6 +249,35 @@ pub enum Response {
     Error(DbError),
     /// Acknowledges [`Request::Close`]; the server closes the connection.
     Bye,
+    /// A TAIL subscription was registered.
+    TailStarted {
+        /// Handle for the subscription, scoped to this session; quote it
+        /// in [`Request::TailStop`] to cancel.
+        token: u64,
+    },
+    /// **Pushed**: one window bucket of a TAIL subscription closed. The
+    /// carried result is byte-identical to re-running the subscription's
+    /// windowed query and keeping only this bucket's groups.
+    TailFrame {
+        /// The subscription the frame belongs to.
+        token: u64,
+        /// The closed bucket's start (the window column value the bucket
+        /// begins at).
+        bucket: f64,
+        /// The closed bucket's groups, in the windowed query's shape.
+        result: AggregateResult,
+    },
+    /// A TAIL subscription ended: the ack for [`Request::TailStop`]
+    /// (`reason` is `None`), or **pushed** when the standing query
+    /// lapsed server-side (`reason` says why — e.g. its source table was
+    /// dropped).
+    TailStopped {
+        /// The subscription that ended.
+        token: u64,
+        /// `None` for a client-requested stop; the error text when the
+        /// server cancelled the subscription.
+        reason: Option<String>,
+    },
 }
 
 impl Wire for Response {
@@ -231,6 +309,25 @@ impl Wire for Response {
                 e.encode(enc);
             }
             Response::Bye => enc.put_u8(6),
+            Response::TailStarted { token } => {
+                enc.put_u8(7);
+                enc.put_u64(*token);
+            }
+            Response::TailFrame {
+                token,
+                bucket,
+                result,
+            } => {
+                enc.put_u8(8);
+                enc.put_u64(*token);
+                enc.put_f64(*bucket);
+                result.encode(enc);
+            }
+            Response::TailStopped { token, reason } => {
+                enc.put_u8(9);
+                enc.put_u64(*token);
+                reason.encode(enc);
+            }
         }
     }
 
@@ -252,6 +349,18 @@ impl Wire for Response {
             }),
             5 => Ok(Response::Error(DbError::decode(dec)?)),
             6 => Ok(Response::Bye),
+            7 => Ok(Response::TailStarted {
+                token: dec.take_u64()?,
+            }),
+            8 => Ok(Response::TailFrame {
+                token: dec.take_u64()?,
+                bucket: dec.take_f64()?,
+                result: AggregateResult::decode(dec)?,
+            }),
+            9 => Ok(Response::TailStopped {
+                token: dec.take_u64()?,
+                reason: Option::decode(dec)?,
+            }),
             other => Err(WireError::Malformed(format!(
                 "unknown response tag {other}"
             ))),

@@ -5,9 +5,10 @@
 //! query-result type the database produces into deterministic bytes, and
 //! [`frame`]s carrying requests (handshake, `Query`, `Prepare` /
 //! `Execute` / `CloseStatement`, the session `SetWorldsThreads` knob,
-//! `Close`) and responses (typed results for every
-//! [`tspdb_probdb::QueryOutput`] variant, structured
-//! [`tspdb_probdb::DbError`]s, acks).
+//! `Tail` / `TailStop` continuous-query subscriptions, `Close`) and
+//! responses (typed results for every [`tspdb_probdb::QueryOutput`]
+//! variant, structured [`tspdb_probdb::DbError`]s, acks, and pushed
+//! `TailFrame`s for sessions holding a TAIL subscription).
 //!
 //! The crate deliberately contains **no I/O policy** beyond reading and
 //! writing one frame — connection handling, sessions and threading live

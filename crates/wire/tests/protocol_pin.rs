@@ -40,6 +40,10 @@ fn all_requests() -> Vec<Request> {
         },
         Request::SetWorldsThreads { threads: Some(4) },
         Request::Close,
+        Request::Tail {
+            sql: "TAIL SELECT COUNT(*) FROM pv GROUP BY WINDOW(t, 10)".into(),
+        },
+        Request::TailStop { token: 7 },
     ]
 }
 
@@ -60,7 +64,29 @@ fn all_responses() -> Vec<Response> {
         Response::WorldsThreadsSet { threads: None },
         Response::Error(tspdb_probdb::DbError::Unsupported("pinned".into())),
         Response::Bye,
+        Response::TailStarted { token: 7 },
+        Response::TailFrame {
+            token: 7,
+            bucket: 10.0,
+            result: pinned_aggregate(),
+        },
+        Response::TailStopped {
+            token: 7,
+            reason: Some("source table dropped".into()),
+        },
     ]
+}
+
+/// The smallest well-formed [`AggregateResult`] the codec accepts — one
+/// closed, empty bucket.
+fn pinned_aggregate() -> tspdb_probdb::plan::AggregateResult {
+    tspdb_probdb::plan::AggregateResult {
+        group_columns: vec!["WINDOW(t, 10)".into()],
+        aggregates: vec![tspdb_probdb::sql::AggExpr::count()],
+        having: None,
+        strategy: "exact",
+        groups: Vec::new(),
+    }
 }
 
 #[test]
@@ -69,7 +95,7 @@ fn request_tags_are_pinned() {
         .iter()
         .map(|r| encode_message(r)[0])
         .collect();
-    assert_eq!(tags, vec![0, 1, 2, 3, 4, 5, 6]);
+    assert_eq!(tags, vec![0, 1, 2, 3, 4, 5, 6, 7, 8]);
 }
 
 #[test]
@@ -79,7 +105,7 @@ fn response_tags_are_pinned() {
         .map(|r| encode_message(r)[0])
         .collect();
     // `Response::Result` (tag 1) is absent from the pure-wire list.
-    assert_eq!(tags, vec![0, 2, 3, 4, 5, 6]);
+    assert_eq!(tags, vec![0, 2, 3, 4, 5, 6, 7, 8, 9]);
 }
 
 #[test]

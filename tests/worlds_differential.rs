@@ -869,6 +869,90 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Append-incremental maintenance ≡ rebuild from scratch
+// ---------------------------------------------------------------------------
+
+/// Engine defaults for the append-differential property: a small AR(1)
+/// window keeps per-case model fits cheap, `cache: None` keeps Ω-view
+/// maintenance on the direct evaluation path, and one build thread avoids
+/// oversubscribing 64 proptest cases (the produced view is identical for
+/// every thread count anyway).
+fn append_config() -> tspdb::ViewBuilderConfig {
+    tspdb::ViewBuilderConfig {
+        window: 24,
+        metric_config: tspdb::MetricConfig {
+            p: 1,
+            q: 0,
+            ..Default::default()
+        },
+        cache: None,
+        threads: 1,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #[test]
+    fn append_incremental_state_equals_rebuild_from_scratch(
+        base in proptest::collection::vec(15.0f64..25.0, 26..34),
+        batches in proptest::collection::vec(
+            proptest::collection::vec(15.0f64..25.0, 1..12),
+            1..4,
+        ),
+    ) {
+        // The streaming contract: appending batches to a live engine —
+        // incrementally maintaining its Ω-view and catalog synopses —
+        // must leave state *bit-identical* to a fresh engine handed the
+        // full prefix at once, after every prefix of the append sequence.
+        // Checked through every query strategy (exact, Monte-Carlo
+        // worlds, histogram synopsis) plus a full view scan, compared as
+        // canonical result bytes.
+        use tspdb::SharedEngine;
+        const TABLE: &str = "CREATE TABLE stream (t INT, r FLOAT)";
+        const VIEW: &str =
+            "CREATE VIEW sv AS DENSITY r OVER t OMEGA delta=0.5, n=6 FROM stream";
+        const CHECKS: [&str; 5] = [
+            "SELECT * FROM sv THRESHOLD 0.0",
+            "SELECT COUNT(*), SUM(lambda) FROM sv GROUP BY WINDOW(t, 8)",
+            "SELECT COUNT(*) FROM sv WITH WORLDS 400 SEED 11",
+            "SELECT COUNT(*), SUM(lambda) FROM sv WITH SYNOPSIS BUCKETS 8",
+            "SELECT COUNT(*), SUM(r) FROM stream GROUP BY WINDOW(t, 8)",
+        ];
+        let rows = |from: usize, vals: &[f64]| -> Vec<Vec<Value>> {
+            vals.iter()
+                .enumerate()
+                .map(|(i, &r)| vec![Value::Int((from + i) as i64), Value::Float(r)])
+                .collect()
+        };
+
+        let live = SharedEngine::new(append_config());
+        live.execute(TABLE).unwrap();
+        live.append_rows("stream", rows(0, &base)).unwrap();
+        live.execute(VIEW).unwrap();
+
+        let mut all = base.clone();
+        for batch in &batches {
+            live.append_rows("stream", rows(all.len(), batch)).unwrap();
+            all.extend_from_slice(batch);
+
+            let rebuilt = SharedEngine::new(append_config());
+            rebuilt.execute(TABLE).unwrap();
+            rebuilt.append_rows("stream", rows(0, &all)).unwrap();
+            rebuilt.execute(VIEW).unwrap();
+            for sql in CHECKS {
+                prop_assert_eq!(
+                    tspdb_wire::canonical_result_bytes(&live.query(sql).unwrap()),
+                    tspdb_wire::canonical_result_bytes(&rebuilt.query(sql).unwrap()),
+                    "{} diverged after {} appended rows",
+                    sql,
+                    all.len() - base.len()
+                );
+            }
+        }
+    }
+}
+
 proptest! {
     #[test]
     fn synopsis_rebuild_after_write_equals_build_from_scratch(
