@@ -1,0 +1,156 @@
+//! Incremental checkpoint cost as a function of the dirty fraction.
+//!
+//! A checkpoint that appends 1% of a 100k-row table must write O(dirty)
+//! pages, not O(table): the structural fact is pinned with a hard
+//! assertion on the storage engine's pages-written counter (an appended
+//! 1% writes under a tenth of a full rewrite's pages) before anything is
+//! timed, so the measured latency gap can only come from the shadow-write
+//! protocol actually skipping clean pages. The timings land in the
+//! `CRITERION_JSON` artifact next to every other bench, alongside
+//! explicit page-count lines for the artifact diff.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::cell::RefCell;
+use std::path::PathBuf;
+use tspdb_probdb::{ColumnType, ProbTable, Relation, Schema, Value};
+use tspdb_storage::{CheckpointSource, Storage, StorageOptions};
+
+/// Rows in the checkpointed base table.
+const BASE_ROWS: usize = 100_000;
+
+/// A self-cleaning scratch directory for one storage engine.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir =
+            std::env::temp_dir().join(format!("tspdb-storage-bench-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create bench data dir");
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn open_storage(dir: &TempDir) -> Storage {
+    let (storage, _) = Storage::open(&dir.0, StorageOptions::default()).expect("open storage");
+    storage
+}
+
+/// Appends `n` deterministic synthetic readings starting at row `from`.
+fn push_rows(table: &mut ProbTable, from: usize, n: usize) {
+    for i in from..from + n {
+        table
+            .insert(
+                vec![Value::Int(i as i64), Value::Float(0.1 + i as f64 * 1e-6)],
+                ((i % 97) + 1) as f64 / 100.0,
+            )
+            .expect("insert bench row");
+    }
+}
+
+fn base_table() -> ProbTable {
+    let schema = Schema::of(&[("t", ColumnType::Int), ("r", ColumnType::Float)]);
+    let mut table = ProbTable::new("pv", schema);
+    push_rows(&mut table, 0, BASE_ROWS);
+    table
+}
+
+/// Appends one measurement in the criterion shim's JSON-lines shape.
+fn report_json(name: &str, value: f64, iters: usize) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let line = format!("{{\"name\":\"{name}\",\"ns_per_iter\":{value},\"iters\":{iters}}}\n");
+    if let Err(e) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()))
+    {
+        eprintln!("storage bench: cannot append to CRITERION_JSON={path}: {e}");
+    }
+}
+
+fn bench_checkpoint(c: &mut Criterion) {
+    // Structural pin: an appended 1% writes under a tenth of the pages a
+    // full rewrite writes. Deterministic, so asserted rather than timed.
+    {
+        let dir = TempDir::new("pin");
+        let storage = open_storage(&dir);
+        let mut table = base_table();
+        let full = storage
+            .checkpoint(&[Relation::Probabilistic(table.clone())])
+            .expect("full checkpoint");
+        push_rows(&mut table, BASE_ROWS, BASE_ROWS / 100);
+        let rel = Relation::Probabilistic(table);
+        let incr = storage
+            .checkpoint_incremental(&[CheckpointSource::Append(&rel)])
+            .expect("incremental checkpoint");
+        assert!(
+            incr.pages_written * 10 < full.pages_written,
+            "1% append wrote {} pages against {} for the full rewrite",
+            incr.pages_written,
+            full.pages_written
+        );
+        report_json(
+            "storage_checkpoint/pages/full_rewrite",
+            full.pages_written as f64,
+            1,
+        );
+        report_json(
+            "storage_checkpoint/pages/append_1pct",
+            incr.pages_written as f64,
+            1,
+        );
+    }
+
+    let mut group = c.benchmark_group("storage_checkpoint");
+    for (label, pct) in [("append_1pct", 1usize), ("append_10pct", 10)] {
+        let dir = TempDir::new(label);
+        let storage = open_storage(&dir);
+        let rel = RefCell::new(Relation::Probabilistic(base_table()));
+        storage
+            .checkpoint_incremental(&[CheckpointSource::Rewrite(&rel.borrow())])
+            .expect("base checkpoint");
+        let delta = BASE_ROWS * pct / 100;
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut rel = rel.borrow_mut();
+                let Relation::Probabilistic(table) = &mut *rel else {
+                    unreachable!("bench table is probabilistic");
+                };
+                let from = table.len();
+                push_rows(table, from, delta);
+                storage
+                    .checkpoint_incremental(&[CheckpointSource::Append(&rel)])
+                    .expect("append checkpoint")
+            })
+        });
+    }
+    // 100% dirty: everything rewritten, the old whole-file cost.
+    {
+        let dir = TempDir::new("rewrite");
+        let storage = open_storage(&dir);
+        let rel = Relation::Probabilistic(base_table());
+        group.bench_function("rewrite_100pct", |b| {
+            b.iter(|| {
+                storage
+                    .checkpoint_incremental(&[CheckpointSource::Rewrite(&rel)])
+                    .expect("full checkpoint")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkpoint);
+criterion_main!(benches);

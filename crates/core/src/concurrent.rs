@@ -46,14 +46,31 @@ use tspdb_probdb::{
     CmpOp, Comparison, Database, DbError, DensityViewSpec, Planner, QueryOutput, Relation,
     ScanSource, SelectStmt, Statement, Table, Value,
 };
-use tspdb_storage::{JournalOp, Storage, StorageOptions};
+use tspdb_storage::{CheckpointSource, JournalOp, Storage, StorageOptions};
 use tspdb_timeseries::TimeSeries;
 
 /// WAL size (bytes of redo records) above which a journaled write
-/// triggers an automatic checkpoint. Checkpoints rewrite the whole
-/// database file, so the threshold trades recovery time against write
-/// amplification.
+/// triggers an automatic checkpoint. Checkpoints are incremental — they
+/// shadow-write only the pages of relations written since the last one —
+/// so the threshold mostly trades recovery (replay) time against
+/// checkpoint frequency rather than against whole-file rewrites.
 const WAL_AUTOCHECKPOINT_BYTES: u64 = 4 * 1024 * 1024;
+
+/// *How* a relation was written since the last checkpoint — decides which
+/// [`CheckpointSource`] the next checkpoint uses for it.
+///
+/// `Appended` promises the on-disk copy is a row-exact prefix of the
+/// in-memory relation, so the checkpoint reuses the old leaf chain and
+/// writes only the suffix. Any write that can break that promise
+/// (re-registration, drop + create, a rebuild) must mark `Rewritten`,
+/// which always wins when the two merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DirtyKind {
+    /// Rows were only appended; the on-disk prefix is still exact.
+    Appended,
+    /// The relation was (or may have been) changed beyond an append.
+    Rewritten,
+}
 
 /// A cloneable handle to a shared σ-cache.
 ///
@@ -137,10 +154,13 @@ pub struct SharedEngine {
     /// appends to a source table know which views to maintain. Persisted
     /// as spec text in the storage meta sidecar at every checkpoint.
     lineage: Arc<Mutex<BTreeMap<String, DensityViewSpec>>>,
-    /// Relations written since the last checkpoint. An empty set (with an
-    /// empty WAL) means the on-disk file already equals the catalog, so
-    /// checkpoints and evictions skip the rewrite entirely.
-    dirty: Arc<Mutex<BTreeSet<String>>>,
+    /// Relations written since the last checkpoint, and *how* (append vs
+    /// arbitrary rewrite). An empty map (with an empty WAL) means the
+    /// on-disk file already equals the catalog, so checkpoints and
+    /// evictions skip entirely; a clean relation that is already on disk
+    /// is carried through a checkpoint as [`CheckpointSource::Keep`]
+    /// without even being made resident.
+    dirty: Arc<Mutex<BTreeMap<String, DirtyKind>>>,
 }
 
 impl Default for SharedEngine {
@@ -158,7 +178,7 @@ impl SharedEngine {
             last_build: Arc::new(RwLock::new(None)),
             storage: None,
             lineage: Arc::new(Mutex::new(BTreeMap::new())),
-            dirty: Arc::new(Mutex::new(BTreeSet::new())),
+            dirty: Arc::new(Mutex::new(BTreeMap::new())),
         }
     }
 
@@ -172,7 +192,7 @@ impl SharedEngine {
             last_build: Arc::new(RwLock::new(last_build)),
             storage: None,
             lineage: Arc::new(Mutex::new(BTreeMap::new())),
-            dirty: Arc::new(Mutex::new(BTreeSet::new())),
+            dirty: Arc::new(Mutex::new(BTreeMap::new())),
         }
     }
 
@@ -204,7 +224,7 @@ impl SharedEngine {
             last_build: Arc::new(RwLock::new(None)),
             storage: Some(Arc::clone(&storage)),
             lineage: Arc::new(Mutex::new(BTreeMap::new())),
-            dirty: Arc::new(Mutex::new(BTreeSet::new())),
+            dirty: Arc::new(Mutex::new(BTreeMap::new())),
         };
         {
             let mut catalog = engine.catalog.write().expect("catalog lock poisoned");
@@ -259,7 +279,7 @@ impl SharedEngine {
                 for row in rows {
                     table.insert(row.clone())?;
                 }
-                self.mark_dirty(std::iter::once(name.clone()));
+                self.mark_dirty(std::iter::once((name.clone(), DirtyKind::Rewritten)));
                 catalog.register_table(table)?;
             }
             JournalOp::AppendRows { table, rows, probs } => match probs {
@@ -270,7 +290,7 @@ impl SharedEngine {
                     self.apply_append(catalog, table, rows.clone())?;
                 }
                 Some(probs) => {
-                    self.mark_dirty(std::iter::once(table.clone()));
+                    self.mark_dirty(std::iter::once((table.clone(), DirtyKind::Appended)));
                     catalog.append_prob_rows(table, rows.clone(), probs.clone())?;
                 }
             },
@@ -320,10 +340,14 @@ impl SharedEngine {
         }
     }
 
-    /// Collects every reachable relation and writes a checkpoint, with the
-    /// catalog exclusively borrowed so the snapshot is consistent with the
-    /// WAL floor. Evicted relations are made resident first so the new
-    /// file keeps them.
+    /// Writes an incremental checkpoint with the catalog exclusively
+    /// borrowed, so the snapshot is consistent with the WAL floor. Each
+    /// relation contributes per its [`DirtyKind`]: clean relations already
+    /// on disk become [`CheckpointSource::Keep`] (no pages written, no
+    /// materialization — evicted relations stay evicted), append-only
+    /// dirty ones become [`CheckpointSource::Append`] (suffix leaves
+    /// only), everything else is rewritten. Dirty relations are made
+    /// resident first so their tuples are in hand.
     fn checkpoint_locked(
         &self,
         catalog: &mut Database,
@@ -331,27 +355,42 @@ impl SharedEngine {
     ) -> Result<(), CoreError> {
         // Clean skip: no relation was written since the last checkpoint
         // and the WAL holds no records past the floor, so the on-disk
-        // file already equals the catalog — rewriting it would only burn
+        // file already equals the catalog — a checkpoint would only burn
         // write bandwidth.
-        let clean = self
-            .dirty
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .is_empty()
-            && storage.wal_bytes().map_err(DbError::from)? == 0;
-        if clean {
+        let dirty: BTreeMap<String, DirtyKind> =
+            self.dirty.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        if dirty.is_empty() && storage.wal_bytes().map_err(DbError::from)? == 0 {
             return Ok(());
         }
-        let names = catalog.all_relation_names();
-        for name in &names {
+        let on_disk: BTreeSet<String> = storage.relation_names().into_iter().collect();
+        let mut kept: Vec<String> = Vec::new();
+        let mut fresh: Vec<(String, DirtyKind)> = Vec::new();
+        for name in catalog.all_relation_names() {
+            match dirty.get(&name) {
+                None if on_disk.contains(&name) => kept.push(name),
+                // Conservative: a clean relation the file has never seen
+                // still needs a first write.
+                None => fresh.push((name, DirtyKind::Rewritten)),
+                Some(kind) => fresh.push((name, *kind)),
+            }
+        }
+        for (name, _) in &fresh {
             catalog.ensure_resident(name)?;
         }
-        let relations: Vec<Relation> = names
+        let relations: Vec<(DirtyKind, Relation)> = fresh
             .iter()
-            .filter_map(|n| catalog.relation(n).cloned())
+            .filter_map(|(n, k)| catalog.relation(n).cloned().map(|r| (*k, r)))
+            .collect();
+        let sources: Vec<CheckpointSource> = kept
+            .iter()
+            .map(|n| CheckpointSource::Keep(n.as_str()))
+            .chain(relations.iter().map(|(kind, relation)| match kind {
+                DirtyKind::Appended => CheckpointSource::Append(relation),
+                DirtyKind::Rewritten => CheckpointSource::Rewrite(relation),
+            }))
             .collect();
         storage
-            .checkpoint(&relations)
+            .checkpoint_incremental(&sources)
             .map_err(DbError::from)
             .map_err(CoreError::from)?;
         // Persist Ω-view lineage alongside the checkpoint so a reopened
@@ -397,7 +436,7 @@ impl SharedEngine {
             .dirty
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .contains(name)
+            .contains_key(name)
             && storage.relation_names().iter().any(|n| n == name);
         if !clean {
             self.checkpoint_locked(&mut catalog, storage)?;
@@ -689,7 +728,7 @@ impl SharedEngine {
         rows: Vec<Vec<Value>>,
     ) -> Result<usize, CoreError> {
         let appended = catalog.append_rows(table, rows)?;
-        self.mark_dirty(std::iter::once(table.to_string()));
+        self.mark_dirty(std::iter::once((table.to_string(), DirtyKind::Appended)));
         self.maintain_dependent_views(catalog, table, appended)?;
         Ok(appended)
     }
@@ -727,7 +766,7 @@ impl SharedEngine {
         };
         for spec in specs {
             let floor = monotone_suffix_floor(catalog, &spec, appended)?;
-            match floor {
+            let kind = match floor {
                 Some(floor) if self.defaults.cache.is_none() => {
                     let mut suffix = spec.clone();
                     suffix.predicate.push(Comparison::new(
@@ -739,23 +778,35 @@ impl SharedEngine {
                     let rows = view.rows().to_vec();
                     let probs = view.probs().to_vec();
                     catalog.append_prob_rows(&spec.view_name, rows, probs)?;
+                    DirtyKind::Appended
                 }
                 _ => {
                     let (view, _) = build_density_view(catalog, self.defaults, &spec)?;
                     catalog.register_prob_table(view)?;
+                    DirtyKind::Rewritten
                 }
-            }
-            self.mark_dirty(std::iter::once(spec.view_name.clone()));
+            };
+            self.mark_dirty(std::iter::once((spec.view_name.clone(), kind)));
         }
         Ok(())
     }
 
     /// Records relations written since the last checkpoint.
-    fn mark_dirty<I: IntoIterator<Item = String>>(&self, names: I) {
-        self.dirty
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .extend(names);
+    /// [`DirtyKind::Rewritten`] always wins a merge: an append after a
+    /// rewrite still leaves the on-disk prefix stale, so the relation must
+    /// stay on the full-rewrite path until a checkpoint clears it.
+    fn mark_dirty<I: IntoIterator<Item = (String, DirtyKind)>>(&self, names: I) {
+        let mut dirty = self.dirty.lock().unwrap_or_else(|e| e.into_inner());
+        for (name, kind) in names {
+            dirty
+                .entry(name)
+                .and_modify(|existing| {
+                    if kind == DirtyKind::Rewritten {
+                        *existing = DirtyKind::Rewritten;
+                    }
+                })
+                .or_insert(kind);
+        }
     }
 
     /// Loads a time series as a `(t INT, <value_col> FLOAT)` table (write
@@ -779,7 +830,10 @@ impl SharedEngine {
                     rows: table.rows().to_vec(),
                 })
                 .map_err(DbError::from)?;
-            self.mark_dirty(std::iter::once(table.name().to_string()));
+            self.mark_dirty(std::iter::once((
+                table.name().to_string(),
+                DirtyKind::Rewritten,
+            )));
         }
         catalog.register_table(table)?;
         Ok(())
@@ -807,14 +861,18 @@ impl SharedEngine {
 
 /// The relations a mutating statement writes — what the dirty tracker
 /// records before the statement applies. Conservative by construction:
-/// marking too much only costs a checkpoint rewrite, marking too little
-/// would lose data on a skipped one, so the match is exhaustive and any
-/// new mutating variant must name its targets here.
-fn statement_dirty_targets(stmt: &Statement) -> Vec<String> {
+/// marking too much (or as [`DirtyKind::Rewritten`] when an append would
+/// do) only costs checkpoint pages, marking too little would lose data on
+/// a skipped one, so the match is exhaustive and any new mutating variant
+/// must name its targets here. Only `INSERT` qualifies as append-only;
+/// everything else replaces the relation wholesale.
+fn statement_dirty_targets(stmt: &Statement) -> Vec<(String, DirtyKind)> {
     match stmt {
-        Statement::CreateTable { name, .. } | Statement::Drop { name } => vec![name.clone()],
-        Statement::Insert { table, .. } => vec![table.clone()],
-        Statement::CreateDensityView(spec) => vec![spec.view_name.clone()],
+        Statement::CreateTable { name, .. } | Statement::Drop { name } => {
+            vec![(name.clone(), DirtyKind::Rewritten)]
+        }
+        Statement::Insert { table, .. } => vec![(table.clone(), DirtyKind::Appended)],
+        Statement::CreateDensityView(spec) => vec![(spec.view_name.clone(), DirtyKind::Rewritten)],
         Statement::Select(_) | Statement::Explain(_) | Statement::Tail(_) => vec![],
     }
 }

@@ -290,8 +290,60 @@ pub trait ScanSource: std::fmt::Debug + Send + Sync {
     /// Materialises the named relation, or `None` if the source doesn't
     /// hold it either.
     fn scan(&self, name: &str) -> Result<Option<Relation>, DbError>;
+    /// Opens a lazy tuple stream over the named relation, or `None` when
+    /// the source either doesn't hold it or can't stream (the default:
+    /// sources without a paged layout fall back to [`ScanSource::scan`]).
+    /// The executor uses this to filter a disk-resident relation tuple by
+    /// tuple instead of materialising it whole.
+    fn scan_stream(&self, name: &str) -> Result<Option<Box<dyn TupleStream>>, DbError> {
+        let _ = name;
+        Ok(None)
+    }
     /// Names of all relations the source can scan.
     fn names(&self) -> Vec<String>;
+}
+
+/// One streamed tuple: the row, plus its existence probability for
+/// probabilistic relations (`None` for deterministic ones).
+pub type StreamedTuple = (Vec<Value>, Option<f64>);
+
+/// A pull-based tuple stream over one relation, yielded by
+/// [`ScanSource::scan_stream`]. Tuples arrive in the relation's canonical
+/// (insertion) order — the same order a materialised scan would hold them
+/// — so anything computed from the stream is bit-identical to the
+/// materialised path.
+pub trait TupleStream {
+    /// Column layout of the streamed tuples.
+    fn schema(&self) -> &Schema;
+    /// Whether tuples carry an existence probability.
+    fn probabilistic(&self) -> bool;
+    /// The next tuple, or `None` at exhaustion.
+    fn next_tuple(&mut self) -> Result<Option<StreamedTuple>, DbError>;
+}
+
+/// Drains a lazy stream into a whole relation (used when a strategy needs
+/// every tuple anyway — the whole-relation synopsis path).
+fn materialize_stream(
+    name: &str,
+    schema: &Schema,
+    stream: &mut dyn TupleStream,
+) -> Result<Relation, DbError> {
+    if stream.probabilistic() {
+        let mut t = ProbTable::new(name, schema.clone());
+        while let Some((row, prob)) = stream.next_tuple()? {
+            let prob = prob.ok_or_else(|| {
+                DbError::Storage(format!("{name}: probabilistic tuple without probability"))
+            })?;
+            t.insert(row, prob)?;
+        }
+        Ok(Relation::Probabilistic(t))
+    } else {
+        let mut t = Table::new(name, schema.clone());
+        while let Some((row, _)) = stream.next_tuple()? {
+            t.insert(row)?;
+        }
+        Ok(Relation::Deterministic(t))
+    }
 }
 
 /// An in-memory database of named relations.
@@ -899,20 +951,26 @@ impl Database {
         planned: &PlannedQuery,
         worlds_threads: Option<usize>,
     ) -> Result<QueryOutput, DbError> {
-        // Resident relations win; otherwise fall through to the attached
-        // scan source (the persistent storage engine). Either way the same
-        // strategy executes over the same tuple representation, so results
-        // are bit-identical across media for a fixed query + seed.
+        // Resident relations win; otherwise try the scan source's lazy
+        // stream, and fall through to whole-relation materialisation only
+        // when the source can't stream. Either way the same strategy
+        // executes over the same tuple representation, so results are
+        // bit-identical across media for a fixed query + seed.
         let fetched;
         let relation = match self.relations.get(&planned.physical.table) {
             Some(r) => r.as_ref(),
-            None => match self.scan_from_source(&planned.physical.table)? {
-                Some(r) => {
-                    fetched = r;
-                    &fetched
+            None => {
+                if let Some(out) = self.execute_streamed(planned, worlds_threads)? {
+                    return Ok(out);
                 }
-                None => return Err(DbError::UnknownTable(planned.physical.table.clone())),
-            },
+                match self.scan_from_source(&planned.physical.table)? {
+                    Some(r) => {
+                        fetched = r;
+                        &fetched
+                    }
+                    None => return Err(DbError::UnknownTable(planned.physical.table.clone())),
+                }
+            }
         };
         planned
             .strategy_with_context(
@@ -921,6 +979,115 @@ impl Database {
                 self.shard_map(&planned.physical.table),
             )
             .execute(relation, &planned.physical)
+    }
+
+    /// Executes `planned` over the scan source's lazy tuple stream,
+    /// filtering leaf by leaf instead of materialising the relation
+    /// whole. Returns `Ok(None)` when the plan or source can't stream —
+    /// `WITH WORLDS` plans (MC passes over the tuples many times, so they
+    /// materialise; `EXPLAIN` notes it) and sources without a stream.
+    ///
+    /// Bit-identity with the materialised path is preserved by applying
+    /// the *same* restrictions in the *same* observable order: `WHERE`
+    /// (and `THRESHOLD`, when the strategy would apply it) run per tuple
+    /// during the stream and are stripped from the plan the strategy
+    /// executes; `TOP` stays with the strategy, which also keeps
+    /// ownership of the deterministic `THRESHOLD`/`TOP` rejection and the
+    /// τ range check.
+    fn execute_streamed(
+        &self,
+        planned: &PlannedQuery,
+        worlds_threads: Option<usize>,
+    ) -> Result<Option<QueryOutput>, DbError> {
+        use crate::plan::StrategyKind;
+        use crate::query::eval_conjunction;
+
+        if matches!(planned.strategy, StrategyKind::Worlds(_)) {
+            return Ok(None);
+        }
+        let name = &planned.physical.table;
+        if self.dropped.contains(name) {
+            return Ok(None);
+        }
+        let Some(source) = &self.scan_source else {
+            return Ok(None);
+        };
+        let Some(mut stream) = source.scan_stream(name)? else {
+            return Ok(None);
+        };
+        let threads = worlds_threads.unwrap_or_else(|| self.worlds_threads());
+        let plan = &planned.physical;
+        let schema = stream.schema().clone();
+
+        // A synopsis plan with no fallback answers from bucketed moments
+        // over the whole relation: stream it through unfiltered and hand
+        // the strategy the cached synopses, exactly like the materialised
+        // path (the synopses' staleness guard compares tuple counts).
+        if planned.synopsis_answers_whole_relation() {
+            let relation = materialize_stream(name, &schema, stream.as_mut())?;
+            let strategy = planned.strategy_with_context(threads, self.synopses(name), None);
+            return strategy.execute(&relation, plan).map(Some);
+        }
+
+        if !stream.probabilistic() {
+            if plan.threshold.is_some() || plan.top.is_some() {
+                // The strategy rejects THRESHOLD/TOP on deterministic
+                // relations *before* evaluating any predicate; handing it
+                // an empty relation and the unstripped plan reproduces
+                // that error (and its ordering) without reading a page.
+                let empty = Relation::Deterministic(Table::new(name, schema));
+                let strategy = planned.strategy_with_context(threads, None, None);
+                return strategy.execute(&empty, plan).map(Some);
+            }
+            let mut t = Table::new(name, schema.clone());
+            while let Some((row, _)) = stream.next_tuple()? {
+                if eval_conjunction(&schema, &row, None, &plan.predicate)? {
+                    t.insert(row)?;
+                }
+            }
+            let mut stripped = plan.clone();
+            stripped.predicate = Vec::new();
+            let strategy = planned.strategy_with_context(threads, None, None);
+            return strategy
+                .execute(&Relation::Deterministic(t), &stripped)
+                .map(Some);
+        }
+
+        // Probabilistic: WHERE and THRESHOLD filter per tuple during the
+        // stream. Predicate errors surface on the first offending tuple
+        // (as in the materialised path, which filters before validating
+        // τ); τ's range check follows at exhaustion, in the same order
+        // restrict_prob_indices checks it.
+        let mut t = ProbTable::new(name, schema.clone());
+        while let Some((row, prob)) = stream.next_tuple()? {
+            let prob = prob.ok_or_else(|| {
+                DbError::Storage(format!("{name}: probabilistic tuple without probability"))
+            })?;
+            if !eval_conjunction(&schema, &row, Some(prob), &plan.predicate)? {
+                continue;
+            }
+            if let Some(tau) = plan.threshold {
+                if !(prob >= tau) {
+                    continue;
+                }
+            }
+            t.insert(row, prob)?;
+        }
+        if let Some(tau) = plan.threshold {
+            if !(0.0..=1.0).contains(&tau) {
+                return Err(DbError::InvalidProbability(tau));
+            }
+        }
+        let mut stripped = plan.clone();
+        stripped.predicate = Vec::new();
+        stripped.threshold = None;
+        // No synopses (the restricted tuple set no longer matches the
+        // cached ones — their staleness guard would reject them anyway)
+        // and no shards (layouts describe the unrestricted relation).
+        let strategy = planned.strategy_with_context(threads, None, None);
+        strategy
+            .execute(&Relation::Probabilistic(t), &stripped)
+            .map(Some)
     }
 
     /// Plans a `SELECT` and returns its [`ExplainReport`] instead of
@@ -959,7 +1126,17 @@ impl Database {
                     .as_ref()
                     .is_some_and(|s| s.names().contains(&planned.physical.table)) =>
             {
-                format!("{}: on disk (via scan source)", planned.physical.table)
+                use crate::plan::StrategyKind;
+                let scan_note = match &planned.strategy {
+                    StrategyKind::Worlds(_) => {
+                        " — materialises whole (MC sampling re-reads tuples)"
+                    }
+                    _ => " — lazy leaf-at-a-time scan",
+                };
+                format!(
+                    "{}: on disk (via scan source){scan_note}",
+                    planned.physical.table
+                )
             }
             None => format!(
                 "{}: not found (plan is still valid)",

@@ -72,8 +72,8 @@ pub mod worlds;
 
 pub use aggregates::{sum_distribution_of, SumDistribution};
 pub use catalog::{
-    Database, QueryOutput, Relation, RelationSnapshot, RelationSynopses, ScanSource,
-    AUTO_SHARD_MIN_ROWS, DEFAULT_SYNOPSIS_BUCKETS,
+    Database, QueryOutput, Relation, RelationSnapshot, RelationSynopses, ScanSource, StreamedTuple,
+    TupleStream, AUTO_SHARD_MIN_ROWS, DEFAULT_SYNOPSIS_BUCKETS,
 };
 pub use error::DbError;
 pub use plan::{

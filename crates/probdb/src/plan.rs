@@ -386,6 +386,17 @@ impl PlannedQuery {
             )),
         }
     }
+
+    /// Whether this plan runs `WITH SYNOPSIS` *without* a plan-shape
+    /// fallback — i.e. it will answer from bucketed moments over the
+    /// **whole** relation. The lazy scan path must not pre-filter the
+    /// stream for such a plan: the synopsis needs the unrestricted
+    /// relation (and its cached synopses) to stay bit-identical to the
+    /// materialised path.
+    pub(crate) fn synopsis_answers_whole_relation(&self) -> bool {
+        matches!(&self.strategy, StrategyKind::Synopsis(_))
+            && synopsis_support(&self.physical).is_ok()
+    }
 }
 
 /// Catalog-resolved inputs every strategy's scan phase shares: the

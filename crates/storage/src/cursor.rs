@@ -6,30 +6,36 @@
 //! interior chain once up front and then hands out leaves in order;
 //! [`TupleCursor`] decodes tuples out of those leaves one at a time.
 //! Both read through the pager, so a warm scan never touches the disk.
+//!
+//! Cursors are generic over *how* they hold the pager: a borrowed
+//! `&Pager` for short scans, or an owned `Arc<Pager>` when the cursor
+//! must outlive the stack frame (the lazy [`crate::RelationStream`] the
+//! query engine pulls tuples through).
 
 use crate::codec::Reader;
 use crate::error::StorageError;
 use crate::page::{Page, PageKind};
 use crate::pager::Pager;
+use std::borrow::Borrow;
 use std::collections::VecDeque;
 use std::sync::Arc;
 use tspdb_probdb::{Schema, Value};
 
 /// Iterates the leaf pages of one relation, in tuple order.
 #[derive(Debug)]
-pub struct PageCursor<'a> {
-    pager: &'a Pager,
+pub struct PageCursor<P: Borrow<Pager>> {
+    pager: P,
     leaves: VecDeque<u64>,
 }
 
-impl<'a> PageCursor<'a> {
+impl<P: Borrow<Pager>> PageCursor<P> {
     /// Walks the interior chain rooted at `root` (0 = empty relation) and
     /// prepares to iterate its leaves.
-    pub fn new(pager: &'a Pager, root: u64) -> Result<Self, StorageError> {
+    pub fn new(pager: P, root: u64) -> Result<Self, StorageError> {
         let mut leaves = VecDeque::new();
         let mut id = root;
         while id != 0 {
-            let page = pager.get(id)?;
+            let page = pager.borrow().get(id)?;
             if page.kind() != PageKind::Interior {
                 return Err(StorageError::CorruptPage {
                     page: id,
@@ -55,7 +61,7 @@ impl<'a> PageCursor<'a> {
         let Some(id) = self.leaves.pop_front() else {
             return Ok(None);
         };
-        let page = self.pager.get(id)?;
+        let page = self.pager.borrow().get(id)?;
         if page.kind() != PageKind::Leaf {
             return Err(StorageError::CorruptPage {
                 page: id,
@@ -82,17 +88,17 @@ struct LeafPos {
 /// Streams the tuples of one relation: `(row, existence probability)` for
 /// probabilistic relations, `(row, None)` for deterministic ones.
 #[derive(Debug)]
-pub struct TupleCursor<'a> {
-    pages: PageCursor<'a>,
+pub struct TupleCursor<P: Borrow<Pager>> {
+    pages: PageCursor<P>,
     schema: Schema,
     probabilistic: bool,
     current: Option<LeafPos>,
 }
 
-impl<'a> TupleCursor<'a> {
+impl<P: Borrow<Pager>> TupleCursor<P> {
     /// A tuple cursor over the relation rooted at `root`.
     pub fn new(
-        pager: &'a Pager,
+        pager: P,
         root: u64,
         schema: Schema,
         probabilistic: bool,
@@ -103,6 +109,16 @@ impl<'a> TupleCursor<'a> {
             probabilistic,
             current: None,
         })
+    }
+
+    /// The schema tuples are decoded against.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Whether tuples carry an existence probability.
+    pub fn probabilistic(&self) -> bool {
+        self.probabilistic
     }
 
     /// Decodes the next tuple, or `None` at end of relation.

@@ -7,13 +7,16 @@
 //!
 //! A database directory holds two files:
 //!
-//! * `tspdb.db` — fixed-size pages ([`page::PAGE_SIZE`] bytes): a meta
-//!   page, a catalog chain (one entry per relation), and per relation an
+//! * `tspdb.db` — fixed-size pages ([`page::PAGE_SIZE`] bytes): **two
+//!   meta slots** (pages 0 and 1, the valid one with the higher epoch
+//!   wins), a catalog chain (one entry per relation), and per relation an
 //!   interior chain listing its leaf pages and the leaves holding encoded
-//!   tuples. The file is only ever replaced wholesale by
-//!   [`Storage::checkpoint`] (write-new, fsync, atomic rename), never
-//!   patched in place — which is what lets the page cache hold immutable
-//!   [`std::sync::Arc`] snapshots, the same design as the engine's σ-cache.
+//!   tuples. Checkpoints are **incremental and shadow-paged**
+//!   ([`Storage::checkpoint_incremental`]): new pages go only to slots
+//!   unreachable from the live meta, and one meta-slot write is the
+//!   atomic commit point — which is what lets the page cache hold
+//!   immutable [`std::sync::Arc`] snapshots, the same design as the
+//!   engine's σ-cache.
 //! * `tspdb.wal` — the redo log. Every mutating operation is appended and
 //!   fsynced **before** it is applied in memory; recovery replays
 //!   committed records newer than the last checkpoint.
@@ -23,22 +26,24 @@
 //! Tuples are encoded with floats as IEEE-754 bit patterns and replayed
 //! writes go through the same engine write path as live ones, so a tuple
 //! is bit-identical whether it came from the page cache, a cold disk
-//! read, or a post-crash WAL replay — and therefore so is every query
-//! fingerprint, at any thread count, for a fixed query + seed.
+//! read, a lazy [`RelationStream`], or a post-crash WAL replay — and
+//! therefore so is every query fingerprint, at any thread count, for a
+//! fixed query + seed.
 //!
 //! ## Crash safety
 //!
-//! The commit point of a write is the WAL fsync. The checkpoint commit
-//! point is the atomic rename of the rewritten database file. The window
-//! between a checkpoint's rename and its WAL reset is covered by
-//! sequence numbers: the meta page stores the last sequence the
-//! checkpoint contains, and replay skips records at or below that floor,
-//! so nothing is ever applied twice. Fault-injection crash points
-//! ([`CrashPoint`]) cut the write path at each of these windows in tests.
+//! The commit point of a write is the WAL fsync. The commit point of a
+//! checkpoint is the meta-slot write — issued only after every shadowed
+//! data page is durably fsynced, and carrying the WAL floor so replay
+//! skips records the checkpoint already contains (see [`checkpoint`] for
+//! the full protocol). Fault-injection crash points ([`CrashPoint`] on
+//! the WAL path, [`CheckpointCrashPoint`] inside the checkpoint) cut the
+//! write path at each of these windows in tests.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod checkpoint;
 pub mod codec;
 pub mod cursor;
 pub mod error;
@@ -46,26 +51,39 @@ pub mod page;
 pub mod pager;
 pub mod wal;
 
+pub use checkpoint::{CheckpointCrashPoint, CheckpointSource, CheckpointStats, RelationLayout};
 pub use error::StorageError;
 pub use pager::{Pager, PagerStats, DEFAULT_CACHE_PAGES};
 pub use wal::{CrashPoint, JournalOp};
 
-use codec::{Reader, Writer};
-use cursor::TupleCursor;
-use page::{Page, PageKind, PAGE_SIZE, PAYLOAD_LEN};
-use std::collections::BTreeMap;
+use checkpoint::SlotAllocator;
+use codec::Reader;
+use cursor::{DecodedTuple, TupleCursor};
+use page::{PageKind, PAGE_SIZE};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs::{File, OpenOptions};
-use std::io::Write as _;
+use std::io::{Seek, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
-use tspdb_probdb::{DbError, ProbTable, Relation, ScanSource, Schema, Table};
+use tspdb_probdb::{DbError, ProbTable, Relation, ScanSource, Schema, Table, TupleStream, Value};
 
 /// Database file magic.
-const DB_MAGIC: &[u8; 8] = b"TSPDB-DB";
+pub(crate) const DB_MAGIC: &[u8; 8] = b"TSPDB-DB";
 
-/// Database file format version.
-const DB_VERSION: u32 = 1;
+/// Database file format version (v2: dual meta slots + shadow-paged
+/// incremental checkpoints; v1 files were rewritten wholesale and are not
+/// read by this build).
+pub(crate) const DB_VERSION: u32 = 2;
+
+/// Number of meta slots at the head of the database file.
+const META_SLOTS: u64 = 2;
+
+/// Debug hook: sleep this many milliseconds inside
+/// [`Storage::checkpoint_incremental`], between the data-page fsync and
+/// the meta-slot commit. CI's recovery smoke test uses it to land a
+/// `kill -9` inside an in-flight checkpoint.
+pub const CHECKPOINT_HOLD_ENV: &str = "TSPDB_CHECKPOINT_HOLD_MS";
 
 /// Name of the paged database file inside a data directory.
 pub const DB_FILE: &str = "tspdb.db";
@@ -127,21 +145,54 @@ pub struct Recovery {
     pub truncated_tail: bool,
 }
 
+/// The live meta slot's contents.
+#[derive(Debug, Clone, Copy)]
+struct MetaInfo {
+    epoch: u64,
+    n_pages: u64,
+    catalog_root: u64,
+    wal_floor: u64,
+}
+
 /// The persistent storage engine of one database directory.
 ///
-/// Thread-safe: scans take a snapshot of the pager and directory under a
-/// read lock; `log` serialises appends on the WAL mutex; `checkpoint`
-/// swaps the pager and directory wholesale after the atomic rename.
+/// Thread-safe: scans read immutable page snapshots through the shared
+/// pager; `log` serialises appends on the WAL mutex; checkpoints
+/// serialise on their own mutex and shadow-write only pages unreachable
+/// from the live meta, so concurrent reads of the *current* state stay
+/// valid throughout. One caveat is inherited by anything that streams
+/// lazily ([`Storage::scan_stream`]): a stream outliving **two**
+/// checkpoints may observe reused slots; the engine layer prevents this
+/// by excluding checkpoints while queries run (its catalog RwLock).
 #[derive(Debug)]
 pub struct Storage {
     dir: PathBuf,
     options: StorageOptions,
-    pager: RwLock<Arc<Pager>>,
+    pager: Arc<Pager>,
+    /// Read-write handle to the database file, used only by checkpoints
+    /// for in-place shadow writes (the pager's handle stays read-only).
+    db_write: Mutex<File>,
     directory: RwLock<BTreeMap<String, CatalogEntry>>,
+    /// Page layout of each cataloged relation — the reachable set the
+    /// shadow allocator must not touch, and the leaf-chain prefix appends
+    /// reuse.
+    layouts: RwLock<BTreeMap<String, RelationLayout>>,
+    /// Page ids of the live catalog chain (reachable, like the layouts).
+    catalog_pages: Mutex<Vec<u64>>,
+    /// Epoch of the live meta slot; the next checkpoint commits epoch+1
+    /// to slot `(epoch+1) % 2`.
+    epoch: AtomicU64,
     wal: Mutex<wal::Wal>,
     /// Sequence number of the last record appended to the WAL (0 = none
     /// since the floor).
     last_seq: AtomicU64,
+    /// Lifetime count of database-file pages written by checkpoints —
+    /// the observable behind the O(dirty)-not-O(total) cost claim.
+    pages_written: AtomicU64,
+    /// Armed fault-injection point for the next checkpoint (tests only).
+    checkpoint_crash: Mutex<Option<CheckpointCrashPoint>>,
+    /// Serialises checkpoints against each other.
+    ckpt_serial: Mutex<()>,
 }
 
 impl Storage {
@@ -153,18 +204,20 @@ impl Storage {
         std::fs::create_dir_all(dir)?;
         let db_path = dir.join(DB_FILE);
         if !db_path.exists() {
-            // Fresh directory: write an empty database (meta page only).
-            write_db_file(&db_path.with_extension("db.tmp"), &[], 0)?;
+            // Fresh directory: both meta slots, epoch 0, empty catalog.
+            write_fresh_db(&db_path.with_extension("db.tmp"))?;
             std::fs::rename(db_path.with_extension("db.tmp"), &db_path)?;
             sync_dir(dir)?;
         }
 
-        let (pager, directory, wal_floor) = load_db_file(&db_path, options.cache_pages)?;
-        let (wal, replay) = wal::Wal::open(&dir.join(WAL_FILE), wal_floor, options.fsync)?;
-        let last_seq = replay.last_seq.max(wal_floor);
+        let loaded = load_db_file(&db_path, options.cache_pages)?;
+        let db_write = OpenOptions::new().read(true).write(true).open(&db_path)?;
+        let (wal, replay) =
+            wal::Wal::open(&dir.join(WAL_FILE), loaded.meta.wal_floor, options.fsync)?;
+        let last_seq = replay.last_seq.max(loaded.meta.wal_floor);
         let recovery = Recovery {
             ops: replay.ops.into_iter().map(|(_, op)| op).collect(),
-            checkpoint_relations: directory.len(),
+            checkpoint_relations: loaded.directory.len(),
             skipped: replay.skipped,
             truncated_tail: replay.truncated_tail,
         };
@@ -172,10 +225,17 @@ impl Storage {
             Storage {
                 dir: dir.to_path_buf(),
                 options,
-                pager: RwLock::new(Arc::new(pager)),
-                directory: RwLock::new(directory),
+                pager: Arc::new(loaded.pager),
+                db_write: Mutex::new(db_write),
+                directory: RwLock::new(loaded.directory),
+                layouts: RwLock::new(loaded.layouts),
+                catalog_pages: Mutex::new(loaded.catalog_pages),
+                epoch: AtomicU64::new(loaded.meta.epoch),
                 wal: Mutex::new(wal),
                 last_seq: AtomicU64::new(last_seq),
+                pages_written: AtomicU64::new(0),
+                checkpoint_crash: Mutex::new(None),
+                ckpt_serial: Mutex::new(()),
             },
             recovery,
         ))
@@ -236,6 +296,15 @@ impl Storage {
             .set_crash_point(point);
     }
 
+    /// Arms a fault-injection point inside the next checkpoint (tests
+    /// only). After it fires the handle is poisoned.
+    pub fn set_checkpoint_crash_point(&self, point: Option<CheckpointCrashPoint>) {
+        *self
+            .checkpoint_crash
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = point;
+    }
+
     /// Whether an injected crash has poisoned this handle.
     pub fn is_poisoned(&self) -> bool {
         self.wal
@@ -253,42 +322,277 @@ impl Storage {
             .len_bytes()
     }
 
-    /// Writes a full checkpoint: encodes `relations` into a new database
-    /// file, fsyncs it, atomically renames it over the live one, resets
-    /// the WAL, and swaps in a fresh pager. The caller must guarantee the
-    /// relation set is the result of every operation logged so far (i.e.
-    /// hold its write lock across this call).
-    pub fn checkpoint(&self, relations: &[Relation]) -> Result<(), StorageError> {
-        {
-            let wal = self.wal.lock().unwrap_or_else(|e| e.into_inner());
-            if wal.is_poisoned() {
-                return Err(StorageError::Poisoned);
-            }
-        }
-        let floor = self.last_seq.load(Ordering::Relaxed);
-        let mut sorted: Vec<&Relation> = relations.iter().collect();
-        sorted.sort_by(|a, b| relation_name(a).cmp(relation_name(b)));
-
-        let db_path = self.dir.join(DB_FILE);
-        let tmp_path = self.dir.join(format!("{DB_FILE}.tmp"));
-        write_db_file(&tmp_path, &sorted, floor)?;
-        std::fs::rename(&tmp_path, &db_path)?;
-        sync_dir(&self.dir)?;
-
-        // The rename is the commit point; from here the WAL is redundant.
-        let (pager, directory, _) = load_db_file(&db_path, self.options.cache_pages)?;
-        {
-            let mut wal = self.wal.lock().unwrap_or_else(|e| e.into_inner());
-            wal.reset()?;
-        }
-        *self.pager.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(pager);
-        *self.directory.write().unwrap_or_else(|e| e.into_inner()) = directory;
-        Ok(())
+    /// Lifetime count of database-file pages written by checkpoints. An
+    /// append-only workload moves this by O(appended rows) per
+    /// checkpoint, not O(database).
+    pub fn pages_written(&self) -> u64 {
+        self.pages_written.load(Ordering::Relaxed)
     }
 
-    /// Materialises one relation from disk (through the page cache), or
-    /// `None` if the catalog has no such relation.
-    pub fn scan(&self, name: &str) -> Result<Option<Relation>, StorageError> {
+    /// Writes a **full** checkpoint: every relation in `relations` is
+    /// rewritten from scratch, everything else is dropped from the
+    /// catalog. Kept for callers that don't track dirtiness;
+    /// [`Storage::checkpoint_incremental`] is the page-granular path.
+    pub fn checkpoint(&self, relations: &[Relation]) -> Result<CheckpointStats, StorageError> {
+        let sources: Vec<CheckpointSource<'_>> =
+            relations.iter().map(CheckpointSource::Rewrite).collect();
+        self.checkpoint_incremental(&sources)
+    }
+
+    /// Writes an incremental, shadow-paged checkpoint.
+    ///
+    /// `sources` names every relation the new catalog should contain —
+    /// relations absent from it are dropped. [`CheckpointSource::Keep`]
+    /// writes nothing; [`CheckpointSource::Append`] writes only the
+    /// appended suffix (new leaves + a fresh interior chain);
+    /// [`CheckpointSource::Rewrite`] writes the relation whole. The
+    /// catalog chain and one meta slot are always rewritten.
+    ///
+    /// Protocol (see [`checkpoint`] module docs): data pages go to slots
+    /// unreachable from the live meta and are fsynced; only then is the
+    /// new meta — carrying the WAL floor — committed to the inactive slot
+    /// and fsynced; only then is the WAL reset. A crash at any point
+    /// recovers bit-exactly to the old or the new state.
+    ///
+    /// The caller must guarantee the sources reflect every operation
+    /// logged so far (i.e. hold its write lock across this call).
+    pub fn checkpoint_incremental(
+        &self,
+        sources: &[CheckpointSource<'_>],
+    ) -> Result<CheckpointStats, StorageError> {
+        let _serial = self.ckpt_serial.lock().unwrap_or_else(|e| e.into_inner());
+        if self.is_poisoned() {
+            return Err(StorageError::Poisoned);
+        }
+        let floor = self.last_seq.load(Ordering::Relaxed);
+        let old_dir = self
+            .directory
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        let old_layouts = self
+            .layouts
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        let old_catalog = self
+            .catalog_pages
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+
+        // Classify every source, degrading appends that can't reuse the
+        // on-disk prefix (missing, schema change, shrunk) to rewrites and
+        // no-op appends to keeps.
+        enum Work<'a> {
+            Keep,
+            Fresh { rel: &'a Relation, from: usize },
+        }
+        let mut stats = CheckpointStats::default();
+        let mut plan: BTreeMap<String, Work<'_>> = BTreeMap::new();
+        for source in sources {
+            match source {
+                CheckpointSource::Keep(name) => {
+                    if !old_dir.contains_key(*name) {
+                        return Err(StorageError::UnknownRelation((*name).to_string()));
+                    }
+                    plan.insert((*name).to_string(), Work::Keep);
+                }
+                CheckpointSource::Append(rel) => {
+                    let (name, schema, probabilistic, len) = relation_parts(rel);
+                    let work = match old_dir.get(name) {
+                        Some(e)
+                            if e.schema == *schema
+                                && e.probabilistic == probabilistic
+                                && len as u64 >= e.rows =>
+                        {
+                            if len as u64 == e.rows {
+                                Work::Keep
+                            } else {
+                                Work::Fresh {
+                                    rel,
+                                    from: e.rows as usize,
+                                }
+                            }
+                        }
+                        _ => Work::Fresh { rel, from: 0 },
+                    };
+                    plan.insert(name.to_string(), work);
+                }
+                CheckpointSource::Rewrite(rel) => {
+                    plan.insert(
+                        relation_parts(rel).0.to_string(),
+                        Work::Fresh { rel, from: 0 },
+                    );
+                }
+            }
+        }
+
+        // Shadow allocator: everything the live meta reaches is off
+        // limits; what's left inside the file is free, then the file
+        // grows.
+        let mut reachable: BTreeSet<u64> = (0..META_SLOTS).collect();
+        reachable.extend(old_catalog.iter().copied());
+        for layout in old_layouts.values() {
+            reachable.extend(layout.pages());
+        }
+        let mut alloc = SlotAllocator::new(&reachable, self.pager.n_pages());
+
+        // Encode the new state: suffix leaves + fresh interior chains per
+        // dirty relation, then one fresh catalog chain over all entries.
+        let mut writes: Vec<(u64, page::Page)> = Vec::new();
+        let mut new_dir: BTreeMap<String, CatalogEntry> = BTreeMap::new();
+        let mut new_layouts: BTreeMap<String, RelationLayout> = BTreeMap::new();
+        for (name, work) in &plan {
+            match work {
+                Work::Keep => {
+                    stats.relations_kept += 1;
+                    new_dir.insert(name.clone(), old_dir[name].clone());
+                    new_layouts.insert(
+                        name.clone(),
+                        old_layouts.get(name).cloned().unwrap_or_default(),
+                    );
+                }
+                Work::Fresh { rel, from } => {
+                    if *from > 0 {
+                        stats.relations_appended += 1;
+                    } else {
+                        stats.relations_rewritten += 1;
+                    }
+                    let (_, schema, probabilistic, len) = relation_parts(rel);
+                    let new_leaves = checkpoint::encode_leaves(rel, *from)?;
+                    let mut leaf_ids: Vec<u64> = if *from > 0 {
+                        old_layouts
+                            .get(name)
+                            .map(|l| l.leaves.clone())
+                            .unwrap_or_default()
+                    } else {
+                        Vec::new()
+                    };
+                    for leaf in new_leaves {
+                        let id = alloc.alloc();
+                        leaf_ids.push(id);
+                        writes.push((id, leaf));
+                    }
+                    let mut interiors = checkpoint::build_interior_pages(&leaf_ids);
+                    let interior_ids: Vec<u64> = interiors.iter().map(|_| alloc.alloc()).collect();
+                    for i in 0..interiors.len().saturating_sub(1) {
+                        interiors[i].set_next(interior_ids[i + 1]);
+                    }
+                    let root = interior_ids.first().copied().unwrap_or(0);
+                    for (id, p) in interior_ids.iter().zip(interiors) {
+                        writes.push((*id, p));
+                    }
+                    new_dir.insert(
+                        name.clone(),
+                        CatalogEntry {
+                            name: name.clone(),
+                            probabilistic,
+                            schema: schema.clone(),
+                            root,
+                            rows: len as u64,
+                        },
+                    );
+                    new_layouts.insert(
+                        name.clone(),
+                        RelationLayout {
+                            leaves: leaf_ids,
+                            interior: interior_ids,
+                        },
+                    );
+                }
+            }
+        }
+        let mut cat_pages = checkpoint::build_catalog_pages(new_dir.values())?;
+        let cat_ids: Vec<u64> = cat_pages.iter().map(|_| alloc.alloc()).collect();
+        for i in 0..cat_pages.len().saturating_sub(1) {
+            cat_pages[i].set_next(cat_ids[i + 1]);
+        }
+        let catalog_root = cat_ids.first().copied().unwrap_or(0);
+        for (id, p) in cat_ids.iter().zip(cat_pages) {
+            writes.push((*id, p));
+        }
+
+        let new_file_pages = alloc.file_pages();
+        let new_epoch = self.epoch.load(Ordering::Relaxed) + 1;
+        let slot = new_epoch % META_SLOTS;
+        let mut meta_page =
+            checkpoint::build_meta_page(new_epoch, new_file_pages, catalog_root, floor);
+
+        // --- Write phase. Every destination so far is unreachable from
+        // the live meta, so nothing here can corrupt the old state. ---
+        let crash = self
+            .checkpoint_crash
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        let mut file = self.db_write.lock().unwrap_or_else(|e| e.into_inner());
+        if crash == Some(CheckpointCrashPoint::MidPage) {
+            if let Some((id, p)) = writes.first_mut() {
+                file.seek(SeekFrom::Start(*id * PAGE_SIZE as u64))?;
+                file.write_all(&p.sealed_image()[..PAGE_SIZE / 2])?;
+                file.sync_data()?;
+            }
+            self.wal.lock().unwrap_or_else(|e| e.into_inner()).poison();
+            return Err(StorageError::InjectedCrash("checkpoint-mid-page"));
+        }
+        for (id, p) in &mut writes {
+            file.seek(SeekFrom::Start(*id * PAGE_SIZE as u64))?;
+            file.write_all(p.sealed_image())?;
+        }
+        if self.options.fsync {
+            // sync_all, not sync_data: the file may have grown, and the
+            // new length must be durable before the meta slot points past
+            // the old end.
+            file.sync_all()?;
+        }
+        // Debug hook for CI's kill-during-checkpoint smoke test: hold the
+        // window between data durability and the meta commit open.
+        if let Ok(ms) = std::env::var(CHECKPOINT_HOLD_ENV) {
+            if let Ok(ms) = ms.trim().parse::<u64>() {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+        }
+        if crash == Some(CheckpointCrashPoint::AfterPages) {
+            self.wal.lock().unwrap_or_else(|e| e.into_inner()).poison();
+            return Err(StorageError::InjectedCrash("checkpoint-after-pages"));
+        }
+
+        // --- Commit point: one page write to the inactive meta slot. ---
+        file.seek(SeekFrom::Start(slot * PAGE_SIZE as u64))?;
+        file.write_all(meta_page.sealed_image())?;
+        if self.options.fsync {
+            file.sync_data()?;
+        }
+        drop(file);
+        if crash == Some(CheckpointCrashPoint::AfterMeta) {
+            self.wal.lock().unwrap_or_else(|e| e.into_inner()).poison();
+            return Err(StorageError::InjectedCrash("checkpoint-after-meta"));
+        }
+
+        // The meta slot is durable; the WAL is redundant up to the floor.
+        self.wal.lock().unwrap_or_else(|e| e.into_inner()).reset()?;
+
+        // Publish the new state in memory.
+        self.pager.extend_to(new_file_pages);
+        let mut invalidated: Vec<u64> = writes.iter().map(|(id, _)| *id).collect();
+        invalidated.push(slot);
+        self.pager.invalidate(&invalidated);
+        *self.directory.write().unwrap_or_else(|e| e.into_inner()) = new_dir;
+        *self.layouts.write().unwrap_or_else(|e| e.into_inner()) = new_layouts;
+        *self.catalog_pages.lock().unwrap_or_else(|e| e.into_inner()) = cat_ids;
+        self.epoch.store(new_epoch, Ordering::Relaxed);
+        stats.pages_written = writes.len() as u64 + 1; // + the meta slot
+        self.pages_written
+            .fetch_add(stats.pages_written, Ordering::Relaxed);
+        Ok(stats)
+    }
+
+    /// Opens a lazy, leaf-at-a-time stream over one on-disk relation, or
+    /// `None` if the catalog has no such relation. Pages fault in one
+    /// leaf at a time through the shared cache — the relation is never
+    /// materialised whole.
+    pub fn scan_stream(&self, name: &str) -> Result<Option<RelationStream>, StorageError> {
         let entry = {
             let dir = self.directory.read().unwrap_or_else(|e| e.into_inner());
             match dir.get(name) {
@@ -296,16 +600,19 @@ impl Storage {
                 None => return Ok(None),
             }
         };
-        let pager = Arc::clone(&self.pager.read().unwrap_or_else(|e| e.into_inner()));
-        let mut cursor = TupleCursor::new(
-            &pager,
-            entry.root,
-            entry.schema.clone(),
-            entry.probabilistic,
-        )?;
+        RelationStream::new(Arc::clone(&self.pager), entry).map(Some)
+    }
+
+    /// Materialises one relation from disk (through the page cache), or
+    /// `None` if the catalog has no such relation.
+    pub fn scan(&self, name: &str) -> Result<Option<Relation>, StorageError> {
+        let Some(mut stream) = self.scan_stream(name)? else {
+            return Ok(None);
+        };
+        let entry = stream.entry().clone();
         let relation = if entry.probabilistic {
             let mut t = ProbTable::new(&entry.name, entry.schema.clone());
-            while let Some((row, prob)) = cursor.next_tuple()? {
+            while let Some((row, prob)) = stream.next_tuple()? {
                 let prob = prob.ok_or_else(|| StorageError::CorruptPage {
                     page: entry.root,
                     reason: "probabilistic tuple without probability".into(),
@@ -315,21 +622,11 @@ impl Storage {
             Relation::Probabilistic(t)
         } else {
             let mut t = Table::new(&entry.name, entry.schema.clone());
-            while let Some((row, _)) = cursor.next_tuple()? {
+            while let Some((row, _)) = stream.next_tuple()? {
                 t.insert(row)?;
             }
             Relation::Deterministic(t)
         };
-        let got = match &relation {
-            Relation::Deterministic(t) => t.len() as u64,
-            Relation::Probabilistic(t) => t.len() as u64,
-        };
-        if got != entry.rows {
-            return Err(StorageError::CorruptPage {
-                page: entry.root,
-                reason: format!("catalog records {} rows, leaves hold {got}", entry.rows),
-            });
-        }
         Ok(Some(relation))
     }
 
@@ -354,14 +651,14 @@ impl Storage {
 
     /// Page-cache counters of the live pager.
     pub fn cache_stats(&self) -> PagerStats {
-        self.pager.read().unwrap_or_else(|e| e.into_inner()).stats()
+        self.pager.stats()
     }
 
     /// Atomically replaces the metadata sidecar with `contents` (tmp +
-    /// rename + directory fsync, same discipline as the checkpoint file).
-    /// The storage engine treats the contents as opaque; the upper layer
-    /// uses it for state that must survive a checkpoint + WAL reset but
-    /// has no tuple representation (density-view lineage).
+    /// rename + directory fsync). The storage engine treats the contents
+    /// as opaque; the upper layer uses it for state that must survive a
+    /// checkpoint + WAL reset but has no tuple representation
+    /// (density-view lineage).
     pub fn put_meta(&self, contents: &str) -> Result<(), StorageError> {
         let meta_path = self.dir.join(META_FILE);
         let tmp_path = self.dir.join(format!("{META_FILE}.tmp"));
@@ -388,9 +685,84 @@ impl Storage {
     }
 }
 
+/// A lazy tuple stream over one on-disk relation: decodes one leaf at a
+/// time through the shared page cache, verifying the catalog's recorded
+/// row count at exhaustion. Owns its pager handle, so it can outlive the
+/// [`Storage`] call that opened it.
+#[derive(Debug)]
+pub struct RelationStream {
+    cursor: TupleCursor<Arc<Pager>>,
+    entry: CatalogEntry,
+    seen: u64,
+    done: bool,
+}
+
+impl RelationStream {
+    fn new(pager: Arc<Pager>, entry: CatalogEntry) -> Result<RelationStream, StorageError> {
+        let cursor =
+            TupleCursor::new(pager, entry.root, entry.schema.clone(), entry.probabilistic)?;
+        Ok(RelationStream {
+            cursor,
+            entry,
+            seen: 0,
+            done: false,
+        })
+    }
+
+    /// The streamed relation's catalog entry.
+    pub fn entry(&self) -> &CatalogEntry {
+        &self.entry
+    }
+
+    /// Decodes the next tuple, or `None` at end of relation — at which
+    /// point the tuples seen must match the catalog's recorded row count.
+    pub fn next_tuple(&mut self) -> Result<Option<DecodedTuple>, StorageError> {
+        if self.done {
+            return Ok(None);
+        }
+        match self.cursor.next_tuple()? {
+            Some(t) => {
+                self.seen += 1;
+                Ok(Some(t))
+            }
+            None => {
+                self.done = true;
+                if self.seen != self.entry.rows {
+                    return Err(StorageError::CorruptPage {
+                        page: self.entry.root,
+                        reason: format!(
+                            "catalog records {} rows, leaves hold {}",
+                            self.entry.rows, self.seen
+                        ),
+                    });
+                }
+                Ok(None)
+            }
+        }
+    }
+}
+
+impl TupleStream for RelationStream {
+    fn schema(&self) -> &Schema {
+        &self.entry.schema
+    }
+
+    fn probabilistic(&self) -> bool {
+        self.entry.probabilistic
+    }
+
+    fn next_tuple(&mut self) -> Result<Option<(Vec<Value>, Option<f64>)>, DbError> {
+        RelationStream::next_tuple(self).map_err(DbError::from)
+    }
+}
+
 impl ScanSource for Storage {
     fn scan(&self, name: &str) -> Result<Option<Relation>, DbError> {
         Storage::scan(self, name).map_err(DbError::from)
+    }
+
+    fn scan_stream(&self, name: &str) -> Result<Option<Box<dyn TupleStream>>, DbError> {
+        Ok(Storage::scan_stream(self, name)?.map(|s| Box::new(s) as Box<dyn TupleStream>))
     }
 
     fn names(&self) -> Vec<String> {
@@ -398,10 +770,10 @@ impl ScanSource for Storage {
     }
 }
 
-fn relation_name(r: &Relation) -> &str {
+fn relation_parts(r: &Relation) -> (&str, &Schema, bool, usize) {
     match r {
-        Relation::Deterministic(t) => t.name(),
-        Relation::Probabilistic(t) => t.name(),
+        Relation::Deterministic(t) => (t.name(), t.schema(), false, t.len()),
+        Relation::Probabilistic(t) => (t.name(), t.schema(), true, t.len()),
     }
 }
 
@@ -411,197 +783,41 @@ fn sync_dir(dir: &Path) -> Result<(), StorageError> {
     Ok(())
 }
 
-/// Encodes `relations` into a complete database file at `path` (meta page,
-/// catalog chain, per-relation interior + leaf chains) and fsyncs it.
-/// `wal_floor` is stored in the meta page as the replay floor.
-fn write_db_file(path: &Path, relations: &[&Relation], wal_floor: u64) -> Result<(), StorageError> {
-    // Page 0 is the meta page; real pages start at 1.
-    let mut pages: Vec<Page> = vec![Page::new(PageKind::Meta)];
-    let mut entries: Vec<CatalogEntry> = Vec::with_capacity(relations.len());
-
-    for relation in relations {
-        let (name, schema, probabilistic, n_rows) = match relation {
-            Relation::Deterministic(t) => (t.name(), t.schema(), false, t.len()),
-            Relation::Probabilistic(t) => (t.name(), t.schema(), true, t.len()),
-        };
-        // Encode tuples and pack them greedily into leaves.
-        let mut leaves: Vec<Page> = Vec::new();
-        let mut payload = Writer::new();
-        let mut count = 0u32;
-        let seal = |payload: &mut Writer, count: &mut u32, leaves: &mut Vec<Page>| {
-            let mut leaf = Page::new(PageKind::Leaf);
-            leaf.set_payload(&std::mem::take(payload).into_bytes());
-            leaf.set_count(*count);
-            *count = 0;
-            leaves.push(leaf);
-        };
-        for i in 0..n_rows {
-            let mut tuple = Writer::new();
-            match relation {
-                Relation::Deterministic(t) => {
-                    for v in &t.rows()[i] {
-                        tuple.put_value(v);
-                    }
-                }
-                Relation::Probabilistic(t) => {
-                    tuple.put_f64(t.probs()[i]);
-                    for v in &t.rows()[i] {
-                        tuple.put_value(v);
-                    }
-                }
-            }
-            let tuple = tuple.into_bytes();
-            if tuple.len() > PAYLOAD_LEN {
-                return Err(StorageError::TupleTooLarge {
-                    size: tuple.len(),
-                    max: PAYLOAD_LEN,
-                });
-            }
-            if payload.len() + tuple.len() > PAYLOAD_LEN {
-                seal(&mut payload, &mut count, &mut leaves);
-            }
-            payload.put_raw(&tuple);
-            count += 1;
-        }
-        if count > 0 {
-            seal(&mut payload, &mut count, &mut leaves);
-        }
-
-        // Leaves get consecutive ids; chain them in order.
-        let first_leaf = pages.len() as u64;
-        let n_leaves = leaves.len();
-        for (i, mut leaf) in leaves.into_iter().enumerate() {
-            if i + 1 < n_leaves {
-                leaf.set_next(first_leaf + i as u64 + 1);
-            }
-            pages.push(leaf);
-        }
-
-        // Interior chain: the ordered leaf id list, ≤ PAYLOAD_LEN/8 per page.
-        let ids_per_page = PAYLOAD_LEN / 8;
-        let leaf_ids: Vec<u64> = (0..n_leaves as u64).map(|i| first_leaf + i).collect();
-        let mut root = 0u64;
-        let n_interior = leaf_ids.chunks(ids_per_page).count();
-        let first_interior = pages.len() as u64;
-        for (i, chunk) in leaf_ids.chunks(ids_per_page).enumerate() {
-            let mut interior = Page::new(PageKind::Interior);
-            let mut w = Writer::new();
-            for id in chunk {
-                w.put_u64(*id);
-            }
-            interior.set_payload(&w.into_bytes());
-            interior.set_count(chunk.len() as u32);
-            if i + 1 < n_interior {
-                interior.set_next(first_interior + i as u64 + 1);
-            }
-            if i == 0 {
-                root = first_interior;
-            }
-            pages.push(interior);
-        }
-
-        entries.push(CatalogEntry {
-            name: name.to_string(),
-            probabilistic,
-            schema: schema.clone(),
-            root,
-            rows: n_rows as u64,
-        });
-    }
-
-    // Catalog chain: entries packed greedily, one chain for the whole
-    // database.
-    let mut catalog_pages: Vec<Page> = Vec::new();
-    let mut payload = Writer::new();
-    let mut count = 0u32;
-    for entry in &entries {
-        let mut enc = Writer::new();
-        enc.put_str(&entry.name);
-        enc.put_u8(u8::from(entry.probabilistic));
-        enc.put_schema(&entry.schema);
-        enc.put_u64(entry.root);
-        enc.put_u64(entry.rows);
-        let enc = enc.into_bytes();
-        if enc.len() > PAYLOAD_LEN {
-            return Err(StorageError::BadDatabase(format!(
-                "catalog entry for {:?} exceeds one page",
-                entry.name
-            )));
-        }
-        if payload.len() + enc.len() > PAYLOAD_LEN {
-            let mut p = Page::new(PageKind::Catalog);
-            p.set_payload(&std::mem::take(&mut payload).into_bytes());
-            p.set_count(count);
-            count = 0;
-            catalog_pages.push(p);
-        }
-        payload.put_raw(&enc);
-        count += 1;
-    }
-    if count > 0 {
-        let mut p = Page::new(PageKind::Catalog);
-        p.set_payload(&payload.into_bytes());
-        p.set_count(count);
-        catalog_pages.push(p);
-    }
-    let catalog_root = if catalog_pages.is_empty() {
-        0
-    } else {
-        pages.len() as u64
-    };
-    let first_catalog = pages.len() as u64;
-    let n_catalog = catalog_pages.len();
-    for (i, mut p) in catalog_pages.into_iter().enumerate() {
-        if i + 1 < n_catalog {
-            p.set_next(first_catalog + i as u64 + 1);
-        }
-        pages.push(p);
-    }
-
-    // Meta page, now that every id is known.
-    let mut meta = Writer::new();
-    meta.put_raw(DB_MAGIC);
-    meta.put_u32(DB_VERSION);
-    meta.put_u32(PAGE_SIZE as u32);
-    meta.put_u64(pages.len() as u64);
-    meta.put_u64(catalog_root);
-    meta.put_u64(wal_floor);
-    pages[0].set_payload(&meta.into_bytes());
-
+/// Writes a fresh, empty database file: both meta slots at epoch 0 with
+/// an empty catalog.
+fn write_fresh_db(path: &Path) -> Result<(), StorageError> {
     let mut file = OpenOptions::new()
         .write(true)
         .create(true)
         .truncate(true)
         .open(path)?;
-    for page in &mut pages {
-        file.write_all(page.sealed_image())?;
+    for _slot in 0..META_SLOTS {
+        let mut meta = checkpoint::build_meta_page(0, META_SLOTS, 0, 0);
+        file.write_all(meta.sealed_image())?;
     }
     file.sync_all()?;
     Ok(())
 }
 
-/// Opens a database file: verifies the meta page, loads the catalog, and
-/// wraps the file in a pager.
-fn load_db_file(
-    path: &Path,
-    cache_pages: usize,
-) -> Result<(Pager, BTreeMap<String, CatalogEntry>, u64), StorageError> {
-    let file = File::open(path)?;
-    let len = file.metadata()?.len();
-    if len == 0 || len % PAGE_SIZE as u64 != 0 {
+/// Everything [`load_db_file`] recovers from a database file.
+struct LoadedDb {
+    pager: Pager,
+    meta: MetaInfo,
+    directory: BTreeMap<String, CatalogEntry>,
+    layouts: BTreeMap<String, RelationLayout>,
+    catalog_pages: Vec<u64>,
+}
+
+/// Parses one meta slot, validating checksum, magic, version and page
+/// size.
+fn read_meta_slot(pager: &Pager, slot: u64) -> Result<MetaInfo, StorageError> {
+    let page = pager.get(slot)?;
+    if page.kind() != PageKind::Meta {
         return Err(StorageError::BadDatabase(format!(
-            "file length {len} is not a positive multiple of the {PAGE_SIZE}-byte page size"
+            "page {slot} is not a meta page"
         )));
     }
-    let pager = Pager::new(file, len / PAGE_SIZE as u64, cache_pages);
-
-    let meta = pager.get(0)?;
-    if meta.kind() != PageKind::Meta {
-        return Err(StorageError::BadDatabase(
-            "page 0 is not a meta page".into(),
-        ));
-    }
-    let mut r = Reader::new(meta.payload(), 0);
+    let mut r = Reader::new(page.payload(), slot);
     if r.take_raw(DB_MAGIC.len())? != DB_MAGIC {
         return Err(StorageError::BadDatabase("magic mismatch".into()));
     }
@@ -617,18 +833,85 @@ fn load_db_file(
             "database uses {page_size}-byte pages, this build uses {PAGE_SIZE}"
         )));
     }
-    let n_pages = r.take_u64()?;
-    if n_pages != pager.n_pages() {
+    Ok(MetaInfo {
+        epoch: r.take_u64()?,
+        n_pages: r.take_u64()?,
+        catalog_root: r.take_u64()?,
+        wal_floor: r.take_u64()?,
+    })
+}
+
+/// Walks one relation's interior chain, recording its page layout (leaves
+/// are located, not read — scans fault them in lazily).
+fn read_layout(pager: &Pager, root: u64) -> Result<RelationLayout, StorageError> {
+    let mut layout = RelationLayout::default();
+    let mut id = root;
+    while id != 0 {
+        let page = pager.get(id)?;
+        if page.kind() != PageKind::Interior {
+            return Err(StorageError::CorruptPage {
+                page: id,
+                reason: format!("expected an interior page, found {:?}", page.kind()),
+            });
+        }
+        layout.interior.push(id);
+        let mut r = Reader::new(page.payload(), id);
+        for _ in 0..page.count() {
+            layout.leaves.push(r.take_u64()?);
+        }
+        id = page.next();
+    }
+    Ok(layout)
+}
+
+/// Opens a database file: picks the live meta slot (valid + highest
+/// epoch), loads the catalog and per-relation page layouts, and wraps the
+/// file in a pager.
+fn load_db_file(path: &Path, cache_pages: usize) -> Result<LoadedDb, StorageError> {
+    let file = File::open(path)?;
+    let len = file.metadata()?.len();
+    // A crash can tear the file's trailing page mid-extension; only whole
+    // pages count, and nothing reachable from a valid meta slot can live
+    // in the torn tail (the meta committed only after its pages were
+    // durable).
+    let file_pages = len / PAGE_SIZE as u64;
+    if file_pages < META_SLOTS {
         return Err(StorageError::BadDatabase(format!(
-            "meta page records {n_pages} pages, file holds {}",
-            pager.n_pages()
+            "file length {len} holds fewer than the {META_SLOTS} meta slots"
         )));
     }
-    let catalog_root = r.take_u64()?;
-    let wal_floor = r.take_u64()?;
+    let pager = Pager::new(file, file_pages, cache_pages);
+
+    // Dual-slot recovery: a crash can tear at most the slot being
+    // written, so the other one is always a valid, older state.
+    let mut meta: Option<MetaInfo> = None;
+    let mut slot_errors: Vec<String> = Vec::new();
+    for slot in 0..META_SLOTS {
+        match read_meta_slot(&pager, slot) {
+            Ok(m) if meta.is_none() || m.epoch > meta.expect("checked").epoch => meta = Some(m),
+            Ok(_) => {}
+            Err(e) => slot_errors.push(format!("slot {slot}: {e}")),
+        }
+    }
+    let Some(meta) = meta else {
+        return Err(StorageError::BadDatabase(format!(
+            "no valid meta slot ({})",
+            slot_errors.join("; ")
+        )));
+    };
+    // The file may be *longer* than the meta records (a checkpoint that
+    // extended the file and crashed before its commit point); it must
+    // never be shorter.
+    if meta.n_pages > file_pages || meta.n_pages < META_SLOTS {
+        return Err(StorageError::BadDatabase(format!(
+            "meta slot records {} pages, file holds {file_pages}",
+            meta.n_pages
+        )));
+    }
 
     let mut directory = BTreeMap::new();
-    let mut id = catalog_root;
+    let mut catalog_pages = Vec::new();
+    let mut id = meta.catalog_root;
     while id != 0 {
         let page = pager.get(id)?;
         if page.kind() != PageKind::Catalog {
@@ -637,6 +920,7 @@ fn load_db_file(
                 reason: format!("expected a catalog page, found {:?}", page.kind()),
             });
         }
+        catalog_pages.push(id);
         let mut r = Reader::new(page.payload(), id);
         for _ in 0..page.count() {
             let name = r.take_str()?;
@@ -657,7 +941,17 @@ fn load_db_file(
         }
         id = page.next();
     }
-    Ok((pager, directory, wal_floor))
+    let mut layouts = BTreeMap::new();
+    for (name, entry) in &directory {
+        layouts.insert(name.clone(), read_layout(&pager, entry.root)?);
+    }
+    Ok(LoadedDb {
+        pager,
+        meta,
+        directory,
+        layouts,
+        catalog_pages,
+    })
 }
 
 #[cfg(test)]
@@ -778,39 +1072,246 @@ mod tests {
 
     #[test]
     fn stale_wal_records_below_the_floor_are_skipped() {
-        // Simulate a crash in the window between the checkpoint's rename
-        // and its WAL reset: the checkpointed file already contains the
-        // ops, but the log still holds them.
+        // A crash in the window between the checkpoint's meta commit and
+        // its WAL reset: the checkpointed file already contains the ops,
+        // but the log still holds them. The AfterMeta crash point is that
+        // exact window.
         let dir = TempDir::new();
         let (storage, _) = Storage::open(dir.path(), StorageOptions::default()).unwrap();
         storage.log(&JournalOp::Sql("INSERT 1".into())).unwrap();
         storage.log(&JournalOp::Sql("INSERT 2".into())).unwrap();
 
-        // Checkpoint writes the new db file but "crashes" before reset: we
-        // re-create that state by writing the db file out of band.
         let table = sample_prob_table("pv", 2);
-        write_db_file(
-            &dir.path().join(format!("{DB_FILE}.tmp")),
-            &[&Relation::Probabilistic(table)],
-            2, // floor: both logged ops are inside the checkpoint
-        )
-        .unwrap();
-        std::fs::rename(
-            dir.path().join(format!("{DB_FILE}.tmp")),
-            dir.path().join(DB_FILE),
-        )
-        .unwrap();
+        storage.set_checkpoint_crash_point(Some(CheckpointCrashPoint::AfterMeta));
+        assert!(matches!(
+            storage.checkpoint(&[Relation::Probabilistic(table)]),
+            Err(StorageError::InjectedCrash("checkpoint-after-meta"))
+        ));
         drop(storage); // WAL never reset — the crash window
 
         let (storage, recovery) = Storage::open(dir.path(), StorageOptions::default()).unwrap();
         assert!(recovery.ops.is_empty(), "nothing to redo");
         assert_eq!(recovery.skipped, 2, "both records identified as applied");
+        assert!(
+            storage.scan("pv").unwrap().is_some(),
+            "meta committed before the crash: the new state is served"
+        );
         // New writes continue above the floor.
         storage.log(&JournalOp::Sql("INSERT 3".into())).unwrap();
         drop(storage);
         let (_, recovery) = Storage::open(dir.path(), StorageOptions::default()).unwrap();
         assert_eq!(recovery.ops.len(), 1);
         assert_eq!(recovery.ops[0], JournalOp::Sql("INSERT 3".into()));
+    }
+
+    #[test]
+    fn crash_before_meta_commit_recovers_the_old_state() {
+        for (point, tag) in [
+            (CheckpointCrashPoint::MidPage, "checkpoint-mid-page"),
+            (CheckpointCrashPoint::AfterPages, "checkpoint-after-pages"),
+        ] {
+            let dir = TempDir::new();
+            let (storage, _) = Storage::open(dir.path(), StorageOptions::default()).unwrap();
+            let v1 = sample_prob_table("pv", 50);
+            storage
+                .checkpoint(&[Relation::Probabilistic(v1.clone())])
+                .unwrap();
+
+            // A bigger version crashes mid-checkpoint, before the commit
+            // point: recovery must serve v1, bit-exactly.
+            let v2 = sample_prob_table("pv", 200);
+            storage.set_checkpoint_crash_point(Some(point));
+            assert!(matches!(
+                storage.checkpoint_incremental(&[CheckpointSource::Append(
+                    &Relation::Probabilistic(v2)
+                )]),
+                Err(StorageError::InjectedCrash(t)) if t == tag
+            ));
+            drop(storage);
+
+            let (storage, recovery) = Storage::open(dir.path(), StorageOptions::default()).unwrap();
+            assert!(recovery.ops.is_empty());
+            let got = storage.scan("pv").unwrap().expect("pv survives");
+            let Relation::Probabilistic(got) = got else {
+                panic!("expected a probabilistic relation")
+            };
+            assert_eq!(got.len(), 50, "{tag}: the old state, nothing torn");
+            for i in 0..50 {
+                assert_eq!(got.tuple(i).1.to_bits(), v1.tuple(i).1.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn append_checkpoints_write_o_dirty_not_o_total() {
+        let dir = TempDir::new();
+        let (storage, _) = Storage::open(dir.path(), StorageOptions::default()).unwrap();
+        let full = sample_prob_table("pv", 100_000);
+        let full_stats = storage
+            .checkpoint(&[Relation::Probabilistic(full.clone())])
+            .unwrap();
+        assert_eq!(full_stats.relations_rewritten, 1);
+
+        // Append 1% and checkpoint incrementally: the acceptance bound is
+        // <10% of the pages a full rewrite writes.
+        let mut grown = full.clone();
+        for i in 100_000..101_000 {
+            let p = ((i % 97) as f64 + 1.0) / 100.0;
+            grown
+                .insert(vec![Value::Int(i as i64), Value::Float(0.1 + i as f64)], p)
+                .unwrap();
+        }
+        let incr_stats = storage
+            .checkpoint_incremental(&[CheckpointSource::Append(&Relation::Probabilistic(
+                grown.clone(),
+            ))])
+            .unwrap();
+        assert_eq!(incr_stats.relations_appended, 1);
+        assert!(
+            incr_stats.pages_written * 10 < full_stats.pages_written,
+            "append wrote {} pages, full rewrite wrote {}",
+            incr_stats.pages_written,
+            full_stats.pages_written
+        );
+
+        // And the result is the same as if it had been rewritten whole.
+        let got = storage.scan("pv").unwrap().expect("pv on disk");
+        let Relation::Probabilistic(got) = got else {
+            panic!("expected a probabilistic relation")
+        };
+        assert_eq!(got.len(), 101_000);
+        for i in [0usize, 99_999, 100_000, 100_999] {
+            assert_eq!(got.tuple(i).1.to_bits(), grown.tuple(i).1.to_bits());
+            assert_eq!(got.tuple(i).0, grown.tuple(i).0);
+        }
+
+        // Survives a reboot (the appended suffix + reused prefix chain).
+        drop(storage);
+        let (storage, _) = Storage::open(dir.path(), StorageOptions::default()).unwrap();
+        let got = storage.scan("pv").unwrap().expect("pv survives reboot");
+        let Relation::Probabilistic(got) = got else {
+            panic!("expected a probabilistic relation")
+        };
+        assert_eq!(got.len(), 101_000);
+    }
+
+    #[test]
+    fn keep_sources_write_no_relation_pages_and_drops_reclaim_slots() {
+        let dir = TempDir::new();
+        let (storage, _) = Storage::open(dir.path(), StorageOptions::default()).unwrap();
+        let a = sample_prob_table("a", 300);
+        let b = sample_prob_table("b", 300);
+        storage
+            .checkpoint(&[
+                Relation::Probabilistic(a.clone()),
+                Relation::Probabilistic(b),
+            ])
+            .unwrap();
+        // Keep both: only the catalog chain + meta slot are rewritten.
+        // The first keep may grow the file by one page (the old catalog
+        // slot stays reachable until the *next* checkpoint frees it);
+        // after that the two catalog slots alternate — steady state.
+        let stats = storage
+            .checkpoint_incremental(&[CheckpointSource::Keep("a"), CheckpointSource::Keep("b")])
+            .unwrap();
+        assert_eq!(stats.relations_kept, 2);
+        assert!(
+            stats.pages_written <= 2,
+            "keep-only checkpoint wrote {} pages",
+            stats.pages_written
+        );
+        let steady = storage.pager.n_pages();
+        storage
+            .checkpoint_incremental(&[CheckpointSource::Keep("a"), CheckpointSource::Keep("b")])
+            .unwrap();
+        assert_eq!(storage.pager.n_pages(), steady, "no growth on repeat keep");
+
+        // Drop `b` (absent from the sources): its slots free up, so
+        // rewriting `a` into them must not grow the file.
+        storage
+            .checkpoint_incremental(&[CheckpointSource::Keep("a")])
+            .unwrap();
+        let before_rewrite = storage.pager.n_pages();
+        storage
+            .checkpoint_incremental(&[CheckpointSource::Rewrite(&Relation::Probabilistic(
+                a.clone(),
+            ))])
+            .unwrap();
+        assert_eq!(
+            storage.pager.n_pages(),
+            before_rewrite,
+            "rewrite reused the dropped relation's slots"
+        );
+        assert!(storage.scan("b").unwrap().is_none(), "b was dropped");
+        let got = storage.scan("a").unwrap().expect("a lives");
+        let Relation::Probabilistic(got) = got else {
+            panic!("expected a probabilistic relation")
+        };
+        assert_eq!(got.len(), 300);
+    }
+
+    #[test]
+    fn unknown_keep_source_is_an_error() {
+        let dir = TempDir::new();
+        let (storage, _) = Storage::open(dir.path(), StorageOptions::default()).unwrap();
+        assert!(matches!(
+            storage.checkpoint_incremental(&[CheckpointSource::Keep("ghost")]),
+            Err(StorageError::UnknownRelation(n)) if n == "ghost"
+        ));
+    }
+
+    #[test]
+    fn incompatible_append_degrades_to_a_rewrite() {
+        let dir = TempDir::new();
+        let (storage, _) = Storage::open(dir.path(), StorageOptions::default()).unwrap();
+        storage
+            .checkpoint(&[Relation::Probabilistic(sample_prob_table("pv", 100))])
+            .unwrap();
+
+        // Shrunk row count can't reuse the prefix: must degrade, not
+        // corrupt.
+        let shrunk = sample_prob_table("pv", 40);
+        let stats = storage
+            .checkpoint_incremental(&[CheckpointSource::Append(&Relation::Probabilistic(
+                shrunk.clone(),
+            ))])
+            .unwrap();
+        assert_eq!(stats.relations_rewritten, 1);
+        assert_eq!(stats.relations_appended, 0);
+        let got = storage.scan("pv").unwrap().expect("pv on disk");
+        let Relation::Probabilistic(got) = got else {
+            panic!("expected a probabilistic relation")
+        };
+        assert_eq!(got.len(), 40);
+
+        // Unchanged append degrades to a keep: no relation pages written.
+        let stats = storage
+            .checkpoint_incremental(&[CheckpointSource::Append(&Relation::Probabilistic(shrunk))])
+            .unwrap();
+        assert_eq!(stats.relations_kept, 1);
+        assert!(stats.pages_written <= 2);
+    }
+
+    #[test]
+    fn lazy_stream_yields_the_materialized_tuples() {
+        let dir = TempDir::new();
+        let (storage, _) = Storage::open(dir.path(), StorageOptions::default()).unwrap();
+        let table = sample_prob_table("pv", 500);
+        storage
+            .checkpoint(&[Relation::Probabilistic(table.clone())])
+            .unwrap();
+
+        let mut stream = storage.scan_stream("pv").unwrap().expect("pv on disk");
+        assert!(stream.entry().probabilistic);
+        let mut n = 0usize;
+        while let Some((row, prob)) = stream.next_tuple().unwrap() {
+            let (want_row, want_p) = table.tuple(n);
+            assert_eq!(prob.expect("probabilistic").to_bits(), want_p.to_bits());
+            assert_eq!(&row, want_row);
+            n += 1;
+        }
+        assert_eq!(n, 500);
+        assert!(storage.scan_stream("nope").unwrap().is_none());
     }
 
     #[test]

@@ -7,10 +7,13 @@
 //! itself; a cache miss reads the page from the file, verifies its
 //! checksum, and publishes the `Arc` for everyone after it.
 //!
-//! The pager never writes pages in place. Checkpoints build a complete new
-//! file next to the live one and atomically rename it over
-//! (see [`crate::Storage::checkpoint`]), after which the pager is swapped
-//! wholesale — so a cached page can never go stale, only unreachable.
+//! The pager itself never writes. Checkpoints shadow-write through a
+//! separate handle — only to pages that are *free* under the current meta
+//! (see [`crate::Storage::checkpoint_incremental`]) — then call
+//! [`Pager::extend_to`] / [`Pager::invalidate`] so the cache drops exactly
+//! the page ids that were rewritten. A cached page reachable from the old
+//! meta is never overwritten on disk, so snapshots held across a
+//! checkpoint stay byte-valid.
 
 use crate::error::StorageError;
 use crate::page::{Page, PAGE_SIZE};
@@ -44,7 +47,9 @@ pub struct Pager {
     /// never affects results.
     resident: Mutex<VecDeque<u64>>,
     capacity: usize,
-    n_pages: u64,
+    /// Physical page count. Grows in place when a checkpoint extends the
+    /// file ([`Pager::extend_to`]); never shrinks while the pager lives.
+    n_pages: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -57,7 +62,7 @@ impl Pager {
             cache: RwLock::new(HashMap::new()),
             resident: Mutex::new(VecDeque::new()),
             capacity: capacity.max(8),
-            n_pages,
+            n_pages: AtomicU64::new(n_pages),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -65,7 +70,25 @@ impl Pager {
 
     /// Number of pages in the file.
     pub fn n_pages(&self) -> u64 {
-        self.n_pages
+        self.n_pages.load(Ordering::Acquire)
+    }
+
+    /// Grows the addressable page count to `n_pages` (no-op when the file
+    /// already reaches it). Called after a checkpoint extends the file.
+    pub fn extend_to(&self, n_pages: u64) {
+        self.n_pages.fetch_max(n_pages, Ordering::AcqRel);
+    }
+
+    /// Drops the given page ids from the cache. Called after a checkpoint
+    /// rewrites free slots in place, so the next read of any rewritten id
+    /// refetches the new image; ids never cached are ignored.
+    pub fn invalidate(&self, ids: &[u64]) {
+        let mut cache = self.cache.write().expect("page cache lock");
+        for id in ids {
+            cache.remove(id);
+        }
+        // Stale ids may linger in the residency FIFO; eviction treats a
+        // miss on removal as already-gone, so no cleanup is needed here.
     }
 
     /// Cache counters.
@@ -79,10 +102,11 @@ impl Pager {
     /// Reads page `id`, serving from the cache when possible. The returned
     /// snapshot is immutable and safe to hold across any later checkpoint.
     pub fn get(&self, id: u64) -> Result<Arc<Page>, StorageError> {
-        if id >= self.n_pages {
+        let n_pages = self.n_pages();
+        if id >= n_pages {
             return Err(StorageError::CorruptPage {
                 page: id,
-                reason: format!("page id beyond file ({} pages)", self.n_pages),
+                reason: format!("page id beyond file ({n_pages} pages)"),
             });
         }
         if let Some(page) = self.cache.read().expect("page cache lock").get(&id) {

@@ -416,6 +416,14 @@ impl Wal {
     pub fn is_poisoned(&self) -> bool {
         self.poisoned
     }
+
+    /// Poisons the handle from outside — used by the checkpoint crash
+    /// points, which simulate dying *between* WAL operations: after one
+    /// fires, both logging and reset must refuse, exactly as if the
+    /// process were gone.
+    pub(crate) fn poison(&mut self) {
+        self.poisoned = true;
+    }
 }
 
 #[cfg(test)]

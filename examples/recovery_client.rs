@@ -10,6 +10,10 @@
 //!   a density view over them. Idempotent-unsafe by design: loading twice
 //!   fails on the duplicate table, which is exactly what the smoke job
 //!   wants (a recovered server must already hold the data).
+//! * `dirty` — append fresh deterministic rows to the raw table, so the
+//!   next boot's checkpoint has append pages to shadow-write (the CI job
+//!   kills the server *inside* that checkpoint via
+//!   `TSPDB_CHECKPOINT_HOLD_MS`).
 //! * `probe` — run the query battery and print one
 //!   `<label><TAB><fingerprint>` line per query, where the fingerprint
 //!   hashes the canonical wire bytes of the result. The CI recovery-smoke
@@ -80,6 +84,18 @@ fn main() {
             }
             println!("loaded rec_raw + rec_pv into {addr}");
         }
+        "dirty" => {
+            // Timestamps far past the loaded data: the rows are a pure
+            // append and never perturb the view's original window range.
+            let values: Vec<String> = (0..64)
+                .map(|i| format!("({}, {:.6})", 100_000 + i, 15.0 + i as f64 * 0.125))
+                .collect();
+            let sql = format!("INSERT INTO rec_raw VALUES {}", values.join(", "));
+            client
+                .query(&sql)
+                .unwrap_or_else(|e| panic!("dirty append failed: {e}"));
+            println!("appended 64 rows to rec_raw on {addr}");
+        }
         "probe" => {
             for (label, sql) in PROBES {
                 let out = client
@@ -89,7 +105,7 @@ fn main() {
             }
         }
         other => {
-            eprintln!("usage: recovery_client <load|probe> (got {other:?})");
+            eprintln!("usage: recovery_client <load|dirty|probe> (got {other:?})");
             std::process::exit(2);
         }
     }
